@@ -1,0 +1,51 @@
+// Ablation / future-work experiment: architecture search over hidden width
+// and filter order (Sec. V names architectural search as the next step for
+// ADAPT-pNCs). Prints every candidate with robust accuracy, device count
+// and power, and flags the accuracy/hardware Pareto front.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pnc/train/arch_search.hpp"
+#include "pnc/util/table.hpp"
+
+int main() {
+  using namespace pnc;
+
+  const std::string dataset = "CBF";
+  train::ArchSearchConfig config;
+  config.hidden_widths = bench::quick_mode()
+                             ? std::vector<std::size_t>{2, 4}
+                             : std::vector<std::size_t>{2, 3, 4, 6, 9};
+  config.train.max_epochs = bench::quick_mode() ? 15 : 80;
+  config.train.patience = bench::quick_mode() ? 5 : 12;
+  config.train.train_variation = variation::VariationSpec::printing(0.10, 2);
+  config.eval_repeats = bench::quick_mode() ? 1 : 3;
+  config.sequence_length = bench::quick_mode() ? 32 : 64;
+
+  std::cerr << "[arch] searching "
+            << config.hidden_widths.size() * config.orders.size()
+            << " candidates on " << dataset << "...\n";
+  const auto points = train::architecture_search(dataset, config);
+
+  util::Table table({"Order", "Hidden", "Clean acc", "Robust acc", "Devices",
+                     "Power (mW)", "Pareto"});
+  for (const auto& p : points) {
+    table.add_row(
+        {p.candidate.order == core::FilterOrder::kSecond ? "2nd (SO-LF)"
+                                                         : "1st",
+         std::to_string(p.candidate.hidden),
+         util::format_fixed(p.clean_accuracy, 3),
+         util::format_fixed(p.robust_accuracy, 3),
+         std::to_string(p.device_count), util::format_fixed(p.power_mw, 3),
+         p.pareto_optimal ? "*" : ""});
+  }
+
+  std::cout << "\nArchitecture search on " << dataset
+            << " (robust accuracy under ±10% variation vs printed device "
+               "cost)\n\n";
+  table.print(std::cout);
+  table.write_csv("arch_search.csv");
+  std::cout << "\n* = on the (accuracy up, devices down) Pareto front.\n";
+  return 0;
+}

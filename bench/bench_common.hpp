@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "pnc/train/experiment.hpp"
+
+namespace pnc::bench {
+
+/// Benchmark scale control: set PNC_QUICK=1 to shrink every experiment
+/// (fewer seeds/epochs, shorter sequences) for smoke runs; the default
+/// "full" scale regenerates the tables at the fidelity documented in
+/// EXPERIMENTS.md.
+inline bool quick_mode() {
+  const char* env = std::getenv("PNC_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Shared training protocol for all table/figure harnesses.
+inline void apply_scale(train::ExperimentSpec& spec) {
+  if (quick_mode()) {
+    spec.num_seeds = 1;
+    spec.top_k = 1;
+    spec.train.max_epochs = 25;
+    spec.train.patience = 6;
+    spec.train.train_variation.monte_carlo_samples = 2;
+    spec.eval_repeats = 2;
+    spec.hidden_cap = 4;
+    spec.sequence_length = 32;
+  } else {
+    spec.num_seeds = 3;
+    spec.top_k = 3;
+    spec.train.max_epochs = 150;
+    spec.train.patience = 18;
+    spec.train.train_variation.monte_carlo_samples = 3;
+    spec.eval_repeats = 3;
+    spec.hidden_cap = 10;
+    spec.sequence_length = 64;
+  }
+}
+
+}  // namespace pnc::bench

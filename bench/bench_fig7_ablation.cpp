@@ -1,0 +1,73 @@
+// Fig. 7: ablation of the three robustness ingredients — variation-aware
+// training (VA), augmented training (AT) and the second-order learnable
+// filter (SO-LF) — against the plain baseline and the full combination,
+// reporting mean accuracy on clean and on perturbed test data under ±10 %
+// component variation.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pnc/util/stats.hpp"
+#include "pnc/util/table.hpp"
+
+namespace {
+
+using namespace pnc;
+
+struct Config {
+  std::string label;
+  core::FilterOrder order;
+  bool variation_aware;
+  bool augmented;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Config> configs = {
+      {"Baseline", core::FilterOrder::kFirst, false, false},
+      {"VA", core::FilterOrder::kFirst, true, false},
+      {"AT", core::FilterOrder::kFirst, false, true},
+      {"SO-LF", core::FilterOrder::kSecond, false, false},
+      {"VA+SO-LF+AT", core::FilterOrder::kSecond, true, true},
+  };
+  const std::vector<std::string> datasets =
+      bench::quick_mode()
+          ? std::vector<std::string>{"GPMVF", "Slope"}
+          : std::vector<std::string>{"CBF", "GPMVF", "PowerCons", "Slope",
+                                     "SmoothS", "Symbols"};
+
+  util::Table table({"Configuration", "Clean acc (mean ± std)",
+                     "Perturbed acc (mean ± std)", "Δ vs baseline (pp)"});
+  double baseline_perturbed = 0.0;
+
+  for (const auto& config : configs) {
+    std::vector<double> clean, perturbed;
+    for (const auto& name : datasets) {
+      std::cerr << "[fig7] " << config.label << " / " << name << "...\n";
+      train::ExperimentSpec spec = train::adapt_spec(name);
+      spec.order = config.order;
+      spec.variation_aware = config.variation_aware;
+      spec.augmented_training = config.augmented;
+      bench::apply_scale(spec);
+      const train::ExperimentResult result = run_experiment(spec);
+      clean.push_back(result.clean_accuracy.mean);
+      perturbed.push_back(result.perturbed_accuracy.mean);
+    }
+    const util::Summary s_clean = util::summarize(clean);
+    const util::Summary s_pert = util::summarize(perturbed);
+    if (config.label == "Baseline") baseline_perturbed = s_pert.mean;
+    table.add_row({config.label,
+                   util::format_mean_std(s_clean.mean, s_clean.stddev),
+                   util::format_mean_std(s_pert.mean, s_pert.stddev),
+                   util::format_fixed(
+                       100.0 * (s_pert.mean - baseline_perturbed), 1)});
+  }
+
+  std::cout << "\nFig. 7 — ablation over training configurations "
+            << "(paper: baseline ~58%; VA +10.5, AT +15, SO-LF +25.1, "
+               "VA+SO-LF+AT +24.4 points on perturbed data)\n\n";
+  table.print(std::cout);
+  table.write_csv("fig7_ablation.csv");
+  return 0;
+}

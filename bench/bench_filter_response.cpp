@@ -1,0 +1,65 @@
+// Supporting experiment (Fig. 4, frequency-domain panels): magnitude
+// response and cutoff frequencies of the printed first-order and
+// second-order RC low-pass filters, obtained from AC (phasor) analysis of
+// the actual netlists — the data the paper reads off SPICE.
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "pnc/circuit/ac.hpp"
+#include "pnc/circuit/netlists.hpp"
+#include "pnc/util/table.hpp"
+
+int main() {
+  using namespace pnc;
+  using namespace pnc::circuit;
+
+  const double r = 800.0, c = 40e-6;  // printable mid-range design
+
+  FilterNetlist first =
+      build_first_order_filter(r, c, 0.0, [](double) { return 1.0; });
+  FilterNetlist second = build_second_order_filter(
+      r, c, r, c, 0.0, [](double) { return 1.0; });
+
+  // ---- Bode magnitude table ----------------------------------------------
+  const auto sweep1 = bode_sweep(first.netlist, first.output_node, 0.1, 1e4, 4);
+  const auto sweep2 =
+      bode_sweep(second.netlist, second.output_node, 0.1, 1e4, 4);
+  util::Table bode({"f (Hz)", "|H1| (dB)", "|H2| (dB)"});
+  for (std::size_t i = 0; i < sweep1.size(); ++i) {
+    bode.add_row({util::format_fixed(sweep1[i].freq_hz, 2),
+                  util::format_fixed(sweep1[i].magnitude_db, 2),
+                  util::format_fixed(sweep2[i].magnitude_db, 2)});
+  }
+  std::cout << "Filter magnitude responses (R = 800 Ohm, C = 40 uF per "
+               "stage)\n\n";
+  bode.print(std::cout);
+  bode.write_csv("filter_response.csv");
+
+  // ---- Cutoffs and roll-off ----------------------------------------------
+  const double analytic_fc = 1.0 / (2.0 * std::numbers::pi * r * c);
+  const double fc1 =
+      cutoff_frequency_hz(first.netlist, first.output_node, 0.01, 1e4);
+  const double fc2 =
+      cutoff_frequency_hz(second.netlist, second.output_node, 0.01, 1e4);
+  const double slope1 =
+      rolloff_db_per_decade(first.netlist, first.output_node, 1e3, 1e4);
+  const double slope2 =
+      rolloff_db_per_decade(second.netlist, second.output_node, 1e3, 1e4);
+
+  util::Table summary({"Filter", "fc (-3 dB, Hz)", "Roll-off (dB/dec)"});
+  summary.add_row({"1st order (pTPNC block)", util::format_fixed(fc1, 2),
+                   util::format_fixed(slope1, 1)});
+  summary.add_row({"2nd order (SO-LF)", util::format_fixed(fc2, 2),
+                   util::format_fixed(slope2, 1)});
+  std::cout << "\n";
+  summary.print(std::cout);
+  std::cout << "\nAnalytic single-stage fc = 1/(2*pi*RC) = "
+            << util::format_fixed(analytic_fc, 2)
+            << " Hz. The SO-LF trades a lower effective cutoff for a "
+               "twice-as-steep roll-off (-40 vs -20 dB/decade) — the "
+               "\"sharper cutoff and better signal component separation\" "
+               "the paper motivates in Sec. III.\n";
+  return 0;
+}

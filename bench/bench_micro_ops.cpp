@@ -1,0 +1,120 @@
+// Micro-benchmarks of the computational substrate: tensor kernels,
+// autodiff forward/backward, filter steps and whole-model passes. Useful
+// for tracking performance regressions in the training stack that all
+// table harnesses sit on.
+
+#include <benchmark/benchmark.h>
+
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+
+namespace {
+
+using namespace pnc;
+
+ad::Tensor random_tensor(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ad::Tensor t(r, c);
+  for (auto& v : t.data()) v = rng.uniform(-1.0, 1.0);
+  return t;
+}
+
+void bm_matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ad::Tensor a = random_tensor(n, n, 1);
+  const ad::Tensor b = random_tensor(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ad::matmul(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_matmul)->Range(8, 256)->Complexity(benchmark::oNCubed);
+
+void bm_elementwise_graph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ad::Parameter p("p", random_tensor(n, n, 3));
+  for (auto _ : state) {
+    ad::Graph g;
+    ad::Var x = g.leaf(p);
+    ad::Var loss = ad::mean_all(ad::square(ad::tanh(x)));
+    g.backward(loss);
+    benchmark::DoNotOptimize(p.grad.data().data());
+    p.zero_grad();
+  }
+}
+BENCHMARK(bm_elementwise_graph)->Range(16, 128);
+
+void bm_softmax_ce(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  ad::Parameter logits("l", random_tensor(batch, 6, 5));
+  std::vector<int> labels(batch);
+  for (std::size_t i = 0; i < batch; ++i) labels[i] = static_cast<int>(i % 6);
+  for (auto _ : state) {
+    ad::Graph g;
+    ad::Var loss = ad::softmax_cross_entropy(g.leaf(logits), labels);
+    g.backward(loss);
+    benchmark::DoNotOptimize(logits.grad.data().data());
+    logits.zero_grad();
+  }
+}
+BENCHMARK(bm_softmax_ce)->Range(32, 512);
+
+void bm_filter_step(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  core::FilterLayer f("f", channels, core::FilterOrder::kSecond, 0.01, rng);
+  const ad::Tensor x = random_tensor(64, channels, 9);
+  for (auto _ : state) {
+    ad::Graph g;
+    util::Rng ri(0);
+    auto pass = f.begin(g, 64, variation::VariationSpec::none(), ri);
+    ad::Var input = g.constant(x);
+    ad::Var out;
+    for (int k = 0; k < 16; ++k) out = f.step(g, pass, input);
+    benchmark::DoNotOptimize(g.value(out).data().data());
+  }
+}
+BENCHMARK(bm_filter_step)->Range(2, 32);
+
+void bm_model_forward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  auto net = core::make_adapt_pnc(3, 0.01, 1, 9);
+  const ad::Tensor inputs = random_tensor(batch, 64, 11);
+  util::Rng rng(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net->predict(inputs, variation::VariationSpec::none(), rng));
+  }
+}
+BENCHMARK(bm_model_forward)->Range(16, 128)->Unit(benchmark::kMillisecond);
+
+void bm_model_backward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  auto net = core::make_adapt_pnc(3, 0.01, 1, 9);
+  const ad::Tensor inputs = random_tensor(batch, 64, 13);
+  std::vector<int> labels(batch);
+  for (std::size_t i = 0; i < batch; ++i) labels[i] = static_cast<int>(i % 3);
+  util::Rng rng(0);
+  for (auto _ : state) {
+    for (auto* p : net->parameters()) p->zero_grad();
+    ad::Graph g;
+    ad::Var logits =
+        net->forward(g, inputs, variation::VariationSpec::none(), rng);
+    g.backward(ad::softmax_cross_entropy(logits, labels));
+    benchmark::DoNotOptimize(net->parameters()[0]->grad.data().data());
+  }
+}
+BENCHMARK(bm_model_backward)->Range(16, 128)->Unit(benchmark::kMillisecond);
+
+void bm_variation_sampling(benchmark::State& state) {
+  util::Rng rng(17);
+  const variation::UniformVariation model(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(variation::sample_factors(model, 16, 16, rng));
+  }
+}
+BENCHMARK(bm_variation_sampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Ablation: manufacturing yield vs process quality.
+//
+// The paper's robustness story in fab terms: for a fixed accuracy
+// threshold, how many of the printed circuits coming off the line are
+// usable? We train the no-variation-aware pTPNC baseline and the
+// robustness-aware ADAPT-pNC on the same dataset and sweep the process
+// variation delta, reporting Monte-Carlo yield for both.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pnc/hardware/yield.hpp"
+#include "pnc/util/table.hpp"
+
+int main() {
+  using namespace pnc;
+
+  const std::string dataset = "GPMVF";
+  const std::vector<double> deltas = {0.0, 0.05, 0.10, 0.15, 0.20};
+
+  train::ExperimentSpec adapt_spec = train::adapt_spec(dataset);
+  bench::apply_scale(adapt_spec);
+
+  const data::Dataset ds = data::make_dataset(dataset, adapt_spec.data_seed,
+                                              adapt_spec.sequence_length);
+  const auto classes = static_cast<std::size_t>(ds.num_classes);
+
+  std::cerr << "[yield] training baseline...\n";
+  auto baseline = core::make_baseline_ptpnc(classes, ds.sample_period, 7);
+  train::TrainConfig plain = adapt_spec.train;
+  plain.train_variation = variation::VariationSpec::none();
+  plain.augmentation.reset();
+  (void)train::train(*baseline, ds, plain);
+
+  std::cerr << "[yield] training ADAPT-pNC...\n";
+  auto adapt = core::make_adapt_pnc(classes, ds.sample_period, 7,
+                                    adapt_spec.hidden_cap);
+  (void)train::train(*adapt, ds, adapt_spec.train);
+
+  hardware::YieldConfig config;
+  config.num_circuits = bench::quick_mode() ? 10 : 40;
+  config.accuracy_threshold = 0.7;  // application requirement (2 classes)
+
+  const auto base_curve =
+      hardware::yield_vs_variation(*baseline, ds.test, deltas, config);
+  const auto adapt_curve =
+      hardware::yield_vs_variation(*adapt, ds.test, deltas, config);
+
+  util::Table table({"delta", "pTPNC yield", "pTPNC mean acc",
+                     "ADAPT yield", "ADAPT mean acc"});
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    table.add_row({util::format_fixed(deltas[i] * 100.0, 0) + "%",
+                   util::format_fixed(base_curve[i].yield, 2),
+                   util::format_fixed(base_curve[i].mean_accuracy, 3),
+                   util::format_fixed(adapt_curve[i].yield, 2),
+                   util::format_fixed(adapt_curve[i].mean_accuracy, 3)});
+  }
+
+  std::cout << "\nManufacturing yield vs process variation on " << dataset
+            << " (accuracy threshold "
+            << util::format_fixed(config.accuracy_threshold, 2) << ", "
+            << config.num_circuits << " Monte-Carlo fabrications)\n\n";
+  table.print(std::cout);
+  table.write_csv("yield_analysis.csv");
+  std::cout << "\nExpected shape: both start high at delta = 0; the "
+               "no-variation-aware baseline's yield collapses as delta "
+               "grows while the VA-trained ADAPT-pNC degrades gracefully.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Smart-packaging design flow (Fig. 1 application): from a trained
+// ADAPT-pNC to a manufacturable printed circuit.
+//
+// A disposable smart package monitors a temperature-abuse profile of a
+// perishable good and must classify "cold chain intact" vs "abused". This
+// example walks the full printed-electronics flow:
+//   train -> inspect learned component values -> export crossbar columns
+//   -> cross-check against the MNA circuit simulator -> device & power
+//   budget for the printed label.
+
+#include <iostream>
+
+#include "pnc/circuit/netlists.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/data/dataset.hpp"
+#include "pnc/hardware/cost_model.hpp"
+#include "pnc/train/trainer.hpp"
+#include "pnc/util/table.hpp"
+
+int main() {
+  using namespace pnc;
+
+  // FRT's freezer power-draw profiles stand in for the cold-chain signal.
+  const data::Dataset ds = data::make_dataset("FRT", 42);
+  std::cout << "Cold-chain monitor: " << ds.train.size()
+            << " training profiles, " << ds.num_classes << " classes\n";
+
+  auto model = core::make_adapt_pnc(static_cast<std::size_t>(ds.num_classes),
+                                    ds.sample_period, 1);
+  train::TrainConfig config;
+  config.max_epochs = 100;
+  config.patience = 12;
+  config.train_variation = variation::VariationSpec::printing(0.10, 3);
+  const train::TrainResult tr = train::train(*model, ds, config);
+  util::Rng rng(5);
+  std::cout << "Trained " << tr.epochs_run << " epochs; clean test accuracy "
+            << util::format_fixed(
+                   train::evaluate_accuracy(
+                       *model, ds.test, variation::VariationSpec::none(), rng),
+                   3)
+            << "\n\n";
+
+  // ---- Printed component report ------------------------------------------
+  std::cout << "Learned printable components (layer 2, output crossbar):\n";
+  const auto& xbar = model->layer2().crossbar();
+  for (std::size_t j = 0; j < xbar.n_out(); ++j) {
+    const circuit::CrossbarColumn col = xbar.export_column(j, 1e6);
+    std::cout << "  column " << j << ": " << col.resistor_count()
+              << " resistors, " << col.inverter_count()
+              << " inverters, realized bias "
+              << util::format_fixed(col.bias(), 3) << "\n";
+    for (std::size_t i = 0; i < std::min<std::size_t>(col.conductances.size(), 3);
+         ++i) {
+      std::cout << "    w" << i << " -> "
+                << circuit::format_resistance(1.0 / col.conductances[i])
+                << (col.signs[i] < 0 ? " (through inverter)" : "") << "\n";
+    }
+  }
+
+  // ---- Sign-off: exported circuit vs trained model -----------------------
+  // Simulate the exported output column with the MNA solver and compare to
+  // the model's own weights for a probe input.
+  const std::vector<double> probe(xbar.n_in(), 0.3);
+  const circuit::CrossbarColumn col = xbar.export_column(0, 1e6);
+  std::vector<double> signed_probe(probe.size());
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    signed_probe[i] = static_cast<double>(col.signs[i]) * probe[i];
+  }
+  const circuit::CrossbarNetlist net = circuit::build_crossbar_netlist(
+      signed_probe, col.conductances, col.bias_conductance,
+      col.pulldown_conductance, static_cast<double>(col.bias_sign));
+  const auto v = circuit::MnaSolver(net.netlist).solve_dc();
+  std::cout << "\nSign-off check, output column 0: circuit simulation "
+            << util::format_fixed(v[static_cast<std::size_t>(net.output_node)], 6)
+            << " V vs model " << util::format_fixed(col.output(probe), 6)
+            << " V\n";
+
+  // ---- Manufacturing budget ----------------------------------------------
+  const hardware::DeviceCounts devices = hardware::count_devices(*model);
+  const hardware::PowerBreakdown power =
+      hardware::estimate_power(*model, hardware::adapt_pnc_style());
+  util::Table budget({"Metric", "Value"});
+  budget.add_row({"Transistors", std::to_string(devices.transistors)});
+  budget.add_row({"Resistors", std::to_string(devices.resistors)});
+  budget.add_row({"Capacitors", std::to_string(devices.capacitors)});
+  budget.add_row({"Total devices", std::to_string(devices.total())});
+  budget.add_row({"Static power",
+                  util::format_fixed(power.total() * 1e3, 3) + " mW"});
+  budget.add_row({"  crossbars",
+                  util::format_fixed(power.crossbar * 1e3, 3) + " mW"});
+  budget.add_row({"  inverters",
+                  util::format_fixed(power.inverters * 1e3, 3) + " mW"});
+  budget.add_row({"  activations",
+                  util::format_fixed(power.ptanh * 1e3, 3) + " mW"});
+  const hardware::EnergyEstimate energy = hardware::estimate_inference_energy(
+      *model, hardware::adapt_pnc_style(), ds.sample_period, ds.length);
+  budget.add_row({"Energy / inference",
+                  util::format_fixed(energy.total() * 1e6, 2) + " uJ (" +
+                      util::format_fixed(energy.dynamic_joules * 1e6, 2) +
+                      " uJ dynamic)"});
+  std::cout << "\nPrinted label budget:\n";
+  budget.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Real-archive pipeline: how to run ADAPT-pNC on the actual UCR Time
+// Series Classification Archive.
+//
+//   ./ucr_pipeline <TRAIN.tsv> <TEST.tsv> [name]
+//
+// loads the archive pair with data::make_ucr_dataset and runs the paper's
+// protocol on it. Invoked without arguments the example stays
+// self-contained: it writes a small synthetic archive pair to /tmp in the
+// UCR file format, then exercises exactly the same code path.
+
+#include <fstream>
+#include <iostream>
+
+#include "pnc/augment/augment.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/data/signals.hpp"
+#include "pnc/data/ucr_io.hpp"
+#include "pnc/train/trainer.hpp"
+#include "pnc/util/table.hpp"
+
+namespace {
+
+using namespace pnc;
+
+/// Write a toy two-class archive pair in the UCR TSV format.
+void write_toy_archive(const std::string& train_path,
+                       const std::string& test_path) {
+  util::Rng rng(17);
+  for (const auto& [path, count] :
+       {std::pair{train_path, 60}, std::pair{test_path, 40}}) {
+    std::ofstream f(path);
+    for (int i = 0; i < count; ++i) {
+      const int label = i % 2 + 1;  // UCR-style 1-based labels
+      std::vector<double> x(96, 0.0);
+      if (label == 1) {
+        data::add_bump(x, 0.35, 0.08, 1.0);
+      } else {
+        data::add_bump(x, 0.65, 0.08, 1.0);
+      }
+      data::add_noise(x, 0.15, rng);
+      f << label;
+      for (double v : x) f << '\t' << v;
+      f << '\n';
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string train_path, test_path, name;
+  if (argc >= 3) {
+    train_path = argv[1];
+    test_path = argv[2];
+    name = argc >= 4 ? argv[3] : "UCR";
+  } else {
+    train_path = "/tmp/pnc_toy_TRAIN.tsv";
+    test_path = "/tmp/pnc_toy_TEST.tsv";
+    name = "ToyArchive";
+    write_toy_archive(train_path, test_path);
+    std::cout << "(no archive paths given: using a generated toy archive "
+                 "in the UCR format)\n";
+  }
+
+  const data::Dataset ds =
+      data::make_ucr_dataset(name, train_path, test_path, /*seed=*/42);
+  std::cout << "Loaded " << ds.name << ": "
+            << ds.train.size() + ds.validation.size() + ds.test.size()
+            << " series, " << ds.num_classes << " classes, resized to "
+            << ds.length << " samples\n";
+
+  auto model = core::make_adapt_pnc(static_cast<std::size_t>(ds.num_classes),
+                                    ds.sample_period, 1, /*hidden_cap=*/9);
+  train::TrainConfig config;
+  config.max_epochs = 120;
+  config.patience = 15;
+  config.train_variation = variation::VariationSpec::printing(0.10, 3);
+  config.augmentation = augment::AugmentConfig{};
+  const train::TrainResult result = train::train(*model, ds, config);
+
+  util::Rng rng(3);
+  const augment::Augmenter augmenter{augment::AugmentConfig{}};
+  const data::Split perturbed = augmenter.augment_split(ds.test, rng, true);
+  std::cout << "Trained " << result.epochs_run << " epochs.\n"
+            << "Clean test accuracy:  "
+            << util::format_fixed(
+                   train::evaluate_accuracy(
+                       *model, ds.test, variation::VariationSpec::none(), rng),
+                   3)
+            << "\nRobust test accuracy (10% variation + perturbed inputs): "
+            << util::format_fixed(
+                   train::evaluate_accuracy(
+                       *model, perturbed,
+                       variation::VariationSpec::printing(0.10), rng, 5),
+                   3)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "pnc/augment/augment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pnc/augment/fft.hpp"
+#include "pnc/data/signals.hpp"
+
+namespace pnc::augment {
+
+std::vector<double> jitter(const std::vector<double>& x, double sigma,
+                           util::Rng& rng) {
+  std::vector<double> out = x;
+  for (auto& v : out) v += rng.normal(0.0, sigma);
+  return out;
+}
+
+std::vector<double> magnitude_scale(const std::vector<double>& x, double sigma,
+                                    util::Rng& rng) {
+  const double factor = std::max(rng.normal(1.0, sigma), 0.05);
+  std::vector<double> out = x;
+  for (auto& v : out) v *= factor;
+  return out;
+}
+
+std::vector<double> time_warp(const std::vector<double>& x, int knots,
+                              double strength, util::Rng& rng) {
+  if (x.size() < 2) return x;
+  if (knots < 1) throw std::invalid_argument("time_warp: knots must be >= 1");
+  if (strength < 0.0 || strength >= 1.0) {
+    throw std::invalid_argument("time_warp: strength must be in [0, 1)");
+  }
+  // Random positive segment speeds, smooth-interpolated, integrated into a
+  // monotone warp t -> w(t) with w(0)=0, w(1)=1.
+  std::vector<double> speeds(static_cast<std::size_t>(knots) + 1);
+  for (auto& s : speeds) s = 1.0 + strength * rng.uniform(-1.0, 1.0);
+
+  const std::size_t n = x.size();
+  std::vector<double> warped_pos(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    const double kpos = t * static_cast<double>(knots);
+    const auto k = std::min(static_cast<std::size_t>(kpos), speeds.size() - 2);
+    const double frac = kpos - static_cast<double>(k);
+    const double speed = speeds[k] * (1.0 - frac) + speeds[k + 1] * frac;
+    if (i > 0) acc += speed;
+    warped_pos[i] = acc;
+  }
+  const double total = warped_pos.back();
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double src =
+        warped_pos[i] / total * static_cast<double>(n - 1);
+    const auto lo = std::min(static_cast<std::size_t>(src), n - 2);
+    const double frac = src - static_cast<double>(lo);
+    out[i] = x[lo] * (1.0 - frac) + x[lo + 1] * frac;
+  }
+  return out;
+}
+
+std::vector<double> random_crop(const std::vector<double>& x,
+                                double keep_ratio, util::Rng& rng) {
+  if (keep_ratio <= 0.0 || keep_ratio > 1.0) {
+    throw std::invalid_argument("random_crop: keep_ratio must be in (0, 1]");
+  }
+  const std::size_t n = x.size();
+  const auto keep = std::max<std::size_t>(
+      2, static_cast<std::size_t>(static_cast<double>(n) * keep_ratio));
+  if (keep >= n) return x;
+  const auto start = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n - keep)));
+  const std::vector<double> window(x.begin() + static_cast<std::ptrdiff_t>(start),
+                                   x.begin() + static_cast<std::ptrdiff_t>(start + keep));
+  return data::resample(window, n);
+}
+
+std::vector<double> frequency_noise(const std::vector<double>& x, double sigma,
+                                    double fraction, util::Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("frequency_noise: fraction must be in [0, 1]");
+  }
+  auto spectrum = rfft(x);
+  const std::size_t n = spectrum.size();
+  // Average magnitude sets the absolute noise scale so quiet signals are
+  // not drowned and loud signals are actually perturbed.
+  double mag_mean = 0.0;
+  for (const auto& c : spectrum) mag_mean += std::abs(c);
+  mag_mean /= static_cast<double>(n);
+  // Perturb only the lower half (bins above n/2 are the mirror image).
+  for (std::size_t k = 1; k <= n / 2; ++k) {
+    if (!rng.bernoulli(fraction)) continue;
+    spectrum[k] += std::complex<double>(rng.normal(0.0, sigma * mag_mean),
+                                        rng.normal(0.0, sigma * mag_mean));
+  }
+  make_conjugate_symmetric(spectrum);
+  return irfft(std::move(spectrum), x.size());
+}
+
+Augmenter::Augmenter(AugmentConfig config) : config_(config) {
+  if (config_.op_probability < 0.0 || config_.op_probability > 1.0) {
+    throw std::invalid_argument("Augmenter: op_probability must be in [0, 1]");
+  }
+}
+
+std::vector<double> Augmenter::augment(const std::vector<double>& x,
+                                       util::Rng& rng) const {
+  std::vector<double> out = x;
+  const AugmentConfig& c = config_;
+  if (c.enable_warping && rng.bernoulli(c.op_probability)) {
+    out = time_warp(out, c.warp_knots, c.warp_strength, rng);
+  }
+  if (c.enable_cropping && rng.bernoulli(c.op_probability)) {
+    out = random_crop(out, c.crop_keep_ratio, rng);
+  }
+  if (c.enable_frequency && rng.bernoulli(c.op_probability)) {
+    out = frequency_noise(out, c.freq_noise_sigma, c.freq_fraction, rng);
+  }
+  if (c.enable_scaling && rng.bernoulli(c.op_probability)) {
+    out = magnitude_scale(out, c.scale_sigma, rng);
+  }
+  if (c.enable_jitter && rng.bernoulli(c.op_probability)) {
+    out = jitter(out, c.jitter_sigma, rng);
+  }
+  return out;
+}
+
+data::Split Augmenter::augment_split(const data::Split& split, util::Rng& rng,
+                                     bool include_original) const {
+  const std::size_t b = split.size();
+  const std::size_t t = split.length();
+  const std::size_t rows = include_original ? 2 * b : b;
+  data::Split out;
+  out.inputs = ad::Tensor(rows, t);
+  out.labels.reserve(rows);
+
+  std::size_t row = 0;
+  if (include_original) {
+    for (std::size_t r = 0; r < b; ++r, ++row) {
+      for (std::size_t c = 0; c < t; ++c) {
+        out.inputs(row, c) = split.inputs(r, c);
+      }
+      out.labels.push_back(split.labels[r]);
+    }
+  }
+  std::vector<double> buffer(t);
+  for (std::size_t r = 0; r < b; ++r, ++row) {
+    for (std::size_t c = 0; c < t; ++c) buffer[c] = split.inputs(r, c);
+    const std::vector<double> aug = augment(buffer, rng);
+    for (std::size_t c = 0; c < t; ++c) out.inputs(row, c) = aug[c];
+    out.labels.push_back(split.labels[r]);
+  }
+  return out;
+}
+
+std::vector<std::string> augmentation_names() {
+  return {"jitter", "time_warp", "magnitude_scale", "random_crop",
+          "frequency_noise"};
+}
+
+std::vector<double> apply_named(const std::string& name,
+                                const std::vector<double>& x,
+                                const AugmentConfig& config, util::Rng& rng) {
+  if (name == "jitter") return jitter(x, config.jitter_sigma, rng);
+  if (name == "time_warp") {
+    return time_warp(x, config.warp_knots, config.warp_strength, rng);
+  }
+  if (name == "magnitude_scale") {
+    return magnitude_scale(x, config.scale_sigma, rng);
+  }
+  if (name == "random_crop") return random_crop(x, config.crop_keep_ratio, rng);
+  if (name == "frequency_noise") {
+    return frequency_noise(x, config.freq_noise_sigma, config.freq_fraction,
+                           rng);
+  }
+  throw std::out_of_range("apply_named: unknown augmentation '" + name + "'");
+}
+
+}  // namespace pnc::augment

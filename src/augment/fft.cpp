@@ -1,0 +1,75 @@
+#include "pnc/augment/fft.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace pnc::augment {
+
+void fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a nonzero power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<std::complex<double>> rfft(const std::vector<double>& x) {
+  if (x.empty()) throw std::invalid_argument("rfft: empty input");
+  std::vector<std::complex<double>> a(next_pow2(x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) a[i] = x[i];
+  fft(a, /*inverse=*/false);
+  return a;
+}
+
+std::vector<double> irfft(std::vector<std::complex<double>> spectrum,
+                          std::size_t length) {
+  fft(spectrum, /*inverse=*/true);
+  if (length > spectrum.size()) {
+    throw std::invalid_argument("irfft: length exceeds spectrum size");
+  }
+  std::vector<double> out(length);
+  for (std::size_t i = 0; i < length; ++i) out[i] = spectrum[i].real();
+  return out;
+}
+
+void make_conjugate_symmetric(std::vector<std::complex<double>>& spectrum) {
+  const std::size_t n = spectrum.size();
+  if (n == 0) return;
+  spectrum[0] = {spectrum[0].real(), 0.0};
+  if (n % 2 == 0) spectrum[n / 2] = {spectrum[n / 2].real(), 0.0};
+  for (std::size_t k = 1; k < (n + 1) / 2; ++k) {
+    spectrum[n - k] = std::conj(spectrum[k]);
+  }
+}
+
+}  // namespace pnc::augment

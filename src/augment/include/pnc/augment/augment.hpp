@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/data/dataset.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::augment {
+
+/// The five tsaug-style time-series augmentations of Sec. III-B. All
+/// operators preserve the series length (cropping resizes back), so
+/// augmented data can be mixed with the originals in one batch.
+
+/// Additive i.i.d. Gaussian noise — "sensor inaccuracies".
+std::vector<double> jitter(const std::vector<double>& x, double sigma,
+                           util::Rng& rng);
+
+/// Multiply the whole series by a random factor ~ N(1, sigma) — "changes
+/// in sensor readings".
+std::vector<double> magnitude_scale(const std::vector<double>& x, double sigma,
+                                    util::Rng& rng);
+
+/// Smooth monotonic time warp with `knots` random anchor speeds of
+/// strength `strength` (0 = identity) — "alter the temporal dynamics".
+std::vector<double> time_warp(const std::vector<double>& x, int knots,
+                              double strength, util::Rng& rng);
+
+/// Keep a random contiguous window of `keep_ratio` of the series and
+/// stretch it back to full length — "partial data availability".
+std::vector<double> random_crop(const std::vector<double>& x,
+                                double keep_ratio, util::Rng& rng);
+
+/// Perturb a random `fraction` of FFT bins with complex Gaussian noise of
+/// relative magnitude `sigma` — "signal distortions".
+std::vector<double> frequency_noise(const std::vector<double>& x, double sigma,
+                                    double fraction, util::Rng& rng);
+
+/// Per-dataset augmentation strengths (the quantities the paper tunes with
+/// Ray Tune; tuned here by train/tuner.hpp).
+struct AugmentConfig {
+  bool enable_jitter = true;
+  bool enable_scaling = true;
+  bool enable_warping = true;
+  bool enable_cropping = true;
+  bool enable_frequency = true;
+
+  double jitter_sigma = 0.05;
+  double scale_sigma = 0.10;
+  int warp_knots = 4;
+  double warp_strength = 0.20;
+  double crop_keep_ratio = 0.90;
+  double freq_noise_sigma = 0.10;
+  double freq_fraction = 0.30;
+
+  /// Probability that each enabled operator is applied to a given series.
+  double op_probability = 0.5;
+};
+
+/// Applies a random subset of the configured operators to each series.
+class Augmenter {
+ public:
+  explicit Augmenter(AugmentConfig config);
+
+  const AugmentConfig& config() const { return config_; }
+
+  std::vector<double> augment(const std::vector<double>& x,
+                              util::Rng& rng) const;
+
+  /// Augment every row of a split. With `include_original`, the result
+  /// holds the original rows followed by one augmented copy each (the
+  /// paper combines augmented with unaugmented data for training,
+  /// validation and testing).
+  data::Split augment_split(const data::Split& split, util::Rng& rng,
+                            bool include_original) const;
+
+ private:
+  AugmentConfig config_;
+};
+
+/// Name -> operator application, for the Fig. 6 harness.
+std::vector<std::string> augmentation_names();
+std::vector<double> apply_named(const std::string& name,
+                                const std::vector<double>& x,
+                                const AugmentConfig& config, util::Rng& rng);
+
+}  // namespace pnc::augment

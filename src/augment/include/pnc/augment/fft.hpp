@@ -1,0 +1,29 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace pnc::augment {
+
+/// In-place iterative radix-2 FFT. Size must be a power of two.
+/// `inverse` applies the conjugate transform and 1/N scaling.
+void fft(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Next power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum (padded length).
+std::vector<std::complex<double>> rfft(const std::vector<double>& x);
+
+/// Inverse of rfft: complex spectrum back to `length` real samples
+/// (imaginary residue is discarded; it is ~0 for conjugate-symmetric
+/// spectra).
+std::vector<double> irfft(std::vector<std::complex<double>> spectrum,
+                          std::size_t length);
+
+/// Enforce conjugate symmetry X[N-k] = conj(X[k]) so the inverse transform
+/// of an edited spectrum is real.
+void make_conjugate_symmetric(std::vector<std::complex<double>>& spectrum);
+
+}  // namespace pnc::augment

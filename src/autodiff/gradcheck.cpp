@@ -1,0 +1,59 @@
+#include "pnc/autodiff/gradcheck.hpp"
+
+#include <cmath>
+
+namespace pnc::ad {
+
+GradCheckResult check_gradients(
+    const std::function<double(Graph&)>& loss_fn,
+    const std::vector<Parameter*>& params, double epsilon, double tolerance) {
+  GradCheckResult result;
+
+  // Contract: loss_fn builds the graph, runs Graph::backward on its loss
+  // node (so parameter grads accumulate), and returns the loss value.
+  for (Parameter* p : params) p->zero_grad();
+  {
+    Graph g;
+    (void)loss_fn(g);
+  }
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Parameter* p : params) analytic.push_back(p->grad);
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter& p = *params[pi];
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      const double saved = p.value.data()[i];
+
+      p.value.data()[i] = saved + epsilon;
+      double plus;
+      {
+        Graph g;
+        plus = loss_fn(g);
+      }
+      p.value.data()[i] = saved - epsilon;
+      double minus;
+      {
+        Graph g;
+        minus = loss_fn(g);
+      }
+      p.value.data()[i] = saved;
+
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double exact = analytic[pi].data()[i];
+      const double abs_err = std::abs(numeric - exact);
+      const double denom = std::max(std::abs(numeric), std::abs(exact));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      if (denom > 0.1) {
+        result.max_rel_error =
+            std::max(result.max_rel_error, abs_err / denom);
+      }
+    }
+  }
+
+  result.passed = result.max_abs_error < tolerance ||
+                  result.max_rel_error < tolerance;
+  return result;
+}
+
+}  // namespace pnc::ad

@@ -1,0 +1,105 @@
+#include "pnc/autodiff/graph.hpp"
+
+#include <stdexcept>
+
+namespace pnc::ad {
+
+const Tensor& Var::value() const {
+  if (!graph_) throw std::logic_error("Var::value() on invalid Var");
+  return graph_->value(*this);
+}
+
+Var Graph::constant(Tensor value) {
+  NodeRecord n;
+  n.value = std::move(value);
+  n.requires_grad = false;
+  nodes_.push_back(std::move(n));
+  return Var(this, static_cast<std::uint32_t>(nodes_.size() - 1));
+}
+
+Var Graph::leaf(Parameter& p) {
+  NodeRecord n;
+  n.value = p.value;  // copy: variation sampling may perturb the graph copy
+  n.param = &p;
+  n.requires_grad = true;
+  nodes_.push_back(std::move(n));
+  return Var(this, static_cast<std::uint32_t>(nodes_.size() - 1));
+}
+
+Var Graph::node(Tensor value, std::vector<Var> parents) {
+  bool needs = false;
+  for (const Var& p : parents) {
+    if (p.graph() != this) {
+      throw std::logic_error("Graph::node: parent from a different graph");
+    }
+    if (p.index() >= nodes_.size()) {
+      throw std::logic_error("Graph::node: parent index out of range");
+    }
+    needs = needs || nodes_[p.index()].requires_grad;
+  }
+  NodeRecord n;
+  n.value = std::move(value);
+  n.requires_grad = needs;
+  nodes_.push_back(std::move(n));
+  return Var(this, static_cast<std::uint32_t>(nodes_.size() - 1));
+}
+
+void Graph::set_backward(Var v, BackwardFn backward) {
+  NodeRecord& n = record(v);
+  if (n.requires_grad) n.backward = std::move(backward);
+}
+
+void Graph::backward(Var loss) {
+  if (loss.graph() != this) {
+    throw std::logic_error("Graph::backward: loss from a different graph");
+  }
+  NodeRecord& top = record(loss);
+  if (!top.value.is_scalar()) {
+    throw std::logic_error("Graph::backward: loss must be scalar, got " +
+                           top.value.shape_string());
+  }
+  if (!top.requires_grad) return;  // nothing trainable in the graph
+  ensure_grad(top);
+  top.grad.fill(1.0);
+
+  for (std::size_t i = loss.index() + 1; i-- > 0;) {
+    NodeRecord& n = nodes_[i];
+    if (!n.requires_grad || !n.grad_ready) continue;
+    if (n.backward) n.backward(*this);
+    if (n.param) n.param->grad += n.grad;
+  }
+}
+
+const Tensor& Graph::value(Var v) const { return record(v).value; }
+
+Tensor& Graph::mutable_value(Var v) { return record(v).value; }
+
+Tensor& Graph::grad(Var v) {
+  NodeRecord& n = record(v);
+  ensure_grad(n);
+  return n.grad;
+}
+
+bool Graph::requires_grad(Var v) const { return record(v).requires_grad; }
+
+void Graph::clear() { nodes_.clear(); }
+
+Graph::NodeRecord& Graph::record(Var v) {
+  if (v.index() >= nodes_.size()) {
+    throw std::out_of_range("Graph: node index out of range");
+  }
+  return nodes_[v.index()];
+}
+
+const Graph::NodeRecord& Graph::record(Var v) const {
+  return const_cast<Graph*>(this)->record(v);
+}
+
+void Graph::ensure_grad(NodeRecord& n) {
+  if (!n.grad_ready) {
+    n.grad = Tensor(n.value.rows(), n.value.cols());
+    n.grad_ready = true;
+  }
+}
+
+}  // namespace pnc::ad

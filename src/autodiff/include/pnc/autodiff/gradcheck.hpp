@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pnc/autodiff/graph.hpp"
+
+namespace pnc::ad {
+
+/// Result of comparing analytic against numeric gradients.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool passed = false;
+};
+
+/// Compare reverse-mode gradients of `loss_fn` against central finite
+/// differences over every element of every parameter.
+///
+/// `loss_fn` must, on each call: build its computation in the supplied
+/// fresh graph, bind the given parameters with Graph::leaf(), run
+/// Graph::backward on the scalar loss node, and return the loss value.
+/// It must be a deterministic function of the parameter values (fix any
+/// RNG seeds inside). `epsilon` is the FD step; the check passes when
+/// either the max absolute error or the max relative error (taken where
+/// the gradient magnitude exceeds 0.1) is below `tolerance`.
+GradCheckResult check_gradients(
+    const std::function<double(Graph&)>& loss_fn,
+    const std::vector<Parameter*>& params, double epsilon = 1e-6,
+    double tolerance = 1e-4);
+
+}  // namespace pnc::ad

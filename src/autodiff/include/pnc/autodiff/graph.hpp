@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pnc/autodiff/tensor.hpp"
+
+namespace pnc::ad {
+
+class Graph;
+
+/// Trainable parameter: value plus accumulated gradient.
+///
+/// Parameters are owned by model modules and outlive any single forward
+/// pass; each pass binds them into a fresh Graph with Graph::leaf(), and
+/// Graph::backward() accumulates into `grad`.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.zero(); }
+  std::size_t size() const { return value.size(); }
+};
+
+/// Lightweight handle to a node in a Graph tape.
+class Var {
+ public:
+  Var() = default;
+  Var(Graph* graph, std::uint32_t index) : graph_(graph), index_(index) {}
+
+  bool valid() const { return graph_ != nullptr; }
+  Graph* graph() const { return graph_; }
+  std::uint32_t index() const { return index_; }
+
+  /// Shape / value access (forwarded to the owning graph).
+  const Tensor& value() const;
+  std::size_t rows() const { return value().rows(); }
+  std::size_t cols() const { return value().cols(); }
+
+ private:
+  Graph* graph_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// Dynamic reverse-mode autodiff tape.
+///
+/// Nodes are appended in execution order during the forward pass; backward()
+/// walks the tape in reverse, so topological order is free. One Graph is
+/// built per forward/backward round and then discarded (parameters persist
+/// outside the graph).
+class Graph {
+ public:
+  /// Backward function of a node: reads this node's grad, accumulates into
+  /// parent grads (all accessed through the graph).
+  using BackwardFn = std::function<void(Graph&)>;
+
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Leaf with no gradient tracking (inputs, constants).
+  Var constant(Tensor value);
+
+  /// Leaf bound to a parameter: backward() adds the node grad to p.grad.
+  Var leaf(Parameter& p);
+
+  /// Interior node. `requires_grad` is inferred from parents. Attach the
+  /// backward function afterwards with set_backward() so the lambda can
+  /// capture the returned Var (its own handle).
+  Var node(Tensor value, std::vector<Var> parents);
+
+  /// Install the backward function of `v` (no-op if v does not require
+  /// grad, so ops can attach unconditionally).
+  void set_backward(Var v, BackwardFn backward);
+
+  /// Run reverse-mode accumulation from a scalar (1x1) loss node.
+  void backward(Var loss);
+
+  const Tensor& value(Var v) const;
+  Tensor& mutable_value(Var v);
+  Tensor& grad(Var v);
+  bool requires_grad(Var v) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Drop all nodes (keeps capacity for the next pass).
+  void clear();
+
+ private:
+  struct NodeRecord {
+    Tensor value;
+    Tensor grad;
+    Parameter* param = nullptr;
+    BackwardFn backward;
+    bool requires_grad = false;
+    bool grad_ready = false;  // grad tensor allocated
+  };
+
+  NodeRecord& record(Var v);
+  const NodeRecord& record(Var v) const;
+  void ensure_grad(NodeRecord& n);
+
+  std::vector<NodeRecord> nodes_;
+};
+
+}  // namespace pnc::ad

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <vector>
+
+#include "pnc/autodiff/graph.hpp"
+
+namespace pnc::ad {
+
+/// Differentiable operations on tape Vars.
+///
+/// Binary elementwise ops broadcast: shapes must match per dimension or one
+/// operand's dimension must be 1 (row-vector over batch, column-vector over
+/// features, or (1,1) scalar). Gradients are reduced back over broadcast
+/// dimensions.
+
+// ---- arithmetic -----------------------------------------------------------
+Var add(Var a, Var b);
+Var sub(Var a, Var b);
+Var mul(Var a, Var b);
+Var div(Var a, Var b);
+Var neg(Var a);
+Var scale(Var a, double s);
+Var add_scalar(Var a, double s);
+
+// ---- linear algebra -------------------------------------------------------
+Var matmul(Var a, Var b);
+Var transpose(Var a);
+
+// ---- elementwise nonlinearities -------------------------------------------
+Var tanh(Var a);
+Var sigmoid(Var a);
+Var relu(Var a);
+Var exp(Var a);
+Var log(Var a);       // domain-guarded: clamps input to >= 1e-300 in backward
+Var abs(Var a);       // subgradient 0 at 0
+Var square(Var a);
+Var sqrt(Var a);
+Var reciprocal(Var a);
+Var softplus(Var a);
+
+// ---- reductions -----------------------------------------------------------
+Var sum_rows(Var a);  // (B,N) -> (1,N), sum over the batch dimension
+Var sum_cols(Var a);  // (B,N) -> (B,1), sum over the feature dimension
+Var sum_all(Var a);   // -> (1,1)
+Var mean_all(Var a);  // -> (1,1)
+
+// ---- shape ------------------------------------------------------------
+Var concat_cols(const std::vector<Var>& parts);
+Var slice_cols(Var a, std::size_t begin, std::size_t count);
+
+/// Repeat a (1,N) row `rows` times into an (rows,N) matrix.
+Var broadcast_rows(Var row, std::size_t rows);
+
+// ---- losses -----------------------------------------------------------
+/// Mean softmax cross-entropy over the batch. `logits` is (B,C); `labels`
+/// holds B class indices in [0, C).
+Var softmax_cross_entropy(Var logits, const std::vector<int>& labels);
+
+/// Mean squared error between (B,N) prediction and same-shape target.
+Var mse(Var prediction, Var target);
+
+/// Row-wise softmax probabilities (forward use only in metrics; still
+/// differentiable).
+Var softmax_rows(Var logits);
+
+// ---- non-graph helpers ------------------------------------------------
+/// Argmax per row of a (B,C) tensor.
+std::vector<int> argmax_rows(const Tensor& t);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace pnc::ad

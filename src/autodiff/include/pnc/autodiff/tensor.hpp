@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pnc::ad {
+
+/// Dense 2-D row-major matrix of doubles.
+///
+/// This is the single numeric container used by the autodiff tape, the
+/// circuit models, and the trainers. Shapes are (rows, cols); a "row vector"
+/// (1, n) broadcasts over the batch dimension in binary ops (see ops.hpp),
+/// and a (1, 1) tensor acts as a scalar.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-filled (rows x cols).
+  Tensor(std::size_t rows, std::size_t cols);
+
+  /// Filled with `fill`.
+  Tensor(std::size_t rows, std::size_t cols, double fill);
+
+  /// From explicit data (size must be rows*cols).
+  Tensor(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  static Tensor scalar(double value);
+  static Tensor row(std::vector<double> values);
+  static Tensor column(std::vector<double> values);
+  static Tensor identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+  bool is_scalar() const { return rows_ == 1 && cols_ == 1; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Value of a (1,1) tensor; throws otherwise.
+  double item() const;
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  void fill(double value);
+  void zero() { fill(0.0); }
+
+  /// In-place accumulate (shapes must match).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator*=(double scalar);
+
+  /// Elementwise map into a new tensor.
+  Tensor map(const std::function<double(double)>& f) const;
+
+  Tensor transposed() const;
+
+  /// Frobenius-style reductions.
+  double sum() const;
+  double abs_max() const;
+
+  /// Human-readable shape like "(3x4)".
+  std::string shape_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix product (a.rows x b.cols); throws on inner-dim mismatch.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Max |a - b| over all elements; throws on shape mismatch.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace pnc::ad

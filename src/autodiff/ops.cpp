@@ -1,0 +1,506 @@
+#include "pnc/autodiff/ops.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace pnc::ad {
+
+namespace {
+
+Graph& graph_of(Var a) {
+  if (!a.valid()) throw std::logic_error("op on invalid Var");
+  return *a.graph();
+}
+
+Graph& common_graph(Var a, Var b) {
+  Graph& g = graph_of(a);
+  if (b.graph() != &g) {
+    throw std::logic_error("op on Vars from different graphs");
+  }
+  return g;
+}
+
+struct BroadcastShape {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+BroadcastShape broadcast_shape(const Tensor& a, const Tensor& b,
+                               const char* op) {
+  auto merge = [&](std::size_t x, std::size_t y) {
+    if (x == y || y == 1) return x;
+    if (x == 1) return y;
+    throw std::invalid_argument(std::string(op) + ": incompatible shapes " +
+                                a.shape_string() + " vs " + b.shape_string());
+  };
+  return {merge(a.rows(), b.rows()), merge(a.cols(), b.cols())};
+}
+
+double bcast_get(const Tensor& t, std::size_t r, std::size_t c) {
+  return t(t.rows() == 1 ? 0 : r, t.cols() == 1 ? 0 : c);
+}
+
+/// Accumulate `g_out` (full broadcast shape) into `g_in` (operand shape),
+/// summing over dimensions the operand broadcast along.
+void reduce_into(Tensor& g_in, const Tensor& g_out) {
+  for (std::size_t r = 0; r < g_out.rows(); ++r) {
+    for (std::size_t c = 0; c < g_out.cols(); ++c) {
+      g_in(g_in.rows() == 1 ? 0 : r, g_in.cols() == 1 ? 0 : c) += g_out(r, c);
+    }
+  }
+}
+
+/// Generic broadcasting binary elementwise op.
+/// f      : (a, b) -> out
+/// dfda   : (a, b) -> d out / d a
+/// dfdb   : (a, b) -> d out / d b
+template <typename F, typename DA, typename DB>
+Var binary_op(Var a, Var b, const char* name, F f, DA dfda, DB dfdb) {
+  Graph& g = common_graph(a, b);
+  const Tensor& ta = g.value(a);
+  const Tensor& tb = g.value(b);
+  const BroadcastShape shape = broadcast_shape(ta, tb, name);
+  Tensor out(shape.rows, shape.cols);
+  for (std::size_t r = 0; r < shape.rows; ++r) {
+    for (std::size_t c = 0; c < shape.cols; ++c) {
+      out(r, c) = f(bcast_get(ta, r, c), bcast_get(tb, r, c));
+    }
+  }
+  Var result = g.node(std::move(out), {a, b});
+  g.set_backward(result, [=](Graph& gg) {
+    const Tensor& go = gg.grad(result);
+    const Tensor& va = gg.value(a);
+    const Tensor& vb = gg.value(b);
+    if (gg.requires_grad(a)) {
+      Tensor local(go.rows(), go.cols());
+      for (std::size_t r = 0; r < go.rows(); ++r) {
+        for (std::size_t c = 0; c < go.cols(); ++c) {
+          local(r, c) =
+              go(r, c) * dfda(bcast_get(va, r, c), bcast_get(vb, r, c));
+        }
+      }
+      reduce_into(gg.grad(a), local);
+    }
+    if (gg.requires_grad(b)) {
+      Tensor local(go.rows(), go.cols());
+      for (std::size_t r = 0; r < go.rows(); ++r) {
+        for (std::size_t c = 0; c < go.cols(); ++c) {
+          local(r, c) =
+              go(r, c) * dfdb(bcast_get(va, r, c), bcast_get(vb, r, c));
+        }
+      }
+      reduce_into(gg.grad(b), local);
+    }
+  });
+  return result;
+}
+
+/// Generic unary elementwise op with derivative expressed in terms of the
+/// input value x and output value y.
+template <typename F, typename DF>
+Var unary_op(Var a, F f, DF dfdx) {
+  Graph& g = graph_of(a);
+  const Tensor& ta = g.value(a);
+  Tensor out = ta.map(f);
+  Var result = g.node(std::move(out), {a});
+  g.set_backward(result, [=](Graph& gg) {
+    if (!gg.requires_grad(a)) return;
+    const Tensor& go = gg.grad(result);
+    const Tensor& va = gg.value(a);
+    const Tensor& vo = gg.value(result);
+    Tensor& ga = gg.grad(a);
+    for (std::size_t i = 0; i < go.size(); ++i) {
+      ga.data()[i] += go.data()[i] * dfdx(va.data()[i], vo.data()[i]);
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+Var add(Var a, Var b) {
+  return binary_op(
+      a, b, "add", [](double x, double y) { return x + y; },
+      [](double, double) { return 1.0; }, [](double, double) { return 1.0; });
+}
+
+Var sub(Var a, Var b) {
+  return binary_op(
+      a, b, "sub", [](double x, double y) { return x - y; },
+      [](double, double) { return 1.0; }, [](double, double) { return -1.0; });
+}
+
+Var mul(Var a, Var b) {
+  return binary_op(
+      a, b, "mul", [](double x, double y) { return x * y; },
+      [](double, double y) { return y; }, [](double x, double) { return x; });
+}
+
+Var div(Var a, Var b) {
+  return binary_op(
+      a, b, "div", [](double x, double y) { return x / y; },
+      [](double, double y) { return 1.0 / y; },
+      [](double x, double y) { return -x / (y * y); });
+}
+
+Var neg(Var a) {
+  return unary_op(a, [](double x) { return -x; },
+                  [](double, double) { return -1.0; });
+}
+
+Var scale(Var a, double s) {
+  return unary_op(a, [s](double x) { return s * x; },
+                  [s](double, double) { return s; });
+}
+
+Var add_scalar(Var a, double s) {
+  return unary_op(a, [s](double x) { return x + s; },
+                  [](double, double) { return 1.0; });
+}
+
+Var matmul(Var a, Var b) {
+  Graph& g = common_graph(a, b);
+  Tensor out = matmul(g.value(a), g.value(b));
+  Var result = g.node(std::move(out), {a, b});
+  g.set_backward(result, [=](Graph& gg) {
+    const Tensor& go = gg.grad(result);
+    if (gg.requires_grad(a)) {
+      gg.grad(a) += matmul(go, gg.value(b).transposed());
+    }
+    if (gg.requires_grad(b)) {
+      gg.grad(b) += matmul(gg.value(a).transposed(), go);
+    }
+  });
+  return result;
+}
+
+Var transpose(Var a) {
+  Graph& g = graph_of(a);
+  Tensor out = g.value(a).transposed();
+  Var result = g.node(std::move(out), {a});
+  g.set_backward(result, [=](Graph& gg) {
+    if (!gg.requires_grad(a)) return;
+    gg.grad(a) += gg.grad(result).transposed();
+  });
+  return result;
+}
+
+Var tanh(Var a) {
+  return unary_op(a, [](double x) { return std::tanh(x); },
+                  [](double, double y) { return 1.0 - y * y; });
+}
+
+Var sigmoid(Var a) {
+  return unary_op(a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+                  [](double, double y) { return y * (1.0 - y); });
+}
+
+Var relu(Var a) {
+  return unary_op(a, [](double x) { return x > 0.0 ? x : 0.0; },
+                  [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Var exp(Var a) {
+  return unary_op(a, [](double x) { return std::exp(x); },
+                  [](double, double y) { return y; });
+}
+
+Var log(Var a) {
+  return unary_op(a,
+                  [](double x) { return std::log(std::max(x, 1e-300)); },
+                  [](double x, double) { return 1.0 / std::max(x, 1e-300); });
+}
+
+Var abs(Var a) {
+  return unary_op(a, [](double x) { return std::abs(x); },
+                  [](double x, double) {
+                    if (x > 0.0) return 1.0;
+                    if (x < 0.0) return -1.0;
+                    return 0.0;
+                  });
+}
+
+Var square(Var a) {
+  return unary_op(a, [](double x) { return x * x; },
+                  [](double x, double) { return 2.0 * x; });
+}
+
+Var sqrt(Var a) {
+  return unary_op(a, [](double x) { return std::sqrt(x); },
+                  [](double, double y) { return 0.5 / std::max(y, 1e-150); });
+}
+
+Var reciprocal(Var a) {
+  return unary_op(a, [](double x) { return 1.0 / x; },
+                  [](double x, double) { return -1.0 / (x * x); });
+}
+
+Var softplus(Var a) {
+  return unary_op(
+      a,
+      [](double x) {
+        // Numerically stable log(1 + e^x).
+        return x > 30.0 ? x : std::log1p(std::exp(x));
+      },
+      [](double x, double) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+
+Var sum_rows(Var a) {
+  Graph& g = graph_of(a);
+  const Tensor& ta = g.value(a);
+  Tensor out(1, ta.cols());
+  for (std::size_t r = 0; r < ta.rows(); ++r) {
+    for (std::size_t c = 0; c < ta.cols(); ++c) out(0, c) += ta(r, c);
+  }
+  Var result = g.node(std::move(out), {a});
+  g.set_backward(result, [=](Graph& gg) {
+    if (!gg.requires_grad(a)) return;
+    const Tensor& go = gg.grad(result);
+    Tensor& ga = gg.grad(a);
+    for (std::size_t r = 0; r < ga.rows(); ++r) {
+      for (std::size_t c = 0; c < ga.cols(); ++c) ga(r, c) += go(0, c);
+    }
+  });
+  return result;
+}
+
+Var sum_cols(Var a) {
+  Graph& g = graph_of(a);
+  const Tensor& ta = g.value(a);
+  Tensor out(ta.rows(), 1);
+  for (std::size_t r = 0; r < ta.rows(); ++r) {
+    for (std::size_t c = 0; c < ta.cols(); ++c) out(r, 0) += ta(r, c);
+  }
+  Var result = g.node(std::move(out), {a});
+  g.set_backward(result, [=](Graph& gg) {
+    if (!gg.requires_grad(a)) return;
+    const Tensor& go = gg.grad(result);
+    Tensor& ga = gg.grad(a);
+    for (std::size_t r = 0; r < ga.rows(); ++r) {
+      for (std::size_t c = 0; c < ga.cols(); ++c) ga(r, c) += go(r, 0);
+    }
+  });
+  return result;
+}
+
+Var sum_all(Var a) {
+  Graph& g = graph_of(a);
+  Tensor out = Tensor::scalar(g.value(a).sum());
+  Var result = g.node(std::move(out), {a});
+  g.set_backward(result, [=](Graph& gg) {
+    if (!gg.requires_grad(a)) return;
+    const double go = gg.grad(result).item();
+    Tensor& ga = gg.grad(a);
+    for (auto& x : ga.data()) x += go;
+  });
+  return result;
+}
+
+Var mean_all(Var a) {
+  const double n = static_cast<double>(graph_of(a).value(a).size());
+  return scale(sum_all(a), 1.0 / n);
+}
+
+Var concat_cols(const std::vector<Var>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_cols: empty input");
+  Graph& g = graph_of(parts.front());
+  const std::size_t rows = g.value(parts.front()).rows();
+  std::size_t total_cols = 0;
+  for (const Var& p : parts) {
+    if (g.value(p).rows() != rows) {
+      throw std::invalid_argument("concat_cols: row count mismatch");
+    }
+    total_cols += g.value(p).cols();
+  }
+  Tensor out(rows, total_cols);
+  std::size_t offset = 0;
+  for (const Var& p : parts) {
+    const Tensor& tp = g.value(p);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < tp.cols(); ++c) {
+        out(r, offset + c) = tp(r, c);
+      }
+    }
+    offset += tp.cols();
+  }
+  std::vector<Var> parents = parts;
+  Var result = g.node(std::move(out), parents);
+  g.set_backward(result, [=](Graph& gg) {
+    const Tensor& go = gg.grad(result);
+    std::size_t off = 0;
+    for (const Var& p : parents) {
+      const std::size_t pc = gg.value(p).cols();
+      if (gg.requires_grad(p)) {
+        Tensor& gp = gg.grad(p);
+        for (std::size_t r = 0; r < gp.rows(); ++r) {
+          for (std::size_t c = 0; c < pc; ++c) gp(r, c) += go(r, off + c);
+        }
+      }
+      off += pc;
+    }
+  });
+  return result;
+}
+
+Var slice_cols(Var a, std::size_t begin, std::size_t count) {
+  Graph& g = graph_of(a);
+  const Tensor& ta = g.value(a);
+  if (begin + count > ta.cols()) {
+    throw std::out_of_range("slice_cols: [" + std::to_string(begin) + ", " +
+                            std::to_string(begin + count) + ") outside " +
+                            ta.shape_string());
+  }
+  Tensor out(ta.rows(), count);
+  for (std::size_t r = 0; r < ta.rows(); ++r) {
+    for (std::size_t c = 0; c < count; ++c) out(r, c) = ta(r, begin + c);
+  }
+  Var result = g.node(std::move(out), {a});
+  g.set_backward(result, [=](Graph& gg) {
+    if (!gg.requires_grad(a)) return;
+    const Tensor& go = gg.grad(result);
+    Tensor& ga = gg.grad(a);
+    for (std::size_t r = 0; r < go.rows(); ++r) {
+      for (std::size_t c = 0; c < count; ++c) ga(r, begin + c) += go(r, c);
+    }
+  });
+  return result;
+}
+
+Var broadcast_rows(Var row, std::size_t rows) {
+  Graph& g = graph_of(row);
+  const Tensor& tr = g.value(row);
+  if (tr.rows() != 1) {
+    throw std::invalid_argument("broadcast_rows: input must be (1,N), got " +
+                                tr.shape_string());
+  }
+  Tensor out(rows, tr.cols());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < tr.cols(); ++c) out(r, c) = tr(0, c);
+  }
+  Var result = g.node(std::move(out), {row});
+  g.set_backward(result, [=](Graph& gg) {
+    if (!gg.requires_grad(row)) return;
+    const Tensor& go = gg.grad(result);
+    Tensor& gr = gg.grad(row);
+    for (std::size_t r = 0; r < go.rows(); ++r) {
+      for (std::size_t c = 0; c < go.cols(); ++c) gr(0, c) += go(r, c);
+    }
+  });
+  return result;
+}
+
+Var softmax_cross_entropy(Var logits, const std::vector<int>& labels) {
+  Graph& g = graph_of(logits);
+  const Tensor& z = g.value(logits);
+  const std::size_t batch = z.rows();
+  const std::size_t classes = z.cols();
+  if (labels.size() != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: " +
+                                std::to_string(labels.size()) +
+                                " labels for batch " + std::to_string(batch));
+  }
+  // Stable softmax + CE, caching probabilities for the backward pass.
+  auto probs = std::make_shared<Tensor>(batch, classes);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const int label = labels[r];
+    if (label < 0 || static_cast<std::size_t>(label) >= classes) {
+      throw std::out_of_range("softmax_cross_entropy: label " +
+                              std::to_string(label) + " outside [0, " +
+                              std::to_string(classes) + ")");
+    }
+    double zmax = z(r, 0);
+    for (std::size_t c = 1; c < classes; ++c) zmax = std::max(zmax, z(r, c));
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      (*probs)(r, c) = std::exp(z(r, c) - zmax);
+      denom += (*probs)(r, c);
+    }
+    for (std::size_t c = 0; c < classes; ++c) (*probs)(r, c) /= denom;
+    loss -= std::log(std::max((*probs)(r, static_cast<std::size_t>(label)),
+                              1e-300));
+  }
+  loss /= static_cast<double>(batch);
+
+  auto labels_copy = std::make_shared<std::vector<int>>(labels);
+  Var result = g.node(Tensor::scalar(loss), {logits});
+  g.set_backward(result, [=](Graph& gg) {
+    if (!gg.requires_grad(logits)) return;
+    const double go = gg.grad(result).item();
+    Tensor& gl = gg.grad(logits);
+    const double inv_batch = 1.0 / static_cast<double>(batch);
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t c = 0; c < classes; ++c) {
+        double delta = (*probs)(r, c);
+        if (static_cast<int>(c) == (*labels_copy)[r]) delta -= 1.0;
+        gl(r, c) += go * inv_batch * delta;
+      }
+    }
+  });
+  return result;
+}
+
+Var mse(Var prediction, Var target) {
+  Var diff = sub(prediction, target);
+  return mean_all(square(diff));
+}
+
+Var softmax_rows(Var logits) {
+  Graph& g = graph_of(logits);
+  const Tensor& z = g.value(logits);
+  Tensor out(z.rows(), z.cols());
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    double zmax = z(r, 0);
+    for (std::size_t c = 1; c < z.cols(); ++c) zmax = std::max(zmax, z(r, c));
+    double denom = 0.0;
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      out(r, c) = std::exp(z(r, c) - zmax);
+      denom += out(r, c);
+    }
+    for (std::size_t c = 0; c < z.cols(); ++c) out(r, c) /= denom;
+  }
+  Var result = g.node(std::move(out), {logits});
+  g.set_backward(result, [=](Graph& gg) {
+    if (!gg.requires_grad(logits)) return;
+    const Tensor& go = gg.grad(result);
+    const Tensor& p = gg.value(result);
+    Tensor& gl = gg.grad(logits);
+    for (std::size_t r = 0; r < p.rows(); ++r) {
+      double dot = 0.0;
+      for (std::size_t c = 0; c < p.cols(); ++c) dot += go(r, c) * p(r, c);
+      for (std::size_t c = 0; c < p.cols(); ++c) {
+        gl(r, c) += p(r, c) * (go(r, c) - dot);
+      }
+    }
+  });
+  return result;
+}
+
+std::vector<int> argmax_rows(const Tensor& t) {
+  std::vector<int> out(t.rows(), 0);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    double best = t(r, 0);
+    for (std::size_t c = 1; c < t.cols(); ++c) {
+      if (t(r, c) > best) {
+        best = t(r, c);
+        out[r] = static_cast<int>(c);
+      }
+    }
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.rows() != labels.size() || labels.empty()) {
+    throw std::invalid_argument("accuracy: batch mismatch");
+  }
+  const std::vector<int> pred = argmax_rows(logits);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+}  // namespace pnc::ad

@@ -1,0 +1,140 @@
+#include "pnc/autodiff/tensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::ad {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows_ * cols_) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " + shape_string());
+  }
+}
+
+Tensor Tensor::scalar(double value) { return Tensor(1, 1, {value}); }
+
+Tensor Tensor::row(std::vector<double> values) {
+  const std::size_t n = values.size();
+  return Tensor(1, n, std::move(values));
+}
+
+Tensor Tensor::column(std::vector<double> values) {
+  const std::size_t n = values.size();
+  return Tensor(n, 1, std::move(values));
+}
+
+Tensor Tensor::identity(std::size_t n) {
+  Tensor t(n, n);
+  for (std::size_t i = 0; i < n; ++i) t(i, i) = 1.0;
+  return t;
+}
+
+double& Tensor::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Tensor::at(" + std::to_string(r) + "," +
+                            std::to_string(c) + ") outside " + shape_string());
+  }
+  return (*this)(r, c);
+}
+
+double Tensor::at(std::size_t r, std::size_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+double Tensor::item() const {
+  if (!is_scalar()) {
+    throw std::logic_error("Tensor::item() on non-scalar " + shape_string());
+  }
+  return data_[0];
+}
+
+void Tensor::fill(double value) {
+  for (auto& x : data_) x = value;
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (!same_shape(other)) {
+    throw std::invalid_argument("Tensor::operator+= shape mismatch " +
+                                shape_string() + " vs " +
+                                other.shape_string());
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+Tensor Tensor::map(const std::function<double(double)>& f) const {
+  Tensor out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+  return out;
+}
+
+Tensor Tensor::transposed() const {
+  Tensor out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+double Tensor::abs_max() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::string Tensor::shape_string() const {
+  return "(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimensions differ " +
+                                a.shape_string() + " * " + b.shape_string());
+  }
+  Tensor out(a.rows(), b.cols());
+  // ikj loop order keeps the inner traversal contiguous for both operands.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch " +
+                                a.shape_string() + " vs " + b.shape_string());
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace pnc::ad

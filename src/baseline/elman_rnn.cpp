@@ -1,0 +1,80 @@
+#include "pnc/baseline/elman_rnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::baseline {
+
+namespace {
+
+ad::Tensor glorot(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  ad::Tensor t(rows, cols);
+  const double scale = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& v : t.data()) v = rng.uniform(-scale, scale);
+  return t;
+}
+
+}  // namespace
+
+ElmanRnn::ElmanRnn(std::size_t hidden, std::size_t n_classes,
+                   std::uint64_t seed)
+    : hidden_(hidden), n_classes_(n_classes) {
+  if (hidden == 0 || n_classes < 2) {
+    throw std::invalid_argument("ElmanRnn: bad dimensions");
+  }
+  util::Rng rng(seed);
+  cell1_.w_ih = ad::Parameter("elman.l1.w_ih", glorot(1, hidden, rng));
+  cell1_.w_hh = ad::Parameter("elman.l1.w_hh", glorot(hidden, hidden, rng));
+  cell1_.b = ad::Parameter("elman.l1.b", ad::Tensor(1, hidden));
+  cell2_.w_ih = ad::Parameter("elman.l2.w_ih", glorot(hidden, hidden, rng));
+  cell2_.w_hh = ad::Parameter("elman.l2.w_hh", glorot(hidden, hidden, rng));
+  cell2_.b = ad::Parameter("elman.l2.b", ad::Tensor(1, hidden));
+  w_out_ = ad::Parameter("elman.out.w", glorot(hidden, n_classes, rng));
+  b_out_ = ad::Parameter("elman.out.b", ad::Tensor(1, n_classes));
+}
+
+ad::Var ElmanRnn::forward(ad::Graph& g, const ad::Tensor& inputs,
+                          const variation::VariationSpec& /*spec*/,
+                          util::Rng& /*rng*/) {
+  const std::size_t batch = inputs.rows();
+  const std::size_t steps = inputs.cols();
+  if (steps == 0) throw std::invalid_argument("ElmanRnn: empty sequence");
+
+  const ad::Var x = g.constant(inputs);
+  const ad::Var w_ih1 = g.leaf(cell1_.w_ih);
+  const ad::Var w_hh1 = g.leaf(cell1_.w_hh);
+  const ad::Var b1 = g.leaf(cell1_.b);
+  const ad::Var w_ih2 = g.leaf(cell2_.w_ih);
+  const ad::Var w_hh2 = g.leaf(cell2_.w_hh);
+  const ad::Var b2 = g.leaf(cell2_.b);
+
+  ad::Var h1 = g.constant(ad::Tensor(batch, hidden_));
+  ad::Var h2 = g.constant(ad::Tensor(batch, hidden_));
+  for (std::size_t t = 0; t < steps; ++t) {
+    const ad::Var x_t = ad::slice_cols(x, t, 1);
+    h1 = ad::tanh(ad::add(
+        ad::add(ad::matmul(x_t, w_ih1), ad::matmul(h1, w_hh1)), b1));
+    h2 = ad::tanh(ad::add(
+        ad::add(ad::matmul(h1, w_ih2), ad::matmul(h2, w_hh2)), b2));
+  }
+  return ad::add(ad::matmul(h2, g.leaf(w_out_)), g.leaf(b_out_));
+}
+
+std::vector<ad::Parameter*> ElmanRnn::parameters() {
+  return {&cell1_.w_ih, &cell1_.w_hh, &cell1_.b,
+          &cell2_.w_ih, &cell2_.w_hh, &cell2_.b,
+          &w_out_,      &b_out_};
+}
+
+std::unique_ptr<ElmanRnn> make_elman(std::size_t n_classes,
+                                     std::uint64_t seed,
+                                     std::size_t hidden_cap) {
+  std::size_t hidden = n_classes * n_classes;
+  if (hidden_cap > 0) hidden = std::min(hidden, hidden_cap);
+  return std::make_unique<ElmanRnn>(hidden, n_classes, seed);
+}
+
+}  // namespace pnc::baseline

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pnc/core/model.hpp"
+
+namespace pnc::baseline {
+
+/// Hardware-agnostic 2-layer Elman RNN — the paper's reference model
+/// (Tab. I column "Elman RNN"). Per layer:
+///
+///   h_t = tanh(W_ih x_t + W_hh h_{t-1} + b)
+///
+/// followed by a linear read-out on the final hidden state. It ignores the
+/// variation spec: it models software, not a printed circuit.
+class ElmanRnn final : public core::SequenceClassifier {
+ public:
+  ElmanRnn(std::size_t hidden, std::size_t n_classes, std::uint64_t seed);
+
+  ad::Var forward(ad::Graph& g, const ad::Tensor& inputs,
+                  const variation::VariationSpec& spec,
+                  util::Rng& rng) override;
+
+  std::vector<ad::Parameter*> parameters() override;
+  std::string name() const override { return "elman_rnn"; }
+  int num_classes() const override { return static_cast<int>(n_classes_); }
+
+  std::size_t hidden() const { return hidden_; }
+
+ private:
+  struct Cell {
+    ad::Parameter w_ih;  // (n_in x hidden)
+    ad::Parameter w_hh;  // (hidden x hidden)
+    ad::Parameter b;     // (1 x hidden)
+  };
+
+  std::size_t hidden_;
+  std::size_t n_classes_;
+  Cell cell1_;
+  Cell cell2_;
+  ad::Parameter w_out_;  // (hidden x classes)
+  ad::Parameter b_out_;  // (1 x classes)
+};
+
+/// Reference model sized like the paper's: 2 layers, hidden matched to the
+/// ADAPT-pNC hidden width for a fair comparison.
+std::unique_ptr<ElmanRnn> make_elman(std::size_t n_classes,
+                                     std::uint64_t seed,
+                                     std::size_t hidden_cap = 0);
+
+}  // namespace pnc::baseline

@@ -1,0 +1,160 @@
+#include "pnc/circuit/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+std::vector<std::complex<double>> solve_complex_system(
+    std::vector<std::vector<std::complex<double>>> a,
+    std::vector<std::complex<double>> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n) {
+    throw std::invalid_argument("solve_complex_system: dimension mismatch");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-18) {
+      throw std::runtime_error("solve_complex_system: singular matrix");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const std::complex<double> inv = 1.0 / a[col][col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const std::complex<double> factor = a[r][col] * inv;
+      if (factor == std::complex<double>(0.0, 0.0)) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t row = n; row-- > 0;) {
+    std::complex<double> sum = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) sum -= a[row][c] * x[c];
+    x[row] = sum / a[row][row];
+  }
+  return x;
+}
+
+std::vector<std::complex<double>> solve_ac(const Netlist& nl, double omega) {
+  const std::size_t nn = static_cast<std::size_t>(nl.node_count()) - 1;
+  const std::size_t ns = nl.sources().size();
+  const std::size_t dim = nn + ns;
+  std::vector<std::vector<std::complex<double>>> a(
+      dim, std::vector<std::complex<double>>(dim, 0.0));
+  std::vector<std::complex<double>> rhs(dim, 0.0);
+
+  auto stamp_admittance = [&](int na, int nb, std::complex<double> y) {
+    if (na > 0) a[static_cast<std::size_t>(na) - 1][static_cast<std::size_t>(na) - 1] += y;
+    if (nb > 0) a[static_cast<std::size_t>(nb) - 1][static_cast<std::size_t>(nb) - 1] += y;
+    if (na > 0 && nb > 0) {
+      a[static_cast<std::size_t>(na) - 1][static_cast<std::size_t>(nb) - 1] -= y;
+      a[static_cast<std::size_t>(nb) - 1][static_cast<std::size_t>(na) - 1] -= y;
+    }
+  };
+
+  for (const auto& r : nl.resistors()) {
+    stamp_admittance(r.a, r.b, 1.0 / r.ohms);
+  }
+  for (const auto& c : nl.capacitors()) {
+    stamp_admittance(c.a, c.b, std::complex<double>(0.0, omega * c.farads));
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    const auto& src = nl.sources()[s];
+    const std::size_t row = nn + s;
+    if (src.plus > 0) {
+      a[static_cast<std::size_t>(src.plus) - 1][row] += 1.0;
+      a[row][static_cast<std::size_t>(src.plus) - 1] += 1.0;
+    }
+    if (src.minus > 0) {
+      a[static_cast<std::size_t>(src.minus) - 1][row] -= 1.0;
+      a[row][static_cast<std::size_t>(src.minus) - 1] -= 1.0;
+    }
+    rhs[row] = 1.0;  // unit AC stimulus
+  }
+
+  std::vector<std::complex<double>> x =
+      solve_complex_system(std::move(a), std::move(rhs));
+  std::vector<std::complex<double>> volts(nn + 1, 0.0);
+  for (std::size_t i = 0; i < nn; ++i) volts[i + 1] = x[i];
+  return volts;
+}
+
+std::complex<double> transfer_at(const Netlist& nl, int node, double freq_hz) {
+  if (nl.sources().empty()) {
+    throw std::invalid_argument("transfer_at: netlist has no AC stimulus");
+  }
+  if (node <= 0 || node >= nl.node_count()) {
+    throw std::out_of_range("transfer_at: bad probe node");
+  }
+  const double omega = 2.0 * std::numbers::pi * freq_hz;
+  const auto v = solve_ac(nl, omega);
+  return v[static_cast<std::size_t>(node)];  // stimulus has unit amplitude
+}
+
+std::vector<BodePoint> bode_sweep(const Netlist& nl, int node,
+                                  double f_start_hz, double f_stop_hz,
+                                  std::size_t points_per_decade) {
+  if (f_start_hz <= 0.0 || f_stop_hz <= f_start_hz) {
+    throw std::invalid_argument("bode_sweep: bad frequency range");
+  }
+  if (points_per_decade == 0) {
+    throw std::invalid_argument("bode_sweep: zero density");
+  }
+  const double decades = std::log10(f_stop_hz / f_start_hz);
+  const auto total = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(points_per_decade))) + 1;
+  std::vector<BodePoint> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(total - 1);
+    const double f = f_start_hz * std::pow(10.0, frac * decades);
+    const std::complex<double> h = transfer_at(nl, node, f);
+    BodePoint p;
+    p.freq_hz = f;
+    p.magnitude = std::abs(h);
+    p.magnitude_db = 20.0 * std::log10(std::max(p.magnitude, 1e-300));
+    p.phase_deg = std::arg(h) * 180.0 / std::numbers::pi;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double cutoff_frequency_hz(const Netlist& nl, int node, double f_lo_hz,
+                           double f_hi_hz) {
+  if (f_lo_hz <= 0.0 || f_hi_hz <= f_lo_hz) {
+    throw std::invalid_argument("cutoff_frequency_hz: bad bracket");
+  }
+  const double dc_mag = std::abs(transfer_at(nl, node, f_lo_hz));
+  const double threshold = dc_mag / std::sqrt(2.0);
+  auto above = [&](double f) {
+    return std::abs(transfer_at(nl, node, f)) > threshold;
+  };
+  if (!above(f_lo_hz) || above(f_hi_hz)) {
+    throw std::runtime_error(
+        "cutoff_frequency_hz: response does not cross -3 dB inside bracket");
+  }
+  double lo = f_lo_hz, hi = f_hi_hz;
+  for (int iter = 0; iter < 200 && hi / lo > 1.0 + 1e-9; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // bisect in log space
+    (above(mid) ? lo : hi) = mid;
+  }
+  return std::sqrt(lo * hi);
+}
+
+double rolloff_db_per_decade(const Netlist& nl, int node, double f1_hz,
+                             double f2_hz) {
+  if (f1_hz <= 0.0 || f2_hz <= f1_hz) {
+    throw std::invalid_argument("rolloff_db_per_decade: bad frequencies");
+  }
+  const double m1 = std::abs(transfer_at(nl, node, f1_hz));
+  const double m2 = std::abs(transfer_at(nl, node, f2_hz));
+  const double db = 20.0 * std::log10(m2 / m1);
+  return db / std::log10(f2_hz / f1_hz);
+}
+
+}  // namespace pnc::circuit

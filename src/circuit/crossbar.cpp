@@ -1,0 +1,95 @@
+#include "pnc/circuit/crossbar.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace pnc::circuit {
+
+double CrossbarColumn::total_conductance() const {
+  double g = bias_conductance + pulldown_conductance;
+  for (double gi : conductances) g += gi;
+  return g;
+}
+
+double CrossbarColumn::weight(std::size_t i) const {
+  if (i >= conductances.size()) {
+    throw std::out_of_range("CrossbarColumn::weight: index " +
+                            std::to_string(i));
+  }
+  return static_cast<double>(signs[i]) * conductances[i] /
+         total_conductance();
+}
+
+double CrossbarColumn::bias() const {
+  return static_cast<double>(bias_sign) * bias_conductance * bias_voltage /
+         total_conductance();
+}
+
+double CrossbarColumn::output(const std::vector<double>& inputs) const {
+  if (inputs.size() != conductances.size()) {
+    throw std::invalid_argument("CrossbarColumn::output: got " +
+                                std::to_string(inputs.size()) +
+                                " inputs, expected " +
+                                std::to_string(conductances.size()));
+  }
+  double numerator = static_cast<double>(bias_sign) * bias_conductance *
+                     bias_voltage;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    numerator += conductances[i] * static_cast<double>(signs[i]) * inputs[i];
+  }
+  return numerator / total_conductance();
+}
+
+double CrossbarColumn::static_power(const std::vector<double>& inputs) const {
+  const double vout = output(inputs);
+  double power = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double vi = static_cast<double>(signs[i]) * inputs[i];
+    power += (vi - vout) * (vi - vout) * conductances[i];
+  }
+  const double vb = static_cast<double>(bias_sign) * bias_voltage;
+  power += (vb - vout) * (vb - vout) * bias_conductance;
+  power += vout * vout * pulldown_conductance;
+  return power;
+}
+
+std::size_t CrossbarColumn::resistor_count() const {
+  // One resistor per input, one for the bias, one pull-down.
+  return conductances.size() + 2;
+}
+
+std::size_t CrossbarColumn::inverter_count() const {
+  std::size_t n = (bias_sign < 0) ? 1 : 0;
+  for (int s : signs) {
+    if (s < 0) ++n;
+  }
+  return n;
+}
+
+CrossbarColumn design_column(const std::vector<double>& weights, double bias,
+                             double total_conductance) {
+  if (total_conductance <= 0.0) {
+    throw std::invalid_argument("design_column: non-positive G");
+  }
+  double abs_sum = std::abs(bias);
+  for (double w : weights) abs_sum += std::abs(w);
+  if (abs_sum >= 1.0) {
+    throw std::invalid_argument(
+        "design_column: sum of |weights| + |bias| = " +
+        std::to_string(abs_sum) + " >= 1 is not realizable");
+  }
+  CrossbarColumn col;
+  col.conductances.reserve(weights.size());
+  col.signs.reserve(weights.size());
+  for (double w : weights) {
+    col.conductances.push_back(std::abs(w) * total_conductance);
+    col.signs.push_back(w < 0.0 ? -1 : +1);
+  }
+  col.bias_conductance = std::abs(bias) * total_conductance;
+  col.bias_sign = bias < 0.0 ? -1 : +1;
+  col.pulldown_conductance = (1.0 - abs_sum) * total_conductance;
+  return col;
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,53 @@
+#include "pnc/circuit/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+double clamp_to_range(double value, double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("clamp_to_range: lo > hi");
+  return std::clamp(value, lo, hi);
+}
+
+double time_constant(const PrintedResistor& r, const PrintedCapacitor& c) {
+  return r.resistance * c.capacitance;
+}
+
+double cutoff_frequency(const PrintedResistor& r, const PrintedCapacitor& c) {
+  const double tau = time_constant(r, c);
+  if (tau <= 0.0) {
+    throw std::invalid_argument("cutoff_frequency: non-positive RC");
+  }
+  return 1.0 / (2.0 * std::numbers::pi * tau);
+}
+
+namespace {
+std::string format_si(double value, const char* unit) {
+  struct Prefix {
+    double scale;
+    const char* symbol;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+  };
+  for (const auto& p : kPrefixes) {
+    if (std::abs(value) >= p.scale || p.scale == 1e-12) {
+      std::ostringstream os;
+      os.precision(3);
+      os << value / p.scale << ' ' << p.symbol << unit;
+      return os.str();
+    }
+  }
+  return "0 " + std::string(unit);
+}
+}  // namespace
+
+std::string format_resistance(double ohms) { return format_si(ohms, "Ohm"); }
+std::string format_capacitance(double farads) { return format_si(farads, "F"); }
+
+}  // namespace pnc::circuit

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "pnc/circuit/mna.hpp"
+
+namespace pnc::circuit {
+
+/// Small-signal AC (phasor) analysis on a Netlist — the frequency-domain
+/// view of Fig. 4: filter magnitude/phase responses and cutoff
+/// frequencies, which the paper obtains from SPICE.
+///
+/// All voltage sources are treated as the same AC stimulus (unit
+/// amplitude, zero phase); capacitors are stamped as admittance jωC.
+
+/// Solve the complex MNA system at angular frequency `omega` and return
+/// the node phasors (index 0 = ground).
+std::vector<std::complex<double>> solve_ac(const Netlist& netlist,
+                                           double omega);
+
+/// Complex transfer function V(node) / V(stimulus) at frequency f (Hz).
+std::complex<double> transfer_at(const Netlist& netlist, int node,
+                                 double freq_hz);
+
+/// One point of a Bode sweep.
+struct BodePoint {
+  double freq_hz = 0.0;
+  double magnitude = 0.0;   // |H|
+  double magnitude_db = 0.0;
+  double phase_deg = 0.0;
+};
+
+/// Logarithmic frequency sweep of the transfer to `node`.
+std::vector<BodePoint> bode_sweep(const Netlist& netlist, int node,
+                                  double f_start_hz, double f_stop_hz,
+                                  std::size_t points_per_decade = 20);
+
+/// -3 dB cutoff frequency of a low-pass response: the lowest frequency at
+/// which |H| falls below |H(DC)| / sqrt(2), found by bisection on the
+/// analytic transfer. Throws if the response never crosses the threshold
+/// within [f_lo, f_hi].
+double cutoff_frequency_hz(const Netlist& netlist, int node, double f_lo_hz,
+                           double f_hi_hz);
+
+/// Roll-off slope in dB/decade estimated between two frequencies well
+/// above cutoff (first-order low-pass -> ~-20, second-order -> ~-40).
+double rolloff_db_per_decade(const Netlist& netlist, int node, double f1_hz,
+                             double f2_hz);
+
+/// Solve a complex linear system by Gaussian elimination with partial
+/// pivoting (shared backend of solve_ac; exposed for direct testing).
+std::vector<std::complex<double>> solve_complex_system(
+    std::vector<std::vector<std::complex<double>>> a,
+    std::vector<std::complex<double>> b);
+
+}  // namespace pnc::circuit

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+namespace pnc::circuit {
+
+/// Algebraic model of one column of a printed resistor crossbar (Eq. (1)):
+///
+///   V_out = ( Σ_i g_i V_i + g_b · V_b ) / ( Σ_i g_i + g_b + g_d )
+///
+/// with bias source V_b = 1 V and pull-down conductance g_d. Negative
+/// weights are realized by routing the input through an inverter, encoded
+/// here by a sign per input.
+struct CrossbarColumn {
+  std::vector<double> conductances;  // g_i >= 0, one per input
+  std::vector<int> signs;            // +1 direct, -1 through inverter
+  double bias_conductance = 0.0;     // g_b >= 0
+  int bias_sign = +1;
+  double pulldown_conductance = 0.0;  // g_d >= 0
+  double bias_voltage = 1.0;          // V_b
+
+  /// Total denominator conductance G = Σ g_i + g_b + g_d.
+  double total_conductance() const;
+
+  /// Effective ANN weight of input i: sign_i * g_i / G.
+  double weight(std::size_t i) const;
+
+  /// Effective ANN bias: sign_b * g_b * V_b / G.
+  double bias() const;
+
+  /// Output voltage for the given input voltages (inverters applied).
+  double output(const std::vector<double>& inputs) const;
+
+  /// Static power dissipated in the column's resistors for the given
+  /// inputs: Σ (V_i - V_out)^2 g_i + (V_b - V_out)^2 g_b + V_out^2 g_d.
+  double static_power(const std::vector<double>& inputs) const;
+
+  /// Number of printed devices in this column (resistors; inverters add
+  /// transistor counts, reported separately by the hardware module).
+  std::size_t resistor_count() const;
+  std::size_t inverter_count() const;
+};
+
+/// Build a crossbar column realizing the requested signed weights/bias.
+///
+/// Given desired weights w_i (|w_i| summing to < 1 after adding bias) the
+/// mapping is under-determined; we fix the total conductance budget G and
+/// set g_i = |w_i| * G, g_b = |w_bias| * G, with g_d absorbing the slack so
+/// weights come out exactly. Throws if Σ|w| >= 1 (not realizable: g_d would
+/// be negative).
+CrossbarColumn design_column(const std::vector<double>& weights, double bias,
+                             double total_conductance);
+
+}  // namespace pnc::circuit

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+namespace pnc::circuit {
+
+/// Printable component ranges from the paper's circuit design setup
+/// (Sec. IV-A1): filter resistors below 1 kΩ, crossbar resistors in
+/// [100 kΩ, 10 MΩ], capacitors in [100 nF, 100 µF].
+struct PrintableRanges {
+  double filter_resistance_min = 10.0;        // Ω
+  double filter_resistance_max = 1e3;         // Ω  (< 1 kΩ)
+  double crossbar_resistance_min = 1e5;       // Ω  (100 kΩ)
+  double crossbar_resistance_max = 1e7;       // Ω  (10 MΩ)
+  double capacitance_min = 100e-9;            // F  (100 nF)
+  double capacitance_max = 100e-6;            // F  (100 µF)
+};
+
+/// Nominal supply / bias levels of the printed technology (n-EGT pPDK).
+struct SupplyLevels {
+  double vdd = 1.0;    // V — crossbar bias source V_b
+  double vss = -1.0;   // V — inverter negative rail
+  double signal_max = 1.0;  // sensory signals normalized to [-1, 1]
+};
+
+/// Printed resistor: value plus process-variation bookkeeping.
+struct PrintedResistor {
+  double resistance = 0.0;  // Ω
+  double conductance() const { return 1.0 / resistance; }
+};
+
+/// Printed capacitor.
+struct PrintedCapacitor {
+  double capacitance = 0.0;  // F
+};
+
+/// Printed electrolyte-gated transistor (n-EGT) — behavioural parameters
+/// sufficient for the ptanh transfer characteristic and power estimation.
+struct PrintedEgt {
+  double threshold_voltage = 0.18;   // V
+  double transconductance = 2.2e-4;  // A/V^2 (geometry-scaled)
+  double on_resistance = 5e3;        // Ω, channel in the resistive regime
+};
+
+/// Clamp a value into [lo, hi]; used to keep learned component values
+/// inside the printable window after optimizer steps.
+double clamp_to_range(double value, double lo, double hi);
+
+/// RC time constant in seconds.
+double time_constant(const PrintedResistor& r, const PrintedCapacitor& c);
+
+/// First-order low-pass cutoff frequency 1 / (2π RC) in Hz.
+double cutoff_frequency(const PrintedResistor& r, const PrintedCapacitor& c);
+
+/// Human-readable engineering formatting, e.g. "4.7 kΩ", "220 nF".
+std::string format_resistance(double ohms);
+std::string format_capacitance(double farads);
+
+}  // namespace pnc::circuit

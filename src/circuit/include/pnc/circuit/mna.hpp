@@ -1,0 +1,101 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace pnc::circuit {
+
+/// Time-dependent source value, seconds -> volts.
+using Waveform = std::function<double(double)>;
+
+/// Linear circuit netlist for the modified-nodal-analysis solver.
+///
+/// Node 0 is ground. This is the in-repo substitute for the paper's SPICE
+/// runs: it is used to *derive* the crossbar weighted-sum equation, the RC
+/// filter discrete-time model, and the empirical coupling-factor range
+/// μ ∈ [1, 1.3] (see bench_mna_validation).
+class Netlist {
+ public:
+  struct Resistor {
+    int a, b;
+    double ohms;
+  };
+  struct Capacitor {
+    int a, b;
+    double farads;
+  };
+  struct VoltageSource {
+    int plus, minus;
+    Waveform waveform;
+  };
+
+  /// Allocate a new node; returns its id (>= 1; ground is 0).
+  int add_node();
+
+  void add_resistor(int a, int b, double ohms);
+  void add_capacitor(int a, int b, double farads);
+
+  /// Returns the source index (for current queries).
+  int add_voltage_source(int plus, int minus, Waveform waveform);
+  int add_dc_source(int plus, int minus, double volts);
+
+  /// Replace the waveform of an existing source (used by DC sweeps).
+  void set_source_waveform(int index, Waveform waveform);
+
+  int node_count() const { return node_count_; }
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VoltageSource>& sources() const { return sources_; }
+
+ private:
+  void check_node(int n) const;
+
+  int node_count_ = 1;  // ground pre-allocated
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VoltageSource> sources_;
+};
+
+/// Transient simulation output: node_voltages[k][n] is the voltage of node
+/// n at time[k]. Row 0 is the initial condition at t = 0.
+struct TransientResult {
+  std::vector<double> time;
+  std::vector<std::vector<double>> node_voltages;
+
+  double voltage(std::size_t step, int node) const {
+    return node_voltages.at(step).at(static_cast<std::size_t>(node));
+  }
+};
+
+/// MNA solver: DC operating point and backward-Euler transient analysis.
+class MnaSolver {
+ public:
+  explicit MnaSolver(const Netlist& netlist);
+
+  /// Node voltages (index 0 = ground = 0 V) at source values of time t.
+  std::vector<double> solve_dc(double t = 0.0) const;
+
+  /// Backward-Euler transient from the given initial node voltages
+  /// (defaults to all-zero). dt > 0, t_end >= 0.
+  TransientResult solve_transient(double t_end, double dt,
+                                  std::vector<double> v0 = {}) const;
+
+  /// Current through resistor `r_index` at a transient step (a -> b).
+  double resistor_current(const TransientResult& r, std::size_t step,
+                          std::size_t r_index) const;
+
+  /// Backward-difference current through capacitor `c_index` at step >= 1.
+  double capacitor_current(const TransientResult& r, std::size_t step,
+                           std::size_t c_index) const;
+
+ private:
+  const Netlist& netlist_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting. Throws
+/// std::runtime_error if the matrix is (numerically) singular. Exposed for
+/// reuse and direct testing.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace pnc::circuit

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "pnc/circuit/mna.hpp"
+
+namespace pnc::circuit {
+
+/// A built netlist together with the node ids a caller needs to probe.
+struct CrossbarNetlist {
+  Netlist netlist;
+  std::vector<int> input_nodes;
+  int output_node = 0;
+};
+
+/// Full MNA netlist of a one-column resistor crossbar: each input driven by
+/// an ideal source through its conductance, plus bias and pull-down paths
+/// (Fig. 3(a)). Used to validate the algebraic model of crossbar.hpp.
+CrossbarNetlist build_crossbar_netlist(const std::vector<double>& input_volts,
+                                       const std::vector<double>& conductances,
+                                       double bias_conductance,
+                                       double pulldown_conductance,
+                                       double bias_voltage = 1.0);
+
+struct FilterNetlist {
+  Netlist netlist;
+  int input_node = 0;
+  int mid_node = 0;     // between the two RC stages (== output for 1st order)
+  int output_node = 0;
+  std::size_t r1_index = 0;  // resistor indices for current probing
+  std::size_t r2_index = 0;
+  std::size_t c1_index = 0;  // capacitor indices
+  std::size_t c2_index = 0;
+};
+
+/// First-order RC low-pass driven by `source`, loaded by `load_ohms` to
+/// ground at the output (models the downstream crossbar input resistance).
+/// Pass load_ohms <= 0 for an unloaded filter.
+FilterNetlist build_first_order_filter(double r_ohms, double c_farads,
+                                       double load_ohms, Waveform source);
+
+/// Second-order (two cascaded RC stages) low-pass with a resistive load,
+/// matching the SO-LF topology of Fig. 4.
+FilterNetlist build_second_order_filter(double r1_ohms, double c1_farads,
+                                        double r2_ohms, double c2_farads,
+                                        double load_ohms, Waveform source);
+
+/// Statistics of the coupling factor μ = I_R / I_C measured over a
+/// transient run (steps where |I_C| is negligible are skipped).
+struct CouplingStats {
+  double mu_min = 0.0;
+  double mu_max = 0.0;
+  double mu_mean = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Run a unit-step transient on a first-order filter with the given load
+/// and measure μ across the charging phase (the regime where the filter
+/// actually integrates information). Analytically μ(t) = R/(R+R_L)/e(t) +
+/// R_L/(R+R_L) with e(t) the remaining charge fraction, so μ starts at
+/// exactly 1 and grows as the capacitor settles; for printable values
+/// (filter R < 1 kΩ against crossbar loads >= 100 kΩ) it stays within the
+/// paper's SPICE-derived range μ ∈ [1, 1.3].
+CouplingStats measure_coupling_factor(double r_ohms, double c_farads,
+                                      double load_ohms, double t_end,
+                                      double dt);
+
+}  // namespace pnc::circuit

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <vector>
+
+#include "pnc/circuit/device.hpp"
+#include "pnc/circuit/mna.hpp"
+
+namespace pnc::circuit {
+
+/// Smooth large-signal model of a printed n-type electrolyte-gated
+/// transistor (n-EGT, Fig. 2(c)).
+///
+/// EKV-flavoured: a softplus-smoothed overdrive gives continuous
+/// subthreshold-to-on behaviour, and an odd tanh saturation in V_DS keeps
+/// the model (and its derivatives) well-behaved for Newton iteration:
+///
+///   v_eff = 2·φ · ln(1 + exp((V_GS − V_th) / (2·φ)))
+///   I_D   = k · W · v_eff² · tanh(V_DS / V_sat)
+struct EgtModel {
+  double threshold_voltage = 0.18;  // V_th (V)
+  double transconductance = 2.2e-4; // k (A/V²)
+  double width_scale = 1.0;         // W (relative geometry)
+  double thermal_smoothing = 0.05;  // φ (V)
+  double saturation_voltage = 0.25; // V_sat (V)
+
+  /// Drain current for the given terminal voltages.
+  double drain_current(double v_gs, double v_ds) const;
+
+  /// Partial derivatives for the Newton Jacobian.
+  double d_current_d_vgs(double v_gs, double v_ds) const;
+  double d_current_d_vds(double v_gs, double v_ds) const;
+};
+
+/// A nonlinear circuit: a linear Netlist (resistors + voltage sources;
+/// capacitors are ignored — DC analysis) plus EGT instances.
+class NonlinearCircuit {
+ public:
+  explicit NonlinearCircuit(Netlist netlist) : netlist_(std::move(netlist)) {}
+
+  Netlist& netlist() { return netlist_; }
+  const Netlist& netlist() const { return netlist_; }
+
+  /// Attach an EGT between drain / gate / source nodes.
+  void add_egt(int drain, int gate, int source, EgtModel model);
+
+  std::size_t egt_count() const { return egts_.size(); }
+
+  /// Newton-Raphson DC operating point with step damping. Throws
+  /// std::runtime_error when the iteration fails to converge.
+  /// Returns node voltages (index 0 = ground), sources evaluated at `t`.
+  std::vector<double> solve_dc(double t = 0.0, int max_iterations = 200,
+                               double tolerance = 1e-10) const;
+
+ private:
+  struct EgtInstance {
+    int drain, gate, source;
+    EgtModel model;
+  };
+
+  Netlist netlist_;
+  std::vector<EgtInstance> egts_;
+};
+
+/// DC transfer sweep: repeatedly solve the circuit while the waveform of
+/// source `sweep_source` takes each value in `inputs` (implemented by
+/// temporarily replacing that source's waveform). Returns the voltage of
+/// `probe_node` per input.
+std::vector<double> dc_sweep(NonlinearCircuit& circuit, int sweep_source,
+                             const std::vector<double>& inputs,
+                             int probe_node);
+
+}  // namespace pnc::circuit

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+
+#include "pnc/circuit/device.hpp"
+
+namespace pnc::circuit {
+
+/// Fitted parameters of the printed tanh-like activation circuit:
+///
+///   ptanh(V) = eta1 + eta2 * tanh((V - eta3) * eta4)
+///
+/// eta is determined by the circuit's component values
+/// q = [R1, R2, T1_width_scale, T2_width_scale] (Fig. 3(b)).
+struct PtanhParams {
+  double eta1 = 0.0;   // output offset (V)
+  double eta2 = 0.8;   // output swing (V)
+  double eta3 = 0.2;   // input offset (V), tied to the EGT threshold
+  double eta4 = 3.0;   // input gain (1/V)
+
+  double operator()(double v_in) const;
+
+  /// Analytic derivative d ptanh / d v_in.
+  double derivative(double v_in) const;
+};
+
+/// Component values of the ptanh circuit.
+struct PtanhComponents {
+  double r1 = 200e3;        // Ω — divider resistor
+  double r2 = 300e3;        // Ω — divider resistor
+  double t1_scale = 1.0;    // transistor T1 geometry scale (W/L relative)
+  double t2_scale = 1.0;    // transistor T2 geometry scale
+  PrintedEgt egt;           // shared device parameters
+};
+
+/// Smooth behavioural map q -> eta fitted against SPICE data of the pPDK
+/// inverter-amplifier stage (see DESIGN.md §1 for the substitution note).
+///
+/// The functional form preserves the SPICE-observed monotonicities:
+///  - eta1 tracks the R1/R2 divider midpoint,
+///  - eta2 grows with the divider swing and T2 drive strength,
+///  - eta3 tracks the EGT threshold shifted by the divider,
+///  - eta4 grows with T1 transconductance and the load resistance.
+PtanhParams fit_ptanh(const PtanhComponents& q);
+
+/// Approximate static power draw of the ptanh stage (both EGT branches
+/// conducting at the bias point), in watts.
+double ptanh_static_power(const PtanhComponents& q, const SupplyLevels& s);
+
+}  // namespace pnc::circuit

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pnc/circuit/nonlinear.hpp"
+#include "pnc/circuit/ptanh.hpp"
+
+namespace pnc::circuit {
+
+/// Transistor-level substantiation of the ptanh behavioural model.
+///
+/// Builds the printed tanh-like stage of Fig. 3(b) — input divider
+/// (R1, R2), common-source EGT T1 against a diode-connected EGT load T2
+/// between ±1 V rails — simulates its DC transfer with the nonlinear MNA
+/// solver, and fits the analytic form
+///
+///   ptanh(V) = η1 + η2 · tanh((V − η3) · η4)
+///
+/// by least squares. The circuit stage is inverting, so the fitted η2 is
+/// negative; a crossbar sign flip (one inverter) restores the rising
+/// orientation used by the network model.
+
+/// Least-squares fit of the ptanh form to a sampled transfer curve:
+/// coarse-to-fine grid over (η3, η4) with closed-form linear solves for
+/// (η1, η2). Throws on fewer than 4 samples or mismatched spans.
+struct PtanhFit {
+  PtanhParams params;
+  double r_squared = 0.0;
+};
+
+PtanhFit fit_ptanh_curve(std::span<const double> inputs,
+                         std::span<const double> outputs);
+
+/// Build the transistor-level stage for the given component values.
+/// Returns the circuit plus the ids needed to sweep it.
+struct PtanhStage {
+  NonlinearCircuit circuit;
+  int input_source = 0;
+  int output_node = 0;
+};
+
+PtanhStage build_ptanh_stage(const PtanhComponents& q,
+                             const SupplyLevels& supplies = {});
+
+/// Simulate the stage's DC transfer over [v_min, v_max] and fit η.
+struct PtanhExtraction {
+  std::vector<double> inputs;
+  std::vector<double> outputs;
+  PtanhFit fit;
+};
+
+PtanhExtraction extract_ptanh(const PtanhComponents& q,
+                              std::size_t points = 61, double v_min = -1.0,
+                              double v_max = 1.0);
+
+}  // namespace pnc::circuit

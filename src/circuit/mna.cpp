@@ -1,0 +1,197 @@
+#include "pnc/circuit/mna.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace pnc::circuit {
+
+int Netlist::add_node() { return node_count_++; }
+
+void Netlist::check_node(int n) const {
+  if (n < 0 || n >= node_count_) {
+    throw std::out_of_range("Netlist: node " + std::to_string(n) +
+                            " not allocated (have " +
+                            std::to_string(node_count_) + ")");
+  }
+}
+
+void Netlist::add_resistor(int a, int b, double ohms) {
+  check_node(a);
+  check_node(b);
+  if (ohms <= 0.0) throw std::invalid_argument("Netlist: R <= 0");
+  resistors_.push_back({a, b, ohms});
+}
+
+void Netlist::add_capacitor(int a, int b, double farads) {
+  check_node(a);
+  check_node(b);
+  if (farads <= 0.0) throw std::invalid_argument("Netlist: C <= 0");
+  capacitors_.push_back({a, b, farads});
+}
+
+int Netlist::add_voltage_source(int plus, int minus, Waveform waveform) {
+  check_node(plus);
+  check_node(minus);
+  if (!waveform) throw std::invalid_argument("Netlist: null waveform");
+  sources_.push_back({plus, minus, std::move(waveform)});
+  return static_cast<int>(sources_.size()) - 1;
+}
+
+int Netlist::add_dc_source(int plus, int minus, double volts) {
+  return add_voltage_source(plus, minus, [volts](double) { return volts; });
+}
+
+void Netlist::set_source_waveform(int index, Waveform waveform) {
+  if (index < 0 || static_cast<std::size_t>(index) >= sources_.size()) {
+    throw std::out_of_range("Netlist: source index " + std::to_string(index));
+  }
+  if (!waveform) throw std::invalid_argument("Netlist: null waveform");
+  sources_[static_cast<std::size_t>(index)].waveform = std::move(waveform);
+}
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n) {
+    throw std::invalid_argument("solve_linear_system: dimension mismatch");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-18) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double inv = 1.0 / a[col][col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) sum -= a[row][c] * x[c];
+    x[row] = sum / a[row][row];
+  }
+  return x;
+}
+
+MnaSolver::MnaSolver(const Netlist& netlist) : netlist_(netlist) {}
+
+namespace {
+
+/// Assemble and solve one MNA system. Capacitors enter through their
+/// backward-Euler companion model: conductance C/dt plus a history current
+/// (C/dt)·v_prev; pass dt <= 0 for a DC solve (capacitors open).
+std::vector<double> solve_step(const Netlist& nl, double t, double dt,
+                               const std::vector<double>& v_prev) {
+  const std::size_t nn = static_cast<std::size_t>(nl.node_count()) - 1;
+  const std::size_t ns = nl.sources().size();
+  const std::size_t dim = nn + ns;
+  std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> rhs(dim, 0.0);
+
+  auto stamp_conductance = [&](int na, int nb, double g) {
+    if (na > 0) a[na - 1][na - 1] += g;
+    if (nb > 0) a[nb - 1][nb - 1] += g;
+    if (na > 0 && nb > 0) {
+      a[na - 1][nb - 1] -= g;
+      a[nb - 1][na - 1] -= g;
+    }
+  };
+  auto stamp_current = [&](int na, int nb, double i) {
+    // Current i injected from node a into node b through the element.
+    if (na > 0) rhs[na - 1] -= i;
+    if (nb > 0) rhs[nb - 1] += i;
+  };
+
+  for (const auto& r : nl.resistors()) {
+    stamp_conductance(r.a, r.b, 1.0 / r.ohms);
+  }
+  if (dt > 0.0) {
+    for (const auto& c : nl.capacitors()) {
+      const double g = c.farads / dt;
+      stamp_conductance(c.a, c.b, g);
+      const double va = c.a > 0 ? v_prev[static_cast<std::size_t>(c.a)] : 0.0;
+      const double vb = c.b > 0 ? v_prev[static_cast<std::size_t>(c.b)] : 0.0;
+      // Companion history source pushes current to hold the previous
+      // capacitor voltage: i_hist = g * (va - vb) flowing a -> b inside.
+      stamp_current(c.a, c.b, -g * (va - vb));
+    }
+  }
+  for (std::size_t s = 0; s < ns; ++s) {
+    const auto& src = nl.sources()[s];
+    const std::size_t row = nn + s;
+    if (src.plus > 0) {
+      a[src.plus - 1][row] += 1.0;
+      a[row][src.plus - 1] += 1.0;
+    }
+    if (src.minus > 0) {
+      a[src.minus - 1][row] -= 1.0;
+      a[row][src.minus - 1] -= 1.0;
+    }
+    rhs[row] = src.waveform(t);
+  }
+
+  std::vector<double> x = solve_linear_system(std::move(a), std::move(rhs));
+  std::vector<double> volts(nn + 1, 0.0);
+  for (std::size_t i = 0; i < nn; ++i) volts[i + 1] = x[i];
+  return volts;
+}
+
+}  // namespace
+
+std::vector<double> MnaSolver::solve_dc(double t) const {
+  return solve_step(netlist_, t, 0.0, {});
+}
+
+TransientResult MnaSolver::solve_transient(double t_end, double dt,
+                                           std::vector<double> v0) const {
+  if (dt <= 0.0) throw std::invalid_argument("solve_transient: dt <= 0");
+  if (t_end < 0.0) throw std::invalid_argument("solve_transient: t_end < 0");
+  const auto nn = static_cast<std::size_t>(netlist_.node_count());
+  if (v0.empty()) v0.assign(nn, 0.0);
+  if (v0.size() != nn) {
+    throw std::invalid_argument("solve_transient: v0 size mismatch");
+  }
+  TransientResult out;
+  out.time.push_back(0.0);
+  out.node_voltages.push_back(v0);
+  const auto steps = static_cast<std::size_t>(std::ceil(t_end / dt));
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    out.node_voltages.push_back(
+        solve_step(netlist_, t, dt, out.node_voltages.back()));
+    out.time.push_back(t);
+  }
+  return out;
+}
+
+double MnaSolver::resistor_current(const TransientResult& r, std::size_t step,
+                                   std::size_t r_index) const {
+  const auto& res = netlist_.resistors().at(r_index);
+  return (r.voltage(step, res.a) - r.voltage(step, res.b)) / res.ohms;
+}
+
+double MnaSolver::capacitor_current(const TransientResult& r,
+                                    std::size_t step,
+                                    std::size_t c_index) const {
+  if (step == 0) {
+    throw std::invalid_argument("capacitor_current: step must be >= 1");
+  }
+  const auto& cap = netlist_.capacitors().at(c_index);
+  const double dv_now = r.voltage(step, cap.a) - r.voltage(step, cap.b);
+  const double dv_prev = r.voltage(step - 1, cap.a) - r.voltage(step - 1, cap.b);
+  const double dt = r.time[step] - r.time[step - 1];
+  return cap.farads * (dv_now - dv_prev) / dt;
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,115 @@
+#include "pnc/circuit/netlists.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+CrossbarNetlist build_crossbar_netlist(const std::vector<double>& input_volts,
+                                       const std::vector<double>& conductances,
+                                       double bias_conductance,
+                                       double pulldown_conductance,
+                                       double bias_voltage) {
+  if (input_volts.size() != conductances.size()) {
+    throw std::invalid_argument(
+        "build_crossbar_netlist: inputs/conductances size mismatch");
+  }
+  CrossbarNetlist out;
+  Netlist& nl = out.netlist;
+  out.output_node = nl.add_node();
+  for (std::size_t i = 0; i < input_volts.size(); ++i) {
+    if (conductances[i] <= 0.0) {
+      throw std::invalid_argument("build_crossbar_netlist: g <= 0");
+    }
+    const int in = nl.add_node();
+    out.input_nodes.push_back(in);
+    nl.add_dc_source(in, 0, input_volts[i]);
+    nl.add_resistor(in, out.output_node, 1.0 / conductances[i]);
+  }
+  if (bias_conductance > 0.0) {
+    const int bias = nl.add_node();
+    nl.add_dc_source(bias, 0, bias_voltage);
+    nl.add_resistor(bias, out.output_node, 1.0 / bias_conductance);
+  }
+  if (pulldown_conductance > 0.0) {
+    nl.add_resistor(out.output_node, 0, 1.0 / pulldown_conductance);
+  }
+  return out;
+}
+
+FilterNetlist build_first_order_filter(double r_ohms, double c_farads,
+                                       double load_ohms, Waveform source) {
+  FilterNetlist out;
+  Netlist& nl = out.netlist;
+  out.input_node = nl.add_node();
+  out.output_node = nl.add_node();
+  out.mid_node = out.output_node;
+  nl.add_voltage_source(out.input_node, 0, std::move(source));
+  nl.add_resistor(out.input_node, out.output_node, r_ohms);
+  out.r1_index = nl.resistors().size() - 1;
+  nl.add_capacitor(out.output_node, 0, c_farads);
+  out.c1_index = nl.capacitors().size() - 1;
+  if (load_ohms > 0.0) {
+    nl.add_resistor(out.output_node, 0, load_ohms);
+  }
+  return out;
+}
+
+FilterNetlist build_second_order_filter(double r1_ohms, double c1_farads,
+                                        double r2_ohms, double c2_farads,
+                                        double load_ohms, Waveform source) {
+  FilterNetlist out;
+  Netlist& nl = out.netlist;
+  out.input_node = nl.add_node();
+  out.mid_node = nl.add_node();
+  out.output_node = nl.add_node();
+  nl.add_voltage_source(out.input_node, 0, std::move(source));
+  nl.add_resistor(out.input_node, out.mid_node, r1_ohms);
+  out.r1_index = nl.resistors().size() - 1;
+  nl.add_capacitor(out.mid_node, 0, c1_farads);
+  out.c1_index = nl.capacitors().size() - 1;
+  nl.add_resistor(out.mid_node, out.output_node, r2_ohms);
+  out.r2_index = nl.resistors().size() - 1;
+  nl.add_capacitor(out.output_node, 0, c2_farads);
+  out.c2_index = nl.capacitors().size() - 1;
+  if (load_ohms > 0.0) {
+    nl.add_resistor(out.output_node, 0, load_ohms);
+  }
+  return out;
+}
+
+CouplingStats measure_coupling_factor(double r_ohms, double c_farads,
+                                      double load_ohms, double t_end,
+                                      double dt) {
+  FilterNetlist f = build_first_order_filter(r_ohms, c_farads, load_ohms,
+                                             [](double) { return 1.0; });
+  MnaSolver solver(f.netlist);
+  TransientResult tr = solver.solve_transient(t_end, dt);
+
+  CouplingStats stats;
+  double sum = 0.0;
+  // Threshold on |I_C| relative to the full-swing resistor current; below
+  // it the ratio is numerically meaningless (capacitor near equilibrium).
+  const double i_scale = 1.0 / r_ohms;
+  for (std::size_t k = 1; k < tr.time.size(); ++k) {
+    const double i_r = solver.resistor_current(tr, k, f.r1_index);
+    const double i_c = solver.capacitor_current(tr, k, f.c1_index);
+    if (std::abs(i_c) < 0.05 * i_scale) continue;
+    const double mu = i_r / i_c;
+    if (!std::isfinite(mu) || mu <= 0.0) continue;
+    if (stats.samples == 0) {
+      stats.mu_min = stats.mu_max = mu;
+    } else {
+      stats.mu_min = std::min(stats.mu_min, mu);
+      stats.mu_max = std::max(stats.mu_max, mu);
+    }
+    sum += mu;
+    ++stats.samples;
+  }
+  if (stats.samples > 0) sum /= static_cast<double>(stats.samples);
+  stats.mu_mean = sum;
+  return stats;
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,183 @@
+#include "pnc/circuit/nonlinear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+namespace {
+
+/// Numerically stable softplus, scaled: 2φ ln(1 + e^{x/(2φ)}).
+double smooth_overdrive(double x, double phi) {
+  const double s = x / (2.0 * phi);
+  if (s > 30.0) return x;
+  return 2.0 * phi * std::log1p(std::exp(s));
+}
+
+double smooth_overdrive_derivative(double x, double phi) {
+  const double s = x / (2.0 * phi);
+  if (s > 30.0) return 1.0;
+  const double e = std::exp(s);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+double EgtModel::drain_current(double v_gs, double v_ds) const {
+  const double v_eff =
+      smooth_overdrive(v_gs - threshold_voltage, thermal_smoothing);
+  return transconductance * width_scale * v_eff * v_eff *
+         std::tanh(v_ds / saturation_voltage);
+}
+
+double EgtModel::d_current_d_vgs(double v_gs, double v_ds) const {
+  const double x = v_gs - threshold_voltage;
+  const double v_eff = smooth_overdrive(x, thermal_smoothing);
+  const double dv_eff = smooth_overdrive_derivative(x, thermal_smoothing);
+  return transconductance * width_scale * 2.0 * v_eff * dv_eff *
+         std::tanh(v_ds / saturation_voltage);
+}
+
+double EgtModel::d_current_d_vds(double v_gs, double v_ds) const {
+  const double v_eff =
+      smooth_overdrive(v_gs - threshold_voltage, thermal_smoothing);
+  const double t = std::tanh(v_ds / saturation_voltage);
+  return transconductance * width_scale * v_eff * v_eff * (1.0 - t * t) /
+         saturation_voltage;
+}
+
+void NonlinearCircuit::add_egt(int drain, int gate, int source,
+                               EgtModel model) {
+  for (int n : {drain, gate, source}) {
+    if (n < 0 || n >= netlist_.node_count()) {
+      throw std::out_of_range("NonlinearCircuit::add_egt: node " +
+                              std::to_string(n));
+    }
+  }
+  egts_.push_back({drain, gate, source, model});
+}
+
+std::vector<double> NonlinearCircuit::solve_dc(double t, int max_iterations,
+                                               double tolerance) const {
+  const std::size_t nn = static_cast<std::size_t>(netlist_.node_count()) - 1;
+  const std::size_t ns = netlist_.sources().size();
+  const std::size_t dim = nn + ns;
+  // gmin from every node to ground keeps the Jacobian non-singular when a
+  // transistor is fully off; small enough to shift high-impedance nodes by
+  // well under a microvolt.
+  constexpr double kGmin = 1e-12;
+
+  // Unknown vector x = [node voltages (1..nn), source currents].
+  std::vector<double> x(dim, 0.0);
+
+  auto node_v = [&](int node) {
+    return node == 0 ? 0.0 : x[static_cast<std::size_t>(node) - 1];
+  };
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::vector<std::vector<double>> jac(dim, std::vector<double>(dim, 0.0));
+    std::vector<double> residual(dim, 0.0);
+
+    auto stamp_g = [&](int a, int b, double g) {
+      if (a > 0) jac[static_cast<std::size_t>(a) - 1][static_cast<std::size_t>(a) - 1] += g;
+      if (b > 0) jac[static_cast<std::size_t>(b) - 1][static_cast<std::size_t>(b) - 1] += g;
+      if (a > 0 && b > 0) {
+        jac[static_cast<std::size_t>(a) - 1][static_cast<std::size_t>(b) - 1] -= g;
+        jac[static_cast<std::size_t>(b) - 1][static_cast<std::size_t>(a) - 1] -= g;
+      }
+    };
+    // KCL residual contribution: current `i` leaving node a, entering b.
+    auto add_current = [&](int a, int b, double i) {
+      if (a > 0) residual[static_cast<std::size_t>(a) - 1] += i;
+      if (b > 0) residual[static_cast<std::size_t>(b) - 1] -= i;
+    };
+
+    // Linear part: residual = G x - b contributions.
+    for (const auto& r : netlist_.resistors()) {
+      const double g = 1.0 / r.ohms;
+      stamp_g(r.a, r.b, g);
+      add_current(r.a, r.b, g * (node_v(r.a) - node_v(r.b)));
+    }
+    for (std::size_t i = 1; i <= nn; ++i) {
+      jac[i - 1][i - 1] += kGmin;
+      residual[i - 1] += kGmin * x[i - 1];
+    }
+    for (std::size_t s = 0; s < ns; ++s) {
+      const auto& src = netlist_.sources()[s];
+      const std::size_t row = nn + s;
+      const double i_src = x[row];
+      if (src.plus > 0) {
+        jac[static_cast<std::size_t>(src.plus) - 1][row] += 1.0;
+        residual[static_cast<std::size_t>(src.plus) - 1] += i_src;
+      }
+      if (src.minus > 0) {
+        jac[static_cast<std::size_t>(src.minus) - 1][row] -= 1.0;
+        residual[static_cast<std::size_t>(src.minus) - 1] -= i_src;
+      }
+      // Constraint row: v+ - v- = V(t).
+      if (src.plus > 0) jac[row][static_cast<std::size_t>(src.plus) - 1] += 1.0;
+      if (src.minus > 0) jac[row][static_cast<std::size_t>(src.minus) - 1] -= 1.0;
+      residual[row] =
+          node_v(src.plus) - node_v(src.minus) - src.waveform(t);
+    }
+
+    // Nonlinear part: EGT drain-source current, controlled by gate.
+    for (const auto& egt : egts_) {
+      const double v_gs = node_v(egt.gate) - node_v(egt.source);
+      const double v_ds = node_v(egt.drain) - node_v(egt.source);
+      const double i_d = egt.model.drain_current(v_gs, v_ds);
+      const double g_m = egt.model.d_current_d_vgs(v_gs, v_ds);
+      const double g_ds = egt.model.d_current_d_vds(v_gs, v_ds);
+      add_current(egt.drain, egt.source, i_d);
+      // d i_d / d v_drain = g_ds; / d v_gate = g_m;
+      // / d v_source = -(g_m + g_ds).
+      auto stamp_dep = [&](int row_node, double sign) {
+        if (row_node <= 0) return;
+        auto& row = jac[static_cast<std::size_t>(row_node) - 1];
+        if (egt.drain > 0) row[static_cast<std::size_t>(egt.drain) - 1] += sign * g_ds;
+        if (egt.gate > 0) row[static_cast<std::size_t>(egt.gate) - 1] += sign * g_m;
+        if (egt.source > 0) {
+          row[static_cast<std::size_t>(egt.source) - 1] -= sign * (g_ds + g_m);
+        }
+      };
+      stamp_dep(egt.drain, +1.0);
+      stamp_dep(egt.source, -1.0);
+    }
+
+    double norm = 0.0;
+    for (double r : residual) norm = std::max(norm, std::abs(r));
+    if (norm < tolerance) {
+      std::vector<double> volts(nn + 1, 0.0);
+      for (std::size_t i = 0; i < nn; ++i) volts[i + 1] = x[i];
+      return volts;
+    }
+
+    std::vector<double> delta = solve_linear_system(std::move(jac), residual);
+    // Damping: limit the voltage step to keep Newton inside the region
+    // where the exponential models behave.
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < nn; ++i) {
+      max_step = std::max(max_step, std::abs(delta[i]));
+    }
+    const double scale = max_step > 0.3 ? 0.3 / max_step : 1.0;
+    for (std::size_t i = 0; i < dim; ++i) x[i] -= scale * delta[i];
+  }
+  throw std::runtime_error("NonlinearCircuit::solve_dc: Newton failed to "
+                           "converge");
+}
+
+std::vector<double> dc_sweep(NonlinearCircuit& circuit, int sweep_source,
+                             const std::vector<double>& inputs,
+                             int probe_node) {
+  std::vector<double> out;
+  out.reserve(inputs.size());
+  for (const double v : inputs) {
+    circuit.netlist().set_source_waveform(sweep_source,
+                                          [v](double) { return v; });
+    const auto volts = circuit.solve_dc();
+    out.push_back(volts.at(static_cast<std::size_t>(probe_node)));
+  }
+  return out;
+}
+
+}  // namespace pnc::circuit

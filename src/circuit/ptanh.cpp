@@ -1,0 +1,48 @@
+#include "pnc/circuit/ptanh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+double PtanhParams::operator()(double v_in) const {
+  return eta1 + eta2 * std::tanh((v_in - eta3) * eta4);
+}
+
+double PtanhParams::derivative(double v_in) const {
+  const double t = std::tanh((v_in - eta3) * eta4);
+  return eta2 * eta4 * (1.0 - t * t);
+}
+
+PtanhParams fit_ptanh(const PtanhComponents& q) {
+  if (q.r1 <= 0.0 || q.r2 <= 0.0 || q.t1_scale <= 0.0 || q.t2_scale <= 0.0) {
+    throw std::invalid_argument("fit_ptanh: non-positive component value");
+  }
+  const double divider = q.r2 / (q.r1 + q.r2);  // in (0, 1)
+
+  PtanhParams eta;
+  // Offset: the divider sets the quiescent output around mid-swing; a
+  // symmetric divider (R1 == R2) centres the curve at 0 V.
+  eta.eta1 = (divider - 0.5) * 0.6;
+  // Swing: limited by the rails and the T2 drive strength; saturates for
+  // strong devices.
+  eta.eta2 = 0.95 * std::tanh(1.2 * q.t2_scale) * (0.7 + 0.3 * divider);
+  // Input offset: EGT threshold seen through the divider.
+  eta.eta3 = q.egt.threshold_voltage * (0.5 + divider);
+  // Gain: transconductance of T1 against the parallel divider load.
+  const double r_load = (q.r1 * q.r2) / (q.r1 + q.r2);
+  eta.eta4 = q.egt.transconductance * q.t1_scale * r_load * 0.08;
+  return eta;
+}
+
+double ptanh_static_power(const PtanhComponents& q, const SupplyLevels& s) {
+  const double swing = s.vdd - s.vss;
+  // Divider branch current plus the class-A bias current of both EGTs.
+  const double divider_power = swing * swing / (q.r1 + q.r2);
+  const double bias_current =
+      0.5 * q.egt.transconductance * (q.t1_scale + q.t2_scale) *
+      q.egt.threshold_voltage * q.egt.threshold_voltage;
+  return divider_power + swing * bias_current;
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,171 @@
+#include "pnc/circuit/ptanh_extract.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+namespace {
+
+/// For fixed (η3, η4) the model is linear in (η1, η2): solve the 2x2
+/// normal equations and return the sum of squared errors.
+struct LinearFit {
+  double eta1 = 0.0;
+  double eta2 = 0.0;
+  double sse = 0.0;
+};
+
+LinearFit solve_linear(std::span<const double> x, std::span<const double> y,
+                       double eta3, double eta4) {
+  const std::size_t n = x.size();
+  double s_t = 0.0, s_tt = 0.0, s_y = 0.0, s_ty = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = std::tanh((x[i] - eta3) * eta4);
+    s_t += t;
+    s_tt += t * t;
+    s_y += y[i];
+    s_ty += t * y[i];
+  }
+  const double nn = static_cast<double>(n);
+  const double det = nn * s_tt - s_t * s_t;
+  LinearFit fit;
+  if (std::abs(det) < 1e-12) {
+    // Degenerate basis (tanh saturated to a constant): flat fit.
+    fit.eta1 = s_y / nn;
+    fit.eta2 = 0.0;
+  } else {
+    fit.eta2 = (nn * s_ty - s_t * s_y) / det;
+    fit.eta1 = (s_y - fit.eta2 * s_t) / nn;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = std::tanh((x[i] - eta3) * eta4);
+    const double e = y[i] - (fit.eta1 + fit.eta2 * t);
+    fit.sse += e * e;
+  }
+  return fit;
+}
+
+}  // namespace
+
+PtanhFit fit_ptanh_curve(std::span<const double> inputs,
+                         std::span<const double> outputs) {
+  if (inputs.size() != outputs.size()) {
+    throw std::invalid_argument("fit_ptanh_curve: size mismatch");
+  }
+  if (inputs.size() < 4) {
+    throw std::invalid_argument("fit_ptanh_curve: need >= 4 samples");
+  }
+
+  double best_sse = std::numeric_limits<double>::infinity();
+  PtanhParams best;
+  // Coarse-to-fine grid over (eta3, eta4); eta4 on a log axis.
+  double e3_lo = -1.2, e3_hi = 1.2;
+  double log_e4_lo = std::log(0.3), log_e4_hi = std::log(30.0);
+  for (int round = 0; round < 4; ++round) {
+    constexpr int kGrid = 25;
+    double round_best_e3 = best.eta3, round_best_le4 = std::log(
+        std::max(best.eta4, 0.3));
+    for (int i = 0; i < kGrid; ++i) {
+      const double e3 =
+          e3_lo + (e3_hi - e3_lo) * static_cast<double>(i) / (kGrid - 1);
+      for (int j = 0; j < kGrid; ++j) {
+        const double le4 = log_e4_lo + (log_e4_hi - log_e4_lo) *
+                                           static_cast<double>(j) /
+                                           (kGrid - 1);
+        const double e4 = std::exp(le4);
+        const LinearFit lin = solve_linear(inputs, outputs, e3, e4);
+        if (lin.sse < best_sse) {
+          best_sse = lin.sse;
+          best.eta1 = lin.eta1;
+          best.eta2 = lin.eta2;
+          best.eta3 = e3;
+          best.eta4 = e4;
+          round_best_e3 = e3;
+          round_best_le4 = le4;
+        }
+      }
+    }
+    // Zoom in around the round's winner.
+    const double e3_span = (e3_hi - e3_lo) / 6.0;
+    const double le4_span = (log_e4_hi - log_e4_lo) / 6.0;
+    e3_lo = round_best_e3 - e3_span;
+    e3_hi = round_best_e3 + e3_span;
+    log_e4_lo = round_best_le4 - le4_span;
+    log_e4_hi = round_best_le4 + le4_span;
+  }
+
+  // R² against the output variance.
+  double mean = 0.0;
+  for (double y : outputs) mean += y;
+  mean /= static_cast<double>(outputs.size());
+  double ss_tot = 0.0;
+  for (double y : outputs) ss_tot += (y - mean) * (y - mean);
+
+  PtanhFit fit;
+  fit.params = best;
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - best_sse / ss_tot : 1.0;
+  return fit;
+}
+
+PtanhStage build_ptanh_stage(const PtanhComponents& q,
+                             const SupplyLevels& supplies) {
+  if (q.r1 <= 0.0 || q.r2 <= 0.0 || q.t1_scale <= 0.0 || q.t2_scale <= 0.0) {
+    throw std::invalid_argument("build_ptanh_stage: non-positive component");
+  }
+  Netlist nl;
+  const int in = nl.add_node();
+  const int gate = nl.add_node();
+  const int out = nl.add_node();
+  const int vdd = nl.add_node();
+  const int vss = nl.add_node();
+
+  const int input_source = nl.add_dc_source(in, 0, 0.0);
+  nl.add_dc_source(vdd, 0, supplies.vdd);
+  nl.add_dc_source(vss, 0, supplies.vss);
+
+  // Input level divider R1/R2 biases the gate between V_in and V_SS.
+  nl.add_resistor(in, gate, q.r1);
+  nl.add_resistor(gate, vss, q.r2);
+
+  NonlinearCircuit circuit(std::move(nl));
+
+  EgtModel driver;
+  driver.threshold_voltage = q.egt.threshold_voltage;
+  driver.transconductance = q.egt.transconductance;
+  driver.width_scale = q.t1_scale;
+  // T1: common-source driver pulling the output towards V_SS.
+  circuit.add_egt(/*drain=*/out, /*gate=*/gate, /*source=*/vss, driver);
+
+  EgtModel load = driver;
+  load.width_scale = q.t2_scale;
+  // T2: diode-connected load (gate tied to drain at V_DD) pulling up.
+  circuit.add_egt(/*drain=*/vdd, /*gate=*/vdd, /*source=*/out, load);
+
+  PtanhStage stage{std::move(circuit), input_source, out};
+  return stage;
+}
+
+PtanhExtraction extract_ptanh(const PtanhComponents& q, std::size_t points,
+                              double v_min, double v_max) {
+  if (points < 4) {
+    throw std::invalid_argument("extract_ptanh: need >= 4 sweep points");
+  }
+  if (v_max <= v_min) {
+    throw std::invalid_argument("extract_ptanh: bad sweep range");
+  }
+  PtanhStage stage = build_ptanh_stage(q);
+  PtanhExtraction extraction;
+  extraction.inputs.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    extraction.inputs.push_back(
+        v_min + (v_max - v_min) * static_cast<double>(i) /
+                    static_cast<double>(points - 1));
+  }
+  extraction.outputs = dc_sweep(stage.circuit, stage.input_source,
+                                extraction.inputs, stage.output_node);
+  extraction.fit = fit_ptanh_curve(extraction.inputs, extraction.outputs);
+  return extraction;
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,99 @@
+#include "pnc/core/adapt_pnc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::core {
+
+PncTopology PncTopology::adapt(std::size_t n_classes, double dt,
+                               std::size_t hidden_cap) {
+  PncTopology t;
+  t.n_classes = n_classes;
+  t.hidden = n_classes * n_classes;
+  if (hidden_cap > 0) t.hidden = std::min(t.hidden, hidden_cap);
+  t.dt = dt;
+  return t;
+}
+
+PncTopology PncTopology::baseline(std::size_t n_classes, double dt) {
+  PncTopology t;
+  t.n_classes = n_classes;
+  t.hidden = n_classes;
+  t.dt = dt;
+  return t;
+}
+
+PrintedTemporalNetwork::PrintedTemporalNetwork(std::string name,
+                                               PncTopology topology,
+                                               FilterOrder order,
+                                               std::uint64_t seed)
+    : name_(std::move(name)), topology_(topology), order_(order) {
+  if (topology_.n_classes < 2) {
+    throw std::invalid_argument("PrintedTemporalNetwork: need >= 2 classes");
+  }
+  util::Rng rng(seed);
+  layer1_ = std::make_unique<PtpbLayer>(name_ + ".l1", topology_.n_inputs,
+                                        topology_.hidden, order,
+                                        topology_.dt, rng);
+  layer2_ = std::make_unique<PtpbLayer>(name_ + ".l2", topology_.hidden,
+                                        topology_.n_classes, order,
+                                        topology_.dt, rng);
+}
+
+ad::Var PrintedTemporalNetwork::forward(ad::Graph& g,
+                                        const ad::Tensor& inputs,
+                                        const variation::VariationSpec& spec,
+                                        util::Rng& rng) {
+  const std::size_t batch = inputs.rows();
+  const std::size_t steps = inputs.cols();
+  if (steps == 0) {
+    throw std::invalid_argument("PrintedTemporalNetwork: empty sequence");
+  }
+  const ad::Var x = g.constant(inputs);
+  PtpbLayer::Pass pass1 = layer1_->begin(g, batch, spec, rng);
+  PtpbLayer::Pass pass2 = layer2_->begin(g, batch, spec, rng);
+  // Readout: time-average of the second block's outputs — physically an
+  // output integrator (large-RC stage) after the last pTPB. Averaging
+  // makes the logits see mid-sequence events even with moderate filter
+  // poles and keeps them stable against per-channel gain drift from the
+  // coupling factor μ (DESIGN.md §4.4).
+  ad::Var sum;
+  for (std::size_t t = 0; t < steps; ++t) {
+    const ad::Var x_t = ad::slice_cols(x, t, 1);
+    const ad::Var h = layer1_->step(g, pass1, x_t);
+    const ad::Var out = layer2_->step(g, pass2, h);
+    sum = (t == 0) ? out : ad::add(sum, out);
+  }
+  return ad::scale(sum, 1.0 / static_cast<double>(steps));  // (B x C)
+}
+
+std::vector<ad::Parameter*> PrintedTemporalNetwork::parameters() {
+  std::vector<ad::Parameter*> out = layer1_->parameters();
+  for (auto* p : layer2_->parameters()) out.push_back(p);
+  return out;
+}
+
+void PrintedTemporalNetwork::clamp_parameters() {
+  layer1_->clamp_printable();
+  layer2_->clamp_printable();
+}
+
+std::unique_ptr<PrintedTemporalNetwork> make_adapt_pnc(std::size_t n_classes,
+                                                       double dt,
+                                                       std::uint64_t seed,
+                                                       std::size_t hidden_cap) {
+  return std::make_unique<PrintedTemporalNetwork>(
+      "adapt_pnc", PncTopology::adapt(n_classes, dt, hidden_cap),
+      FilterOrder::kSecond, seed);
+}
+
+std::unique_ptr<PrintedTemporalNetwork> make_baseline_ptpnc(
+    std::size_t n_classes, double dt, std::uint64_t seed) {
+  return std::make_unique<PrintedTemporalNetwork>(
+      "ptpnc_baseline", PncTopology::baseline(n_classes, dt),
+      FilterOrder::kFirst, seed);
+}
+
+}  // namespace pnc::core

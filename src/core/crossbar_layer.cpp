@@ -1,0 +1,148 @@
+#include "pnc/core/crossbar_layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::core {
+
+namespace {
+
+/// Signed clamp: keeps |v| in [lo, hi] without flipping sign. Zero values
+/// are nudged to +lo (a printed resistor cannot vanish).
+double clamp_magnitude(double v, double lo, double hi) {
+  const double sign = v < 0.0 ? -1.0 : 1.0;
+  const double mag = std::clamp(std::abs(v), lo, hi);
+  return sign * mag;
+}
+
+}  // namespace
+
+CrossbarLayer::CrossbarLayer(std::string name, std::size_t n_in,
+                             std::size_t n_out, util::Rng& rng)
+    : name_(std::move(name)), n_in_(n_in), n_out_(n_out) {
+  if (n_in == 0 || n_out == 0) {
+    throw std::invalid_argument("CrossbarLayer: zero dimension");
+  }
+  ad::Tensor theta(n_in, n_out);
+  for (auto& v : theta.data()) {
+    // Xavier-like spread inside the printable window, random inverter
+    // assignment.
+    const double mag = rng.uniform(0.3, 1.5) / std::sqrt(
+        static_cast<double>(n_in));
+    v = (rng.bernoulli(0.5) ? 1.0 : -1.0) *
+        std::clamp(mag, kThetaMin, kThetaMax);
+  }
+  ad::Tensor theta_b(1, n_out);
+  for (auto& v : theta_b.data()) {
+    v = (rng.bernoulli(0.5) ? 1.0 : -1.0) * rng.uniform(kThetaMin, 0.5);
+  }
+  theta_ = ad::Parameter(name_ + ".theta", std::move(theta));
+  theta_b_ = ad::Parameter(name_ + ".theta_b", std::move(theta_b));
+}
+
+CrossbarLayer::Pass CrossbarLayer::begin(ad::Graph& g,
+                                         const variation::VariationSpec& spec,
+                                         util::Rng& rng) {
+  ad::Var th = g.leaf(theta_);
+  ad::Var thb = g.leaf(theta_b_);
+  if (spec.component) {
+    th = ad::mul(th, g.constant(variation::sample_factors(
+                         *spec.component, n_in_, n_out_, rng)));
+    thb = ad::mul(thb, g.constant(variation::sample_factors(
+                           *spec.component, 1, n_out_, rng)));
+  }
+  const ad::Var g_total =
+      ad::add(ad::add(ad::sum_rows(ad::abs(th)), ad::abs(thb)),
+              g.constant(ad::Tensor(1, n_out_, kPulldownConductance)));
+  Pass pass;
+  pass.weights = ad::div(th, g_total);  // sign rides on θ
+  pass.bias = ad::div(thb, g_total);    // V_b = 1 V
+  return pass;
+}
+
+ad::Var CrossbarLayer::apply(ad::Graph& g, const Pass& pass, ad::Var x) const {
+  (void)g;
+  return ad::add(ad::matmul(x, pass.weights), pass.bias);
+}
+
+ad::Var CrossbarLayer::forward(ad::Graph& g, ad::Var x,
+                               const variation::VariationSpec& spec,
+                               util::Rng& rng) {
+  return apply(g, begin(g, spec, rng), x);
+}
+
+std::vector<ad::Parameter*> CrossbarLayer::parameters() {
+  return {&theta_, &theta_b_};
+}
+
+void CrossbarLayer::clamp_printable() {
+  for (auto& v : theta_.value.data()) {
+    v = clamp_magnitude(v, kThetaMin, kThetaMax);
+  }
+  for (auto& v : theta_b_.value.data()) {
+    v = clamp_magnitude(v, kThetaMin, kThetaMax);
+  }
+}
+
+ad::Tensor CrossbarLayer::weights() const {
+  ad::Tensor w(n_in_, n_out_);
+  for (std::size_t j = 0; j < n_out_; ++j) {
+    double g_total = kPulldownConductance + std::abs(theta_b_.value(0, j));
+    for (std::size_t i = 0; i < n_in_; ++i) {
+      g_total += std::abs(theta_.value(i, j));
+    }
+    for (std::size_t i = 0; i < n_in_; ++i) {
+      w(i, j) = theta_.value(i, j) / g_total;
+    }
+  }
+  return w;
+}
+
+ad::Tensor CrossbarLayer::bias() const {
+  ad::Tensor b(1, n_out_);
+  for (std::size_t j = 0; j < n_out_; ++j) {
+    double g_total = kPulldownConductance + std::abs(theta_b_.value(0, j));
+    for (std::size_t i = 0; i < n_in_; ++i) {
+      g_total += std::abs(theta_.value(i, j));
+    }
+    b(0, j) = theta_b_.value(0, j) / g_total;
+  }
+  return b;
+}
+
+circuit::CrossbarColumn CrossbarLayer::export_column(
+    std::size_t j, double unit_resistance) const {
+  if (j >= n_out_) {
+    throw std::out_of_range("CrossbarLayer::export_column: column " +
+                            std::to_string(j));
+  }
+  if (unit_resistance <= 0.0) {
+    throw std::invalid_argument("export_column: unit_resistance <= 0");
+  }
+  const double unit_g = 1.0 / unit_resistance;
+  circuit::CrossbarColumn col;
+  for (std::size_t i = 0; i < n_in_; ++i) {
+    const double th = theta_.value(i, j);
+    col.conductances.push_back(std::abs(th) * unit_g);
+    col.signs.push_back(th < 0.0 ? -1 : +1);
+  }
+  const double thb = theta_b_.value(0, j);
+  col.bias_conductance = std::abs(thb) * unit_g;
+  col.bias_sign = thb < 0.0 ? -1 : +1;
+  col.pulldown_conductance = kPulldownConductance * unit_g;
+  return col;
+}
+
+std::size_t CrossbarLayer::inverter_count() const {
+  std::size_t n = 0;
+  for (double v : theta_.value.data()) {
+    if (v < 0.0) ++n;
+  }
+  for (double v : theta_b_.value.data()) {
+    if (v < 0.0) ++n;
+  }
+  return n;
+}
+
+}  // namespace pnc::core

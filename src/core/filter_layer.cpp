@@ -1,0 +1,130 @@
+#include "pnc/core/filter_layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::core {
+
+FilterLayer::FilterLayer(std::string name, std::size_t channels,
+                         FilterOrder order, double dt, util::Rng& rng)
+    : name_(std::move(name)), channels_(channels), order_(order), dt_(dt) {
+  if (channels == 0) throw std::invalid_argument("FilterLayer: 0 channels");
+  if (dt <= 0.0) throw std::invalid_argument("FilterLayer: dt <= 0");
+
+  auto init_stage = [&](ad::Parameter& log_r, ad::Parameter& log_c,
+                        const std::string& suffix) {
+    ad::Tensor lr(1, channels), lc(1, channels);
+    for (std::size_t j = 0; j < channels; ++j) {
+      // Spread the initial discrete-time poles a = RC/(RC+Δt) over a useful
+      // memory range, then split RC into printable R and C. The upper end
+      // is capped at 0.5: beyond it the coupling draw μ ∈ [1, 1.3] swings
+      // the stage's DC gain dt/((μ-1)RC + dt) so strongly that no trained
+      // solution survives fabrication (see DESIGN.md §4.3).
+      const double a = rng.uniform(0.15, 0.5);
+      const double rc = dt * a / (1.0 - a);
+      const double c = rng.uniform(30e-6, 90e-6);
+      const double r =
+          std::clamp(rc / c, kResistanceMin, kResistanceMax);
+      lr(0, j) = std::log(r);
+      lc(0, j) = std::log(std::clamp(rc / r, kCapacitanceMin,
+                                     kCapacitanceMax));
+    }
+    log_r = ad::Parameter(name_ + ".log_r" + suffix, std::move(lr));
+    log_c = ad::Parameter(name_ + ".log_c" + suffix, std::move(lc));
+  };
+  init_stage(log_r1_, log_c1_, "1");
+  if (order_ == FilterOrder::kSecond) init_stage(log_r2_, log_c2_, "2");
+}
+
+std::pair<ad::Var, ad::Var> FilterLayer::coefficients(
+    ad::Graph& g, ad::Parameter& log_r, ad::Parameter& log_c,
+    const variation::VariationSpec& spec, util::Rng& rng) const {
+  ad::Var r = ad::exp(g.leaf(log_r));
+  ad::Var c = ad::exp(g.leaf(log_c));
+  if (spec.component) {
+    r = ad::mul(r, g.constant(variation::sample_factors(*spec.component, 1,
+                                                        channels_, rng)));
+    c = ad::mul(c, g.constant(variation::sample_factors(*spec.component, 1,
+                                                        channels_, rng)));
+  }
+  const ad::Var rc = ad::mul(r, c);
+  ad::Tensor mu(1, channels_);
+  for (auto& m : mu.data()) m = spec.sample_mu(rng);
+  const ad::Var denom = ad::add_scalar(ad::mul(rc, g.constant(std::move(mu))),
+                                       dt_);
+  const ad::Var a = ad::div(rc, denom);
+  const ad::Var b = ad::scale(ad::reciprocal(denom), dt_);
+  return {a, b};
+}
+
+FilterLayer::Pass FilterLayer::begin(ad::Graph& g, std::size_t batch,
+                                     const variation::VariationSpec& spec,
+                                     util::Rng& rng) {
+  Pass pass;
+  std::tie(pass.a1, pass.b1) = coefficients(g, log_r1_, log_c1_, spec, rng);
+  ad::Tensor h0(batch, channels_);
+  for (auto& v : h0.data()) v = spec.sample_v0(rng);
+  pass.h1 = g.constant(std::move(h0));
+  if (order_ == FilterOrder::kSecond) {
+    std::tie(pass.a2, pass.b2) = coefficients(g, log_r2_, log_c2_, spec, rng);
+    ad::Tensor h0b(batch, channels_);
+    for (auto& v : h0b.data()) v = spec.sample_v0(rng);
+    pass.h2 = g.constant(std::move(h0b));
+  }
+  return pass;
+}
+
+ad::Var FilterLayer::step(ad::Graph& g, Pass& pass, ad::Var x) const {
+  (void)g;
+  pass.h1 = ad::add(ad::mul(pass.a1, pass.h1), ad::mul(pass.b1, x));
+  if (order_ == FilterOrder::kFirst) return pass.h1;
+  pass.h2 = ad::add(ad::mul(pass.a2, pass.h2), ad::mul(pass.b2, pass.h1));
+  return pass.h2;
+}
+
+std::vector<ad::Parameter*> FilterLayer::parameters() {
+  if (order_ == FilterOrder::kFirst) return {&log_r1_, &log_c1_};
+  return {&log_r1_, &log_c1_, &log_r2_, &log_c2_};
+}
+
+void FilterLayer::clamp_printable() {
+  auto clamp_log = [](ad::Parameter& p, double lo, double hi) {
+    const double llo = std::log(lo);
+    const double lhi = std::log(hi);
+    for (auto& v : p.value.data()) v = std::clamp(v, llo, lhi);
+  };
+  clamp_log(log_r1_, kResistanceMin, kResistanceMax);
+  clamp_log(log_c1_, kCapacitanceMin, kCapacitanceMax);
+  if (order_ == FilterOrder::kSecond) {
+    clamp_log(log_r2_, kResistanceMin, kResistanceMax);
+    clamp_log(log_c2_, kCapacitanceMin, kCapacitanceMax);
+  }
+}
+
+namespace {
+const ad::Parameter& stage_param(const ad::Parameter& s1,
+                                 const ad::Parameter& s2, std::size_t stage,
+                                 FilterOrder order) {
+  if (stage == 0) return s1;
+  if (stage == 1 && order == FilterOrder::kSecond) return s2;
+  throw std::out_of_range("FilterLayer: stage out of range");
+}
+}  // namespace
+
+double FilterLayer::resistance(std::size_t stage, std::size_t j) const {
+  return std::exp(stage_param(log_r1_, log_r2_, stage, order_).value.at(0, j));
+}
+
+double FilterLayer::capacitance(std::size_t stage, std::size_t j) const {
+  return std::exp(stage_param(log_c1_, log_c2_, stage, order_).value.at(0, j));
+}
+
+double FilterLayer::nominal_pole(std::size_t stage, std::size_t j) const {
+  const double rc = resistance(stage, j) * capacitance(stage, j);
+  return rc / (rc + dt_);
+}
+
+}  // namespace pnc::core

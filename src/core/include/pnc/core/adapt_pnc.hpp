@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pnc/core/model.hpp"
+#include "pnc/core/ptpb.hpp"
+
+namespace pnc::core {
+
+/// Network topology of a printed temporal neuromorphic circuit.
+struct PncTopology {
+  std::size_t n_inputs = 1;  // univariate sensory stream
+  std::size_t hidden = 4;
+  std::size_t n_classes = 2;
+  double dt = 0.01;  // sampling period of the sensory signal, seconds
+
+  /// The paper's sizing rule for the proposed ADAPT-pNC: hidden = C²
+  /// (matches Table III capacitor counts), optionally capped to bound
+  /// training cost in the benches. cap = 0 means uncapped.
+  static PncTopology adapt(std::size_t n_classes, double dt,
+                           std::size_t hidden_cap = 0);
+
+  /// Baseline pTPNC sizing of [8]: hidden = C.
+  static PncTopology baseline(std::size_t n_classes, double dt);
+};
+
+/// The full printed temporal neuromorphic circuit: two stacked pTPB
+/// layers processing a univariate series step by step; the logits are the
+/// second block's outputs at the final time step.
+///
+/// * order = kSecond and trained with variation awareness + augmentation
+///   → the proposed robustness-aware **ADAPT-pNC**.
+/// * order = kFirst and trained clean → the baseline **pTPNC** of [8].
+class PrintedTemporalNetwork final : public SequenceClassifier {
+ public:
+  PrintedTemporalNetwork(std::string name, PncTopology topology,
+                         FilterOrder order, std::uint64_t seed);
+
+  ad::Var forward(ad::Graph& g, const ad::Tensor& inputs,
+                  const variation::VariationSpec& spec,
+                  util::Rng& rng) override;
+
+  std::vector<ad::Parameter*> parameters() override;
+  void clamp_parameters() override;
+  std::string name() const override { return name_; }
+  int num_classes() const override {
+    return static_cast<int>(topology_.n_classes);
+  }
+
+  const PncTopology& topology() const { return topology_; }
+  FilterOrder order() const { return order_; }
+
+  PtpbLayer& layer1() { return *layer1_; }
+  PtpbLayer& layer2() { return *layer2_; }
+  const PtpbLayer& layer1() const { return *layer1_; }
+  const PtpbLayer& layer2() const { return *layer2_; }
+
+ private:
+  std::string name_;
+  PncTopology topology_;
+  FilterOrder order_;
+  std::unique_ptr<PtpbLayer> layer1_;
+  std::unique_ptr<PtpbLayer> layer2_;
+};
+
+/// Factory helpers matching the paper's three evaluated pNC variants.
+std::unique_ptr<PrintedTemporalNetwork> make_adapt_pnc(
+    std::size_t n_classes, double dt, std::uint64_t seed,
+    std::size_t hidden_cap = 0);
+std::unique_ptr<PrintedTemporalNetwork> make_baseline_ptpnc(
+    std::size_t n_classes, double dt, std::uint64_t seed);
+
+}  // namespace pnc::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/autodiff/graph.hpp"
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/circuit/crossbar.hpp"
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::core {
+
+/// Differentiable printed resistor crossbar (Eq. (1)) trained in the
+/// printable parameterization.
+///
+/// The trainable surrogate θ (and θ_b for the bias column) carries the
+/// conductance magnitude |θ| and the inverter assignment sign(θ). The
+/// realized ANN weight is  w_ij = θ_ij / G_j  with
+/// G_j = Σ_i |θ_ij| + |θ_bj| + g_d — so process variation multiplies the
+/// *conductances*, not the weights, exactly as in hardware.
+///
+/// Conductances are expressed in normalized units: 1.0 ≡ the conductance
+/// of `unit_resistance` (default 1 MΩ); the printable crossbar window
+/// [100 kΩ, 10 MΩ] maps to |θ| ∈ [0.1, 10].
+class CrossbarLayer {
+ public:
+  CrossbarLayer(std::string name, std::size_t n_in, std::size_t n_out,
+                util::Rng& rng);
+
+  /// One Monte-Carlo realization of the fabricated crossbar: variation
+  /// factors are drawn once and baked into the realized weight/bias Vars,
+  /// which are then reused for every time step of the pass (a printed
+  /// circuit's perturbed components are fixed for the whole sequence).
+  struct Pass {
+    ad::Var weights;  // (n_in x n_out)
+    ad::Var bias;     // (1 x n_out)
+  };
+
+  Pass begin(ad::Graph& g, const variation::VariationSpec& spec,
+             util::Rng& rng);
+
+  /// x: (B x n_in) -> (B x n_out) using the pass's realized circuit.
+  ad::Var apply(ad::Graph& g, const Pass& pass, ad::Var x) const;
+
+  /// Convenience: begin + apply (fresh variation draw).
+  ad::Var forward(ad::Graph& g, ad::Var x,
+                  const variation::VariationSpec& spec, util::Rng& rng);
+
+  std::vector<ad::Parameter*> parameters();
+
+  /// Keep |θ| inside the printable conductance window (sign preserved).
+  void clamp_printable();
+
+  std::size_t n_in() const { return n_in_; }
+  std::size_t n_out() const { return n_out_; }
+
+  /// Realized weight matrix / bias for inspection & tests.
+  ad::Tensor weights() const;
+  ad::Tensor bias() const;
+
+  /// Export column j as a concrete circuit (for the hardware cost model
+  /// and MNA cross-validation). `unit_resistance` converts normalized
+  /// conductance units back to siemens.
+  circuit::CrossbarColumn export_column(std::size_t j,
+                                        double unit_resistance) const;
+
+  /// Number of inverters (negative-θ entries incl. bias) per column summed.
+  std::size_t inverter_count() const;
+
+  static constexpr double kPulldownConductance = 0.2;  // normalized g_d
+  static constexpr double kThetaMin = 0.1;             // 10 MΩ
+  static constexpr double kThetaMax = 10.0;            // 100 kΩ
+
+ private:
+  std::string name_;
+  std::size_t n_in_;
+  std::size_t n_out_;
+  ad::Parameter theta_;    // (n_in x n_out) signed surrogate conductances
+  ad::Parameter theta_b_;  // (1 x n_out) signed bias conductance
+};
+
+}  // namespace pnc::core

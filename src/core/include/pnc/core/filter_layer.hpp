@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/autodiff/graph.hpp"
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::core {
+
+/// Filter order: the baseline pTPNC of [8] uses first-order learnable
+/// filters; ADAPT-pNC uses the proposed second-order learnable filter
+/// (SO-LF).
+enum class FilterOrder { kFirst = 1, kSecond = 2 };
+
+/// Bank of learnable printed RC low-pass filters, one per channel.
+///
+/// Each stage follows the coupled discrete-time model (Eqs. (10)–(11)):
+///
+///   h_k = a · h_{k-1} + b · x_k,   a = RC / (μ·RC + Δt),
+///                                  b = Δt / (μ·RC + Δt)
+///
+/// with the coupling factor μ ~ U(1, 1.3) drawn per forward pass (SPICE-
+/// derived range, reproduced by bench_mna_validation) and the initial
+/// capacitor voltage V0 drawn from the spec. R and C are trained
+/// *separately* (the paper's departure from prior work) in log space so
+/// positivity and the printable windows (R < 1 kΩ, C ∈ [100 nF, 100 µF])
+/// are easy to enforce.
+class FilterLayer {
+ public:
+  FilterLayer(std::string name, std::size_t channels, FilterOrder order,
+              double dt, util::Rng& rng);
+
+  /// Per-forward-pass state: coefficient Vars (one MC realization of the
+  /// component variations) plus the evolving hidden state.
+  struct Pass {
+    ad::Var a1, b1;  // stage-1 coefficients, (1 x channels)
+    ad::Var a2, b2;  // stage-2 (second order only)
+    ad::Var h1, h2;  // states, (batch x channels)
+  };
+
+  /// Sample variations, build coefficient nodes, init state.
+  Pass begin(ad::Graph& g, std::size_t batch,
+             const variation::VariationSpec& spec, util::Rng& rng);
+
+  /// One time step: x (batch x channels) -> filtered (batch x channels).
+  ad::Var step(ad::Graph& g, Pass& pass, ad::Var x) const;
+
+  std::vector<ad::Parameter*> parameters();
+
+  /// Project R and C back into the printable windows.
+  void clamp_printable();
+
+  std::size_t channels() const { return channels_; }
+  FilterOrder order() const { return order_; }
+  double dt() const { return dt_; }
+
+  /// Nominal (unvaried) component values of channel j in SI units.
+  double resistance(std::size_t stage, std::size_t j) const;
+  double capacitance(std::size_t stage, std::size_t j) const;
+
+  /// Nominal discrete-time pole a = RC/(RC + Δt) of a stage/channel (μ=1).
+  double nominal_pole(std::size_t stage, std::size_t j) const;
+
+  // Printable windows (Sec. IV-A1).
+  static constexpr double kResistanceMin = 10.0;     // Ω
+  static constexpr double kResistanceMax = 1e3;      // Ω
+  static constexpr double kCapacitanceMin = 100e-9;  // F
+  static constexpr double kCapacitanceMax = 100e-6;  // F
+
+ private:
+  /// Build the (a, b) coefficient Vars of one stage.
+  std::pair<ad::Var, ad::Var> coefficients(
+      ad::Graph& g, ad::Parameter& log_r, ad::Parameter& log_c,
+      const variation::VariationSpec& spec, util::Rng& rng) const;
+
+  std::string name_;
+  std::size_t channels_;
+  FilterOrder order_;
+  double dt_;
+  ad::Parameter log_r1_, log_c1_;  // (1 x channels)
+  ad::Parameter log_r2_, log_c2_;  // second order only
+};
+
+}  // namespace pnc::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/autodiff/graph.hpp"
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::core {
+
+/// Common interface of every trainable sequence classifier in the
+/// repository (Elman RNN reference, pTPNC baseline, ADAPT-pNC).
+///
+/// `forward` consumes a whole batch of univariate series as a (B x T)
+/// tensor and returns the (B x C) logits Var in the supplied graph. The
+/// variation spec drives one Monte-Carlo realization of the component
+/// variations (Sec. III-A): models with printed components resample
+/// ε, μ and V0 from `rng` on every call; the Elman reference ignores it.
+class SequenceClassifier {
+ public:
+  virtual ~SequenceClassifier() = default;
+
+  virtual ad::Var forward(ad::Graph& g, const ad::Tensor& inputs,
+                          const variation::VariationSpec& spec,
+                          util::Rng& rng) = 0;
+
+  virtual std::vector<ad::Parameter*> parameters() = 0;
+
+  /// Project learned values back into the printable component window after
+  /// an optimizer step (no-op for hardware-agnostic models).
+  virtual void clamp_parameters() {}
+
+  virtual std::string name() const = 0;
+  virtual int num_classes() const = 0;
+
+  /// Total number of scalar trainable parameters.
+  std::size_t parameter_count();
+
+  /// Convenience inference: run forward in a throwaway graph and return
+  /// the logits tensor.
+  ad::Tensor predict(const ad::Tensor& inputs,
+                     const variation::VariationSpec& spec, util::Rng& rng);
+};
+
+}  // namespace pnc::core

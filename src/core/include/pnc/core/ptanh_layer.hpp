@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/autodiff/graph.hpp"
+#include "pnc/circuit/ptanh.hpp"
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::core {
+
+/// Differentiable printed tanh-like activation stage:
+///
+///   y = η1 + η2 · tanh((x − η3) · η4)      (one η vector per neuron)
+///
+/// η is determined by the stage's component values q = [R1, R2, T1, T2]
+/// (circuit::fit_ptanh); training η directly is equivalent to training q
+/// through that smooth map, and process variation is applied
+/// multiplicatively to η as the image of component variation.
+class PtanhLayer {
+ public:
+  PtanhLayer(std::string name, std::size_t n_out, util::Rng& rng);
+
+  /// One realization of the fabricated stage: η variation drawn once,
+  /// reused across all time steps of the pass.
+  struct Pass {
+    ad::Var e1, e2, e3, e4;  // each (1 x n_out)
+  };
+
+  Pass begin(ad::Graph& g, const variation::VariationSpec& spec,
+             util::Rng& rng);
+
+  /// x: (B x n_out) -> (B x n_out) through the pass's realized curve.
+  ad::Var apply(ad::Graph& g, const Pass& pass, ad::Var x) const;
+
+  /// Convenience: begin + apply (fresh variation draw).
+  ad::Var forward(ad::Graph& g, ad::Var x,
+                  const variation::VariationSpec& spec, util::Rng& rng);
+
+  std::vector<ad::Parameter*> parameters();
+
+  /// Keep η inside the range realizable by printable ptanh components.
+  void clamp_printable();
+
+  std::size_t size() const { return n_out_; }
+
+  /// Current η values of neuron j, for inspection/tests.
+  circuit::PtanhParams params_of(std::size_t j) const;
+
+ private:
+  std::string name_;
+  std::size_t n_out_;
+  ad::Parameter eta1_, eta2_, eta3_, eta4_;  // each (1 x n_out)
+};
+
+}  // namespace pnc::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/core/crossbar_layer.hpp"
+#include "pnc/core/filter_layer.hpp"
+#include "pnc/core/ptanh_layer.hpp"
+
+namespace pnc::core {
+
+/// Printed temporal processing block (Fig. 4): a resistor crossbar feeding
+/// a bank of learnable low-pass filters (one per output), followed by the
+/// printed tanh-like activation stage.
+///
+///   y_t = ptanh( LPF( crossbar(x_t) ) )
+///
+/// With FilterOrder::kSecond this is the proposed second-order pTPB; with
+/// kFirst it is the baseline block of [8].
+class PtpbLayer {
+ public:
+  PtpbLayer(std::string name, std::size_t n_in, std::size_t n_out,
+            FilterOrder order, double dt, util::Rng& rng);
+
+  struct Pass {
+    CrossbarLayer::Pass crossbar;
+    FilterLayer::Pass filter;
+    PtanhLayer::Pass act;
+  };
+
+  /// Sample one physical realization of the whole block (crossbar
+  /// conductances, filter R/C, ptanh η, coupling μ, initial voltages) and
+  /// initialize the filter state. The realization stays fixed for every
+  /// subsequent step() of the pass, as it would in a fabricated circuit.
+  Pass begin(ad::Graph& g, std::size_t batch,
+             const variation::VariationSpec& spec, util::Rng& rng);
+
+  /// One time step: x_t (batch x n_in) -> y_t (batch x n_out).
+  ad::Var step(ad::Graph& g, Pass& pass, ad::Var x_t) const;
+
+  std::vector<ad::Parameter*> parameters();
+  void clamp_printable();
+
+  std::size_t n_in() const { return crossbar_.n_in(); }
+  std::size_t n_out() const { return crossbar_.n_out(); }
+  FilterOrder order() const { return filters_.order(); }
+
+  CrossbarLayer& crossbar() { return crossbar_; }
+  const CrossbarLayer& crossbar() const { return crossbar_; }
+  FilterLayer& filters() { return filters_; }
+  const FilterLayer& filters() const { return filters_; }
+  PtanhLayer& activation() { return act_; }
+  const PtanhLayer& activation() const { return act_; }
+
+ private:
+  CrossbarLayer crossbar_;
+  FilterLayer filters_;
+  PtanhLayer act_;
+};
+
+}  // namespace pnc::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pnc/core/model.hpp"
+
+namespace pnc::core {
+
+/// Plain-text model checkpointing.
+///
+/// Trained component values (crossbar θ, filter log-R/log-C, ptanh η, RNN
+/// weights) are written as a versioned, human-diffable text format keyed
+/// by parameter name and shape. Loading requires the receiving model to
+/// expose exactly the same parameter inventory — construct it with the
+/// same topology first, then load.
+///
+/// Format:
+///   pnc-parameters v1
+///   params <count>
+///   param <name> <rows> <cols>
+///   <rows*cols whitespace-separated doubles (max precision)>
+///   ...
+
+void write_parameters(SequenceClassifier& model, std::ostream& os);
+
+/// Throws std::runtime_error on magic/shape/name mismatch or truncation.
+void read_parameters(SequenceClassifier& model, std::istream& is);
+
+void save_parameters(SequenceClassifier& model, const std::string& path);
+void load_parameters(SequenceClassifier& model, const std::string& path);
+
+}  // namespace pnc::core

@@ -1,0 +1,19 @@
+#include "pnc/core/model.hpp"
+
+namespace pnc::core {
+
+std::size_t SequenceClassifier::parameter_count() {
+  std::size_t n = 0;
+  for (const ad::Parameter* p : parameters()) n += p->size();
+  return n;
+}
+
+ad::Tensor SequenceClassifier::predict(const ad::Tensor& inputs,
+                                       const variation::VariationSpec& spec,
+                                       util::Rng& rng) {
+  ad::Graph g;
+  const ad::Var logits = forward(g, inputs, spec, rng);
+  return g.value(logits);
+}
+
+}  // namespace pnc::core

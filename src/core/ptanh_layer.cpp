@@ -1,0 +1,96 @@
+#include "pnc/core/ptanh_layer.hpp"
+
+#include <algorithm>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::core {
+
+namespace {
+// Realizable η windows for printable ptanh circuits: offsets within the
+// supply rails, swing below the rail, positive gain bounded by achievable
+// transconductance-load products.
+constexpr double kEta1Min = -0.5, kEta1Max = 0.5;
+constexpr double kEta2Min = 0.2, kEta2Max = 1.0;
+constexpr double kEta3Min = -0.5, kEta3Max = 0.5;
+constexpr double kEta4Min = 0.5, kEta4Max = 6.0;
+}  // namespace
+
+PtanhLayer::PtanhLayer(std::string name, std::size_t n_out, util::Rng& rng)
+    : name_(std::move(name)), n_out_(n_out) {
+  // Initialize from the behavioural fit of nominal printable components,
+  // with small geometry spread between neurons.
+  ad::Tensor e1(1, n_out), e2(1, n_out), e3(1, n_out), e4(1, n_out);
+  for (std::size_t j = 0; j < n_out; ++j) {
+    circuit::PtanhComponents q;
+    q.r1 = rng.uniform(150e3, 350e3);
+    q.r2 = rng.uniform(150e3, 350e3);
+    q.t1_scale = rng.uniform(0.8, 1.2);
+    q.t2_scale = rng.uniform(0.8, 1.2);
+    const circuit::PtanhParams eta = circuit::fit_ptanh(q);
+    e1(0, j) = std::clamp(eta.eta1, kEta1Min, kEta1Max);
+    e2(0, j) = std::clamp(eta.eta2, kEta2Min, kEta2Max);
+    e3(0, j) = std::clamp(eta.eta3, kEta3Min, kEta3Max);
+    e4(0, j) = std::clamp(eta.eta4, kEta4Min, kEta4Max);
+  }
+  eta1_ = ad::Parameter(name_ + ".eta1", std::move(e1));
+  eta2_ = ad::Parameter(name_ + ".eta2", std::move(e2));
+  eta3_ = ad::Parameter(name_ + ".eta3", std::move(e3));
+  eta4_ = ad::Parameter(name_ + ".eta4", std::move(e4));
+}
+
+PtanhLayer::Pass PtanhLayer::begin(ad::Graph& g,
+                                   const variation::VariationSpec& spec,
+                                   util::Rng& rng) {
+  auto varied = [&](ad::Parameter& p) {
+    ad::Var v = g.leaf(p);
+    if (spec.component) {
+      v = ad::mul(v, g.constant(variation::sample_factors(*spec.component, 1,
+                                                          n_out_, rng)));
+    }
+    return v;
+  };
+  Pass pass;
+  pass.e1 = varied(eta1_);
+  pass.e2 = varied(eta2_);
+  pass.e3 = varied(eta3_);
+  pass.e4 = varied(eta4_);
+  return pass;
+}
+
+ad::Var PtanhLayer::apply(ad::Graph& g, const Pass& pass, ad::Var x) const {
+  (void)g;
+  return ad::add(pass.e1, ad::mul(pass.e2, ad::tanh(ad::mul(
+                              ad::sub(x, pass.e3), pass.e4))));
+}
+
+ad::Var PtanhLayer::forward(ad::Graph& g, ad::Var x,
+                            const variation::VariationSpec& spec,
+                            util::Rng& rng) {
+  return apply(g, begin(g, spec, rng), x);
+}
+
+std::vector<ad::Parameter*> PtanhLayer::parameters() {
+  return {&eta1_, &eta2_, &eta3_, &eta4_};
+}
+
+void PtanhLayer::clamp_printable() {
+  auto clamp_row = [](ad::Parameter& p, double lo, double hi) {
+    for (auto& v : p.value.data()) v = std::clamp(v, lo, hi);
+  };
+  clamp_row(eta1_, kEta1Min, kEta1Max);
+  clamp_row(eta2_, kEta2Min, kEta2Max);
+  clamp_row(eta3_, kEta3Min, kEta3Max);
+  clamp_row(eta4_, kEta4Min, kEta4Max);
+}
+
+circuit::PtanhParams PtanhLayer::params_of(std::size_t j) const {
+  circuit::PtanhParams p;
+  p.eta1 = eta1_.value.at(0, j);
+  p.eta2 = eta2_.value.at(0, j);
+  p.eta3 = eta3_.value.at(0, j);
+  p.eta4 = eta4_.value.at(0, j);
+  return p;
+}
+
+}  // namespace pnc::core

@@ -1,0 +1,40 @@
+#include "pnc/core/ptpb.hpp"
+
+namespace pnc::core {
+
+PtpbLayer::PtpbLayer(std::string name, std::size_t n_in, std::size_t n_out,
+                     FilterOrder order, double dt, util::Rng& rng)
+    : crossbar_(name + ".crossbar", n_in, n_out, rng),
+      filters_(name + ".filters", n_out, order, dt, rng),
+      act_(name + ".ptanh", n_out, rng) {}
+
+PtpbLayer::Pass PtpbLayer::begin(ad::Graph& g, std::size_t batch,
+                                 const variation::VariationSpec& spec,
+                                 util::Rng& rng) {
+  Pass pass;
+  pass.crossbar = crossbar_.begin(g, spec, rng);
+  pass.filter = filters_.begin(g, batch, spec, rng);
+  pass.act = act_.begin(g, spec, rng);
+  return pass;
+}
+
+ad::Var PtpbLayer::step(ad::Graph& g, Pass& pass, ad::Var x_t) const {
+  const ad::Var summed = crossbar_.apply(g, pass.crossbar, x_t);
+  const ad::Var filtered = filters_.step(g, pass.filter, summed);
+  return act_.apply(g, pass.act, filtered);
+}
+
+std::vector<ad::Parameter*> PtpbLayer::parameters() {
+  std::vector<ad::Parameter*> out = crossbar_.parameters();
+  for (auto* p : filters_.parameters()) out.push_back(p);
+  for (auto* p : act_.parameters()) out.push_back(p);
+  return out;
+}
+
+void PtpbLayer::clamp_printable() {
+  crossbar_.clamp_printable();
+  filters_.clamp_printable();
+  act_.clamp_printable();
+}
+
+}  // namespace pnc::core

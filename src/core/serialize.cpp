@@ -1,0 +1,87 @@
+#include "pnc/core/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace pnc::core {
+
+namespace {
+constexpr const char* kMagic = "pnc-parameters";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+void write_parameters(SequenceClassifier& model, std::ostream& os) {
+  const auto params = model.parameters();
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "params " << params.size() << '\n';
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const ad::Parameter* p : params) {
+    os << "param " << p->name << ' ' << p->value.rows() << ' '
+       << p->value.cols() << '\n';
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      os << p->value.data()[i] << (i + 1 == p->value.size() ? '\n' : ' ');
+    }
+  }
+  if (!os) throw std::runtime_error("write_parameters: stream failure");
+}
+
+void read_parameters(SequenceClassifier& model, std::istream& is) {
+  std::string magic, version, keyword;
+  is >> magic >> version;
+  if (!is || magic != kMagic || version != kVersion) {
+    throw std::runtime_error("read_parameters: bad header (expected '" +
+                             std::string(kMagic) + ' ' + kVersion + "')");
+  }
+  std::size_t count = 0;
+  is >> keyword >> count;
+  if (!is || keyword != "params") {
+    throw std::runtime_error("read_parameters: missing params count");
+  }
+  const auto params = model.parameters();
+  if (count != params.size()) {
+    throw std::runtime_error(
+        "read_parameters: checkpoint has " + std::to_string(count) +
+        " parameters, model expects " + std::to_string(params.size()));
+  }
+  for (ad::Parameter* p : params) {
+    std::string name;
+    std::size_t rows = 0, cols = 0;
+    is >> keyword >> name >> rows >> cols;
+    if (!is || keyword != "param") {
+      throw std::runtime_error("read_parameters: malformed param record");
+    }
+    if (name != p->name) {
+      throw std::runtime_error("read_parameters: parameter order mismatch: '" +
+                               name + "' vs expected '" + p->name + "'");
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      throw std::runtime_error("read_parameters: shape mismatch for '" + name +
+                               "'");
+    }
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      if (!(is >> p->value.data()[i])) {
+        throw std::runtime_error("read_parameters: truncated values for '" +
+                                 name + "'");
+      }
+    }
+    p->zero_grad();
+  }
+}
+
+void save_parameters(SequenceClassifier& model, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_parameters: cannot open " + path);
+  write_parameters(model, f);
+}
+
+void load_parameters(SequenceClassifier& model, const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_parameters: cannot open " + path);
+  read_parameters(model, f);
+}
+
+}  // namespace pnc::core

@@ -1,0 +1,75 @@
+#include "pnc/data/dataset.hpp"
+
+#include <stdexcept>
+
+#include "pnc/data/generators.hpp"
+#include "pnc/data/preprocess.hpp"
+
+namespace pnc::data {
+
+const std::vector<DatasetSpec>& benchmark_specs() {
+  // Class counts follow the UCR originals; series counts are scaled to
+  // keep full training runs laptop-fast (see DESIGN.md §1). FST is the
+  // "small train" variant, hence fewer series.
+  static const std::vector<DatasetSpec> specs = {
+      {"CBF", 3, 128, 240, 0.1},
+      {"DPTW", 6, 80, 300, 0.1},
+      {"FRT", 2, 300, 240, 0.1},
+      {"FST", 2, 300, 120, 0.1},
+      {"GPAS", 2, 150, 240, 0.1},
+      {"GPMVF", 2, 150, 240, 0.1},
+      {"GPOVY", 2, 150, 240, 0.1},
+      {"MPOAG", 3, 80, 240, 0.1},
+      {"MSRT", 5, 1024, 300, 0.1},
+      {"PowerCons", 2, 144, 240, 0.1},
+      {"PPOC", 2, 80, 240, 0.1},
+      {"SRSCP2", 2, 1152, 240, 0.1},
+      {"Slope", 3, 100, 240, 0.1},
+      {"SmoothS", 3, 15, 240, 0.1},
+      {"Symbols", 6, 398, 360, 0.1},
+  };
+  return specs;
+}
+
+const DatasetSpec& spec_by_name(const std::string& name) {
+  for (const auto& s : benchmark_specs()) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("spec_by_name: unknown dataset '" + name + "'");
+}
+
+std::vector<Series> generate_raw(const DatasetSpec& spec, util::Rng& rng) {
+  std::vector<Series> out;
+  out.reserve(spec.total_series);
+  for (std::size_t i = 0; i < spec.total_series; ++i) {
+    Series s;
+    s.label = static_cast<int>(i % static_cast<std::size_t>(spec.num_classes));
+    s.values = generate_series(spec.name, s.label, spec.native_length, rng);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Dataset make_dataset(const std::string& name, std::uint64_t seed,
+                     std::size_t target_length) {
+  const DatasetSpec& spec = spec_by_name(name);
+  util::Rng rng(seed ^ 0xada9c7b2c0ffee11ULL);
+
+  std::vector<Series> series = generate_raw(spec, rng);
+  resize_all(series, target_length);
+  const Normalization norm = fit_normalization(series);
+  apply_normalization(series, norm);
+  SplitSeries parts = stratified_split(std::move(series), rng);
+
+  Dataset ds;
+  ds.name = spec.name;
+  ds.num_classes = spec.num_classes;
+  ds.length = target_length;
+  ds.sample_period = spec.sample_period;
+  ds.train = pack(parts.train);
+  ds.validation = pack(parts.validation);
+  ds.test = pack(parts.test);
+  return ds;
+}
+
+}  // namespace pnc::data

@@ -1,0 +1,338 @@
+#include "pnc/data/generators.hpp"
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <numbers>
+#include <stdexcept>
+
+#include "pnc/data/signals.hpp"
+
+namespace pnc::data {
+
+namespace {
+
+using Gen = std::function<std::vector<double>(int, std::size_t, util::Rng&)>;
+
+std::vector<double> zeros(std::size_t n) { return std::vector<double>(n, 0.0); }
+
+// ---- CBF: the classic cylinder / bell / funnel synthetic benchmark -------
+std::vector<double> gen_cbf(int cls, std::size_t n, util::Rng& rng) {
+  auto x = zeros(n);
+  const double a = rng.uniform(0.1, 0.35);
+  const double b = rng.uniform(0.55, 0.9);
+  const double amp = rng.uniform(0.9, 1.3);
+  switch (cls) {
+    case 0:
+      add_cylinder(x, a, b, amp);
+      break;
+    case 1:
+      add_bell(x, a, b, amp);
+      break;
+    case 2:
+      add_funnel(x, a, b, amp);
+      break;
+    default:
+      throw std::out_of_range("CBF: class must be 0..2");
+  }
+  add_noise(x, 0.18, rng);
+  return x;
+}
+
+// ---- DPTW: DistalPhalanxTW-style bone-outline profiles, 6 age groups -----
+std::vector<double> gen_dptw(int cls, std::size_t n, util::Rng& rng) {
+  auto x = zeros(n);
+  // Outline width/peak shift monotonically with the (synthetic) age group.
+  const double c = 0.30 + 0.07 * cls + rng.normal(0.0, 0.015);
+  const double w = 0.10 + 0.015 * cls + rng.normal(0.0, 0.006);
+  add_bump(x, c, std::max(w, 0.03), 1.0 + 0.05 * cls);
+  add_bump(x, std::min(c + 2.1 * w, 0.95), 0.06, 0.35);
+  add_smooth_noise(x, 0.22, 0.6, rng);
+  return x;
+}
+
+// ---- Freezer family: compressor power-draw transients ---------------------
+std::vector<double> gen_freezer(int cls, std::size_t n, util::Rng& rng,
+                                double noise) {
+  auto x = zeros(n);
+  const double start = rng.uniform(0.05, 0.2);
+  if (cls == 0) {
+    // Fast compressor kick: sharp rise, exponential settle.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+      if (t >= start) {
+        x[i] += 1.2 * std::exp(-(t - start) / 0.25) + 0.6;
+      }
+    }
+  } else {
+    // Slow ramp-up to the same plateau.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+      if (t >= start) {
+        x[i] += 0.6 + 1.2 * std::min((t - start) / 0.5, 1.0) * 0.5;
+      }
+    }
+  }
+  add_sine(x, 6.0, 0.08, rng.uniform(0.0, 6.28));
+  add_noise(x, noise, rng);
+  return x;
+}
+
+// ---- GunPoint family: hand-motion profiles --------------------------------
+// cls 0 = "gun" (draw, aim with overshoot dip, re-holster),
+// cls 1 = "point" (smooth raise and lower).
+std::vector<double> gen_gunpoint(int cls, std::size_t n, util::Rng& rng,
+                                 double separation, double noise) {
+  auto x = zeros(n);
+  const double rise = rng.uniform(0.15, 0.25);
+  const double fall = rng.uniform(0.7, 0.85);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    double v = 0.0;
+    if (t < rise) {
+      v = t / rise;
+    } else if (t < fall) {
+      v = 1.0;
+    } else {
+      v = (1.0 - t) / (1.0 - fall);
+    }
+    x[i] = v;
+  }
+  if (cls == 0) {
+    // Overshoot dip right after the draw — the "gun" fingerprint; its
+    // depth scales with the class separation of the variant. The dips are
+    // wide enough to survive the low-pass front-end.
+    add_bump(x, rise + 0.10, 0.07, -0.6 * separation);
+    add_bump(x, fall - 0.08, 0.08, -0.3 * separation);
+  } else {
+    // "Point": slightly lower, smoother plateau.
+    add_bump(x, 0.5, 0.22, 0.2 * separation);
+    add_ramp(x, -0.08 * separation, -0.08 * separation);
+  }
+  smooth_ema(x, 0.5);
+  add_noise(x, noise, rng);
+  return x;
+}
+
+// ---- Phalanx outline family ------------------------------------------------
+std::vector<double> gen_phalanx(int cls, std::size_t n, util::Rng& rng,
+                                int num_classes, double noise) {
+  auto x = zeros(n);
+  // Outline distance profile: two lobes whose relative height encodes the
+  // class (age group / correctness).
+  const double ratio =
+      0.6 + 0.5 * static_cast<double>(cls) / std::max(num_classes - 1, 1);
+  add_bump(x, 0.28, 0.10, 1.0);
+  add_bump(x, 0.7, 0.12, ratio);
+  add_sine(x, 2.0, 0.08, rng.uniform(0.0, 6.28));
+  add_smooth_noise(x, noise, 0.5, rng);
+  return x;
+}
+
+// ---- MSRT: MixedShapes-style five shape prototypes -------------------------
+std::vector<double> gen_msrt(int cls, std::size_t n, util::Rng& rng) {
+  auto x = zeros(n);
+  const double jitter = rng.normal(0.0, 0.02);
+  switch (cls) {
+    case 0:
+      add_bump(x, 0.5 + jitter, 0.12, 1.2);
+      break;
+    case 1:
+      add_bump(x, 0.3 + jitter, 0.08, 1.0);
+      add_bump(x, 0.7 + jitter, 0.08, 1.0);
+      break;
+    case 2:
+      add_sine(x, 3.0, 0.8, rng.uniform(0.0, 0.6));
+      break;
+    case 3:
+      add_ramp(x, -0.8, 0.8);
+      add_bump(x, 0.5 + jitter, 0.05, 0.5);
+      break;
+    case 4:
+      add_funnel(x, 0.1, 0.9, 1.3);
+      break;
+    default:
+      throw std::out_of_range("MSRT: class must be 0..4");
+  }
+  // MixedShapes is hard: strong warping noise between same-class examples.
+  add_smooth_noise(x, 0.45, 0.7, rng);
+  add_noise(x, 0.25, rng);
+  return x;
+}
+
+// ---- PowerCons: warm vs cold season household power profile ----------------
+std::vector<double> gen_powercons(int cls, std::size_t n, util::Rng& rng) {
+  auto x = zeros(n);
+  if (cls == 0) {
+    // Warm season: single evening peak.
+    add_bump(x, 0.75, 0.1, 1.3);
+    add_bump(x, 0.35, 0.18, 0.4);
+  } else {
+    // Cold season: morning + evening heating peaks on a raised base.
+    add_bump(x, 0.25, 0.08, 1.1);
+    add_bump(x, 0.78, 0.08, 1.2);
+    add_ramp(x, 0.25, 0.25);
+  }
+  add_sine(x, 8.0, 0.10, rng.uniform(0.0, 6.28));
+  add_noise(x, 0.22, rng);
+  return x;
+}
+
+// ---- SRSCP2: slow-cortical-potential EEG, near-chance difficulty -----------
+std::vector<double> gen_srscp2(int cls, std::size_t n, util::Rng& rng) {
+  auto x = zeros(n);
+  // Cortical positivity vs negativity: a weak opposing drift buried in
+  // strong colored noise (the real dataset is barely separable — paper
+  // accuracies sit near 0.52).
+  const double drift = (cls == 0 ? 1.0 : -1.0) * 0.10;
+  add_ramp(x, 0.0, drift);
+  add_smooth_noise(x, 1.0, 0.85, rng);
+  add_noise(x, 0.35, rng);
+  return x;
+}
+
+// ---- Slope: three trend families -------------------------------------------
+std::vector<double> gen_slope(int cls, std::size_t n, util::Rng& rng) {
+  auto x = zeros(n);
+  const double slopes[] = {-1.0, 0.0, 1.0};
+  if (cls < 0 || cls > 2) throw std::out_of_range("Slope: class must be 0..2");
+  add_ramp(x, -0.5 * slopes[cls], 0.5 * slopes[cls]);
+  add_sine(x, rng.uniform(2.0, 4.0), 0.35, rng.uniform(0.0, 6.28));
+  add_noise(x, 0.3, rng);
+  return x;
+}
+
+// ---- SmoothSubspace: smooth curves from 3 low-dimensional subspaces --------
+std::vector<double> gen_smooths(int cls, std::size_t n, util::Rng& rng) {
+  auto x = zeros(n);
+  // Each class mixes two fixed low-frequency basis curves with random
+  // coefficients of a class-specific sign pattern.
+  const double c1 = rng.uniform(0.6, 1.2);
+  const double c2 = rng.uniform(0.3, 0.8);
+  switch (cls) {
+    case 0:
+      add_sine(x, 1.0, c1, 0.0);
+      add_sine(x, 2.0, c2, 0.0);
+      break;
+    case 1:
+      add_sine(x, 1.0, -c1, 0.0);
+      add_sine(x, 3.0, c2, 0.5);
+      break;
+    case 2:
+      add_bump(x, 0.5, 0.16, 1.4 * c1);
+      add_sine(x, 2.0, -c2, 1.0);
+      break;
+    default:
+      throw std::out_of_range("SmoothS: class must be 0..2");
+  }
+  add_noise(x, 0.25, rng);
+  return x;
+}
+
+// ---- Symbols: six pen-trajectory prototypes --------------------------------
+std::vector<double> gen_symbols(int cls, std::size_t n, util::Rng& rng) {
+  auto x = zeros(n);
+  const double phase = rng.normal(0.0, 0.12);
+  switch (cls) {
+    case 0:
+      add_sine(x, 1.0, 1.0, phase);
+      break;
+    case 1:
+      add_sine(x, 2.0, 0.9, phase);
+      break;
+    case 2:
+      add_sine(x, 1.0, 0.7, phase);
+      add_sine(x, 3.0, 0.5, phase);
+      break;
+    case 3:
+      add_bump(x, 0.3 + phase * 0.1, 0.1, 1.2);
+      add_bump(x, 0.7 + phase * 0.1, 0.1, -1.2);
+      break;
+    case 4:
+      add_funnel(x, 0.05, 0.5, 1.1);
+      add_bell(x, 0.5, 0.95, 1.1);
+      break;
+    case 5:
+      add_cylinder(x, 0.3, 0.7, 1.0);
+      add_sine(x, 4.0, 0.3, phase);
+      break;
+    default:
+      throw std::out_of_range("Symbols: class must be 0..5");
+  }
+  // Pen trajectories warp strongly between writers.
+  add_smooth_noise(x, 0.4, 0.75, rng);
+  add_noise(x, 0.15, rng);
+  return x;
+}
+
+const std::map<std::string, Gen>& generator_registry() {
+  static const std::map<std::string, Gen> registry = {
+      {"CBF", [](int c, std::size_t n, util::Rng& r) { return gen_cbf(c, n, r); }},
+      {"DPTW",
+       [](int c, std::size_t n, util::Rng& r) { return gen_dptw(c, n, r); }},
+      {"FRT",
+       [](int c, std::size_t n, util::Rng& r) {
+         return gen_freezer(c, n, r, 0.30);
+       }},
+      {"FST",
+       [](int c, std::size_t n, util::Rng& r) {
+         // Small-train variant: same family, noisier and harder.
+         return gen_freezer(c, n, r, 0.55);
+       }},
+      {"GPAS",
+       [](int c, std::size_t n, util::Rng& r) {
+         // AgeSpan: weak separation (paper accuracy ~0.57).
+         return gen_gunpoint(c, n, r, 0.35, 0.35);
+       }},
+      {"GPMVF",
+       [](int c, std::size_t n, util::Rng& r) {
+         return gen_gunpoint(c, n, r, 1.0, 0.20);
+       }},
+      {"GPOVY",
+       [](int c, std::size_t n, util::Rng& r) {
+         // OldVersusYoung: near-perfect separation (paper reaches 1.000).
+         return gen_gunpoint(c, n, r, 1.4, 0.10);
+       }},
+      {"MPOAG",
+       [](int c, std::size_t n, util::Rng& r) {
+         return gen_phalanx(c, n, r, 3, 0.32);
+       }},
+      {"MSRT",
+       [](int c, std::size_t n, util::Rng& r) { return gen_msrt(c, n, r); }},
+      {"PowerCons",
+       [](int c, std::size_t n, util::Rng& r) {
+         return gen_powercons(c, n, r);
+       }},
+      {"PPOC",
+       [](int c, std::size_t n, util::Rng& r) {
+         return gen_phalanx(c, n, r, 2, 0.45);
+       }},
+      {"SRSCP2",
+       [](int c, std::size_t n, util::Rng& r) { return gen_srscp2(c, n, r); }},
+      {"Slope",
+       [](int c, std::size_t n, util::Rng& r) { return gen_slope(c, n, r); }},
+      {"SmoothS",
+       [](int c, std::size_t n, util::Rng& r) { return gen_smooths(c, n, r); }},
+      {"Symbols",
+       [](int c, std::size_t n, util::Rng& r) { return gen_symbols(c, n, r); }},
+  };
+  return registry;
+}
+
+}  // namespace
+
+std::vector<double> generate_series(const std::string& dataset, int class_id,
+                                    std::size_t length, util::Rng& rng) {
+  const auto& registry = generator_registry();
+  const auto it = registry.find(dataset);
+  if (it == registry.end()) {
+    throw std::out_of_range("generate_series: unknown dataset '" + dataset +
+                            "'");
+  }
+  if (length < 2) {
+    throw std::invalid_argument("generate_series: length must be >= 2");
+  }
+  return it->second(class_id, length, rng);
+}
+
+}  // namespace pnc::data

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/autodiff/tensor.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::data {
+
+/// One univariate labelled time series.
+struct Series {
+  std::vector<double> values;
+  int label = 0;
+};
+
+/// A labelled split as (B x T) matrix plus labels — the form consumed by
+/// the trainers.
+struct Split {
+  ad::Tensor inputs;        // batch x time
+  std::vector<int> labels;  // size batch
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t length() const { return inputs.cols(); }
+};
+
+/// A fully prepared dataset: resized to a common length, normalized to
+/// [-1, 1], shuffled and split 60/20/20 (Sec. IV-A2).
+struct Dataset {
+  std::string name;
+  int num_classes = 0;
+  std::size_t length = 0;       // series length after resizing (64)
+  double sample_period = 1.0;   // Δt between samples, seconds
+  Split train;
+  Split validation;
+  Split test;
+};
+
+/// Static description of one benchmark dataset.
+struct DatasetSpec {
+  std::string name;
+  int num_classes = 0;
+  std::size_t native_length = 128;  // length before the resize-to-64 step
+  std::size_t total_series = 250;   // before the 60/20/20 split
+  double sample_period = 1.0;       // seconds between samples
+};
+
+/// The 15 benchmark datasets of Table I, in the paper's order.
+const std::vector<DatasetSpec>& benchmark_specs();
+
+/// Spec lookup by name; throws std::out_of_range for unknown names.
+const DatasetSpec& spec_by_name(const std::string& name);
+
+/// Generate + preprocess one benchmark dataset deterministically from the
+/// seed (synthetic stand-ins for the UCR archive; see DESIGN.md §1).
+Dataset make_dataset(const std::string& name, std::uint64_t seed,
+                     std::size_t target_length = 64);
+
+/// Raw (un-preprocessed) series for a dataset, mostly for inspection and
+/// the augmentation figure.
+std::vector<Series> generate_raw(const DatasetSpec& spec, util::Rng& rng);
+
+}  // namespace pnc::data

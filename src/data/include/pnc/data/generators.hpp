@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/data/dataset.hpp"
+
+namespace pnc::data {
+
+/// Generate one raw series of the named benchmark dataset for the given
+/// class (synthetic stand-in generators; see DESIGN.md §1).
+///
+/// Each generator produces class-conditional temporal structure of the same
+/// flavour as its UCR namesake — shape events (CBF, MSRT, Symbols), motion
+/// profiles (the GunPoint family), outline curves (the phalanx family),
+/// seasonal load profiles (PowerCons, Freezer family), noisy physiological
+/// drifts (SRSCP2) and trend families (Slope, SmoothS). Class separation is
+/// tuned so that low-pass temporal filtering is the discriminative
+/// mechanism, as in the originals.
+std::vector<double> generate_series(const std::string& dataset, int class_id,
+                                    std::size_t length, util::Rng& rng);
+
+}  // namespace pnc::data

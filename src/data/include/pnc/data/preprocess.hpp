@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "pnc/data/dataset.hpp"
+
+namespace pnc::data {
+
+/// Resize every series to `length` samples (piecewise-linear).
+void resize_all(std::vector<Series>& series, std::size_t length);
+
+/// Affine map applied for dataset-global [-1, 1] normalization.
+struct Normalization {
+  double offset = 0.0;  // value mapped to -1
+  double scale = 1.0;   // (value - offset) * scale - 1 in [-1, 1]
+
+  double apply(double v) const { return (v - offset) * scale - 1.0; }
+};
+
+/// Fit a dataset-global min/max normalization to [-1, 1].
+Normalization fit_normalization(const std::vector<Series>& series);
+
+void apply_normalization(std::vector<Series>& series, const Normalization& n);
+
+/// Shuffle and split 60 % / 20 % / 20 % (train / validation / test), then
+/// pack each part into a Split matrix. Class balance is preserved by
+/// stratified assignment.
+struct SplitSeries {
+  std::vector<Series> train;
+  std::vector<Series> validation;
+  std::vector<Series> test;
+};
+
+SplitSeries stratified_split(std::vector<Series> series, util::Rng& rng,
+                             double train_fraction = 0.6,
+                             double validation_fraction = 0.2);
+
+/// Pack labelled series (all of equal length) into the matrix form.
+Split pack(const std::vector<Series>& series);
+
+}  // namespace pnc::data

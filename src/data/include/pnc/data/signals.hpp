@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pnc/util/rng.hpp"
+
+namespace pnc::data {
+
+/// Shared signal-shape toolkit used by the synthetic dataset generators.
+/// All functions produce or modify series sampled on t = i / (n - 1).
+
+/// Constant-plateau "cylinder" event on [a, b] with amplitude amp.
+void add_cylinder(std::vector<double>& x, double a, double b, double amp);
+
+/// Rising-ramp "bell" event: ramps from 0 to amp across [a, b], then drops.
+void add_bell(std::vector<double>& x, double a, double b, double amp);
+
+/// Falling-ramp "funnel" event: jumps to amp at a, decays to 0 at b.
+void add_funnel(std::vector<double>& x, double a, double b, double amp);
+
+/// Gaussian bump centred at c with width w and height amp.
+void add_bump(std::vector<double>& x, double c, double w, double amp);
+
+/// Linear trend from y0 at t=0 to y1 at t=1.
+void add_ramp(std::vector<double>& x, double y0, double y1);
+
+/// Sine component amp * sin(2π f t + phase).
+void add_sine(std::vector<double>& x, double freq, double amp, double phase);
+
+/// i.i.d. Gaussian noise with stddev sigma.
+void add_noise(std::vector<double>& x, double sigma, util::Rng& rng);
+
+/// Smooth (low-pass filtered) Gaussian noise — models slow sensor drift.
+void add_smooth_noise(std::vector<double>& x, double sigma, double smoothing,
+                      util::Rng& rng);
+
+/// Piecewise-linear resampling of `x` to `length` points.
+std::vector<double> resample(const std::vector<double>& x, std::size_t length);
+
+/// Exponential moving average smoothing with factor alpha in (0, 1].
+void smooth_ema(std::vector<double>& x, double alpha);
+
+}  // namespace pnc::data

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pnc/data/dataset.hpp"
+
+namespace pnc::data {
+
+/// Loader for the UCR Time Series Classification Archive file format.
+///
+/// The benchmark generators in generators.hpp are synthetic stand-ins for
+/// offline reproduction; when the real archive is available, these
+/// functions load its `<Name>_TRAIN.tsv` / `<Name>_TEST.tsv` files
+/// (one series per line: integer label, then the values, tab- or
+/// comma-separated) so the full pipeline runs on the original data.
+
+/// Parse one UCR split from a stream. Labels are kept *raw* (UCR labels
+/// may be 1-based, negative or sparse); call remap_labels after merging
+/// all splits so TRAIN and TEST share one consistent mapping. Throws
+/// std::runtime_error on malformed input or ragged series.
+std::vector<Series> parse_ucr_stream(std::istream& is);
+
+/// Load one UCR file (raw labels; see parse_ucr_stream).
+std::vector<Series> load_ucr_file(const std::string& path);
+
+/// Remap raw labels to a dense 0..C-1 range (ascending raw-label order so
+/// the mapping is independent of series order). Returns C.
+int remap_labels(std::vector<Series>& series);
+
+/// Assemble a preprocessed Dataset from the archive's TRAIN/TEST pair,
+/// applying the paper's protocol (Sec. IV-A2): merge both files, resize
+/// to `target_length`, normalize to [-1, 1], reshuffle and re-split
+/// 60/20/20 with the given seed.
+Dataset make_ucr_dataset(const std::string& name,
+                         const std::string& train_path,
+                         const std::string& test_path, std::uint64_t seed,
+                         std::size_t target_length = 64,
+                         double sample_period = 0.1);
+
+}  // namespace pnc::data

@@ -1,0 +1,105 @@
+#include "pnc/data/preprocess.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "pnc/data/signals.hpp"
+
+namespace pnc::data {
+
+void resize_all(std::vector<Series>& series, std::size_t length) {
+  for (auto& s : series) s.values = resample(s.values, length);
+}
+
+Normalization fit_normalization(const std::vector<Series>& series) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!(lo < hi)) {
+    throw std::invalid_argument(
+        "fit_normalization: degenerate value range (empty or constant data)");
+  }
+  Normalization n;
+  n.offset = lo;
+  n.scale = 2.0 / (hi - lo);
+  return n;
+}
+
+void apply_normalization(std::vector<Series>& series, const Normalization& n) {
+  for (auto& s : series) {
+    for (auto& v : s.values) v = n.apply(v);
+  }
+}
+
+SplitSeries stratified_split(std::vector<Series> series, util::Rng& rng,
+                             double train_fraction,
+                             double validation_fraction) {
+  if (train_fraction <= 0.0 || validation_fraction < 0.0 ||
+      train_fraction + validation_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: bad fractions");
+  }
+  // Group indices per class, shuffle within each class, then deal out the
+  // front to train, middle to validation, tail to test.
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    by_class[series[i].label].push_back(i);
+  }
+  SplitSeries out;
+  for (auto& [label, indices] : by_class) {
+    const auto perm = rng.permutation(indices.size());
+    const auto n = indices.size();
+    const auto n_train = static_cast<std::size_t>(
+        static_cast<double>(n) * train_fraction + 0.5);
+    const auto n_val = static_cast<std::size_t>(
+        static_cast<double>(n) * validation_fraction + 0.5);
+    for (std::size_t k = 0; k < n; ++k) {
+      const Series& s = series[indices[perm[k]]];
+      if (k < n_train) {
+        out.train.push_back(s);
+      } else if (k < n_train + n_val) {
+        out.validation.push_back(s);
+      } else {
+        out.test.push_back(s);
+      }
+    }
+  }
+  // Shuffle each part so batches are not class-ordered.
+  auto shuffle_part = [&rng](std::vector<Series>& part) {
+    const auto perm = rng.permutation(part.size());
+    std::vector<Series> tmp;
+    tmp.reserve(part.size());
+    for (auto p : perm) tmp.push_back(std::move(part[p]));
+    part = std::move(tmp);
+  };
+  shuffle_part(out.train);
+  shuffle_part(out.validation);
+  shuffle_part(out.test);
+  return out;
+}
+
+Split pack(const std::vector<Series>& series) {
+  if (series.empty()) throw std::invalid_argument("pack: empty series list");
+  const std::size_t length = series.front().values.size();
+  Split split;
+  split.inputs = ad::Tensor(series.size(), length);
+  split.labels.reserve(series.size());
+  for (std::size_t r = 0; r < series.size(); ++r) {
+    if (series[r].values.size() != length) {
+      throw std::invalid_argument("pack: ragged series lengths");
+    }
+    for (std::size_t c = 0; c < length; ++c) {
+      split.inputs(r, c) = series[r].values[c];
+    }
+    split.labels.push_back(series[r].label);
+  }
+  return split;
+}
+
+}  // namespace pnc::data

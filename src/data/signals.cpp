@@ -1,0 +1,107 @@
+#include "pnc/data/signals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pnc::data {
+
+namespace {
+double t_of(std::size_t i, std::size_t n) {
+  return n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 0.0;
+}
+}  // namespace
+
+void add_cylinder(std::vector<double>& x, double a, double b, double amp) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t_of(i, n);
+    if (t >= a && t <= b) x[i] += amp;
+  }
+}
+
+void add_bell(std::vector<double>& x, double a, double b, double amp) {
+  const std::size_t n = x.size();
+  const double span = std::max(b - a, 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t_of(i, n);
+    if (t >= a && t <= b) x[i] += amp * (t - a) / span;
+  }
+}
+
+void add_funnel(std::vector<double>& x, double a, double b, double amp) {
+  const std::size_t n = x.size();
+  const double span = std::max(b - a, 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t_of(i, n);
+    if (t >= a && t <= b) x[i] += amp * (b - t) / span;
+  }
+}
+
+void add_bump(std::vector<double>& x, double c, double w, double amp) {
+  const std::size_t n = x.size();
+  const double denom = 2.0 * w * w;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = t_of(i, n) - c;
+    x[i] += amp * std::exp(-d * d / denom);
+  }
+}
+
+void add_ramp(std::vector<double>& x, double y0, double y1) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += y0 + (y1 - y0) * t_of(i, n);
+  }
+}
+
+void add_sine(std::vector<double>& x, double freq, double amp, double phase) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += amp * std::sin(2.0 * std::numbers::pi * freq * t_of(i, n) + phase);
+  }
+}
+
+void add_noise(std::vector<double>& x, double sigma, util::Rng& rng) {
+  for (auto& v : x) v += rng.normal(0.0, sigma);
+}
+
+void add_smooth_noise(std::vector<double>& x, double sigma, double smoothing,
+                      util::Rng& rng) {
+  std::vector<double> noise(x.size());
+  for (auto& v : noise) v = rng.normal(0.0, sigma);
+  smooth_ema(noise, std::clamp(1.0 - smoothing, 0.01, 1.0));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += noise[i];
+}
+
+std::vector<double> resample(const std::vector<double>& x,
+                             std::size_t length) {
+  if (x.empty()) throw std::invalid_argument("resample: empty input");
+  if (length == 0) throw std::invalid_argument("resample: zero length");
+  std::vector<double> out(length);
+  if (x.size() == 1) {
+    std::fill(out.begin(), out.end(), x[0]);
+    return out;
+  }
+  for (std::size_t i = 0; i < length; ++i) {
+    const double pos = t_of(i, length) * static_cast<double>(x.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, x.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = x[lo] * (1.0 - frac) + x[hi] * frac;
+  }
+  return out;
+}
+
+void smooth_ema(std::vector<double>& x, double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("smooth_ema: alpha must be in (0, 1]");
+  }
+  double acc = x.empty() ? 0.0 : x.front();
+  for (auto& v : x) {
+    acc = alpha * v + (1.0 - alpha) * acc;
+    v = acc;
+  }
+}
+
+}  // namespace pnc::data

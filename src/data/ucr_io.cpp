@@ -1,0 +1,96 @@
+#include "pnc/data/ucr_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "pnc/data/preprocess.hpp"
+
+namespace pnc::data {
+
+std::vector<Series> parse_ucr_stream(std::istream& is) {
+  std::vector<Series> out;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t expected_length = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Normalize separators: the archive uses tabs; some exports use commas.
+    for (char& ch : line) {
+      if (ch == '\t' || ch == ',') ch = ' ';
+    }
+    std::istringstream fields(line);
+    double raw_label = 0.0;
+    if (!(fields >> raw_label)) continue;  // blank line
+
+    Series s;
+    double v = 0.0;
+    while (fields >> v) s.values.push_back(v);
+    if (s.values.empty()) {
+      throw std::runtime_error("parse_ucr_stream: line " +
+                               std::to_string(line_no) + " has no values");
+    }
+    if (expected_length == 0) {
+      expected_length = s.values.size();
+    } else if (s.values.size() != expected_length) {
+      throw std::runtime_error(
+          "parse_ucr_stream: ragged series at line " +
+          std::to_string(line_no) + " (" + std::to_string(s.values.size()) +
+          " vs " + std::to_string(expected_length) + " values)");
+    }
+    s.label = static_cast<int>(raw_label);  // raw; remap after merging
+    out.push_back(std::move(s));
+  }
+  if (out.empty()) {
+    throw std::runtime_error("parse_ucr_stream: no series found");
+  }
+  return out;
+}
+
+int remap_labels(std::vector<Series>& series) {
+  std::map<int, int> label_map;  // raw -> dense (ascending raw order)
+  for (const auto& s : series) label_map.emplace(s.label, 0);
+  int next = 0;
+  for (auto& [raw, dense] : label_map) dense = next++;
+  for (auto& s : series) s.label = label_map.at(s.label);
+  return next;
+}
+
+std::vector<Series> load_ucr_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_ucr_file: cannot open " + path);
+  return parse_ucr_stream(f);
+}
+
+Dataset make_ucr_dataset(const std::string& name,
+                         const std::string& train_path,
+                         const std::string& test_path, std::uint64_t seed,
+                         std::size_t target_length, double sample_period) {
+  std::vector<Series> series = load_ucr_file(train_path);
+  {
+    std::vector<Series> test = load_ucr_file(test_path);
+    series.insert(series.end(), std::make_move_iterator(test.begin()),
+                  std::make_move_iterator(test.end()));
+  }
+  // One consistent dense label mapping across both archive files.
+  const int num_classes = remap_labels(series);
+
+  util::Rng rng(seed ^ 0x5543525f696fULL);
+  resize_all(series, target_length);
+  const Normalization norm = fit_normalization(series);
+  apply_normalization(series, norm);
+  SplitSeries parts = stratified_split(std::move(series), rng);
+
+  Dataset ds;
+  ds.name = name;
+  ds.num_classes = num_classes;
+  ds.length = target_length;
+  ds.sample_period = sample_period;
+  ds.train = pack(parts.train);
+  ds.validation = pack(parts.validation);
+  ds.test = pack(parts.test);
+  return ds;
+}
+
+}  // namespace pnc::data

@@ -1,0 +1,155 @@
+#include "pnc/hardware/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace pnc::hardware {
+
+DeviceCounts& DeviceCounts::operator+=(const DeviceCounts& other) {
+  transistors += other.transistors;
+  resistors += other.resistors;
+  capacitors += other.capacitors;
+  return *this;
+}
+
+DeviceCounts operator+(DeviceCounts a, const DeviceCounts& b) {
+  a += b;
+  return a;
+}
+
+DesignStyle legacy_ptpnc_style() {
+  DesignStyle s;
+  s.name = "pTPNC [8]";
+  s.crossbar_unit_resistance = 150e3;  // low end of the printable window
+  s.inverter_load_resistance = 40e3;
+  s.ptanh_divider_resistance = 300e3;
+  return s;
+}
+
+DesignStyle adapt_pnc_style() {
+  DesignStyle s;
+  s.name = "ADAPT-pNC";
+  s.crossbar_unit_resistance = 3e6;  // high-resistance, low-power design
+  s.inverter_load_resistance = 1e6;
+  s.ptanh_divider_resistance = 6e6;
+  return s;
+}
+
+namespace {
+
+DeviceCounts count_crossbar(const core::CrossbarLayer& xbar) {
+  DeviceCounts c;
+  // Per column: one resistor per input, one bias resistor, one pull-down.
+  c.resistors = xbar.n_out() * (xbar.n_in() + 2);
+  // Inverters realize negative conductances: 2 EGTs + 1 resistor each.
+  const std::size_t inverters = xbar.inverter_count();
+  c.transistors = 2 * inverters;
+  c.resistors += inverters;
+  return c;
+}
+
+DeviceCounts count_filters(const core::FilterLayer& filters) {
+  DeviceCounts c;
+  const auto stages = static_cast<std::size_t>(filters.order());
+  c.resistors = filters.channels() * stages;
+  c.capacitors = filters.channels() * stages;
+  return c;
+}
+
+DeviceCounts count_ptanh(const core::PtanhLayer& act) {
+  DeviceCounts c;
+  c.transistors = 2 * act.size();
+  c.resistors = 2 * act.size();
+  return c;
+}
+
+}  // namespace
+
+DeviceCounts count_layer(const core::PtpbLayer& layer) {
+  return count_crossbar(layer.crossbar()) + count_filters(layer.filters()) +
+         count_ptanh(layer.activation());
+}
+
+DeviceCounts count_devices(const core::PrintedTemporalNetwork& net) {
+  return count_layer(net.layer1()) + count_layer(net.layer2());
+}
+
+namespace {
+
+double crossbar_power(const core::CrossbarLayer& xbar,
+                      const DesignStyle& style) {
+  double watts = 0.0;
+  for (std::size_t j = 0; j < xbar.n_out(); ++j) {
+    const circuit::CrossbarColumn col =
+        xbar.export_column(j, style.crossbar_unit_resistance);
+    const std::vector<double> inputs(xbar.n_in(), style.signal_rms);
+    watts += col.static_power(inputs);
+  }
+  return watts;
+}
+
+double inverter_power(const core::CrossbarLayer& xbar,
+                      const DesignStyle& style) {
+  // Class-A inverter bias: full swing across the load resistor.
+  const double swing = 2.0 * style.supply;
+  const double per_inverter =
+      swing * swing / style.inverter_load_resistance * 0.25;
+  return per_inverter * static_cast<double>(xbar.inverter_count());
+}
+
+double ptanh_power(const core::PtanhLayer& act, const DesignStyle& style) {
+  const double swing = 2.0 * style.supply;
+  // Divider current plus a matched bias branch through both EGTs.
+  const double per_neuron =
+      swing * swing / style.ptanh_divider_resistance * 1.5;
+  return per_neuron * static_cast<double>(act.size());
+}
+
+}  // namespace
+
+PowerBreakdown estimate_power(const core::PrintedTemporalNetwork& net,
+                              const DesignStyle& style) {
+  PowerBreakdown p;
+  p.crossbar = crossbar_power(net.layer1().crossbar(), style) +
+               crossbar_power(net.layer2().crossbar(), style);
+  p.inverters = inverter_power(net.layer1().crossbar(), style) +
+                inverter_power(net.layer2().crossbar(), style);
+  p.ptanh = ptanh_power(net.layer1().activation(), style) +
+            ptanh_power(net.layer2().activation(), style);
+  return p;
+}
+
+namespace {
+
+double filter_capacitance_total(const core::FilterLayer& filters) {
+  double farads = 0.0;
+  const auto stages = static_cast<std::size_t>(filters.order());
+  for (std::size_t stage = 0; stage < stages; ++stage) {
+    for (std::size_t j = 0; j < filters.channels(); ++j) {
+      farads += filters.capacitance(stage, j);
+    }
+  }
+  return farads;
+}
+
+}  // namespace
+
+EnergyEstimate estimate_inference_energy(
+    const core::PrintedTemporalNetwork& net, const DesignStyle& style,
+    double sample_period, std::size_t sequence_length, double signal_swing) {
+  if (sample_period <= 0.0 || sequence_length == 0) {
+    throw std::invalid_argument(
+        "estimate_inference_energy: bad sequence parameters");
+  }
+  EnergyEstimate e;
+  const double duration =
+      sample_period * static_cast<double>(sequence_length);
+  e.static_joules = estimate_power(net, style).total() * duration;
+  // Each sample step can re-charge every filter capacitor by ~ΔV.
+  const double farads = filter_capacitance_total(net.layer1().filters()) +
+                        filter_capacitance_total(net.layer2().filters());
+  e.dynamic_joules = farads * signal_swing * signal_swing *
+                     static_cast<double>(sequence_length);
+  return e;
+}
+
+}  // namespace pnc::hardware

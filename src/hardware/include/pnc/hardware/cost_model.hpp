@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+
+#include "pnc/core/adapt_pnc.hpp"
+
+namespace pnc::hardware {
+
+/// Printed device inventory of a circuit (Table III columns).
+struct DeviceCounts {
+  std::size_t transistors = 0;
+  std::size_t resistors = 0;
+  std::size_t capacitors = 0;
+
+  std::size_t total() const { return transistors + resistors + capacitors; }
+  DeviceCounts& operator+=(const DeviceCounts& other);
+};
+
+DeviceCounts operator+(DeviceCounts a, const DeviceCounts& b);
+
+/// Static power breakdown in watts.
+struct PowerBreakdown {
+  double crossbar = 0.0;
+  double inverters = 0.0;
+  double ptanh = 0.0;
+
+  double total() const { return crossbar + inverters + ptanh; }
+};
+
+/// Resistance design point of a circuit family. The paper's proposed
+/// ADAPT-pNC trades ≈1.9× more devices for ≈91 % lower static power by
+/// designing all resistive paths at the high end of the printable window;
+/// the legacy pTPNC design of [8] sits at the low-resistance end.
+struct DesignStyle {
+  std::string name;
+  double crossbar_unit_resistance;   // Ω per normalized conductance unit
+  double inverter_load_resistance;   // Ω
+  double ptanh_divider_resistance;   // Ω (R1 + R2)
+  double supply = 1.0;               // V (symmetric ±1 V rails -> 2 V swing)
+  double signal_rms = 0.5;           // V, typical crossbar input level
+};
+
+DesignStyle legacy_ptpnc_style();
+DesignStyle adapt_pnc_style();
+
+/// Device counting rules (documented in DESIGN.md):
+///  - crossbar column with n_in inputs: n_in + 2 resistors (inputs, bias,
+///    pull-down); every negative θ adds one inverter = 2 EGTs + 1 resistor
+///  - learnable filter channel: `order` × (1 resistor + 1 capacitor)
+///  - ptanh neuron: 2 EGTs + 2 resistors
+DeviceCounts count_devices(const core::PrintedTemporalNetwork& net);
+
+/// Per-block counts, exposed for tests and the ablation harness.
+DeviceCounts count_layer(const core::PtpbLayer& layer);
+
+/// Static power estimate of the whole network under a design style.
+PowerBreakdown estimate_power(const core::PrintedTemporalNetwork& net,
+                              const DesignStyle& style);
+
+/// Per-inference energy: static dissipation over the sequence duration
+/// plus the dynamic charge/discharge energy of the filter capacitors.
+struct EnergyEstimate {
+  double static_joules = 0.0;
+  double dynamic_joules = 0.0;
+  double total() const { return static_joules + dynamic_joules; }
+};
+
+/// `sequence_length` samples at `sample_period` seconds each;
+/// `signal_swing` is the typical per-step voltage excursion across the
+/// filter capacitors (dynamic energy per charge event = C·ΔV²).
+EnergyEstimate estimate_inference_energy(
+    const core::PrintedTemporalNetwork& net, const DesignStyle& style,
+    double sample_period, std::size_t sequence_length,
+    double signal_swing = 0.3);
+
+}  // namespace pnc::hardware

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "pnc/core/model.hpp"
+#include "pnc/data/dataset.hpp"
+
+namespace pnc::hardware {
+
+/// Monte-Carlo manufacturing-yield analysis.
+///
+/// Every sampled variation realization corresponds to one fabricated
+/// circuit; a circuit "passes" when its test accuracy reaches the
+/// application's threshold. Yield — the fraction of printed circuits that
+/// pass — is the quantity a printed-electronics fab actually prices, and
+/// it is where variation-aware training pays off (a VA-trained network
+/// keeps its accuracy distribution tight around the clean value, see
+/// Fig. 5 / Tab. I).
+struct YieldConfig {
+  double accuracy_threshold = 0.7;
+  int num_circuits = 50;  // Monte-Carlo fabrications
+  std::uint64_t seed = 0;
+};
+
+struct YieldResult {
+  double yield = 0.0;           // passing fraction
+  double mean_accuracy = 0.0;   // over all sampled circuits
+  double worst_accuracy = 1.0;
+  double best_accuracy = 0.0;
+  std::vector<double> accuracies;  // one per sampled circuit
+};
+
+/// Sample `num_circuits` fabrications of `model` under `variation` and
+/// score each on `split`.
+YieldResult estimate_yield(core::SequenceClassifier& model,
+                           const data::Split& split,
+                           const variation::VariationSpec& variation,
+                           const YieldConfig& config);
+
+/// Yield as a function of process quality: one estimate per δ in
+/// `deltas` (uniform ±δ component variation).
+std::vector<YieldResult> yield_vs_variation(
+    core::SequenceClassifier& model, const data::Split& split,
+    const std::vector<double>& deltas, const YieldConfig& config);
+
+}  // namespace pnc::hardware

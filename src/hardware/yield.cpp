@@ -1,0 +1,56 @@
+#include "pnc/hardware/yield.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::hardware {
+
+YieldResult estimate_yield(core::SequenceClassifier& model,
+                           const data::Split& split,
+                           const variation::VariationSpec& variation,
+                           const YieldConfig& config) {
+  if (config.num_circuits < 1) {
+    throw std::invalid_argument("estimate_yield: num_circuits must be >= 1");
+  }
+  if (config.accuracy_threshold < 0.0 || config.accuracy_threshold > 1.0) {
+    throw std::invalid_argument("estimate_yield: threshold must be in [0,1]");
+  }
+  util::Rng rng(config.seed ^ 0x7969656c64ULL);
+
+  YieldResult result;
+  result.accuracies.reserve(static_cast<std::size_t>(config.num_circuits));
+  int passing = 0;
+  double sum = 0.0;
+  for (int i = 0; i < config.num_circuits; ++i) {
+    // One predict == one fabricated circuit (one variation realization).
+    const ad::Tensor logits = model.predict(split.inputs, variation, rng);
+    const double acc = ad::accuracy(logits, split.labels);
+    result.accuracies.push_back(acc);
+    result.worst_accuracy = std::min(result.worst_accuracy, acc);
+    result.best_accuracy = std::max(result.best_accuracy, acc);
+    sum += acc;
+    if (acc >= config.accuracy_threshold) ++passing;
+  }
+  result.mean_accuracy = sum / static_cast<double>(config.num_circuits);
+  result.yield =
+      static_cast<double>(passing) / static_cast<double>(config.num_circuits);
+  return result;
+}
+
+std::vector<YieldResult> yield_vs_variation(
+    core::SequenceClassifier& model, const data::Split& split,
+    const std::vector<double>& deltas, const YieldConfig& config) {
+  std::vector<YieldResult> out;
+  out.reserve(deltas.size());
+  for (const double delta : deltas) {
+    const variation::VariationSpec spec =
+        delta == 0.0 ? variation::VariationSpec::none()
+                     : variation::VariationSpec::printing(delta);
+    out.push_back(estimate_yield(model, split, spec, config));
+  }
+  return out;
+}
+
+}  // namespace pnc::hardware

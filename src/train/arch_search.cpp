@@ -1,0 +1,69 @@
+#include "pnc/train/arch_search.hpp"
+
+#include <stdexcept>
+
+#include "pnc/data/dataset.hpp"
+
+namespace pnc::train {
+
+void mark_pareto_front(std::vector<ArchPoint>& points) {
+  for (auto& p : points) {
+    p.pareto_optimal = true;
+    for (const auto& q : points) {
+      if (&p == &q) continue;
+      const bool dominates =
+          q.robust_accuracy >= p.robust_accuracy &&
+          q.device_count <= p.device_count &&
+          (q.robust_accuracy > p.robust_accuracy ||
+           q.device_count < p.device_count);
+      if (dominates) {
+        p.pareto_optimal = false;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<ArchPoint> architecture_search(const std::string& dataset,
+                                           const ArchSearchConfig& config) {
+  if (config.hidden_widths.empty() || config.orders.empty()) {
+    throw std::invalid_argument("architecture_search: empty sweep axes");
+  }
+  const data::Dataset ds =
+      data::make_dataset(dataset, config.data_seed, config.sequence_length);
+  const auto classes = static_cast<std::size_t>(ds.num_classes);
+  const variation::VariationSpec clean = variation::VariationSpec::none();
+
+  std::vector<ArchPoint> points;
+  for (const core::FilterOrder order : config.orders) {
+    for (const std::size_t hidden : config.hidden_widths) {
+      core::PncTopology topology;
+      topology.n_classes = classes;
+      topology.hidden = hidden;
+      topology.dt = ds.sample_period;
+      core::PrintedTemporalNetwork net(
+          "arch_search", topology, order,
+          config.data_seed * 131u + hidden * 7u +
+              (order == core::FilterOrder::kSecond ? 1u : 0u));
+
+      (void)train(net, ds, config.train);
+
+      util::Rng rng(config.data_seed ^ hidden);
+      ArchPoint point;
+      point.candidate = {hidden, order};
+      point.clean_accuracy = evaluate_accuracy(net, ds.test, clean, rng);
+      point.robust_accuracy = evaluate_accuracy(
+          net, ds.test, config.evaluation, rng, config.eval_repeats);
+      point.device_count = hardware::count_devices(net).total();
+      const auto style = order == core::FilterOrder::kSecond
+                             ? hardware::adapt_pnc_style()
+                             : hardware::legacy_ptpnc_style();
+      point.power_mw = hardware::estimate_power(net, style).total() * 1e3;
+      points.push_back(point);
+    }
+  }
+  mark_pareto_front(points);
+  return points;
+}
+
+}  // namespace pnc::train

@@ -1,0 +1,167 @@
+#include "pnc/train/experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "pnc/augment/augment.hpp"
+#include "pnc/data/dataset.hpp"
+
+namespace pnc::train {
+
+std::size_t paper_hidden(const std::string& dataset, std::size_t n_classes) {
+  if (dataset == "DPTW") return 6;
+  if (dataset == "Slope") return 3;
+  return n_classes * n_classes;
+}
+
+std::unique_ptr<core::SequenceClassifier> make_model(const ExperimentSpec& spec,
+                                                     std::size_t n_classes,
+                                                     double dt,
+                                                     std::uint64_t seed) {
+  if (spec.kind == ModelKind::kElmanRnn) {
+    return baseline::make_elman(n_classes, seed, spec.hidden_cap);
+  }
+  core::PncTopology topology =
+      spec.order == core::FilterOrder::kSecond
+          ? core::PncTopology::adapt(n_classes, dt, spec.hidden_cap)
+          : core::PncTopology::baseline(n_classes, dt);
+  if (spec.order == core::FilterOrder::kSecond) {
+    topology.hidden = paper_hidden(spec.dataset, n_classes);
+    if (spec.hidden_cap > 0) {
+      topology.hidden = std::min(topology.hidden, spec.hidden_cap);
+    }
+  }
+  const std::string name = spec.order == core::FilterOrder::kSecond
+                               ? "adapt_pnc"
+                               : "ptpnc";
+  return std::make_unique<core::PrintedTemporalNetwork>(name, topology,
+                                                        spec.order, seed);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  const data::Dataset dataset =
+      data::make_dataset(spec.dataset, spec.data_seed, spec.sequence_length);
+  util::Rng eval_rng(spec.data_seed ^ 0xe7a1u);
+
+  struct TrainedModel {
+    std::unique_ptr<core::SequenceClassifier> model;
+    double clean_test_accuracy = 0.0;
+    double train_seconds = 0.0;
+  };
+
+  const variation::VariationSpec clean = variation::VariationSpec::none();
+
+  std::vector<TrainedModel> runs;
+  runs.reserve(static_cast<std::size_t>(spec.num_seeds));
+  for (int seed = 0; seed < spec.num_seeds; ++seed) {
+    TrainConfig config = spec.train;
+    config.seed = static_cast<std::uint64_t>(seed);
+    if (spec.kind == ModelKind::kPrinted && spec.variation_aware) {
+      config.train_variation = spec.train.train_variation;
+    } else {
+      config.train_variation = variation::VariationSpec::none();
+    }
+    if (!spec.augmented_training) config.augmentation.reset();
+
+    TrainedModel run;
+    run.model = make_model(spec, static_cast<std::size_t>(dataset.num_classes),
+                           dataset.sample_period,
+                           static_cast<std::uint64_t>(seed) * 7919u + 13u);
+    const TrainResult tr = train(*run.model, dataset, config);
+    run.train_seconds = tr.wall_seconds;
+    run.clean_test_accuracy =
+        evaluate_accuracy(*run.model, dataset.test, clean, eval_rng);
+    runs.push_back(std::move(run));
+  }
+
+  // Top-k selection by clean test accuracy (the paper's model selection).
+  std::vector<double> clean_accs;
+  clean_accs.reserve(runs.size());
+  for (const auto& r : runs) clean_accs.push_back(r.clean_test_accuracy);
+  const auto selected = util::top_k_indices(
+      clean_accs, static_cast<std::size_t>(spec.top_k));
+
+  // Perturbed test set: augmentation applied to the inputs (sensor noise)
+  // when requested; every eval repeat draws a new circuit realization.
+  data::Split perturbed_test = dataset.test;
+  if (spec.eval_perturbed_inputs) {
+    augment::AugmentConfig cfg =
+        spec.train.augmentation ? *spec.train.augmentation
+                                : augment::AugmentConfig{};
+    const augment::Augmenter augmenter(cfg);
+    perturbed_test = augmenter.augment_split(dataset.test, eval_rng,
+                                             /*include_original=*/true);
+  }
+
+  ExperimentResult result;
+  std::vector<double> sel_clean, sel_perturbed;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  for (const std::size_t idx : selected) {
+    TrainedModel& r = runs[idx];
+    sel_clean.push_back(r.clean_test_accuracy);
+    sel_perturbed.push_back(evaluate_accuracy(*r.model, perturbed_test,
+                                              spec.eval_variation, eval_rng,
+                                              spec.eval_repeats));
+    train_seconds += r.train_seconds;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)r.model->predict(dataset.test.inputs, clean, eval_rng);
+    infer_seconds += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  }
+  result.clean_accuracy = util::summarize(sel_clean);
+  result.perturbed_accuracy = util::summarize(sel_perturbed);
+  result.mean_train_seconds =
+      train_seconds / static_cast<double>(selected.size());
+  result.mean_inference_seconds =
+      infer_seconds / static_cast<double>(selected.size());
+  result.parameter_count = runs.front().model->parameter_count();
+  return result;
+}
+
+namespace {
+TrainConfig quick_train_defaults() {
+  TrainConfig config;
+  config.max_epochs = 220;
+  config.patience = 20;
+  config.train_variation = variation::VariationSpec::printing(0.10, 3);
+  config.augmentation = augment::AugmentConfig{};
+  return config;
+}
+}  // namespace
+
+ExperimentSpec elman_spec(const std::string& dataset) {
+  ExperimentSpec spec;
+  spec.dataset = dataset;
+  spec.kind = ModelKind::kElmanRnn;
+  spec.variation_aware = false;
+  spec.augmented_training = false;
+  spec.train = quick_train_defaults();
+  return spec;
+}
+
+ExperimentSpec baseline_spec(const std::string& dataset) {
+  ExperimentSpec spec;
+  spec.dataset = dataset;
+  spec.kind = ModelKind::kPrinted;
+  spec.order = core::FilterOrder::kFirst;
+  spec.variation_aware = false;
+  spec.augmented_training = false;
+  spec.train = quick_train_defaults();
+  return spec;
+}
+
+ExperimentSpec adapt_spec(const std::string& dataset) {
+  ExperimentSpec spec;
+  spec.dataset = dataset;
+  spec.kind = ModelKind::kPrinted;
+  spec.order = core::FilterOrder::kSecond;
+  spec.variation_aware = true;
+  spec.augmented_training = true;
+  spec.train = quick_train_defaults();
+  return spec;
+}
+
+}  // namespace pnc::train

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/hardware/cost_model.hpp"
+#include "pnc/train/trainer.hpp"
+
+namespace pnc::train {
+
+/// Architecture search for ADAPT-pNCs — the paper's stated future work
+/// (Sec. V): explore hidden width × filter order and surface the
+/// accuracy / hardware-cost Pareto front a circuit designer picks from.
+
+struct ArchCandidate {
+  std::size_t hidden = 4;
+  core::FilterOrder order = core::FilterOrder::kSecond;
+};
+
+struct ArchPoint {
+  ArchCandidate candidate;
+  double clean_accuracy = 0.0;
+  double robust_accuracy = 0.0;  // under the search's evaluation spec
+  std::size_t device_count = 0;
+  double power_mw = 0.0;
+  bool pareto_optimal = false;  // on the (robust acc ↑, devices ↓) front
+};
+
+struct ArchSearchConfig {
+  std::vector<std::size_t> hidden_widths = {2, 4, 6, 9};
+  std::vector<core::FilterOrder> orders = {core::FilterOrder::kFirst,
+                                           core::FilterOrder::kSecond};
+  TrainConfig train;  // applied per candidate (seed varied internally)
+  variation::VariationSpec evaluation =
+      variation::VariationSpec::printing(0.10);
+  int eval_repeats = 3;
+  std::uint64_t data_seed = 42;
+  std::size_t sequence_length = 64;
+};
+
+/// Train and score every candidate on the named benchmark dataset and
+/// mark the Pareto-optimal set. Candidates are returned in sweep order.
+std::vector<ArchPoint> architecture_search(const std::string& dataset,
+                                           const ArchSearchConfig& config);
+
+/// Mark `pareto_optimal` on points maximizing robust accuracy while
+/// minimizing device count (exposed for direct testing).
+void mark_pareto_front(std::vector<ArchPoint>& points);
+
+}  // namespace pnc::train

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/autodiff/tensor.hpp"
+
+namespace pnc::train {
+
+/// Confusion matrix and per-class metrics for classifier evaluation —
+/// finer-grained than the accuracy numbers the paper reports, useful when
+/// debugging which classes collapse under variation.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Accumulate one batch from logits (B x C) and labels.
+  void accumulate(const ad::Tensor& logits, const std::vector<int>& labels);
+
+  /// Accumulate one (true, predicted) pair.
+  void add(int true_class, int predicted_class);
+
+  int num_classes() const { return num_classes_; }
+  std::size_t total() const { return total_; }
+
+  /// counts[t][p] = samples of true class t predicted as p.
+  std::size_t count(int true_class, int predicted_class) const;
+
+  double accuracy() const;
+  double precision(int cls) const;  // 0 when the class is never predicted
+  double recall(int cls) const;     // 0 when the class never occurs
+  double f1(int cls) const;
+  double macro_f1() const;
+
+  /// Render as an aligned ASCII table (rows = true, cols = predicted).
+  std::string to_string() const;
+
+ private:
+  int num_classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // row-major (true x predicted)
+};
+
+}  // namespace pnc::train

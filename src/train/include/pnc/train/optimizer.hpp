@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pnc/autodiff/graph.hpp"
+
+namespace pnc::train {
+
+/// First-order optimizer over a fixed set of parameters. Gradients are
+/// accumulated into Parameter::grad by Graph::backward; step() consumes
+/// them (callers zero them before the next accumulation round).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ad::Parameter*> params);
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  void zero_grad();
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr);
+
+  const std::vector<ad::Parameter*>& parameters() const { return params_; }
+
+ protected:
+  std::vector<ad::Parameter*> params_;
+  double lr_ = 0.1;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<ad::Parameter*> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double momentum_;
+  std::vector<ad::Tensor> velocity_;
+};
+
+/// AdamW (Loshchilov & Hutter [31]): Adam moments with *decoupled* weight
+/// decay — the paper's optimizer, used with default β/ε settings.
+class AdamW final : public Optimizer {
+ public:
+  struct Config {
+    double lr = 0.1;  // paper's initial learning rate
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 1e-2;
+  };
+
+  AdamW(std::vector<ad::Parameter*> params, Config config);
+  void step() override;
+
+ private:
+  Config config_;
+  std::vector<ad::Tensor> m_;
+  std::vector<ad::Tensor> v_;
+  long step_count_ = 0;
+};
+
+/// Plateau learning-rate schedule (Sec. IV-A3): halve the learning rate
+/// after `patience` epochs without validation-loss improvement; training
+/// stops once the rate falls below `min_lr`.
+class PlateauScheduler {
+ public:
+  PlateauScheduler(Optimizer& optimizer, int patience, double factor = 0.5,
+                   double min_lr = 1e-5);
+
+  /// Feed the epoch's validation loss. Returns false when training should
+  /// stop (learning rate has decayed below min_lr).
+  bool observe(double validation_loss);
+
+  double best_loss() const { return best_loss_; }
+  int epochs_since_improvement() const { return stale_epochs_; }
+
+ private:
+  Optimizer& optimizer_;
+  int patience_;
+  double factor_;
+  double min_lr_;
+  double best_loss_;
+  int stale_epochs_ = 0;
+};
+
+}  // namespace pnc::train

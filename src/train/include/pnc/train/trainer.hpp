@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pnc/augment/augment.hpp"
+#include "pnc/core/model.hpp"
+#include "pnc/data/dataset.hpp"
+#include "pnc/train/optimizer.hpp"
+
+namespace pnc::train {
+
+/// Training configuration (defaults follow Sec. IV-A3, with epoch counts
+/// scaled for laptop runtime; see DESIGN.md §1).
+struct TrainConfig {
+  double learning_rate = 0.1;
+  double weight_decay = 1e-3;
+  int max_epochs = 300;
+  int patience = 25;        // paper: 100 — scaled with max_epochs
+  double lr_factor = 0.5;
+  double min_lr = 1e-5;
+
+  /// Variation-aware (VA) training: Monte-Carlo spec applied during the
+  /// forward passes (Eq. (14)). Use VariationSpec::none() to disable.
+  variation::VariationSpec train_variation = variation::VariationSpec::none();
+
+  /// Augmented training (AT): when set, every epoch trains on the original
+  /// batch plus a freshly augmented copy.
+  std::optional<augment::AugmentConfig> augmentation;
+
+  std::uint64_t seed = 0;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double validation_loss = 0.0;
+  double validation_accuracy = 0.0;
+  double learning_rate = 0.0;
+};
+
+struct TrainResult {
+  double best_validation_loss = 0.0;
+  double best_validation_accuracy = 0.0;
+  double final_train_loss = 0.0;
+  int epochs_run = 0;
+  double wall_seconds = 0.0;
+  std::vector<EpochStats> history;
+};
+
+/// Mean cross-entropy loss of one Monte-Carlo forward pass; accumulates
+/// gradients scaled by `grad_scale` when `backward` is set.
+double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
+                    const variation::VariationSpec& spec, util::Rng& rng,
+                    bool backward, double grad_scale = 1.0);
+
+/// Full-batch training loop implementing the paper's objective (Eq. (14)):
+/// AdamW, plateau LR halving, stop below min_lr, Monte-Carlo variation
+/// sampling and optional per-epoch augmentation. The model's printable
+/// clamp runs after every optimizer step.
+TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
+                  const TrainConfig& config);
+
+/// Accuracy of the model on a split under the given evaluation variation
+/// spec, averaged over `repeats` Monte-Carlo circuit realizations.
+double evaluate_accuracy(core::SequenceClassifier& model,
+                         const data::Split& split,
+                         const variation::VariationSpec& spec, util::Rng& rng,
+                         int repeats = 1);
+
+/// Mean cross-entropy on a split (single clean pass) — the validation
+/// criterion of the LR schedule.
+double evaluate_loss(core::SequenceClassifier& model, const data::Split& split,
+                     const variation::VariationSpec& spec, util::Rng& rng);
+
+}  // namespace pnc::train

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnc/train/experiment.hpp"
+
+namespace pnc::train {
+
+/// Deterministic grid search over augmentation hyper-parameters — the
+/// in-repo stand-in for the paper's Ray Tune step (DESIGN.md §1). Each
+/// candidate is scored by validation accuracy after a short training run.
+struct TunerCandidate {
+  augment::AugmentConfig config;
+  double validation_accuracy = 0.0;
+};
+
+struct TunerResult {
+  augment::AugmentConfig best;
+  double best_validation_accuracy = 0.0;
+  std::vector<TunerCandidate> all;
+};
+
+/// The default grid: crop size, noise level and warping strength — the
+/// quantities Sec. IV-A2 names as tuned per dataset.
+std::vector<augment::AugmentConfig> default_augmentation_grid();
+
+/// Run the grid for a dataset. `base` provides model/training settings;
+/// its augmentation field is replaced per candidate and num_seeds is
+/// forced to 1 for speed.
+TunerResult tune_augmentation(const ExperimentSpec& base,
+                              const std::vector<augment::AugmentConfig>& grid);
+
+}  // namespace pnc::train

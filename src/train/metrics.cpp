@@ -1,0 +1,102 @@
+#include "pnc/train/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::train {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes) *
+              static_cast<std::size_t>(num_classes)) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("ConfusionMatrix: need >= 2 classes");
+  }
+}
+
+void ConfusionMatrix::accumulate(const ad::Tensor& logits,
+                                 const std::vector<int>& labels) {
+  if (logits.rows() != labels.size()) {
+    throw std::invalid_argument("ConfusionMatrix: batch size mismatch");
+  }
+  if (logits.cols() != static_cast<std::size_t>(num_classes_)) {
+    throw std::invalid_argument("ConfusionMatrix: class count mismatch");
+  }
+  const std::vector<int> predicted = ad::argmax_rows(logits);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    add(labels[i], predicted[i]);
+  }
+}
+
+void ConfusionMatrix::add(int true_class, int predicted_class) {
+  if (true_class < 0 || true_class >= num_classes_ || predicted_class < 0 ||
+      predicted_class >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix: class index out of range");
+  }
+  ++counts_[static_cast<std::size_t>(true_class) *
+                static_cast<std::size_t>(num_classes_) +
+            static_cast<std::size_t>(predicted_class)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int true_class, int predicted_class) const {
+  if (true_class < 0 || true_class >= num_classes_ || predicted_class < 0 ||
+      predicted_class >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix: class index out of range");
+  }
+  return counts_[static_cast<std::size_t>(true_class) *
+                     static_cast<std::size_t>(num_classes_) +
+                 static_cast<std::size_t>(predicted_class)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t hits = 0;
+  for (int c = 0; c < num_classes_; ++c) hits += count(c, c);
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  std::size_t predicted = 0;
+  for (int t = 0; t < num_classes_; ++t) predicted += count(t, cls);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  std::size_t actual = 0;
+  for (int p = 0; p < num_classes_; ++p) actual += count(cls, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += f1(c);
+  return sum / static_cast<double>(num_classes_);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "true\\pred";
+  for (int p = 0; p < num_classes_; ++p) os << '\t' << p;
+  os << '\n';
+  for (int t = 0; t < num_classes_; ++t) {
+    os << t;
+    for (int p = 0; p < num_classes_; ++p) os << '\t' << count(t, p);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pnc::train

@@ -1,0 +1,111 @@
+#include "pnc/train/optimizer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pnc::train {
+
+Optimizer::Optimizer(std::vector<ad::Parameter*> params)
+    : params_(std::move(params)) {
+  if (params_.empty()) {
+    throw std::invalid_argument("Optimizer: no parameters");
+  }
+  for (const auto* p : params_) {
+    if (p == nullptr) throw std::invalid_argument("Optimizer: null parameter");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+void Optimizer::set_learning_rate(double lr) {
+  if (lr < 0.0) throw std::invalid_argument("set_learning_rate: lr < 0");
+  lr_ = lr;
+}
+
+Sgd::Sgd(std::vector<ad::Parameter*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  set_learning_rate(lr);
+  velocity_.reserve(params_.size());
+  for (const auto* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ad::Parameter& p = *params_[i];
+    ad::Tensor& vel = velocity_[i];
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      vel.data()[k] = momentum_ * vel.data()[k] + p.grad.data()[k];
+      p.value.data()[k] -= lr_ * vel.data()[k];
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<ad::Parameter*> params, Config config)
+    : Optimizer(std::move(params)), config_(config) {
+  set_learning_rate(config_.lr);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void AdamW::step() {
+  ++step_count_;
+  const double bc1 =
+      1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
+  const double bc2 =
+      1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ad::Parameter& p = *params_[i];
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      const double g = p.grad.data()[k];
+      double& m = m_[i].data()[k];
+      double& v = v_[i].data()[k];
+      m = config_.beta1 * m + (1.0 - config_.beta1) * g;
+      v = config_.beta2 * v + (1.0 - config_.beta2) * g * g;
+      const double m_hat = m / bc1;
+      const double v_hat = v / bc2;
+      double& w = p.value.data()[k];
+      // Decoupled decay: shrink the weight directly, not through the grad.
+      w -= lr_ * (m_hat / (std::sqrt(v_hat) + config_.epsilon) +
+                  config_.weight_decay * w);
+    }
+  }
+}
+
+PlateauScheduler::PlateauScheduler(Optimizer& optimizer, int patience,
+                                   double factor, double min_lr)
+    : optimizer_(optimizer),
+      patience_(patience),
+      factor_(factor),
+      min_lr_(min_lr),
+      best_loss_(std::numeric_limits<double>::infinity()) {
+  if (patience < 1) throw std::invalid_argument("PlateauScheduler: patience");
+  if (factor <= 0.0 || factor >= 1.0) {
+    throw std::invalid_argument("PlateauScheduler: factor must be in (0, 1)");
+  }
+}
+
+bool PlateauScheduler::observe(double validation_loss) {
+  if (validation_loss < best_loss_) {
+    best_loss_ = validation_loss;
+    stale_epochs_ = 0;
+    return true;
+  }
+  if (++stale_epochs_ >= patience_) {
+    stale_epochs_ = 0;
+    const double next = optimizer_.learning_rate() * factor_;
+    optimizer_.set_learning_rate(next);
+    if (next < min_lr_) return false;
+  }
+  return true;
+}
+
+}  // namespace pnc::train

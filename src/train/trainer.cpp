@@ -1,0 +1,116 @@
+#include "pnc/train/trainer.hpp"
+
+#include <chrono>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::train {
+
+double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
+                    const variation::VariationSpec& spec, util::Rng& rng,
+                    bool backward, double grad_scale) {
+  ad::Graph g;
+  const ad::Var logits = model.forward(g, batch.inputs, spec, rng);
+  ad::Var loss = ad::softmax_cross_entropy(logits, batch.labels);
+  if (backward) {
+    if (grad_scale != 1.0) loss = ad::scale(loss, grad_scale);
+    g.backward(loss);
+    // Report the unscaled loss either way.
+    return g.value(loss).item() / grad_scale;
+  }
+  return g.value(loss).item();
+}
+
+double evaluate_accuracy(core::SequenceClassifier& model,
+                         const data::Split& split,
+                         const variation::VariationSpec& spec, util::Rng& rng,
+                         int repeats) {
+  double acc = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    const ad::Tensor logits = model.predict(split.inputs, spec, rng);
+    acc += ad::accuracy(logits, split.labels);
+  }
+  return acc / static_cast<double>(repeats);
+}
+
+double evaluate_loss(core::SequenceClassifier& model, const data::Split& split,
+                     const variation::VariationSpec& spec, util::Rng& rng) {
+  return forward_loss(model, split, spec, rng, /*backward=*/false);
+}
+
+TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
+                  const TrainConfig& config) {
+  const auto t_start = std::chrono::steady_clock::now();
+  util::Rng rng(config.seed ^ 0x7261696e5f726e67ULL);
+
+  AdamW::Config adam;
+  adam.lr = config.learning_rate;
+  adam.weight_decay = config.weight_decay;
+  AdamW optimizer(model.parameters(), adam);
+  PlateauScheduler scheduler(optimizer, config.patience, config.lr_factor,
+                             config.min_lr);
+
+  std::optional<augment::Augmenter> augmenter;
+  if (config.augmentation) augmenter.emplace(*config.augmentation);
+
+  const variation::VariationSpec clean = variation::VariationSpec::none();
+  const int mc_samples =
+      std::max(config.train_variation.monte_carlo_samples, 1);
+
+  TrainResult result;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    // Assemble this epoch's batch: originals plus (optionally) one fresh
+    // augmented copy, matching "augmented data combined with original".
+    const data::Split* batch = &data.train;
+    data::Split augmented;
+    if (augmenter) {
+      augmented = augmenter->augment_split(data.train, rng,
+                                           /*include_original=*/true);
+      batch = &augmented;
+    }
+
+    // Monte-Carlo approximation of the expected loss (Eq. (13)): one
+    // forward/backward per sampled circuit realization, gradients averaged.
+    optimizer.zero_grad();
+    double train_loss = 0.0;
+    for (int s = 0; s < mc_samples; ++s) {
+      train_loss += forward_loss(model, *batch, config.train_variation, rng,
+                                 /*backward=*/true,
+                                 1.0 / static_cast<double>(mc_samples));
+    }
+    train_loss /= static_cast<double>(mc_samples);
+    optimizer.step();
+    model.clamp_parameters();
+
+    // Validation on clean circuit + unaugmented data drives the schedule.
+    const double val_loss =
+        evaluate_loss(model, data.validation, clean, rng);
+    const double val_acc =
+        evaluate_accuracy(model, data.validation, clean, rng);
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = train_loss;
+    stats.validation_loss = val_loss;
+    stats.validation_accuracy = val_acc;
+    stats.learning_rate = optimizer.learning_rate();
+    result.history.push_back(stats);
+
+    if (val_loss < result.best_validation_loss ||
+        result.epochs_run == 0) {
+      result.best_validation_loss = val_loss;
+      result.best_validation_accuracy = val_acc;
+    }
+    result.final_train_loss = train_loss;
+    result.epochs_run = epoch + 1;
+
+    if (!scheduler.observe(val_loss)) break;  // lr decayed below min_lr
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return result;
+}
+
+}  // namespace pnc::train

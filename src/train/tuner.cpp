@@ -1,0 +1,65 @@
+#include "pnc/train/tuner.hpp"
+
+#include <stdexcept>
+
+#include "pnc/data/dataset.hpp"
+
+namespace pnc::train {
+
+std::vector<augment::AugmentConfig> default_augmentation_grid() {
+  std::vector<augment::AugmentConfig> grid;
+  for (const double jitter : {0.02, 0.05, 0.10}) {
+    for (const double warp : {0.1, 0.3}) {
+      for (const double keep : {0.8, 0.95}) {
+        augment::AugmentConfig cfg;
+        cfg.jitter_sigma = jitter;
+        cfg.warp_strength = warp;
+        cfg.crop_keep_ratio = keep;
+        grid.push_back(cfg);
+      }
+    }
+  }
+  return grid;
+}
+
+TunerResult tune_augmentation(const ExperimentSpec& base,
+                              const std::vector<augment::AugmentConfig>& grid) {
+  if (grid.empty()) throw std::invalid_argument("tune_augmentation: empty grid");
+
+  const data::Dataset dataset =
+      data::make_dataset(base.dataset, base.data_seed, base.sequence_length);
+  const variation::VariationSpec clean = variation::VariationSpec::none();
+
+  TunerResult result;
+  result.best_validation_accuracy = -1.0;
+  for (const auto& candidate : grid) {
+    ExperimentSpec spec = base;
+    spec.num_seeds = 1;
+    spec.top_k = 1;
+    TrainConfig config = spec.train;
+    config.augmentation = candidate;
+    config.seed = base.data_seed;
+    // Short tuning run: a third of the full budget is enough to rank
+    // augmentation settings.
+    config.max_epochs = std::max(config.max_epochs / 3, 30);
+
+    auto model =
+        make_model(spec, static_cast<std::size_t>(dataset.num_classes),
+                   dataset.sample_period, base.data_seed * 31u + 7u);
+    (void)train(*model, dataset, config);
+
+    util::Rng rng(base.data_seed);
+    TunerCandidate scored;
+    scored.config = candidate;
+    scored.validation_accuracy =
+        evaluate_accuracy(*model, dataset.validation, clean, rng);
+    if (scored.validation_accuracy > result.best_validation_accuracy) {
+      result.best_validation_accuracy = scored.validation_accuracy;
+      result.best = candidate;
+    }
+    result.all.push_back(scored);
+  }
+  return result;
+}
+
+}  // namespace pnc::train

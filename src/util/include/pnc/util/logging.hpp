@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pnc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line ("[level] message") to stderr, thread-safe.
+void log(LogLevel level, const std::string& message);
+
+/// Stream-style logger: LogLine(LogLevel::kInfo) << "epoch " << e;
+/// flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace pnc::util
+
+#define PNC_LOG_DEBUG ::pnc::util::LogLine(::pnc::util::LogLevel::kDebug)
+#define PNC_LOG_INFO ::pnc::util::LogLine(::pnc::util::LogLevel::kInfo)
+#define PNC_LOG_WARN ::pnc::util::LogLine(::pnc::util::LogLevel::kWarn)
+#define PNC_LOG_ERROR ::pnc::util::LogLine(::pnc::util::LogLevel::kError)

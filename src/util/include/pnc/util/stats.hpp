@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pnc::util {
+
+/// Mean of a sample; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (Bessel-corrected); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Population standard deviation; 0 for empty.
+double stddev_population(std::span<const double> xs);
+
+/// Median (copies and sorts); 0 for empty.
+double median(std::span<const double> xs);
+
+/// Min / max; 0 for empty.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Summary of repeated measurements (e.g. accuracy over seeds).
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Indices of the k largest elements, descending (k clamped to size).
+std::vector<std::size_t> top_k_indices(std::span<const double> xs,
+                                       std::size_t k);
+
+}  // namespace pnc::util

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pnc::util {
+
+/// Console / CSV table used by every bench harness to print the rows of the
+/// paper's tables and figures.
+///
+/// Usage:
+///   Table t({"Dataset", "pTPNC", "ADAPT-pNC"});
+///   t.add_row({"CBF", "0.615", "0.877"});
+///   t.print(std::cout);       // aligned ASCII table
+///   t.write_csv("table1.csv");
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Pretty-print with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells that contain commas/quotes/newlines).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format "mean ± std" with three decimals, matching the paper's tables.
+std::string format_mean_std(double mean, double stddev);
+
+/// Fixed-point formatting with `digits` decimals.
+std::string format_fixed(double value, int digits);
+
+}  // namespace pnc::util

@@ -1,0 +1,84 @@
+#include "pnc/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pnc::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+namespace {
+double sum_sq_dev(std::span<const double> xs, double m) {
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s;
+}
+}  // namespace
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  return std::sqrt(sum_sq_dev(xs, mean(xs)) /
+                   static_cast<double>(xs.size() - 1));
+}
+
+double stddev_population(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::sqrt(sum_sq_dev(xs, mean(xs)) / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> tmp(xs.begin(), xs.end());
+  std::sort(tmp.begin(), tmp.end());
+  const std::size_t n = tmp.size();
+  return (n % 2 == 1) ? tmp[n / 2] : 0.5 * (tmp[n / 2 - 1] + tmp[n / 2]);
+}
+
+double min_value(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min_value(xs);
+  s.max = max_value(xs);
+  return s;
+}
+
+std::vector<std::size_t> top_k_indices(std::span<const double> xs,
+                                       std::size_t k) {
+  std::vector<std::size_t> idx(xs.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return xs[a] > xs[b]; });
+  if (k < idx.size()) idx.resize(k);
+  return idx;
+}
+
+}  // namespace pnc::util

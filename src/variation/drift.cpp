@@ -1,0 +1,56 @@
+#include "pnc/variation/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::variation {
+
+DriftModel::DriftModel(std::shared_ptr<const VariationModel> printing,
+                       Config config)
+    : printing_(std::move(printing)), config_(config) {
+  if (!printing_) {
+    throw std::invalid_argument("DriftModel: null printing model");
+  }
+  if (config_.reference_age <= 0.0) {
+    throw std::invalid_argument("DriftModel: reference_age must be > 0");
+  }
+  if (config_.spread_per_ref < 0.0) {
+    throw std::invalid_argument("DriftModel: spread must be >= 0");
+  }
+  if (config_.evaluation_age < 0.0) {
+    throw std::invalid_argument("DriftModel: evaluation_age must be >= 0");
+  }
+}
+
+double DriftModel::sample_at(double age, util::Rng& rng) const {
+  if (age < 0.0) throw std::invalid_argument("DriftModel: age must be >= 0");
+  const double printed = printing_->sample(rng);
+  const double rel = age / config_.reference_age;
+  const double trend = 1.0 + config_.trend_per_ref * rel;
+  const double sigma = config_.spread_per_ref * std::sqrt(rel);
+  const double stochastic =
+      sigma > 0.0 ? std::clamp(rng.normal(1.0, sigma), 0.01, 1.0 + 3.0 * sigma)
+                  : 1.0;
+  return std::max(printed * trend * stochastic, 0.01);
+}
+
+double DriftModel::sample(util::Rng& rng) const {
+  return sample_at(config_.evaluation_age, rng);
+}
+
+std::unique_ptr<VariationModel> DriftModel::clone() const {
+  return std::make_unique<DriftModel>(printing_, config_);
+}
+
+VariationSpec drift_spec(std::shared_ptr<const VariationModel> printing,
+                         DriftModel::Config config, double age,
+                         int mc_samples) {
+  config.evaluation_age = age;
+  VariationSpec spec;
+  spec.component = std::make_shared<DriftModel>(std::move(printing), config);
+  spec.monte_carlo_samples = mc_samples;
+  return spec;
+}
+
+}  // namespace pnc::variation

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::variation {
+
+/// Temporal component drift (aging) — the paper's "temporal fluctuations"
+/// of printed components (Sec. I): printed resistors and capacitors shift
+/// over the device lifetime through electrolyte drying, oxidation and
+/// mechanical strain.
+///
+/// The model composes the as-printed process variation p(ε) with a
+/// deterministic aging trend plus a stochastic aging spread that both
+/// grow with operating time:
+///
+///   ε(t) = ε_print · (1 + trend · t/t_ref) · N(1, spread · sqrt(t/t_ref))
+///
+/// `sample_at(age)` draws a factor for a device at the given age. The
+/// class also satisfies the VariationModel interface at a fixed
+/// evaluation age so it can drop into VariationSpec.
+class DriftModel final : public VariationModel {
+ public:
+  struct Config {
+    double trend_per_ref = 0.05;   // mean multiplicative drift at t_ref
+    double spread_per_ref = 0.03;  // stochastic spread (sigma) at t_ref
+    double reference_age = 1.0;    // t_ref in arbitrary lifetime units
+    double evaluation_age = 1.0;   // age used by the VariationModel facade
+  };
+
+  DriftModel(std::shared_ptr<const VariationModel> printing, Config config);
+
+  /// Factor for a device of the given age (>= 0).
+  double sample_at(double age, util::Rng& rng) const;
+
+  /// VariationModel facade at config.evaluation_age.
+  double sample(util::Rng& rng) const override;
+  std::unique_ptr<VariationModel> clone() const override;
+
+  const Config& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const VariationModel> printing_;
+  Config config_;
+};
+
+/// Expected accuracy-vs-age sweep helper: builds a VariationSpec whose
+/// component model is this drift model evaluated at `age`.
+VariationSpec drift_spec(std::shared_ptr<const VariationModel> printing,
+                         DriftModel::Config config, double age,
+                         int mc_samples = 4);
+
+}  // namespace pnc::variation

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pnc/autodiff/tensor.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::variation {
+
+/// Multiplicative process-variation model for printed components.
+///
+/// Additive-manufacturing variation (ink dispersion, droplet irregularity,
+/// missing droplets) is modeled as a random factor ε applied to the nominal
+/// component value: value = nominal ⊙ ε (the reparameterization of
+/// Sec. III-A). Implementations provide the distribution p(ε).
+class VariationModel {
+ public:
+  virtual ~VariationModel() = default;
+
+  /// Draw one multiplicative factor (always > 0).
+  virtual double sample(util::Rng& rng) const = 0;
+
+  virtual std::unique_ptr<VariationModel> clone() const = 0;
+};
+
+/// ε ≡ 1 (no variation; used for clean evaluation and the baseline).
+class NoVariation final : public VariationModel {
+ public:
+  double sample(util::Rng&) const override { return 1.0; }
+  std::unique_ptr<VariationModel> clone() const override {
+    return std::make_unique<NoVariation>();
+  }
+};
+
+/// ε ~ U(1 - δ, 1 + δ): the paper's ±10 % "precision printing" model.
+class UniformVariation final : public VariationModel {
+ public:
+  explicit UniformVariation(double delta);
+  double sample(util::Rng& rng) const override;
+  double delta() const { return delta_; }
+  std::unique_ptr<VariationModel> clone() const override {
+    return std::make_unique<UniformVariation>(delta_);
+  }
+
+ private:
+  double delta_;
+};
+
+/// ε ~ N(1, σ), truncated to [max(ε_min, 1-3σ), 1+3σ].
+class GaussianVariation final : public VariationModel {
+ public:
+  explicit GaussianVariation(double sigma);
+  double sample(util::Rng& rng) const override;
+  double sigma() const { return sigma_; }
+  std::unique_ptr<VariationModel> clone() const override {
+    return std::make_unique<GaussianVariation>(sigma_);
+  }
+
+ private:
+  double sigma_;
+};
+
+/// Device-level Gaussian mixture (Rasheed et al. [24]): captures
+/// multi-modal behaviour, e.g. a nominal printing mode plus a degraded
+/// mode from partially missing droplets.
+class GaussianMixtureVariation final : public VariationModel {
+ public:
+  struct Component {
+    double weight;  // > 0; normalized internally
+    double mean;    // multiplicative, ~1
+    double sigma;   // > 0
+  };
+
+  explicit GaussianMixtureVariation(std::vector<Component> components);
+  double sample(util::Rng& rng) const override;
+  const std::vector<Component>& components() const { return components_; }
+  std::unique_ptr<VariationModel> clone() const override {
+    return std::make_unique<GaussianMixtureVariation>(components_);
+  }
+
+ private:
+  std::vector<Component> components_;  // weights normalized to sum 1
+};
+
+/// Tensor of i.i.d. factors with the given shape.
+ad::Tensor sample_factors(const VariationModel& model, std::size_t rows,
+                          std::size_t cols, util::Rng& rng);
+
+/// In-place `values ⊙= ε` with i.i.d. ε from the model.
+void apply_variation(ad::Tensor& values, const VariationModel& model,
+                     util::Rng& rng);
+
+/// Everything that is random but *not* trainable during variation-aware
+/// training (Sec. III-A): the component variation distribution, the
+/// coupling factor μ ~ U(mu_min, mu_max) and the initial filter voltage
+/// V0 ~ U(v0_min, v0_max).
+struct VariationSpec {
+  std::shared_ptr<const VariationModel> component;  // p(ε) for θ, R, C
+  double mu_min = 1.0;
+  double mu_max = 1.3;
+  double v0_min = -0.05;
+  double v0_max = 0.05;
+  int monte_carlo_samples = 4;  // N in Eq. (13)
+
+  static VariationSpec none();
+  /// The paper's evaluation setting: ±delta uniform component variation,
+  /// μ ∈ [1, 1.3], small random initial voltages.
+  static VariationSpec printing(double delta, int mc_samples = 4);
+
+  double sample_mu(util::Rng& rng) const;
+  double sample_v0(util::Rng& rng) const;
+};
+
+}  // namespace pnc::variation

@@ -1,0 +1,99 @@
+#include "pnc/variation/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::variation {
+
+UniformVariation::UniformVariation(double delta) : delta_(delta) {
+  if (delta < 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("UniformVariation: delta must be in [0, 1)");
+  }
+}
+
+double UniformVariation::sample(util::Rng& rng) const {
+  return rng.uniform(1.0 - delta_, 1.0 + delta_);
+}
+
+GaussianVariation::GaussianVariation(double sigma) : sigma_(sigma) {
+  if (sigma < 0.0) {
+    throw std::invalid_argument("GaussianVariation: sigma must be >= 0");
+  }
+}
+
+double GaussianVariation::sample(util::Rng& rng) const {
+  const double lo = std::max(0.01, 1.0 - 3.0 * sigma_);
+  const double hi = 1.0 + 3.0 * sigma_;
+  return std::clamp(rng.normal(1.0, sigma_), lo, hi);
+}
+
+GaussianMixtureVariation::GaussianMixtureVariation(
+    std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("GaussianMixtureVariation: no components");
+  }
+  double total = 0.0;
+  for (const auto& c : components_) {
+    if (c.weight <= 0.0 || c.sigma <= 0.0) {
+      throw std::invalid_argument(
+          "GaussianMixtureVariation: weights and sigmas must be positive");
+    }
+    total += c.weight;
+  }
+  for (auto& c : components_) c.weight /= total;
+}
+
+double GaussianMixtureVariation::sample(util::Rng& rng) const {
+  double u = rng.uniform();
+  for (const auto& c : components_) {
+    if (u < c.weight || &c == &components_.back()) {
+      const double lo = std::max(0.01, c.mean - 3.0 * c.sigma);
+      const double hi = c.mean + 3.0 * c.sigma;
+      return std::clamp(rng.normal(c.mean, c.sigma), lo, hi);
+    }
+    u -= c.weight;
+  }
+  return 1.0;  // unreachable
+}
+
+ad::Tensor sample_factors(const VariationModel& model, std::size_t rows,
+                          std::size_t cols, util::Rng& rng) {
+  ad::Tensor t(rows, cols);
+  for (auto& x : t.data()) x = model.sample(rng);
+  return t;
+}
+
+void apply_variation(ad::Tensor& values, const VariationModel& model,
+                     util::Rng& rng) {
+  for (auto& x : values.data()) x *= model.sample(rng);
+}
+
+VariationSpec VariationSpec::none() {
+  VariationSpec spec;
+  spec.component = std::make_shared<NoVariation>();
+  spec.mu_min = 1.0;
+  spec.mu_max = 1.0;
+  spec.v0_min = 0.0;
+  spec.v0_max = 0.0;
+  spec.monte_carlo_samples = 1;
+  return spec;
+}
+
+VariationSpec VariationSpec::printing(double delta, int mc_samples) {
+  VariationSpec spec;
+  spec.component = std::make_shared<UniformVariation>(delta);
+  spec.monte_carlo_samples = mc_samples;
+  return spec;
+}
+
+double VariationSpec::sample_mu(util::Rng& rng) const {
+  return mu_min == mu_max ? mu_min : rng.uniform(mu_min, mu_max);
+}
+
+double VariationSpec::sample_v0(util::Rng& rng) const {
+  return v0_min == v0_max ? v0_min : rng.uniform(v0_min, v0_max);
+}
+
+}  // namespace pnc::variation

@@ -1,0 +1,207 @@
+#include "pnc/augment/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pnc/data/dataset.hpp"
+#include "pnc/data/signals.hpp"
+
+namespace pnc::augment {
+namespace {
+
+std::vector<double> test_signal(std::size_t n = 64) {
+  std::vector<double> x(n, 0.0);
+  data::add_sine(x, 2.0, 0.8, 0.3);
+  data::add_bump(x, 0.5, 0.1, 0.5);
+  return x;
+}
+
+TEST(Jitter, PreservesLengthAndStaysClose) {
+  util::Rng rng(1);
+  const auto x = test_signal();
+  const auto y = jitter(x, 0.01, rng);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 0.06);  // ~5 sigma
+    EXPECT_NE(y[i], x[i]);
+  }
+}
+
+TEST(Jitter, ZeroSigmaIsIdentity) {
+  util::Rng rng(2);
+  const auto x = test_signal();
+  EXPECT_EQ(jitter(x, 0.0, rng), x);
+}
+
+TEST(MagnitudeScale, UniformFactor) {
+  util::Rng rng(3);
+  const auto x = test_signal();
+  const auto y = magnitude_scale(x, 0.2, rng);
+  ASSERT_EQ(y.size(), x.size());
+  // One global factor: the ratio must be constant wherever x != 0.
+  const double factor = y[10] / x[10];
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i]) > 1e-6) EXPECT_NEAR(y[i] / x[i], factor, 1e-9);
+  }
+  EXPECT_GT(factor, 0.0);
+}
+
+TEST(TimeWarp, PreservesLengthAndEndpoints) {
+  util::Rng rng(5);
+  const auto x = test_signal();
+  const auto y = time_warp(x, 4, 0.3, rng);
+  ASSERT_EQ(y.size(), x.size());
+  EXPECT_NEAR(y.front(), x.front(), 1e-9);
+  EXPECT_NEAR(y.back(), x.back(), 1e-9);
+}
+
+TEST(TimeWarp, ZeroStrengthIsIdentity) {
+  util::Rng rng(7);
+  const auto x = test_signal();
+  const auto y = time_warp(x, 4, 0.0, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-9);
+}
+
+TEST(TimeWarp, PreservesValueRange) {
+  // Warping only reparameterizes time: no new extrema can appear.
+  util::Rng rng(9);
+  const auto x = test_signal();
+  const double lo = *std::min_element(x.begin(), x.end());
+  const double hi = *std::max_element(x.begin(), x.end());
+  for (int rep = 0; rep < 20; ++rep) {
+    for (double v : time_warp(x, 5, 0.5, rng)) {
+      EXPECT_GE(v, lo - 1e-9);
+      EXPECT_LE(v, hi + 1e-9);
+    }
+  }
+}
+
+TEST(TimeWarp, ArgumentValidation) {
+  util::Rng rng(1);
+  const auto x = test_signal();
+  EXPECT_THROW(time_warp(x, 0, 0.2, rng), std::invalid_argument);
+  EXPECT_THROW(time_warp(x, 3, 1.0, rng), std::invalid_argument);
+}
+
+TEST(RandomCrop, KeepsLengthViaResize) {
+  util::Rng rng(11);
+  const auto x = test_signal();
+  const auto y = random_crop(x, 0.7, rng);
+  EXPECT_EQ(y.size(), x.size());
+}
+
+TEST(RandomCrop, FullRatioIsIdentity) {
+  util::Rng rng(13);
+  const auto x = test_signal();
+  EXPECT_EQ(random_crop(x, 1.0, rng), x);
+}
+
+TEST(RandomCrop, WindowValuesComeFromOriginalRange) {
+  util::Rng rng(17);
+  const auto x = test_signal();
+  const double lo = *std::min_element(x.begin(), x.end());
+  const double hi = *std::max_element(x.begin(), x.end());
+  for (double v : random_crop(x, 0.5, rng)) {
+    EXPECT_GE(v, lo - 1e-9);
+    EXPECT_LE(v, hi + 1e-9);
+  }
+}
+
+TEST(RandomCrop, RatioValidation) {
+  util::Rng rng(1);
+  EXPECT_THROW(random_crop(test_signal(), 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(random_crop(test_signal(), 1.5, rng), std::invalid_argument);
+}
+
+TEST(FrequencyNoise, PreservesLength) {
+  util::Rng rng(19);
+  const auto x = test_signal();
+  EXPECT_EQ(frequency_noise(x, 0.1, 0.3, rng).size(), x.size());
+}
+
+TEST(FrequencyNoise, OutputIsRealAndPerturbed) {
+  util::Rng rng(23);
+  const auto x = test_signal();
+  const auto y = frequency_noise(x, 0.2, 1.0, rng);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y[i]));
+    diff += std::abs(y[i] - x[i]);
+  }
+  EXPECT_GT(diff, 0.01);
+}
+
+TEST(FrequencyNoise, ZeroFractionIsIdentity) {
+  util::Rng rng(29);
+  const auto x = test_signal();
+  const auto y = frequency_noise(x, 0.5, 0.0, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-10);
+}
+
+TEST(Augmenter, ZeroProbabilityIsIdentity) {
+  AugmentConfig cfg;
+  cfg.op_probability = 0.0;
+  Augmenter aug(cfg);
+  util::Rng rng(31);
+  const auto x = test_signal();
+  EXPECT_EQ(aug.augment(x, rng), x);
+}
+
+TEST(Augmenter, ProbabilityValidated) {
+  AugmentConfig cfg;
+  cfg.op_probability = 1.5;
+  EXPECT_THROW(Augmenter{cfg}, std::invalid_argument);
+}
+
+TEST(Augmenter, AlwaysOnChangesSeries) {
+  AugmentConfig cfg;
+  cfg.op_probability = 1.0;
+  Augmenter aug(cfg);
+  util::Rng rng(37);
+  const auto x = test_signal();
+  const auto y = aug.augment(x, rng);
+  EXPECT_NE(x, y);
+  EXPECT_EQ(y.size(), x.size());
+}
+
+TEST(Augmenter, SplitWithOriginalsDoublesRows) {
+  const data::Dataset ds = data::make_dataset("PowerCons", 1);
+  Augmenter aug(AugmentConfig{});
+  util::Rng rng(41);
+  const data::Split out = aug.augment_split(ds.test, rng, true);
+  EXPECT_EQ(out.size(), 2 * ds.test.size());
+  EXPECT_EQ(out.length(), ds.test.length());
+  // First half must be the untouched originals with matching labels.
+  for (std::size_t r = 0; r < ds.test.size(); ++r) {
+    EXPECT_EQ(out.labels[r], ds.test.labels[r]);
+    EXPECT_EQ(out.labels[r + ds.test.size()], ds.test.labels[r]);
+    for (std::size_t c = 0; c < ds.test.length(); ++c) {
+      EXPECT_DOUBLE_EQ(out.inputs(r, c), ds.test.inputs(r, c));
+    }
+  }
+}
+
+TEST(Augmenter, SplitWithoutOriginalsKeepsRows) {
+  const data::Dataset ds = data::make_dataset("PowerCons", 1);
+  Augmenter aug(AugmentConfig{});
+  util::Rng rng(43);
+  const data::Split out = aug.augment_split(ds.test, rng, false);
+  EXPECT_EQ(out.size(), ds.test.size());
+}
+
+TEST(NamedAugmentations, AllFiveApply) {
+  const AugmentConfig cfg;
+  util::Rng rng(47);
+  const auto x = test_signal();
+  for (const auto& name : augmentation_names()) {
+    const auto y = apply_named(name, x, cfg, rng);
+    EXPECT_EQ(y.size(), x.size()) << name;
+  }
+  EXPECT_EQ(augmentation_names().size(), 5u);
+  EXPECT_THROW(apply_named("nonsense", x, cfg, rng), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pnc::augment

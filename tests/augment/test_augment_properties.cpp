@@ -1,0 +1,139 @@
+// Property sweeps over the augmentation operators: invariants that must
+// hold for every operator, parameter setting and input length.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pnc/augment/augment.hpp"
+#include "pnc/data/signals.hpp"
+
+namespace pnc::augment {
+namespace {
+
+struct AugCase {
+  std::string op;
+  std::size_t length;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<AugCase>& info) {
+  return info.param.op + "_len" + std::to_string(info.param.length) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+std::vector<AugCase> all_cases() {
+  std::vector<AugCase> cases;
+  for (const auto& op : augmentation_names()) {
+    for (const std::size_t length : {16u, 64u, 100u, 257u}) {
+      for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        cases.push_back({op, length, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+std::vector<double> signal_of(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n, 0.0);
+  data::add_sine(x, rng.uniform(1.0, 3.0), rng.uniform(0.4, 1.0),
+                 rng.uniform(0.0, 6.28));
+  data::add_bump(x, rng.uniform(0.3, 0.7), 0.1, rng.uniform(-0.8, 0.8));
+  return x;
+}
+
+class AugmentProperties : public ::testing::TestWithParam<AugCase> {};
+
+TEST_P(AugmentProperties, PreservesLength) {
+  const AugCase& c = GetParam();
+  util::Rng rng(c.seed);
+  const auto x = signal_of(c.length, c.seed);
+  EXPECT_EQ(apply_named(c.op, x, AugmentConfig{}, rng).size(), x.size());
+}
+
+TEST_P(AugmentProperties, ProducesFiniteValues) {
+  const AugCase& c = GetParam();
+  util::Rng rng(c.seed);
+  AugmentConfig strong;
+  strong.jitter_sigma = 0.3;
+  strong.scale_sigma = 0.5;
+  strong.warp_strength = 0.6;
+  strong.crop_keep_ratio = 0.4;
+  strong.freq_noise_sigma = 0.5;
+  strong.freq_fraction = 1.0;
+  const auto x = signal_of(c.length, c.seed);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (double v : apply_named(c.op, x, strong, rng)) {
+      EXPECT_TRUE(std::isfinite(v)) << c.op;
+    }
+  }
+}
+
+TEST_P(AugmentProperties, DoesNotMutateInput) {
+  const AugCase& c = GetParam();
+  util::Rng rng(c.seed);
+  const auto x = signal_of(c.length, c.seed);
+  const auto copy = x;
+  (void)apply_named(c.op, x, AugmentConfig{}, rng);
+  EXPECT_EQ(x, copy);
+}
+
+TEST_P(AugmentProperties, BoundedEnergyInflation) {
+  // No operator should blow the signal up by more than its configured
+  // scale allows (loose factor-5 envelope on the RMS).
+  const AugCase& c = GetParam();
+  util::Rng rng(c.seed);
+  const auto x = signal_of(c.length, c.seed);
+  auto rms = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double e : v) s += e * e;
+    return std::sqrt(s / static_cast<double>(v.size()));
+  };
+  const double base = rms(x);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto y = apply_named(c.op, x, AugmentConfig{}, rng);
+    EXPECT_LT(rms(y), 5.0 * base + 0.5) << c.op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AugmentProperties,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// Pipeline-level property: augmenting a split never changes labels or
+// shapes, for every combination of enabled operators.
+class AugmenterFlags : public ::testing::TestWithParam<int> {};
+
+TEST_P(AugmenterFlags, SplitInvariants) {
+  const int mask = GetParam();
+  AugmentConfig cfg;
+  cfg.enable_jitter = mask & 1;
+  cfg.enable_scaling = mask & 2;
+  cfg.enable_warping = mask & 4;
+  cfg.enable_cropping = mask & 8;
+  cfg.enable_frequency = mask & 16;
+  cfg.op_probability = 1.0;
+  const Augmenter aug(cfg);
+
+  data::Split split;
+  split.inputs = ad::Tensor(6, 32);
+  util::Rng rng(3);
+  for (auto& v : split.inputs.data()) v = rng.uniform(-1.0, 1.0);
+  split.labels = {0, 1, 2, 0, 1, 2};
+
+  const data::Split out = aug.augment_split(split, rng, true);
+  EXPECT_EQ(out.size(), 12u);
+  EXPECT_EQ(out.length(), 32u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(out.labels[i], split.labels[i]);
+    EXPECT_EQ(out.labels[i + 6], split.labels[i]);
+  }
+  for (double v : out.inputs.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, AugmenterFlags,
+                         ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace pnc::augment

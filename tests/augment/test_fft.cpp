@@ -1,0 +1,124 @@
+#include "pnc/augment/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "pnc/util/rng.hpp"
+
+namespace pnc::augment {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> a(6);
+  EXPECT_THROW(fft(a, false), std::invalid_argument);
+  std::vector<std::complex<double>> empty;
+  EXPECT_THROW(fft(empty, false), std::invalid_argument);
+}
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<std::complex<double>> a(8);
+  a[0] = 1.0;
+  fft(a, false);
+  for (const auto& c : a) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> a(n);
+  const std::size_t k = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = std::cos(2.0 * std::numbers::pi * static_cast<double>(k * i) /
+                    static_cast<double>(n));
+  }
+  fft(a, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = std::abs(a[i]);
+    if (i == k || i == n - k) {
+      EXPECT_NEAR(mag, static_cast<double>(n) / 2.0, 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  util::Rng rng(3);
+  std::vector<std::complex<double>> a(128);
+  for (auto& c : a) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const auto original = a;
+  fft(a, false);
+  fft(a, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  util::Rng rng(5);
+  const std::size_t n = 256;
+  std::vector<std::complex<double>> a(n);
+  double time_energy = 0.0;
+  for (auto& c : a) {
+    c = rng.uniform(-1.0, 1.0);
+    time_energy += std::norm(c);
+  }
+  fft(a, false);
+  double freq_energy = 0.0;
+  for (const auto& c : a) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8);
+}
+
+TEST(Rfft, PadsAndRecovers) {
+  util::Rng rng(7);
+  std::vector<double> x(100);  // not a power of two
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  auto spectrum = rfft(x);
+  EXPECT_EQ(spectrum.size(), 128u);
+  const auto back = irfft(std::move(spectrum), x.size());
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST(Rfft, RealInputHasConjugateSymmetry) {
+  std::vector<double> x = {1.0, 2.0, -0.5, 0.25, 3.0, -1.0, 0.0, 0.5};
+  const auto s = rfft(x);
+  const std::size_t n = s.size();
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    EXPECT_NEAR(s[k].real(), s[n - k].real(), 1e-12);
+    EXPECT_NEAR(s[k].imag(), -s[n - k].imag(), 1e-12);
+  }
+}
+
+TEST(Rfft, EmptyInputThrows) { EXPECT_THROW(rfft({}), std::invalid_argument); }
+
+TEST(Irfft, LengthValidation) {
+  std::vector<std::complex<double>> s(8);
+  EXPECT_THROW(irfft(std::move(s), 9), std::invalid_argument);
+}
+
+TEST(ConjugateSymmetry, MakesInverseReal) {
+  util::Rng rng(9);
+  std::vector<std::complex<double>> s(64);
+  for (auto& c : s) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  make_conjugate_symmetric(s);
+  auto copy = s;
+  fft(copy, true);
+  for (const auto& c : copy) EXPECT_NEAR(c.imag(), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace pnc::augment

@@ -1,0 +1,109 @@
+#include "pnc/autodiff/gradcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::ad {
+namespace {
+
+Tensor random_tensor(std::size_t r, std::size_t c, util::Rng& rng,
+                     double lo = -1.0, double hi = 1.0) {
+  Tensor t(r, c);
+  for (auto& v : t.data()) v = rng.uniform(lo, hi);
+  return t;
+}
+
+TEST(GradCheck, CompositeExpression) {
+  util::Rng rng(7);
+  Parameter w("w", random_tensor(3, 2, rng));
+  Parameter b("b", random_tensor(1, 2, rng));
+  const Tensor x = random_tensor(4, 3, rng);
+
+  auto loss_fn = [&](Graph& g) {
+    Var out = tanh(add(matmul(g.constant(x), g.leaf(w)), g.leaf(b)));
+    Var loss = mean_all(square(out));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&w, &b});
+  EXPECT_TRUE(result.passed) << "abs err " << result.max_abs_error
+                             << ", rel err " << result.max_rel_error;
+}
+
+TEST(GradCheck, CrossEntropyChain) {
+  util::Rng rng(11);
+  Parameter w("w", random_tensor(2, 3, rng));
+  const Tensor x = random_tensor(5, 2, rng);
+  const std::vector<int> labels = {0, 1, 2, 1, 0};
+
+  auto loss_fn = [&](Graph& g) {
+    Var logits = matmul(g.constant(x), g.leaf(w));
+    Var loss = softmax_cross_entropy(logits, labels);
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&w});
+  EXPECT_TRUE(result.passed) << "abs err " << result.max_abs_error;
+}
+
+TEST(GradCheck, RecurrentChain) {
+  // A 6-step leaky recurrence mirroring the learnable filter structure.
+  util::Rng rng(13);
+  Parameter log_rc("log_rc", random_tensor(1, 3, rng, -2.0, -0.5));
+  const Tensor x = random_tensor(2, 3, rng);
+  const double dt = 0.1;
+
+  auto loss_fn = [&](Graph& g) {
+    Var rc = exp(g.leaf(log_rc));
+    Var denom = add_scalar(rc, dt);
+    Var a = div(rc, denom);
+    Var b = scale(reciprocal(denom), dt);
+    Var h = g.constant(Tensor(2, 3));
+    Var input = g.constant(x);
+    for (int t = 0; t < 6; ++t) {
+      h = add(mul(a, h), mul(b, input));
+    }
+    Var loss = mean_all(square(h));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&log_rc});
+  EXPECT_TRUE(result.passed) << "abs err " << result.max_abs_error;
+}
+
+TEST(GradCheck, DivisionWithReductionChain) {
+  // Mirrors the crossbar normalization: w = theta / (colsum(|theta|) + g_d).
+  util::Rng rng(17);
+  Parameter theta("theta", random_tensor(3, 2, rng, 0.2, 1.0));
+  const Tensor x = random_tensor(4, 3, rng);
+
+  auto loss_fn = [&](Graph& g) {
+    Var th = g.leaf(theta);
+    Var denom = add_scalar(sum_rows(abs(th)), 0.2);
+    Var w = div(th, denom);
+    Var loss = mean_all(square(matmul(g.constant(x), w)));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&theta});
+  EXPECT_TRUE(result.passed) << "abs err " << result.max_abs_error;
+}
+
+TEST(GradCheck, DetectsWrongGradient) {
+  // A loss_fn that lies about its gradient must fail the check.
+  Parameter w("w", Tensor::scalar(1.0));
+  auto loss_fn = [&](Graph& g) {
+    Var x = g.leaf(w);
+    Var loss = mul(x, x);
+    g.backward(loss);
+    w.grad.data()[0] += 3.0;  // corrupt
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&w});
+  EXPECT_FALSE(result.passed);
+}
+
+}  // namespace
+}  // namespace pnc::ad

@@ -1,0 +1,114 @@
+#include "pnc/autodiff/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::ad {
+namespace {
+
+TEST(Graph, ConstantHoldsValue) {
+  Graph g;
+  Var c = g.constant(Tensor::scalar(4.0));
+  EXPECT_DOUBLE_EQ(g.value(c).item(), 4.0);
+  EXPECT_FALSE(g.requires_grad(c));
+}
+
+TEST(Graph, LeafTracksParameter) {
+  Graph g;
+  Parameter p("w", Tensor::scalar(2.0));
+  Var leaf = g.leaf(p);
+  EXPECT_TRUE(g.requires_grad(leaf));
+  EXPECT_DOUBLE_EQ(g.value(leaf).item(), 2.0);
+}
+
+TEST(Graph, BackwardAccumulatesIntoParameter) {
+  Parameter p("w", Tensor::scalar(3.0));
+  Graph g;
+  Var w = g.leaf(p);
+  Var loss = mul(w, w);  // loss = w^2, dloss/dw = 2w = 6
+  g.backward(loss);
+  EXPECT_DOUBLE_EQ(p.grad.item(), 6.0);
+}
+
+TEST(Graph, BackwardTwiceAccumulates) {
+  Parameter p("w", Tensor::scalar(3.0));
+  for (int i = 0; i < 2; ++i) {
+    Graph g;
+    Var w = g.leaf(p);
+    g.backward(mul(w, w));
+  }
+  EXPECT_DOUBLE_EQ(p.grad.item(), 12.0);  // two passes, 6 each
+}
+
+TEST(Graph, BackwardRequiresScalarLoss) {
+  Parameter p("w", Tensor(1, 2, {1.0, 2.0}));
+  Graph g;
+  Var w = g.leaf(p);
+  EXPECT_THROW(g.backward(w), std::logic_error);
+}
+
+TEST(Graph, BackwardOnPureConstantIsNoOp) {
+  Graph g;
+  Var c = g.constant(Tensor::scalar(1.0));
+  Var d = add(c, c);
+  EXPECT_NO_THROW(g.backward(d));
+}
+
+TEST(Graph, NodesFromDifferentGraphsRejected) {
+  Graph g1, g2;
+  Var a = g1.constant(Tensor::scalar(1.0));
+  Var b = g2.constant(Tensor::scalar(2.0));
+  EXPECT_THROW(add(a, b), std::logic_error);
+}
+
+TEST(Graph, DiamondDependencyAccumulatesBothPaths) {
+  // loss = w*w + w  ->  d/dw = 2w + 1 = 7 at w = 3.
+  Parameter p("w", Tensor::scalar(3.0));
+  Graph g;
+  Var w = g.leaf(p);
+  Var loss = add(mul(w, w), w);
+  g.backward(loss);
+  EXPECT_DOUBLE_EQ(p.grad.item(), 7.0);
+}
+
+TEST(Graph, UnusedBranchGetsNoGradient) {
+  Parameter used("a", Tensor::scalar(2.0));
+  Parameter unused("b", Tensor::scalar(5.0));
+  Graph g;
+  Var a = g.leaf(used);
+  (void)g.leaf(unused);  // never connected to the loss
+  g.backward(mul(a, a));
+  EXPECT_DOUBLE_EQ(used.grad.item(), 4.0);
+  EXPECT_DOUBLE_EQ(unused.grad.item(), 0.0);
+}
+
+TEST(Graph, LeafCopiesValueSoGraphEditsDontLeak) {
+  Parameter p("w", Tensor::scalar(1.0));
+  Graph g;
+  Var w = g.leaf(p);
+  g.mutable_value(w)(0, 0) = 99.0;
+  EXPECT_DOUBLE_EQ(p.value.item(), 1.0);
+}
+
+TEST(Graph, ClearResetsNodeCount) {
+  Graph g;
+  g.constant(Tensor::scalar(1.0));
+  g.constant(Tensor::scalar(2.0));
+  EXPECT_EQ(g.node_count(), 2u);
+  g.clear();
+  EXPECT_EQ(g.node_count(), 0u);
+}
+
+TEST(Parameter, ZeroGrad) {
+  Parameter p("w", Tensor::scalar(3.0));
+  Graph g;
+  Var w = g.leaf(p);
+  g.backward(mul(w, w));
+  ASSERT_NE(p.grad.item(), 0.0);
+  p.zero_grad();
+  EXPECT_DOUBLE_EQ(p.grad.item(), 0.0);
+}
+
+}  // namespace
+}  // namespace pnc::ad

@@ -1,0 +1,112 @@
+// Stress and scale tests for the tape: deep recurrences, wide fan-outs and
+// graph reuse — the access patterns the 64-step, multi-layer printed
+// models produce at training time.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::ad {
+namespace {
+
+TEST(GraphStress, DeepChainGradientIsExact) {
+  // loss = a^N * w via N repeated scalings; d loss / d w = a^N.
+  constexpr int kDepth = 2000;
+  constexpr double kA = 0.9995;
+  Parameter w("w", Tensor::scalar(1.0));
+  Graph g;
+  Var x = g.leaf(w);
+  for (int i = 0; i < kDepth; ++i) x = scale(x, kA);
+  g.backward(x);
+  EXPECT_NEAR(w.grad.item(), std::pow(kA, kDepth), 1e-9);
+  EXPECT_GE(g.node_count(), static_cast<std::size_t>(kDepth));
+}
+
+TEST(GraphStress, WideFanOutAccumulates) {
+  // loss = sum of 500 independent squares of the same leaf.
+  Parameter w("w", Tensor::scalar(2.0));
+  Graph g;
+  Var x = g.leaf(w);
+  Var total = square(x);
+  for (int i = 1; i < 500; ++i) total = add(total, square(x));
+  g.backward(total);
+  EXPECT_NEAR(w.grad.item(), 500.0 * 2.0 * 2.0, 1e-9);
+}
+
+TEST(GraphStress, RecurrentStateGradientMatchesClosedForm) {
+  // h_{k+1} = a*h_k + b, loss = h_N. dh_N/da with h_0 = 0:
+  // h_N = b * (1 - a^N) / (1 - a); closed-form derivative check.
+  constexpr int kSteps = 64;
+  const double a0 = 0.8, b0 = 0.1;
+  Parameter pa("a", Tensor::scalar(a0));
+  Parameter pb("b", Tensor::scalar(b0));
+  Graph g;
+  Var a = g.leaf(pa);
+  Var b = g.leaf(pb);
+  Var h = g.constant(Tensor::scalar(0.0));
+  for (int k = 0; k < kSteps; ++k) h = add(mul(a, h), b);
+  g.backward(h);
+
+  const double n = kSteps;
+  const double dh_db = (1.0 - std::pow(a0, n)) / (1.0 - a0);
+  // dh/da = b * d/da [(1-a^n)/(1-a)]
+  const double numer = (1.0 - std::pow(a0, n));
+  const double d_numer = -n * std::pow(a0, n - 1);
+  const double dh_da =
+      b0 * (d_numer * (1.0 - a0) + numer) / ((1.0 - a0) * (1.0 - a0));
+  EXPECT_NEAR(pb.grad.item(), dh_db, 1e-9);
+  EXPECT_NEAR(pa.grad.item(), dh_da, 1e-9);
+}
+
+TEST(GraphStress, ClearAllowsReuse) {
+  Parameter w("w", Tensor::scalar(3.0));
+  Graph g;
+  for (int round = 0; round < 50; ++round) {
+    g.clear();
+    w.zero_grad();
+    Var x = g.leaf(w);
+    g.backward(mul(x, x));
+    EXPECT_DOUBLE_EQ(w.grad.item(), 6.0);
+  }
+}
+
+TEST(GraphStress, ManyIndependentParameters) {
+  std::vector<Parameter> params;
+  params.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    params.emplace_back("p" + std::to_string(i),
+                        Tensor::scalar(static_cast<double>(i + 1)));
+  }
+  Graph g;
+  Var total = g.constant(Tensor::scalar(0.0));
+  for (auto& p : params) total = add(total, square(g.leaf(p)));
+  g.backward(total);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(params[static_cast<std::size_t>(i)].grad.item(),
+                     2.0 * (i + 1));
+  }
+}
+
+TEST(GraphStress, BatchRecurrenceKeepsShapes) {
+  // 64-step batched recurrence with broadcasting — the model's exact
+  // access pattern — must keep shapes and produce finite grads.
+  Parameter coeff("a", Tensor(1, 8, 0.7));
+  Parameter gain("b", Tensor(1, 8, 0.3));
+  Tensor input(32, 8, 0.5);
+  Graph g;
+  Var a = g.leaf(coeff);
+  Var b = g.leaf(gain);
+  Var x = g.constant(input);
+  Var h = g.constant(Tensor(32, 8));
+  for (int k = 0; k < 64; ++k) h = add(mul(a, h), mul(b, x));
+  Var loss = mean_all(square(h));
+  g.backward(loss);
+  EXPECT_EQ(coeff.grad.cols(), 8u);
+  for (double v : coeff.grad.data()) EXPECT_TRUE(std::isfinite(v));
+  for (double v : gain.grad.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace pnc::ad

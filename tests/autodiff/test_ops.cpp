@@ -1,0 +1,330 @@
+#include "pnc/autodiff/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnc::ad {
+namespace {
+
+// Helper: scalar loss = sum(f(...)) so every element's gradient is visible.
+double grad_of_scalar(Parameter& p, const std::function<Var(Graph&, Var)>& f) {
+  p.zero_grad();
+  Graph g;
+  Var x = g.leaf(p);
+  g.backward(sum_all(f(g, x)));
+  return p.grad.item();
+}
+
+TEST(Ops, AddForwardAndGrad) {
+  Parameter a("a", Tensor::scalar(2.0));
+  Parameter b("b", Tensor::scalar(5.0));
+  Graph g;
+  Var va = g.leaf(a);
+  Var vb = g.leaf(b);
+  Var s = add(va, vb);
+  EXPECT_DOUBLE_EQ(g.value(s).item(), 7.0);
+  g.backward(s);
+  EXPECT_DOUBLE_EQ(a.grad.item(), 1.0);
+  EXPECT_DOUBLE_EQ(b.grad.item(), 1.0);
+}
+
+TEST(Ops, SubGradSigns) {
+  Parameter a("a", Tensor::scalar(2.0));
+  Parameter b("b", Tensor::scalar(5.0));
+  Graph g;
+  Var d = sub(g.leaf(a), g.leaf(b));
+  EXPECT_DOUBLE_EQ(g.value(d).item(), -3.0);
+  g.backward(d);
+  EXPECT_DOUBLE_EQ(a.grad.item(), 1.0);
+  EXPECT_DOUBLE_EQ(b.grad.item(), -1.0);
+}
+
+TEST(Ops, MulProductRule) {
+  Parameter a("a", Tensor::scalar(3.0));
+  Parameter b("b", Tensor::scalar(4.0));
+  Graph g;
+  Var m = mul(g.leaf(a), g.leaf(b));
+  EXPECT_DOUBLE_EQ(g.value(m).item(), 12.0);
+  g.backward(m);
+  EXPECT_DOUBLE_EQ(a.grad.item(), 4.0);
+  EXPECT_DOUBLE_EQ(b.grad.item(), 3.0);
+}
+
+TEST(Ops, DivQuotientRule) {
+  Parameter a("a", Tensor::scalar(6.0));
+  Parameter b("b", Tensor::scalar(3.0));
+  Graph g;
+  Var d = div(g.leaf(a), g.leaf(b));
+  EXPECT_DOUBLE_EQ(g.value(d).item(), 2.0);
+  g.backward(d);
+  EXPECT_DOUBLE_EQ(a.grad.item(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(b.grad.item(), -6.0 / 9.0);
+}
+
+TEST(Ops, RowBroadcastOverBatch) {
+  // (2x2) + (1x2): row added to both batch rows; row grad sums over batch.
+  Parameter row("row", Tensor(1, 2, {10.0, 20.0}));
+  Graph g;
+  Var batch = g.constant(Tensor(2, 2, {1, 2, 3, 4}));
+  Var out = add(batch, g.leaf(row));
+  EXPECT_DOUBLE_EQ(g.value(out)(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(g.value(out)(1, 1), 24.0);
+  g.backward(sum_all(out));
+  EXPECT_DOUBLE_EQ(row.grad(0, 0), 2.0);  // two batch rows
+  EXPECT_DOUBLE_EQ(row.grad(0, 1), 2.0);
+}
+
+TEST(Ops, ScalarBroadcast) {
+  Parameter s("s", Tensor::scalar(3.0));
+  Graph g;
+  Var m = g.constant(Tensor(2, 3, 1.0));
+  Var out = mul(m, g.leaf(s));
+  EXPECT_DOUBLE_EQ(g.value(out)(1, 2), 3.0);
+  g.backward(sum_all(out));
+  EXPECT_DOUBLE_EQ(s.grad.item(), 6.0);  // six elements
+}
+
+TEST(Ops, ColumnBroadcast) {
+  Parameter col("col", Tensor(2, 1, {1.0, 2.0}));
+  Graph g;
+  Var m = g.constant(Tensor(2, 3, 1.0));
+  Var out = mul(m, g.leaf(col));
+  EXPECT_DOUBLE_EQ(g.value(out)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.value(out)(1, 2), 2.0);
+  g.backward(sum_all(out));
+  EXPECT_DOUBLE_EQ(col.grad(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(col.grad(1, 0), 3.0);
+}
+
+TEST(Ops, IncompatibleShapesThrow) {
+  Graph g;
+  Var a = g.constant(Tensor(2, 3));
+  Var b = g.constant(Tensor(3, 2));
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+}
+
+TEST(Ops, TanhDerivative) {
+  Parameter p("x", Tensor::scalar(0.5));
+  const double grad = grad_of_scalar(p, [](Graph&, Var x) { return tanh(x); });
+  const double t = std::tanh(0.5);
+  EXPECT_NEAR(grad, 1.0 - t * t, 1e-12);
+}
+
+TEST(Ops, SigmoidDerivative) {
+  Parameter p("x", Tensor::scalar(0.3));
+  const double grad =
+      grad_of_scalar(p, [](Graph&, Var x) { return sigmoid(x); });
+  const double s = 1.0 / (1.0 + std::exp(-0.3));
+  EXPECT_NEAR(grad, s * (1.0 - s), 1e-12);
+}
+
+TEST(Ops, ReluKillsNegativeGrad) {
+  Parameter p("x", Tensor(1, 2, {-1.0, 2.0}));
+  p.zero_grad();
+  Graph g;
+  g.backward(sum_all(relu(g.leaf(p))));
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.grad(0, 1), 1.0);
+}
+
+TEST(Ops, ExpLogRoundTrip) {
+  Parameter p("x", Tensor::scalar(1.7));
+  Graph g;
+  Var out = log(exp(g.leaf(p)));
+  EXPECT_NEAR(g.value(out).item(), 1.7, 1e-12);
+  g.backward(out);
+  EXPECT_NEAR(p.grad.item(), 1.0, 1e-12);
+}
+
+TEST(Ops, AbsSubgradient) {
+  Parameter p("x", Tensor(1, 3, {-2.0, 0.0, 3.0}));
+  Graph g;
+  g.backward(sum_all(abs(g.leaf(p))));
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(p.grad(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(p.grad(0, 2), 1.0);
+}
+
+TEST(Ops, SquareSqrtReciprocal) {
+  Parameter p("x", Tensor::scalar(4.0));
+  EXPECT_DOUBLE_EQ(
+      grad_of_scalar(p, [](Graph&, Var x) { return square(x); }), 8.0);
+  EXPECT_DOUBLE_EQ(grad_of_scalar(p, [](Graph&, Var x) { return sqrt(x); }),
+                   0.25);
+  EXPECT_DOUBLE_EQ(
+      grad_of_scalar(p, [](Graph&, Var x) { return reciprocal(x); }),
+      -1.0 / 16.0);
+}
+
+TEST(Ops, SoftplusMatchesLog1pExp) {
+  Parameter p("x", Tensor::scalar(0.8));
+  Graph g;
+  Var out = softplus(g.leaf(p));
+  EXPECT_NEAR(g.value(out).item(), std::log1p(std::exp(0.8)), 1e-12);
+  g.backward(out);
+  EXPECT_NEAR(p.grad.item(), 1.0 / (1.0 + std::exp(-0.8)), 1e-12);
+}
+
+TEST(Ops, SoftplusLargeInputStable) {
+  Graph g;
+  Var out = softplus(g.constant(Tensor::scalar(100.0)));
+  EXPECT_NEAR(g.value(out).item(), 100.0, 1e-9);
+}
+
+TEST(Ops, MatmulGradients) {
+  // loss = sum(A @ B): dA = ones @ B^T, dB = A^T @ ones.
+  Parameter a("a", Tensor(2, 3, {1, 2, 3, 4, 5, 6}));
+  Parameter b("b", Tensor(3, 2, {1, 0, 0, 1, 1, 1}));
+  Graph g;
+  g.backward(sum_all(matmul(g.leaf(a), g.leaf(b))));
+  // dA[i][k] = sum_j B[k][j]
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.grad(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.grad(0, 2), 2.0);
+  // dB[k][j] = sum_i A[i][k]
+  EXPECT_DOUBLE_EQ(b.grad(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(b.grad(2, 1), 9.0);
+}
+
+TEST(Ops, TransposeGrad) {
+  Parameter p("x", Tensor(2, 3, {1, 2, 3, 4, 5, 6}));
+  Graph g;
+  Var t = transpose(g.leaf(p));
+  EXPECT_EQ(g.value(t).rows(), 3u);
+  g.backward(sum_all(t));
+  for (double v : p.grad.data()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Ops, SumRowsForwardAndGrad) {
+  Parameter p("x", Tensor(2, 2, {1, 2, 3, 4}));
+  Graph g;
+  Var s = sum_rows(g.leaf(p));
+  EXPECT_DOUBLE_EQ(g.value(s)(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(g.value(s)(0, 1), 6.0);
+  g.backward(sum_all(s));
+  for (double v : p.grad.data()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Ops, SumColsForward) {
+  Graph g;
+  Var s = sum_cols(g.constant(Tensor(2, 3, {1, 2, 3, 4, 5, 6})));
+  EXPECT_DOUBLE_EQ(g.value(s)(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(g.value(s)(1, 0), 15.0);
+}
+
+TEST(Ops, MeanAll) {
+  Graph g;
+  Var m = mean_all(g.constant(Tensor(2, 2, {1, 2, 3, 4})));
+  EXPECT_DOUBLE_EQ(g.value(m).item(), 2.5);
+}
+
+TEST(Ops, ConcatAndSliceRoundTrip) {
+  Parameter a("a", Tensor(2, 1, {1, 2}));
+  Parameter b("b", Tensor(2, 2, {3, 4, 5, 6}));
+  Graph g;
+  Var cat = concat_cols({g.leaf(a), g.leaf(b)});
+  EXPECT_EQ(g.value(cat).cols(), 3u);
+  EXPECT_DOUBLE_EQ(g.value(cat)(1, 2), 6.0);
+  Var back = slice_cols(cat, 0, 1);
+  EXPECT_DOUBLE_EQ(g.value(back)(1, 0), 2.0);
+  g.backward(sum_all(back));
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.grad(0, 0), 0.0);  // sliced away
+}
+
+TEST(Ops, SliceOutOfRangeThrows) {
+  Graph g;
+  Var x = g.constant(Tensor(1, 3));
+  EXPECT_THROW(slice_cols(x, 2, 2), std::out_of_range);
+}
+
+TEST(Ops, BroadcastRows) {
+  Parameter row("r", Tensor(1, 2, {1.0, 2.0}));
+  Graph g;
+  Var b = broadcast_rows(g.leaf(row), 3);
+  EXPECT_EQ(g.value(b).rows(), 3u);
+  EXPECT_DOUBLE_EQ(g.value(b)(2, 1), 2.0);
+  g.backward(sum_all(b));
+  EXPECT_DOUBLE_EQ(row.grad(0, 0), 3.0);
+}
+
+TEST(Ops, SoftmaxCrossEntropyUniformLogits) {
+  Graph g;
+  Var logits = g.constant(Tensor(2, 4));  // all-zero -> uniform
+  Var loss = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(g.value(loss).item(), std::log(4.0), 1e-12);
+}
+
+TEST(Ops, SoftmaxCrossEntropyGradIsProbMinusOneHot) {
+  Parameter p("logits", Tensor(1, 3, {1.0, 2.0, 3.0}));
+  Graph g;
+  g.backward(softmax_cross_entropy(g.leaf(p), {2}));
+  double z = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(p.grad(0, 0), std::exp(1.0) / z, 1e-12);
+  EXPECT_NEAR(p.grad(0, 2), std::exp(3.0) / z - 1.0, 1e-12);
+}
+
+TEST(Ops, SoftmaxCrossEntropyRejectsBadLabels) {
+  Graph g;
+  Var logits = g.constant(Tensor(1, 3));
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::out_of_range);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(Ops, SoftmaxCrossEntropyStableForHugeLogits) {
+  Graph g;
+  Var logits = g.constant(Tensor(1, 2, {1000.0, -1000.0}));
+  Var loss = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(g.value(loss).item()));
+  EXPECT_NEAR(g.value(loss).item(), 0.0, 1e-9);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Graph g;
+  Var p = softmax_rows(g.constant(Tensor(2, 3, {1, 2, 3, -1, 0, 1})));
+  const Tensor& t = g.value(p);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += t(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Ops, MseZeroAtTarget) {
+  Graph g;
+  Var x = g.constant(Tensor(1, 2, {1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(g.value(mse(x, x)).item(), 0.0);
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor t(2, 3, {0.1, 0.9, 0.0, 0.5, 0.2, 0.7});
+  const auto am = argmax_rows(t);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 2);
+}
+
+TEST(Ops, Accuracy) {
+  Tensor logits(2, 2, {1.0, 0.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 1}), 0.5);
+  EXPECT_THROW(accuracy(logits, {0}), std::invalid_argument);
+}
+
+TEST(Ops, ScaleAndAddScalar) {
+  Parameter p("x", Tensor::scalar(2.0));
+  Graph g;
+  Var out = add_scalar(scale(g.leaf(p), 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.value(out).item(), 7.0);
+  g.backward(out);
+  EXPECT_DOUBLE_EQ(p.grad.item(), 3.0);
+}
+
+TEST(Ops, NegGrad) {
+  Parameter p("x", Tensor::scalar(2.0));
+  EXPECT_DOUBLE_EQ(grad_of_scalar(p, [](Graph&, Var x) { return neg(x); }),
+                   -1.0);
+}
+
+}  // namespace
+}  // namespace pnc::ad

@@ -1,0 +1,142 @@
+// Property-style sweeps: every differentiable op must pass a finite-
+// difference gradient check on random inputs across shapes and seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/autodiff/gradcheck.hpp"
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::ad {
+namespace {
+
+struct OpCase {
+  std::string name;
+  std::function<Var(Var)> apply;
+  double lo = -1.0;  // input range keeps the op away from kinks/poles
+  double hi = 1.0;
+};
+
+class UnaryOpGrad
+    : public ::testing::TestWithParam<std::tuple<OpCase, std::uint64_t>> {};
+
+TEST_P(UnaryOpGrad, MatchesFiniteDifferences) {
+  const auto& [op, seed] = GetParam();
+  util::Rng rng(seed);
+  const std::size_t rows = 1 + seed % 3;
+  const std::size_t cols = 1 + (seed / 3) % 4;
+  Tensor init(rows, cols);
+  for (auto& v : init.data()) v = rng.uniform(op.lo, op.hi);
+  Parameter p("x", init);
+
+  auto loss_fn = [&](Graph& g) {
+    Var out = op.apply(g.leaf(p));
+    Var loss = mean_all(mul(out, out));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&p}, 1e-6, 2e-4);
+  EXPECT_TRUE(result.passed)
+      << op.name << " seed " << seed << ": abs " << result.max_abs_error
+      << " rel " << result.max_rel_error;
+}
+
+std::vector<OpCase> unary_cases() {
+  return {
+      {"tanh", [](Var x) { return tanh(x); }},
+      {"sigmoid", [](Var x) { return sigmoid(x); }},
+      {"exp", [](Var x) { return exp(x); }},
+      {"log", [](Var x) { return log(x); }, 0.2, 2.0},
+      {"square", [](Var x) { return square(x); }},
+      {"sqrt", [](Var x) { return sqrt(x); }, 0.2, 2.0},
+      {"reciprocal", [](Var x) { return reciprocal(x); }, 0.3, 2.0},
+      {"softplus", [](Var x) { return softplus(x); }},
+      {"neg", [](Var x) { return neg(x); }},
+      {"scale", [](Var x) { return scale(x, -2.5); }},
+      {"add_scalar", [](Var x) { return add_scalar(x, 0.7); }},
+      {"abs", [](Var x) { return abs(x); }, 0.2, 1.5},  // away from kink
+      {"relu", [](Var x) { return relu(x); }, 0.2, 1.5},
+      {"transpose", [](Var x) { return transpose(x); }},
+      {"sum_rows", [](Var x) { return sum_rows(x); }},
+      {"sum_cols", [](Var x) { return sum_cols(x); }},
+      {"softmax_rows", [](Var x) { return softmax_rows(x); }},
+      {"broadcast_after_sum",
+       [](Var x) { return mul(x, sum_rows(x)); }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UnaryOpGrad,
+    ::testing::Combine(::testing::ValuesIn(unary_cases()),
+                       ::testing::Values(1u, 2u, 3u, 7u, 11u)),
+    [](const ::testing::TestParamInfo<std::tuple<OpCase, std::uint64_t>>&
+           info) {
+      return std::get<0>(info.param).name + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class BinaryOpGrad : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryOpGrad, BroadcastCombinationsDifferentiate) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  // Sweep all broadcast pairings of a (3,4) tensor: full, row, col, scalar.
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {3, 4}, {1, 4}, {3, 1}, {1, 1}};
+  for (const auto& [rb, cb] : shapes) {
+    Tensor ta(3, 4), tb(rb, cb);
+    for (auto& v : ta.data()) v = rng.uniform(0.3, 1.5);
+    for (auto& v : tb.data()) v = rng.uniform(0.3, 1.5);
+    Parameter a("a", ta), b("b", tb);
+    for (const char* which : {"add", "sub", "mul", "div"}) {
+      auto loss_fn = [&](Graph& g) {
+        Var va = g.leaf(a);
+        Var vb = g.leaf(b);
+        Var out;
+        if (std::string(which) == "add") out = add(va, vb);
+        if (std::string(which) == "sub") out = sub(va, vb);
+        if (std::string(which) == "mul") out = mul(va, vb);
+        if (std::string(which) == "div") out = div(va, vb);
+        Var loss = mean_all(square(out));
+        g.backward(loss);
+        return g.value(loss).item();
+      };
+      const auto result = check_gradients(loss_fn, {&a, &b}, 1e-6, 2e-4);
+      EXPECT_TRUE(result.passed)
+          << which << " with b shape (" << rb << "," << cb << ") seed "
+          << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BinaryOpGrad,
+                         ::testing::Values(1u, 5u, 9u));
+
+class MatmulGrad : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatmulGrad, RandomShapes) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  const std::size_t m = 1 + seed % 4;
+  const std::size_t k = 2 + seed % 3;
+  const std::size_t n = 1 + (seed / 2) % 4;
+  Tensor ta(m, k), tb(k, n);
+  for (auto& v : ta.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : tb.data()) v = rng.uniform(-1.0, 1.0);
+  Parameter a("a", ta), b("b", tb);
+  auto loss_fn = [&](Graph& g) {
+    Var loss = mean_all(square(matmul(g.leaf(a), g.leaf(b))));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&a, &b});
+  EXPECT_TRUE(result.passed) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatmulGrad,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace pnc::ad

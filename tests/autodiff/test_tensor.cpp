@@ -1,0 +1,153 @@
+#include "pnc/autodiff/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pnc::ad {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.cols(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.size(), 6u);
+  for (double v : t.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t(2, 2, 1.5);
+  for (double v : t.data()) EXPECT_EQ(v, 1.5);
+}
+
+TEST(Tensor, DataConstructorChecksSize) {
+  EXPECT_NO_THROW(Tensor(2, 2, {1.0, 2.0, 3.0, 4.0}));
+  EXPECT_THROW(Tensor(2, 2, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t(0, 0), 1.0);
+  EXPECT_EQ(t(0, 2), 3.0);
+  EXPECT_EQ(t(1, 0), 4.0);
+  EXPECT_EQ(t(1, 2), 6.0);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(2, 2);
+  EXPECT_NO_THROW(t.at(1, 1));
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 2), std::out_of_range);
+}
+
+TEST(Tensor, ScalarItem) {
+  EXPECT_DOUBLE_EQ(Tensor::scalar(3.25).item(), 3.25);
+  Tensor t(2, 1);
+  EXPECT_THROW(t.item(), std::logic_error);
+}
+
+TEST(Tensor, RowAndColumnFactories) {
+  Tensor r = Tensor::row({1, 2, 3});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  Tensor c = Tensor::column({1, 2, 3});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+}
+
+TEST(Tensor, Identity) {
+  Tensor eye = Tensor::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Tensor, PlusEqualsAccumulates) {
+  Tensor a(1, 2, {1, 2});
+  Tensor b(1, 2, {10, 20});
+  a += b;
+  EXPECT_EQ(a(0, 0), 11.0);
+  EXPECT_EQ(a(0, 1), 22.0);
+}
+
+TEST(Tensor, PlusEqualsShapeMismatchThrows) {
+  Tensor a(1, 2);
+  Tensor b(2, 1);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Tensor, ScalarMultiply) {
+  Tensor a(1, 3, {1, -2, 3});
+  a *= -2.0;
+  EXPECT_EQ(a(0, 0), -2.0);
+  EXPECT_EQ(a(0, 1), 4.0);
+  EXPECT_EQ(a(0, 2), -6.0);
+}
+
+TEST(Tensor, MapAppliesElementwise) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b = a.map([](double x) { return x * x; });
+  EXPECT_EQ(b(0, 2), 9.0);
+  EXPECT_EQ(a(0, 2), 3.0);  // original untouched
+}
+
+TEST(Tensor, Transposed) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t(2, 0), 3.0);
+}
+
+TEST(Tensor, SumAndAbsMax) {
+  Tensor a(2, 2, {1, -5, 2, 3});
+  EXPECT_DOUBLE_EQ(a.sum(), 1.0);
+  EXPECT_DOUBLE_EQ(a.abs_max(), 5.0);
+}
+
+TEST(Tensor, MatmulBasic) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Tensor, MatmulIdentity) {
+  Tensor a(2, 2, {1, 2, 3, 4});
+  Tensor c = matmul(a, Tensor::identity(2));
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, c), 0.0);
+}
+
+TEST(Tensor, MatmulDimensionMismatchThrows) {
+  Tensor a(2, 3);
+  Tensor b(2, 3);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a(1, 2, {1.0, 2.0});
+  Tensor b(1, 2, {1.5, 1.0});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+  Tensor c(2, 1);
+  EXPECT_THROW(max_abs_diff(a, c), std::invalid_argument);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor(3, 4).shape_string(), "(3x4)");
+}
+
+}  // namespace
+}  // namespace pnc::ad

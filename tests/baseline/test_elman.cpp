@@ -1,0 +1,86 @@
+#include "pnc/baseline/elman_rnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnc/autodiff/gradcheck.hpp"
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::baseline {
+namespace {
+
+TEST(Elman, ForwardShape) {
+  ElmanRnn rnn(6, 3, 1);
+  util::Rng rng(0);
+  ad::Tensor inputs(4, 12);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+  ad::Graph g;
+  ad::Var logits =
+      rnn.forward(g, inputs, variation::VariationSpec::none(), rng);
+  EXPECT_EQ(g.value(logits).rows(), 4u);
+  EXPECT_EQ(g.value(logits).cols(), 3u);
+}
+
+TEST(Elman, ConstructionValidation) {
+  EXPECT_THROW(ElmanRnn(0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(ElmanRnn(4, 1, 1), std::invalid_argument);
+}
+
+TEST(Elman, IgnoresVariationSpec) {
+  ElmanRnn rnn(4, 2, 3);
+  util::Rng rng(0);
+  ad::Tensor inputs(2, 8);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+  util::Rng r1(1), r2(2);
+  const ad::Tensor a =
+      rnn.predict(inputs, variation::VariationSpec::printing(0.1), r1);
+  const ad::Tensor b =
+      rnn.predict(inputs, variation::VariationSpec::printing(0.1), r2);
+  EXPECT_DOUBLE_EQ(ad::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Elman, EightParameterTensors) {
+  ElmanRnn rnn(4, 2, 1);
+  EXPECT_EQ(rnn.parameters().size(), 8u);
+}
+
+TEST(Elman, GradientsCorrect) {
+  ElmanRnn rnn(3, 2, 5);
+  util::Rng rng(0);
+  ad::Tensor inputs(2, 5);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+  const std::vector<int> labels = {0, 1};
+
+  auto loss_fn = [&](ad::Graph& g) {
+    util::Rng inner(0);
+    ad::Var logits =
+        rnn.forward(g, inputs, variation::VariationSpec::none(), inner);
+    ad::Var loss = ad::softmax_cross_entropy(logits, labels);
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = ad::check_gradients(loss_fn, rnn.parameters());
+  EXPECT_TRUE(result.passed) << "abs " << result.max_abs_error;
+}
+
+TEST(Elman, StateCarriesInformation) {
+  ElmanRnn rnn(4, 2, 7);
+  util::Rng rng(0);
+  // Two sequences identical in the last step but different earlier must
+  // produce different logits (the hidden state remembers).
+  ad::Tensor a(1, 6, {1.0, 1.0, 1.0, 0.0, 0.0, 0.0});
+  ad::Tensor b(1, 6, {-1.0, -1.0, -1.0, 0.0, 0.0, 0.0});
+  util::Rng r(0);
+  const ad::Tensor la = rnn.predict(a, variation::VariationSpec::none(), r);
+  const ad::Tensor lb = rnn.predict(b, variation::VariationSpec::none(), r);
+  EXPECT_GT(ad::max_abs_diff(la, lb), 1e-6);
+}
+
+TEST(Elman, FactoryCapsHidden) {
+  auto rnn = make_elman(6, 1, 10);
+  EXPECT_EQ(rnn->hidden(), 10u);
+  auto uncapped = make_elman(3, 1);
+  EXPECT_EQ(uncapped->hidden(), 9u);
+}
+
+}  // namespace
+}  // namespace pnc::baseline

@@ -1,0 +1,143 @@
+#include "pnc/circuit/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "pnc/circuit/netlists.hpp"
+
+namespace pnc::circuit {
+namespace {
+
+using std::complex_literals::operator""i;
+
+TEST(ComplexSolver, SolvesKnownSystem) {
+  // (1+1i) x = 2 -> x = 1 - 1i.
+  const auto x = solve_complex_system({{1.0 + 1.0i}}, {2.0});
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-12);
+}
+
+TEST(ComplexSolver, SingularThrows) {
+  EXPECT_THROW(
+      solve_complex_system({{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}),
+      std::runtime_error);
+}
+
+Netlist rc_lowpass(double r, double c, int* out_node) {
+  Netlist nl;
+  const int in = nl.add_node();
+  const int out = nl.add_node();
+  nl.add_dc_source(in, 0, 1.0);  // stimulus amplitude irrelevant for AC
+  nl.add_resistor(in, out, r);
+  nl.add_capacitor(out, 0, c);
+  *out_node = out;
+  return nl;
+}
+
+TEST(Ac, RcLowpassMatchesAnalyticTransfer) {
+  const double r = 1e3, c = 1e-6;  // fc = 159.15 Hz
+  int out = 0;
+  const Netlist nl = rc_lowpass(r, c, &out);
+  for (double f : {1.0, 50.0, 159.15, 1e3, 1e5}) {
+    const std::complex<double> h = transfer_at(nl, out, f);
+    const double omega = 2.0 * std::numbers::pi * f;
+    const std::complex<double> expected =
+        1.0 / (1.0 + 1.0i * omega * r * c);
+    EXPECT_NEAR(std::abs(h - expected), 0.0, 1e-9) << "f = " << f;
+  }
+}
+
+TEST(Ac, DcGainIsUnity) {
+  int out = 0;
+  const Netlist nl = rc_lowpass(500.0, 50e-6, &out);
+  EXPECT_NEAR(std::abs(transfer_at(nl, out, 1e-3)), 1.0, 1e-6);
+}
+
+TEST(Ac, CutoffMatchesOneOverTwoPiRc) {
+  const double r = 800.0, c = 20e-6;
+  int out = 0;
+  const Netlist nl = rc_lowpass(r, c, &out);
+  const double expected = 1.0 / (2.0 * std::numbers::pi * r * c);
+  const double measured = cutoff_frequency_hz(nl, out, 1e-2, 1e5);
+  EXPECT_NEAR(measured / expected, 1.0, 1e-3);
+}
+
+TEST(Ac, FirstOrderRollsOffAtTwentyDb) {
+  int out = 0;
+  const Netlist nl = rc_lowpass(1e3, 1e-6, &out);
+  const double slope = rolloff_db_per_decade(nl, out, 1e4, 1e5);
+  EXPECT_NEAR(slope, -20.0, 0.5);
+}
+
+TEST(Ac, SecondOrderRollsOffAtFortyDb) {
+  FilterNetlist f = build_second_order_filter(1e3, 1e-6, 1e3, 1e-6, 0.0,
+                                              [](double) { return 1.0; });
+  const double slope =
+      rolloff_db_per_decade(f.netlist, f.output_node, 1e4, 1e5);
+  EXPECT_NEAR(slope, -40.0, 1.0);
+}
+
+TEST(Ac, SecondOrderSharperThanFirstPastCutoff) {
+  // The SO-LF's design motivation (Sec. III): better separation of signal
+  // components through a sharper cutoff.
+  int out1 = 0;
+  const Netlist first = rc_lowpass(1e3, 1e-6, &out1);
+  FilterNetlist second = build_second_order_filter(
+      1e3, 1e-6, 1e3, 1e-6, 0.0, [](double) { return 1.0; });
+  const double f_probe = 5e3;  // well above both cutoffs
+  EXPECT_LT(std::abs(transfer_at(second.netlist, second.output_node, f_probe)),
+            std::abs(transfer_at(first, out1, f_probe)));
+}
+
+TEST(Ac, PhaseLagGrowsWithOrder) {
+  int out1 = 0;
+  const Netlist first = rc_lowpass(1e3, 1e-6, &out1);
+  FilterNetlist second = build_second_order_filter(
+      1e3, 1e-6, 1e3, 1e-6, 0.0, [](double) { return 1.0; });
+  const double f = 1e3;
+  const double phase1 = std::arg(transfer_at(first, out1, f));
+  const double phase2 =
+      std::arg(transfer_at(second.netlist, second.output_node, f));
+  EXPECT_LT(phase2, phase1);  // more negative = larger lag
+}
+
+TEST(Ac, LoadingLowersDcGain) {
+  FilterNetlist loaded = build_first_order_filter(500.0, 20e-6, 500.0,
+                                                  [](double) { return 1.0; });
+  EXPECT_NEAR(std::abs(transfer_at(loaded.netlist, loaded.output_node, 1e-3)),
+              0.5, 1e-6);
+}
+
+TEST(Ac, BodeSweepIsMonotoneLowpass) {
+  int out = 0;
+  const Netlist nl = rc_lowpass(1e3, 1e-6, &out);
+  const auto sweep = bode_sweep(nl, out, 1.0, 1e5, 10);
+  ASSERT_GT(sweep.size(), 10u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].magnitude, sweep[i - 1].magnitude + 1e-12);
+    EXPECT_GT(sweep[i].freq_hz, sweep[i - 1].freq_hz);
+  }
+  EXPECT_NEAR(sweep.front().magnitude, 1.0, 1e-3);
+}
+
+TEST(Ac, Validation) {
+  int out = 0;
+  const Netlist nl = rc_lowpass(1e3, 1e-6, &out);
+  EXPECT_THROW(transfer_at(nl, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(transfer_at(nl, 99, 1.0), std::out_of_range);
+  EXPECT_THROW(bode_sweep(nl, out, 0.0, 1e3), std::invalid_argument);
+  EXPECT_THROW(bode_sweep(nl, out, 1e3, 1e2), std::invalid_argument);
+  EXPECT_THROW(cutoff_frequency_hz(nl, out, 10.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(rolloff_db_per_decade(nl, out, 1e3, 1e2),
+               std::invalid_argument);
+  Netlist empty;
+  const int n = empty.add_node();
+  empty.add_resistor(n, 0, 1e3);
+  EXPECT_THROW(transfer_at(empty, n, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc::circuit

@@ -1,0 +1,99 @@
+#include "pnc/circuit/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnc::circuit {
+namespace {
+
+CrossbarColumn simple_column() {
+  CrossbarColumn col;
+  col.conductances = {2.0, 1.0};
+  col.signs = {+1, -1};
+  col.bias_conductance = 1.0;
+  col.bias_sign = +1;
+  col.pulldown_conductance = 1.0;
+  return col;
+}
+
+TEST(Crossbar, TotalConductance) {
+  EXPECT_DOUBLE_EQ(simple_column().total_conductance(), 5.0);
+}
+
+TEST(Crossbar, WeightsAreConductanceRatios) {
+  const CrossbarColumn col = simple_column();
+  EXPECT_DOUBLE_EQ(col.weight(0), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(col.weight(1), -1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(col.bias(), 1.0 / 5.0);
+  EXPECT_THROW(col.weight(2), std::out_of_range);
+}
+
+TEST(Crossbar, OutputIsWeightedSum) {
+  const CrossbarColumn col = simple_column();
+  // V = w0*v0 + w1*(-v1 via inverter... sign applied) + bias
+  const double expected = 0.4 * 0.5 - 0.2 * 0.25 + 0.2;
+  EXPECT_NEAR(col.output({0.5, 0.25}), expected, 1e-12);
+}
+
+TEST(Crossbar, OutputChecksInputArity) {
+  EXPECT_THROW(simple_column().output({1.0}), std::invalid_argument);
+}
+
+TEST(Crossbar, WeightsBelowOneInMagnitude) {
+  const CrossbarColumn col = simple_column();
+  double total = std::abs(col.bias());
+  for (std::size_t i = 0; i < col.conductances.size(); ++i) {
+    total += std::abs(col.weight(i));
+  }
+  EXPECT_LT(total, 1.0);  // g_d > 0 guarantees strict inequality
+}
+
+TEST(Crossbar, StaticPowerPositive) {
+  EXPECT_GT(simple_column().static_power({0.5, -0.5}), 0.0);
+}
+
+TEST(Crossbar, StaticPowerZeroOnlyIfEverythingZero) {
+  CrossbarColumn col;
+  col.conductances = {1.0};
+  col.signs = {+1};
+  col.bias_conductance = 0.0;
+  col.pulldown_conductance = 0.0;
+  EXPECT_DOUBLE_EQ(col.output({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(col.static_power({0.0}), 0.0);
+}
+
+TEST(Crossbar, DeviceCounts) {
+  const CrossbarColumn col = simple_column();
+  EXPECT_EQ(col.resistor_count(), 4u);  // 2 inputs + bias + pulldown
+  EXPECT_EQ(col.inverter_count(), 1u);  // one negative input
+}
+
+TEST(CrossbarDesign, RealizesRequestedWeights) {
+  const std::vector<double> w = {0.3, -0.2};
+  const CrossbarColumn col = design_column(w, 0.1, 10.0);
+  EXPECT_NEAR(col.weight(0), 0.3, 1e-12);
+  EXPECT_NEAR(col.weight(1), -0.2, 1e-12);
+  EXPECT_NEAR(col.bias(), 0.1, 1e-12);
+}
+
+TEST(CrossbarDesign, OutputMatchesAnnAffine) {
+  const std::vector<double> w = {0.25, -0.35};
+  const double b = 0.15;
+  const CrossbarColumn col = design_column(w, b, 5.0);
+  const std::vector<double> x = {0.8, -0.3};
+  EXPECT_NEAR(col.output(x), w[0] * x[0] + w[1] * x[1] + b, 1e-12);
+}
+
+TEST(CrossbarDesign, RejectsUnrealizableWeights) {
+  EXPECT_THROW(design_column({0.7, 0.4}, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(design_column({0.5}, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(design_column({0.1}, 0.1, 0.0), std::invalid_argument);
+}
+
+TEST(CrossbarDesign, PulldownAbsorbsSlack) {
+  const CrossbarColumn col = design_column({0.2}, 0.1, 10.0);
+  EXPECT_NEAR(col.pulldown_conductance, 0.7 * 10.0, 1e-12);
+  EXPECT_NEAR(col.total_conductance(), 10.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pnc::circuit

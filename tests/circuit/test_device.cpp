@@ -1,0 +1,58 @@
+#include "pnc/circuit/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace pnc::circuit {
+namespace {
+
+TEST(Device, ClampToRange) {
+  EXPECT_DOUBLE_EQ(clamp_to_range(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(clamp_to_range(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_to_range(11.0, 0.0, 10.0), 10.0);
+  EXPECT_THROW(clamp_to_range(1.0, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Device, TimeConstant) {
+  PrintedResistor r{1e3};
+  PrintedCapacitor c{1e-6};
+  EXPECT_DOUBLE_EQ(time_constant(r, c), 1e-3);
+}
+
+TEST(Device, CutoffFrequency) {
+  PrintedResistor r{1e3};
+  PrintedCapacitor c{1e-6};
+  EXPECT_NEAR(cutoff_frequency(r, c), 1.0 / (2.0 * std::numbers::pi * 1e-3),
+              1e-9);
+  PrintedResistor zero{0.0};
+  EXPECT_THROW(cutoff_frequency(zero, c), std::invalid_argument);
+}
+
+TEST(Device, ConductanceIsReciprocal) {
+  PrintedResistor r{200.0};
+  EXPECT_DOUBLE_EQ(r.conductance(), 0.005);
+}
+
+TEST(Device, PrintableRangesAreOrdered) {
+  const PrintableRanges ranges;
+  EXPECT_LT(ranges.filter_resistance_min, ranges.filter_resistance_max);
+  EXPECT_LT(ranges.crossbar_resistance_min, ranges.crossbar_resistance_max);
+  EXPECT_LT(ranges.capacitance_min, ranges.capacitance_max);
+  // Filter resistors sit far below crossbar resistors (Sec. IV-A1),
+  // which is what keeps the coupling factor near 1.
+  EXPECT_LT(ranges.filter_resistance_max, ranges.crossbar_resistance_min);
+}
+
+TEST(Device, FormatResistance) {
+  EXPECT_EQ(format_resistance(4.7e3), "4.7 kOhm");
+  EXPECT_EQ(format_resistance(2e6), "2 MOhm");
+}
+
+TEST(Device, FormatCapacitance) {
+  EXPECT_EQ(format_capacitance(220e-9), "220 nF");
+  EXPECT_EQ(format_capacitance(1e-6), "1 uF");
+}
+
+}  // namespace
+}  // namespace pnc::circuit

@@ -1,0 +1,204 @@
+#include "pnc/circuit/mna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnc::circuit {
+namespace {
+
+TEST(LinearSolver, Solves2x2) {
+  const auto x = solve_linear_system({{2.0, 1.0}, {1.0, 3.0}}, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolver, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear_system({{0.0, 1.0}, {1.0, 0.0}}, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinearSolver, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}),
+               std::runtime_error);
+}
+
+TEST(LinearSolver, DimensionMismatchThrows) {
+  EXPECT_THROW(solve_linear_system({{1.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Netlist, NodeValidation) {
+  Netlist nl;
+  const int a = nl.add_node();
+  EXPECT_EQ(a, 1);
+  EXPECT_NO_THROW(nl.add_resistor(a, 0, 100.0));
+  EXPECT_THROW(nl.add_resistor(a, 5, 100.0), std::out_of_range);
+  EXPECT_THROW(nl.add_resistor(a, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_capacitor(a, 0, -1e-6), std::invalid_argument);
+}
+
+TEST(MnaDc, VoltageDivider) {
+  Netlist nl;
+  const int top = nl.add_node();
+  const int mid = nl.add_node();
+  nl.add_dc_source(top, 0, 10.0);
+  nl.add_resistor(top, mid, 1e3);
+  nl.add_resistor(mid, 0, 3e3);
+  const auto v = MnaSolver(nl).solve_dc();
+  EXPECT_NEAR(v[static_cast<std::size_t>(top)], 10.0, 1e-9);
+  EXPECT_NEAR(v[static_cast<std::size_t>(mid)], 7.5, 1e-9);
+}
+
+TEST(MnaDc, TwoSourceSuperposition) {
+  // Two sources through equal resistors into a common node:
+  // V_node = (V1 + V2) / 2 when only those two paths exist.
+  Netlist nl;
+  const int n1 = nl.add_node();
+  const int n2 = nl.add_node();
+  const int out = nl.add_node();
+  nl.add_dc_source(n1, 0, 2.0);
+  nl.add_dc_source(n2, 0, 4.0);
+  nl.add_resistor(n1, out, 1e3);
+  nl.add_resistor(n2, out, 1e3);
+  const auto v = MnaSolver(nl).solve_dc();
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)], 3.0, 1e-9);
+}
+
+TEST(MnaDc, CapacitorIsOpenCircuit) {
+  Netlist nl;
+  const int in = nl.add_node();
+  const int out = nl.add_node();
+  nl.add_dc_source(in, 0, 5.0);
+  nl.add_resistor(in, out, 1e3);
+  nl.add_capacitor(out, 0, 1e-6);
+  nl.add_resistor(out, 0, 1e3);  // keep the matrix non-singular
+  const auto v = MnaSolver(nl).solve_dc();
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)], 2.5, 1e-9);
+}
+
+TEST(MnaTransient, RcStepResponseMatchesAnalytic) {
+  // Unloaded RC low-pass driven by a 1 V step: v(t) = 1 - exp(-t/RC).
+  const double r = 1e3, c = 1e-6;  // tau = 1 ms
+  Netlist nl;
+  const int in = nl.add_node();
+  const int out = nl.add_node();
+  nl.add_dc_source(in, 0, 1.0);
+  nl.add_resistor(in, out, r);
+  nl.add_capacitor(out, 0, c);
+  const double dt = 1e-6;  // dt << tau keeps backward-Euler error small
+  const auto result = MnaSolver(nl).solve_transient(5e-3, dt);
+  for (std::size_t k = 100; k < result.time.size(); k += 500) {
+    const double expected = 1.0 - std::exp(-result.time[k] / (r * c));
+    EXPECT_NEAR(result.voltage(k, out), expected, 2e-3);
+  }
+}
+
+TEST(MnaTransient, ReachesDcSteadyState) {
+  Netlist nl;
+  const int in = nl.add_node();
+  const int out = nl.add_node();
+  nl.add_dc_source(in, 0, 2.0);
+  nl.add_resistor(in, out, 1e3);
+  nl.add_capacitor(out, 0, 1e-6);
+  nl.add_resistor(out, 0, 1e3);  // loaded: settles at 1.0 V
+  const auto result = MnaSolver(nl).solve_transient(20e-3, 1e-5);
+  EXPECT_NEAR(result.node_voltages.back()[static_cast<std::size_t>(out)], 1.0,
+              1e-6);
+}
+
+TEST(MnaTransient, InitialConditionHonored) {
+  Netlist nl;
+  const int out = nl.add_node();
+  nl.add_capacitor(out, 0, 1e-6);
+  nl.add_resistor(out, 0, 1e3);  // discharge path
+  std::vector<double> v0 = {0.0, 1.0};
+  const auto result = MnaSolver(nl).solve_transient(1e-3, 1e-6, v0);
+  EXPECT_NEAR(result.voltage(0, out), 1.0, 1e-12);
+  // One tau later the capacitor has discharged to ~ e^-1.
+  const std::size_t k_tau = 1000;
+  EXPECT_NEAR(result.voltage(k_tau, out), std::exp(-1.0), 5e-3);
+}
+
+TEST(MnaTransient, RejectsBadArguments) {
+  Netlist nl;
+  const int n = nl.add_node();
+  nl.add_dc_source(n, 0, 1.0);
+  MnaSolver solver(nl);
+  EXPECT_THROW(solver.solve_transient(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(solver.solve_transient(-1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(solver.solve_transient(1.0, 0.1, {0.0}),
+               std::invalid_argument);  // v0 wrong size
+}
+
+TEST(MnaTransient, ElementCurrents) {
+  const double r = 1e3, c = 1e-6;
+  Netlist nl;
+  const int in = nl.add_node();
+  const int out = nl.add_node();
+  nl.add_dc_source(in, 0, 1.0);
+  nl.add_resistor(in, out, r);
+  nl.add_capacitor(out, 0, c);
+  MnaSolver solver(nl);
+  const auto result = solver.solve_transient(1e-4, 1e-6);
+  // Unloaded: all resistor current charges the capacitor.
+  for (std::size_t k = 1; k < 20; ++k) {
+    EXPECT_NEAR(solver.resistor_current(result, k, 0),
+                solver.capacitor_current(result, k, 0), 1e-9);
+  }
+  EXPECT_THROW(solver.capacitor_current(result, 0, 0), std::invalid_argument);
+}
+
+TEST(MnaDc, WheatstoneBridge) {
+  // Balanced bridge: zero differential voltage across the detector arm.
+  Netlist nl;
+  const int top = nl.add_node();
+  const int left = nl.add_node();
+  const int right = nl.add_node();
+  nl.add_dc_source(top, 0, 10.0);
+  nl.add_resistor(top, left, 1e3);
+  nl.add_resistor(left, 0, 2e3);
+  nl.add_resistor(top, right, 2e3);
+  nl.add_resistor(right, 0, 4e3);   // same ratio -> balanced
+  nl.add_resistor(left, right, 5e3);  // detector arm
+  const auto v = MnaSolver(nl).solve_dc();
+  EXPECT_NEAR(v[static_cast<std::size_t>(left)],
+              v[static_cast<std::size_t>(right)], 1e-9);
+  EXPECT_NEAR(v[static_cast<std::size_t>(left)], 10.0 * 2.0 / 3.0, 1e-9);
+}
+
+TEST(MnaDc, UnbalancedBridgeDetectorCurrent) {
+  // Unbalance one arm; detector voltage must become nonzero with the
+  // correct sign (right node pulled higher).
+  Netlist nl;
+  const int top = nl.add_node();
+  const int left = nl.add_node();
+  const int right = nl.add_node();
+  nl.add_dc_source(top, 0, 10.0);
+  nl.add_resistor(top, left, 1e3);
+  nl.add_resistor(left, 0, 2e3);
+  nl.add_resistor(top, right, 1e3);  // stronger pull-up on the right
+  nl.add_resistor(right, 0, 4e3);
+  nl.add_resistor(left, right, 5e3);
+  const auto v = MnaSolver(nl).solve_dc();
+  EXPECT_GT(v[static_cast<std::size_t>(right)],
+            v[static_cast<std::size_t>(left)]);
+}
+
+TEST(MnaTransient, SineSourceTracksWaveform) {
+  Netlist nl;
+  const int in = nl.add_node();
+  nl.add_voltage_source(in, 0,
+                        [](double t) { return std::sin(2000.0 * t); });
+  nl.add_resistor(in, 0, 1e3);
+  const auto result = MnaSolver(nl).solve_transient(1e-3, 1e-5);
+  for (std::size_t k = 0; k < result.time.size(); ++k) {
+    EXPECT_NEAR(result.voltage(k, in), std::sin(2000.0 * result.time[k]),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pnc::circuit

@@ -1,0 +1,131 @@
+#include "pnc/circuit/netlists.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnc/circuit/crossbar.hpp"
+
+namespace pnc::circuit {
+namespace {
+
+TEST(CrossbarNetlist, MatchesAlgebraicModel) {
+  // The MNA solution of the full crossbar netlist must reproduce Eq. (1) —
+  // this is the in-repo "derivation" of the weighted-sum model.
+  const std::vector<double> inputs = {0.5, -0.3, 0.8};
+  const std::vector<double> conductances = {2e-6, 1e-6, 3e-6};
+  const double g_b = 1.5e-6, g_d = 2e-6;
+
+  CrossbarColumn col;
+  col.conductances = conductances;
+  col.signs = {+1, +1, +1};
+  col.bias_conductance = g_b;
+  col.pulldown_conductance = g_d;
+
+  const CrossbarNetlist net =
+      build_crossbar_netlist(inputs, conductances, g_b, g_d);
+  const auto v = MnaSolver(net.netlist).solve_dc();
+  EXPECT_NEAR(v[static_cast<std::size_t>(net.output_node)],
+              col.output(inputs), 1e-12);
+}
+
+TEST(CrossbarNetlist, BiasOnlyColumn) {
+  const CrossbarNetlist net = build_crossbar_netlist({}, {}, 1e-6, 1e-6);
+  const auto v = MnaSolver(net.netlist).solve_dc();
+  EXPECT_NEAR(v[static_cast<std::size_t>(net.output_node)], 0.5, 1e-12);
+}
+
+TEST(CrossbarNetlist, InputSizeMismatchThrows) {
+  EXPECT_THROW(build_crossbar_netlist({1.0}, {1e-6, 1e-6}, 1e-6, 1e-6),
+               std::invalid_argument);
+}
+
+TEST(FilterNetlist, FirstOrderMatchesDiscreteModel) {
+  // The backward-Euler MNA transient of an unloaded RC filter must match
+  // the paper's discrete update (Eq. (3) with mu = 1) exactly, because both
+  // are the same implicit discretization.
+  const double r = 500.0, c = 20e-6, dt = 1e-3;
+  FilterNetlist f = build_first_order_filter(
+      r, c, /*load_ohms=*/0.0, [](double t) { return t > 0.0 ? 1.0 : 0.0; });
+  const auto result = MnaSolver(f.netlist).solve_transient(50e-3, dt);
+
+  const double rc = r * c;
+  double h = 0.0;
+  for (std::size_t k = 1; k < result.time.size(); ++k) {
+    h = rc / (rc + dt) * h + dt / (rc + dt) * 1.0;
+    EXPECT_NEAR(result.voltage(k, f.output_node), h, 1e-9)
+        << "step " << k;
+  }
+}
+
+TEST(FilterNetlist, SecondOrderIsSmootherThanFirst) {
+  // Step response of the cascade lags the single stage: at early times the
+  // second-order output is strictly below the first-order output.
+  const double dt = 1e-4;
+  FilterNetlist first = build_first_order_filter(
+      500.0, 20e-6, 0.0, [](double) { return 1.0; });
+  FilterNetlist second = build_second_order_filter(
+      500.0, 20e-6, 500.0, 20e-6, 0.0, [](double) { return 1.0; });
+  const auto r1 = MnaSolver(first.netlist).solve_transient(10e-3, dt);
+  const auto r2 = MnaSolver(second.netlist).solve_transient(10e-3, dt);
+  for (std::size_t k = 5; k < 50; ++k) {
+    EXPECT_LT(r2.voltage(k, second.output_node),
+              r1.voltage(k, first.output_node));
+  }
+}
+
+TEST(FilterNetlist, LoadLowersSteadyState) {
+  FilterNetlist unloaded =
+      build_first_order_filter(500.0, 20e-6, 0.0, [](double) { return 1.0; });
+  FilterNetlist loaded = build_first_order_filter(500.0, 20e-6, 500.0,
+                                                  [](double) { return 1.0; });
+  const auto ru = MnaSolver(unloaded.netlist).solve_transient(0.2, 1e-3);
+  const auto rl = MnaSolver(loaded.netlist).solve_transient(0.2, 1e-3);
+  EXPECT_NEAR(ru.node_voltages.back()[static_cast<std::size_t>(
+                  unloaded.output_node)],
+              1.0, 1e-3);
+  EXPECT_NEAR(rl.node_voltages.back()[static_cast<std::size_t>(
+                  loaded.output_node)],
+              0.5, 1e-3);
+}
+
+TEST(CouplingFactor, NearOneForLightLoad) {
+  // Crossbar input resistance (>= 100 kOhm) dwarfs the filter resistance
+  // (< 1 kOhm): mu stays within [1, 1.05].
+  const CouplingStats stats = measure_coupling_factor(
+      500.0, 20e-6, /*load=*/200e3, /*t_end=*/0.2, /*dt=*/1e-4);
+  ASSERT_GT(stats.samples, 0u);
+  EXPECT_GE(stats.mu_min, 0.999);
+  EXPECT_LE(stats.mu_max, 1.06);
+}
+
+TEST(CouplingFactor, GrowsWithHeavierLoad) {
+  const CouplingStats light =
+      measure_coupling_factor(500.0, 20e-6, 200e3, 0.2, 1e-4);
+  const CouplingStats heavy =
+      measure_coupling_factor(500.0, 20e-6, 10e3, 0.2, 1e-4);
+  ASSERT_GT(light.samples, 0u);
+  ASSERT_GT(heavy.samples, 0u);
+  EXPECT_GT(heavy.mu_mean, light.mu_mean);
+}
+
+TEST(CouplingFactor, StartsAtExactlyOne) {
+  const CouplingStats stats =
+      measure_coupling_factor(800.0, 50e-6, 150e3, 0.5, 1e-4);
+  ASSERT_GT(stats.samples, 0u);
+  EXPECT_NEAR(stats.mu_min, 1.0, 0.01);
+}
+
+TEST(CouplingFactor, PrintableDesignsStayInPaperRange) {
+  // Across the printable corner cases the paper reports mu in [1, 1.3].
+  for (const double r : {100.0, 900.0}) {
+    for (const double c : {1e-6, 80e-6}) {
+      const CouplingStats stats =
+          measure_coupling_factor(r, c, 100e3, 0.3, 1e-5);
+      if (stats.samples == 0) continue;  // fully settled: no current flow
+      EXPECT_GE(stats.mu_min, 0.999) << "R=" << r << " C=" << c;
+      EXPECT_LE(stats.mu_max, 1.3) << "R=" << r << " C=" << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pnc::circuit

@@ -1,0 +1,135 @@
+#include "pnc/circuit/nonlinear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnc::circuit {
+namespace {
+
+TEST(EgtModel, OffBelowThreshold) {
+  EgtModel egt;
+  // Far below threshold the smoothed overdrive underflows to ~0.
+  EXPECT_NEAR(egt.drain_current(-1.0, 1.0), 0.0, 1e-9);
+}
+
+TEST(EgtModel, CurrentGrowsWithGateDrive) {
+  EgtModel egt;
+  const double i1 = egt.drain_current(0.4, 1.0);
+  const double i2 = egt.drain_current(0.8, 1.0);
+  EXPECT_GT(i1, 0.0);
+  EXPECT_GT(i2, 4.0 * i1 * 0.5);  // superlinear in overdrive
+}
+
+TEST(EgtModel, SaturatesInVds) {
+  EgtModel egt;
+  const double i_lin = egt.drain_current(0.8, 0.05);
+  const double i_sat1 = egt.drain_current(0.8, 1.0);
+  const double i_sat2 = egt.drain_current(0.8, 2.0);
+  EXPECT_LT(i_lin, i_sat1);
+  EXPECT_NEAR(i_sat1, i_sat2, 0.05 * i_sat1);  // nearly flat in saturation
+}
+
+TEST(EgtModel, OddInVds) {
+  EgtModel egt;
+  EXPECT_NEAR(egt.drain_current(0.8, -0.5), -egt.drain_current(0.8, 0.5),
+              1e-15);
+  EXPECT_NEAR(egt.drain_current(0.8, 0.0), 0.0, 1e-15);
+}
+
+TEST(EgtModel, DerivativesMatchFiniteDifferences) {
+  EgtModel egt;
+  const double h = 1e-7;
+  for (double v_gs : {-0.2, 0.2, 0.5, 1.0}) {
+    for (double v_ds : {0.1, 0.5, 1.5}) {
+      const double fd_gs = (egt.drain_current(v_gs + h, v_ds) -
+                            egt.drain_current(v_gs - h, v_ds)) /
+                           (2.0 * h);
+      const double fd_ds = (egt.drain_current(v_gs, v_ds + h) -
+                            egt.drain_current(v_gs, v_ds - h)) /
+                           (2.0 * h);
+      EXPECT_NEAR(egt.d_current_d_vgs(v_gs, v_ds), fd_gs, 1e-6);
+      EXPECT_NEAR(egt.d_current_d_vds(v_gs, v_ds), fd_ds, 1e-6);
+    }
+  }
+}
+
+TEST(EgtModel, WidthScalesCurrent) {
+  EgtModel narrow;
+  EgtModel wide = narrow;
+  wide.width_scale = 3.0;
+  EXPECT_NEAR(wide.drain_current(0.8, 1.0),
+              3.0 * narrow.drain_current(0.8, 1.0), 1e-15);
+}
+
+TEST(NonlinearCircuit, LinearOnlyMatchesMna) {
+  // With no transistors, the Newton solver must agree with linear MNA.
+  Netlist nl;
+  const int top = nl.add_node();
+  const int mid = nl.add_node();
+  nl.add_dc_source(top, 0, 10.0);
+  nl.add_resistor(top, mid, 1e3);
+  nl.add_resistor(mid, 0, 3e3);
+  const auto linear = MnaSolver(nl).solve_dc();
+  NonlinearCircuit circuit(std::move(nl));
+  const auto newton = circuit.solve_dc();
+  for (std::size_t i = 0; i < linear.size(); ++i) {
+    EXPECT_NEAR(newton[i], linear[i], 1e-6);
+  }
+}
+
+TEST(NonlinearCircuit, NodeValidation) {
+  Netlist nl;
+  const int n = nl.add_node();
+  NonlinearCircuit circuit(std::move(nl));
+  EXPECT_THROW(circuit.add_egt(n, n, 99, EgtModel{}), std::out_of_range);
+}
+
+TEST(NonlinearCircuit, SourceFollowerOperatingPoint) {
+  // Diode-connected EGT from VDD through a resistor to ground: current
+  // through the resistor must equal the transistor current at the solved
+  // operating point (KCL cross-check).
+  Netlist nl;
+  const int vdd = nl.add_node();
+  const int out = nl.add_node();
+  nl.add_dc_source(vdd, 0, 1.0);
+  const double r_ohms = 10e3;
+  nl.add_resistor(out, 0, r_ohms);
+  NonlinearCircuit circuit(std::move(nl));
+  EgtModel egt;
+  circuit.add_egt(/*drain=*/vdd, /*gate=*/vdd, /*source=*/out, egt);
+
+  const auto v = circuit.solve_dc();
+  const double v_out = v[static_cast<std::size_t>(out)];
+  EXPECT_GT(v_out, 0.0);
+  EXPECT_LT(v_out, 1.0);
+  const double i_r = v_out / r_ohms;
+  const double i_t = egt.drain_current(1.0 - v_out, 1.0 - v_out);
+  EXPECT_NEAR(i_r, i_t, 1e-8);
+}
+
+TEST(NonlinearCircuit, InverterTransfersMonotonically) {
+  // Common-source stage with resistive load: falling monotone transfer.
+  Netlist nl;
+  const int in = nl.add_node();
+  const int out = nl.add_node();
+  const int vdd = nl.add_node();
+  const int source = nl.add_voltage_source(in, 0, [](double) { return 0.0; });
+  nl.add_dc_source(vdd, 0, 1.0);
+  nl.add_resistor(vdd, out, 20e3);
+  NonlinearCircuit circuit(std::move(nl));
+  circuit.add_egt(out, in, 0, EgtModel{});
+
+  std::vector<double> sweep;
+  for (int i = 0; i <= 20; ++i) sweep.push_back(-1.0 + 0.1 * i);
+  const auto transfer = dc_sweep(circuit, source, sweep, out);
+  for (std::size_t i = 1; i < transfer.size(); ++i) {
+    // Tolerance covers Newton convergence noise in the flat off-region.
+    EXPECT_LE(transfer[i], transfer[i - 1] + 1e-6);
+  }
+  EXPECT_NEAR(transfer.front(), 1.0, 1e-3);  // input low -> output at VDD
+  EXPECT_LT(transfer.back(), 0.4);           // input high -> pulled down
+}
+
+}  // namespace
+}  // namespace pnc::circuit

@@ -1,0 +1,91 @@
+#include "pnc/circuit/ptanh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnc::circuit {
+namespace {
+
+TEST(Ptanh, TransferMatchesFormula) {
+  PtanhParams eta{0.1, 0.8, 0.2, 3.0};
+  const double v = 0.5;
+  EXPECT_NEAR(eta(v), 0.1 + 0.8 * std::tanh((0.5 - 0.2) * 3.0), 1e-12);
+}
+
+TEST(Ptanh, SaturatesAtOffsetPlusMinusSwing) {
+  PtanhParams eta{0.0, 0.8, 0.0, 3.0};
+  EXPECT_NEAR(eta(100.0), 0.8, 1e-9);
+  EXPECT_NEAR(eta(-100.0), -0.8, 1e-9);
+}
+
+TEST(Ptanh, DerivativeMatchesFiniteDifference) {
+  PtanhParams eta{0.05, 0.9, 0.15, 2.5};
+  const double h = 1e-6;
+  for (double v : {-1.0, -0.2, 0.0, 0.15, 0.8}) {
+    const double fd = (eta(v + h) - eta(v - h)) / (2.0 * h);
+    EXPECT_NEAR(eta.derivative(v), fd, 1e-6);
+  }
+}
+
+TEST(Ptanh, DerivativePeaksAtEta3) {
+  PtanhParams eta{0.0, 0.8, 0.3, 2.0};
+  EXPECT_GT(eta.derivative(0.3), eta.derivative(0.0));
+  EXPECT_GT(eta.derivative(0.3), eta.derivative(0.6));
+}
+
+TEST(PtanhFit, MonotoneInDividerRatio) {
+  PtanhComponents lo;
+  lo.r1 = 300e3;
+  lo.r2 = 100e3;  // small divider ratio
+  PtanhComponents hi = lo;
+  hi.r1 = 100e3;
+  hi.r2 = 300e3;  // large divider ratio
+  const PtanhParams eta_lo = fit_ptanh(lo);
+  const PtanhParams eta_hi = fit_ptanh(hi);
+  EXPECT_LT(eta_lo.eta1, eta_hi.eta1);  // offset tracks divider midpoint
+}
+
+TEST(PtanhFit, SymmetricDividerCentersCurve) {
+  PtanhComponents q;
+  q.r1 = q.r2 = 200e3;
+  EXPECT_NEAR(fit_ptanh(q).eta1, 0.0, 1e-12);
+}
+
+TEST(PtanhFit, GainGrowsWithTransistorStrength) {
+  PtanhComponents weak;
+  weak.t1_scale = 0.5;
+  PtanhComponents strong;
+  strong.t1_scale = 2.0;
+  EXPECT_LT(fit_ptanh(weak).eta4, fit_ptanh(strong).eta4);
+}
+
+TEST(PtanhFit, SwingGrowsWithT2) {
+  PtanhComponents weak;
+  weak.t2_scale = 0.3;
+  PtanhComponents strong;
+  strong.t2_scale = 2.0;
+  EXPECT_LT(fit_ptanh(weak).eta2, fit_ptanh(strong).eta2);
+}
+
+TEST(PtanhFit, RejectsNonPositiveComponents) {
+  PtanhComponents q;
+  q.r1 = 0.0;
+  EXPECT_THROW(fit_ptanh(q), std::invalid_argument);
+  q.r1 = 1e5;
+  q.t2_scale = -1.0;
+  EXPECT_THROW(fit_ptanh(q), std::invalid_argument);
+}
+
+TEST(PtanhPower, PositiveAndDecreasingInResistance) {
+  SupplyLevels s;
+  PtanhComponents lo_r;
+  lo_r.r1 = lo_r.r2 = 100e3;
+  PtanhComponents hi_r;
+  hi_r.r1 = hi_r.r2 = 2e6;
+  EXPECT_GT(ptanh_static_power(lo_r, s), 0.0);
+  EXPECT_GT(ptanh_static_power(lo_r, s), ptanh_static_power(hi_r, s));
+}
+
+}  // namespace
+}  // namespace pnc::circuit

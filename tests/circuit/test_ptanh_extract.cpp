@@ -1,0 +1,106 @@
+#include "pnc/circuit/ptanh_extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/util/rng.hpp"
+
+namespace pnc::circuit {
+namespace {
+
+TEST(PtanhFitCurve, RecoversExactParameters) {
+  // Sample a known ptanh and verify the fit recovers it.
+  const PtanhParams truth{0.12, -0.75, 0.25, 4.0};
+  std::vector<double> x, y;
+  for (int i = 0; i <= 60; ++i) {
+    const double v = -1.0 + 2.0 * i / 60.0;
+    x.push_back(v);
+    y.push_back(truth(v));
+  }
+  const PtanhFit fit = fit_ptanh_curve(x, y);
+  EXPECT_GT(fit.r_squared, 0.99999);
+  EXPECT_NEAR(fit.params.eta1, truth.eta1, 0.02);
+  EXPECT_NEAR(fit.params.eta2, truth.eta2, 0.02);
+  EXPECT_NEAR(fit.params.eta3, truth.eta3, 0.02);
+  EXPECT_NEAR(fit.params.eta4, truth.eta4, 0.2);
+}
+
+TEST(PtanhFitCurve, ToleratesNoise) {
+  const PtanhParams truth{0.0, 0.8, -0.1, 3.0};
+  pnc::util::Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i <= 80; ++i) {
+    const double v = -1.0 + 2.0 * i / 80.0;
+    x.push_back(v);
+    y.push_back(truth(v) + rng.normal(0.0, 0.01));
+  }
+  const PtanhFit fit = fit_ptanh_curve(x, y);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_NEAR(fit.params.eta3, truth.eta3, 0.05);
+}
+
+TEST(PtanhFitCurve, Validation) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {1.0};
+  EXPECT_THROW(fit_ptanh_curve(x, y), std::invalid_argument);
+  std::vector<double> tiny = {1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_ptanh_curve(tiny, tiny), std::invalid_argument);
+}
+
+TEST(PtanhExtract, SimulatedStageIsTanhLike) {
+  PtanhComponents q;  // nominal printable values
+  const PtanhExtraction ex = extract_ptanh(q, 41);
+  // The analytic form must explain the transistor-level curve well.
+  EXPECT_GT(ex.fit.r_squared, 0.98);
+  // The stage inverts: negative fitted swing.
+  EXPECT_LT(ex.fit.params.eta2, 0.0);
+  // Output stays within the rails.
+  for (double v : ex.outputs) {
+    EXPECT_GT(v, -1.01);
+    EXPECT_LT(v, 1.01);
+  }
+  // Monotone falling transfer.
+  for (std::size_t i = 1; i < ex.outputs.size(); ++i) {
+    EXPECT_LE(ex.outputs[i], ex.outputs[i - 1] + 1e-6);
+  }
+}
+
+TEST(PtanhExtract, GainGrowsWithDriverStrength) {
+  // Same monotonicity the behavioural fit_ptanh encodes: stronger T1 ->
+  // steeper transfer (larger |eta4 * eta2| product around the midpoint).
+  PtanhComponents weak;
+  weak.t1_scale = 0.6;
+  PtanhComponents strong;
+  strong.t1_scale = 2.0;
+  const auto ex_weak = extract_ptanh(weak, 41);
+  const auto ex_strong = extract_ptanh(strong, 41);
+  const double slope_weak = std::abs(ex_weak.fit.params.eta2 *
+                                     ex_weak.fit.params.eta4);
+  const double slope_strong = std::abs(ex_strong.fit.params.eta2 *
+                                       ex_strong.fit.params.eta4);
+  EXPECT_GT(slope_strong, slope_weak);
+}
+
+TEST(PtanhExtract, DividerShiftsMidpoint) {
+  // A weaker pull-down (larger R2) raises the gate bias, so T1 turns on
+  // at lower input voltages: the transition midpoint eta3 moves left.
+  PtanhComponents strong_divider;
+  strong_divider.r2 = 100e3;
+  PtanhComponents weak_divider;
+  weak_divider.r2 = 600e3;
+  const auto ex_strong = extract_ptanh(strong_divider, 41);
+  const auto ex_weak = extract_ptanh(weak_divider, 41);
+  EXPECT_LT(ex_weak.fit.params.eta3, ex_strong.fit.params.eta3);
+}
+
+TEST(PtanhExtract, Validation) {
+  PtanhComponents q;
+  EXPECT_THROW(extract_ptanh(q, 3), std::invalid_argument);
+  EXPECT_THROW(extract_ptanh(q, 10, 1.0, -1.0), std::invalid_argument);
+  q.r1 = -1.0;
+  EXPECT_THROW(build_ptanh_stage(q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc::circuit

@@ -1,0 +1,136 @@
+#include "pnc/core/adapt_pnc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::core {
+namespace {
+
+TEST(Topology, AdaptSizingRule) {
+  const PncTopology t = PncTopology::adapt(3, 0.01);
+  EXPECT_EQ(t.hidden, 9u);  // C^2
+  EXPECT_EQ(t.n_classes, 3u);
+  const PncTopology capped = PncTopology::adapt(6, 0.01, 12);
+  EXPECT_EQ(capped.hidden, 12u);
+}
+
+TEST(Topology, BaselineSizingRule) {
+  const PncTopology t = PncTopology::baseline(4, 0.01);
+  EXPECT_EQ(t.hidden, 4u);
+}
+
+TEST(AdaptPnc, ForwardShapeIsLogits) {
+  auto net = make_adapt_pnc(3, 0.01, 1);
+  util::Rng rng(0);
+  ad::Tensor inputs(5, 16);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+  ad::Graph g;
+  ad::Var logits =
+      net->forward(g, inputs, variation::VariationSpec::none(), rng);
+  EXPECT_EQ(g.value(logits).rows(), 5u);
+  EXPECT_EQ(g.value(logits).cols(), 3u);
+}
+
+TEST(AdaptPnc, DeterministicWithoutVariation) {
+  auto net = make_adapt_pnc(2, 0.01, 7);
+  util::Rng rng(0);
+  ad::Tensor inputs(3, 8);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+  const variation::VariationSpec clean = variation::VariationSpec::none();
+  util::Rng r1(1), r2(2);
+  const ad::Tensor a = net->predict(inputs, clean, r1);
+  const ad::Tensor b = net->predict(inputs, clean, r2);
+  EXPECT_DOUBLE_EQ(ad::max_abs_diff(a, b), 0.0);
+}
+
+TEST(AdaptPnc, VariationMakesOutputsStochastic) {
+  auto net = make_adapt_pnc(2, 0.01, 7);
+  util::Rng rng(0);
+  ad::Tensor inputs(2, 8);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+  const variation::VariationSpec spec = variation::VariationSpec::printing(0.1);
+  util::Rng r1(1), r2(2);
+  const ad::Tensor a = net->predict(inputs, spec, r1);
+  const ad::Tensor b = net->predict(inputs, spec, r2);
+  EXPECT_GT(ad::max_abs_diff(a, b), 1e-6);
+}
+
+TEST(AdaptPnc, RejectsDegenerateConfigs) {
+  EXPECT_THROW(PrintedTemporalNetwork("n", PncTopology::adapt(1, 0.01),
+                                      FilterOrder::kSecond, 0),
+               std::invalid_argument);
+  auto net = make_adapt_pnc(2, 0.01, 0);
+  util::Rng rng(0);
+  ad::Graph g;
+  EXPECT_THROW(
+      net->forward(g, ad::Tensor(2, 0), variation::VariationSpec::none(), rng),
+      std::invalid_argument);
+}
+
+TEST(AdaptPnc, ParameterInventory) {
+  auto net = make_adapt_pnc(2, 0.01, 3);
+  // 2 blocks x (2 crossbar + 4 filter + 4 ptanh) parameter tensors.
+  EXPECT_EQ(net->parameters().size(), 20u);
+  EXPECT_GT(net->parameter_count(), 0u);
+
+  auto baseline = make_baseline_ptpnc(2, 0.01, 3);
+  EXPECT_EQ(baseline->parameters().size(), 16u);  // first-order filters
+  // The ADAPT sizing (hidden = C^2) has more scalars than the baseline
+  // (hidden = C).
+  EXPECT_GT(net->parameter_count(), baseline->parameter_count());
+}
+
+TEST(AdaptPnc, FactoriesSetNamesAndOrders) {
+  auto adapt = make_adapt_pnc(3, 0.01, 0);
+  EXPECT_EQ(adapt->name(), "adapt_pnc");
+  EXPECT_EQ(adapt->order(), FilterOrder::kSecond);
+  EXPECT_EQ(adapt->num_classes(), 3);
+  auto base = make_baseline_ptpnc(3, 0.01, 0);
+  EXPECT_EQ(base->name(), "ptpnc_baseline");
+  EXPECT_EQ(base->order(), FilterOrder::kFirst);
+}
+
+TEST(AdaptPnc, HiddenCapBoundsLayerWidth) {
+  auto net = make_adapt_pnc(6, 0.01, 0, 10);
+  EXPECT_EQ(net->topology().hidden, 10u);
+  EXPECT_EQ(net->layer1().n_out(), 10u);
+  EXPECT_EQ(net->layer2().n_in(), 10u);
+}
+
+TEST(AdaptPnc, GradientsFlowToEveryParameter) {
+  auto net = make_adapt_pnc(2, 0.01, 5);
+  util::Rng rng(0);
+  ad::Tensor inputs(4, 10);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+  const std::vector<int> labels = {0, 1, 0, 1};
+
+  for (auto* p : net->parameters()) p->zero_grad();
+  ad::Graph g;
+  ad::Var logits =
+      net->forward(g, inputs, variation::VariationSpec::none(), rng);
+  g.backward(ad::softmax_cross_entropy(logits, labels));
+  for (const auto* p : net->parameters()) {
+    EXPECT_GT(p->grad.abs_max(), 0.0) << p->name;
+  }
+}
+
+TEST(AdaptPnc, LongerExposureImprovesSeparation) {
+  // The network is a temporal integrator: logits after seeing the whole
+  // series differ from logits after one step (state accumulates).
+  auto net = make_adapt_pnc(2, 0.01, 9);
+  util::Rng rng(0);
+  ad::Tensor inputs(1, 32);
+  for (std::size_t i = 0; i < 32; ++i) inputs(0, i) = 0.8;
+  const variation::VariationSpec clean = variation::VariationSpec::none();
+  ad::Tensor one_step(1, 1, 0.8);
+  util::Rng r1(0), r2(0);
+  const ad::Tensor logits_long = net->predict(inputs, clean, r1);
+  const ad::Tensor logits_short = net->predict(one_step, clean, r2);
+  EXPECT_GT(ad::max_abs_diff(logits_long, logits_short), 1e-4);
+}
+
+}  // namespace
+}  // namespace pnc::core

@@ -1,0 +1,180 @@
+#include "pnc/core/crossbar_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/autodiff/gradcheck.hpp"
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::core {
+namespace {
+
+TEST(CrossbarLayer, ForwardShape) {
+  util::Rng rng(1);
+  CrossbarLayer layer("x", 3, 4, rng);
+  ad::Graph g;
+  ad::Var x = g.constant(ad::Tensor(5, 3, 0.5));
+  ad::Var out = layer.forward(g, x, variation::VariationSpec::none(), rng);
+  EXPECT_EQ(g.value(out).rows(), 5u);
+  EXPECT_EQ(g.value(out).cols(), 4u);
+}
+
+TEST(CrossbarLayer, MatchesCircuitModel) {
+  // The autodiff forward must agree with the exported analog circuit —
+  // layer and hardware are two views of the same Eq. (1).
+  util::Rng rng(2);
+  CrossbarLayer layer("x", 3, 2, rng);
+  const std::vector<double> input = {0.4, -0.7, 0.2};
+
+  ad::Graph g;
+  ad::Tensor x(1, 3);
+  for (std::size_t i = 0; i < 3; ++i) x(0, i) = input[i];
+  ad::Var out = layer.forward(g, g.constant(x),
+                              variation::VariationSpec::none(), rng);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const circuit::CrossbarColumn col = layer.export_column(j, 1e6);
+    EXPECT_NEAR(g.value(out)(0, j), col.output(input), 1e-9) << "col " << j;
+  }
+}
+
+TEST(CrossbarLayer, WeightsMatchForward) {
+  util::Rng rng(3);
+  CrossbarLayer layer("x", 2, 3, rng);
+  const ad::Tensor w = layer.weights();
+  const ad::Tensor b = layer.bias();
+  ad::Graph g;
+  ad::Tensor x(1, 2, {0.3, -0.6});
+  ad::Var out = layer.forward(g, g.constant(x),
+                              variation::VariationSpec::none(), rng);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double expected = x(0, 0) * w(0, j) + x(0, 1) * w(1, j) + b(0, j);
+    EXPECT_NEAR(g.value(out)(0, j), expected, 1e-12);
+  }
+}
+
+TEST(CrossbarLayer, WeightMagnitudesBelowOne) {
+  // Physical constraint of Eq. (1): |w| and |b| are conductance ratios.
+  util::Rng rng(4);
+  CrossbarLayer layer("x", 6, 5, rng);
+  const ad::Tensor w = layer.weights();
+  for (std::size_t j = 0; j < 5; ++j) {
+    double sum = std::abs(layer.bias()(0, j));
+    for (std::size_t i = 0; i < 6; ++i) sum += std::abs(w(i, j));
+    EXPECT_LT(sum, 1.0);
+  }
+}
+
+TEST(CrossbarLayer, GradientsCorrect) {
+  util::Rng rng(5);
+  CrossbarLayer layer("x", 3, 2, rng);
+  ad::Tensor x(4, 3);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+
+  auto loss_fn = [&](ad::Graph& g) {
+    util::Rng inner(0);
+    ad::Var out = layer.forward(g, g.constant(x),
+                                variation::VariationSpec::none(), inner);
+    ad::Var loss = ad::mean_all(ad::square(out));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = ad::check_gradients(loss_fn, layer.parameters());
+  EXPECT_TRUE(result.passed) << "abs " << result.max_abs_error;
+}
+
+TEST(CrossbarLayer, VariationPerturbsOutput) {
+  util::Rng rng(6);
+  CrossbarLayer layer("x", 2, 2, rng);
+  ad::Tensor x(1, 2, {0.5, -0.5});
+  const variation::VariationSpec spec = variation::VariationSpec::printing(0.1);
+
+  ad::Graph g0;
+  util::Rng r0(7);
+  const double clean = g0.value(layer.forward(
+      g0, g0.constant(x), variation::VariationSpec::none(), r0))(0, 0);
+
+  double max_dev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    ad::Graph g;
+    util::Rng ri(100 + i);
+    const double v =
+        g.value(layer.forward(g, g.constant(x), spec, ri))(0, 0);
+    max_dev = std::max(max_dev, std::abs(v - clean));
+  }
+  EXPECT_GT(max_dev, 1e-4);
+  EXPECT_LT(max_dev, 0.3);
+}
+
+TEST(CrossbarLayer, VariationPreservesWeightSigns) {
+  // ε > 0 multiplies conductances; the inverter assignment cannot flip, so
+  // every realized weight keeps the sign of its nominal θ.
+  util::Rng rng(8);
+  CrossbarLayer layer("x", 3, 2, rng);
+  const ad::Tensor nominal = layer.weights();
+  const variation::VariationSpec spec = variation::VariationSpec::printing(0.1);
+  for (int i = 0; i < 20; ++i) {
+    ad::Graph g;
+    util::Rng ri(i);
+    const CrossbarLayer::Pass pass = layer.begin(g, spec, ri);
+    const ad::Tensor& realized = g.value(pass.weights);
+    for (std::size_t k = 0; k < nominal.size(); ++k) {
+      EXPECT_GT(realized.data()[k] * nominal.data()[k], 0.0);
+    }
+  }
+}
+
+TEST(CrossbarLayer, PassReusesOneRealization) {
+  // Applying the same pass twice must use identical perturbed weights.
+  util::Rng rng(13);
+  CrossbarLayer layer("x", 2, 2, rng);
+  const variation::VariationSpec spec = variation::VariationSpec::printing(0.1);
+  ad::Graph g;
+  util::Rng ri(99);
+  const CrossbarLayer::Pass pass = layer.begin(g, spec, ri);
+  ad::Var x = g.constant(ad::Tensor(1, 2, {0.5, 0.5}));
+  ad::Var a = layer.apply(g, pass, x);
+  ad::Var b = layer.apply(g, pass, x);
+  EXPECT_DOUBLE_EQ(ad::max_abs_diff(g.value(a), g.value(b)), 0.0);
+}
+
+TEST(CrossbarLayer, ClampKeepsPrintableWindow) {
+  util::Rng rng(9);
+  CrossbarLayer layer("x", 2, 2, rng);
+  // Push parameters out of range manually, as an optimizer might.
+  auto params = layer.parameters();
+  params[0]->value(0, 0) = 100.0;
+  params[0]->value(0, 1) = -1e-6;
+  layer.clamp_printable();
+  EXPECT_DOUBLE_EQ(params[0]->value(0, 0), CrossbarLayer::kThetaMax);
+  EXPECT_DOUBLE_EQ(params[0]->value(0, 1), -CrossbarLayer::kThetaMin);
+}
+
+TEST(CrossbarLayer, ExportColumnValidation) {
+  util::Rng rng(10);
+  CrossbarLayer layer("x", 2, 2, rng);
+  EXPECT_THROW(layer.export_column(2, 1e6), std::out_of_range);
+  EXPECT_THROW(layer.export_column(0, 0.0), std::invalid_argument);
+}
+
+TEST(CrossbarLayer, InverterCountMatchesNegativeThetas) {
+  util::Rng rng(11);
+  CrossbarLayer layer("x", 4, 3, rng);
+  std::size_t negatives = 0;
+  for (double v : layer.parameters()[0]->value.data()) {
+    if (v < 0.0) ++negatives;
+  }
+  for (double v : layer.parameters()[1]->value.data()) {
+    if (v < 0.0) ++negatives;
+  }
+  EXPECT_EQ(layer.inverter_count(), negatives);
+}
+
+TEST(CrossbarLayer, ZeroDimensionRejected) {
+  util::Rng rng(12);
+  EXPECT_THROW(CrossbarLayer("x", 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(CrossbarLayer("x", 2, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc::core

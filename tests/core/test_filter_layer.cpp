@@ -1,0 +1,186 @@
+#include "pnc/core/filter_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/autodiff/gradcheck.hpp"
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::core {
+namespace {
+
+constexpr double kDt = 0.01;
+
+TEST(FilterLayer, ConstructionValidation) {
+  util::Rng rng(1);
+  EXPECT_THROW(FilterLayer("f", 0, FilterOrder::kFirst, kDt, rng),
+               std::invalid_argument);
+  EXPECT_THROW(FilterLayer("f", 2, FilterOrder::kFirst, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(FilterLayer, ParameterCountByOrder) {
+  util::Rng rng(2);
+  FilterLayer first("f", 3, FilterOrder::kFirst, kDt, rng);
+  FilterLayer second("f", 3, FilterOrder::kSecond, kDt, rng);
+  EXPECT_EQ(first.parameters().size(), 2u);   // log R1, log C1
+  EXPECT_EQ(second.parameters().size(), 4u);  // + log R2, log C2
+}
+
+TEST(FilterLayer, InitialComponentsPrintable) {
+  util::Rng rng(3);
+  FilterLayer f("f", 8, FilterOrder::kSecond, kDt, rng);
+  for (std::size_t stage = 0; stage < 2; ++stage) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_GE(f.resistance(stage, j), FilterLayer::kResistanceMin);
+      EXPECT_LE(f.resistance(stage, j), FilterLayer::kResistanceMax);
+      EXPECT_GE(f.capacitance(stage, j), FilterLayer::kCapacitanceMin);
+      EXPECT_LE(f.capacitance(stage, j), FilterLayer::kCapacitanceMax);
+    }
+  }
+}
+
+TEST(FilterLayer, NominalPoleInUsefulRange) {
+  util::Rng rng(4);
+  FilterLayer f("f", 16, FilterOrder::kFirst, kDt, rng);
+  for (std::size_t j = 0; j < 16; ++j) {
+    const double a = f.nominal_pole(0, j);
+    EXPECT_GT(a, 0.1);
+    EXPECT_LT(a, 0.95);
+  }
+}
+
+TEST(FilterLayer, StepMatchesRecursionFirstOrder) {
+  util::Rng rng(5);
+  FilterLayer f("f", 2, FilterOrder::kFirst, kDt, rng);
+  ad::Graph g;
+  util::Rng ri(0);
+  auto pass = f.begin(g, 1, variation::VariationSpec::none(), ri);
+  ad::Var x = g.constant(ad::Tensor(1, 2, {1.0, -1.0}));
+
+  // Manual recursion with the nominal pole (mu = 1, v0 = 0).
+  double h0 = 0.0, h1 = 0.0;
+  for (int k = 0; k < 10; ++k) {
+    ad::Var out = f.step(g, pass, x);
+    const double a0 = f.nominal_pole(0, 0);
+    const double a1 = f.nominal_pole(0, 1);
+    h0 = a0 * h0 + (1.0 - a0) * 1.0;
+    h1 = a1 * h1 + (1.0 - a1) * -1.0;
+    EXPECT_NEAR(g.value(out)(0, 0), h0, 1e-9) << "step " << k;
+    EXPECT_NEAR(g.value(out)(0, 1), h1, 1e-9) << "step " << k;
+  }
+}
+
+TEST(FilterLayer, StepResponseConvergesToInput) {
+  // With mu = 1 the DC gain is exactly 1: a + b = 1.
+  util::Rng rng(6);
+  FilterLayer f("f", 4, FilterOrder::kSecond, kDt, rng);
+  ad::Graph g;
+  util::Rng ri(0);
+  auto pass = f.begin(g, 1, variation::VariationSpec::none(), ri);
+  ad::Var x = g.constant(ad::Tensor(1, 4, 0.7));
+  ad::Var out;
+  for (int k = 0; k < 2000; ++k) out = f.step(g, pass, x);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(g.value(out)(0, j), 0.7, 1e-3);
+  }
+}
+
+TEST(FilterLayer, CouplingReducesDcGain) {
+  // mu > 1 makes the filter leaky: steady state < input.
+  util::Rng rng(7);
+  FilterLayer f("f", 1, FilterOrder::kFirst, kDt, rng);
+  variation::VariationSpec spec = variation::VariationSpec::none();
+  spec.mu_min = spec.mu_max = 1.3;
+  ad::Graph g;
+  util::Rng ri(0);
+  auto pass = f.begin(g, 1, spec, ri);
+  ad::Var x = g.constant(ad::Tensor(1, 1, 1.0));
+  ad::Var out;
+  for (int k = 0; k < 3000; ++k) out = f.step(g, pass, x);
+  const double steady = g.value(out)(0, 0);
+  EXPECT_LT(steady, 0.999);
+  EXPECT_GT(steady, 0.5);
+}
+
+TEST(FilterLayer, SecondOrderLagsFirstOrder) {
+  // Same R, C in both stages: the cascade responds slower at first.
+  util::Rng rng(8);
+  FilterLayer f("f", 1, FilterOrder::kSecond, kDt, rng);
+  ad::Graph g;
+  util::Rng ri(0);
+  auto pass = f.begin(g, 1, variation::VariationSpec::none(), ri);
+  ad::Var x = g.constant(ad::Tensor(1, 1, 1.0));
+  for (int k = 0; k < 3; ++k) {
+    ad::Var out = f.step(g, pass, x);
+    // h2 (output) is behind h1 (intermediate).
+    EXPECT_LT(g.value(out)(0, 0), g.value(pass.h1)(0, 0));
+  }
+}
+
+TEST(FilterLayer, V0InitializesState) {
+  util::Rng rng(9);
+  FilterLayer f("f", 2, FilterOrder::kFirst, kDt, rng);
+  variation::VariationSpec spec = variation::VariationSpec::none();
+  spec.v0_min = spec.v0_max = 0.25;
+  ad::Graph g;
+  util::Rng ri(0);
+  auto pass = f.begin(g, 3, spec, ri);
+  const ad::Tensor& h = g.value(pass.h1);
+  for (double v : h.data()) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(FilterLayer, GradientsThroughRecurrence) {
+  util::Rng rng(10);
+  FilterLayer f("f", 2, FilterOrder::kSecond, kDt, rng);
+  ad::Tensor x(3, 2);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+
+  auto loss_fn = [&](ad::Graph& g) {
+    util::Rng inner(0);
+    auto pass = f.begin(g, 3, variation::VariationSpec::none(), inner);
+    ad::Var input = g.constant(x);
+    ad::Var out;
+    for (int k = 0; k < 8; ++k) out = f.step(g, pass, input);
+    ad::Var loss = ad::mean_all(ad::square(out));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = ad::check_gradients(loss_fn, f.parameters(), 1e-6, 1e-4);
+  EXPECT_TRUE(result.passed) << "abs " << result.max_abs_error;
+}
+
+TEST(FilterLayer, ClampRestoresPrintableWindow) {
+  util::Rng rng(11);
+  FilterLayer f("f", 1, FilterOrder::kSecond, kDt, rng);
+  auto params = f.parameters();
+  params[0]->value(0, 0) = std::log(1e9);   // absurd resistance
+  params[1]->value(0, 0) = std::log(1e-12); // absurd capacitance
+  f.clamp_printable();
+  EXPECT_NEAR(f.resistance(0, 0), FilterLayer::kResistanceMax, 1e-6);
+  EXPECT_NEAR(f.capacitance(0, 0), FilterLayer::kCapacitanceMin, 1e-15);
+}
+
+TEST(FilterLayer, VariationChangesDynamics) {
+  util::Rng rng(12);
+  FilterLayer f("f", 1, FilterOrder::kFirst, kDt, rng);
+  const variation::VariationSpec spec = variation::VariationSpec::printing(0.1);
+  ad::Graph g;
+  util::Rng r1(1), r2(2);
+  auto p1 = f.begin(g, 1, spec, r1);
+  auto p2 = f.begin(g, 1, spec, r2);
+  EXPECT_NE(g.value(p1.a1)(0, 0), g.value(p2.a1)(0, 0));
+}
+
+TEST(FilterLayer, StageAccessorValidation) {
+  util::Rng rng(13);
+  FilterLayer first("f", 1, FilterOrder::kFirst, kDt, rng);
+  EXPECT_THROW(first.resistance(1, 0), std::out_of_range);
+  FilterLayer second("f", 1, FilterOrder::kSecond, kDt, rng);
+  EXPECT_NO_THROW(second.resistance(1, 0));
+  EXPECT_THROW(second.resistance(2, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pnc::core

@@ -1,0 +1,143 @@
+// Property sweeps over the learnable filter bank: invariants that must
+// hold for every order, sampling period and channel count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/autodiff/gradcheck.hpp"
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/core/filter_layer.hpp"
+
+namespace pnc::core {
+namespace {
+
+struct FilterCase {
+  FilterOrder order;
+  double dt;
+  std::size_t channels;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<FilterCase>& info) {
+  const auto& c = info.param;
+  return std::string(c.order == FilterOrder::kFirst ? "first" : "second") +
+         "_dt" + std::to_string(static_cast<int>(c.dt * 1000)) + "ms_ch" +
+         std::to_string(c.channels) + "_s" + std::to_string(c.seed);
+}
+
+std::vector<FilterCase> all_cases() {
+  std::vector<FilterCase> cases;
+  for (const FilterOrder order :
+       {FilterOrder::kFirst, FilterOrder::kSecond}) {
+    for (const double dt : {0.01, 0.1, 1.0}) {
+      for (const std::size_t channels : {1u, 3u, 8u}) {
+        cases.push_back({order, dt, channels, channels * 31 + 7});
+      }
+    }
+  }
+  return cases;
+}
+
+class FilterProperties : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(FilterProperties, ComponentsAlwaysPrintable) {
+  const FilterCase& c = GetParam();
+  util::Rng rng(c.seed);
+  FilterLayer f("f", c.channels, c.order, c.dt, rng);
+  const auto stages = static_cast<std::size_t>(c.order);
+  // Tolerance: values round-trip through log space (exp(log(x))).
+  constexpr double kTol = 1.0 + 1e-9;
+  for (std::size_t stage = 0; stage < stages; ++stage) {
+    for (std::size_t j = 0; j < c.channels; ++j) {
+      EXPECT_GE(f.resistance(stage, j), FilterLayer::kResistanceMin / kTol);
+      EXPECT_LE(f.resistance(stage, j), FilterLayer::kResistanceMax * kTol);
+      EXPECT_GE(f.capacitance(stage, j), FilterLayer::kCapacitanceMin / kTol);
+      EXPECT_LE(f.capacitance(stage, j), FilterLayer::kCapacitanceMax * kTol);
+    }
+  }
+}
+
+TEST_P(FilterProperties, OutputBoundedByInputEnvelope) {
+  // A passive RC network can never exceed the input envelope (mu >= 1
+  // only leaks). Drive with a bounded random sequence and check.
+  const FilterCase& c = GetParam();
+  util::Rng rng(c.seed);
+  FilterLayer f("f", c.channels, c.order, c.dt, rng);
+  ad::Graph g;
+  util::Rng ri(1);
+  auto pass = f.begin(g, 2, variation::VariationSpec::printing(0.1), ri);
+  for (int k = 0; k < 40; ++k) {
+    ad::Tensor x(2, c.channels);
+    for (auto& v : x.data()) v = ri.uniform(-1.0, 1.0);
+    ad::Var out = f.step(g, pass, g.constant(x));
+    for (double v : g.value(out).data()) {
+      EXPECT_LE(std::abs(v), 1.0 + 0.06);  // + |V0| slack
+    }
+  }
+}
+
+TEST_P(FilterProperties, DcGainNeverExceedsUnity) {
+  const FilterCase& c = GetParam();
+  util::Rng rng(c.seed);
+  FilterLayer f("f", c.channels, c.order, c.dt, rng);
+  variation::VariationSpec spec = variation::VariationSpec::none();
+  spec.mu_min = 1.0;
+  spec.mu_max = 1.3;
+  ad::Graph g;
+  util::Rng ri(2);
+  auto pass = f.begin(g, 1, spec, ri);
+  ad::Var x = g.constant(ad::Tensor(1, c.channels, 1.0));
+  ad::Var out;
+  for (int k = 0; k < 4000; ++k) out = f.step(g, pass, x);
+  for (double v : g.value(out).data()) {
+    EXPECT_LE(v, 1.0 + 1e-9);
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST_P(FilterProperties, GradientsCorrect) {
+  const FilterCase& c = GetParam();
+  util::Rng rng(c.seed);
+  FilterLayer f("f", c.channels, c.order, c.dt, rng);
+  ad::Tensor x(2, c.channels);
+  util::Rng xr(3);
+  for (auto& v : x.data()) v = xr.uniform(-1.0, 1.0);
+  auto loss_fn = [&](ad::Graph& g) {
+    util::Rng inner(0);
+    auto pass = f.begin(g, 2, variation::VariationSpec::none(), inner);
+    ad::Var input = g.constant(x);
+    ad::Var out;
+    for (int k = 0; k < 5; ++k) out = f.step(g, pass, input);
+    ad::Var loss = ad::mean_all(ad::square(out));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = ad::check_gradients(loss_fn, f.parameters(), 1e-6, 3e-4);
+  EXPECT_TRUE(result.passed) << "abs " << result.max_abs_error;
+}
+
+TEST_P(FilterProperties, StateResetsEachPass) {
+  const FilterCase& c = GetParam();
+  util::Rng rng(c.seed);
+  FilterLayer f("f", c.channels, c.order, c.dt, rng);
+  ad::Graph g;
+  util::Rng ri(4);
+  auto run_once = [&]() {
+    util::Rng local(9);
+    auto pass = f.begin(g, 1, variation::VariationSpec::none(), local);
+    ad::Var x = g.constant(ad::Tensor(1, c.channels, 0.8));
+    ad::Var out;
+    for (int k = 0; k < 3; ++k) out = f.step(g, pass, x);
+    return g.value(out);
+  };
+  const ad::Tensor a = run_once();
+  const ad::Tensor b = run_once();
+  EXPECT_DOUBLE_EQ(ad::max_abs_diff(a, b), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FilterProperties,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace pnc::core

@@ -1,0 +1,130 @@
+#include "pnc/core/ptanh_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/autodiff/gradcheck.hpp"
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::core {
+namespace {
+
+TEST(PtanhLayer, ForwardMatchesCircuitTransfer) {
+  util::Rng rng(1);
+  PtanhLayer layer("a", 3, rng);
+  ad::Graph g;
+  ad::Tensor x(1, 3, {-0.5, 0.0, 0.8});
+  ad::Var out = layer.forward(g, g.constant(x),
+                              variation::VariationSpec::none(), rng);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const circuit::PtanhParams eta = layer.params_of(j);
+    EXPECT_NEAR(g.value(out)(0, j), eta(x(0, j)), 1e-12);
+  }
+}
+
+TEST(PtanhLayer, OutputBoundedBySupply) {
+  // eta1 +/- eta2 stays within the +/-1 V rails for printable etas.
+  util::Rng rng(2);
+  PtanhLayer layer("a", 8, rng);
+  ad::Graph g;
+  ad::Tensor x(1, 8, 100.0);  // deep saturation
+  ad::Var hi = layer.forward(g, g.constant(x),
+                             variation::VariationSpec::none(), rng);
+  ad::Tensor xl(1, 8, -100.0);
+  ad::Var lo = layer.forward(g, g.constant(xl),
+                             variation::VariationSpec::none(), rng);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_LE(g.value(hi)(0, j), 1.5);
+    EXPECT_GE(g.value(lo)(0, j), -1.5);
+  }
+}
+
+TEST(PtanhLayer, MonotoneInInput) {
+  util::Rng rng(3);
+  PtanhLayer layer("a", 1, rng);
+  ad::Graph g;
+  double prev = -1e9;
+  for (double v = -1.0; v <= 1.0; v += 0.1) {
+    ad::Tensor x(1, 1, v);
+    ad::Var out = layer.forward(g, g.constant(x),
+                                variation::VariationSpec::none(), rng);
+    EXPECT_GT(g.value(out)(0, 0), prev);
+    prev = g.value(out)(0, 0);
+  }
+}
+
+TEST(PtanhLayer, GradientsCorrect) {
+  util::Rng rng(4);
+  PtanhLayer layer("a", 2, rng);
+  ad::Tensor x(3, 2);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  auto loss_fn = [&](ad::Graph& g) {
+    util::Rng inner(0);
+    ad::Var out = layer.forward(g, g.constant(x),
+                                variation::VariationSpec::none(), inner);
+    ad::Var loss = ad::mean_all(ad::square(out));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = ad::check_gradients(loss_fn, layer.parameters());
+  EXPECT_TRUE(result.passed) << "abs " << result.max_abs_error;
+}
+
+TEST(PtanhLayer, FourParameterRowsPerLayer) {
+  util::Rng rng(5);
+  PtanhLayer layer("a", 7, rng);
+  const auto params = layer.parameters();
+  ASSERT_EQ(params.size(), 4u);
+  for (const auto* p : params) {
+    EXPECT_EQ(p->value.rows(), 1u);
+    EXPECT_EQ(p->value.cols(), 7u);
+  }
+}
+
+TEST(PtanhLayer, ClampRestoresRealizableEtas) {
+  util::Rng rng(6);
+  PtanhLayer layer("a", 1, rng);
+  auto params = layer.parameters();
+  params[1]->value(0, 0) = 50.0;   // eta2 far above printable swing
+  params[3]->value(0, 0) = -3.0;   // negative gain is unrealizable
+  layer.clamp_printable();
+  EXPECT_LE(params[1]->value(0, 0), 1.0);
+  EXPECT_GE(params[3]->value(0, 0), 0.5);
+}
+
+TEST(PtanhLayer, VariationPerturbsCurve) {
+  util::Rng rng(7);
+  PtanhLayer layer("a", 1, rng);
+  const variation::VariationSpec spec = variation::VariationSpec::printing(0.1);
+  ad::Graph g;
+  ad::Tensor x(1, 1, 0.2);
+  util::Rng r1(1);
+  ad::Var clean = layer.forward(g, g.constant(x),
+                                variation::VariationSpec::none(), r1);
+  double max_dev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    util::Rng ri(200 + i);
+    ad::Var noisy = layer.forward(g, g.constant(x), spec, ri);
+    max_dev = std::max(max_dev,
+                       std::abs(g.value(noisy)(0, 0) - g.value(clean)(0, 0)));
+  }
+  EXPECT_GT(max_dev, 1e-4);
+}
+
+TEST(PtanhLayer, InitDerivedFromPrintableComponents) {
+  // eta initialization must come out of the circuit-level fit: positive
+  // swing and gain, offset near the EGT threshold region.
+  util::Rng rng(8);
+  PtanhLayer layer("a", 16, rng);
+  for (std::size_t j = 0; j < 16; ++j) {
+    const circuit::PtanhParams eta = layer.params_of(j);
+    EXPECT_GT(eta.eta2, 0.0);
+    EXPECT_GT(eta.eta4, 0.0);
+    EXPECT_GT(eta.eta3, 0.0);
+    EXPECT_LT(eta.eta3, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace pnc::core

@@ -1,0 +1,117 @@
+#include "pnc/core/ptpb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnc/autodiff/gradcheck.hpp"
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::core {
+namespace {
+
+constexpr double kDt = 0.01;
+
+TEST(Ptpb, StepShape) {
+  util::Rng rng(1);
+  PtpbLayer block("b", 3, 5, FilterOrder::kSecond, kDt, rng);
+  ad::Graph g;
+  util::Rng ri(0);
+  auto pass = block.begin(g, 4, variation::VariationSpec::none(), ri);
+  ad::Var x = g.constant(ad::Tensor(4, 3, 0.2));
+  ad::Var y = block.step(g, pass, x);
+  EXPECT_EQ(g.value(y).rows(), 4u);
+  EXPECT_EQ(g.value(y).cols(), 5u);
+}
+
+TEST(Ptpb, ParameterAggregation) {
+  util::Rng rng(2);
+  PtpbLayer second("b", 2, 3, FilterOrder::kSecond, kDt, rng);
+  // crossbar: theta + theta_b (2), filter: 4 logs, ptanh: 4 etas.
+  EXPECT_EQ(second.parameters().size(), 10u);
+  PtpbLayer first("b", 2, 3, FilterOrder::kFirst, kDt, rng);
+  EXPECT_EQ(first.parameters().size(), 8u);
+}
+
+TEST(Ptpb, OutputsBoundedByActivation) {
+  util::Rng rng(3);
+  PtpbLayer block("b", 1, 2, FilterOrder::kSecond, kDt, rng);
+  ad::Graph g;
+  util::Rng ri(0);
+  auto pass = block.begin(g, 1, variation::VariationSpec::none(), ri);
+  ad::Var x = g.constant(ad::Tensor(1, 1, 1.0));
+  for (int k = 0; k < 100; ++k) {
+    ad::Var y = block.step(g, pass, x);
+    for (double v : g.value(y).data()) {
+      EXPECT_LT(std::abs(v), 1.5);  // inside printable rails
+    }
+  }
+}
+
+TEST(Ptpb, TemporalMemory) {
+  // After a strong input pulse, the block's output must differ from its
+  // pre-pulse value for several steps: the filters retain state.
+  util::Rng rng(4);
+  PtpbLayer block("b", 1, 1, FilterOrder::kSecond, kDt, rng);
+  ad::Graph g;
+  util::Rng ri(0);
+  auto pass = block.begin(g, 1, variation::VariationSpec::none(), ri);
+  ad::Var zero = g.constant(ad::Tensor(1, 1, 0.0));
+  ad::Var one = g.constant(ad::Tensor(1, 1, 1.0));
+
+  ad::Var y = block.step(g, pass, zero);
+  const double rest = g.value(y)(0, 0);
+  for (int k = 0; k < 5; ++k) y = block.step(g, pass, one);  // pulse
+  double deviation = 0.0;
+  for (int k = 0; k < 5; ++k) {
+    y = block.step(g, pass, zero);  // input removed
+    deviation = std::max(deviation, std::abs(g.value(y)(0, 0) - rest));
+  }
+  EXPECT_GT(deviation, 1e-3);
+}
+
+TEST(Ptpb, EndToEndGradients) {
+  util::Rng rng(5);
+  PtpbLayer block("b", 2, 2, FilterOrder::kSecond, kDt, rng);
+  ad::Tensor x(2, 2);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+
+  auto loss_fn = [&](ad::Graph& g) {
+    util::Rng inner(0);
+    auto pass = block.begin(g, 2, variation::VariationSpec::none(), inner);
+    ad::Var input = g.constant(x);
+    ad::Var out;
+    for (int k = 0; k < 6; ++k) out = block.step(g, pass, input);
+    ad::Var loss = ad::mean_all(ad::square(out));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result =
+      ad::check_gradients(loss_fn, block.parameters(), 1e-6, 2e-4);
+  EXPECT_TRUE(result.passed) << "abs " << result.max_abs_error << " rel "
+                             << result.max_rel_error;
+}
+
+TEST(Ptpb, ClampAppliesToAllStages) {
+  util::Rng rng(6);
+  PtpbLayer block("b", 1, 1, FilterOrder::kSecond, kDt, rng);
+  for (auto* p : block.parameters()) {
+    for (auto& v : p->value.data()) v = 1e6;
+  }
+  block.clamp_printable();
+  for (auto* p : block.parameters()) {
+    for (double v : p->value.data()) EXPECT_LT(v, 100.0);
+  }
+}
+
+TEST(Ptpb, AccessorsExposeSubcircuits) {
+  util::Rng rng(7);
+  PtpbLayer block("b", 3, 4, FilterOrder::kFirst, kDt, rng);
+  EXPECT_EQ(block.n_in(), 3u);
+  EXPECT_EQ(block.n_out(), 4u);
+  EXPECT_EQ(block.order(), FilterOrder::kFirst);
+  EXPECT_EQ(block.crossbar().n_in(), 3u);
+  EXPECT_EQ(block.filters().channels(), 4u);
+  EXPECT_EQ(block.activation().size(), 4u);
+}
+
+}  // namespace
+}  // namespace pnc::core

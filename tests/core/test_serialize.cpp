@@ -1,0 +1,122 @@
+#include "pnc/core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+
+namespace pnc::core {
+namespace {
+
+ad::Tensor probe_inputs() {
+  util::Rng rng(0);
+  ad::Tensor inputs(3, 16);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+  return inputs;
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  auto a = make_adapt_pnc(3, 0.01, 7);
+  auto b = make_adapt_pnc(3, 0.01, 99);  // different init
+
+  std::stringstream stream;
+  write_parameters(*a, stream);
+  read_parameters(*b, stream);
+
+  util::Rng rng(0);
+  const ad::Tensor inputs = probe_inputs();
+  const variation::VariationSpec clean = variation::VariationSpec::none();
+  EXPECT_DOUBLE_EQ(ad::max_abs_diff(a->predict(inputs, clean, rng),
+                                    b->predict(inputs, clean, rng)),
+                   0.0);
+}
+
+TEST(Serialize, RoundTripExactValues) {
+  auto a = make_baseline_ptpnc(2, 0.01, 1);
+  auto b = make_baseline_ptpnc(2, 0.01, 2);
+  std::stringstream stream;
+  write_parameters(*a, stream);
+  read_parameters(*b, stream);
+  const auto pa = a->parameters();
+  const auto pb = b->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ad::max_abs_diff(pa[i]->value, pb[i]->value), 0.0)
+        << pa[i]->name;
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = "/tmp/pnc_checkpoint_test.txt";
+  auto a = make_adapt_pnc(2, 0.01, 3);
+  save_parameters(*a, path);
+  auto b = make_adapt_pnc(2, 0.01, 4);
+  load_parameters(*b, path);
+  util::Rng rng(0);
+  const variation::VariationSpec clean = variation::VariationSpec::none();
+  const ad::Tensor inputs = probe_inputs();
+  EXPECT_DOUBLE_EQ(ad::max_abs_diff(a->predict(inputs, clean, rng),
+                                    b->predict(inputs, clean, rng)),
+                   0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  auto model = make_adapt_pnc(2, 0.01, 1);
+  std::stringstream stream("not-a-checkpoint v9\n");
+  EXPECT_THROW(read_parameters(*model, stream), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTopologyMismatch) {
+  auto small = make_adapt_pnc(2, 0.01, 1);
+  auto large = make_adapt_pnc(3, 0.01, 1);
+  std::stringstream stream;
+  write_parameters(*small, stream);
+  // Same parameter count (20 tensors) but different shapes: must throw.
+  EXPECT_THROW(read_parameters(*large, stream), std::runtime_error);
+}
+
+TEST(Serialize, RejectsOrderMismatch) {
+  auto adapt = make_adapt_pnc(2, 0.01, 1);
+  auto base = make_baseline_ptpnc(2, 0.01, 1);
+  std::stringstream stream;
+  write_parameters(*base, stream);  // 16 tensors vs adapt's 20
+  EXPECT_THROW(read_parameters(*adapt, stream), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  auto a = make_adapt_pnc(2, 0.01, 1);
+  std::stringstream stream;
+  write_parameters(*a, stream);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  auto b = make_adapt_pnc(2, 0.01, 2);
+  EXPECT_THROW(read_parameters(*b, truncated), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  auto model = make_adapt_pnc(2, 0.01, 1);
+  EXPECT_THROW(load_parameters(*model, "/nonexistent/dir/ckpt.txt"),
+               std::runtime_error);
+  EXPECT_THROW(save_parameters(*model, "/nonexistent/dir/ckpt.txt"),
+               std::runtime_error);
+}
+
+TEST(Serialize, LoadedModelResumesTrainingCleanly) {
+  // Grads must be zeroed on load so the next backward starts fresh.
+  auto a = make_adapt_pnc(2, 0.01, 1);
+  for (auto* p : a->parameters()) p->grad.fill(123.0);
+  std::stringstream stream;
+  write_parameters(*a, stream);
+  read_parameters(*a, stream);
+  for (const auto* p : a->parameters()) {
+    EXPECT_DOUBLE_EQ(p->grad.abs_max(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pnc::core

@@ -1,0 +1,95 @@
+#include "pnc/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pnc::data {
+namespace {
+
+TEST(DatasetRegistry, HasFifteenBenchmarks) {
+  EXPECT_EQ(benchmark_specs().size(), 15u);
+}
+
+TEST(DatasetRegistry, NamesMatchTableOne) {
+  const std::vector<std::string> expected = {
+      "CBF",  "DPTW",      "FRT",  "FST",    "GPAS",
+      "GPMVF", "GPOVY",    "MPOAG", "MSRT",  "PowerCons",
+      "PPOC", "SRSCP2",    "Slope", "SmoothS", "Symbols"};
+  ASSERT_EQ(benchmark_specs().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(benchmark_specs()[i].name, expected[i]);
+  }
+}
+
+TEST(DatasetRegistry, SpecLookup) {
+  EXPECT_EQ(spec_by_name("Symbols").num_classes, 6);
+  EXPECT_EQ(spec_by_name("CBF").num_classes, 3);
+  EXPECT_EQ(spec_by_name("MSRT").num_classes, 5);
+  EXPECT_THROW(spec_by_name("bogus"), std::out_of_range);
+}
+
+TEST(DatasetRegistry, FstIsSmallTrainVariant) {
+  EXPECT_LT(spec_by_name("FST").total_series,
+            spec_by_name("FRT").total_series);
+}
+
+TEST(MakeDataset, ShapesFollowProtocol) {
+  const Dataset ds = make_dataset("CBF", 42);
+  EXPECT_EQ(ds.length, 64u);
+  EXPECT_EQ(ds.num_classes, 3);
+  EXPECT_EQ(ds.train.length(), 64u);
+  // 60/20/20 split of 240 series.
+  EXPECT_EQ(ds.train.size(), 144u);
+  EXPECT_EQ(ds.validation.size(), 48u);
+  EXPECT_EQ(ds.test.size(), 48u);
+}
+
+TEST(MakeDataset, ValuesNormalizedToMinusOneOne) {
+  const Dataset ds = make_dataset("PowerCons", 1);
+  double lo = 1e9, hi = -1e9;
+  for (const auto* split : {&ds.train, &ds.validation, &ds.test}) {
+    for (double v : split->inputs.data()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  EXPECT_GE(lo, -1.0 - 1e-9);
+  EXPECT_LE(hi, 1.0 + 1e-9);
+  EXPECT_NEAR(lo, -1.0, 1e-9);  // the global extrema are attained
+  EXPECT_NEAR(hi, 1.0, 1e-9);
+}
+
+TEST(MakeDataset, DeterministicForSeed) {
+  const Dataset a = make_dataset("Slope", 7);
+  const Dataset b = make_dataset("Slope", 7);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  EXPECT_DOUBLE_EQ(ad::max_abs_diff(a.train.inputs, b.train.inputs), 0.0);
+}
+
+TEST(MakeDataset, DifferentSeedsDiffer) {
+  const Dataset a = make_dataset("Slope", 1);
+  const Dataset b = make_dataset("Slope", 2);
+  EXPECT_GT(ad::max_abs_diff(a.train.inputs, b.train.inputs), 0.0);
+}
+
+TEST(MakeDataset, AllClassesPresentInEverySplit) {
+  const Dataset ds = make_dataset("Symbols", 3);
+  for (const auto* split : {&ds.train, &ds.validation, &ds.test}) {
+    std::set<int> classes(split->labels.begin(), split->labels.end());
+    EXPECT_EQ(classes.size(), 6u);
+  }
+}
+
+TEST(MakeDataset, CustomLength) {
+  const Dataset ds = make_dataset("CBF", 1, 32);
+  EXPECT_EQ(ds.train.length(), 32u);
+}
+
+TEST(MakeDataset, SamplePeriodPropagated) {
+  const Dataset ds = make_dataset("CBF", 1);
+  EXPECT_DOUBLE_EQ(ds.sample_period, 0.1);
+}
+
+}  // namespace
+}  // namespace pnc::data

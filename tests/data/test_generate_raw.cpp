@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pnc/data/dataset.hpp"
+
+namespace pnc::data {
+namespace {
+
+class GenerateRaw : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(GenerateRaw, HonoursSpecCounts) {
+  const DatasetSpec& spec = GetParam();
+  util::Rng rng(9);
+  const auto series = generate_raw(spec, rng);
+  EXPECT_EQ(series.size(), spec.total_series);
+  for (const auto& s : series) {
+    EXPECT_EQ(s.values.size(), spec.native_length);
+  }
+}
+
+TEST_P(GenerateRaw, ClassesBalancedWithinOne) {
+  const DatasetSpec& spec = GetParam();
+  util::Rng rng(10);
+  const auto series = generate_raw(spec, rng);
+  std::map<int, std::size_t> counts;
+  for (const auto& s : series) {
+    ASSERT_GE(s.label, 0);
+    ASSERT_LT(s.label, spec.num_classes);
+    ++counts[s.label];
+  }
+  EXPECT_EQ(counts.size(), static_cast<std::size_t>(spec.num_classes));
+  std::size_t lo = series.size(), hi = 0;
+  for (const auto& [label, n] : counts) {
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  EXPECT_LE(hi - lo, 1u);  // round-robin assignment
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, GenerateRaw, ::testing::ValuesIn(benchmark_specs()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace pnc::data

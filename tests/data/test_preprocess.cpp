@@ -1,0 +1,125 @@
+#include "pnc/data/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pnc::data {
+namespace {
+
+std::vector<Series> toy_series() {
+  std::vector<Series> out;
+  for (int i = 0; i < 10; ++i) {
+    Series s;
+    s.label = i % 2;
+    s.values = {static_cast<double>(i), static_cast<double>(i) + 1.0,
+                static_cast<double>(i) + 2.0};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(Preprocess, ResizeAll) {
+  auto series = toy_series();
+  resize_all(series, 7);
+  for (const auto& s : series) EXPECT_EQ(s.values.size(), 7u);
+}
+
+TEST(Preprocess, NormalizationMapsToMinusOneOne) {
+  auto series = toy_series();  // global range [0, 11]
+  const Normalization n = fit_normalization(series);
+  apply_normalization(series, n);
+  double lo = 1e9, hi = -1e9;
+  for (const auto& s : series) {
+    for (double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  EXPECT_NEAR(lo, -1.0, 1e-12);
+  EXPECT_NEAR(hi, 1.0, 1e-12);
+}
+
+TEST(Preprocess, NormalizationIsAffine) {
+  Normalization n;
+  n.offset = 2.0;
+  n.scale = 0.5;
+  EXPECT_DOUBLE_EQ(n.apply(2.0), -1.0);
+  EXPECT_DOUBLE_EQ(n.apply(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.apply(4.0), 0.0);
+}
+
+TEST(Preprocess, FitNormalizationRejectsDegenerateData) {
+  std::vector<Series> constant(3);
+  for (auto& s : constant) s.values = {1.0, 1.0};
+  EXPECT_THROW(fit_normalization(constant), std::invalid_argument);
+  EXPECT_THROW(fit_normalization({}), std::invalid_argument);
+}
+
+TEST(Preprocess, StratifiedSplitSizes) {
+  util::Rng rng(5);
+  auto parts = stratified_split(toy_series(), rng);  // 60/20/20 of 10
+  EXPECT_EQ(parts.train.size(), 6u);
+  EXPECT_EQ(parts.validation.size(), 2u);
+  EXPECT_EQ(parts.test.size(), 2u);
+}
+
+TEST(Preprocess, StratifiedSplitPreservesClassBalance) {
+  util::Rng rng(7);
+  std::vector<Series> series;
+  for (int i = 0; i < 100; ++i) {
+    Series s;
+    s.label = i % 2;
+    s.values = {0.0, static_cast<double>(i)};
+    series.push_back(std::move(s));
+  }
+  auto parts = stratified_split(series, rng);
+  auto count = [](const std::vector<Series>& part, int label) {
+    return std::count_if(part.begin(), part.end(),
+                         [label](const Series& s) { return s.label == label; });
+  };
+  EXPECT_EQ(count(parts.train, 0), count(parts.train, 1));
+  EXPECT_EQ(count(parts.test, 0), count(parts.test, 1));
+}
+
+TEST(Preprocess, SplitIsAPartition) {
+  util::Rng rng(9);
+  auto series = toy_series();
+  auto parts = stratified_split(series, rng);
+  // Collect the distinguishing first value of every series.
+  std::multiset<double> seen;
+  for (const auto* part : {&parts.train, &parts.validation, &parts.test}) {
+    for (const auto& s : *part) seen.insert(s.values[0]);
+  }
+  std::multiset<double> expected;
+  for (const auto& s : series) expected.insert(s.values[0]);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Preprocess, SplitRejectsBadFractions) {
+  util::Rng rng(1);
+  EXPECT_THROW(stratified_split(toy_series(), rng, 0.0, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW(stratified_split(toy_series(), rng, 0.8, 0.3),
+               std::invalid_argument);
+}
+
+TEST(Preprocess, PackShapesAndValues) {
+  auto series = toy_series();
+  const Split split = pack(series);
+  EXPECT_EQ(split.size(), 10u);
+  EXPECT_EQ(split.length(), 3u);
+  EXPECT_DOUBLE_EQ(split.inputs(4, 2), 6.0);
+  EXPECT_EQ(split.labels[5], 1);
+}
+
+TEST(Preprocess, PackRejectsRaggedOrEmpty) {
+  EXPECT_THROW(pack({}), std::invalid_argument);
+  auto series = toy_series();
+  series[3].values.push_back(0.0);
+  EXPECT_THROW(pack(series), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc::data

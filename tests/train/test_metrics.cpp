@@ -1,0 +1,95 @@
+#include "pnc/train/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnc::train {
+namespace {
+
+TEST(ConfusionMatrix, StartsEmpty) {
+  ConfusionMatrix cm(3);
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, ConstructionValidation) {
+  EXPECT_THROW(ConfusionMatrix(1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, AddAndCount) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(0, 0), 1u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_EQ(cm.count(1, 0), 0u);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.count(0, 2), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, AccuracyMatchesDiagonal) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  // true 0: predicted 0 twice, predicted 1 once.
+  // true 1: predicted 1 once.
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);        // 2 / 2
+  EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);     // 2 / 3
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.5);        // 1 / 2
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);           // 1 / 1
+  EXPECT_NEAR(cm.f1(0), 2.0 * (1.0 * 2.0 / 3.0) / (1.0 + 2.0 / 3.0), 1e-12);
+  EXPECT_NEAR(cm.macro_f1(), (cm.f1(0) + cm.f1(1)) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, DegenerateClassesScoreZero) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);  // never predicted
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);     // never occurs
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+}
+
+TEST(ConfusionMatrix, AccumulateFromLogits) {
+  ConfusionMatrix cm(3);
+  ad::Tensor logits(3, 3,
+                    {5.0, 1.0, 0.0,    // -> 0 (true 0, hit)
+                     0.0, 0.1, 4.0,    // -> 2 (true 1, miss)
+                     0.0, 0.0, 9.0});  // -> 2 (true 2, hit)
+  cm.accumulate(logits, {0, 1, 2});
+  EXPECT_EQ(cm.total(), 3u);
+  EXPECT_EQ(cm.count(1, 2), 1u);
+  EXPECT_NEAR(cm.accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, AccumulateValidation) {
+  ConfusionMatrix cm(2);
+  ad::Tensor logits(2, 3);
+  EXPECT_THROW(cm.accumulate(logits, {0, 1}), std::invalid_argument);
+  ad::Tensor ok(2, 2);
+  EXPECT_THROW(cm.accumulate(ok, {0}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("true\\pred"), std::string::npos);
+  EXPECT_NE(s.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnc::train

@@ -1,0 +1,134 @@
+#include "pnc/train/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/autodiff/ops.hpp"
+
+namespace pnc::train {
+namespace {
+
+/// Minimize f(w) = (w - target)^2 with the given optimizer.
+template <typename MakeOpt>
+double minimize_quadratic(MakeOpt make_opt, double start, double target,
+                          int steps) {
+  ad::Parameter w("w", ad::Tensor::scalar(start));
+  auto opt = make_opt(std::vector<ad::Parameter*>{&w});
+  for (int i = 0; i < steps; ++i) {
+    opt->zero_grad();
+    ad::Graph g;
+    ad::Var x = g.leaf(w);
+    ad::Var loss = ad::square(ad::add_scalar(x, -target));
+    g.backward(loss);
+    opt->step();
+  }
+  return w.value.item();
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  const double w = minimize_quadratic(
+      [](std::vector<ad::Parameter*> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.1);
+      },
+      5.0, 2.0, 200);
+  EXPECT_NEAR(w, 2.0, 1e-6);
+}
+
+TEST(Sgd, MomentumAcceleratesEarlyProgress) {
+  const double plain = minimize_quadratic(
+      [](std::vector<ad::Parameter*> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.01);
+      },
+      5.0, 0.0, 30);
+  const double momentum = minimize_quadratic(
+      [](std::vector<ad::Parameter*> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.01, 0.9);
+      },
+      5.0, 0.0, 30);
+  EXPECT_LT(std::abs(momentum), std::abs(plain));
+}
+
+TEST(AdamW, ConvergesOnQuadratic) {
+  AdamW::Config cfg;
+  cfg.lr = 0.1;
+  cfg.weight_decay = 0.0;
+  const double w = minimize_quadratic(
+      [&](std::vector<ad::Parameter*> p) {
+        return std::make_unique<AdamW>(std::move(p), cfg);
+      },
+      5.0, 2.0, 500);
+  EXPECT_NEAR(w, 2.0, 1e-4);
+}
+
+TEST(AdamW, WeightDecayShrinksTowardZero) {
+  // With no gradient signal, decoupled decay contracts the weight.
+  ad::Parameter w("w", ad::Tensor::scalar(1.0));
+  AdamW::Config cfg;
+  cfg.lr = 0.1;
+  cfg.weight_decay = 0.1;
+  AdamW opt({&w}, cfg);
+  for (int i = 0; i < 50; ++i) {
+    opt.zero_grad();  // grad stays zero
+    opt.step();
+  }
+  EXPECT_LT(w.value.item(), 1.0);
+  EXPECT_GT(w.value.item(), 0.0);
+}
+
+TEST(Optimizer, Validation) {
+  EXPECT_THROW(Sgd({}, 0.1), std::invalid_argument);
+  ad::Parameter w("w", ad::Tensor::scalar(0.0));
+  EXPECT_THROW(Sgd({&w, nullptr}, 0.1), std::invalid_argument);
+  Sgd opt({&w}, 0.1);
+  EXPECT_THROW(opt.set_learning_rate(-1.0), std::invalid_argument);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  ad::Parameter w("w", ad::Tensor::scalar(1.0));
+  w.grad.fill(3.0);
+  Sgd opt({&w}, 0.1);
+  opt.zero_grad();
+  EXPECT_DOUBLE_EQ(w.grad.item(), 0.0);
+}
+
+TEST(Scheduler, HalvesAfterPatience) {
+  ad::Parameter w("w", ad::Tensor::scalar(0.0));
+  Sgd opt({&w}, 0.1);
+  PlateauScheduler sched(opt, /*patience=*/2);
+  EXPECT_TRUE(sched.observe(1.0));   // improvement (first)
+  EXPECT_TRUE(sched.observe(1.5));   // stale 1
+  EXPECT_TRUE(sched.observe(1.5));   // stale 2 -> halve
+  EXPECT_NEAR(opt.learning_rate(), 0.05, 1e-12);
+}
+
+TEST(Scheduler, ImprovementResetsPatience) {
+  ad::Parameter w("w", ad::Tensor::scalar(0.0));
+  Sgd opt({&w}, 0.1);
+  PlateauScheduler sched(opt, 2);
+  sched.observe(1.0);
+  sched.observe(1.5);   // stale 1
+  sched.observe(0.5);   // improvement resets
+  sched.observe(0.9);   // stale 1
+  EXPECT_NEAR(opt.learning_rate(), 0.1, 1e-12);
+}
+
+TEST(Scheduler, StopsBelowMinLr) {
+  ad::Parameter w("w", ad::Tensor::scalar(0.0));
+  Sgd opt({&w}, 4e-5);
+  PlateauScheduler sched(opt, 1, 0.5, 1e-5);
+  EXPECT_TRUE(sched.observe(1.0));
+  EXPECT_TRUE(sched.observe(2.0));   // halve to 2e-5, still >= min
+  EXPECT_TRUE(sched.observe(2.0));   // halve to exactly 1e-5: not below yet
+  EXPECT_FALSE(sched.observe(2.0));  // halve to 5e-6 -> stop
+}
+
+TEST(Scheduler, Validation) {
+  ad::Parameter w("w", ad::Tensor::scalar(0.0));
+  Sgd opt({&w}, 0.1);
+  EXPECT_THROW(PlateauScheduler(opt, 0), std::invalid_argument);
+  EXPECT_THROW(PlateauScheduler(opt, 1, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc::train

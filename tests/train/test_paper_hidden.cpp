@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "pnc/hardware/cost_model.hpp"
+#include "pnc/train/experiment.hpp"
+
+namespace pnc::train {
+namespace {
+
+TEST(PaperHidden, MatchesTableThreeCapacitorCounts) {
+  // The paper's Table III capacitor column implies (hidden + C) * 2 caps;
+  // verify the sizing rule against every row of the paper.
+  struct Row {
+    const char* dataset;
+    std::size_t classes;
+    std::size_t paper_caps;
+  };
+  const Row rows[] = {
+      {"CBF", 3, 24},    {"DPTW", 6, 24},      {"FRT", 2, 12},
+      {"FST", 2, 12},    {"GPAS", 2, 12},      {"GPMVF", 2, 12},
+      {"GPOVY", 2, 12},  {"MPOAG", 3, 24},     {"MSRT", 5, 60},
+      {"PowerCons", 2, 12}, {"PPOC", 2, 12},   {"SRSCP2", 2, 12},
+      {"Slope", 3, 12},  {"SmoothS", 3, 24},   {"Symbols", 6, 84},
+  };
+  for (const Row& row : rows) {
+    const std::size_t hidden = paper_hidden(row.dataset, row.classes);
+    EXPECT_EQ((hidden + row.classes) * 2, row.paper_caps) << row.dataset;
+  }
+}
+
+TEST(PaperHidden, UnknownDatasetFallsBackToSquare) {
+  EXPECT_EQ(paper_hidden("SomethingNew", 4), 16u);
+}
+
+TEST(PaperHidden, DrivesModelCapacitorCount) {
+  // End-to-end: an uncapped experiment model for Slope must have exactly
+  // the paper's 12 capacitors.
+  ExperimentSpec spec = adapt_spec("Slope");
+  spec.hidden_cap = 0;
+  auto model = make_model(spec, 3, 0.1, 1);
+  auto* printed = dynamic_cast<core::PrintedTemporalNetwork*>(model.get());
+  ASSERT_NE(printed, nullptr);
+  EXPECT_EQ(hardware::count_devices(*printed).capacitors, 12u);
+}
+
+}  // namespace
+}  // namespace pnc::train

@@ -1,0 +1,150 @@
+#include "pnc/train/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pnc/core/adapt_pnc.hpp"
+
+namespace pnc::train {
+namespace {
+
+data::Dataset small_dataset() {
+  // Slope with a short length keeps every trainer test fast.
+  return data::make_dataset("Slope", 42, 24);
+}
+
+TrainConfig quick_config() {
+  TrainConfig cfg;
+  cfg.max_epochs = 40;
+  cfg.patience = 8;
+  cfg.learning_rate = 0.05;
+  return cfg;
+}
+
+TEST(Trainer, LossDecreases) {
+  const data::Dataset ds = small_dataset();
+  auto model = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 6);
+  const TrainResult result = train(*model, ds, quick_config());
+  ASSERT_GE(result.history.size(), 2u);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+}
+
+TEST(Trainer, LearnsAboveChance) {
+  const data::Dataset ds = small_dataset();
+  auto model = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 6);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 120;
+  (void)train(*model, ds, cfg);
+  util::Rng rng(0);
+  const double acc = evaluate_accuracy(*model, ds.test,
+                                       variation::VariationSpec::none(), rng);
+  EXPECT_GT(acc, 1.2 / ds.num_classes);  // clearly above the 1/C chance line
+}
+
+TEST(Trainer, HistoryIsComplete) {
+  const data::Dataset ds = small_dataset();
+  auto model = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 4);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 5;
+  const TrainResult result = train(*model, ds, cfg);
+  EXPECT_EQ(result.epochs_run, 5);
+  EXPECT_EQ(result.history.size(), 5u);
+  for (int e = 0; e < 5; ++e) {
+    EXPECT_EQ(result.history[static_cast<std::size_t>(e)].epoch, e);
+    EXPECT_GT(result.history[static_cast<std::size_t>(e)].learning_rate, 0.0);
+  }
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Trainer, StopsWhenLrCollapses) {
+  const data::Dataset ds = small_dataset();
+  auto model = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 4);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 500;
+  cfg.learning_rate = 0.0;  // frozen model: val loss can never improve
+  cfg.patience = 1;
+  const TrainResult result = train(*model, ds, cfg);
+  EXPECT_LT(result.epochs_run, 10);
+}
+
+TEST(Trainer, VariationAwareRunsMonteCarlo) {
+  const data::Dataset ds = small_dataset();
+  auto model = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 4);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 3;
+  cfg.train_variation = variation::VariationSpec::printing(0.10, 3);
+  const TrainResult result = train(*model, ds, cfg);
+  EXPECT_EQ(result.epochs_run, 3);
+  for (const auto& e : result.history) {
+    EXPECT_TRUE(std::isfinite(e.train_loss));
+  }
+}
+
+TEST(Trainer, AugmentedTrainingRuns) {
+  const data::Dataset ds = small_dataset();
+  auto model = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 4);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 3;
+  cfg.augmentation = augment::AugmentConfig{};
+  const TrainResult result = train(*model, ds, cfg);
+  EXPECT_EQ(result.epochs_run, 3);
+}
+
+TEST(Trainer, ClampHoldsAfterTraining) {
+  const data::Dataset ds = small_dataset();
+  auto model = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 4);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 20;
+  cfg.learning_rate = 0.5;  // aggressive: would escape without clamping
+  (void)train(*model, ds, cfg);
+  const auto& filters = model->layer1().filters();
+  for (std::size_t stage = 0; stage < 2; ++stage) {
+    for (std::size_t j = 0; j < filters.channels(); ++j) {
+      EXPECT_GE(filters.resistance(stage, j),
+                core::FilterLayer::kResistanceMin * 0.999);
+      EXPECT_LE(filters.resistance(stage, j),
+                core::FilterLayer::kResistanceMax * 1.001);
+    }
+  }
+}
+
+TEST(ForwardLoss, BackwardScalesGradients) {
+  const data::Dataset ds = small_dataset();
+  auto model = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 4);
+  util::Rng rng(0);
+  for (auto* p : model->parameters()) p->zero_grad();
+  (void)forward_loss(*model, ds.train, variation::VariationSpec::none(), rng,
+                     true, 1.0);
+  const double full = model->parameters()[0]->grad.abs_max();
+
+  for (auto* p : model->parameters()) p->zero_grad();
+  (void)forward_loss(*model, ds.train, variation::VariationSpec::none(), rng,
+                     true, 0.5);
+  const double half = model->parameters()[0]->grad.abs_max();
+  EXPECT_NEAR(half, 0.5 * full, 1e-9);
+}
+
+TEST(Evaluate, AccuracyAndLossFinite) {
+  const data::Dataset ds = small_dataset();
+  auto model = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 4);
+  util::Rng rng(0);
+  const variation::VariationSpec clean = variation::VariationSpec::none();
+  const double acc = evaluate_accuracy(*model, ds.test, clean, rng, 2);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  EXPECT_TRUE(std::isfinite(evaluate_loss(*model, ds.test, clean, rng)));
+}
+
+}  // namespace
+}  // namespace pnc::train

@@ -1,0 +1,52 @@
+#include "pnc/train/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnc::train {
+namespace {
+
+TEST(Tuner, DefaultGridCoversAxes) {
+  const auto grid = default_augmentation_grid();
+  EXPECT_EQ(grid.size(), 12u);  // 3 jitter x 2 warp x 2 crop
+  bool has_small_jitter = false, has_large_jitter = false;
+  for (const auto& cfg : grid) {
+    if (cfg.jitter_sigma <= 0.02) has_small_jitter = true;
+    if (cfg.jitter_sigma >= 0.10) has_large_jitter = true;
+  }
+  EXPECT_TRUE(has_small_jitter);
+  EXPECT_TRUE(has_large_jitter);
+}
+
+TEST(Tuner, EmptyGridRejected) {
+  ExperimentSpec spec = adapt_spec("Slope");
+  EXPECT_THROW(tune_augmentation(spec, {}), std::invalid_argument);
+}
+
+TEST(Tuner, PicksBestCandidate) {
+  ExperimentSpec spec = adapt_spec("Slope");
+  spec.hidden_cap = 4;
+  spec.sequence_length = 24;
+  spec.train.max_epochs = 12;
+  spec.train.patience = 4;
+
+  // Two candidates: mild augmentation vs absurdly destructive one.
+  augment::AugmentConfig mild;
+  mild.jitter_sigma = 0.02;
+  augment::AugmentConfig destructive;
+  destructive.jitter_sigma = 5.0;  // buries the signal
+  destructive.op_probability = 1.0;
+
+  const TunerResult result = tune_augmentation(spec, {mild, destructive});
+  EXPECT_EQ(result.all.size(), 2u);
+  EXPECT_GE(result.best_validation_accuracy,
+            result.all[1].validation_accuracy);
+  // The best config is one of the candidates, scored consistently.
+  double best_seen = -1.0;
+  for (const auto& c : result.all) {
+    best_seen = std::max(best_seen, c.validation_accuracy);
+  }
+  EXPECT_DOUBLE_EQ(result.best_validation_accuracy, best_seen);
+}
+
+}  // namespace
+}  // namespace pnc::train

@@ -1,0 +1,31 @@
+#include "pnc/util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pnc::util {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(prev);
+}
+
+TEST(Logging, SuppressedLevelsDoNotCrash) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_NO_THROW(log(LogLevel::kDebug, "dropped"));
+  EXPECT_NO_THROW(PNC_LOG_INFO << "also dropped " << 42);
+  set_log_level(prev);
+}
+
+TEST(Logging, StreamStyleComposes) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);  // keep test output clean
+  EXPECT_NO_THROW(PNC_LOG_ERROR << "epoch " << 3 << " loss " << 0.5);
+  set_log_level(prev);
+}
+
+}  // namespace
+}  // namespace pnc::util

@@ -1,0 +1,85 @@
+#include "pnc/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pnc::util {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, SampleStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+  EXPECT_NEAR(stddev_population(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, StddevDegenerate) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> constant = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, constant), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(xs, std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, Summarize) {
+  const std::vector<double> xs = {0.5, 0.7, 0.9};
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 0.9);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.stddev, 0.2, 1e-12);
+}
+
+TEST(Stats, TopKIndicesDescending) {
+  const std::vector<double> xs = {0.1, 0.9, 0.5, 0.7};
+  const auto top2 = top_k_indices(xs, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1u);
+  EXPECT_EQ(top2[1], 3u);
+}
+
+TEST(Stats, TopKClampsToSize) {
+  const std::vector<double> xs = {0.3, 0.1};
+  EXPECT_EQ(top_k_indices(xs, 10).size(), 2u);
+}
+
+TEST(Stats, TopKStableOnTies) {
+  const std::vector<double> xs = {0.5, 0.5, 0.5};
+  const auto top = top_k_indices(xs, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+}  // namespace
+}  // namespace pnc::util

@@ -1,0 +1,67 @@
+#include "pnc/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pnc::util {
+namespace {
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, PrintContainsAllCells) {
+  Table t({"Dataset", "Acc"});
+  t.add_row({"CBF", "0.877"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Dataset"), std::string::npos);
+  EXPECT_NE(out.find("CBF"), std::string::npos);
+  EXPECT_NE(out.find("0.877"), std::string::npos);
+}
+
+TEST(Table, AccessorsExposeCells) {
+  Table t({"a"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 1u);
+  EXPECT_EQ(t.row(0)[0], "x");
+  EXPECT_THROW(t.row(1), std::out_of_range);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  const std::string path = "/tmp/pnc_table_test.csv";
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string header, line;
+  std::getline(f, header);
+  std::getline(f, line);
+  EXPECT_EQ(header, "name,note");
+  EXPECT_EQ(line, "\"a,b\",\"say \"\"hi\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(Table, FormatMeanStd) {
+  EXPECT_EQ(format_mean_std(0.8766, 0.0061), "0.877 ± 0.006");
+}
+
+TEST(Table, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace pnc::util

@@ -1,0 +1,106 @@
+#include "pnc/variation/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnc/util/stats.hpp"
+
+namespace pnc::variation {
+namespace {
+
+std::shared_ptr<const VariationModel> printing() {
+  return std::make_shared<UniformVariation>(0.05);
+}
+
+TEST(Drift, AgeZeroEqualsPrintingDistribution) {
+  DriftModel model(printing(), {});
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double e = model.sample_at(0.0, rng);
+    EXPECT_GE(e, 0.95 - 1e-12);
+    EXPECT_LE(e, 1.05 + 1e-12);
+  }
+}
+
+TEST(Drift, MeanGrowsWithAge) {
+  DriftModel::Config cfg;
+  cfg.trend_per_ref = 0.10;
+  cfg.spread_per_ref = 0.0;
+  DriftModel model(printing(), cfg);
+  util::Rng rng(2);
+  auto mean_at = [&](double age) {
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) sum += model.sample_at(age, rng);
+    return sum / 20000.0;
+  };
+  const double young = mean_at(0.0);
+  const double old = mean_at(2.0);
+  EXPECT_NEAR(young, 1.0, 0.01);
+  EXPECT_NEAR(old, 1.2, 0.01);  // 1 + 0.10 * 2
+}
+
+TEST(Drift, SpreadGrowsWithAge) {
+  DriftModel::Config cfg;
+  cfg.trend_per_ref = 0.0;
+  cfg.spread_per_ref = 0.05;
+  DriftModel model(printing(), cfg);
+  util::Rng rng(3);
+  auto spread_at = [&](double age) {
+    std::vector<double> xs(20000);
+    for (auto& x : xs) x = model.sample_at(age, rng);
+    return util::stddev(xs);
+  };
+  EXPECT_LT(spread_at(0.1), spread_at(4.0));
+}
+
+TEST(Drift, SamplesStayPositive) {
+  DriftModel::Config cfg;
+  cfg.trend_per_ref = -0.5;  // strongly degrading devices
+  cfg.spread_per_ref = 0.3;
+  DriftModel model(printing(), cfg);
+  util::Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GT(model.sample_at(3.0, rng), 0.0);
+  }
+}
+
+TEST(Drift, FacadeUsesEvaluationAge) {
+  DriftModel::Config cfg;
+  cfg.trend_per_ref = 0.2;
+  cfg.spread_per_ref = 0.0;
+  cfg.evaluation_age = 1.0;
+  DriftModel model(std::make_shared<NoVariation>(), cfg);
+  util::Rng rng(5);
+  EXPECT_NEAR(model.sample(rng), 1.2, 1e-12);
+}
+
+TEST(Drift, Validation) {
+  EXPECT_THROW(DriftModel(nullptr, {}), std::invalid_argument);
+  DriftModel::Config bad;
+  bad.reference_age = 0.0;
+  EXPECT_THROW(DriftModel(printing(), bad), std::invalid_argument);
+  DriftModel model(printing(), {});
+  util::Rng rng(6);
+  EXPECT_THROW(model.sample_at(-1.0, rng), std::invalid_argument);
+}
+
+TEST(Drift, CloneIsIndependentButEquivalent) {
+  DriftModel model(printing(), {});
+  auto copy = model.clone();
+  util::Rng r1(7), r2(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(model.sample(r1), copy->sample(r2));
+  }
+}
+
+TEST(DriftSpec, BuildsUsableVariationSpec) {
+  const VariationSpec spec = drift_spec(printing(), {}, 2.0, 5);
+  EXPECT_EQ(spec.monte_carlo_samples, 5);
+  util::Rng rng(8);
+  // At age 2 with default trend 0.05 the mean factor is ~1.1.
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += spec.component->sample(rng);
+  EXPECT_NEAR(sum / 20000.0, 1.1, 0.01);
+}
+
+}  // namespace
+}  // namespace pnc::variation

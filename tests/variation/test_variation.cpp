@@ -1,0 +1,148 @@
+#include "pnc/variation/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnc::variation {
+namespace {
+
+TEST(NoVariation, AlwaysOne) {
+  util::Rng rng(1);
+  NoVariation model;
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(model.sample(rng), 1.0);
+}
+
+TEST(UniformVariation, StaysInBand) {
+  util::Rng rng(2);
+  UniformVariation model(0.1);
+  for (int i = 0; i < 10000; ++i) {
+    const double e = model.sample(rng);
+    EXPECT_GE(e, 0.9);
+    EXPECT_LT(e, 1.1);
+  }
+}
+
+TEST(UniformVariation, MeanIsOne) {
+  util::Rng rng(3);
+  UniformVariation model(0.2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += model.sample(rng);
+  EXPECT_NEAR(sum / n, 1.0, 0.005);
+}
+
+TEST(UniformVariation, RejectsBadDelta) {
+  EXPECT_THROW(UniformVariation(-0.1), std::invalid_argument);
+  EXPECT_THROW(UniformVariation(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(UniformVariation(0.0));
+}
+
+TEST(GaussianVariation, TruncatedAndPositive) {
+  util::Rng rng(5);
+  GaussianVariation model(0.3);
+  for (int i = 0; i < 10000; ++i) {
+    const double e = model.sample(rng);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LE(e, 1.9 + 1e-12);
+    EXPECT_GE(e, 0.1 - 1e-12);
+  }
+}
+
+TEST(GaussianVariation, ZeroSigmaIsDeterministic) {
+  util::Rng rng(7);
+  GaussianVariation model(0.0);
+  EXPECT_DOUBLE_EQ(model.sample(rng), 1.0);
+}
+
+TEST(GaussianMixture, NormalizesWeights) {
+  GaussianMixtureVariation model(
+      {{2.0, 1.0, 0.05}, {6.0, 0.7, 0.05}});
+  EXPECT_NEAR(model.components()[0].weight, 0.25, 1e-12);
+  EXPECT_NEAR(model.components()[1].weight, 0.75, 1e-12);
+}
+
+TEST(GaussianMixture, SamplesFromBothModes) {
+  util::Rng rng(11);
+  GaussianMixtureVariation model(
+      {{0.5, 1.0, 0.01}, {0.5, 0.6, 0.01}});
+  int near_nominal = 0, near_degraded = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double e = model.sample(rng);
+    if (std::abs(e - 1.0) < 0.05) ++near_nominal;
+    if (std::abs(e - 0.6) < 0.05) ++near_degraded;
+  }
+  EXPECT_GT(near_nominal, 800);
+  EXPECT_GT(near_degraded, 800);
+}
+
+TEST(GaussianMixture, RejectsBadComponents) {
+  EXPECT_THROW(GaussianMixtureVariation({}), std::invalid_argument);
+  EXPECT_THROW(GaussianMixtureVariation({{0.0, 1.0, 0.1}}),
+               std::invalid_argument);
+  EXPECT_THROW(GaussianMixtureVariation({{1.0, 1.0, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(Clone, PreservesBehaviourStatistically) {
+  UniformVariation original(0.15);
+  auto copy = original.clone();
+  util::Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double e = copy->sample(rng);
+    EXPECT_GE(e, 0.85);
+    EXPECT_LT(e, 1.15);
+  }
+}
+
+TEST(SampleFactors, ShapeAndRange) {
+  util::Rng rng(17);
+  UniformVariation model(0.1);
+  const ad::Tensor t = sample_factors(model, 3, 4, rng);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  for (double v : t.data()) {
+    EXPECT_GE(v, 0.9);
+    EXPECT_LT(v, 1.1);
+  }
+}
+
+TEST(ApplyVariation, MultiplicativeInPlace) {
+  util::Rng rng(19);
+  ad::Tensor values(1, 3, {10.0, 20.0, 30.0});
+  UniformVariation model(0.1);
+  apply_variation(values, model, rng);
+  EXPECT_GE(values(0, 0), 9.0);
+  EXPECT_LE(values(0, 0), 11.0);
+  EXPECT_GE(values(0, 2), 27.0);
+  EXPECT_LE(values(0, 2), 33.0);
+}
+
+TEST(VariationSpec, NoneIsDeterministic) {
+  const VariationSpec spec = VariationSpec::none();
+  util::Rng rng(23);
+  EXPECT_DOUBLE_EQ(spec.sample_mu(rng), 1.0);
+  EXPECT_DOUBLE_EQ(spec.sample_v0(rng), 0.0);
+  EXPECT_DOUBLE_EQ(spec.component->sample(rng), 1.0);
+  EXPECT_EQ(spec.monte_carlo_samples, 1);
+}
+
+TEST(VariationSpec, PrintingMatchesPaperDefaults) {
+  const VariationSpec spec = VariationSpec::printing(0.10, 4);
+  util::Rng rng(29);
+  EXPECT_EQ(spec.monte_carlo_samples, 4);
+  for (int i = 0; i < 1000; ++i) {
+    const double mu = spec.sample_mu(rng);
+    EXPECT_GE(mu, 1.0);
+    EXPECT_LT(mu, 1.3);
+    const double v0 = spec.sample_v0(rng);
+    EXPECT_GE(v0, -0.05);
+    EXPECT_LT(v0, 0.05);
+    const double e = spec.component->sample(rng);
+    EXPECT_GE(e, 0.9);
+    EXPECT_LT(e, 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace pnc::variation
