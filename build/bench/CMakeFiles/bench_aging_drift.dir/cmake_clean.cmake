@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aging_drift.dir/bench_aging_drift.cpp.o"
+  "CMakeFiles/bench_aging_drift.dir/bench_aging_drift.cpp.o.d"
+  "bench_aging_drift"
+  "bench_aging_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aging_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_augmentation.dir/bench_fig6_augmentation.cpp.o"
+  "CMakeFiles/bench_fig6_augmentation.dir/bench_fig6_augmentation.cpp.o.d"
+  "bench_fig6_augmentation"
+  "bench_fig6_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

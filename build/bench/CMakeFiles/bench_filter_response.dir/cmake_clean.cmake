@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filter_response.dir/bench_filter_response.cpp.o"
+  "CMakeFiles/bench_filter_response.dir/bench_filter_response.cpp.o.d"
+  "bench_filter_response"
+  "bench_filter_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mna_validation.dir/bench_mna_validation.cpp.o"
+  "CMakeFiles/bench_mna_validation.dir/bench_mna_validation.cpp.o.d"
+  "bench_mna_validation"
+  "bench_mna_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mna_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ptanh_extraction.dir/bench_ptanh_extraction.cpp.o"
+  "CMakeFiles/bench_ptanh_extraction.dir/bench_ptanh_extraction.cpp.o.d"
+  "bench_ptanh_extraction"
+  "bench_ptanh_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ptanh_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yield_analysis.dir/bench_yield_analysis.cpp.o"
+  "CMakeFiles/bench_yield_analysis.dir/bench_yield_analysis.cpp.o.d"
+  "bench_yield_analysis"
+  "bench_yield_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yield_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

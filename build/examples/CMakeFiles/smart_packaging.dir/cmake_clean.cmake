@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_packaging.dir/smart_packaging.cpp.o"
+  "CMakeFiles/smart_packaging.dir/smart_packaging.cpp.o.d"
+  "smart_packaging"
+  "smart_packaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_packaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stress_detection.cpp" "examples/CMakeFiles/stress_detection.dir/stress_detection.cpp.o" "gcc" "examples/CMakeFiles/stress_detection.dir/stress_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/pnc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pnc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/pnc_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pnc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/pnc_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pnc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pnc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/pnc_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/pnc_hardware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_detection.dir/stress_detection.cpp.o"
+  "CMakeFiles/stress_detection.dir/stress_detection.cpp.o.d"
+  "stress_detection"
+  "stress_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_pipeline.dir/ucr_pipeline.cpp.o"
+  "CMakeFiles/ucr_pipeline.dir/ucr_pipeline.cpp.o.d"
+  "ucr_pipeline"
+  "ucr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/augment.cpp" "src/augment/CMakeFiles/pnc_augment.dir/augment.cpp.o" "gcc" "src/augment/CMakeFiles/pnc_augment.dir/augment.cpp.o.d"
+  "/root/repo/src/augment/fft.cpp" "src/augment/CMakeFiles/pnc_augment.dir/fft.cpp.o" "gcc" "src/augment/CMakeFiles/pnc_augment.dir/fft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pnc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/pnc_autodiff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

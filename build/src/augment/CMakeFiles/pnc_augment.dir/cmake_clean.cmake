@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_augment.dir/augment.cpp.o"
+  "CMakeFiles/pnc_augment.dir/augment.cpp.o.d"
+  "CMakeFiles/pnc_augment.dir/fft.cpp.o"
+  "CMakeFiles/pnc_augment.dir/fft.cpp.o.d"
+  "libpnc_augment.a"
+  "libpnc_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/gradcheck.cpp" "src/autodiff/CMakeFiles/pnc_autodiff.dir/gradcheck.cpp.o" "gcc" "src/autodiff/CMakeFiles/pnc_autodiff.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/autodiff/graph.cpp" "src/autodiff/CMakeFiles/pnc_autodiff.dir/graph.cpp.o" "gcc" "src/autodiff/CMakeFiles/pnc_autodiff.dir/graph.cpp.o.d"
+  "/root/repo/src/autodiff/ops.cpp" "src/autodiff/CMakeFiles/pnc_autodiff.dir/ops.cpp.o" "gcc" "src/autodiff/CMakeFiles/pnc_autodiff.dir/ops.cpp.o.d"
+  "/root/repo/src/autodiff/tensor.cpp" "src/autodiff/CMakeFiles/pnc_autodiff.dir/tensor.cpp.o" "gcc" "src/autodiff/CMakeFiles/pnc_autodiff.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

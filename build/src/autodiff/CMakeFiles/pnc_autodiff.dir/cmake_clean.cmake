@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_autodiff.dir/gradcheck.cpp.o"
+  "CMakeFiles/pnc_autodiff.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/pnc_autodiff.dir/graph.cpp.o"
+  "CMakeFiles/pnc_autodiff.dir/graph.cpp.o.d"
+  "CMakeFiles/pnc_autodiff.dir/ops.cpp.o"
+  "CMakeFiles/pnc_autodiff.dir/ops.cpp.o.d"
+  "CMakeFiles/pnc_autodiff.dir/tensor.cpp.o"
+  "CMakeFiles/pnc_autodiff.dir/tensor.cpp.o.d"
+  "libpnc_autodiff.a"
+  "libpnc_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

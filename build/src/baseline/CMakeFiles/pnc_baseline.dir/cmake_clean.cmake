@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_baseline.dir/elman_rnn.cpp.o"
+  "CMakeFiles/pnc_baseline.dir/elman_rnn.cpp.o.d"
+  "libpnc_baseline.a"
+  "libpnc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

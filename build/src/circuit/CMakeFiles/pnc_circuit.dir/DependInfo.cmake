@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/circuit/CMakeFiles/pnc_circuit.dir/ac.cpp.o" "gcc" "src/circuit/CMakeFiles/pnc_circuit.dir/ac.cpp.o.d"
+  "/root/repo/src/circuit/crossbar.cpp" "src/circuit/CMakeFiles/pnc_circuit.dir/crossbar.cpp.o" "gcc" "src/circuit/CMakeFiles/pnc_circuit.dir/crossbar.cpp.o.d"
+  "/root/repo/src/circuit/device.cpp" "src/circuit/CMakeFiles/pnc_circuit.dir/device.cpp.o" "gcc" "src/circuit/CMakeFiles/pnc_circuit.dir/device.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/circuit/CMakeFiles/pnc_circuit.dir/mna.cpp.o" "gcc" "src/circuit/CMakeFiles/pnc_circuit.dir/mna.cpp.o.d"
+  "/root/repo/src/circuit/netlists.cpp" "src/circuit/CMakeFiles/pnc_circuit.dir/netlists.cpp.o" "gcc" "src/circuit/CMakeFiles/pnc_circuit.dir/netlists.cpp.o.d"
+  "/root/repo/src/circuit/nonlinear.cpp" "src/circuit/CMakeFiles/pnc_circuit.dir/nonlinear.cpp.o" "gcc" "src/circuit/CMakeFiles/pnc_circuit.dir/nonlinear.cpp.o.d"
+  "/root/repo/src/circuit/ptanh.cpp" "src/circuit/CMakeFiles/pnc_circuit.dir/ptanh.cpp.o" "gcc" "src/circuit/CMakeFiles/pnc_circuit.dir/ptanh.cpp.o.d"
+  "/root/repo/src/circuit/ptanh_extract.cpp" "src/circuit/CMakeFiles/pnc_circuit.dir/ptanh_extract.cpp.o" "gcc" "src/circuit/CMakeFiles/pnc_circuit.dir/ptanh_extract.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_circuit.dir/ac.cpp.o"
+  "CMakeFiles/pnc_circuit.dir/ac.cpp.o.d"
+  "CMakeFiles/pnc_circuit.dir/crossbar.cpp.o"
+  "CMakeFiles/pnc_circuit.dir/crossbar.cpp.o.d"
+  "CMakeFiles/pnc_circuit.dir/device.cpp.o"
+  "CMakeFiles/pnc_circuit.dir/device.cpp.o.d"
+  "CMakeFiles/pnc_circuit.dir/mna.cpp.o"
+  "CMakeFiles/pnc_circuit.dir/mna.cpp.o.d"
+  "CMakeFiles/pnc_circuit.dir/netlists.cpp.o"
+  "CMakeFiles/pnc_circuit.dir/netlists.cpp.o.d"
+  "CMakeFiles/pnc_circuit.dir/nonlinear.cpp.o"
+  "CMakeFiles/pnc_circuit.dir/nonlinear.cpp.o.d"
+  "CMakeFiles/pnc_circuit.dir/ptanh.cpp.o"
+  "CMakeFiles/pnc_circuit.dir/ptanh.cpp.o.d"
+  "CMakeFiles/pnc_circuit.dir/ptanh_extract.cpp.o"
+  "CMakeFiles/pnc_circuit.dir/ptanh_extract.cpp.o.d"
+  "libpnc_circuit.a"
+  "libpnc_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

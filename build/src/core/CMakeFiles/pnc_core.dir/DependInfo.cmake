@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adapt_pnc.cpp" "src/core/CMakeFiles/pnc_core.dir/adapt_pnc.cpp.o" "gcc" "src/core/CMakeFiles/pnc_core.dir/adapt_pnc.cpp.o.d"
+  "/root/repo/src/core/crossbar_layer.cpp" "src/core/CMakeFiles/pnc_core.dir/crossbar_layer.cpp.o" "gcc" "src/core/CMakeFiles/pnc_core.dir/crossbar_layer.cpp.o.d"
+  "/root/repo/src/core/filter_layer.cpp" "src/core/CMakeFiles/pnc_core.dir/filter_layer.cpp.o" "gcc" "src/core/CMakeFiles/pnc_core.dir/filter_layer.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/pnc_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/pnc_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/ptanh_layer.cpp" "src/core/CMakeFiles/pnc_core.dir/ptanh_layer.cpp.o" "gcc" "src/core/CMakeFiles/pnc_core.dir/ptanh_layer.cpp.o.d"
+  "/root/repo/src/core/ptpb.cpp" "src/core/CMakeFiles/pnc_core.dir/ptpb.cpp.o" "gcc" "src/core/CMakeFiles/pnc_core.dir/ptpb.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/pnc_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/pnc_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/pnc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pnc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/pnc_variation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_core.dir/adapt_pnc.cpp.o"
+  "CMakeFiles/pnc_core.dir/adapt_pnc.cpp.o.d"
+  "CMakeFiles/pnc_core.dir/crossbar_layer.cpp.o"
+  "CMakeFiles/pnc_core.dir/crossbar_layer.cpp.o.d"
+  "CMakeFiles/pnc_core.dir/filter_layer.cpp.o"
+  "CMakeFiles/pnc_core.dir/filter_layer.cpp.o.d"
+  "CMakeFiles/pnc_core.dir/model.cpp.o"
+  "CMakeFiles/pnc_core.dir/model.cpp.o.d"
+  "CMakeFiles/pnc_core.dir/ptanh_layer.cpp.o"
+  "CMakeFiles/pnc_core.dir/ptanh_layer.cpp.o.d"
+  "CMakeFiles/pnc_core.dir/ptpb.cpp.o"
+  "CMakeFiles/pnc_core.dir/ptpb.cpp.o.d"
+  "CMakeFiles/pnc_core.dir/serialize.cpp.o"
+  "CMakeFiles/pnc_core.dir/serialize.cpp.o.d"
+  "libpnc_core.a"
+  "libpnc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/pnc_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/pnc_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/data/CMakeFiles/pnc_data.dir/generators.cpp.o" "gcc" "src/data/CMakeFiles/pnc_data.dir/generators.cpp.o.d"
+  "/root/repo/src/data/preprocess.cpp" "src/data/CMakeFiles/pnc_data.dir/preprocess.cpp.o" "gcc" "src/data/CMakeFiles/pnc_data.dir/preprocess.cpp.o.d"
+  "/root/repo/src/data/signals.cpp" "src/data/CMakeFiles/pnc_data.dir/signals.cpp.o" "gcc" "src/data/CMakeFiles/pnc_data.dir/signals.cpp.o.d"
+  "/root/repo/src/data/ucr_io.cpp" "src/data/CMakeFiles/pnc_data.dir/ucr_io.cpp.o" "gcc" "src/data/CMakeFiles/pnc_data.dir/ucr_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/pnc_autodiff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_data.dir/dataset.cpp.o"
+  "CMakeFiles/pnc_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/pnc_data.dir/generators.cpp.o"
+  "CMakeFiles/pnc_data.dir/generators.cpp.o.d"
+  "CMakeFiles/pnc_data.dir/preprocess.cpp.o"
+  "CMakeFiles/pnc_data.dir/preprocess.cpp.o.d"
+  "CMakeFiles/pnc_data.dir/signals.cpp.o"
+  "CMakeFiles/pnc_data.dir/signals.cpp.o.d"
+  "CMakeFiles/pnc_data.dir/ucr_io.cpp.o"
+  "CMakeFiles/pnc_data.dir/ucr_io.cpp.o.d"
+  "libpnc_data.a"
+  "libpnc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hardware/cost_model.cpp" "src/hardware/CMakeFiles/pnc_hardware.dir/cost_model.cpp.o" "gcc" "src/hardware/CMakeFiles/pnc_hardware.dir/cost_model.cpp.o.d"
+  "/root/repo/src/hardware/yield.cpp" "src/hardware/CMakeFiles/pnc_hardware.dir/yield.cpp.o" "gcc" "src/hardware/CMakeFiles/pnc_hardware.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pnc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pnc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pnc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/pnc_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/pnc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_hardware.dir/cost_model.cpp.o"
+  "CMakeFiles/pnc_hardware.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pnc_hardware.dir/yield.cpp.o"
+  "CMakeFiles/pnc_hardware.dir/yield.cpp.o.d"
+  "libpnc_hardware.a"
+  "libpnc_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_train.dir/arch_search.cpp.o"
+  "CMakeFiles/pnc_train.dir/arch_search.cpp.o.d"
+  "CMakeFiles/pnc_train.dir/experiment.cpp.o"
+  "CMakeFiles/pnc_train.dir/experiment.cpp.o.d"
+  "CMakeFiles/pnc_train.dir/metrics.cpp.o"
+  "CMakeFiles/pnc_train.dir/metrics.cpp.o.d"
+  "CMakeFiles/pnc_train.dir/optimizer.cpp.o"
+  "CMakeFiles/pnc_train.dir/optimizer.cpp.o.d"
+  "CMakeFiles/pnc_train.dir/trainer.cpp.o"
+  "CMakeFiles/pnc_train.dir/trainer.cpp.o.d"
+  "CMakeFiles/pnc_train.dir/tuner.cpp.o"
+  "CMakeFiles/pnc_train.dir/tuner.cpp.o.d"
+  "libpnc_train.a"
+  "libpnc_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

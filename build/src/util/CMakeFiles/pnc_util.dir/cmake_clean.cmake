@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_util.dir/logging.cpp.o"
+  "CMakeFiles/pnc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pnc_util.dir/rng.cpp.o"
+  "CMakeFiles/pnc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pnc_util.dir/stats.cpp.o"
+  "CMakeFiles/pnc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pnc_util.dir/table.cpp.o"
+  "CMakeFiles/pnc_util.dir/table.cpp.o.d"
+  "libpnc_util.a"
+  "libpnc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

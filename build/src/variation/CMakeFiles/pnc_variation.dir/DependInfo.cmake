@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variation/drift.cpp" "src/variation/CMakeFiles/pnc_variation.dir/drift.cpp.o" "gcc" "src/variation/CMakeFiles/pnc_variation.dir/drift.cpp.o.d"
+  "/root/repo/src/variation/variation.cpp" "src/variation/CMakeFiles/pnc_variation.dir/variation.cpp.o" "gcc" "src/variation/CMakeFiles/pnc_variation.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/pnc_autodiff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

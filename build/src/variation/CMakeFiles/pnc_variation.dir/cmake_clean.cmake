@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_variation.dir/drift.cpp.o"
+  "CMakeFiles/pnc_variation.dir/drift.cpp.o.d"
+  "CMakeFiles/pnc_variation.dir/variation.cpp.o"
+  "CMakeFiles/pnc_variation.dir/variation.cpp.o.d"
+  "libpnc_variation.a"
+  "libpnc_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_augment.dir/augment/test_augment.cpp.o"
+  "CMakeFiles/test_augment.dir/augment/test_augment.cpp.o.d"
+  "CMakeFiles/test_augment.dir/augment/test_augment_properties.cpp.o"
+  "CMakeFiles/test_augment.dir/augment/test_augment_properties.cpp.o.d"
+  "CMakeFiles/test_augment.dir/augment/test_fft.cpp.o"
+  "CMakeFiles/test_augment.dir/augment/test_fft.cpp.o.d"
+  "test_augment"
+  "test_augment.pdb"
+  "test_augment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

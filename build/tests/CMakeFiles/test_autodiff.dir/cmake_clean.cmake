@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autodiff.dir/autodiff/test_gradcheck.cpp.o"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_gradcheck.cpp.o.d"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_graph.cpp.o"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_graph.cpp.o.d"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_graph_stress.cpp.o"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_graph_stress.cpp.o.d"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_ops.cpp.o"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_ops.cpp.o.d"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_ops_properties.cpp.o"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_ops_properties.cpp.o.d"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_tensor.cpp.o"
+  "CMakeFiles/test_autodiff.dir/autodiff/test_tensor.cpp.o.d"
+  "test_autodiff"
+  "test_autodiff.pdb"
+  "test_autodiff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

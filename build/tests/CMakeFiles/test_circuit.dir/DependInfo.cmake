@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/test_ac.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_ac.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_ac.cpp.o.d"
+  "/root/repo/tests/circuit/test_crossbar.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_crossbar.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_crossbar.cpp.o.d"
+  "/root/repo/tests/circuit/test_device.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_device.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_device.cpp.o.d"
+  "/root/repo/tests/circuit/test_mna.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_mna.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_mna.cpp.o.d"
+  "/root/repo/tests/circuit/test_netlists.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_netlists.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_netlists.cpp.o.d"
+  "/root/repo/tests/circuit/test_nonlinear.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_nonlinear.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_nonlinear.cpp.o.d"
+  "/root/repo/tests/circuit/test_ptanh.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_ptanh.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_ptanh.cpp.o.d"
+  "/root/repo/tests/circuit/test_ptanh_extract.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_ptanh_extract.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_ptanh_extract.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/pnc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pnc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/pnc_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pnc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/pnc_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pnc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pnc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/pnc_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/pnc_hardware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit.dir/circuit/test_ac.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_ac.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_crossbar.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_crossbar.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_device.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_device.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_mna.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_mna.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_netlists.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_netlists.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_nonlinear.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_nonlinear.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_ptanh.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_ptanh.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_ptanh_extract.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_ptanh_extract.cpp.o.d"
+  "test_circuit"
+  "test_circuit.pdb"
+  "test_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_adapt_pnc.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_adapt_pnc.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_crossbar_layer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_crossbar_layer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_filter_layer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_filter_layer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_filter_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_filter_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ptanh_layer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ptanh_layer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ptpb.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ptpb.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_serialize.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_serialize.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

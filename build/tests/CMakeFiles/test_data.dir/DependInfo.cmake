@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/test_dataset.cpp" "tests/CMakeFiles/test_data.dir/data/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_dataset.cpp.o.d"
+  "/root/repo/tests/data/test_generate_raw.cpp" "tests/CMakeFiles/test_data.dir/data/test_generate_raw.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_generate_raw.cpp.o.d"
+  "/root/repo/tests/data/test_generators.cpp" "tests/CMakeFiles/test_data.dir/data/test_generators.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_generators.cpp.o.d"
+  "/root/repo/tests/data/test_preprocess.cpp" "tests/CMakeFiles/test_data.dir/data/test_preprocess.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_preprocess.cpp.o.d"
+  "/root/repo/tests/data/test_signals.cpp" "tests/CMakeFiles/test_data.dir/data/test_signals.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_signals.cpp.o.d"
+  "/root/repo/tests/data/test_ucr_io.cpp" "tests/CMakeFiles/test_data.dir/data/test_ucr_io.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_ucr_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/pnc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pnc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/pnc_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pnc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/pnc_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pnc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pnc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/pnc_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/pnc_hardware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

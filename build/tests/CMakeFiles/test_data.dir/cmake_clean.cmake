@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_generate_raw.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_generate_raw.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_generators.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_generators.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_preprocess.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_preprocess.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_signals.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_signals.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_ucr_io.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_ucr_io.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardware.dir/hardware/test_cost_model.cpp.o"
+  "CMakeFiles/test_hardware.dir/hardware/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_hardware.dir/hardware/test_yield.cpp.o"
+  "CMakeFiles/test_hardware.dir/hardware/test_yield.cpp.o.d"
+  "test_hardware"
+  "test_hardware.pdb"
+  "test_hardware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/train/test_arch_search.cpp" "tests/CMakeFiles/test_train.dir/train/test_arch_search.cpp.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_arch_search.cpp.o.d"
+  "/root/repo/tests/train/test_experiment.cpp" "tests/CMakeFiles/test_train.dir/train/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_experiment.cpp.o.d"
+  "/root/repo/tests/train/test_metrics.cpp" "tests/CMakeFiles/test_train.dir/train/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_metrics.cpp.o.d"
+  "/root/repo/tests/train/test_optimizer.cpp" "tests/CMakeFiles/test_train.dir/train/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_optimizer.cpp.o.d"
+  "/root/repo/tests/train/test_paper_hidden.cpp" "tests/CMakeFiles/test_train.dir/train/test_paper_hidden.cpp.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_paper_hidden.cpp.o.d"
+  "/root/repo/tests/train/test_trainer.cpp" "tests/CMakeFiles/test_train.dir/train/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_trainer.cpp.o.d"
+  "/root/repo/tests/train/test_tuner.cpp" "tests/CMakeFiles/test_train.dir/train/test_tuner.cpp.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pnc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/pnc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pnc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/pnc_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pnc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/pnc_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pnc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pnc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/pnc_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/pnc_hardware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

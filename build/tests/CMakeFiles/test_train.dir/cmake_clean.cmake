@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train.dir/train/test_arch_search.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_arch_search.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_experiment.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_experiment.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_metrics.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_metrics.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_optimizer.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_paper_hidden.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_paper_hidden.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_trainer.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_trainer.cpp.o.d"
+  "CMakeFiles/test_train.dir/train/test_tuner.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_tuner.cpp.o.d"
+  "test_train"
+  "test_train.pdb"
+  "test_train[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variation.dir/variation/test_drift.cpp.o"
+  "CMakeFiles/test_variation.dir/variation/test_drift.cpp.o.d"
+  "CMakeFiles/test_variation.dir/variation/test_variation.cpp.o"
+  "CMakeFiles/test_variation.dir/variation/test_variation.cpp.o.d"
+  "test_variation"
+  "test_variation.pdb"
+  "test_variation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
