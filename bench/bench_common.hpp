@@ -1,9 +1,14 @@
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "pnc/train/experiment.hpp"
+#include "pnc/util/thread_pool.hpp"
 
 namespace pnc::bench {
 
@@ -38,5 +43,73 @@ inline void apply_scale(train::ExperimentSpec& spec) {
     spec.sequence_length = 64;
   }
 }
+
+/// Machine-readable run report written next to the CSV outputs as
+/// `BENCH_<name>.json`. Records the pool size the run saw, total wall
+/// seconds, per-phase timings and any scalar metrics (speedups, scores),
+/// so CI and the analysis notebooks can diff runs without parsing logs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  void phase_seconds(const std::string& phase, double seconds) {
+    phases_.emplace_back(phase, seconds);
+  }
+
+  /// Run `fn()` and record its wall time as a phase.
+  template <class F>
+  void timed_phase(const std::string& phase, F&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    phase_seconds(phase, elapsed_since(t0));
+  }
+
+  double seconds_since_start() const { return elapsed_since(start_); }
+
+  /// Write BENCH_<name>.json in the current directory.
+  void write() const {
+    std::ofstream out("BENCH_" + name_ + ".json");
+    out.precision(9);
+    out << "{\n";
+    out << "  \"name\": \"" << name_ << "\",\n";
+    out << "  \"threads\": " << util::hardware_threads() << ",\n";
+    out << "  \"quick_mode\": " << (quick_mode() ? "true" : "false") << ",\n";
+    out << "  \"wall_seconds\": " << seconds_since_start() << ",\n";
+    out << "  \"phases\": {";
+    write_pairs(out, phases_);
+    out << "},\n";
+    out << "  \"metrics\": {";
+    write_pairs(out, metrics_);
+    out << "}\n";
+    out << "}\n";
+  }
+
+ private:
+  static double elapsed_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  }
+
+  static void write_pairs(
+      std::ofstream& out,
+      const std::vector<std::pair<std::string, double>>& pairs) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\n    \"" << pairs[i].first << "\": " << pairs[i].second;
+    }
+    if (!pairs.empty()) out << "\n  ";
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace pnc::bench

@@ -2,11 +2,20 @@
 // autodiff forward/backward, filter steps and whole-model passes. Useful
 // for tracking performance regressions in the training stack that all
 // table harnesses sit on.
+//
+// Besides the google-benchmark timings printed to stdout, main() runs
+// direct head-to-head comparisons (blocked vs naive matmul, fused vs
+// transpose-copy backward, Monte-Carlo fan-out at 1/2/N threads) and
+// writes them to BENCH_micro_ops.json.
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
+#include "bench_common.hpp"
 #include "pnc/autodiff/ops.hpp"
 #include "pnc/core/adapt_pnc.hpp"
+#include "pnc/train/trainer.hpp"
 
 namespace {
 
@@ -28,7 +37,51 @@ void bm_matmul(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(bm_matmul)->Range(8, 256)->Complexity(benchmark::oNCubed);
+BENCHMARK(bm_matmul)->Range(8, 512)->Complexity(benchmark::oNCubed);
+
+void bm_matmul_naive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ad::Tensor a = random_tensor(n, n, 1);
+  const ad::Tensor b = random_tensor(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ad::matmul_naive(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_matmul_naive)->Range(8, 512)->Complexity(benchmark::oNCubed);
+
+void bm_matmul_backward_fused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ad::Tensor g = random_tensor(n, n, 3);
+  const ad::Tensor a = random_tensor(n, n, 4);
+  const ad::Tensor b = random_tensor(n, n, 5);
+  ad::Tensor da(n, n);
+  ad::Tensor db(n, n);
+  for (auto _ : state) {
+    ad::add_matmul_abt(da, g, b);
+    ad::add_matmul_atb(db, a, g);
+    benchmark::DoNotOptimize(da.data().data());
+    benchmark::DoNotOptimize(db.data().data());
+  }
+}
+BENCHMARK(bm_matmul_backward_fused)->Range(16, 256);
+
+void bm_matmul_backward_transposed(benchmark::State& state) {
+  // The pre-rewrite backward: materialize the transposes, then multiply.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ad::Tensor g = random_tensor(n, n, 3);
+  const ad::Tensor a = random_tensor(n, n, 4);
+  const ad::Tensor b = random_tensor(n, n, 5);
+  ad::Tensor da(n, n);
+  ad::Tensor db(n, n);
+  for (auto _ : state) {
+    da += ad::matmul_naive(g, b.transposed());
+    db += ad::matmul_naive(a.transposed(), g);
+    benchmark::DoNotOptimize(da.data().data());
+    benchmark::DoNotOptimize(db.data().data());
+  }
+}
+BENCHMARK(bm_matmul_backward_transposed)->Range(16, 256);
 
 void bm_elementwise_graph(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -115,6 +168,104 @@ void bm_variation_sampling(benchmark::State& state) {
 }
 BENCHMARK(bm_variation_sampling);
 
+// ---------------------------------------------------------------------------
+// Direct head-to-head timings for BENCH_micro_ops.json.
+
+template <class F>
+double best_seconds(int reps, F&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+void report_matmul_kernels(bench::JsonReport& report, int reps) {
+  const std::size_t n = bench::quick_mode() ? 96 : 192;
+  const ad::Tensor a = random_tensor(n, n, 21);
+  const ad::Tensor b = random_tensor(n, n, 22);
+  const double naive = best_seconds(reps, [&] {
+    benchmark::DoNotOptimize(ad::matmul_naive(a, b));
+  });
+  const double blocked = best_seconds(reps, [&] {
+    benchmark::DoNotOptimize(ad::matmul(a, b));
+  });
+  report.phase_seconds("matmul_naive", naive);
+  report.phase_seconds("matmul_blocked", blocked);
+  report.metric("matmul_blocked_speedup", naive / blocked);
+
+  const ad::Tensor g = random_tensor(n, n, 23);
+  ad::Tensor da(n, n);
+  ad::Tensor db(n, n);
+  const double transposed = best_seconds(reps, [&] {
+    da += ad::matmul_naive(g, b.transposed());
+    db += ad::matmul_naive(a.transposed(), g);
+  });
+  const double fused = best_seconds(reps, [&] {
+    ad::add_matmul_abt(da, g, b);
+    ad::add_matmul_atb(db, a, g);
+  });
+  report.phase_seconds("matmul_backward_transposed", transposed);
+  report.phase_seconds("matmul_backward_fused", fused);
+  report.metric("matmul_backward_fused_speedup", transposed / fused);
+}
+
+void report_mc_fanout(bench::JsonReport& report, int reps) {
+  // The tentpole path: one variation-aware gradient round, fanned out over
+  // pools of different sizes. On a single-core host the >1 thread numbers
+  // track pool overhead rather than speedup; "threads" in the JSON records
+  // what the host offered.
+  const data::Dataset ds =
+      data::make_dataset("Slope", 42, bench::quick_mode() ? 32 : 64);
+  auto model = core::make_adapt_pnc(static_cast<std::size_t>(ds.num_classes),
+                                    ds.sample_period, 1, 6);
+  const auto spec = variation::VariationSpec::printing(0.10, 8);
+  std::vector<std::uint64_t> seeds(8);
+  util::Rng rng(19);
+  for (auto& s : seeds) s = rng();
+  const auto params = model->parameters();
+  std::vector<ad::GradSink> sinks;
+  for (std::size_t s = 0; s < seeds.size(); ++s) sinks.emplace_back(params);
+
+  auto round_seconds = [&](std::size_t pool_size) {
+    util::ThreadPool pool(pool_size);
+    return best_seconds(reps, [&] {
+      for (auto* p : params) p->zero_grad();
+      benchmark::DoNotOptimize(
+          train::monte_carlo_round(*model, ds.train, spec, seeds, pool,
+                                   sinks));
+    });
+  };
+
+  const double serial = round_seconds(1);
+  report.phase_seconds("mc_round_threads_1", serial);
+  const std::size_t hw = util::hardware_threads();
+  for (std::size_t t : {std::size_t{2}, hw}) {
+    if (t <= 1) continue;
+    const double parallel = round_seconds(t);
+    const std::string suffix = std::to_string(t);
+    report.phase_seconds("mc_round_threads_" + suffix, parallel);
+    report.metric("mc_fanout_speedup_" + suffix, serial / parallel);
+    if (t == hw) break;  // hw == 2 would otherwise repeat
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  bench::JsonReport report("micro_ops");
+  const int reps = bench::quick_mode() ? 3 : 7;
+  report_matmul_kernels(report, reps);
+  report_mc_fanout(report, reps);
+  report.write();
+  return 0;
+}

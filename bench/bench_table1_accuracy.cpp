@@ -5,8 +5,11 @@
 // Protocol (Sec. IV): multi-seed training, top-3 model selection by clean
 // test accuracy, Monte-Carlo evaluation; rows report mean ± std over the
 // selected models. Scaled per EXPERIMENTS.md (set PNC_QUICK=1 for a smoke
-// run).
+// run). Datasets run concurrently on the process-wide pool; the training
+// loops inside each dataset then run their Monte-Carlo fan-out serially
+// inline, so the machine is never oversubscribed.
 
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -22,35 +25,54 @@ train::ExperimentResult run_cell(train::ExperimentSpec spec) {
   return run_experiment(spec);
 }
 
+struct DatasetRow {
+  train::ExperimentResult elman;
+  train::ExperimentResult base;
+  train::ExperimentResult adapt;
+  double seconds = 0.0;
+};
+
 }  // namespace
 
 int main() {
   using util::format_mean_std;
+
+  bench::JsonReport report("table1_accuracy");
+  const auto specs = data::benchmark_specs();
+  std::vector<DatasetRow> rows(specs.size());
+
+  util::global_pool().parallel_for(specs.size(), [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::cerr << "[table1] " << specs[i].name << "...\n";
+    rows[i].elman = run_cell(train::elman_spec(specs[i].name));
+    rows[i].base = run_cell(train::baseline_spec(specs[i].name));
+    rows[i].adapt = run_cell(train::adapt_spec(specs[i].name));
+    rows[i].seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  });
 
   util::Table table({"Dataset", "Elman RNN (Reference)", "pTPNC (Baseline)",
                      "Robustness-Aware ADAPT-pNC"});
   std::vector<double> elman_means, base_means, adapt_means;
   std::vector<double> elman_stds, base_stds, adapt_stds;
 
-  for (const auto& spec : data::benchmark_specs()) {
-    std::cerr << "[table1] " << spec.name << "...\n";
-    const auto r_elman = run_cell(train::elman_spec(spec.name));
-    const auto r_base = run_cell(train::baseline_spec(spec.name));
-    const auto r_adapt = run_cell(train::adapt_spec(spec.name));
-
-    table.add_row({spec.name,
-                   format_mean_std(r_elman.perturbed_accuracy.mean,
-                                   r_elman.perturbed_accuracy.stddev),
-                   format_mean_std(r_base.perturbed_accuracy.mean,
-                                   r_base.perturbed_accuracy.stddev),
-                   format_mean_std(r_adapt.perturbed_accuracy.mean,
-                                   r_adapt.perturbed_accuracy.stddev)});
-    elman_means.push_back(r_elman.perturbed_accuracy.mean);
-    base_means.push_back(r_base.perturbed_accuracy.mean);
-    adapt_means.push_back(r_adapt.perturbed_accuracy.mean);
-    elman_stds.push_back(r_elman.perturbed_accuracy.stddev);
-    base_stds.push_back(r_base.perturbed_accuracy.stddev);
-    adapt_stds.push_back(r_adapt.perturbed_accuracy.stddev);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const DatasetRow& row = rows[i];
+    table.add_row({specs[i].name,
+                   format_mean_std(row.elman.perturbed_accuracy.mean,
+                                   row.elman.perturbed_accuracy.stddev),
+                   format_mean_std(row.base.perturbed_accuracy.mean,
+                                   row.base.perturbed_accuracy.stddev),
+                   format_mean_std(row.adapt.perturbed_accuracy.mean,
+                                   row.adapt.perturbed_accuracy.stddev)});
+    elman_means.push_back(row.elman.perturbed_accuracy.mean);
+    base_means.push_back(row.base.perturbed_accuracy.mean);
+    adapt_means.push_back(row.adapt.perturbed_accuracy.mean);
+    elman_stds.push_back(row.elman.perturbed_accuracy.stddev);
+    base_stds.push_back(row.base.perturbed_accuracy.stddev);
+    adapt_stds.push_back(row.adapt.perturbed_accuracy.stddev);
+    report.phase_seconds(specs[i].name, row.seconds);
   }
 
   table.add_row({"Average",
@@ -71,5 +93,11 @@ int main() {
   std::cout << "\nADAPT-pNC improvement over baseline: "
             << util::format_fixed(improvement * 100.0, 1)
             << " accuracy points (paper: ~14.4 points / ~24.7% relative)\n";
+
+  report.metric("elman_perturbed_mean", util::mean(elman_means));
+  report.metric("baseline_perturbed_mean", util::mean(base_means));
+  report.metric("adapt_perturbed_mean", util::mean(adapt_means));
+  report.metric("adapt_vs_baseline_points", improvement * 100.0);
+  report.write();
   return 0;
 }

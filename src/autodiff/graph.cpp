@@ -4,6 +4,32 @@
 
 namespace pnc::ad {
 
+GradSink::GradSink(const std::vector<Parameter*>& params) : params_(params) {
+  grads_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    grads_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+Tensor* GradSink::find(const Parameter* p) {
+  // Linear scan: parameter sets here are a handful of tensors, and the
+  // scan is branch-predictable; a hash map costs more than it saves.
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i] == p) return &grads_[i];
+  }
+  return nullptr;
+}
+
+void GradSink::clear() {
+  for (Tensor& g : grads_) g.zero();
+}
+
+void GradSink::reduce_into_params() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->grad += grads_[i];
+  }
+}
+
 const Tensor& Var::value() const {
   if (!graph_) throw std::logic_error("Var::value() on invalid Var");
   return graph_->value(*this);
@@ -66,7 +92,15 @@ void Graph::backward(Var loss) {
     NodeRecord& n = nodes_[i];
     if (!n.requires_grad || !n.grad_ready) continue;
     if (n.backward) n.backward(*this);
-    if (n.param) n.param->grad += n.grad;
+    if (n.param) {
+      Tensor* dst =
+          grad_sink_ != nullptr ? grad_sink_->find(n.param) : nullptr;
+      if (dst != nullptr) {
+        *dst += n.grad;
+      } else {
+        n.param->grad += n.grad;
+      }
+    }
   }
 }
 

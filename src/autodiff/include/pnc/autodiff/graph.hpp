@@ -30,6 +30,37 @@ struct Parameter {
   std::size_t size() const { return value.size(); }
 };
 
+/// Private per-thread gradient buffers for a fixed parameter set.
+///
+/// Graph::backward normally accumulates straight into Parameter::grad;
+/// when several Monte-Carlo samples run backward concurrently over the
+/// same model that is a data race. A GradSink installed on the graph
+/// redirects the accumulation into buffers owned by the sink; the caller
+/// reduces the per-sample sinks into the shared grads afterwards, in a
+/// fixed order, which keeps training bit-deterministic for any thread
+/// count.
+class GradSink {
+ public:
+  GradSink() = default;
+  explicit GradSink(const std::vector<Parameter*>& params);
+
+  /// Buffer for `p`, or nullptr when p is not covered (backward then
+  /// falls through to p->grad — only safe single-threaded).
+  Tensor* find(const Parameter* p);
+
+  /// Zero every buffer (reuse across epochs without reallocating).
+  void clear();
+
+  /// Add every buffer into its parameter's grad. Call from one thread.
+  void reduce_into_params();
+
+  std::size_t parameter_count() const { return params_.size(); }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> grads_;
+};
+
 /// Lightweight handle to a node in a Graph tape.
 class Var {
  public:
@@ -84,6 +115,11 @@ class Graph {
   /// Run reverse-mode accumulation from a scalar (1x1) loss node.
   void backward(Var loss);
 
+  /// Redirect parameter-gradient accumulation into `sink` (nullptr
+  /// restores the default accumulation into Parameter::grad). The sink
+  /// must outlive every backward() call on this graph.
+  void set_grad_sink(GradSink* sink) { grad_sink_ = sink; }
+
   const Tensor& value(Var v) const;
   Tensor& mutable_value(Var v);
   Tensor& grad(Var v);
@@ -109,6 +145,7 @@ class Graph {
   void ensure_grad(NodeRecord& n);
 
   std::vector<NodeRecord> nodes_;
+  GradSink* grad_sink_ = nullptr;
 };
 
 }  // namespace pnc::ad

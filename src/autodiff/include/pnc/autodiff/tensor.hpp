@@ -27,6 +27,19 @@ class Tensor {
   /// From explicit data (size must be rows*cols).
   Tensor(std::size_t rows, std::size_t cols, std::vector<double> data);
 
+  /// Storage is recycled through a thread-local free list (tensor_pool.hpp)
+  /// so the per-epoch graph rebuilds of variation-aware training reuse
+  /// buffers instead of hitting the allocator.
+  ~Tensor();
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+
+  /// (rows x cols) with unspecified contents — for kernels that overwrite
+  /// every element before the tensor escapes.
+  static Tensor uninitialized(std::size_t rows, std::size_t cols);
+
   static Tensor scalar(double value);
   static Tensor row(std::vector<double> values);
   static Tensor column(std::vector<double> values);
@@ -82,7 +95,29 @@ class Tensor {
 };
 
 /// Matrix product (a.rows x b.cols); throws on inner-dim mismatch.
+/// Cache-blocked ikj kernel with contiguous inner traversal of both
+/// operands.
 Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// `out = a * b` into an existing tensor of shape (a.rows x b.cols);
+/// throws on shape mismatch. Avoids the result allocation of matmul().
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
+
+/// Unblocked triple-loop reference kernel (the pre-optimization
+/// implementation). Kept for gradcheck cross-validation and as the
+/// micro-benchmark baseline; not used on any hot path.
+Tensor matmul_naive(const Tensor& a, const Tensor& b);
+
+/// Fused backward kernels of matmul (see ops.cpp): accumulate without
+/// materializing a transposed copy of the indexed operand.
+///
+/// `out += g * b^T` — out is (g.rows x b.rows); inner loop is a dot
+/// product of two contiguous rows.
+void add_matmul_abt(Tensor& out, const Tensor& g, const Tensor& b);
+
+/// `out += a^T * g` — out is (a.cols x g.cols); inner loop is a
+/// contiguous axpy over rows of g.
+void add_matmul_atb(Tensor& out, const Tensor& a, const Tensor& g);
 
 /// Max |a - b| over all elements; throws on shape mismatch.
 double max_abs_diff(const Tensor& a, const Tensor& b);

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pnc::ad {
+
+/// Counters of the calling thread's tensor buffer pool.
+struct TensorPoolStats {
+  std::uint64_t hits = 0;      // acquisitions served from the free list
+  std::uint64_t misses = 0;    // acquisitions that had to allocate
+  std::uint64_t recycled = 0;  // buffers returned to the free list
+  std::uint64_t dropped = 0;   // buffers freed instead of pooled (bucket
+                               // full, over the size cap, or shrunk)
+};
+
+namespace detail {
+
+/// Buffer with size == n, reused from the calling thread's free list when a
+/// same-sized buffer is available. Contents are unspecified — callers fill.
+std::vector<double> pool_acquire(std::size_t n);
+
+/// Hand a buffer back to the calling thread's free list (or free it when
+/// the bucket for its size is full).
+void pool_release(std::vector<double>&& buffer);
+
+}  // namespace detail
+
+/// Stats of the calling thread's pool (pools are strictly thread-local, so
+/// each thread observes only its own traffic).
+TensorPoolStats tensor_pool_stats();
+
+/// Drop every cached buffer of the calling thread and zero its stats.
+void tensor_pool_clear();
+
+}  // namespace pnc::ad

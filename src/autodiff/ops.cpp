@@ -165,11 +165,13 @@ Var matmul(Var a, Var b) {
   Var result = g.node(std::move(out), {a, b});
   g.set_backward(result, [=](Graph& gg) {
     const Tensor& go = gg.grad(result);
+    // Fused kernels index the transposed operand in place — no
+    // .transposed() copy and no temporary product tensor.
     if (gg.requires_grad(a)) {
-      gg.grad(a) += matmul(go, gg.value(b).transposed());
+      add_matmul_abt(gg.grad(a), go, gg.value(b));
     }
     if (gg.requires_grad(b)) {
-      gg.grad(b) += matmul(gg.value(a).transposed(), go);
+      add_matmul_atb(gg.grad(b), gg.value(a), go);
     }
   });
   return result;

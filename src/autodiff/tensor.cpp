@@ -1,15 +1,22 @@
 #include "pnc/autodiff/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "pnc/autodiff/tensor_pool.hpp"
 
 namespace pnc::ad {
 
 Tensor::Tensor(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+    : rows_(rows), cols_(cols), data_(detail::pool_acquire(rows * cols)) {
+  std::fill(data_.begin(), data_.end(), 0.0);
+}
 
 Tensor::Tensor(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols), data_(detail::pool_acquire(rows * cols)) {
+  std::fill(data_.begin(), data_.end(), fill);
+}
 
 Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
@@ -18,6 +25,55 @@ Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<double> data)
                                 std::to_string(data_.size()) +
                                 " does not match shape " + shape_string());
   }
+}
+
+Tensor::~Tensor() { detail::pool_release(std::move(data_)); }
+
+Tensor::Tensor(const Tensor& other)
+    : rows_(other.rows_), cols_(other.cols_),
+      data_(detail::pool_acquire(other.data_.size())) {
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    if (data_.size() != other.data_.size()) {
+      detail::pool_release(std::move(data_));
+      data_ = detail::pool_acquire(other.data_.size());
+    }
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+  }
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_.clear();
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    detail::pool_release(std::move(data_));
+    data_ = std::move(other.data_);
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+  }
+  return *this;
+}
+
+Tensor Tensor::uninitialized(std::size_t rows, std::size_t cols) {
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = detail::pool_acquire(rows * cols);
+  return t;
 }
 
 Tensor Tensor::scalar(double value) { return Tensor(1, 1, {value}); }
@@ -77,13 +133,13 @@ Tensor& Tensor::operator*=(double scalar) {
 }
 
 Tensor Tensor::map(const std::function<double(double)>& f) const {
-  Tensor out(rows_, cols_);
+  Tensor out = uninitialized(rows_, cols_);
   for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
   return out;
 }
 
 Tensor Tensor::transposed() const {
-  Tensor out(cols_, rows_);
+  Tensor out = uninitialized(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
   }
@@ -106,13 +162,119 @@ std::string Tensor::shape_string() const {
   return "(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
 }
 
+namespace {
+// Block sizes for the large-matrix ikj kernel, chosen so one k-panel of
+// `b` plus the touched slice of `out` fit comfortably in L2.
+constexpr std::size_t kBlockK = 64;
+constexpr std::size_t kBlockJ = 256;
+// Below this working-set size for `b`, k-blocking only re-sweeps `out`
+// rows for no cache benefit — use the single-pass kernel instead. The
+// cutover is deliberately conservative (~LLC-sized): every matrix in the
+// ADAPT-pNC models is far below it, so the blocked path only exists for
+// future large-model work.
+constexpr std::size_t kBlockedCutoverBytes = std::size_t{8} << 20;
+
+const double* row_ptr(const Tensor& t, std::size_t r) {
+  return t.data().data() + r * t.cols();
+}
+
+double* row_ptr(Tensor& t, std::size_t r) {
+  return t.data().data() + r * t.cols();
+}
+
+// Raw-pointer core of the ikj product: out(m x n) += a(m x inner) * b.
+// The restrict qualifiers promise the output buffer never aliases an
+// input (Tensor operands are always distinct objects), which lets the
+// inner axpy vectorize without alias-versioned scalar fallbacks.
+void mm_accumulate(double* __restrict out, const double* __restrict a,
+                   const double* __restrict b, std::size_t m,
+                   std::size_t inner, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    double* out_row = out + i * n;
+    const double* a_row = a + i * inner;
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b + k * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+// out(ac x n) += a^T * g with a (m x ac), g (m x n): reads a along its
+// rows, so the transpose is never materialized, and the inner axpy over a
+// contiguous g row vectorizes.
+void mm_accumulate_atb(double* __restrict out, const double* __restrict a,
+                       const double* __restrict g, std::size_t m,
+                       std::size_t ac, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* g_row = g + i * n;
+    const double* a_row = a + i * ac;
+    for (std::size_t k = 0; k < ac; ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      double* out_row = out + k * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * g_row[j];
+    }
+  }
+}
+}  // namespace
+
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimensions differ " +
+                                a.shape_string() + " * " + b.shape_string());
+  }
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_into: output shape " +
+                                out.shape_string() + " for product " +
+                                a.shape_string() + " * " + b.shape_string());
+  }
+  out.zero();
+  const std::size_t m = a.rows();
+  const std::size_t inner = a.cols();
+  const std::size_t n = b.cols();
+  // Both paths are ikj with a contiguous inner j-loop and a zero-skip on
+  // a(i, k) (crossbar weight matrices are sparse after clamping).
+  if (inner * n * sizeof(double) <= kBlockedCutoverBytes) {
+    // `b` fits in cache: one pass over each row of `out`.
+    mm_accumulate(out.data().data(), a.data().data(), b.data().data(), m,
+                  inner, n);
+    return;
+  }
+  // Blocked ikj: blocking k and j keeps one panel of `b` hot across
+  // successive rows of `a` once `b` is bigger than the cache.
+  for (std::size_t k0 = 0; k0 < inner; k0 += kBlockK) {
+    const std::size_t k1 = std::min(k0 + kBlockK, inner);
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+      const std::size_t jlen = std::min(j0 + kBlockJ, n) - j0;
+      for (std::size_t i = 0; i < m; ++i) {
+        double* out_row = row_ptr(out, i) + j0;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double aik = a(i, k);
+          if (aik == 0.0) continue;
+          const double* b_row = row_ptr(b, k) + j0;
+          for (std::size_t j = 0; j < jlen; ++j) {
+            out_row[j] += aik * b_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor out = Tensor::uninitialized(a.rows(), b.cols());
+  matmul_into(out, a, b);
+  return out;
+}
+
+Tensor matmul_naive(const Tensor& a, const Tensor& b) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("matmul: inner dimensions differ " +
                                 a.shape_string() + " * " + b.shape_string());
   }
   Tensor out(a.rows(), b.cols());
-  // ikj loop order keeps the inner traversal contiguous for both operands.
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
@@ -123,6 +285,52 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     }
   }
   return out;
+}
+
+void add_matmul_abt(Tensor& out, const Tensor& g, const Tensor& b) {
+  if (g.cols() != b.cols()) {
+    throw std::invalid_argument("add_matmul_abt: inner dimensions differ " +
+                                g.shape_string() + " * " + b.shape_string() +
+                                "^T");
+  }
+  if (out.rows() != g.rows() || out.cols() != b.rows()) {
+    throw std::invalid_argument("add_matmul_abt: output shape " +
+                                out.shape_string() + " for " +
+                                g.shape_string() + " * " + b.shape_string() +
+                                "^T");
+  }
+  const std::size_t inner = g.cols();
+  if (inner == 0) return;
+  // One pooled transpose of b, then the vectorized axpy core. The
+  // copy-free row-dot formulation (out(i,k) += <g row i, b row k>) was
+  // measured slower: a dot product is a reduction, which the compiler
+  // refuses to vectorize under strict IEEE semantics, while the O(k*n)
+  // transpose is recycled from the buffer pool and amortizes instantly
+  // against the vectorized O(m*k*n) product.
+  const Tensor bt = b.transposed();
+  mm_accumulate(out.data().data(), g.data().data(), bt.data().data(),
+                g.rows(), inner, b.rows());
+}
+
+void add_matmul_atb(Tensor& out, const Tensor& a, const Tensor& g) {
+  if (a.rows() != g.rows()) {
+    throw std::invalid_argument("add_matmul_atb: inner dimensions differ " +
+                                a.shape_string() + "^T * " +
+                                g.shape_string());
+  }
+  if (out.rows() != a.cols() || out.cols() != g.cols()) {
+    throw std::invalid_argument("add_matmul_atb: output shape " +
+                                out.shape_string() + " for " +
+                                a.shape_string() + "^T * " +
+                                g.shape_string());
+  }
+  const std::size_t n = g.cols();
+  if (n == 0) return;
+  // out(k, j) += a(i, k) * g(i, j): axpy of a contiguous g row into a
+  // contiguous out row; a is read along its own rows, so no transposed
+  // copy of a is ever formed.
+  mm_accumulate_atb(out.data().data(), a.data().data(), g.data().data(),
+                    a.rows(), a.cols(), n);
 }
 
 double max_abs_diff(const Tensor& a, const Tensor& b) {

@@ -1,0 +1,96 @@
+#include "pnc/autodiff/tensor_pool.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+namespace pnc::ad {
+
+namespace {
+
+// Free tensors are recycled per exact element count: the training loop
+// rebuilds the same graph shapes every epoch (and every Monte-Carlo
+// sample), so the size distribution is small and stable. Buckets are
+// bounded so a one-off large pass cannot pin memory forever.
+constexpr std::size_t kMaxBuffersPerSize = 128;
+constexpr std::size_t kMaxPooledElements = std::size_t{1} << 20;  // 8 MiB
+
+struct Pool {
+  std::unordered_map<std::size_t, std::vector<std::vector<double>>> buckets;
+  TensorPoolStats stats;
+};
+
+// Thread-exit ordering guard: tensors with static storage duration may be
+// destroyed after the thread-local pool. The flag is trivially
+// destructible, so reading it stays valid; once false, releases free
+// normally instead of touching the dead pool.
+thread_local bool tls_pool_alive = false;
+
+struct PoolHolder {
+  Pool pool;
+  PoolHolder() { tls_pool_alive = true; }
+  ~PoolHolder() { tls_pool_alive = false; }
+};
+
+Pool* tls_pool() {
+  thread_local PoolHolder holder;
+  return tls_pool_alive ? &holder.pool : nullptr;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::vector<double> pool_acquire(std::size_t n) {
+  if (n == 0) return {};
+  Pool* pool = tls_pool();
+  if (pool != nullptr && n <= kMaxPooledElements) {
+    auto it = pool->buckets.find(n);
+    if (it != pool->buckets.end() && !it->second.empty()) {
+      std::vector<double> buffer = std::move(it->second.back());
+      it->second.pop_back();
+      ++pool->stats.hits;
+      return buffer;
+    }
+    ++pool->stats.misses;
+  }
+  return std::vector<double>(n);
+}
+
+void pool_release(std::vector<double>&& buffer) {
+  if (buffer.capacity() == 0) return;
+  Pool* pool = tls_pool();
+  if (pool == nullptr) {
+    buffer = {};
+    return;
+  }
+  if (buffer.size() > kMaxPooledElements ||
+      buffer.size() != buffer.capacity()) {
+    ++pool->stats.dropped;
+    buffer = {};
+    return;
+  }
+  auto& bucket = pool->buckets[buffer.size()];
+  if (bucket.size() >= kMaxBuffersPerSize) {
+    ++pool->stats.dropped;
+    buffer = {};
+    return;
+  }
+  ++pool->stats.recycled;
+  bucket.push_back(std::move(buffer));
+}
+
+}  // namespace detail
+
+TensorPoolStats tensor_pool_stats() {
+  Pool* pool = tls_pool();
+  return pool ? pool->stats : TensorPoolStats{};
+}
+
+void tensor_pool_clear() {
+  if (Pool* pool = tls_pool()) {
+    pool->buckets.clear();
+    pool->stats = TensorPoolStats{};
+  }
+}
+
+}  // namespace pnc::ad

@@ -1,9 +1,12 @@
 #include "pnc/hardware/yield.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "pnc/autodiff/ops.hpp"
+#include "pnc/util/thread_pool.hpp"
 
 namespace pnc::hardware {
 
@@ -18,16 +21,26 @@ YieldResult estimate_yield(core::SequenceClassifier& model,
     throw std::invalid_argument("estimate_yield: threshold must be in [0,1]");
   }
   util::Rng rng(config.seed ^ 0x7969656c64ULL);
+  const auto n = static_cast<std::size_t>(config.num_circuits);
 
+  // One predict == one fabricated circuit (one variation realization).
+  // Circuits are independent, so they fan out over the pool; seeds are
+  // pre-drawn and results reduced in circuit order, keeping the estimate
+  // identical for any thread count.
+  std::vector<std::uint64_t> seeds(n);
+  for (auto& s : seeds) s = rng();
   YieldResult result;
-  result.accuracies.reserve(static_cast<std::size_t>(config.num_circuits));
+  result.accuracies.assign(n, 0.0);
+  util::global_pool().parallel_for(n, [&](std::size_t i) {
+    util::Rng circuit_rng(seeds[i]);
+    const ad::Tensor logits =
+        model.predict(split.inputs, variation, circuit_rng);
+    result.accuracies[i] = ad::accuracy(logits, split.labels);
+  });
+
   int passing = 0;
   double sum = 0.0;
-  for (int i = 0; i < config.num_circuits; ++i) {
-    // One predict == one fabricated circuit (one variation realization).
-    const ad::Tensor logits = model.predict(split.inputs, variation, rng);
-    const double acc = ad::accuracy(logits, split.labels);
-    result.accuracies.push_back(acc);
+  for (const double acc : result.accuracies) {
     result.worst_accuracy = std::min(result.worst_accuracy, acc);
     result.best_accuracy = std::max(result.best_accuracy, acc);
     sum += acc;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "pnc/core/model.hpp"
 #include "pnc/data/dataset.hpp"
 #include "pnc/train/optimizer.hpp"
+#include "pnc/util/thread_pool.hpp"
 
 namespace pnc::train {
 
@@ -29,6 +31,12 @@ struct TrainConfig {
   std::optional<augment::AugmentConfig> augmentation;
 
   std::uint64_t seed = 0;
+
+  /// Parallelism of the Monte-Carlo fan-out (workers + caller). 0 means
+  /// the process-wide pool (PNC_THREADS / hardware concurrency); any
+  /// explicit value gets a private pool of that size. Results are
+  /// bit-identical for a fixed seed regardless of this setting.
+  int num_threads = 0;
 };
 
 struct EpochStats {
@@ -49,10 +57,28 @@ struct TrainResult {
 };
 
 /// Mean cross-entropy loss of one Monte-Carlo forward pass; accumulates
-/// gradients scaled by `grad_scale` when `backward` is set.
+/// gradients scaled by `grad_scale` when `backward` is set. When `sink`
+/// is non-null the gradients land in the sink's buffers instead of
+/// Parameter::grad, which makes concurrent calls over one model safe.
 double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
                     const variation::VariationSpec& spec, util::Rng& rng,
-                    bool backward, double grad_scale = 1.0);
+                    bool backward, double grad_scale = 1.0,
+                    ad::GradSink* sink = nullptr);
+
+/// One Monte-Carlo gradient round (Eq. (13)): `seeds.size()` independent
+/// forward/backward passes fanned out over `pool`, one RNG stream and one
+/// gradient buffer per sample, reduced into Parameter::grad in sample
+/// order. Returns the mean loss. `sinks` must have one entry per sample,
+/// each built over model.parameters(); buffers are cleared on entry so
+/// rounds can reuse them. Bit-deterministic in the seeds for any pool
+/// size, because sample work depends only on seeds[s] and the reduction
+/// order is fixed.
+double monte_carlo_round(core::SequenceClassifier& model,
+                         const data::Split& batch,
+                         const variation::VariationSpec& spec,
+                         const std::vector<std::uint64_t>& seeds,
+                         util::ThreadPool& pool,
+                         std::vector<ad::GradSink>& sinks);
 
 /// Full-batch training loop implementing the paper's objective (Eq. (14)):
 /// AdamW, plateau LR halving, stop below min_lr, Monte-Carlo variation
@@ -62,7 +88,9 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
                   const TrainConfig& config);
 
 /// Accuracy of the model on a split under the given evaluation variation
-/// spec, averaged over `repeats` Monte-Carlo circuit realizations.
+/// spec, averaged over `repeats` Monte-Carlo circuit realizations. The
+/// repeats run on the process-wide pool with per-repeat RNG streams drawn
+/// from `rng` up front, so the result does not depend on the pool size.
 double evaluate_accuracy(core::SequenceClassifier& model,
                          const data::Split& split,
                          const variation::VariationSpec& spec, util::Rng& rng,

@@ -1,6 +1,8 @@
 #include "pnc/train/trainer.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "pnc/autodiff/ops.hpp"
 
@@ -8,8 +10,9 @@ namespace pnc::train {
 
 double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
                     const variation::VariationSpec& spec, util::Rng& rng,
-                    bool backward, double grad_scale) {
+                    bool backward, double grad_scale, ad::GradSink* sink) {
   ad::Graph g;
+  g.set_grad_sink(sink);
   const ad::Var logits = model.forward(g, batch.inputs, spec, rng);
   ad::Var loss = ad::softmax_cross_entropy(logits, batch.labels);
   if (backward) {
@@ -21,16 +24,51 @@ double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
   return g.value(loss).item();
 }
 
+double monte_carlo_round(core::SequenceClassifier& model,
+                         const data::Split& batch,
+                         const variation::VariationSpec& spec,
+                         const std::vector<std::uint64_t>& seeds,
+                         util::ThreadPool& pool,
+                         std::vector<ad::GradSink>& sinks) {
+  const std::size_t mc = seeds.size();
+  if (sinks.size() < mc) {
+    throw std::invalid_argument("monte_carlo_round: need one sink per seed");
+  }
+  const double grad_scale = 1.0 / static_cast<double>(mc);
+  std::vector<double> losses(mc, 0.0);
+  pool.parallel_for(mc, [&](std::size_t s) {
+    // Every sample's randomness comes from its own pre-drawn seed, and its
+    // gradients land in its own sink — the work is a pure function of s,
+    // so the thread executing it cannot affect the result.
+    util::Rng sample_rng(seeds[s]);
+    sinks[s].clear();
+    losses[s] = forward_loss(model, batch, spec, sample_rng,
+                             /*backward=*/true, grad_scale, &sinks[s]);
+  });
+  double mean_loss = 0.0;
+  for (std::size_t s = 0; s < mc; ++s) {
+    mean_loss += losses[s];
+    sinks[s].reduce_into_params();  // fixed order: deterministic rounding
+  }
+  return mean_loss / static_cast<double>(mc);
+}
+
 double evaluate_accuracy(core::SequenceClassifier& model,
                          const data::Split& split,
                          const variation::VariationSpec& spec, util::Rng& rng,
                          int repeats) {
+  const std::size_t n = static_cast<std::size_t>(std::max(repeats, 1));
+  std::vector<std::uint64_t> seeds(n);
+  for (auto& s : seeds) s = rng();
+  std::vector<double> accs(n, 0.0);
+  util::global_pool().parallel_for(n, [&](std::size_t i) {
+    util::Rng repeat_rng(seeds[i]);
+    const ad::Tensor logits = model.predict(split.inputs, spec, repeat_rng);
+    accs[i] = ad::accuracy(logits, split.labels);
+  });
   double acc = 0.0;
-  for (int i = 0; i < repeats; ++i) {
-    const ad::Tensor logits = model.predict(split.inputs, spec, rng);
-    acc += ad::accuracy(logits, split.labels);
-  }
-  return acc / static_cast<double>(repeats);
+  for (std::size_t i = 0; i < n; ++i) acc += accs[i];
+  return acc / static_cast<double>(n);
 }
 
 double evaluate_loss(core::SequenceClassifier& model, const data::Split& split,
@@ -56,6 +94,25 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
   const variation::VariationSpec clean = variation::VariationSpec::none();
   const int mc_samples =
       std::max(config.train_variation.monte_carlo_samples, 1);
+  const std::size_t mc = static_cast<std::size_t>(mc_samples);
+
+  // Monte-Carlo fan-out: config.num_threads > 0 pins a private pool (the
+  // determinism tests train the same model at 1 and N threads in one
+  // process); 0 shares the process-wide pool.
+  std::optional<util::ThreadPool> private_pool;
+  if (config.num_threads > 0) {
+    private_pool.emplace(static_cast<std::size_t>(config.num_threads));
+  }
+  util::ThreadPool& pool =
+      private_pool ? *private_pool : util::global_pool();
+
+  // One gradient buffer set per sample, allocated once and reused across
+  // epochs (monte_carlo_round zeroes them).
+  const std::vector<ad::Parameter*> params = model.parameters();
+  std::vector<ad::GradSink> sinks;
+  sinks.reserve(mc);
+  for (std::size_t s = 0; s < mc; ++s) sinks.emplace_back(params);
+  std::vector<std::uint64_t> sample_seeds(mc);
 
   TrainResult result;
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
@@ -70,15 +127,14 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
     }
 
     // Monte-Carlo approximation of the expected loss (Eq. (13)): one
-    // forward/backward per sampled circuit realization, gradients averaged.
+    // forward/backward per sampled circuit realization, fanned out over
+    // the pool, gradients averaged. The per-sample streams are pre-drawn
+    // on this thread so the schedule of worker threads cannot reorder any
+    // RNG consumption.
+    for (auto& s : sample_seeds) s = rng();
     optimizer.zero_grad();
-    double train_loss = 0.0;
-    for (int s = 0; s < mc_samples; ++s) {
-      train_loss += forward_loss(model, *batch, config.train_variation, rng,
-                                 /*backward=*/true,
-                                 1.0 / static_cast<double>(mc_samples));
-    }
-    train_loss /= static_cast<double>(mc_samples);
+    const double train_loss = monte_carlo_round(
+        model, *batch, config.train_variation, sample_seeds, pool, sinks);
     optimizer.step();
     model.clamp_parameters();
 
@@ -96,8 +152,11 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
     stats.learning_rate = optimizer.learning_rate();
     result.history.push_back(stats);
 
-    if (val_loss < result.best_validation_loss ||
-        result.epochs_run == 0) {
+    // The first epoch always seeds the best checkpoint; later epochs must
+    // beat it. (Checked before the comparison so the bookkeeping never
+    // leans on best_validation_loss's initializer.)
+    if (result.epochs_run == 0 ||
+        val_loss < result.best_validation_loss) {
       result.best_validation_loss = val_loss;
       result.best_validation_accuracy = val_acc;
     }

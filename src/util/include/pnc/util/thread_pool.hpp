@@ -1,0 +1,79 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pnc::util {
+
+/// Number of worker threads to use for parallel sections.
+///
+/// Resolution order: the PNC_THREADS environment variable (clamped to
+/// >= 1) if set, otherwise std::thread::hardware_concurrency(), with a
+/// floor of 1. Read once per call so tests can vary the variable.
+std::size_t hardware_threads();
+
+/// Fixed-size worker pool with an index-parallel loop primitive.
+///
+/// Designed for the Monte-Carlo fan-out of variation-aware training:
+/// `parallel_for(n, fn)` runs fn(0..n-1) across the pool with the calling
+/// thread participating, and blocks until every index has finished.
+///
+/// Guarantees:
+///  * Work assignment is dynamic, but callers that make per-index results
+///    depend only on the index (e.g. pre-drawn RNG seeds) and reduce in
+///    index order get bit-identical results for any pool size.
+///  * Nested calls are safe: a parallel_for issued from inside a worker
+///    runs serially inline instead of deadlocking on the shared queue.
+///  * Exceptions thrown by fn are captured; the first one is rethrown on
+///    the calling thread after all indices have been drained.
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the caller: the pool
+  /// spawns threads - 1 workers. 0 means hardware_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [0, n). Blocks until all complete. Only one
+  /// parallel_for may be active per pool at a time (the call is blocking,
+  /// so this only matters across threads sharing one pool).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when called from inside any ThreadPool worker thread.
+  static bool on_worker_thread();
+
+ private:
+  void worker_main();
+  void run_indices(std::uint64_t gen,
+                   const std::function<void(std::size_t)>& fn);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex owner_mutex_;  // serializes external parallel_for callers
+  std::mutex mutex_;
+  std::condition_variable cv_work_;   // workers: a new job was published
+  std::condition_variable cv_done_;   // caller: all indices finished
+  std::uint64_t generation_ = 0;      // bumped per parallel_for
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_next_ = 0;          // next unclaimed index
+  std::size_t job_done_ = 0;          // indices finished
+  std::exception_ptr job_error_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized by hardware_threads(), created on first use.
+/// The training loop and the bench harnesses share it so that nested
+/// parallel sections degrade to serial instead of oversubscribing.
+ThreadPool& global_pool();
+
+}  // namespace pnc::util

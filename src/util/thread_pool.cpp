@@ -1,0 +1,141 @@
+#include "pnc/util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace pnc::util {
+
+namespace {
+thread_local bool tls_is_worker = false;
+// > 0 while the current thread is executing loop bodies of some
+// parallel_for (worker or participating caller). Nested parallel_for
+// calls — same pool or another — run serially inline instead of
+// publishing over a live job or oversubscribing the machine.
+thread_local int tls_parallel_depth = 0;
+}  // namespace
+
+std::size_t hardware_threads() {
+  if (const char* env = std::getenv("PNC_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) return static_cast<std::size_t>(parsed);
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return tls_is_worker; }
+
+void ThreadPool::worker_main() {
+  tls_is_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+    }
+    run_indices(seen, *fn);
+  }
+}
+
+void ThreadPool::run_indices(std::uint64_t gen,
+                             const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    std::size_t index;
+    std::size_t n;
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // A worker that overslept its generation must not touch the current
+      // job: claims are only valid while `gen` is still the live job.
+      if (generation_ != gen || job_next_ >= job_n_) return;
+      index = job_next_++;
+      n = job_n_;
+      skip = job_error_ != nullptr;
+    }
+    // After a failure, remaining indices are claimed but skipped so the
+    // caller unblocks promptly with the first error.
+    if (!skip) {
+      ++tls_parallel_depth;
+      try {
+        fn(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job_error_) job_error_ = std::current_exception();
+      }
+      --tls_parallel_depth;
+    }
+    {
+      // The generation cannot advance while this claimed index is
+      // outstanding: the caller returns only once job_done_ == job_n_.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++job_done_ == n) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || tls_parallel_depth > 0 ||
+      on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Only one job can be live per pool; a second external caller falls
+  // back to serial execution instead of clobbering the active job.
+  std::unique_lock<std::mutex> owner(owner_mutex_, std::try_to_lock);
+  if (!owner.owns_lock()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    gen = ++generation_;
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_next_ = 0;
+    job_done_ = 0;
+    job_error_ = nullptr;
+  }
+  cv_work_.notify_all();
+  run_indices(gen, fn);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return job_done_ == job_n_; });
+    job_fn_ = nullptr;
+    error = job_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pnc::util

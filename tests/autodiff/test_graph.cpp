@@ -100,6 +100,50 @@ TEST(Graph, ClearResetsNodeCount) {
   EXPECT_EQ(g.node_count(), 0u);
 }
 
+TEST(GradSink, RedirectsAccumulationAwayFromParameter) {
+  Parameter p("w", Tensor::scalar(3.0));
+  GradSink sink({&p});
+  Graph g;
+  g.set_grad_sink(&sink);
+  Var w = g.leaf(p);
+  g.backward(mul(w, w));
+  // The parameter grad stays untouched; the sink buffer holds 2w = 6.
+  EXPECT_DOUBLE_EQ(p.grad.item(), 0.0);
+  ASSERT_NE(sink.find(&p), nullptr);
+  EXPECT_DOUBLE_EQ(sink.find(&p)->item(), 6.0);
+  sink.reduce_into_params();
+  EXPECT_DOUBLE_EQ(p.grad.item(), 6.0);
+}
+
+TEST(GradSink, ClearReusesBuffersAcrossRounds) {
+  Parameter p("w", Tensor::scalar(2.0));
+  GradSink sink({&p});
+  for (int round = 0; round < 3; ++round) {
+    sink.clear();
+    Graph g;
+    g.set_grad_sink(&sink);
+    Var w = g.leaf(p);
+    g.backward(mul(w, w));
+    EXPECT_DOUBLE_EQ(sink.find(&p)->item(), 4.0) << round;
+    sink.reduce_into_params();
+  }
+  EXPECT_DOUBLE_EQ(p.grad.item(), 12.0);  // three rounds of 4
+}
+
+TEST(GradSink, UncoveredParameterFallsThroughToGrad) {
+  Parameter covered("a", Tensor::scalar(2.0));
+  Parameter outside("b", Tensor::scalar(3.0));
+  GradSink sink({&covered});
+  EXPECT_EQ(sink.find(&outside), nullptr);
+  Graph g;
+  g.set_grad_sink(&sink);
+  Var loss = mul(g.leaf(covered), g.leaf(outside));  // d/da = b, d/db = a
+  g.backward(loss);
+  EXPECT_DOUBLE_EQ(sink.find(&covered)->item(), 3.0);
+  EXPECT_DOUBLE_EQ(covered.grad.item(), 0.0);
+  EXPECT_DOUBLE_EQ(outside.grad.item(), 2.0);  // fell through directly
+}
+
 TEST(Parameter, ZeroGrad) {
   Parameter p("w", Tensor::scalar(3.0));
   Graph g;

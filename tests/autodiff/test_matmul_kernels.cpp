@@ -1,0 +1,211 @@
+// Tests for the blocked matmul forward kernel, the fused backward kernels
+// (A^T*G and G*B^T without materialized transposes), and the thread-local
+// tensor buffer pool that backs Tensor allocation.
+#include <gtest/gtest.h>
+
+#include "pnc/autodiff/gradcheck.hpp"
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/autodiff/tensor.hpp"
+#include "pnc/autodiff/tensor_pool.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::ad {
+namespace {
+
+Tensor random_tensor(std::size_t r, std::size_t c, util::Rng& rng,
+                     double lo = -1.0, double hi = 1.0) {
+  Tensor t(r, c);
+  for (auto& v : t.data()) v = rng.uniform(lo, hi);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Forward kernel: blocked ikj vs the naive reference.
+
+TEST(MatmulKernels, BlockedMatchesNaiveAcrossShapes) {
+  util::Rng rng(101);
+  // Shapes straddle the kernel block sizes (64 in k, 256 in j) and include
+  // degenerate vectors.
+  const std::size_t shapes[][3] = {
+      {1, 1, 1},   {1, 7, 1},    {5, 3, 7},    {3, 64, 5},
+      {2, 65, 9},  {4, 130, 300}, {70, 64, 256}, {33, 129, 257},
+  };
+  for (const auto& s : shapes) {
+    const Tensor a = random_tensor(s[0], s[1], rng);
+    const Tensor b = random_tensor(s[1], s[2], rng);
+    const Tensor fast = matmul(a, b);
+    const Tensor ref = matmul_naive(a, b);
+    EXPECT_LT(max_abs_diff(fast, ref), 1e-12)
+        << s[0] << "x" << s[1] << " * " << s[1] << "x" << s[2];
+  }
+}
+
+TEST(MatmulKernels, MatmulIntoValidatesOutputShape) {
+  const Tensor a(2, 3);
+  const Tensor b(3, 4);
+  Tensor wrong(2, 5);
+  EXPECT_THROW(matmul_into(wrong, a, b), std::invalid_argument);
+  Tensor bad_inner(2, 4);
+  EXPECT_THROW(matmul_into(bad_inner, a, Tensor(2, 4)),
+               std::invalid_argument);
+}
+
+TEST(MatmulKernels, MatmulIntoOverwritesStaleOutput) {
+  util::Rng rng(103);
+  const Tensor a = random_tensor(3, 4, rng);
+  const Tensor b = random_tensor(4, 2, rng);
+  Tensor out(3, 2, 99.0);  // stale contents must not leak into the product
+  matmul_into(out, a, b);
+  EXPECT_LT(max_abs_diff(out, matmul_naive(a, b)), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Fused backward kernels vs transpose-then-multiply reference.
+
+TEST(MatmulKernels, AddMatmulAbtMatchesTransposedReference) {
+  util::Rng rng(107);
+  const std::size_t shapes[][3] = {{1, 1, 1}, {5, 3, 7}, {2, 9, 65},
+                                   {16, 4, 300}};
+  for (const auto& s : shapes) {
+    // grad of A in C = A*B: dA = G * B^T with G (m x n), B (k x n).
+    const Tensor g = random_tensor(s[0], s[2], rng);
+    const Tensor b = random_tensor(s[1], s[2], rng);
+    Tensor fused = random_tensor(s[0], s[1], rng);  // nonzero: += semantics
+    Tensor ref = fused;
+    add_matmul_abt(fused, g, b);
+    ref += matmul_naive(g, b.transposed());
+    EXPECT_LT(max_abs_diff(fused, ref), 1e-12)
+        << s[0] << "," << s[1] << "," << s[2];
+  }
+}
+
+TEST(MatmulKernels, AddMatmulAtbMatchesTransposedReference) {
+  util::Rng rng(109);
+  const std::size_t shapes[][3] = {{1, 1, 1}, {5, 3, 7}, {2, 9, 65},
+                                   {16, 4, 300}};
+  for (const auto& s : shapes) {
+    // grad of B in C = A*B: dB = A^T * G with A (m x k), G (m x n).
+    const Tensor a = random_tensor(s[0], s[1], rng);
+    const Tensor g = random_tensor(s[0], s[2], rng);
+    Tensor fused = random_tensor(s[1], s[2], rng);
+    Tensor ref = fused;
+    add_matmul_atb(fused, a, g);
+    ref += matmul_naive(a.transposed(), g);
+    EXPECT_LT(max_abs_diff(fused, ref), 1e-12)
+        << s[0] << "," << s[1] << "," << s[2];
+  }
+}
+
+TEST(MatmulKernels, FusedKernelsValidateShapes) {
+  Tensor out(2, 3);
+  Tensor wrong(9, 9);
+  EXPECT_THROW(add_matmul_abt(out, Tensor(2, 4), Tensor(3, 5)),
+               std::invalid_argument);
+  EXPECT_THROW(add_matmul_abt(wrong, Tensor(2, 4), Tensor(3, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(add_matmul_atb(out, Tensor(5, 2), Tensor(4, 3)),
+               std::invalid_argument);
+  EXPECT_THROW(add_matmul_atb(wrong, Tensor(5, 2), Tensor(5, 3)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Gradcheck the rewritten matmul backward through the op layer.
+
+TEST(MatmulKernels, GradCheckNonSquare) {
+  util::Rng rng(113);
+  Parameter a("a", random_tensor(5, 3, rng));
+  Parameter b("b", random_tensor(3, 7, rng));
+  auto loss_fn = [&](Graph& g) {
+    Var loss = mean_all(square(matmul(g.leaf(a), g.leaf(b))));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&a, &b});
+  EXPECT_TRUE(result.passed) << "abs err " << result.max_abs_error
+                             << ", rel err " << result.max_rel_error;
+}
+
+TEST(MatmulKernels, GradCheckVectorShapes) {
+  // Broadcast-adjacent cases: row-vector lhs, column-vector rhs, and an
+  // outer product — the degenerate shapes the fused kernels special-case
+  // via their inner==0 / contiguous-row paths.
+  util::Rng rng(127);
+  Parameter row("row", random_tensor(1, 6, rng));
+  Parameter col("col", random_tensor(6, 1, rng));
+  Parameter mid("mid", random_tensor(6, 6, rng));
+  auto loss_fn = [&](Graph& g) {
+    // (1x6) * (6x6) * (6x1) -> scalar, plus outer product (6x1)*(1x6).
+    Var chain = matmul(matmul(g.leaf(row), g.leaf(mid)), g.leaf(col));
+    Var outer = matmul(g.leaf(col), g.leaf(row));
+    Var loss = add(mean_all(square(outer)), mean_all(square(chain)));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&row, &col, &mid});
+  EXPECT_TRUE(result.passed) << "abs err " << result.max_abs_error
+                             << ", rel err " << result.max_rel_error;
+}
+
+TEST(MatmulKernels, GradCheckChainedThroughNonlinearity) {
+  util::Rng rng(131);
+  Parameter w1("w1", random_tensor(4, 9, rng));
+  Parameter w2("w2", random_tensor(9, 2, rng));
+  const Tensor x = random_tensor(3, 4, rng);
+  auto loss_fn = [&](Graph& g) {
+    Var h = tanh(matmul(g.constant(x), g.leaf(w1)));
+    Var loss = mean_all(square(matmul(h, g.leaf(w2))));
+    g.backward(loss);
+    return g.value(loss).item();
+  };
+  const auto result = check_gradients(loss_fn, {&w1, &w2});
+  EXPECT_TRUE(result.passed) << "abs err " << result.max_abs_error;
+}
+
+// ---------------------------------------------------------------------------
+// Tensor buffer pool.
+
+TEST(TensorPool, RecyclesSameSizeAllocations) {
+  tensor_pool_clear();
+  const auto before = tensor_pool_stats();
+  { Tensor t(13, 17); }  // released back to the pool
+  { Tensor t(13, 17); }  // must be served from the free list
+  const auto after = tensor_pool_stats();
+  EXPECT_GE(after.recycled - before.recycled, 1u);
+  EXPECT_GE(after.hits - before.hits, 1u);
+}
+
+TEST(TensorPool, PooledReuseYieldsZeroedTensor) {
+  tensor_pool_clear();
+  {
+    Tensor t(4, 4);
+    t.fill(7.5);
+  }
+  Tensor t(4, 4);  // recycled buffer, but the ctor must still zero it
+  for (double v : t.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(TensorPool, OversizedBuffersAreNotPooled) {
+  tensor_pool_clear();
+  const auto before = tensor_pool_stats();
+  const std::size_t huge = (1u << 20) + 1;  // above kMaxPooledElements
+  { Tensor t(1, huge); }
+  const auto after = tensor_pool_stats();
+  EXPECT_GE(after.dropped - before.dropped, 1u);
+}
+
+TEST(TensorPool, MovedFromTensorReturnsNothing) {
+  tensor_pool_clear();
+  Tensor a(3, 3, 1.0);
+  Tensor b(std::move(a));
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b.rows(), 3u);
+  EXPECT_EQ(b(2, 2), 1.0);
+  const auto before = tensor_pool_stats();
+  { Tensor c(std::move(b)); }  // only one buffer exists to release
+  const auto after = tensor_pool_stats();
+  EXPECT_EQ(after.recycled - before.recycled, 1u);
+}
+
+}  // namespace
+}  // namespace pnc::ad

@@ -1,0 +1,146 @@
+// Parallel variation-aware training: bit-determinism across thread counts
+// and the best-checkpoint bookkeeping regression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/train/trainer.hpp"
+
+namespace pnc::train {
+namespace {
+
+data::Dataset small_dataset() {
+  return data::make_dataset("Slope", 42, 24);
+}
+
+std::unique_ptr<core::SequenceClassifier> fresh_model(
+    const data::Dataset& ds) {
+  return core::make_adapt_pnc(static_cast<std::size_t>(ds.num_classes),
+                              ds.sample_period, 1, 4);
+}
+
+TrainConfig va_config(int num_threads) {
+  TrainConfig cfg;
+  cfg.max_epochs = 4;
+  cfg.patience = 8;
+  cfg.learning_rate = 0.05;
+  cfg.seed = 7;
+  cfg.train_variation = variation::VariationSpec::printing(0.10, 4);
+  cfg.num_threads = num_threads;
+  return cfg;
+}
+
+TEST(ParallelTrainer, TrainIsBitIdenticalAcrossThreadCounts) {
+  const data::Dataset ds = small_dataset();
+  auto model1 = fresh_model(ds);
+  auto model4 = fresh_model(ds);
+  const TrainResult r1 = train(*model1, ds, va_config(1));
+  const TrainResult r4 = train(*model4, ds, va_config(4));
+
+  ASSERT_EQ(r1.history.size(), r4.history.size());
+  for (std::size_t e = 0; e < r1.history.size(); ++e) {
+    // EXPECT_EQ on doubles: the guarantee is bit-identical, not "close".
+    EXPECT_EQ(r1.history[e].train_loss, r4.history[e].train_loss) << e;
+    EXPECT_EQ(r1.history[e].validation_loss, r4.history[e].validation_loss)
+        << e;
+    EXPECT_EQ(r1.history[e].validation_accuracy,
+              r4.history[e].validation_accuracy)
+        << e;
+    EXPECT_EQ(r1.history[e].learning_rate, r4.history[e].learning_rate) << e;
+  }
+  EXPECT_EQ(r1.best_validation_loss, r4.best_validation_loss);
+  EXPECT_EQ(r1.final_train_loss, r4.final_train_loss);
+
+  // The trained parameters must match bit-for-bit as well.
+  const auto p1 = model1->parameters();
+  const auto p4 = model4->parameters();
+  ASSERT_EQ(p1.size(), p4.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(ad::max_abs_diff(p1[i]->value, p4[i]->value), 0.0)
+        << p1[i]->name;
+  }
+}
+
+TEST(ParallelTrainer, MonteCarloRoundIndependentOfPoolSize) {
+  const data::Dataset ds = small_dataset();
+  auto model1 = fresh_model(ds);
+  auto model4 = fresh_model(ds);
+  const auto spec = variation::VariationSpec::printing(0.10, 5);
+  const std::vector<std::uint64_t> seeds = {11, 22, 33, 44, 55};
+
+  auto run = [&](core::SequenceClassifier& model, std::size_t pool_size) {
+    util::ThreadPool pool(pool_size);
+    const auto params = model.parameters();
+    std::vector<ad::GradSink> sinks;
+    for (std::size_t s = 0; s < seeds.size(); ++s) sinks.emplace_back(params);
+    for (auto* p : params) p->zero_grad();
+    return monte_carlo_round(model, ds.train, spec, seeds, pool, sinks);
+  };
+
+  const double loss1 = run(*model1, 1);
+  const double loss4 = run(*model4, 4);
+  EXPECT_EQ(loss1, loss4);
+  const auto p1 = model1->parameters();
+  const auto p4 = model4->parameters();
+  ASSERT_EQ(p1.size(), p4.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(ad::max_abs_diff(p1[i]->grad, p4[i]->grad), 0.0)
+        << p1[i]->name;
+  }
+}
+
+TEST(ParallelTrainer, MonteCarloRoundRejectsMissingSinks) {
+  const data::Dataset ds = small_dataset();
+  auto model = fresh_model(ds);
+  util::ThreadPool pool(1);
+  std::vector<ad::GradSink> sinks;  // none, but three seeds
+  const std::vector<std::uint64_t> seeds = {1, 2, 3};
+  EXPECT_THROW(monte_carlo_round(*model, ds.train,
+                                 variation::VariationSpec::none(), seeds, pool,
+                                 sinks),
+               std::invalid_argument);
+}
+
+TEST(ParallelTrainer, BestCheckpointTracksMinimumValidationLoss) {
+  const data::Dataset ds = small_dataset();
+  auto model = fresh_model(ds);
+  TrainConfig cfg;
+  cfg.max_epochs = 6;
+  cfg.learning_rate = 0.05;
+  cfg.seed = 3;
+  const TrainResult result = train(*model, ds, cfg);
+  ASSERT_FALSE(result.history.empty());
+  const auto best = std::min_element(
+      result.history.begin(), result.history.end(),
+      [](const EpochStats& a, const EpochStats& b) {
+        return a.validation_loss < b.validation_loss;
+      });
+  EXPECT_EQ(result.best_validation_loss, best->validation_loss);
+  EXPECT_EQ(result.best_validation_accuracy, best->validation_accuracy);
+}
+
+TEST(ParallelTrainer, FirstEpochSeedsBestCheckpoint) {
+  // Regression: with a frozen model the validation loss never improves, so
+  // the best checkpoint must be epoch 0's numbers — not the
+  // zero-initialized best_validation_loss the old comparison leaned on.
+  const data::Dataset ds = small_dataset();
+  auto model = fresh_model(ds);
+  TrainConfig cfg;
+  cfg.max_epochs = 3;
+  cfg.learning_rate = 0.0;
+  cfg.patience = 100;  // don't early-stop before a few epochs accumulate
+  const TrainResult result = train(*model, ds, cfg);
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_EQ(result.best_validation_loss,
+            result.history.front().validation_loss);
+  EXPECT_EQ(result.best_validation_accuracy,
+            result.history.front().validation_accuracy);
+  EXPECT_GT(result.best_validation_loss, 0.0);  // a real loss, not the init
+}
+
+}  // namespace
+}  // namespace pnc::train

@@ -1,0 +1,97 @@
+#include "pnc/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pnc::util {
+namespace {
+
+TEST(HardwareThreads, EnvOverrideWins) {
+  ASSERT_EQ(setenv("PNC_THREADS", "3", 1), 0);
+  EXPECT_EQ(hardware_threads(), 3u);
+  ASSERT_EQ(setenv("PNC_THREADS", "garbage", 1), 0);
+  EXPECT_EQ(hardware_threads(), 1u);
+  ASSERT_EQ(unsetenv("PNC_THREADS"), 0);
+  EXPECT_GE(hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> counts(n);
+  pool.parallel_for(n, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // serial: no synchronization
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossManyRounds) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(7, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i) + 1);
+    });
+    EXPECT_EQ(sum.load(), 28);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerially) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(8);
+  pool.parallel_for(4, [&](std::size_t outer) {
+    // Inner loop must not deadlock waiting for the busy outer workers.
+    pool.parallel_for(2, [&](std::size_t inner) {
+      counts[outer * 2 + inner].fetch_add(1);
+    });
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 10) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+  // The pool must stay usable after a failed round.
+  std::atomic<int> sum{0};
+  pool.parallel_for(4, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 6);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace pnc::util
