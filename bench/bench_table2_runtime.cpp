@@ -5,10 +5,19 @@
 // 2.345 ms/epoch-scale vs pTPNC 0.230 s vs ADAPT-pNC 2.537 s); we measure
 // both one full-batch inference and one training epoch per model with
 // google-benchmark, which preserves the ordering and the relative factors.
+// Besides the google-benchmark timings on stdout, main() measures the
+// compiled inference engine against the graph-based forward for every
+// model and writes BENCH_table2_runtime.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "bench_common.hpp"
 #include "pnc/data/dataset.hpp"
+#include "pnc/infer/engine.hpp"
 #include "pnc/train/experiment.hpp"
 #include "pnc/train/trainer.hpp"
 
@@ -43,6 +52,18 @@ void bm_inference(benchmark::State& state, const std::string& which,
   }
 }
 
+void bm_inference_engine(benchmark::State& state, const std::string& which,
+                         const variation::VariationSpec& spec) {
+  auto model = make(which);
+  const auto engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.predict(plan, dataset().test.inputs, spec, rng));
+  }
+}
+
 void bm_train_epoch(benchmark::State& state, const std::string& which,
                     const variation::VariationSpec& train_spec,
                     bool augmented) {
@@ -72,6 +93,47 @@ void bm_train_epoch(benchmark::State& state, const std::string& which,
 const variation::VariationSpec kClean = variation::VariationSpec::none();
 const variation::VariationSpec kVa = variation::VariationSpec::printing(0.10, 3);
 
+/// Best-of-`reps` wall time of fn() in seconds.
+template <class F>
+double best_seconds(int reps, F&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+/// Engine vs graph full-batch inference throughput, per model. Each
+/// measured call is one variation stamp + one forward over the whole test
+/// split — the unit of work of Monte-Carlo yield / accuracy evaluation.
+void report_engine_vs_graph(bench::JsonReport& report, int reps) {
+  const ad::Tensor& inputs = dataset().test.inputs;
+  const auto spec = variation::VariationSpec::printing(0.10);
+  const double rows = static_cast<double>(inputs.rows());
+  for (const std::string which : {"elman", "ptpnc", "adapt"}) {
+    auto model = make(which);
+    const auto engine = infer::Engine::compile(*model);
+    infer::Plan plan = engine.make_plan();
+
+    const double graph = best_seconds(reps, [&] {
+      util::Rng rng(11);
+      benchmark::DoNotOptimize(model->predict(inputs, spec, rng));
+    });
+    const double compiled = best_seconds(reps, [&] {
+      util::Rng rng(11);
+      benchmark::DoNotOptimize(engine.predict(plan, inputs, spec, rng));
+    });
+    report.metric(which + "_graph_series_per_s", rows / graph);
+    report.metric(which + "_engine_series_per_s", rows / compiled);
+    report.metric(which + "_engine_speedup", graph / compiled);
+  }
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(bm_inference, elman, "elman", kClean)
@@ -79,6 +141,13 @@ BENCHMARK_CAPTURE(bm_inference, elman, "elman", kClean)
 BENCHMARK_CAPTURE(bm_inference, ptpnc, "ptpnc", kClean)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_inference, adapt_pnc, "adapt", kClean)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(bm_inference_engine, elman, "elman", kClean)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_inference_engine, ptpnc, "ptpnc", kClean)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bm_inference_engine, adapt_pnc, "adapt", kClean)
     ->Unit(benchmark::kMillisecond);
 
 // Training epochs in the configuration each model uses in Table I:
@@ -91,4 +160,14 @@ BENCHMARK_CAPTURE(bm_train_epoch, ptpnc, "ptpnc", kClean, false)
 BENCHMARK_CAPTURE(bm_train_epoch, adapt_pnc_va_at, "adapt", kVa, true)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  bench::JsonReport report("table2_runtime");
+  const int reps = bench::quick_mode() ? 3 : 7;
+  report_engine_vs_graph(report, reps);
+  report.write();
+  return 0;
+}

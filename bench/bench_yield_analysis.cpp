@@ -6,6 +6,8 @@
 // robustness-aware ADAPT-pNC on the same dataset and sweep the process
 // variation delta, reporting Monte-Carlo yield for both.
 
+#include <chrono>
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -84,6 +86,41 @@ int main() {
   report.metric("baseline_yield_at_max_delta", base_curve.back().yield);
   report.metric("adapt_yield_at_max_delta", adapt_curve.back().yield);
   report.metric("num_circuits", static_cast<double>(config.num_circuits));
+
+  // Compiled-engine payoff on the yield workload: the same Monte-Carlo
+  // estimate through the graph-based forward vs the stamped engine plans.
+  // The engine is bit-compatible, so the two estimates must agree exactly.
+  const variation::VariationSpec speedup_spec =
+      variation::VariationSpec::printing(0.10);
+  hardware::YieldConfig graph_config = config;
+  graph_config.use_engine = false;
+  double engine_seconds = 0.0, graph_seconds = 0.0;
+  hardware::YieldResult engine_result, graph_result;
+  report.timed_phase("yield_engine_vs_graph", [&] {
+    auto once = [&](const hardware::YieldConfig& c,
+                    hardware::YieldResult& out) {
+      const auto t0 = std::chrono::steady_clock::now();
+      out = hardware::estimate_yield(*adapt, ds.test, speedup_spec, c);
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    graph_seconds = once(graph_config, graph_result);
+    engine_seconds = once(config, engine_result);
+  });
+  std::cout << "\nEngine vs graph on the yield workload ("
+            << config.num_circuits
+            << " circuits): " << util::format_fixed(graph_seconds, 3)
+            << " s -> " << util::format_fixed(engine_seconds, 3) << " s ("
+            << util::format_fixed(graph_seconds / engine_seconds, 2)
+            << "x)\n";
+  report.metric("engine_yield_seconds", engine_seconds);
+  report.metric("graph_yield_seconds", graph_seconds);
+  report.metric("engine_speedup", graph_seconds / engine_seconds);
+  report.metric("engine_vs_graph_yield_diff",
+                std::abs(engine_result.yield - graph_result.yield) +
+                    std::abs(engine_result.mean_accuracy -
+                             graph_result.mean_accuracy));
   report.write();
   return 0;
 }

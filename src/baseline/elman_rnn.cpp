@@ -63,6 +63,14 @@ ad::Var ElmanRnn::forward(ad::Graph& g, const ad::Tensor& inputs,
   return ad::add(ad::matmul(h2, g.leaf(w_out_)), g.leaf(b_out_));
 }
 
+ElmanRnn::CellView ElmanRnn::cell(int layer) const {
+  if (layer != 1 && layer != 2) {
+    throw std::out_of_range("ElmanRnn::cell: layer must be 1 or 2");
+  }
+  const Cell& c = layer == 1 ? cell1_ : cell2_;
+  return CellView{c.w_ih.value, c.w_hh.value, c.b.value};
+}
+
 std::vector<ad::Parameter*> ElmanRnn::parameters() {
   return {&cell1_.w_ih, &cell1_.w_hh, &cell1_.b,
           &cell2_.w_ih, &cell2_.w_hh, &cell2_.b,

@@ -29,6 +29,17 @@ class ElmanRnn final : public core::SequenceClassifier {
 
   std::size_t hidden() const { return hidden_; }
 
+  /// Read-only views of the trained weights, for compiled inference plans
+  /// (infer::Engine) and tests.
+  struct CellView {
+    const ad::Tensor& w_ih;  // (n_in x hidden)
+    const ad::Tensor& w_hh;  // (hidden x hidden)
+    const ad::Tensor& b;     // (1 x hidden)
+  };
+  CellView cell(int layer) const;  // layer ∈ {1, 2}
+  const ad::Tensor& output_weight() const { return w_out_.value; }
+  const ad::Tensor& output_bias() const { return b_out_.value; }
+
  private:
   struct Cell {
     ad::Parameter w_ih;  // (n_in x hidden)

@@ -114,6 +114,14 @@ const ad::Parameter& stage_param(const ad::Parameter& s1,
 }
 }  // namespace
 
+const ad::Tensor& FilterLayer::log_resistance(std::size_t stage) const {
+  return stage_param(log_r1_, log_r2_, stage, order_).value;
+}
+
+const ad::Tensor& FilterLayer::log_capacitance(std::size_t stage) const {
+  return stage_param(log_c1_, log_c2_, stage, order_).value;
+}
+
 double FilterLayer::resistance(std::size_t stage, std::size_t j) const {
   return std::exp(stage_param(log_r1_, log_r2_, stage, order_).value.at(0, j));
 }

@@ -58,6 +58,12 @@ class CrossbarLayer {
   ad::Tensor weights() const;
   ad::Tensor bias() const;
 
+  /// Raw trainable surrogate conductances (signed): what a compiled
+  /// inference plan snapshots so it can re-realize the crossbar under a
+  /// sampled variation instance (infer::Engine).
+  const ad::Tensor& theta() const { return theta_.value; }
+  const ad::Tensor& theta_bias() const { return theta_b_.value; }
+
   /// Export column j as a concrete circuit (for the hardware cost model
   /// and MNA cross-validation). `unit_resistance` converts normalized
   /// conductance units back to siemens.

@@ -59,6 +59,12 @@ class FilterLayer {
   double resistance(std::size_t stage, std::size_t j) const;
   double capacitance(std::size_t stage, std::size_t j) const;
 
+  /// Log-space trainable tensors of one stage (0 or 1); throws
+  /// std::out_of_range for a stage the order does not have. Snapshotted by
+  /// compiled inference plans (infer::Engine).
+  const ad::Tensor& log_resistance(std::size_t stage) const;
+  const ad::Tensor& log_capacitance(std::size_t stage) const;
+
   /// Nominal discrete-time pole a = RC/(RC + Δt) of a stage/channel (μ=1).
   double nominal_pole(std::size_t stage, std::size_t j) const;
 

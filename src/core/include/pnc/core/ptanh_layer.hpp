@@ -47,6 +47,10 @@ class PtanhLayer {
   /// Current η values of neuron j, for inspection/tests.
   circuit::PtanhParams params_of(std::size_t j) const;
 
+  /// Trainable η row k ∈ [1, 4] as a (1 x n_out) tensor; throws
+  /// std::out_of_range otherwise. Snapshotted by compiled inference plans.
+  const ad::Tensor& eta(int k) const;
+
  private:
   std::string name_;
   std::size_t n_out_;

@@ -1,6 +1,7 @@
 #include "pnc/core/ptanh_layer.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "pnc/autodiff/ops.hpp"
 
@@ -82,6 +83,17 @@ void PtanhLayer::clamp_printable() {
   clamp_row(eta2_, kEta2Min, kEta2Max);
   clamp_row(eta3_, kEta3Min, kEta3Max);
   clamp_row(eta4_, kEta4Min, kEta4Max);
+}
+
+const ad::Tensor& PtanhLayer::eta(int k) const {
+  switch (k) {
+    case 1: return eta1_.value;
+    case 2: return eta2_.value;
+    case 3: return eta3_.value;
+    case 4: return eta4_.value;
+    default:
+      throw std::out_of_range("PtanhLayer::eta: k must be in [1, 4]");
+  }
 }
 
 circuit::PtanhParams PtanhLayer::params_of(std::size_t j) const {

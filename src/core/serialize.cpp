@@ -1,11 +1,13 @@
 #include "pnc/core/serialize.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <vector>
 
 namespace pnc::core {
 
@@ -32,7 +34,21 @@ void write_parameters(SequenceClassifier& model, std::ostream& os) {
 void read_parameters(SequenceClassifier& model, std::istream& is) {
   std::string magic, version, keyword;
   is >> magic >> version;
-  if (!is || magic != kMagic || version != kVersion) {
+  if (!is || magic != kMagic) {
+    throw std::runtime_error("read_parameters: bad header (expected '" +
+                             std::string(kMagic) + ' ' + kVersion + "')");
+  }
+  if (version != kVersion) {
+    // Distinguish "from the future" from plain corruption: a well-formed
+    // higher version deserves a message telling the user to upgrade, not a
+    // generic parse error.
+    if (version.size() >= 2 && version[0] == 'v' &&
+        version.find_first_not_of("0123456789", 1) == std::string::npos) {
+      throw std::runtime_error(
+          "read_parameters: checkpoint version '" + version +
+          "' is newer than the supported '" + kVersion +
+          "' — rewrite it with this build or upgrade the library");
+    }
     throw std::runtime_error("read_parameters: bad header (expected '" +
                              std::string(kMagic) + ' ' + kVersion + "')");
   }
@@ -47,7 +63,12 @@ void read_parameters(SequenceClassifier& model, std::istream& is) {
         "read_parameters: checkpoint has " + std::to_string(count) +
         " parameters, model expects " + std::to_string(params.size()));
   }
-  for (ad::Parameter* p : params) {
+  // Stage every record before touching the model: a checkpoint that fails
+  // halfway through (truncation, NaN payload, trailing garbage) must leave
+  // the model exactly as it was.
+  std::vector<ad::Tensor> staged;
+  staged.reserve(params.size());
+  for (const ad::Parameter* p : params) {
     std::string name;
     std::size_t rows = 0, cols = 0;
     is >> keyword >> name >> rows >> cols;
@@ -62,13 +83,31 @@ void read_parameters(SequenceClassifier& model, std::istream& is) {
       throw std::runtime_error("read_parameters: shape mismatch for '" + name +
                                "'");
     }
-    for (std::size_t i = 0; i < p->value.size(); ++i) {
-      if (!(is >> p->value.data()[i])) {
+    ad::Tensor values = ad::Tensor::uninitialized(rows, cols);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (!(is >> values.data()[i])) {
         throw std::runtime_error("read_parameters: truncated values for '" +
                                  name + "'");
       }
+      if (!std::isfinite(values.data()[i])) {
+        throw std::runtime_error(
+            "read_parameters: non-finite value in '" + name +
+            "' at index " + std::to_string(i));
+      }
     }
-    p->zero_grad();
+    staged.push_back(std::move(values));
+  }
+  // Anything but whitespace after the last record means the stream is not
+  // the checkpoint it claims to be (concatenated files, partial writes).
+  std::string trailing;
+  if (is >> trailing) {
+    throw std::runtime_error(
+        "read_parameters: trailing garbage after last parameter: '" +
+        trailing + "'");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(staged[i]);
+    params[i]->zero_grad();
   }
 }
 

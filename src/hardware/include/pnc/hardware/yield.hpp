@@ -20,6 +20,11 @@ struct YieldConfig {
   double accuracy_threshold = 0.7;
   int num_circuits = 50;  // Monte-Carlo fabrications
   std::uint64_t seed = 0;
+  /// Score circuits through the compiled inference engine (infer::Engine)
+  /// when the model type supports it. The engine is bit-compatible with
+  /// the graph path, so results are identical for a fixed seed; disable
+  /// only to benchmark or cross-check the graph path.
+  bool use_engine = true;
 };
 
 struct YieldResult {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "pnc/autodiff/ops.hpp"
+#include "pnc/infer/engine.hpp"
 #include "pnc/util/thread_pool.hpp"
 
 namespace pnc::hardware {
@@ -31,10 +32,20 @@ YieldResult estimate_yield(core::SequenceClassifier& model,
   for (auto& s : seeds) s = rng();
   YieldResult result;
   result.accuracies.assign(n, 0.0);
+  // One circuit == one variation stamp of a compiled plan; the engine's
+  // bit-compatibility with the graph path keeps the estimate identical
+  // for a fixed seed while skipping all tape construction.
+  std::optional<infer::Engine> engine;
+  if (config.use_engine) engine = infer::Engine::try_compile(model);
   util::global_pool().parallel_for(n, [&](std::size_t i) {
     util::Rng circuit_rng(seeds[i]);
-    const ad::Tensor logits =
-        model.predict(split.inputs, variation, circuit_rng);
+    ad::Tensor logits;
+    if (engine) {
+      infer::Plan plan = engine->make_plan();
+      logits = engine->predict(plan, split.inputs, variation, circuit_rng);
+    } else {
+      logits = model.predict(split.inputs, variation, circuit_rng);
+    }
     result.accuracies[i] = ad::accuracy(logits, split.labels);
   });
 

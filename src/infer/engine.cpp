@@ -1,0 +1,441 @@
+#include "pnc/infer/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "pnc/baseline/elman_rnn.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/core/crossbar_layer.hpp"
+#include "pnc/core/ptanh_layer.hpp"
+#include "pnc/core/serialize.hpp"
+
+namespace pnc::infer {
+
+namespace {
+
+void ensure_shape(ad::Tensor& t, std::size_t rows, std::size_t cols) {
+  if (t.rows() != rows || t.cols() != cols) {
+    t = ad::Tensor::uninitialized(rows, cols);
+  }
+}
+
+ad::Tensor exp_of(const ad::Tensor& log_values) {
+  // Same elementwise traversal as ad::exp on the graph path.
+  return log_values.map([](double v) { return std::exp(v); });
+}
+
+/// Realized filter-stage coefficients. Replicates
+/// FilterLayer::coefficients() node by node: the variation factors for R
+/// are drawn before the ones for C, then one coupling μ per channel, and
+/// the graph's `b = scale(reciprocal(denom), dt)` rounds through the
+/// explicit reciprocal.
+void stamp_filter_stage(const ad::Tensor& r_nominal,
+                        const ad::Tensor& c_nominal, double dt,
+                        const variation::VariationSpec& spec, util::Rng& rng,
+                        ad::Tensor& a_out, ad::Tensor& b_out) {
+  const std::size_t ch = r_nominal.cols();
+  ensure_shape(a_out, 1, ch);
+  ensure_shape(b_out, 1, ch);
+  ad::Tensor r = r_nominal;
+  ad::Tensor c = c_nominal;
+  if (spec.component) {
+    for (auto& v : r.data()) v *= spec.component->sample(rng);
+    for (auto& v : c.data()) v *= spec.component->sample(rng);
+  }
+  for (std::size_t j = 0; j < ch; ++j) {
+    const double rc = r(0, j) * c(0, j);
+    const double mu = spec.sample_mu(rng);
+    const double denom = rc * mu + dt;
+    a_out(0, j) = rc / denom;
+    b_out(0, j) = (1.0 / denom) * dt;
+  }
+}
+
+void stamp_initial_state(const variation::VariationSpec& spec, util::Rng& rng,
+                         std::size_t batch, std::size_t ch, ad::Tensor& h0) {
+  ensure_shape(h0, batch, ch);
+  for (auto& v : h0.data()) v = spec.sample_v0(rng);
+}
+
+void stamp_eta(const ad::Tensor& eta, const variation::VariationSpec& spec,
+               util::Rng& rng, ad::Tensor& out) {
+  out = eta;
+  if (spec.component) {
+    for (auto& v : out.data()) v *= spec.component->sample(rng);
+  }
+}
+
+}  // namespace
+
+Engine Engine::compile(const core::SequenceClassifier& model) {
+  std::optional<Engine> engine = try_compile(model);
+  if (!engine) {
+    throw std::invalid_argument("infer::Engine: cannot compile model '" +
+                                model.name() + "'");
+  }
+  return std::move(*engine);
+}
+
+std::optional<Engine> Engine::try_compile(
+    const core::SequenceClassifier& model) {
+  Engine engine;
+  engine.name_ = model.name();
+  engine.n_classes_ = static_cast<std::size_t>(model.num_classes());
+
+  if (const auto* pnc =
+          dynamic_cast<const core::PrintedTemporalNetwork*>(&model)) {
+    for (const core::PtpbLayer* layer : {&pnc->layer1(), &pnc->layer2()}) {
+      PtpbBlockProgram prog;
+      prog.n_in = layer->n_in();
+      prog.n_out = layer->n_out();
+      prog.order = layer->order();
+      prog.dt = layer->filters().dt();
+      prog.theta = layer->crossbar().theta();
+      prog.theta_b = layer->crossbar().theta_bias();
+      prog.r1 = exp_of(layer->filters().log_resistance(0));
+      prog.c1 = exp_of(layer->filters().log_capacitance(0));
+      if (prog.order == core::FilterOrder::kSecond) {
+        prog.r2 = exp_of(layer->filters().log_resistance(1));
+        prog.c2 = exp_of(layer->filters().log_capacitance(1));
+      }
+      prog.eta1 = layer->activation().eta(1);
+      prog.eta2 = layer->activation().eta(2);
+      prog.eta3 = layer->activation().eta(3);
+      prog.eta4 = layer->activation().eta(4);
+      engine.blocks_.push_back(std::move(prog));
+    }
+    // The fused first-block kernel assumes the univariate sensory stream
+    // of PncTopology (n_inputs = 1).
+    if (engine.blocks_.front().n_in != 1) return std::nullopt;
+    return engine;
+  }
+
+  if (const auto* elman = dynamic_cast<const baseline::ElmanRnn*>(&model)) {
+    ElmanProgram prog;
+    prog.hidden = elman->hidden();
+    const auto c1 = elman->cell(1);
+    const auto c2 = elman->cell(2);
+    prog.w_ih1 = c1.w_ih;
+    prog.w_hh1 = c1.w_hh;
+    prog.b1 = c1.b;
+    prog.w_ih2 = c2.w_ih;
+    prog.w_hh2 = c2.w_hh;
+    prog.b2 = c2.b;
+    prog.w_out = elman->output_weight();
+    prog.b_out = elman->output_bias();
+    if (prog.w_ih1.rows() != 1) return std::nullopt;  // univariate input
+    engine.elman_ = std::move(prog);
+    return engine;
+  }
+
+  return std::nullopt;
+}
+
+Plan Engine::make_plan() const {
+  Plan plan;
+  plan.blocks_.resize(blocks_.size());
+  return plan;
+}
+
+void Engine::stamp_block(const PtpbBlockProgram& prog, StampedBlock& out,
+                         const variation::VariationSpec& spec, util::Rng& rng,
+                         std::size_t batch) const {
+  // --- Crossbar (CrossbarLayer::begin) ---
+  // θ factors for the full (n_in x n_out) matrix are drawn before the
+  // (1 x n_out) bias factors; g_total accumulates |θ| rows top-down, then
+  // |θ_b|, then the pull-down conductance — one rounding per add, matching
+  // sum_rows / add on the graph path.
+  const std::size_t n_in = prog.n_in;
+  const std::size_t n_out = prog.n_out;
+  ensure_shape(out.weights, n_in, n_out);
+  ensure_shape(out.bias, 1, n_out);
+  std::copy(prog.theta.data().begin(), prog.theta.data().end(),
+            out.weights.data().begin());
+  std::copy(prog.theta_b.data().begin(), prog.theta_b.data().end(),
+            out.bias.data().begin());
+  if (spec.component) {
+    for (auto& v : out.weights.data()) v *= spec.component->sample(rng);
+    for (auto& v : out.bias.data()) v *= spec.component->sample(rng);
+  }
+  for (std::size_t j = 0; j < n_out; ++j) {
+    double g_total = 0.0;
+    for (std::size_t i = 0; i < n_in; ++i) {
+      g_total += std::abs(out.weights(i, j));
+    }
+    g_total = g_total + std::abs(out.bias(0, j));
+    g_total = g_total + core::CrossbarLayer::kPulldownConductance;
+    for (std::size_t i = 0; i < n_in; ++i) {
+      out.weights(i, j) = out.weights(i, j) / g_total;
+    }
+    out.bias(0, j) = out.bias(0, j) / g_total;
+  }
+
+  // --- Filter bank (FilterLayer::begin) ---
+  stamp_filter_stage(prog.r1, prog.c1, prog.dt, spec, rng, out.a1, out.b1);
+  stamp_initial_state(spec, rng, batch, n_out, out.h0_1);
+  if (prog.order == core::FilterOrder::kSecond) {
+    stamp_filter_stage(prog.r2, prog.c2, prog.dt, spec, rng, out.a2, out.b2);
+    stamp_initial_state(spec, rng, batch, n_out, out.h0_2);
+  }
+
+  // --- Activation (PtanhLayer::begin) ---
+  stamp_eta(prog.eta1, spec, rng, out.e1);
+  stamp_eta(prog.eta2, spec, rng, out.e2);
+  stamp_eta(prog.eta3, spec, rng, out.e3);
+  stamp_eta(prog.eta4, spec, rng, out.e4);
+}
+
+void Engine::stamp(Plan& plan, const variation::VariationSpec& spec,
+                   util::Rng& rng, std::size_t batch) const {
+  if (batch == 0) throw std::invalid_argument("infer::stamp: empty batch");
+  plan.blocks_.resize(blocks_.size());
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    stamp_block(blocks_[b], plan.blocks_[b], spec, rng, batch);
+  }
+  plan.batch_ = batch;  // the Elman program draws nothing
+}
+
+void Engine::forward_rows(Plan& plan, const ad::Tensor& inputs,
+                          ad::Tensor& logits, std::size_t row_begin,
+                          std::size_t row_end, std::size_t shard) const {
+  Plan::Workspace& ws = plan.shards_[shard];
+  const std::size_t rows = row_end - row_begin;
+  const std::size_t steps = inputs.cols();
+
+  if (elman_) {
+    const ElmanProgram& prog = *elman_;
+    const std::size_t h = prog.hidden;
+    ws.s1.resize(1);
+    ws.s2.resize(1);
+    ws.y.resize(1);
+    ws.z.resize(1);
+    ad::Tensor& s1 = ws.s1[0];
+    ad::Tensor& s2 = ws.s2[0];
+    ad::Tensor& p1 = ws.y[0];  // matmul product buffers
+    ad::Tensor& p2 = ws.z[0];
+    ensure_shape(s1, rows, h);
+    ensure_shape(s2, rows, h);
+    ensure_shape(p1, rows, h);
+    ensure_shape(p2, rows, h);
+    s1.zero();
+    s2.zero();
+    const std::span<const double> w_ih1 = prog.w_ih1.data();
+    const std::span<const double> b1 = prog.b1.data();
+    const std::span<const double> b2 = prog.b2.data();
+    for (std::size_t t = 0; t < steps; ++t) {
+      // h1 = tanh((x_t·W_ih1 + h1·W_hh1) + b1); the x_t product replicates
+      // the matmul kernel's zero-skip (a zero input leaves +0.0).
+      ad::matmul_into(p1, s1, prog.w_hh1);
+      for (std::size_t i = 0; i < rows; ++i) {
+        const double xv = inputs(row_begin + i, t);
+        for (std::size_t j = 0; j < h; ++j) {
+          double u = 0.0;
+          if (xv != 0.0) u += xv * w_ih1[j];
+          const double v = u + p1(i, j);
+          s1(i, j) = std::tanh(v + b1[j]);
+        }
+      }
+      // h2 = tanh((h1·W_ih2 + h2·W_hh2) + b2) with the *new* h1.
+      ad::matmul_into(p1, s1, prog.w_ih2);
+      ad::matmul_into(p2, s2, prog.w_hh2);
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < h; ++j) {
+          const double v = p1(i, j) + p2(i, j);
+          s2(i, j) = std::tanh(v + b2[j]);
+        }
+      }
+    }
+    // Read-out on the final hidden state.
+    ensure_shape(ws.acc, rows, n_classes_);
+    ad::matmul_into(ws.acc, s2, prog.w_out);
+    const std::span<const double> b_out = prog.b_out.data();
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < n_classes_; ++j) {
+        logits(row_begin + i, j) = ws.acc(i, j) + b_out[j];
+      }
+    }
+    return;
+  }
+
+  const std::size_t nb = blocks_.size();
+  ws.s1.resize(nb);
+  ws.s2.resize(nb);
+  ws.y.resize(nb);
+  ws.z.resize(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const StampedBlock& sb = plan.blocks_[b];
+    const std::size_t n_out = blocks_[b].n_out;
+    ensure_shape(ws.s1[b], rows, n_out);
+    ensure_shape(ws.y[b], rows, n_out);
+    ensure_shape(ws.z[b], rows, n_out);
+    const double* h0 = sb.h0_1.data().data() + row_begin * n_out;
+    std::copy(h0, h0 + rows * n_out, ws.s1[b].data().begin());
+    if (blocks_[b].order == core::FilterOrder::kSecond) {
+      ensure_shape(ws.s2[b], rows, n_out);
+      const double* h0b = sb.h0_2.data().data() + row_begin * n_out;
+      std::copy(h0b, h0b + rows * n_out, ws.s2[b].data().begin());
+    }
+  }
+  ensure_shape(ws.acc, rows, n_classes_);
+
+  const double inv_steps = 1.0 / static_cast<double>(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    const ad::Tensor* cur = nullptr;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const PtpbBlockProgram& prog = blocks_[b];
+      const StampedBlock& sb = plan.blocks_[b];
+      const std::size_t n_out = prog.n_out;
+      ad::Tensor& y = ws.y[b];
+      ad::Tensor& z = ws.z[b];
+      ad::Tensor& s1 = ws.s1[b];
+      // Crossbar: y = x·W + bias. The first block's input is a (rows x 1)
+      // series column, done as a fused outer product replicating the
+      // matmul kernel's zero-skip rounding.
+      if (b == 0) {
+        const std::span<const double> w = sb.weights.data();  // (1 x n_out)
+        for (std::size_t i = 0; i < rows; ++i) {
+          const double xv = inputs(row_begin + i, t);
+          for (std::size_t j = 0; j < n_out; ++j) {
+            double m = 0.0;
+            if (xv != 0.0) m += xv * w[j];
+            y(i, j) = m;
+          }
+        }
+      } else {
+        ad::matmul_into(y, *cur, sb.weights);
+      }
+      const std::span<const double> bias = sb.bias.data();
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < n_out; ++j) {
+          y(i, j) = y(i, j) + bias[j];
+        }
+      }
+      // Learnable filter: s1 = a1⊙s1 + b1⊙y (then the second stage for
+      // SO-LF). Products round separately before the add, as on the tape.
+      const std::span<const double> a1 = sb.a1.data();
+      const std::span<const double> b1 = sb.b1.data();
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < n_out; ++j) {
+          const double p = a1[j] * s1(i, j);
+          const double q = b1[j] * y(i, j);
+          s1(i, j) = p + q;
+        }
+      }
+      const ad::Tensor* filtered = &s1;
+      if (prog.order == core::FilterOrder::kSecond) {
+        ad::Tensor& s2 = ws.s2[b];
+        const std::span<const double> a2 = sb.a2.data();
+        const std::span<const double> b2 = sb.b2.data();
+        for (std::size_t i = 0; i < rows; ++i) {
+          for (std::size_t j = 0; j < n_out; ++j) {
+            const double p = a2[j] * s2(i, j);
+            const double q = b2[j] * s1(i, j);
+            s2(i, j) = p + q;
+          }
+        }
+        filtered = &s2;
+      }
+      // ptanh: z = e1 + e2·tanh((f − e3)·e4), one rounding per graph op.
+      const std::span<const double> e1 = sb.e1.data();
+      const std::span<const double> e2 = sb.e2.data();
+      const std::span<const double> e3 = sb.e3.data();
+      const std::span<const double> e4 = sb.e4.data();
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < n_out; ++j) {
+          const double shifted = (*filtered)(i, j) - e3[j];
+          const double gained = shifted * e4[j];
+          const double act = e2[j] * std::tanh(gained);
+          z(i, j) = e1[j] + act;
+        }
+      }
+      cur = &z;
+    }
+    // Read-out integrator: running sum of the last block's outputs.
+    const std::span<const double> zv = cur->data();
+    const std::span<double> acc = ws.acc.data();
+    if (t == 0) {
+      std::copy(zv.begin(), zv.end(), acc.begin());
+    } else {
+      for (std::size_t k = 0; k < acc.size(); ++k) acc[k] = acc[k] + zv[k];
+    }
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < n_classes_; ++j) {
+      logits(row_begin + i, j) = inv_steps * ws.acc(i, j);
+    }
+  }
+}
+
+void Engine::forward(Plan& plan, const ad::Tensor& inputs,
+                     ad::Tensor& logits) const {
+  const std::size_t batch = inputs.rows();
+  if (inputs.cols() == 0) {
+    throw std::invalid_argument("infer::forward: empty sequence");
+  }
+  if (is_printed() && batch != plan.batch_) {
+    throw std::invalid_argument(
+        "infer::forward: plan stamped for batch " +
+        std::to_string(plan.batch_) + ", got " + std::to_string(batch));
+  }
+  ensure_shape(logits, batch, n_classes_);
+  if (plan.shards_.empty()) plan.shards_.resize(1);
+  forward_rows(plan, inputs, logits, 0, batch, 0);
+}
+
+void Engine::forward(Plan& plan, const ad::Tensor& inputs, ad::Tensor& logits,
+                     util::ThreadPool& pool) const {
+  const std::size_t batch = inputs.rows();
+  if (inputs.cols() == 0) {
+    throw std::invalid_argument("infer::forward: empty sequence");
+  }
+  if (is_printed() && batch != plan.batch_) {
+    throw std::invalid_argument(
+        "infer::forward: plan stamped for batch " +
+        std::to_string(plan.batch_) + ", got " + std::to_string(batch));
+  }
+  const std::size_t shards = std::min(pool.size(), batch);
+  if (shards <= 1) {
+    forward(plan, inputs, logits);
+    return;
+  }
+  ensure_shape(logits, batch, n_classes_);
+  if (plan.shards_.size() < shards) plan.shards_.resize(shards);
+  const std::size_t chunk = (batch + shards - 1) / shards;
+  pool.parallel_for(shards, [&](std::size_t s) {
+    const std::size_t row_begin = s * chunk;
+    const std::size_t row_end = std::min(batch, row_begin + chunk);
+    if (row_begin < row_end) {
+      forward_rows(plan, inputs, logits, row_begin, row_end, s);
+    }
+  });
+}
+
+ad::Tensor Engine::predict(Plan& plan, const ad::Tensor& inputs,
+                           const variation::VariationSpec& spec,
+                           util::Rng& rng) const {
+  stamp(plan, spec, rng, inputs.rows());
+  ad::Tensor logits;
+  forward(plan, inputs, logits);
+  return logits;
+}
+
+Engine load_engine(const std::string& checkpoint_path, const std::string& kind,
+                   std::size_t n_classes, double dt, std::size_t hidden_cap) {
+  std::unique_ptr<core::SequenceClassifier> model;
+  if (kind == "adapt") {
+    model = core::make_adapt_pnc(n_classes, dt, /*seed=*/1, hidden_cap);
+  } else if (kind == "ptpnc") {
+    model = core::make_baseline_ptpnc(n_classes, dt, /*seed=*/1);
+  } else if (kind == "elman") {
+    model = baseline::make_elman(n_classes, /*seed=*/1, hidden_cap);
+  } else {
+    throw std::invalid_argument("infer::load_engine: unknown model kind '" +
+                                kind + "' (want adapt | ptpnc | elman)");
+  }
+  core::load_parameters(*model, checkpoint_path);
+  return Engine::compile(*model);
+}
+
+}  // namespace pnc::infer

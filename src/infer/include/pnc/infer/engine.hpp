@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pnc/autodiff/tensor.hpp"
+#include "pnc/core/filter_layer.hpp"
+#include "pnc/core/model.hpp"
+#include "pnc/util/rng.hpp"
+#include "pnc/util/thread_pool.hpp"
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::infer {
+
+/// Tape-free compiled inference runtime.
+///
+/// An Engine is an immutable snapshot of a trained SequenceClassifier,
+/// lowered to a flat execution plan: a fixed sequence of fused
+/// crossbar → SO-filter → ptanh kernels (or Elman cell kernels) over plain
+/// tensors. Forward passes build no autodiff graph, track no Vars and —
+/// once a Plan's buffers are warm — perform no allocation.
+///
+/// Separation of roles:
+///  * Engine  — compiled program + nominal component values. Immutable
+///              after compile(); safe to share across threads.
+///  * Plan    — one "fabricated circuit": the stamped (variation-realized)
+///              weights plus reusable per-shard scratch buffers. Mutable;
+///              one Plan per concurrent caller.
+///
+/// Variation stamping: stamp() draws one Monte-Carlo realization of the
+/// component variations and bakes it into the Plan's realized tensors
+/// *in place*. It consumes the RNG in exactly the order the graph-based
+/// SequenceClassifier::forward does, and forward() evaluates the same
+/// arithmetic in the same operation order, so for equal RNG state the
+/// engine's logits are bit-compatible with model.predict(). Monte-Carlo
+/// yield / accuracy evaluation therefore re-stamps one Plan per circuit
+/// instead of rebuilding a graph per call.
+
+/// Snapshot of one compiled pTPB block (crossbar + filter bank + ptanh).
+struct PtpbBlockProgram {
+  std::size_t n_in = 0;
+  std::size_t n_out = 0;
+  core::FilterOrder order = core::FilterOrder::kSecond;
+  double dt = 0.0;
+  ad::Tensor theta;    // (n_in x n_out) signed surrogate conductances
+  ad::Tensor theta_b;  // (1 x n_out)
+  ad::Tensor r1, c1;   // nominal component values, exp(log-space params)
+  ad::Tensor r2, c2;   // second order only
+  ad::Tensor eta1, eta2, eta3, eta4;  // (1 x n_out)
+};
+
+/// Snapshot of the compiled 2-layer Elman RNN reference model.
+struct ElmanProgram {
+  std::size_t hidden = 0;
+  ad::Tensor w_ih1, w_hh1, b1;
+  ad::Tensor w_ih2, w_hh2, b2;
+  ad::Tensor w_out, b_out;
+};
+
+/// One variation-stamped realization of a pTPB block.
+struct StampedBlock {
+  ad::Tensor weights;         // realized (n_in x n_out)
+  ad::Tensor bias;            // realized (1 x n_out)
+  ad::Tensor a1, b1, a2, b2;  // filter coefficients (1 x n_out)
+  ad::Tensor e1, e2, e3, e4;  // realized ptanh η (1 x n_out)
+  ad::Tensor h0_1, h0_2;      // sampled initial filter states (batch x n_out)
+};
+
+class Engine;
+
+/// Mutable execution state: stamped weights + reusable scratch buffers.
+/// Create with Engine::make_plan(); never share one Plan across threads.
+class Plan {
+ public:
+  std::size_t batch() const { return batch_; }
+  bool stamped() const { return batch_ > 0; }
+
+  const std::vector<StampedBlock>& blocks() const { return blocks_; }
+
+ private:
+  friend class Engine;
+
+  /// Per-shard scratch; tensors are lazily (re)sized and then reused
+  /// across forward calls. One entry per block (the Elman program uses
+  /// index 0 for its cell states and products).
+  struct Workspace {
+    std::vector<ad::Tensor> s1, s2;  // recurrent states
+    std::vector<ad::Tensor> y, z;    // pre-activation / activation buffers
+    ad::Tensor acc;                  // logits accumulator (rows x classes)
+  };
+
+  std::size_t batch_ = 0;              // batch size the stamp was drawn for
+  std::vector<StampedBlock> blocks_;   // empty for the Elman program
+  std::vector<Workspace> shards_;
+};
+
+class Engine {
+ public:
+  /// Compile a trained model into an engine. Parameter values are copied:
+  /// later optimizer steps on the model do not affect the engine. Throws
+  /// std::invalid_argument for model types the compiler does not know.
+  static Engine compile(const core::SequenceClassifier& model);
+
+  /// compile() that returns std::nullopt instead of throwing, so generic
+  /// evaluation loops can fall back to the graph path for exotic models.
+  static std::optional<Engine> try_compile(
+      const core::SequenceClassifier& model);
+
+  /// Fresh execution state for this engine (unstamped).
+  Plan make_plan() const;
+
+  /// Stamp one fabricated-circuit realization into `plan` for a forward
+  /// batch of `batch` rows: component variation factors, coupling μ and
+  /// initial filter voltages are drawn from `rng` in exactly the order the
+  /// graph-based forward consumes them. Re-stamping reuses the plan's
+  /// buffers. The Elman program has no printed components and draws
+  /// nothing.
+  void stamp(Plan& plan, const variation::VariationSpec& spec, util::Rng& rng,
+             std::size_t batch) const;
+
+  /// Forward the (batch x T) series batch through the stamped plan into
+  /// `logits` (batch x classes), single-threaded. inputs.rows() must equal
+  /// plan.batch().
+  void forward(Plan& plan, const ad::Tensor& inputs, ad::Tensor& logits) const;
+
+  /// Batch-sharded forward: rows are split into contiguous chunks fanned
+  /// out over `pool`. Row results are independent of the shard layout, so
+  /// logits are bit-identical to the single-threaded overload.
+  void forward(Plan& plan, const ad::Tensor& inputs, ad::Tensor& logits,
+               util::ThreadPool& pool) const;
+
+  /// stamp + forward convenience (single-threaded).
+  ad::Tensor predict(Plan& plan, const ad::Tensor& inputs,
+                     const variation::VariationSpec& spec,
+                     util::Rng& rng) const;
+
+  const std::string& model_name() const { return name_; }
+  std::size_t num_classes() const { return n_classes_; }
+  bool is_printed() const { return !blocks_.empty(); }
+  const std::vector<PtpbBlockProgram>& blocks() const { return blocks_; }
+
+ private:
+  Engine() = default;
+
+  void stamp_block(const PtpbBlockProgram& prog, StampedBlock& out,
+                   const variation::VariationSpec& spec, util::Rng& rng,
+                   std::size_t batch) const;
+  void forward_rows(Plan& plan, const ad::Tensor& inputs, ad::Tensor& logits,
+                    std::size_t row_begin, std::size_t row_end,
+                    std::size_t shard) const;
+
+  std::string name_;
+  std::size_t n_classes_ = 0;
+  std::vector<PtpbBlockProgram> blocks_;  // printed models
+  std::optional<ElmanProgram> elman_;     // reference model
+};
+
+/// Build the model a checkpoint was trained as, load the checkpoint into
+/// it, and compile. `kind` ∈ {"adapt", "ptpnc", "elman"}; `hidden_cap`
+/// bounds the C² sizing exactly as in the training harnesses (0 = none).
+/// Throws std::runtime_error / std::invalid_argument on unknown kinds or
+/// checkpoint mismatch.
+Engine load_engine(const std::string& checkpoint_path, const std::string& kind,
+                   std::size_t n_classes, double dt, std::size_t hidden_cap);
+
+}  // namespace pnc::infer

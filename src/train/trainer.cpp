@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "pnc/autodiff/ops.hpp"
+#include "pnc/infer/engine.hpp"
 
 namespace pnc::train {
 
@@ -61,9 +62,20 @@ double evaluate_accuracy(core::SequenceClassifier& model,
   std::vector<std::uint64_t> seeds(n);
   for (auto& s : seeds) s = rng();
   std::vector<double> accs(n, 0.0);
+  // Monte-Carlo repeats run through the compiled engine when the model
+  // type supports it (no graph, no tape, buffers recycled); the engine is
+  // bit-compatible with model.predict, so the estimate is unchanged.
+  // Unknown model types keep the graph path.
+  const std::optional<infer::Engine> engine = infer::Engine::try_compile(model);
   util::global_pool().parallel_for(n, [&](std::size_t i) {
     util::Rng repeat_rng(seeds[i]);
-    const ad::Tensor logits = model.predict(split.inputs, spec, repeat_rng);
+    ad::Tensor logits;
+    if (engine) {
+      infer::Plan plan = engine->make_plan();
+      logits = engine->predict(plan, split.inputs, spec, repeat_rng);
+    } else {
+      logits = model.predict(split.inputs, spec, repeat_rng);
+    }
     accs[i] = ad::accuracy(logits, split.labels);
   });
   double acc = 0.0;

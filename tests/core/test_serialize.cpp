@@ -106,6 +106,75 @@ TEST(Serialize, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(Serialize, ExplainsFutureVersions) {
+  auto model = make_adapt_pnc(2, 0.01, 1);
+  std::stringstream stream("pnc-parameters v2\nparams 0\n");
+  try {
+    read_parameters(*model, stream);
+    FAIL() << "future version accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, RejectsNonFinitePayload) {
+  auto a = make_adapt_pnc(2, 0.01, 1);
+  std::stringstream stream;
+  write_parameters(*a, stream);
+  auto b = make_adapt_pnc(2, 0.01, 2);
+  for (const char* bad : {"nan", "inf", "-inf"}) {
+    std::string text = stream.str();
+    // Replace the first payload value (line after the first param record).
+    const std::size_t record = text.find("param ");
+    ASSERT_NE(record, std::string::npos);
+    const std::size_t line = text.find('\n', record) + 1;
+    const std::size_t end = text.find(' ', line);
+    text.replace(line, end - line, bad);
+    std::stringstream poisoned(text);
+    EXPECT_THROW(read_parameters(*b, poisoned), std::runtime_error) << bad;
+  }
+}
+
+TEST(Serialize, RejectsTrailingGarbage) {
+  auto a = make_adapt_pnc(2, 0.01, 1);
+  std::stringstream stream;
+  write_parameters(*a, stream);
+  stream << "leftover bytes\n";
+  auto b = make_adapt_pnc(2, 0.01, 2);
+  EXPECT_THROW(read_parameters(*b, stream), std::runtime_error);
+}
+
+TEST(Serialize, TrailingWhitespaceIsFine) {
+  auto a = make_adapt_pnc(2, 0.01, 1);
+  std::stringstream stream;
+  write_parameters(*a, stream);
+  stream << "  \n\t\n";
+  auto b = make_adapt_pnc(2, 0.01, 2);
+  EXPECT_NO_THROW(read_parameters(*b, stream));
+}
+
+TEST(Serialize, FailedLoadLeavesModelIntact) {
+  auto a = make_adapt_pnc(2, 0.01, 1);
+  std::stringstream stream;
+  write_parameters(*a, stream);
+  std::string text = stream.str();
+  text.resize(text.size() * 3 / 4);  // truncate mid-payload
+
+  auto b = make_adapt_pnc(2, 0.01, 2);
+  std::vector<ad::Tensor> before;
+  for (const auto* p : b->parameters()) before.push_back(p->value);
+
+  std::stringstream truncated(text);
+  EXPECT_THROW(read_parameters(*b, truncated), std::runtime_error);
+  const auto params = b->parameters();
+  ASSERT_EQ(params.size(), before.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ad::max_abs_diff(params[i]->value, before[i]), 0.0)
+        << params[i]->name;
+  }
+}
+
 TEST(Serialize, LoadedModelResumesTrainingCleanly) {
   // Grads must be zeroed on load so the next backward starts fresh.
   auto a = make_adapt_pnc(2, 0.01, 1);

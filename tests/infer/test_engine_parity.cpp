@@ -1,0 +1,191 @@
+// Parity of the compiled inference engine against the graph-based forward:
+// the engine promises bit-compatible logits for equal RNG state, across
+// model kinds, batch sizes, thread counts and variation specs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "pnc/baseline/elman_rnn.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/hardware/yield.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/util/thread_pool.hpp"
+
+namespace pnc {
+namespace {
+
+ad::Tensor random_series(std::size_t batch, std::size_t steps,
+                         util::Rng& rng) {
+  ad::Tensor x(batch, steps);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+std::unique_ptr<core::SequenceClassifier> make_model(const std::string& kind) {
+  if (kind == "adapt") return core::make_adapt_pnc(3, 0.01, 7, 6);
+  if (kind == "ptpnc") return core::make_baseline_ptpnc(3, 0.01, 7);
+  if (kind == "elman") return baseline::make_elman(3, 7, 6);
+  throw std::invalid_argument("unknown kind");
+}
+
+class EngineParity : public ::testing::TestWithParam<std::string> {};
+
+// Identical logits (max-abs-diff 0, i.e. far below the 1e-12 acceptance
+// bound) for every model kind under a clean spec and a printing spec, at
+// batch 1 and 64, with 1 and 4 threads.
+TEST_P(EngineParity, MatchesGraphForward) {
+  auto model = make_model(GetParam());
+  auto engine = infer::Engine::compile(*model);
+  util::ThreadPool pool(4);
+
+  const variation::VariationSpec specs[] = {
+      variation::VariationSpec::none(), variation::VariationSpec::printing(0.1)};
+  for (const auto& spec : specs) {
+    for (std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+      util::Rng data_rng(99);
+      const ad::Tensor x = random_series(batch, 23, data_rng);
+
+      util::Rng rng_graph(1234);
+      const ad::Tensor want = model->predict(x, spec, rng_graph);
+
+      infer::Plan plan = engine.make_plan();
+      util::Rng rng_engine(1234);
+      engine.stamp(plan, spec, rng_engine, batch);
+      ad::Tensor got;
+      engine.forward(plan, x, got);
+      ASSERT_EQ(got.rows(), want.rows());
+      ASSERT_EQ(got.cols(), want.cols());
+      EXPECT_EQ(ad::max_abs_diff(got, want), 0.0)
+          << GetParam() << " batch=" << batch << " single-thread";
+
+      // Sharded forward must be bit-identical to the single-threaded one.
+      ad::Tensor got_mt;
+      engine.forward(plan, x, got_mt, pool);
+      EXPECT_EQ(ad::max_abs_diff(got_mt, want), 0.0)
+          << GetParam() << " batch=" << batch << " 4 threads";
+
+      // Equal RNG consumption: both paths must leave the generator in the
+      // same state, or Monte-Carlo loops would diverge after one circuit.
+      EXPECT_EQ(rng_graph(), rng_engine())
+          << GetParam() << " RNG state diverged";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, EngineParity,
+                         ::testing::Values("adapt", "ptpnc", "elman"));
+
+// Re-stamping a plan gives the same logits as a freshly compiled plan with
+// the same RNG: stamping is stateless across uses.
+TEST(EngineStamp, RestampMatchesFreshPlan) {
+  auto model = make_model("adapt");
+  auto engine = infer::Engine::compile(*model);
+  const auto spec = variation::VariationSpec::printing(0.1);
+  util::Rng data_rng(3);
+  const ad::Tensor x = random_series(8, 17, data_rng);
+
+  infer::Plan reused = engine.make_plan();
+  util::Rng rng_a(42);
+  (void)engine.predict(reused, x, spec, rng_a);  // warm the buffers
+  util::Rng rng_b(7);
+  ad::Tensor warm;
+  engine.stamp(reused, spec, rng_b, 8);
+  engine.forward(reused, x, warm);
+
+  infer::Plan fresh = engine.make_plan();
+  util::Rng rng_c(7);
+  ad::Tensor cold = engine.predict(fresh, x, spec, rng_c);
+  EXPECT_EQ(ad::max_abs_diff(warm, cold), 0.0);
+}
+
+// The engine snapshots parameters at compile time: mutating the model
+// afterwards must not change engine outputs.
+TEST(EngineCompile, SnapshotIsImmutable) {
+  auto model = make_model("ptpnc");
+  auto engine = infer::Engine::compile(*model);
+  util::Rng data_rng(5);
+  const ad::Tensor x = random_series(4, 11, data_rng);
+  const auto spec = variation::VariationSpec::none();
+
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng_a(1);
+  const ad::Tensor before = engine.predict(plan, x, spec, rng_a);
+
+  for (auto* p : model->parameters()) {
+    for (auto& v : p->value.data()) v += 0.25;
+  }
+  util::Rng rng_b(1);
+  const ad::Tensor after = engine.predict(plan, x, spec, rng_b);
+  EXPECT_EQ(ad::max_abs_diff(before, after), 0.0);
+
+  // And a re-compile sees the new values.
+  auto recompiled = infer::Engine::compile(*model);
+  infer::Plan plan2 = recompiled.make_plan();
+  util::Rng rng_c(1);
+  const ad::Tensor changed = recompiled.predict(plan2, x, spec, rng_c);
+  EXPECT_GT(ad::max_abs_diff(changed, before), 0.0);
+}
+
+TEST(EngineCompile, ReportsModelMetadata) {
+  auto adapt = make_model("adapt");
+  auto engine = infer::Engine::compile(*adapt);
+  EXPECT_EQ(engine.model_name(), "adapt_pnc");
+  EXPECT_EQ(engine.num_classes(), 3u);
+  EXPECT_TRUE(engine.is_printed());
+  ASSERT_EQ(engine.blocks().size(), 2u);
+  EXPECT_EQ(engine.blocks()[0].n_in, 1u);
+  EXPECT_EQ(engine.blocks()[1].n_out, 3u);
+
+  auto elman = make_model("elman");
+  auto elman_engine = infer::Engine::compile(*elman);
+  EXPECT_FALSE(elman_engine.is_printed());
+}
+
+// The rewired Monte-Carlo yield estimator must report exactly the same
+// per-circuit accuracies whether it scores through the engine or the
+// graph path — the acceptance contract for routing evaluation through
+// compiled plans.
+TEST(EngineRewiring, YieldEstimateIdenticalWithAndWithoutEngine) {
+  auto model = make_model("adapt");
+  util::Rng data_rng(11);
+  data::Split split;
+  split.inputs = random_series(9, 19, data_rng);
+  for (int i = 0; i < 9; ++i) split.labels.push_back(i % 3);
+
+  hardware::YieldConfig config;
+  config.num_circuits = 6;
+  config.seed = 5;
+  const auto spec = variation::VariationSpec::printing(0.1);
+
+  config.use_engine = true;
+  const auto with_engine =
+      hardware::estimate_yield(*model, split, spec, config);
+  config.use_engine = false;
+  const auto with_graph =
+      hardware::estimate_yield(*model, split, spec, config);
+
+  EXPECT_EQ(with_engine.yield, with_graph.yield);
+  EXPECT_EQ(with_engine.mean_accuracy, with_graph.mean_accuracy);
+  ASSERT_EQ(with_engine.accuracies.size(), with_graph.accuracies.size());
+  for (std::size_t i = 0; i < with_engine.accuracies.size(); ++i) {
+    EXPECT_EQ(with_engine.accuracies[i], with_graph.accuracies[i]) << i;
+  }
+}
+
+TEST(EngineForward, RejectsBatchMismatchAndEmptySequence) {
+  auto model = make_model("adapt");
+  auto engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(1);
+  engine.stamp(plan, variation::VariationSpec::none(), rng, 4);
+  ad::Tensor logits;
+  const ad::Tensor wrong_batch(2, 10);
+  EXPECT_THROW(engine.forward(plan, wrong_batch, logits),
+               std::invalid_argument);
+  const ad::Tensor empty(4, 0);
+  EXPECT_THROW(engine.forward(plan, empty, logits), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc

@@ -1,0 +1,159 @@
+// Checkpoint serving CLI for the compiled inference runtime: load a
+// trained checkpoint, compile it to an infer::Engine, and stream
+// predictions for a CSV of series.
+//
+//   ./pnc_infer --checkpoint ckpt.txt --model adapt --classes 2 --dt 1 \
+//       --input test.csv
+//
+// Input: one series per line, comma- (or whitespace-) separated values;
+// every line must have the same length. Output: one line per series,
+//   <index>,<predicted class>[,<logit 0>,...]
+//
+// Flags:
+//   --checkpoint PATH   trained parameters (pnc_train / save_parameters)
+//   --model KIND        adapt | ptpnc | elman         (default adapt)
+//   --classes C         classes the checkpoint was trained for
+//   --dt SECONDS        sampling period it was trained for (default 1)
+//   --hidden-cap N      hidden-sizing cap used at training (default 9)
+//   --input PATH        CSV of series; '-' reads stdin
+//   --batch N           rows per forward batch        (default 64)
+//   --threads N         batch-sharding threads        (default 1)
+//   --variation DELTA   stamp one ±DELTA fabricated circuit per batch
+//   --seed S            RNG seed for the variation stamp (default 0)
+//   --logits            also print the raw logits
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pnc/infer/engine.hpp"
+
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "pnc_infer: " << message << "\n";
+  std::exit(1);
+}
+
+std::vector<std::vector<double>> read_series_csv(std::istream& is) {
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    for (auto& ch : line) {
+      if (ch == ',' || ch == ';' || ch == '\t') ch = ' ';
+    }
+    std::istringstream fields(line);
+    std::vector<double> values;
+    double v = 0.0;
+    while (fields >> v) values.push_back(v);
+    if (values.empty()) continue;  // blank line
+    if (!rows.empty() && values.size() != rows.front().size()) {
+      die("ragged CSV: line " + std::to_string(rows.size() + 1) + " has " +
+          std::to_string(values.size()) + " values, expected " +
+          std::to_string(rows.front().size()));
+    }
+    rows.push_back(std::move(values));
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pnc;
+
+  std::string checkpoint_path;
+  std::string kind = "adapt";
+  std::string input_path;
+  std::size_t n_classes = 0;
+  std::size_t hidden_cap = 9;
+  std::size_t batch = 64;
+  std::size_t threads = 1;
+  double dt = 1.0;
+  double variation_delta = 0.0;
+  std::uint64_t seed = 0;
+  bool print_logits = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--checkpoint") checkpoint_path = value();
+    else if (flag == "--model") kind = value();
+    else if (flag == "--classes") n_classes = std::stoul(value());
+    else if (flag == "--dt") dt = std::stod(value());
+    else if (flag == "--hidden-cap") hidden_cap = std::stoul(value());
+    else if (flag == "--input") input_path = value();
+    else if (flag == "--batch") batch = std::stoul(value());
+    else if (flag == "--threads") threads = std::stoul(value());
+    else if (flag == "--variation") variation_delta = std::stod(value());
+    else if (flag == "--seed") seed = std::stoull(value());
+    else if (flag == "--logits") print_logits = true;
+    else die("unknown flag " + flag);
+  }
+  if (checkpoint_path.empty()) die("--checkpoint is required");
+  if (input_path.empty()) die("--input is required");
+  if (n_classes < 2) die("--classes must be >= 2");
+  if (batch == 0) die("--batch must be >= 1");
+
+  infer::Engine engine = [&] {
+    try {
+      return infer::load_engine(checkpoint_path, kind, n_classes, dt,
+                                hidden_cap);
+    } catch (const std::exception& e) {
+      die(e.what());
+    }
+  }();
+
+  std::vector<std::vector<double>> series;
+  if (input_path == "-") {
+    series = read_series_csv(std::cin);
+  } else {
+    std::ifstream file(input_path);
+    if (!file) die("cannot open " + input_path);
+    series = read_series_csv(file);
+  }
+  if (series.empty()) die("no series in " + input_path);
+
+  const variation::VariationSpec spec =
+      variation_delta > 0.0 ? variation::VariationSpec::printing(variation_delta)
+                            : variation::VariationSpec::none();
+  util::Rng rng(seed);
+  util::ThreadPool pool(threads);
+  infer::Plan plan = engine.make_plan();
+
+  const std::size_t steps = series.front().size();
+  std::cout.precision(10);
+  for (std::size_t begin = 0; begin < series.size(); begin += batch) {
+    const std::size_t rows = std::min(batch, series.size() - begin);
+    ad::Tensor inputs = ad::Tensor::uninitialized(rows, steps);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t t = 0; t < steps; ++t) {
+        inputs(i, t) = series[begin + i][t];
+      }
+    }
+    // One stamp per batch: every batch is scored on one fabricated
+    // circuit (with --variation 0 the stamp is the nominal circuit).
+    engine.stamp(plan, spec, rng, rows);
+    ad::Tensor logits;
+    engine.forward(plan, inputs, logits, pool);
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < engine.num_classes(); ++j) {
+        if (logits(i, j) > logits(i, best)) best = j;
+      }
+      std::cout << (begin + i) << ',' << best;
+      if (print_logits) {
+        for (std::size_t j = 0; j < engine.num_classes(); ++j) {
+          std::cout << ',' << logits(i, j);
+        }
+      }
+      std::cout << '\n';
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Minimal training front-end: fit one model on a benchmark dataset, save
+// the checkpoint, and (optionally) export the test split as a CSV that
+// pnc_infer can stream. Small enough for CI smoke jobs:
+//
+//   ./pnc_train --dataset PowerCons --model adapt --epochs 2 \
+//       --checkpoint ckpt.txt --export-csv test.csv
+//
+// Flags:
+//   --dataset NAME      benchmark dataset (default PowerCons)
+//   --model KIND        adapt | ptpnc | elman        (default adapt)
+//   --epochs N          max training epochs          (default 2)
+//   --hidden-cap N      cap on the C^2 hidden sizing (default 9, 0 = none)
+//   --seed S            experiment seed              (default 42)
+//   --variation DELTA   train-time component variation ±DELTA (default 0)
+//   --checkpoint PATH   where to save the trained parameters
+//   --export-csv PATH   write the test split series (one per line)
+//   --export-labels PATH  write the matching labels (one per line)
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "pnc/baseline/elman_rnn.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/core/serialize.hpp"
+#include "pnc/data/dataset.hpp"
+#include "pnc/train/trainer.hpp"
+#include "pnc/util/table.hpp"
+
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "pnc_train: " << message << "\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pnc;
+
+  std::string dataset_name = "PowerCons";
+  std::string kind = "adapt";
+  std::string checkpoint_path;
+  std::string csv_path;
+  std::string labels_path;
+  int epochs = 2;
+  std::size_t hidden_cap = 9;
+  std::uint64_t seed = 42;
+  double variation_delta = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--dataset") dataset_name = value();
+    else if (flag == "--model") kind = value();
+    else if (flag == "--epochs") epochs = std::stoi(value());
+    else if (flag == "--hidden-cap") hidden_cap = std::stoul(value());
+    else if (flag == "--seed") seed = std::stoull(value());
+    else if (flag == "--variation") variation_delta = std::stod(value());
+    else if (flag == "--checkpoint") checkpoint_path = value();
+    else if (flag == "--export-csv") csv_path = value();
+    else if (flag == "--export-labels") labels_path = value();
+    else die("unknown flag " + flag);
+  }
+
+  const data::Dataset ds = data::make_dataset(dataset_name, seed);
+  const auto n_classes = static_cast<std::size_t>(ds.num_classes);
+
+  std::unique_ptr<core::SequenceClassifier> model;
+  if (kind == "adapt") {
+    model = core::make_adapt_pnc(n_classes, ds.sample_period, seed,
+                                 hidden_cap);
+  } else if (kind == "ptpnc") {
+    model = core::make_baseline_ptpnc(n_classes, ds.sample_period, seed);
+  } else if (kind == "elman") {
+    model = baseline::make_elman(n_classes, seed, hidden_cap);
+  } else {
+    die("unknown model kind '" + kind + "' (want adapt | ptpnc | elman)");
+  }
+
+  train::TrainConfig config;
+  config.max_epochs = epochs;
+  config.seed = seed;
+  if (variation_delta > 0.0) {
+    config.train_variation = variation::VariationSpec::printing(
+        variation_delta, 3);
+  }
+  const train::TrainResult result = train::train(*model, ds, config);
+
+  util::Rng rng(7);
+  const double test_acc = train::evaluate_accuracy(
+      *model, ds.test, variation::VariationSpec::none(), rng);
+  std::cout << "trained " << model->name() << " on " << ds.name << ": "
+            << result.epochs_run << " epochs, "
+            << util::format_fixed(result.wall_seconds, 1)
+            << " s, test accuracy " << util::format_fixed(test_acc, 3)
+            << "\n";
+
+  if (!checkpoint_path.empty()) {
+    core::save_parameters(*model, checkpoint_path);
+    std::cout << "checkpoint: " << checkpoint_path << "\n"
+              << "serve it:   pnc_infer --checkpoint " << checkpoint_path
+              << " --model " << kind << " --classes " << n_classes
+              << " --dt " << ds.sample_period << " --hidden-cap "
+              << hidden_cap << " --input <series.csv>\n";
+  }
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (!csv) die("cannot open " + csv_path);
+    const ad::Tensor& x = ds.test.inputs;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      for (std::size_t t = 0; t < x.cols(); ++t) {
+        csv << x(i, t) << (t + 1 == x.cols() ? '\n' : ',');
+      }
+    }
+    std::cout << "test series: " << csv_path << " (" << x.rows() << " x "
+              << x.cols() << ")\n";
+  }
+  if (!labels_path.empty()) {
+    std::ofstream labels(labels_path);
+    if (!labels) die("cannot open " + labels_path);
+    for (const int label : ds.test.labels) labels << label << '\n';
+  }
+  return 0;
+}
