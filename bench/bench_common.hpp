@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -61,6 +62,13 @@ class JsonReport {
     phases_.emplace_back(phase, seconds);
   }
 
+  /// Embed a pre-serialized JSON value (object/array) under `key`, for
+  /// structured results that don't fit scalar metrics (e.g. a
+  /// reliability::RobustnessReport).
+  void section(const std::string& key, std::string raw_json) {
+    sections_.emplace_back(key, std::move(raw_json));
+  }
+
   /// Run `fn()` and record its wall time as a phase.
   template <class F>
   void timed_phase(const std::string& phase, F&& fn) {
@@ -71,22 +79,33 @@ class JsonReport {
 
   double seconds_since_start() const { return elapsed_since(start_); }
 
-  /// Write BENCH_<name>.json in the current directory.
+  /// Write BENCH_<name>.json in the current directory. The report is
+  /// staged to a temp file and renamed into place, so a reader (CI
+  /// polling, a crashed run's leftovers) never sees a half-written file.
   void write() const {
-    std::ofstream out("BENCH_" + name_ + ".json");
-    out.precision(9);
-    out << "{\n";
-    out << "  \"name\": \"" << name_ << "\",\n";
-    out << "  \"threads\": " << util::hardware_threads() << ",\n";
-    out << "  \"quick_mode\": " << (quick_mode() ? "true" : "false") << ",\n";
-    out << "  \"wall_seconds\": " << seconds_since_start() << ",\n";
-    out << "  \"phases\": {";
-    write_pairs(out, phases_);
-    out << "},\n";
-    out << "  \"metrics\": {";
-    write_pairs(out, metrics_);
-    out << "}\n";
-    out << "}\n";
+    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp);
+      out.precision(9);
+      out << "{\n";
+      out << "  \"name\": \"" << name_ << "\",\n";
+      out << "  \"threads\": " << util::hardware_threads() << ",\n";
+      out << "  \"quick_mode\": " << (quick_mode() ? "true" : "false")
+          << ",\n";
+      out << "  \"wall_seconds\": " << seconds_since_start() << ",\n";
+      out << "  \"phases\": {";
+      write_pairs(out, phases_);
+      out << "},\n";
+      for (const auto& [key, raw] : sections_) {
+        out << "  \"" << key << "\": " << raw << ",\n";
+      }
+      out << "  \"metrics\": {";
+      write_pairs(out, metrics_);
+      out << "}\n";
+      out << "}\n";
+    }
+    std::rename(tmp.c_str(), path.c_str());
   }
 
  private:
@@ -110,6 +129,7 @@ class JsonReport {
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, double>> phases_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 }  // namespace pnc::bench

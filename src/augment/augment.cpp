@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 #include <stdexcept>
 
 #include "pnc/augment/fft.hpp"
@@ -96,6 +97,54 @@ std::vector<double> frequency_noise(const std::vector<double>& x, double sigma,
   }
   make_conjugate_symmetric(spectrum);
   return irfft(std::move(spectrum), x.size());
+}
+
+std::vector<double> impulse_noise(const std::vector<double>& x, double rate,
+                                  double magnitude, util::Rng& rng) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("impulse_noise: rate must be in [0, 1]");
+  }
+  std::vector<double> out = x;
+  for (auto& v : out) {
+    if (rng.bernoulli(rate)) {
+      v = rng.bernoulli(0.5) ? magnitude : -magnitude;
+    }
+  }
+  return out;
+}
+
+std::vector<double> baseline_wander(const std::vector<double>& x,
+                                    double amplitude, double periods,
+                                    util::Rng& rng) {
+  if (periods <= 0.0) {
+    throw std::invalid_argument("baseline_wander: periods must be > 0");
+  }
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const std::size_t n = x.size();
+  std::vector<double> out = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 0.0;
+    out[i] += amplitude * std::sin(2.0 * std::numbers::pi * periods * t +
+                                   phase);
+  }
+  return out;
+}
+
+std::vector<double> dropout_segment(const std::vector<double>& x,
+                                    double fraction, util::Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("dropout_segment: fraction must be in [0, 1]");
+  }
+  const std::size_t n = x.size();
+  const auto len = static_cast<std::size_t>(static_cast<double>(n) * fraction);
+  if (len == 0) return x;
+  const auto start = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n - len)));
+  std::vector<double> out = x;
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(start),
+            out.begin() + static_cast<std::ptrdiff_t>(start + len), 0.0);
+  return out;
 }
 
 Augmenter::Augmenter(AugmentConfig config) : config_(config) {

@@ -36,6 +36,27 @@ std::vector<double> random_crop(const std::vector<double>& x,
 std::vector<double> frequency_noise(const std::vector<double>& x, double sigma,
                                     double fraction, util::Rng& rng);
 
+/// Sensor-corruption primitives shared with the inference-time noise
+/// model (pnc::reliability::NoiseSpec): hard, localized disturbances the
+/// smooth operators above do not cover.
+
+/// Sparse large spikes: each sample is replaced by ±`magnitude` with
+/// probability `rate` — ESD hits / contact bounce at the sensor interface.
+std::vector<double> impulse_noise(const std::vector<double>& x, double rate,
+                                  double magnitude, util::Rng& rng);
+
+/// Additive low-frequency sinusoid of `amplitude` with `periods` cycles
+/// across the series and a random phase — electrode / baseline drift.
+std::vector<double> baseline_wander(const std::vector<double>& x,
+                                    double amplitude, double periods,
+                                    util::Rng& rng);
+
+/// Zero one random contiguous segment of `fraction` of the series —
+/// a transient sensor dropout (unlike random_crop, the gap is not
+/// resampled away; the model sees the dead span).
+std::vector<double> dropout_segment(const std::vector<double>& x,
+                                    double fraction, util::Rng& rng);
+
 /// Per-dataset augmentation strengths (the quantities the paper tunes with
 /// Ray Tune; tuned here by train/tuner.hpp).
 struct AugmentConfig {

@@ -71,6 +71,14 @@ ElmanRnn::CellView ElmanRnn::cell(int layer) const {
   return CellView{c.w_ih.value, c.w_hh.value, c.b.value};
 }
 
+ElmanRnn::MutableCellView ElmanRnn::mutable_cell(int layer) {
+  if (layer != 1 && layer != 2) {
+    throw std::out_of_range("ElmanRnn::mutable_cell: layer must be 1 or 2");
+  }
+  Cell& c = layer == 1 ? cell1_ : cell2_;
+  return MutableCellView{c.w_ih.value, c.w_hh.value, c.b.value};
+}
+
 std::vector<ad::Parameter*> ElmanRnn::parameters() {
   return {&cell1_.w_ih, &cell1_.w_hh, &cell1_.b,
           &cell2_.w_ih, &cell2_.w_hh, &cell2_.b,

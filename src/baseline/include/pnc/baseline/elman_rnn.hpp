@@ -40,6 +40,16 @@ class ElmanRnn final : public core::SequenceClassifier {
   const ad::Tensor& output_weight() const { return w_out_.value; }
   const ad::Tensor& output_bias() const { return b_out_.value; }
 
+  /// Mutable weight views for defect stamping (pnc::reliability): open /
+  /// saturated interconnect faults overwrite entries in place.
+  struct MutableCellView {
+    ad::Tensor& w_ih;
+    ad::Tensor& w_hh;
+    ad::Tensor& b;
+  };
+  MutableCellView mutable_cell(int layer);  // layer ∈ {1, 2}
+  ad::Tensor& mutable_output_weight() { return w_out_.value; }
+
  private:
   struct Cell {
     ad::Parameter w_ih;  // (n_in x hidden)

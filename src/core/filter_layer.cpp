@@ -122,6 +122,18 @@ const ad::Tensor& FilterLayer::log_capacitance(std::size_t stage) const {
   return stage_param(log_c1_, log_c2_, stage, order_).value;
 }
 
+ad::Tensor& FilterLayer::mutable_log_resistance(std::size_t stage) {
+  return const_cast<ad::Parameter&>(stage_param(log_r1_, log_r2_, stage,
+                                                order_))
+      .value;
+}
+
+ad::Tensor& FilterLayer::mutable_log_capacitance(std::size_t stage) {
+  return const_cast<ad::Parameter&>(stage_param(log_c1_, log_c2_, stage,
+                                                order_))
+      .value;
+}
+
 double FilterLayer::resistance(std::size_t stage, std::size_t j) const {
   return std::exp(stage_param(log_r1_, log_r2_, stage, order_).value.at(0, j));
 }

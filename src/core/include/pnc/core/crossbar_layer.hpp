@@ -64,6 +64,12 @@ class CrossbarLayer {
   const ad::Tensor& theta() const { return theta_.value; }
   const ad::Tensor& theta_bias() const { return theta_b_.value; }
 
+  /// Mutable conductances for defect stamping (pnc::reliability): a
+  /// stuck-at fault overwrites an entry in place and restores it after
+  /// evaluation.
+  ad::Tensor& mutable_theta() { return theta_.value; }
+  ad::Tensor& mutable_theta_bias() { return theta_b_.value; }
+
   /// Export column j as a concrete circuit (for the hardware cost model
   /// and MNA cross-validation). `unit_resistance` converts normalized
   /// conductance units back to siemens.

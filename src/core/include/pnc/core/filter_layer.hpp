@@ -65,6 +65,11 @@ class FilterLayer {
   const ad::Tensor& log_resistance(std::size_t stage) const;
   const ad::Tensor& log_capacitance(std::size_t stage) const;
 
+  /// Mutable log-space tensors for defect stamping (pnc::reliability):
+  /// an out-of-tolerance RC drift shifts a channel in log space.
+  ad::Tensor& mutable_log_resistance(std::size_t stage);
+  ad::Tensor& mutable_log_capacitance(std::size_t stage);
+
   /// Nominal discrete-time pole a = RC/(RC + Δt) of a stage/channel (μ=1).
   double nominal_pole(std::size_t stage, std::size_t j) const;
 

@@ -35,6 +35,13 @@ struct YieldResult {
   std::vector<double> accuracies;  // one per sampled circuit
 };
 
+/// Reduce a per-circuit accuracy vector into a YieldResult against a pass
+/// threshold. Shared by estimate_yield and the reliability campaign
+/// runner (pnc::reliability), which summarizes each severity cell exactly
+/// like a yield estimate. Throws std::invalid_argument on an empty vector.
+YieldResult summarize_accuracies(std::vector<double> accuracies,
+                                 double accuracy_threshold);
+
 /// Sample `num_circuits` fabrications of `model` under `variation` and
 /// score each on `split`.
 YieldResult estimate_yield(core::SequenceClassifier& model,

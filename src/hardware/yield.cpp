@@ -11,6 +11,27 @@
 
 namespace pnc::hardware {
 
+YieldResult summarize_accuracies(std::vector<double> accuracies,
+                                 double accuracy_threshold) {
+  if (accuracies.empty()) {
+    throw std::invalid_argument("summarize_accuracies: no circuits");
+  }
+  YieldResult result;
+  result.accuracies = std::move(accuracies);
+  int passing = 0;
+  double sum = 0.0;
+  for (const double acc : result.accuracies) {
+    result.worst_accuracy = std::min(result.worst_accuracy, acc);
+    result.best_accuracy = std::max(result.best_accuracy, acc);
+    sum += acc;
+    if (acc >= accuracy_threshold) ++passing;
+  }
+  const auto n = static_cast<double>(result.accuracies.size());
+  result.mean_accuracy = sum / n;
+  result.yield = static_cast<double>(passing) / n;
+  return result;
+}
+
 YieldResult estimate_yield(core::SequenceClassifier& model,
                            const data::Split& split,
                            const variation::VariationSpec& variation,
@@ -30,8 +51,7 @@ YieldResult estimate_yield(core::SequenceClassifier& model,
   // identical for any thread count.
   std::vector<std::uint64_t> seeds(n);
   for (auto& s : seeds) s = rng();
-  YieldResult result;
-  result.accuracies.assign(n, 0.0);
+  std::vector<double> accuracies(n, 0.0);
   // One circuit == one variation stamp of a compiled plan; the engine's
   // bit-compatibility with the graph path keeps the estimate identical
   // for a fixed seed while skipping all tape construction.
@@ -46,21 +66,11 @@ YieldResult estimate_yield(core::SequenceClassifier& model,
     } else {
       logits = model.predict(split.inputs, variation, circuit_rng);
     }
-    result.accuracies[i] = ad::accuracy(logits, split.labels);
+    accuracies[i] = ad::accuracy(logits, split.labels);
   });
 
-  int passing = 0;
-  double sum = 0.0;
-  for (const double acc : result.accuracies) {
-    result.worst_accuracy = std::min(result.worst_accuracy, acc);
-    result.best_accuracy = std::max(result.best_accuracy, acc);
-    sum += acc;
-    if (acc >= config.accuracy_threshold) ++passing;
-  }
-  result.mean_accuracy = sum / static_cast<double>(config.num_circuits);
-  result.yield =
-      static_cast<double>(passing) / static_cast<double>(config.num_circuits);
-  return result;
+  return summarize_accuracies(std::move(accuracies),
+                              config.accuracy_threshold);
 }
 
 std::vector<YieldResult> yield_vs_variation(

@@ -94,11 +94,15 @@ std::optional<Engine> Engine::try_compile(
       prog.dt = layer->filters().dt();
       prog.theta = layer->crossbar().theta();
       prog.theta_b = layer->crossbar().theta_bias();
-      prog.r1 = exp_of(layer->filters().log_resistance(0));
-      prog.c1 = exp_of(layer->filters().log_capacitance(0));
+      prog.log_r1 = layer->filters().log_resistance(0);
+      prog.log_c1 = layer->filters().log_capacitance(0);
+      prog.r1 = exp_of(prog.log_r1);
+      prog.c1 = exp_of(prog.log_c1);
       if (prog.order == core::FilterOrder::kSecond) {
-        prog.r2 = exp_of(layer->filters().log_resistance(1));
-        prog.c2 = exp_of(layer->filters().log_capacitance(1));
+        prog.log_r2 = layer->filters().log_resistance(1);
+        prog.log_c2 = layer->filters().log_capacitance(1);
+        prog.r2 = exp_of(prog.log_r2);
+        prog.c2 = exp_of(prog.log_c2);
       }
       prog.eta1 = layer->activation().eta(1);
       prog.eta2 = layer->activation().eta(2);

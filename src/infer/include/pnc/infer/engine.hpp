@@ -48,6 +48,12 @@ struct PtpbBlockProgram {
   ad::Tensor theta_b;  // (1 x n_out)
   ad::Tensor r1, c1;   // nominal component values, exp(log-space params)
   ad::Tensor r2, c2;   // second order only
+  /// Log-space filter nominals (the trained parameterization). Kept next
+  /// to the linear tensors so defect stamping (pnc::reliability) can shift
+  /// a channel in log space — exactly as a graph-model edit would — and
+  /// re-derive r/c, staying bit-compatible with the graph path.
+  ad::Tensor log_r1, log_c1;
+  ad::Tensor log_r2, log_c2;  // second order only
   ad::Tensor eta1, eta2, eta3, eta4;  // (1 x n_out)
 };
 
@@ -140,6 +146,17 @@ class Engine {
   std::size_t num_classes() const { return n_classes_; }
   bool is_printed() const { return !blocks_.empty(); }
   const std::vector<PtpbBlockProgram>& blocks() const { return blocks_; }
+  const ElmanProgram* elman_program() const {
+    return elman_ ? &*elman_ : nullptr;
+  }
+
+  /// Mutable access to the compiled programs, for tooling that rewrites
+  /// nominal component values in place (pnc::reliability fault stamping
+  /// edits a *copy* of a clean engine per fabricated circuit). Callers
+  /// must preserve shapes and keep the linear r/c tensors consistent with
+  /// their log-space counterparts.
+  std::vector<PtpbBlockProgram>& mutable_blocks() { return blocks_; }
+  ElmanProgram* mutable_elman_program() { return elman_ ? &*elman_ : nullptr; }
 
  private:
   Engine() = default;

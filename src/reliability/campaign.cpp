@@ -1,0 +1,247 @@
+#include "pnc/reliability/campaign.hpp"
+
+#include <bit>
+#include <cmath>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/util/rng.hpp"
+#include "pnc/util/thread_pool.hpp"
+
+namespace pnc::reliability {
+
+namespace {
+
+/// Cell seed keyed on the severity *values*, so a severity-(0,0) cell and
+/// the dedicated clean-accuracy evaluation fabricate identical circuits.
+std::uint64_t cell_seed(std::uint64_t base, double fault_severity,
+                        double noise_severity) {
+  return base ^
+         (std::bit_cast<std::uint64_t>(fault_severity) *
+          0x9e3779b97f4a7c15ULL) ^
+         (std::bit_cast<std::uint64_t>(noise_severity) *
+          0xc2b2ae3d27d4eb4fULL);
+}
+
+/// Accuracy distribution of one severity cell. The engine path copies the
+/// clean compiled engine per circuit (programs are a few small tensors)
+/// and fans circuits out over the process-wide pool; the graph path
+/// mutates the shared model under a ScopedFault, so it runs circuits
+/// serially. Results are index-ordered either way.
+CellResult evaluate_cell(core::SequenceClassifier& model,
+                         const std::optional<infer::Engine>& engine,
+                         const data::Split& split, const FaultSpec& fault,
+                         const NoiseSpec& noise, const CampaignConfig& config,
+                         double fault_severity, double noise_severity,
+                         double pass_threshold) {
+  const auto n = static_cast<std::size_t>(config.circuits_per_cell);
+  std::vector<std::uint64_t> mask_seeds(n), noise_seeds(n), var_seeds(n);
+  util::Rng seeder(cell_seed(config.seed, fault_severity, noise_severity));
+  for (std::size_t c = 0; c < n; ++c) {
+    mask_seeds[c] = seeder();
+    noise_seeds[c] = seeder();
+    var_seeds[c] = seeder();
+  }
+
+  std::vector<double> accuracies(n, 0.0);
+  std::vector<double> fault_counts(n, 0.0);
+  auto eval_one = [&](std::size_t c) {
+    const FaultInjector injector(fault, mask_seeds[c]);
+    const FaultMask mask =
+        engine ? injector.draw(*engine) : injector.draw(model);
+    ad::Tensor x = corrupt_inputs(split.inputs, noise, noise_seeds[c]);
+    x = apply_sensor_faults(x, mask);
+    util::Rng var_rng(var_seeds[c]);
+    ad::Tensor logits;
+    if (engine) {
+      infer::Engine faulty = *engine;
+      apply_faults(faulty, mask);
+      infer::Plan plan = faulty.make_plan();
+      logits = faulty.predict(plan, x, config.variation, var_rng);
+    } else {
+      const ScopedFault scoped(model, mask);
+      logits = model.predict(x, config.variation, var_rng);
+    }
+    accuracies[c] = ad::accuracy(logits, split.labels);
+    fault_counts[c] = static_cast<double>(mask.count());
+  };
+  if (engine) {
+    util::global_pool().parallel_for(n, eval_one);
+  } else {
+    for (std::size_t c = 0; c < n; ++c) eval_one(c);
+  }
+
+  CellResult cell;
+  cell.fault_severity = fault_severity;
+  cell.noise_severity = noise_severity;
+  cell.stats =
+      hardware::summarize_accuracies(std::move(accuracies), pass_threshold);
+  double count_sum = 0.0;
+  for (const double fc : fault_counts) count_sum += fc;
+  cell.mean_fault_count = count_sum / static_cast<double>(n);
+  return cell;
+}
+
+/// Least-squares slope of y over x; 0 when x has no spread.
+double fit_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  const auto n = static_cast<double>(x.size());
+  if (x.size() < 2) return 0.0;
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+void write_json_array(std::ostringstream& out,
+                      const std::vector<double>& values) {
+  out << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << values[i];
+  }
+  out << "]";
+}
+
+}  // namespace
+
+const CellResult& RobustnessReport::cell(std::size_t fault_idx,
+                                         std::size_t noise_idx) const {
+  if (fault_idx >= fault_severities.size() ||
+      noise_idx >= noise_severities.size()) {
+    throw std::out_of_range("RobustnessReport::cell: index out of range");
+  }
+  return cells.at(fault_idx * noise_severities.size() + noise_idx);
+}
+
+std::string RobustnessReport::to_json() const {
+  std::ostringstream out;
+  out.precision(9);
+  out << "{\n";
+  out << "    \"model\": \"" << model << "\",\n";
+  out << "    \"circuits_per_cell\": " << circuits_per_cell << ",\n";
+  out << "    \"clean_accuracy\": " << clean_accuracy << ",\n";
+  out << "    \"failure_threshold\": " << failure_threshold << ",\n";
+  out << "    \"fault_severities\": ";
+  write_json_array(out, fault_severities);
+  out << ",\n    \"noise_severities\": ";
+  write_json_array(out, noise_severities);
+  out << ",\n";
+  out << "    \"failure_fault_severity\": " << failure_fault_severity << ",\n";
+  out << "    \"failure_noise_severity\": " << failure_noise_severity << ",\n";
+  out << "    \"fault_degradation_slope\": " << fault_degradation_slope
+      << ",\n";
+  out << "    \"noise_degradation_slope\": " << noise_degradation_slope
+      << ",\n";
+  out << "    \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    if (i > 0) out << ",";
+    out << "\n      {\"fault_severity\": " << c.fault_severity
+        << ", \"noise_severity\": " << c.noise_severity
+        << ", \"mean_accuracy\": " << c.stats.mean_accuracy
+        << ", \"worst_accuracy\": " << c.stats.worst_accuracy
+        << ", \"best_accuracy\": " << c.stats.best_accuracy
+        << ", \"pass_fraction\": " << c.stats.yield
+        << ", \"mean_fault_count\": " << c.mean_fault_count << "}";
+  }
+  if (!cells.empty()) out << "\n    ";
+  out << "]\n  }";
+  return out.str();
+}
+
+void RobustnessReport::write_csv(std::ostream& out, bool header) const {
+  if (header) {
+    out << "model,fault_severity,noise_severity,mean_accuracy,"
+           "worst_accuracy,best_accuracy,pass_fraction,mean_fault_count\n";
+  }
+  out.precision(9);
+  for (const CellResult& c : cells) {
+    out << model << ',' << c.fault_severity << ',' << c.noise_severity << ','
+        << c.stats.mean_accuracy << ',' << c.stats.worst_accuracy << ','
+        << c.stats.best_accuracy << ',' << c.stats.yield << ','
+        << c.mean_fault_count << '\n';
+  }
+}
+
+RobustnessReport run_campaign(core::SequenceClassifier& model,
+                              const data::Split& split,
+                              const FaultSpec& fault, const NoiseSpec& noise,
+                              const CampaignConfig& config) {
+  if (config.circuits_per_cell < 1) {
+    throw std::invalid_argument("run_campaign: circuits_per_cell must be >= 1");
+  }
+  if (config.fault_severities.empty() || config.noise_severities.empty()) {
+    throw std::invalid_argument("run_campaign: empty severity grid");
+  }
+  if (config.failure_fraction <= 0.0 || config.failure_fraction > 1.0) {
+    throw std::invalid_argument(
+        "run_campaign: failure_fraction must be in (0, 1]");
+  }
+
+  std::optional<infer::Engine> engine;
+  if (config.use_engine) engine = infer::Engine::try_compile(model);
+
+  RobustnessReport report;
+  report.model = model.name();
+  report.circuits_per_cell =
+      static_cast<std::size_t>(config.circuits_per_cell);
+  report.fault_severities = config.fault_severities;
+  report.noise_severities = config.noise_severities;
+
+  // Clean reference: the severity-(0, 0) cell with the same seed
+  // derivation, so a grid that contains (0, 0) reproduces this accuracy
+  // exactly.
+  const CellResult clean =
+      evaluate_cell(model, engine, split, fault.scaled(0.0), noise.scaled(0.0),
+                    config, 0.0, 0.0, /*pass_threshold=*/0.0);
+  report.clean_accuracy = clean.stats.mean_accuracy;
+  report.failure_threshold = config.failure_fraction * report.clean_accuracy;
+
+  for (const double fs : config.fault_severities) {
+    for (const double ns : config.noise_severities) {
+      report.cells.push_back(evaluate_cell(model, engine, split,
+                                           fault.scaled(fs), noise.scaled(ns),
+                                           config, fs, ns,
+                                           report.failure_threshold));
+    }
+  }
+
+  // Headline numbers along each axis, holding the other axis at its first
+  // (typically zero) severity.
+  std::vector<double> fault_axis_acc, noise_axis_acc;
+  for (std::size_t i = 0; i < report.fault_severities.size(); ++i) {
+    fault_axis_acc.push_back(report.cell(i, 0).stats.mean_accuracy);
+  }
+  for (std::size_t j = 0; j < report.noise_severities.size(); ++j) {
+    noise_axis_acc.push_back(report.cell(0, j).stats.mean_accuracy);
+  }
+  for (std::size_t i = 0; i < fault_axis_acc.size(); ++i) {
+    if (fault_axis_acc[i] < report.failure_threshold) {
+      report.failure_fault_severity = report.fault_severities[i];
+      break;
+    }
+  }
+  for (std::size_t j = 0; j < noise_axis_acc.size(); ++j) {
+    if (noise_axis_acc[j] < report.failure_threshold) {
+      report.failure_noise_severity = report.noise_severities[j];
+      break;
+    }
+  }
+  report.fault_degradation_slope =
+      fit_slope(report.fault_severities, fault_axis_acc);
+  report.noise_degradation_slope =
+      fit_slope(report.noise_severities, noise_axis_acc);
+  return report;
+}
+
+}  // namespace pnc::reliability

@@ -1,0 +1,318 @@
+#include "pnc/reliability/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pnc/baseline/elman_rnn.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/core/crossbar_layer.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::reliability {
+
+namespace {
+
+constexpr std::uint64_t kFaultStream = 0x6661756c74ULL;  // "fault"
+
+double clamp01(double p) { return std::clamp(p, 0.0, 1.0); }
+
+/// The Elman reference's faultable weight matrices, in draw order. Biases
+/// are excluded: an open bias is indistinguishable from a trained zero.
+constexpr std::size_t kElmanMatrices = 5;
+
+const ad::Tensor* elman_matrix(const infer::ElmanProgram& prog,
+                               std::size_t index) {
+  switch (index) {
+    case 0: return &prog.w_ih1;
+    case 1: return &prog.w_hh1;
+    case 2: return &prog.w_ih2;
+    case 3: return &prog.w_hh2;
+    case 4: return &prog.w_out;
+    default: throw std::out_of_range("reliability: bad Elman matrix index");
+  }
+}
+
+ad::Tensor* elman_matrix(infer::ElmanProgram& prog, std::size_t index) {
+  return const_cast<ad::Tensor*>(
+      elman_matrix(static_cast<const infer::ElmanProgram&>(prog), index));
+}
+
+ad::Tensor exp_of(const ad::Tensor& log_values) {
+  // Same elementwise traversal as Engine::compile's nominal derivation,
+  // so untouched channels keep bit-identical linear values.
+  return log_values.map([](double v) { return std::exp(v); });
+}
+
+}  // namespace
+
+bool FaultSpec::any() const {
+  return stuck_off_rate > 0.0 || stuck_on_rate > 0.0 || rc_drift_rate > 0.0 ||
+         dead_sensor_rate > 0.0 || saturated_sensor_rate > 0.0;
+}
+
+FaultSpec FaultSpec::scaled(double severity) const {
+  if (severity < 0.0) {
+    throw std::invalid_argument("FaultSpec::scaled: severity must be >= 0");
+  }
+  FaultSpec out = *this;
+  out.stuck_off_rate = clamp01(stuck_off_rate * severity);
+  out.stuck_on_rate = clamp01(stuck_on_rate * severity);
+  out.rc_drift_rate = clamp01(rc_drift_rate * severity);
+  out.dead_sensor_rate = clamp01(dead_sensor_rate * severity);
+  out.saturated_sensor_rate = clamp01(saturated_sensor_rate * severity);
+  return out;
+}
+
+FaultSpec FaultSpec::mixed(double rate) {
+  if (rate < 0.0) {
+    throw std::invalid_argument("FaultSpec::mixed: rate must be >= 0");
+  }
+  FaultSpec spec;
+  spec.stuck_off_rate = clamp01(0.50 * rate);
+  spec.stuck_on_rate = clamp01(0.25 * rate);
+  spec.rc_drift_rate = clamp01(0.25 * rate);
+  spec.dead_sensor_rate = clamp01(0.10 * rate);
+  spec.saturated_sensor_rate = clamp01(0.10 * rate);
+  return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {}
+
+FaultMask FaultInjector::draw(const infer::Engine& engine) const {
+  FaultMask mask;
+  util::Rng rng(seed_ ^ kFaultStream);
+
+  // Site order is fixed: per printed block, θ entries row-major, then the
+  // bias column, then the filter stages channel by channel; then (Elman)
+  // the weight matrices; then the sensor. One uniform per conductance
+  // site keeps the stream aligned whether or not a site faults.
+  auto draw_conductance = [&](double nominal, std::size_t block,
+                              std::size_t row, std::size_t col) {
+    const double u = rng.uniform();
+    if (u < spec_.stuck_off_rate) {
+      mask.faults.push_back({FaultKind::kStuckOff, block, row, col, 0, 0.0});
+    } else if (u < spec_.stuck_off_rate + spec_.stuck_on_rate) {
+      const double sign = nominal < 0.0 ? -1.0 : 1.0;
+      mask.faults.push_back({FaultKind::kStuckOn, block, row, col, 0,
+                             sign * core::CrossbarLayer::kThetaMax});
+    }
+  };
+
+  for (std::size_t b = 0; b < engine.blocks().size(); ++b) {
+    const infer::PtpbBlockProgram& prog = engine.blocks()[b];
+    for (std::size_t i = 0; i < prog.n_in; ++i) {
+      for (std::size_t j = 0; j < prog.n_out; ++j) {
+        draw_conductance(prog.theta(i, j), b, i, j);
+      }
+    }
+    for (std::size_t j = 0; j < prog.n_out; ++j) {
+      draw_conductance(prog.theta_b(0, j), b, prog.n_in, j);
+    }
+    const std::size_t stages =
+        prog.order == core::FilterOrder::kSecond ? 2 : 1;
+    for (std::size_t stage = 0; stage < stages; ++stage) {
+      for (std::size_t j = 0; j < prog.n_out; ++j) {
+        if (rng.uniform() < spec_.rc_drift_rate) {
+          const double shift = rng.bernoulli(0.5) ? spec_.rc_drift_log_shift
+                                                  : -spec_.rc_drift_log_shift;
+          mask.faults.push_back(
+              {FaultKind::kRcDrift, b, 0, j, stage, shift});
+        }
+      }
+    }
+  }
+
+  if (const infer::ElmanProgram* elman = engine.elman_program()) {
+    for (std::size_t m = 0; m < kElmanMatrices; ++m) {
+      const ad::Tensor& w = *elman_matrix(*elman, m);
+      for (std::size_t i = 0; i < w.rows(); ++i) {
+        for (std::size_t j = 0; j < w.cols(); ++j) {
+          const double u = rng.uniform();
+          if (u < spec_.stuck_off_rate) {
+            mask.faults.push_back(
+                {FaultKind::kOpenWeight, m, i, j, 0, 0.0});
+          } else if (u < spec_.stuck_off_rate + spec_.stuck_on_rate) {
+            const double sign = w(i, j) < 0.0 ? -1.0 : 1.0;
+            mask.faults.push_back({FaultKind::kSaturatedWeight, m, i, j, 0,
+                                   sign * spec_.elman_saturated_weight});
+          }
+        }
+      }
+    }
+  }
+
+  const double u = rng.uniform();
+  if (u < spec_.dead_sensor_rate) {
+    mask.sensor_dead = true;
+    mask.dead_onset = rng.uniform();
+  } else if (u < spec_.dead_sensor_rate + spec_.saturated_sensor_rate) {
+    mask.sensor_saturated = true;
+    mask.saturation_level = spec_.saturation_level;
+  }
+  return mask;
+}
+
+FaultMask FaultInjector::draw(const core::SequenceClassifier& model) const {
+  if (std::optional<infer::Engine> engine = infer::Engine::try_compile(model)) {
+    return draw(*engine);
+  }
+  // No compiled inventory: the model family is unknown to the fault
+  // taxonomy, so only the (model-independent) sensor faults apply. The
+  // stream start matches draw(engine) with an empty inventory.
+  FaultMask mask;
+  util::Rng rng(seed_ ^ kFaultStream);
+  const double u = rng.uniform();
+  if (u < spec_.dead_sensor_rate) {
+    mask.sensor_dead = true;
+    mask.dead_onset = rng.uniform();
+  } else if (u < spec_.dead_sensor_rate + spec_.saturated_sensor_rate) {
+    mask.sensor_saturated = true;
+    mask.saturation_level = spec_.saturation_level;
+  }
+  return mask;
+}
+
+void apply_faults(infer::Engine& engine, const FaultMask& mask) {
+  auto& blocks = engine.mutable_blocks();
+  // (block, stage) pairs whose linear r/c need re-deriving afterwards.
+  std::vector<std::pair<std::size_t, std::size_t>> drifted;
+  for (const Fault& f : mask.faults) {
+    switch (f.kind) {
+      case FaultKind::kStuckOff:
+      case FaultKind::kStuckOn: {
+        infer::PtpbBlockProgram& prog = blocks.at(f.block);
+        if (f.row < prog.n_in) {
+          prog.theta(f.row, f.col) = f.value;
+        } else {
+          prog.theta_b(0, f.col) = f.value;
+        }
+        break;
+      }
+      case FaultKind::kRcDrift: {
+        infer::PtpbBlockProgram& prog = blocks.at(f.block);
+        ad::Tensor& log_r = f.stage == 0 ? prog.log_r1 : prog.log_r2;
+        ad::Tensor& log_c = f.stage == 0 ? prog.log_c1 : prog.log_c2;
+        log_r(0, f.col) = log_r(0, f.col) + f.value;
+        log_c(0, f.col) = log_c(0, f.col) + f.value;
+        drifted.emplace_back(f.block, f.stage);
+        break;
+      }
+      case FaultKind::kOpenWeight:
+      case FaultKind::kSaturatedWeight: {
+        infer::ElmanProgram* elman = engine.mutable_elman_program();
+        if (elman == nullptr) {
+          throw std::invalid_argument(
+              "apply_faults: Elman weight fault on a printed engine");
+        }
+        (*elman_matrix(*elman, f.block))(f.row, f.col) = f.value;
+        break;
+      }
+    }
+  }
+  for (const auto& [block, stage] : drifted) {
+    infer::PtpbBlockProgram& prog = blocks.at(block);
+    if (stage == 0) {
+      prog.r1 = exp_of(prog.log_r1);
+      prog.c1 = exp_of(prog.log_c1);
+    } else {
+      prog.r2 = exp_of(prog.log_r2);
+      prog.c2 = exp_of(prog.log_c2);
+    }
+  }
+}
+
+ad::Tensor apply_sensor_faults(const ad::Tensor& inputs,
+                               const FaultMask& mask) {
+  if (!mask.sensor_dead && !mask.sensor_saturated) return inputs;
+  ad::Tensor out = inputs;
+  if (mask.sensor_saturated) {
+    const double level = mask.saturation_level;
+    for (auto& v : out.data()) v = std::clamp(v, -level, level);
+  }
+  if (mask.sensor_dead) {
+    // The one physical sensor died at one instant: every series recorded
+    // through it flatlines from the same onset.
+    const auto onset = static_cast<std::size_t>(
+        mask.dead_onset * static_cast<double>(out.cols()));
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      for (std::size_t t = onset; t < out.cols(); ++t) out(i, t) = 0.0;
+    }
+  }
+  return out;
+}
+
+ScopedFault::ScopedFault(core::SequenceClassifier& model,
+                         const FaultMask& mask) {
+  auto* pnc = dynamic_cast<core::PrintedTemporalNetwork*>(&model);
+  auto* elman = dynamic_cast<baseline::ElmanRnn*>(&model);
+
+  auto set = [&](ad::Tensor& t, std::size_t row, std::size_t col,
+                 double value) {
+    saved_.push_back({&t, row, col, t(row, col)});
+    t(row, col) = value;
+  };
+  auto add = [&](ad::Tensor& t, std::size_t row, std::size_t col,
+                 double delta) {
+    saved_.push_back({&t, row, col, t(row, col)});
+    t(row, col) = t(row, col) + delta;
+  };
+
+  for (const Fault& f : mask.faults) {
+    switch (f.kind) {
+      case FaultKind::kStuckOff:
+      case FaultKind::kStuckOn: {
+        if (pnc == nullptr) {
+          throw std::invalid_argument(
+              "ScopedFault: conductance fault on a non-printed model");
+        }
+        core::PtpbLayer& layer = f.block == 0 ? pnc->layer1() : pnc->layer2();
+        if (f.row < layer.n_in()) {
+          set(layer.crossbar().mutable_theta(), f.row, f.col, f.value);
+        } else {
+          set(layer.crossbar().mutable_theta_bias(), 0, f.col, f.value);
+        }
+        break;
+      }
+      case FaultKind::kRcDrift: {
+        if (pnc == nullptr) {
+          throw std::invalid_argument(
+              "ScopedFault: RC drift fault on a non-printed model");
+        }
+        core::PtpbLayer& layer = f.block == 0 ? pnc->layer1() : pnc->layer2();
+        add(layer.filters().mutable_log_resistance(f.stage), 0, f.col,
+            f.value);
+        add(layer.filters().mutable_log_capacitance(f.stage), 0, f.col,
+            f.value);
+        break;
+      }
+      case FaultKind::kOpenWeight:
+      case FaultKind::kSaturatedWeight: {
+        if (elman == nullptr) {
+          throw std::invalid_argument(
+              "ScopedFault: weight fault on a non-Elman model");
+        }
+        switch (f.block) {
+          case 0: set(elman->mutable_cell(1).w_ih, f.row, f.col, f.value); break;
+          case 1: set(elman->mutable_cell(1).w_hh, f.row, f.col, f.value); break;
+          case 2: set(elman->mutable_cell(2).w_ih, f.row, f.col, f.value); break;
+          case 3: set(elman->mutable_cell(2).w_hh, f.row, f.col, f.value); break;
+          case 4: set(elman->mutable_output_weight(), f.row, f.col, f.value); break;
+          default:
+            throw std::out_of_range("ScopedFault: bad Elman matrix index");
+        }
+        break;
+      }
+    }
+  }
+}
+
+ScopedFault::~ScopedFault() {
+  // Reverse order so sites edited twice restore to the pre-fault value.
+  for (auto it = saved_.rbegin(); it != saved_.rend(); ++it) {
+    (*it->tensor)(it->row, it->col) = it->value;
+  }
+}
+
+}  // namespace pnc::reliability

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pnc/core/model.hpp"
+#include "pnc/data/dataset.hpp"
+#include "pnc/hardware/yield.hpp"
+#include "pnc/reliability/fault.hpp"
+#include "pnc/reliability/noise.hpp"
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::reliability {
+
+/// Monte-Carlo robustness campaign over a (fault severity x noise
+/// severity) grid.
+///
+/// Every grid cell fabricates `circuits_per_cell` independent circuits:
+/// each draws its own defect mask (FaultSpec scaled by the cell's fault
+/// severity), its own sensor corruption (NoiseSpec scaled by the noise
+/// severity) and its own process-variation stamp, then scores the test
+/// split. Per-circuit seeds are derived from (seed, severities, circuit
+/// index), so campaigns are reproducible and the engine path and the
+/// graph path score the *same* circuits — their reports agree exactly.
+struct CampaignConfig {
+  std::vector<double> fault_severities = {0.0, 0.02, 0.05, 0.1};
+  std::vector<double> noise_severities = {0.0, 0.5, 1.0};
+  int circuits_per_cell = 8;
+  std::uint64_t seed = 0;
+
+  /// Process variation stamped on top of the defects (printed models).
+  variation::VariationSpec variation = variation::VariationSpec::none();
+
+  /// A circuit "fails" when its accuracy drops below this fraction of the
+  /// clean accuracy (the 90 %-of-clean criterion).
+  double failure_fraction = 0.9;
+
+  /// Score through compiled infer::Engine plans, fanned out over the
+  /// process-wide pool (circuits are independent). Disable to cross-check
+  /// through the graph path, which evaluates circuits serially because it
+  /// stamps faults into the shared model.
+  bool use_engine = true;
+};
+
+/// One severity-grid cell: the accuracy distribution over its sampled
+/// circuits, summarized exactly like a manufacturing-yield estimate
+/// (pass threshold = failure_fraction x clean accuracy).
+struct CellResult {
+  double fault_severity = 0.0;
+  double noise_severity = 0.0;
+  hardware::YieldResult stats;
+  double mean_fault_count = 0.0;  // defects stamped per circuit, averaged
+};
+
+/// Campaign outcome: accuracy-vs-severity surfaces plus the headline
+/// robustness numbers (failure thresholds and degradation slopes along
+/// each axis).
+struct RobustnessReport {
+  std::string model;
+  std::size_t circuits_per_cell = 0;
+  double clean_accuracy = 0.0;    // severity (0, 0), same seed derivation
+  double failure_threshold = 0.0; // failure_fraction x clean_accuracy
+
+  std::vector<double> fault_severities;
+  std::vector<double> noise_severities;
+  std::vector<CellResult> cells;  // fault-major: [fault][noise]
+
+  /// First fault severity (at the lowest noise severity) whose mean
+  /// accuracy falls below the failure threshold; -1 when the grid never
+  /// fails. `failure_noise_severity` is the same along the noise axis.
+  double failure_fault_severity = -1.0;
+  double failure_noise_severity = -1.0;
+
+  /// Least-squares slope of mean accuracy vs severity along each axis
+  /// (accuracy lost per unit severity; more negative = steeper collapse).
+  double fault_degradation_slope = 0.0;
+  double noise_degradation_slope = 0.0;
+
+  const CellResult& cell(std::size_t fault_idx, std::size_t noise_idx) const;
+
+  /// Serialize the full report as one JSON object.
+  std::string to_json() const;
+
+  /// Append one CSV row per cell:
+  /// model,fault_severity,noise_severity,mean_accuracy,worst,best,
+  /// pass_fraction,mean_fault_count. `header` first when requested.
+  void write_csv(std::ostream& out, bool header) const;
+};
+
+/// Run the sweep for one model. `fault` and `noise` describe unit
+/// severity; the grid scales them. The engine fast path copies a clean
+/// compiled engine per circuit and stamps defects into the copy; the
+/// graph fallback stamps the shared model under a ScopedFault.
+RobustnessReport run_campaign(core::SequenceClassifier& model,
+                              const data::Split& split,
+                              const FaultSpec& fault, const NoiseSpec& noise,
+                              const CampaignConfig& config);
+
+}  // namespace pnc::reliability

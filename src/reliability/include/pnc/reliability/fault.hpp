@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pnc/autodiff/tensor.hpp"
+#include "pnc/core/model.hpp"
+#include "pnc/infer/engine.hpp"
+
+namespace pnc::reliability {
+
+/// Hard-defect models for printed neuromorphic circuits.
+///
+/// `pnc::variation` covers the *smooth* regime — every component exists
+/// but its value is off by a few percent. This header covers the *hard*
+/// regime studied for imperfect analog hardware (Merrikh Bayat et al.;
+/// Manneschi et al.): devices that are absent, shorted, drifted out of
+/// tolerance, or sensor front-ends that die outright. A defect is stamped
+/// into the circuit once (it is a property of the fabricated part), and
+/// process variation / sensor noise then act on top of it.
+
+/// What a single realized defect does.
+enum class FaultKind {
+  kStuckOff,   // crossbar conductance -> 0 (missing droplet / open trace)
+  kStuckOn,    // crossbar conductance -> ±θ_max (ink bridge / short)
+  kOpenWeight, // Elman weight -> 0 (open interconnect in the reference net)
+  kSaturatedWeight,  // Elman weight -> ±w_sat (saturated synapse)
+  kRcDrift,    // filter R and C shifted out of tolerance (log-space)
+};
+
+/// Defect-rate description. Rates are per-site Bernoulli probabilities:
+/// every crossbar conductance (θ entries plus the bias column), every
+/// filter channel stage and the input sensor are independent candidate
+/// sites. `scaled(s)` multiplies all rates by s — the campaign runner's
+/// severity axis.
+struct FaultSpec {
+  double stuck_off_rate = 0.0;  // P(conductance stuck at ~0)
+  double stuck_on_rate = 0.0;   // P(conductance stuck at ±θ_max)
+  double rc_drift_rate = 0.0;   // P(filter stage drifted out of tolerance)
+  /// Magnitude of an out-of-tolerance drift, applied as ±shift to both
+  /// log R and log C of the faulted channel stage (e^0.4 ≈ ±50 % on the
+  /// RC time constant).
+  double rc_drift_log_shift = 0.4;
+
+  // Sensor front-end defects, drawn once per fabricated circuit.
+  double dead_sensor_rate = 0.0;       // series flatlines to 0 from a
+                                       // random onset (sensor died)
+  double saturated_sensor_rate = 0.0;  // readings clip to ±saturation_level
+  double saturation_level = 0.5;
+
+  /// Saturated-synapse magnitude for the hardware-agnostic Elman
+  /// reference, which has weights instead of conductances.
+  double elman_saturated_weight = 2.0;
+
+  bool any() const;
+  FaultSpec scaled(double severity) const;
+
+  /// Balanced composition used by the CLI and the bench: total defect
+  /// budget `rate` split 50 % stuck-off, 25 % stuck-on, 25 % RC drift,
+  /// plus rate/10 dead and rate/10 saturated sensors.
+  static FaultSpec mixed(double rate);
+};
+
+/// One realized defect at a concrete site.
+struct Fault {
+  FaultKind kind = FaultKind::kStuckOff;
+  std::size_t block = 0;  // pTPB block index, or Elman matrix index
+                          // (0 w_ih1, 1 w_hh1, 2 w_ih2, 3 w_hh2, 4 w_out)
+  std::size_t row = 0;    // θ row; row == n_in addresses the bias entry
+  std::size_t col = 0;    // output channel / weight column
+  std::size_t stage = 0;  // filter stage for kRcDrift
+  double value = 0.0;     // forced value (stuck) or log-shift (drift)
+
+  bool operator==(const Fault&) const = default;
+};
+
+/// One fabricated circuit's full defect realization. Component faults are
+/// listed in deterministic site order; sensor faults apply to the inputs.
+struct FaultMask {
+  std::vector<Fault> faults;
+
+  bool sensor_dead = false;
+  double dead_onset = 0.0;  // fraction of the series after which it flatlines
+  bool sensor_saturated = false;
+  double saturation_level = 0.0;
+
+  std::size_t count() const {
+    return faults.size() + (sensor_dead ? 1 : 0) + (sensor_saturated ? 1 : 0);
+  }
+  bool empty() const { return count() == 0; }
+};
+
+/// Deterministic defect sampler: `FaultInjector(spec, seed).draw(...)`
+/// yields the same mask for the same seed, whether the site inventory is
+/// read off a compiled engine or the model it was compiled from — that is
+/// what lets the campaign runner score the engine path and the graph path
+/// against the *same* fabricated circuit.
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Draw the defect realization for the engine's component inventory.
+  FaultMask draw(const infer::Engine& engine) const;
+
+  /// Same realization via the model (compiles a throwaway engine to get
+  /// the inventory). Models the engine cannot compile get sensor faults
+  /// only.
+  FaultMask draw(const core::SequenceClassifier& model) const;
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t seed_;
+};
+
+/// Stamp component faults into a compiled engine's nominal programs in
+/// place (the campaign fast path: copy the clean engine, stamp, serve).
+/// Filter r/c tensors are recomputed from their log-space counterparts so
+/// the engine stays bit-compatible with a graph model faulted the same
+/// way.
+void apply_faults(infer::Engine& engine, const FaultMask& mask);
+
+/// Apply the sensor defects of `mask` to a (batch x T) series batch.
+/// Returns `inputs` unchanged when the mask has no sensor fault.
+ad::Tensor apply_sensor_faults(const ad::Tensor& inputs,
+                               const FaultMask& mask);
+
+/// RAII graph-path stamping: applies the mask's component faults to the
+/// model's parameter tensors on construction and restores the original
+/// values on destruction. Not thread-safe across circuits — the graph
+/// fallback evaluates circuits serially.
+class ScopedFault {
+ public:
+  ScopedFault(core::SequenceClassifier& model, const FaultMask& mask);
+  ~ScopedFault();
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  struct Saved {
+    ad::Tensor* tensor;
+    std::size_t row, col;
+    double value;
+  };
+  std::vector<Saved> saved_;
+};
+
+}  // namespace pnc::reliability

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pnc/autodiff/tensor.hpp"
+
+namespace pnc::reliability {
+
+/// Inference-time sensor corruption. Unlike `pnc::augment` (a *training*
+/// regularizer), these operators model what the deployed circuit actually
+/// sees at its input pin: thermal noise, ESD spikes, electrode baseline
+/// drift and transient dropouts. The implementation reuses the augment
+/// primitives so the train-time and serve-time corruption models stay in
+/// one place.
+struct NoiseSpec {
+  double gaussian_sigma = 0.0;  // additive white noise (augment::jitter)
+
+  double impulse_rate = 0.0;  // per-sample spike probability
+  double impulse_magnitude = 2.0;
+
+  double wander_amplitude = 0.0;  // low-frequency baseline wander
+  double wander_periods = 2.0;    // cycles across the series
+
+  double dropout_rate = 0.0;      // P(series loses one contiguous segment)
+  double dropout_fraction = 0.15; // segment length as a fraction of T
+
+  bool any() const;
+
+  /// Campaign severity axis: sigma, spike rate, wander amplitude and
+  /// dropout probability all scale linearly with `severity`.
+  NoiseSpec scaled(double severity) const;
+
+  /// Typical mixed corruption at unit severity: Gaussian sigma, a 1 %
+  /// spike rate, mild wander and a 10 % dropout probability.
+  static NoiseSpec sensor(double sigma);
+};
+
+/// Corrupt every row of a (batch x T) series batch. Row i is corrupted by
+/// an independent RNG stream derived from (seed, i), so the result is
+/// independent of evaluation order and batch sharding. Returns a copy;
+/// a spec with `any() == false` returns the inputs untouched.
+ad::Tensor corrupt_inputs(const ad::Tensor& inputs, const NoiseSpec& spec,
+                          std::uint64_t seed);
+
+}  // namespace pnc::reliability

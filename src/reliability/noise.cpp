@@ -1,0 +1,73 @@
+#include "pnc/reliability/noise.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "pnc/augment/augment.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::reliability {
+
+bool NoiseSpec::any() const {
+  return gaussian_sigma > 0.0 || impulse_rate > 0.0 ||
+         wander_amplitude > 0.0 || dropout_rate > 0.0;
+}
+
+NoiseSpec NoiseSpec::scaled(double severity) const {
+  if (severity < 0.0) {
+    throw std::invalid_argument("NoiseSpec::scaled: severity must be >= 0");
+  }
+  NoiseSpec out = *this;
+  out.gaussian_sigma = gaussian_sigma * severity;
+  out.impulse_rate = std::min(impulse_rate * severity, 1.0);
+  out.wander_amplitude = wander_amplitude * severity;
+  out.dropout_rate = std::min(dropout_rate * severity, 1.0);
+  return out;
+}
+
+NoiseSpec NoiseSpec::sensor(double sigma) {
+  NoiseSpec spec;
+  spec.gaussian_sigma = sigma;
+  spec.impulse_rate = 0.01;
+  spec.impulse_magnitude = 2.0;
+  spec.wander_amplitude = sigma;
+  spec.wander_periods = 2.0;
+  spec.dropout_rate = 0.1;
+  spec.dropout_fraction = 0.15;
+  return spec;
+}
+
+ad::Tensor corrupt_inputs(const ad::Tensor& inputs, const NoiseSpec& spec,
+                          std::uint64_t seed) {
+  if (!spec.any()) return inputs;
+  ad::Tensor out = inputs;
+  const std::size_t steps = inputs.cols();
+  std::vector<double> row(steps);
+  for (std::size_t i = 0; i < inputs.rows(); ++i) {
+    // Independent per-row streams: the corruption of row i never depends
+    // on how many rows precede it or how the batch is sharded.
+    util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    for (std::size_t t = 0; t < steps; ++t) row[t] = inputs(i, t);
+    // Slow disturbances first, fast ones last: wander shifts the
+    // baseline, a dropout then silences a span, spikes and thermal
+    // noise ride on top.
+    if (spec.wander_amplitude > 0.0) {
+      row = augment::baseline_wander(row, spec.wander_amplitude,
+                                     spec.wander_periods, rng);
+    }
+    if (spec.dropout_rate > 0.0 && rng.bernoulli(spec.dropout_rate)) {
+      row = augment::dropout_segment(row, spec.dropout_fraction, rng);
+    }
+    if (spec.impulse_rate > 0.0) {
+      row = augment::impulse_noise(row, spec.impulse_rate,
+                                   spec.impulse_magnitude, rng);
+    }
+    if (spec.gaussian_sigma > 0.0) {
+      row = augment::jitter(row, spec.gaussian_sigma, rng);
+    }
+    for (std::size_t t = 0; t < steps; ++t) out(i, t) = row[t];
+  }
+  return out;
+}
+
+}  // namespace pnc::reliability

@@ -191,6 +191,57 @@ TEST(Augmenter, SplitWithoutOriginalsKeepsRows) {
   EXPECT_EQ(out.size(), ds.test.size());
 }
 
+TEST(ImpulseNoise, ReplacesSamplesWithSpikes) {
+  util::Rng rng(51);
+  const auto x = test_signal();
+  const auto y = impulse_noise(x, 1.0, 2.0, rng);
+  ASSERT_EQ(y.size(), x.size());
+  for (const double v : y) EXPECT_EQ(std::abs(v), 2.0);
+
+  util::Rng rng2(52);
+  EXPECT_EQ(impulse_noise(x, 0.0, 2.0, rng2), x);
+  EXPECT_THROW(impulse_noise(x, 1.5, 2.0, rng2), std::invalid_argument);
+}
+
+TEST(BaselineWander, AddsBoundedSinusoid) {
+  util::Rng rng(53);
+  const auto x = test_signal();
+  const auto y = baseline_wander(x, 0.3, 2.0, rng);
+  ASSERT_EQ(y.size(), x.size());
+  double max_shift = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    max_shift = std::max(max_shift, std::abs(y[i] - x[i]));
+  }
+  EXPECT_LE(max_shift, 0.3 + 1e-12);
+  EXPECT_GT(max_shift, 0.0);
+
+  util::Rng rng2(54);
+  EXPECT_EQ(baseline_wander(x, 0.0, 2.0, rng2), x);
+  EXPECT_THROW(baseline_wander(x, 0.3, 0.0, rng2), std::invalid_argument);
+}
+
+TEST(DropoutSegment, ZeroesOneContiguousSpan) {
+  util::Rng rng(55);
+  std::vector<double> x(64, 1.0);
+  const auto y = dropout_segment(x, 0.25, rng);
+  ASSERT_EQ(y.size(), x.size());
+  std::size_t zeros = 0;
+  std::size_t first = y.size(), last = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0) {
+      ++zeros;
+      first = std::min(first, i);
+      last = i;
+    }
+  }
+  EXPECT_EQ(zeros, 16u);
+  EXPECT_EQ(last - first + 1, zeros);  // contiguous
+
+  util::Rng rng2(56);
+  EXPECT_EQ(dropout_segment(x, 0.0, rng2), x);
+  EXPECT_THROW(dropout_segment(x, 1.5, rng2), std::invalid_argument);
+}
+
 TEST(NamedAugmentations, AllFiveApply) {
   const AugmentConfig cfg;
   util::Rng rng(47);

@@ -1,0 +1,157 @@
+// Campaign runner: exact clean-accuracy reproduction at severity (0, 0),
+// engine/graph path agreement, config validation and report serialization.
+#include "pnc/reliability/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "pnc/core/adapt_pnc.hpp"
+
+namespace pnc {
+namespace {
+
+data::Split tiny_split(std::size_t batch = 12, std::size_t steps = 16,
+                       int classes = 3) {
+  data::Split split;
+  split.inputs = ad::Tensor(batch, steps);
+  util::Rng rng(5);
+  for (auto& v : split.inputs.data()) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    split.labels.push_back(static_cast<int>(i) % classes);
+  }
+  return split;
+}
+
+reliability::CampaignConfig tiny_config() {
+  reliability::CampaignConfig config;
+  config.fault_severities = {0.0, 0.5};
+  config.noise_severities = {0.0, 1.0};
+  config.circuits_per_cell = 3;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ReliabilityCampaign, CleanCellReproducesCleanAccuracyExactly) {
+  auto model = core::make_adapt_pnc(3, 0.01, 7, 6);
+  const auto split = tiny_split();
+  const auto report = reliability::run_campaign(
+      *model, split, reliability::FaultSpec::mixed(1.0),
+      reliability::NoiseSpec::sensor(0.3), tiny_config());
+
+  ASSERT_EQ(report.cells.size(), 4u);
+  // Bitwise: the (0, 0) grid cell derives the same per-circuit seeds as
+  // the dedicated clean evaluation.
+  EXPECT_EQ(report.cell(0, 0).stats.mean_accuracy, report.clean_accuracy);
+  EXPECT_DOUBLE_EQ(report.failure_threshold, 0.9 * report.clean_accuracy);
+  EXPECT_EQ(report.cell(0, 0).mean_fault_count, 0.0);
+  EXPECT_EQ(report.circuits_per_cell, 3u);
+  EXPECT_EQ(report.model, model->name());
+
+  // Severity 0.5 actually fabricates defective circuits.
+  EXPECT_GT(report.cell(1, 0).mean_fault_count, 0.0);
+}
+
+TEST(ReliabilityCampaign, EngineAndGraphPathsProduceIdenticalReports) {
+  auto model = core::make_adapt_pnc(3, 0.01, 7, 6);
+  const auto split = tiny_split();
+  const auto fault = reliability::FaultSpec::mixed(1.0);
+  const auto noise = reliability::NoiseSpec::sensor(0.3);
+
+  reliability::CampaignConfig config = tiny_config();
+  config.variation = variation::VariationSpec::printing(0.1);
+  const auto via_engine =
+      reliability::run_campaign(*model, split, fault, noise, config);
+  config.use_engine = false;
+  const auto via_graph =
+      reliability::run_campaign(*model, split, fault, noise, config);
+
+  EXPECT_EQ(via_engine.clean_accuracy, via_graph.clean_accuracy);
+  ASSERT_EQ(via_engine.cells.size(), via_graph.cells.size());
+  for (std::size_t i = 0; i < via_engine.cells.size(); ++i) {
+    const auto& a = via_engine.cells[i];
+    const auto& b = via_graph.cells[i];
+    EXPECT_EQ(a.stats.mean_accuracy, b.stats.mean_accuracy) << "cell " << i;
+    EXPECT_EQ(a.stats.worst_accuracy, b.stats.worst_accuracy) << "cell " << i;
+    EXPECT_EQ(a.stats.best_accuracy, b.stats.best_accuracy) << "cell " << i;
+    EXPECT_EQ(a.stats.yield, b.stats.yield) << "cell " << i;
+    EXPECT_EQ(a.mean_fault_count, b.mean_fault_count) << "cell " << i;
+  }
+  EXPECT_EQ(via_engine.fault_degradation_slope,
+            via_graph.fault_degradation_slope);
+  EXPECT_EQ(via_engine.noise_degradation_slope,
+            via_graph.noise_degradation_slope);
+}
+
+TEST(ReliabilityCampaign, ValidatesConfiguration) {
+  auto model = core::make_adapt_pnc(3, 0.01, 7, 6);
+  const auto split = tiny_split();
+  const auto fault = reliability::FaultSpec::mixed(1.0);
+  const auto noise = reliability::NoiseSpec::sensor(0.3);
+
+  auto config = tiny_config();
+  config.circuits_per_cell = 0;
+  EXPECT_THROW(reliability::run_campaign(*model, split, fault, noise, config),
+               std::invalid_argument);
+  config = tiny_config();
+  config.fault_severities.clear();
+  EXPECT_THROW(reliability::run_campaign(*model, split, fault, noise, config),
+               std::invalid_argument);
+  config = tiny_config();
+  config.failure_fraction = 0.0;
+  EXPECT_THROW(reliability::run_campaign(*model, split, fault, noise, config),
+               std::invalid_argument);
+}
+
+TEST(ReliabilityCampaign, ReportSerializesToJsonAndCsv) {
+  auto model = core::make_adapt_pnc(3, 0.01, 7, 6);
+  const auto report = reliability::run_campaign(
+      *model, tiny_split(), reliability::FaultSpec::mixed(1.0),
+      reliability::NoiseSpec::sensor(0.3), tiny_config());
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"clean_accuracy\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault_degradation_slope\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  std::ostringstream csv;
+  report.write_csv(csv, /*header=*/true);
+  std::istringstream lines(csv.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, report.cells.size() + 1);  // header + one row per cell
+
+  EXPECT_THROW(report.cell(9, 0), std::out_of_range);
+}
+
+TEST(ReliabilityNoise, CorruptionIsDeterministicPerSeed) {
+  const auto split = tiny_split();
+  const auto spec = reliability::NoiseSpec::sensor(0.3);
+  const ad::Tensor a = reliability::corrupt_inputs(split.inputs, spec, 7);
+  const ad::Tensor b = reliability::corrupt_inputs(split.inputs, spec, 7);
+  EXPECT_EQ(ad::max_abs_diff(a, b), 0.0);
+  EXPECT_GT(ad::max_abs_diff(a, split.inputs), 0.0);
+
+  const ad::Tensor c = reliability::corrupt_inputs(split.inputs, spec, 8);
+  EXPECT_GT(ad::max_abs_diff(a, c), 0.0);
+}
+
+TEST(ReliabilityNoise, ScaledZeroIsIdentity) {
+  const auto split = tiny_split();
+  const auto spec = reliability::NoiseSpec::sensor(0.3).scaled(0.0);
+  EXPECT_FALSE(spec.any());
+  EXPECT_EQ(ad::max_abs_diff(
+                reliability::corrupt_inputs(split.inputs, spec, 7),
+                split.inputs),
+            0.0);
+  EXPECT_THROW(reliability::NoiseSpec::sensor(0.3).scaled(-1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc

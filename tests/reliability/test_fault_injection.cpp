@@ -1,0 +1,238 @@
+// Fault stamping: deterministic per-seed masks, engine/graph inventory
+// agreement, and bit-exact engine-vs-graph logits under injected defects.
+#include "pnc/reliability/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "pnc/baseline/elman_rnn.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/core/crossbar_layer.hpp"
+#include "pnc/infer/engine.hpp"
+
+namespace pnc {
+namespace {
+
+ad::Tensor random_series(std::size_t batch, std::size_t steps,
+                         util::Rng& rng) {
+  ad::Tensor x(batch, steps);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+std::unique_ptr<core::SequenceClassifier> make_model(const std::string& kind) {
+  if (kind == "adapt") return core::make_adapt_pnc(3, 0.01, 7, 6);
+  if (kind == "ptpnc") return core::make_baseline_ptpnc(3, 0.01, 7);
+  if (kind == "elman") return baseline::make_elman(3, 7, 6);
+  throw std::invalid_argument("unknown kind");
+}
+
+bool same_mask(const reliability::FaultMask& a,
+               const reliability::FaultMask& b) {
+  return a.faults == b.faults && a.sensor_dead == b.sensor_dead &&
+         a.dead_onset == b.dead_onset &&
+         a.sensor_saturated == b.sensor_saturated &&
+         a.saturation_level == b.saturation_level;
+}
+
+TEST(ReliabilityFaultSpec, MixedSplitsTheDefectBudget) {
+  const auto spec = reliability::FaultSpec::mixed(0.2);
+  EXPECT_DOUBLE_EQ(spec.stuck_off_rate, 0.10);
+  EXPECT_DOUBLE_EQ(spec.stuck_on_rate, 0.05);
+  EXPECT_DOUBLE_EQ(spec.rc_drift_rate, 0.05);
+  EXPECT_DOUBLE_EQ(spec.dead_sensor_rate, 0.02);
+  EXPECT_DOUBLE_EQ(spec.saturated_sensor_rate, 0.02);
+  EXPECT_TRUE(spec.any());
+  EXPECT_THROW(reliability::FaultSpec::mixed(-0.1), std::invalid_argument);
+}
+
+TEST(ReliabilityFaultSpec, ScaledZeroDisablesEverything) {
+  const auto spec = reliability::FaultSpec::mixed(0.5).scaled(0.0);
+  EXPECT_FALSE(spec.any());
+  EXPECT_THROW(reliability::FaultSpec::mixed(0.5).scaled(-1.0),
+               std::invalid_argument);
+}
+
+TEST(ReliabilityFaultDraw, SameSeedSameMask) {
+  auto model = make_model("adapt");
+  const auto engine = infer::Engine::compile(*model);
+  const reliability::FaultInjector injector(reliability::FaultSpec::mixed(0.5),
+                                            9);
+  const auto a = injector.draw(engine);
+  const auto b = injector.draw(engine);
+  EXPECT_TRUE(same_mask(a, b));
+  EXPECT_FALSE(a.faults.empty());  // rate 0.5 over dozens of sites
+
+  // A different seed realizes a different circuit.
+  const reliability::FaultInjector other(reliability::FaultSpec::mixed(0.5),
+                                         10);
+  EXPECT_FALSE(same_mask(a, other.draw(engine)));
+}
+
+TEST(ReliabilityFaultDraw, EngineAndModelInventoriesAgree) {
+  for (const std::string kind : {"adapt", "ptpnc", "elman"}) {
+    auto model = make_model(kind);
+    const auto engine = infer::Engine::compile(*model);
+    const reliability::FaultInjector injector(
+        reliability::FaultSpec::mixed(0.4), 21);
+    EXPECT_TRUE(same_mask(injector.draw(engine), injector.draw(*model)))
+        << kind;
+  }
+}
+
+TEST(ReliabilityFaultApply, StuckValuesAreStamped) {
+  auto model = make_model("adapt");
+  auto engine = infer::Engine::compile(*model);
+  reliability::FaultSpec spec;
+  spec.stuck_off_rate = 0.2;
+  spec.stuck_on_rate = 0.2;
+  const auto mask = reliability::FaultInjector(spec, 3).draw(engine);
+  ASSERT_FALSE(mask.faults.empty());
+  reliability::apply_faults(engine, mask);
+  for (const auto& f : mask.faults) {
+    const auto& prog = engine.blocks().at(f.block);
+    const double got = f.row < prog.n_in ? prog.theta(f.row, f.col)
+                                         : prog.theta_b(0, f.col);
+    EXPECT_EQ(got, f.value);
+    if (f.kind == reliability::FaultKind::kStuckOff) {
+      EXPECT_EQ(f.value, 0.0);
+    } else {
+      EXPECT_EQ(std::abs(f.value), core::CrossbarLayer::kThetaMax);
+    }
+  }
+}
+
+TEST(ReliabilityFaultApply, SensorDeadFlatlinesFromOnset) {
+  reliability::FaultMask mask;
+  mask.sensor_dead = true;
+  mask.dead_onset = 0.5;
+  ad::Tensor x(2, 10);
+  for (auto& v : x.data()) v = 1.5;
+  const ad::Tensor y = reliability::apply_sensor_faults(x, mask);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (std::size_t t = 0; t < y.cols(); ++t) {
+      EXPECT_EQ(y(i, t), t < 5 ? 1.5 : 0.0) << i << "," << t;
+    }
+  }
+}
+
+TEST(ReliabilityFaultApply, SensorSaturationClips) {
+  reliability::FaultMask mask;
+  mask.sensor_saturated = true;
+  mask.saturation_level = 0.5;
+  ad::Tensor x(1, 4);
+  x(0, 0) = -2.0;
+  x(0, 1) = -0.25;
+  x(0, 2) = 0.25;
+  x(0, 3) = 2.0;
+  const ad::Tensor y = reliability::apply_sensor_faults(x, mask);
+  EXPECT_EQ(y(0, 0), -0.5);
+  EXPECT_EQ(y(0, 1), -0.25);
+  EXPECT_EQ(y(0, 2), 0.25);
+  EXPECT_EQ(y(0, 3), 0.5);
+
+  const reliability::FaultMask clean;
+  EXPECT_EQ(ad::max_abs_diff(reliability::apply_sensor_faults(x, clean), x),
+            0.0);
+}
+
+class ReliabilityParity : public ::testing::TestWithParam<std::string> {};
+
+// The tentpole guarantee: stamping the same mask into the compiled engine
+// and into the graph model yields bit-identical logits, clean and under
+// process variation.
+TEST_P(ReliabilityParity, EngineMatchesGraphUnderFaults) {
+  auto model = make_model(GetParam());
+  const auto clean_engine = infer::Engine::compile(*model);
+  const auto mask =
+      reliability::FaultInjector(reliability::FaultSpec::mixed(0.4), 5)
+          .draw(clean_engine);
+  EXPECT_FALSE(mask.faults.empty());
+
+  util::Rng data_rng(99);
+  const ad::Tensor x = random_series(16, 23, data_rng);
+
+  const variation::VariationSpec specs[] = {
+      variation::VariationSpec::none(),
+      variation::VariationSpec::printing(0.1)};
+  for (const auto& spec : specs) {
+    util::Rng rng_graph(1234);
+    ad::Tensor want;
+    {
+      const reliability::ScopedFault scoped(*model, mask);
+      want = model->predict(x, spec, rng_graph);
+    }
+
+    infer::Engine faulty = clean_engine;
+    reliability::apply_faults(faulty, mask);
+    infer::Plan plan = faulty.make_plan();
+    util::Rng rng_engine(1234);
+    const ad::Tensor got = faulty.predict(plan, x, spec, rng_engine);
+    EXPECT_EQ(ad::max_abs_diff(got, want), 0.0) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ReliabilityParity,
+                         ::testing::Values("adapt", "ptpnc", "elman"));
+
+// Compiling an engine *from* a faulted model must equal faulting a clean
+// engine directly: the log-space RC drift semantics round-trip through
+// compilation.
+TEST(ReliabilityFaultApply, FaultedModelCompilesToFaultedEngine) {
+  auto model = make_model("adapt");
+  const auto clean_engine = infer::Engine::compile(*model);
+  const auto mask =
+      reliability::FaultInjector(reliability::FaultSpec::mixed(0.5), 13)
+          .draw(clean_engine);
+
+  util::Rng data_rng(4);
+  const ad::Tensor x = random_series(8, 19, data_rng);
+
+  infer::Engine stamped = clean_engine;
+  reliability::apply_faults(stamped, mask);
+  infer::Plan plan_a = stamped.make_plan();
+  util::Rng rng_a(7);
+  const ad::Tensor direct = stamped.predict(plan_a, x,
+      variation::VariationSpec::none(), rng_a);
+
+  const reliability::ScopedFault scoped(*model, mask);
+  const auto recompiled = infer::Engine::compile(*model);
+  infer::Plan plan_b = recompiled.make_plan();
+  util::Rng rng_b(7);
+  const ad::Tensor via_model = recompiled.predict(
+      plan_b, x, variation::VariationSpec::none(), rng_b);
+  EXPECT_EQ(ad::max_abs_diff(direct, via_model), 0.0);
+}
+
+TEST(ReliabilityScopedFault, RestoresParametersOnDestruction) {
+  for (const std::string kind : {"adapt", "elman"}) {
+    auto model = make_model(kind);
+    util::Rng data_rng(17);
+    const ad::Tensor x = random_series(6, 21, data_rng);
+    util::Rng rng_a(2);
+    const ad::Tensor before =
+        model->predict(x, variation::VariationSpec::none(), rng_a);
+
+    const auto mask =
+        reliability::FaultInjector(reliability::FaultSpec::mixed(0.5), 31)
+            .draw(*model);
+    {
+      const reliability::ScopedFault scoped(*model, mask);
+      util::Rng rng_b(2);
+      const ad::Tensor faulted =
+          model->predict(x, variation::VariationSpec::none(), rng_b);
+      if (!mask.faults.empty()) {
+        EXPECT_GT(ad::max_abs_diff(faulted, before), 0.0) << kind;
+      }
+    }
+    util::Rng rng_c(2);
+    const ad::Tensor after =
+        model->predict(x, variation::VariationSpec::none(), rng_c);
+    EXPECT_EQ(ad::max_abs_diff(after, before), 0.0) << kind;
+  }
+}
+
+}  // namespace
+}  // namespace pnc

@@ -8,19 +8,6 @@
 // Input: one series per line, comma- (or whitespace-) separated values;
 // every line must have the same length. Output: one line per series,
 //   <index>,<predicted class>[,<logit 0>,...]
-//
-// Flags:
-//   --checkpoint PATH   trained parameters (pnc_train / save_parameters)
-//   --model KIND        adapt | ptpnc | elman         (default adapt)
-//   --classes C         classes the checkpoint was trained for
-//   --dt SECONDS        sampling period it was trained for (default 1)
-//   --hidden-cap N      hidden-sizing cap used at training (default 9)
-//   --input PATH        CSV of series; '-' reads stdin
-//   --batch N           rows per forward batch        (default 64)
-//   --threads N         batch-sharding threads        (default 1)
-//   --variation DELTA   stamp one ±DELTA fabricated circuit per batch
-//   --seed S            RNG seed for the variation stamp (default 0)
-//   --logits            also print the raw logits
 
 #include <fstream>
 #include <iostream>
@@ -29,12 +16,100 @@
 #include <vector>
 
 #include "pnc/infer/engine.hpp"
+#include "pnc/reliability/campaign.hpp"
 
 namespace {
 
+constexpr const char* kUsage = R"(usage: pnc_infer --checkpoint PATH --classes C --input PATH [options]
+
+Serve a trained checkpoint through the compiled inference engine.
+
+required:
+  --checkpoint PATH   trained parameters (pnc_train / save_parameters)
+  --classes C         classes the checkpoint was trained for (>= 2)
+  --input PATH        CSV of series, one per line; '-' reads stdin
+
+options:
+  --model KIND        adapt | ptpnc | elman            (default adapt)
+  --dt SECONDS        sampling period it was trained for (default 1)
+  --hidden-cap N      hidden-sizing cap used at training (default 9)
+  --batch N           rows per forward batch           (default 64)
+  --threads N         batch-sharding threads           (default 1)
+  --variation DELTA   stamp one +/-DELTA fabricated circuit per batch
+  --seed S            RNG seed for variation/noise/faults (default 0)
+  --logits            also print the raw logits
+  --help, -h          print this message and exit
+
+reliability (pnc::reliability):
+  --noise KIND:SIGMA  corrupt the input series before scoring; repeatable.
+                      KIND is gaussian (sigma = stddev), impulse
+                      (sigma = spike rate), wander (sigma = amplitude) or
+                      dropout (sigma = per-series dropout probability)
+  --fault-rate P      stamp one random defect mask (stuck conductances,
+                      open weights, RC drift, dead sensors) of overall
+                      rate P into the engine before serving
+)";
+
 [[noreturn]] void die(const std::string& message) {
-  std::cerr << "pnc_infer: " << message << "\n";
+  std::cerr << "pnc_infer: " << message << "\n"
+            << "try: pnc_infer --help\n";
   std::exit(1);
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    die("invalid number '" + text + "' for " + flag);
+  }
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long v = std::stoul(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    die("invalid non-negative integer '" + text + "' for " + flag);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    die("invalid non-negative integer '" + text + "' for " + flag);
+  }
+}
+
+/// `--noise kind:sigma` -> the matching NoiseSpec field.
+void parse_noise(const std::string& arg, pnc::reliability::NoiseSpec& spec) {
+  const std::size_t colon = arg.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == arg.size()) {
+    die("--noise wants KIND:SIGMA, got '" + arg + "'");
+  }
+  const std::string kind = arg.substr(0, colon);
+  const double sigma = parse_double("--noise", arg.substr(colon + 1));
+  if (sigma < 0.0) die("--noise " + kind + " wants a non-negative value");
+  if (kind == "gaussian") {
+    spec.gaussian_sigma = sigma;
+  } else if (kind == "impulse") {
+    spec.impulse_rate = sigma;
+  } else if (kind == "wander") {
+    spec.wander_amplitude = sigma;
+  } else if (kind == "dropout") {
+    spec.dropout_rate = sigma;
+  } else {
+    die("unknown noise kind '" + kind +
+        "' (want gaussian | impulse | wander | dropout)");
+  }
 }
 
 std::vector<std::vector<double>> read_series_csv(std::istream& is) {
@@ -73,8 +148,10 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   double dt = 1.0;
   double variation_delta = 0.0;
+  double fault_rate = 0.0;
   std::uint64_t seed = 0;
   bool print_logits = false;
+  reliability::NoiseSpec noise;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -82,16 +159,22 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) die("missing value for " + flag);
       return argv[++i];
     };
-    if (flag == "--checkpoint") checkpoint_path = value();
+    if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    else if (flag == "--checkpoint") checkpoint_path = value();
     else if (flag == "--model") kind = value();
-    else if (flag == "--classes") n_classes = std::stoul(value());
-    else if (flag == "--dt") dt = std::stod(value());
-    else if (flag == "--hidden-cap") hidden_cap = std::stoul(value());
+    else if (flag == "--classes") n_classes = parse_size(flag, value());
+    else if (flag == "--dt") dt = parse_double(flag, value());
+    else if (flag == "--hidden-cap") hidden_cap = parse_size(flag, value());
     else if (flag == "--input") input_path = value();
-    else if (flag == "--batch") batch = std::stoul(value());
-    else if (flag == "--threads") threads = std::stoul(value());
-    else if (flag == "--variation") variation_delta = std::stod(value());
-    else if (flag == "--seed") seed = std::stoull(value());
+    else if (flag == "--batch") batch = parse_size(flag, value());
+    else if (flag == "--threads") threads = parse_size(flag, value());
+    else if (flag == "--variation") variation_delta = parse_double(flag, value());
+    else if (flag == "--seed") seed = parse_u64(flag, value());
+    else if (flag == "--noise") parse_noise(value(), noise);
+    else if (flag == "--fault-rate") fault_rate = parse_double(flag, value());
     else if (flag == "--logits") print_logits = true;
     else die("unknown flag " + flag);
   }
@@ -99,6 +182,11 @@ int main(int argc, char** argv) {
   if (input_path.empty()) die("--input is required");
   if (n_classes < 2) die("--classes must be >= 2");
   if (batch == 0) die("--batch must be >= 1");
+  if (dt <= 0.0) die("--dt must be > 0");
+  if (variation_delta < 0.0) die("--variation must be >= 0");
+  if (fault_rate < 0.0 || fault_rate > 1.0) {
+    die("--fault-rate must be in [0, 1]");
+  }
 
   infer::Engine engine = [&] {
     try {
@@ -119,6 +207,19 @@ int main(int argc, char** argv) {
   }
   if (series.empty()) die("no series in " + input_path);
 
+  // One defect mask for the whole run: the served engine behaves like a
+  // single physical (defective) circuit, not a fresh one per batch.
+  reliability::FaultMask mask;
+  if (fault_rate > 0.0) {
+    const reliability::FaultInjector injector(
+        reliability::FaultSpec::mixed(fault_rate), seed ^ 0x6661756c74ULL);
+    mask = injector.draw(engine);
+    reliability::apply_faults(engine, mask);
+    std::cerr << "pnc_infer: stamped " << mask.count()
+              << " defects (fault rate " << fault_rate << ", seed " << seed
+              << ")\n";
+  }
+
   const variation::VariationSpec spec =
       variation_delta > 0.0 ? variation::VariationSpec::printing(variation_delta)
                             : variation::VariationSpec::none();
@@ -136,6 +237,13 @@ int main(int argc, char** argv) {
         inputs(i, t) = series[begin + i][t];
       }
     }
+    if (noise.any()) {
+      // Mix the batch offset into the stream so corruption differs
+      // across batches, not just across rows within one batch.
+      inputs = reliability::corrupt_inputs(
+          inputs, noise, seed ^ (0xc2b2ae3d27d4eb4fULL * (begin + 1)));
+    }
+    inputs = reliability::apply_sensor_faults(inputs, mask);
     // One stamp per batch: every batch is scored on one fabricated
     // circuit (with --variation 0 the stamp is the nominal circuit).
     engine.stamp(plan, spec, rng, rows);

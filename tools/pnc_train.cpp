@@ -4,18 +4,8 @@
 //
 //   ./pnc_train --dataset PowerCons --model adapt --epochs 2 \
 //       --checkpoint ckpt.txt --export-csv test.csv
-//
-// Flags:
-//   --dataset NAME      benchmark dataset (default PowerCons)
-//   --model KIND        adapt | ptpnc | elman        (default adapt)
-//   --epochs N          max training epochs          (default 2)
-//   --hidden-cap N      cap on the C^2 hidden sizing (default 9, 0 = none)
-//   --seed S            experiment seed              (default 42)
-//   --variation DELTA   train-time component variation ±DELTA (default 0)
-//   --checkpoint PATH   where to save the trained parameters
-//   --export-csv PATH   write the test split series (one per line)
-//   --export-labels PATH  write the matching labels (one per line)
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -29,9 +19,72 @@
 
 namespace {
 
+constexpr const char* kUsage = R"(usage: pnc_train [options]
+
+Fit one model on a benchmark dataset, save the checkpoint, and
+(optionally) export the test split as a CSV that pnc_infer can stream.
+
+options:
+  --dataset NAME        benchmark dataset (default PowerCons)
+  --model KIND          adapt | ptpnc | elman        (default adapt)
+  --epochs N            max training epochs          (default 2)
+  --hidden-cap N        cap on the C^2 hidden sizing (default 9, 0 = none)
+  --seed S              experiment seed              (default 42)
+  --variation DELTA     train-time component variation +/-DELTA (default 0)
+  --checkpoint PATH     where to save the trained parameters
+  --export-csv PATH     write the test split series (one per line)
+  --export-labels PATH  write the matching labels (one per line)
+  --help, -h            print this message and exit
+)";
+
 [[noreturn]] void die(const std::string& message) {
-  std::cerr << "pnc_train: " << message << "\n";
+  std::cerr << "pnc_train: " << message << "\n"
+            << "try: pnc_train --help\n";
   std::exit(1);
+}
+
+int parse_int(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    die("invalid integer '" + text + "' for " + flag);
+  }
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long v = std::stoul(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    die("invalid non-negative integer '" + text + "' for " + flag);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    die("invalid non-negative integer '" + text + "' for " + flag);
+  }
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    die("invalid number '" + text + "' for " + flag);
+  }
 }
 
 }  // namespace
@@ -55,17 +108,23 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) die("missing value for " + flag);
       return argv[++i];
     };
-    if (flag == "--dataset") dataset_name = value();
+    if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    else if (flag == "--dataset") dataset_name = value();
     else if (flag == "--model") kind = value();
-    else if (flag == "--epochs") epochs = std::stoi(value());
-    else if (flag == "--hidden-cap") hidden_cap = std::stoul(value());
-    else if (flag == "--seed") seed = std::stoull(value());
-    else if (flag == "--variation") variation_delta = std::stod(value());
+    else if (flag == "--epochs") epochs = parse_int(flag, value());
+    else if (flag == "--hidden-cap") hidden_cap = parse_size(flag, value());
+    else if (flag == "--seed") seed = parse_u64(flag, value());
+    else if (flag == "--variation") variation_delta = parse_double(flag, value());
     else if (flag == "--checkpoint") checkpoint_path = value();
     else if (flag == "--export-csv") csv_path = value();
     else if (flag == "--export-labels") labels_path = value();
     else die("unknown flag " + flag);
   }
+  if (epochs < 1) die("--epochs must be >= 1");
+  if (variation_delta < 0.0) die("--variation must be >= 0");
 
   const data::Dataset ds = data::make_dataset(dataset_name, seed);
   const auto n_classes = static_cast<std::size_t>(ds.num_classes);
