@@ -27,6 +27,9 @@ void write_parameters(SequenceClassifier& model, std::ostream& os);
 /// Throws std::runtime_error on magic/shape/name mismatch or truncation.
 void read_parameters(SequenceClassifier& model, std::istream& is);
 
+/// Atomic save: the checkpoint is staged to `path + ".tmp"` and renamed
+/// into place, so a crash mid-write never leaves a truncated file at
+/// `path` (an existing checkpoint there survives intact).
 void save_parameters(SequenceClassifier& model, const std::string& path);
 void load_parameters(SequenceClassifier& model, const std::string& path);
 

@@ -1,11 +1,29 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "pnc/autodiff/graph.hpp"
 
 namespace pnc::train {
+
+/// Thrown by Sgd::step / AdamW::step when a gradient is NaN or infinite.
+/// The check runs before any weight is touched, so the parameters are
+/// exactly as they were before the call — the divergence watchdog rolls
+/// back and retries, and bare callers get a diagnostic naming the
+/// offending parameter instead of silently NaN'd weights epochs later.
+class NonFiniteGradientError : public std::runtime_error {
+ public:
+  NonFiniteGradientError(const std::string& where,
+                         const std::string& parameter, std::size_t index);
+
+  const std::string& parameter() const { return parameter_; }
+
+ private:
+  std::string parameter_;
+};
 
 /// First-order optimizer over a fixed set of parameters. Gradients are
 /// accumulated into Parameter::grad by Graph::backward; step() consumes
@@ -24,6 +42,10 @@ class Optimizer {
   const std::vector<ad::Parameter*>& parameters() const { return params_; }
 
  protected:
+  /// Throws NonFiniteGradientError if any parameter's gradient holds a
+  /// NaN/inf. step() implementations call this before mutating anything.
+  void check_finite_gradients(const char* where) const;
+
   std::vector<ad::Parameter*> params_;
   double lr_ = 0.1;
 };
@@ -54,6 +76,18 @@ class AdamW final : public Optimizer {
   AdamW(std::vector<ad::Parameter*> params, Config config);
   void step() override;
 
+  /// Moment state, exposed for TrainerSnapshot: resuming a run must
+  /// continue with the exact m/v estimates and bias-correction step the
+  /// killed run had, or the resumed trajectory diverges bitwise.
+  long step_count() const { return step_count_; }
+  const std::vector<ad::Tensor>& first_moments() const { return m_; }
+  const std::vector<ad::Tensor>& second_moments() const { return v_; }
+
+  /// Restore moments captured by a snapshot. Throws std::invalid_argument
+  /// on a tensor-count or shape mismatch with this optimizer's parameters.
+  void restore_moments(long step_count, std::vector<ad::Tensor> m,
+                       std::vector<ad::Tensor> v);
+
  private:
   Config config_;
   std::vector<ad::Tensor> m_;
@@ -66,6 +100,16 @@ class AdamW final : public Optimizer {
 /// stops once the rate falls below `min_lr`.
 class PlateauScheduler {
  public:
+  /// Snapshot of the schedule (the optimizer's learning rate is captured
+  /// separately). best_loss starts at +inf, which text streams cannot
+  /// round-trip, so snapshot serialization stores doubles as bit patterns.
+  struct State {
+    double best_loss = 0.0;
+    int stale_epochs = 0;
+
+    bool operator==(const State&) const = default;
+  };
+
   PlateauScheduler(Optimizer& optimizer, int patience, double factor = 0.5,
                    double min_lr = 1e-5);
 
@@ -75,6 +119,10 @@ class PlateauScheduler {
 
   double best_loss() const { return best_loss_; }
   int epochs_since_improvement() const { return stale_epochs_; }
+  double min_lr() const { return min_lr_; }
+
+  State state() const { return {best_loss_, stale_epochs_}; }
+  void restore(const State& s);
 
  private:
   Optimizer& optimizer_;

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pnc/core/model.hpp"
+#include "pnc/train/optimizer.hpp"
+#include "pnc/train/trainer.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::train {
+
+/// Everything needed to continue a training run from an epoch boundary:
+/// model parameters, AdamW moments and step count, the plateau schedule,
+/// the epoch-loop RNG stream, and the TrainResult bookkeeping (best
+/// checkpoint, history, watchdog recoveries). A run resumed from a
+/// snapshot replays the remaining epochs bit-identically to the
+/// uninterrupted run, because every stateful input to an epoch is here.
+///
+/// Serialization is a versioned text format ("pnc-trainer-snapshot v1").
+/// Doubles are stored as their raw IEEE-754 bit patterns (decimal
+/// uint64), which round-trips every value exactly — including the +inf
+/// that seeds the scheduler's best loss, which "%.17g" text cannot carry
+/// through operator>>. save_snapshot stages to `path + ".tmp"` and
+/// renames into place, so a crash mid-write never corrupts the previous
+/// snapshot.
+struct TrainerSnapshot {
+  static constexpr const char* kMagic = "pnc-trainer-snapshot";
+  static constexpr const char* kVersion = "v1";
+
+  /// Next epoch index the loop would run (state is at this boundary).
+  int next_epoch = 0;
+
+  /// True when the run ended by scheduler stop: resuming is a no-op.
+  bool stopped = false;
+
+  util::RngState rng;
+
+  double learning_rate = 0.0;
+  PlateauScheduler::State scheduler;
+
+  long adam_step_count = 0;
+  std::vector<ad::Tensor> adam_m;
+  std::vector<ad::Tensor> adam_v;
+
+  /// Model parameter values, in model.parameters() order.
+  std::vector<std::string> param_names;
+  std::vector<ad::Tensor> param_values;
+
+  // TrainResult bookkeeping (wall_seconds is deliberately excluded).
+  double best_validation_loss = 0.0;
+  double best_validation_accuracy = 0.0;
+  double final_train_loss = 0.0;
+  int epochs_run = 0;
+  int watchdog_recoveries = 0;
+  std::vector<EpochStats> history;
+};
+
+/// Capture the live training state at an epoch boundary.
+TrainerSnapshot capture_snapshot(core::SequenceClassifier& model,
+                                 const AdamW& optimizer,
+                                 const PlateauScheduler& scheduler,
+                                 const util::Rng& rng,
+                                 const TrainResult& result, int next_epoch,
+                                 bool stopped);
+
+/// Restore a snapshot into live training state. Validates the parameter
+/// inventory (names and shapes) against the model; throws
+/// std::runtime_error on any mismatch, leaving the model untouched.
+void restore_snapshot(const TrainerSnapshot& snap,
+                      core::SequenceClassifier& model, AdamW& optimizer,
+                      PlateauScheduler& scheduler, util::Rng& rng,
+                      TrainResult& result);
+
+void write_snapshot(const TrainerSnapshot& snap, std::ostream& os);
+
+/// Throws std::runtime_error on bad magic/version, truncation or
+/// malformed records.
+TrainerSnapshot read_snapshot(std::istream& is);
+
+/// Atomic write: stage to `path + ".tmp"`, then rename over `path`.
+void save_snapshot(const TrainerSnapshot& snap, const std::string& path);
+
+TrainerSnapshot load_snapshot(const std::string& path);
+
+}  // namespace pnc::train

@@ -2,15 +2,44 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "pnc/augment/augment.hpp"
 #include "pnc/core/model.hpp"
 #include "pnc/data/dataset.hpp"
+#include "pnc/reliability/fault.hpp"
+#include "pnc/reliability/noise.hpp"
 #include "pnc/train/optimizer.hpp"
 #include "pnc/util/thread_pool.hpp"
 
 namespace pnc::train {
+
+/// Fault- and noise-aware training (FANT): hardware-in-the-loop defect
+/// and sensor-corruption sampling inside the Monte-Carlo round. Each MC
+/// sample draws (with probability `fault_probability`) its own hard-defect
+/// mask — stamped via the reliability::ScopedFault graph path — and
+/// corrupts its batch with `noise`, all from streams derived from the
+/// sample's pre-drawn seed. The top-level RNG stream is untouched, so a
+/// VA-only and a VA+FANT run share batch assembly and validation draws,
+/// and FANT training is bit-deterministic for any pool size.
+struct FantConfig {
+  /// Hard-defect rates for one fabricated sample (see FaultSpec::mixed
+  /// for the balanced composition the CLI uses).
+  reliability::FaultSpec faults;
+
+  /// Probability that a given MC sample is a defective circuit; the rest
+  /// train on the defect-free (but still variation-sampled) circuit.
+  double fault_probability = 1.0;
+
+  /// Sensor corruption applied to every sample's input batch.
+  reliability::NoiseSpec noise;
+
+  bool any() const { return noise.any() || wants_faults(); }
+  bool wants_faults() const {
+    return faults.any() && fault_probability > 0.0;
+  }
+};
 
 /// Training configuration (defaults follow Sec. IV-A3, with epoch counts
 /// scaled for laptop runtime; see DESIGN.md §1).
@@ -30,6 +59,10 @@ struct TrainConfig {
   /// batch plus a freshly augmented copy.
   std::optional<augment::AugmentConfig> augmentation;
 
+  /// Fault/noise-aware training (FANT): when set, MC samples additionally
+  /// draw hard defects and sensor corruption (see FantConfig).
+  std::optional<FantConfig> fant;
+
   std::uint64_t seed = 0;
 
   /// Parallelism of the Monte-Carlo fan-out (workers + caller). 0 means
@@ -37,6 +70,31 @@ struct TrainConfig {
   /// explicit value gets a private pool of that size. Results are
   /// bit-identical for a fixed seed regardless of this setting.
   int num_threads = 0;
+
+  // --- Training-run durability (DESIGN.md §9) ---
+
+  /// When non-empty, a TrainerSnapshot (parameters + AdamW moments +
+  /// scheduler + RNG stream + bookkeeping) is written atomically to this
+  /// path every `snapshot_every` epochs and at the end of the run.
+  std::string snapshot_path;
+
+  /// Epochs between snapshots; 0 disables periodic snapshots (a final
+  /// snapshot is still written when `snapshot_path` is set).
+  int snapshot_every = 0;
+
+  /// Resume from `snapshot_path` instead of starting fresh. The resumed
+  /// run's final checkpoint is bit-identical to an uninterrupted run with
+  /// the same config and seed.
+  bool resume = false;
+
+  /// Divergence watchdog: an epoch whose train/validation loss is
+  /// non-finite (or above `divergence_threshold`), or whose optimizer step
+  /// rejects a NaN gradient, is rolled back to the last good epoch
+  /// boundary with the learning rate halved. After `watchdog_max_recoveries`
+  /// recoveries the run stops instead of retrying further. Each recovery
+  /// is recorded in TrainResult::history (watchdog_rollback = true).
+  int watchdog_max_recoveries = 3;
+  double divergence_threshold = 1e6;
 };
 
 struct EpochStats {
@@ -45,6 +103,12 @@ struct EpochStats {
   double validation_loss = 0.0;
   double validation_accuracy = 0.0;
   double learning_rate = 0.0;
+
+  /// True for the marker entry recorded when the divergence watchdog
+  /// rolled this epoch back (its losses are the diverged observations;
+  /// the epoch was then retried from the previous boundary at half the
+  /// learning rate).
+  bool watchdog_rollback = false;
 };
 
 struct TrainResult {
@@ -53,6 +117,8 @@ struct TrainResult {
   double final_train_loss = 0.0;
   int epochs_run = 0;
   double wall_seconds = 0.0;
+  /// Number of divergence-watchdog rollbacks the run survived.
+  int watchdog_recoveries = 0;
   std::vector<EpochStats> history;
 };
 
@@ -73,17 +139,27 @@ double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
 /// rounds can reuse them. Bit-deterministic in the seeds for any pool
 /// size, because sample work depends only on seeds[s] and the reduction
 /// order is fixed.
+///
+/// With `fant` set, each sample additionally derives a defect mask and a
+/// corrupted batch from its seed (FANT). Sensor noise keeps the parallel
+/// fan-out (corruption is a pure per-sample function); samples run
+/// serially whenever component faults are in play, because ScopedFault
+/// stamps the shared model's parameter tensors in place. Either way the
+/// result is independent of the pool size.
 double monte_carlo_round(core::SequenceClassifier& model,
                          const data::Split& batch,
                          const variation::VariationSpec& spec,
                          const std::vector<std::uint64_t>& seeds,
                          util::ThreadPool& pool,
-                         std::vector<ad::GradSink>& sinks);
+                         std::vector<ad::GradSink>& sinks,
+                         const FantConfig* fant = nullptr);
 
 /// Full-batch training loop implementing the paper's objective (Eq. (14)):
 /// AdamW, plateau LR halving, stop below min_lr, Monte-Carlo variation
 /// sampling and optional per-epoch augmentation. The model's printable
-/// clamp runs after every optimizer step.
+/// clamp runs after every optimizer step. With snapshotting configured the
+/// run is resumable; the divergence watchdog rolls non-finite epochs back
+/// (see TrainConfig).
 TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
                   const TrainConfig& config);
 

@@ -6,6 +6,23 @@
 
 namespace pnc::train {
 
+NonFiniteGradientError::NonFiniteGradientError(const std::string& where,
+                                               const std::string& parameter,
+                                               std::size_t index)
+    : std::runtime_error(where + ": non-finite gradient in parameter '" +
+                         parameter + "' at index " + std::to_string(index)),
+      parameter_(parameter) {}
+
+void Optimizer::check_finite_gradients(const char* where) const {
+  for (const auto* p : params_) {
+    for (std::size_t k = 0; k < p->grad.size(); ++k) {
+      if (!std::isfinite(p->grad.data()[k])) {
+        throw NonFiniteGradientError(where, p->name, k);
+      }
+    }
+  }
+}
+
 Optimizer::Optimizer(std::vector<ad::Parameter*> params)
     : params_(std::move(params)) {
   if (params_.empty()) {
@@ -35,6 +52,7 @@ Sgd::Sgd(std::vector<ad::Parameter*> params, double lr, double momentum)
 }
 
 void Sgd::step() {
+  check_finite_gradients("Sgd::step");
   for (std::size_t i = 0; i < params_.size(); ++i) {
     ad::Parameter& p = *params_[i];
     ad::Tensor& vel = velocity_[i];
@@ -56,7 +74,31 @@ AdamW::AdamW(std::vector<ad::Parameter*> params, Config config)
   }
 }
 
+void AdamW::restore_moments(long step_count, std::vector<ad::Tensor> m,
+                            std::vector<ad::Tensor> v) {
+  if (step_count < 0) {
+    throw std::invalid_argument("AdamW::restore_moments: negative step count");
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    throw std::invalid_argument(
+        "AdamW::restore_moments: moment count does not match parameters");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const ad::Parameter& p = *params_[i];
+    if (m[i].rows() != p.value.rows() || m[i].cols() != p.value.cols() ||
+        v[i].rows() != p.value.rows() || v[i].cols() != p.value.cols()) {
+      throw std::invalid_argument(
+          "AdamW::restore_moments: moment shape mismatch for '" + p.name +
+          "'");
+    }
+  }
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 void AdamW::step() {
+  check_finite_gradients("AdamW::step");
   ++step_count_;
   const double bc1 =
       1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
@@ -91,6 +133,14 @@ PlateauScheduler::PlateauScheduler(Optimizer& optimizer, int patience,
   if (factor <= 0.0 || factor >= 1.0) {
     throw std::invalid_argument("PlateauScheduler: factor must be in (0, 1)");
   }
+}
+
+void PlateauScheduler::restore(const State& s) {
+  if (s.stale_epochs < 0) {
+    throw std::invalid_argument("PlateauScheduler::restore: stale_epochs < 0");
+  }
+  best_loss_ = s.best_loss;
+  stale_epochs_ = s.stale_epochs;
 }
 
 bool PlateauScheduler::observe(double validation_loss) {

@@ -1,0 +1,301 @@
+#include "pnc/train/snapshot.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pnc::train {
+
+namespace {
+
+/// Doubles travel as raw IEEE-754 bit patterns (decimal uint64): exact
+/// for every value, including inf (the scheduler's initial best loss),
+/// which operator>> refuses to parse back from "inf" text.
+std::uint64_t to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double from_bits(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+void expect_keyword(std::istream& is, const char* keyword) {
+  std::string word;
+  if (!(is >> word) || word != keyword) {
+    throw std::runtime_error(std::string("read_snapshot: expected '") +
+                             keyword + "', got '" + word + "'");
+  }
+}
+
+double read_double(std::istream& is, const char* what) {
+  std::uint64_t bits = 0;
+  if (!(is >> bits)) {
+    throw std::runtime_error(std::string("read_snapshot: truncated ") + what);
+  }
+  return from_bits(bits);
+}
+
+void write_tensor(std::ostream& os, const ad::Tensor& t) {
+  os << t.rows() << ' ' << t.cols() << '\n';
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    os << to_bits(t.data()[i]) << (i + 1 == t.size() ? '\n' : ' ');
+  }
+  if (t.size() == 0) os << '\n';
+}
+
+ad::Tensor read_tensor(std::istream& is, const char* what) {
+  std::size_t rows = 0, cols = 0;
+  if (!(is >> rows >> cols)) {
+    throw std::runtime_error(std::string("read_snapshot: truncated ") + what +
+                             " header");
+  }
+  ad::Tensor t = ad::Tensor::uninitialized(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = read_double(is, what);
+  }
+  return t;
+}
+
+}  // namespace
+
+TrainerSnapshot capture_snapshot(core::SequenceClassifier& model,
+                                 const AdamW& optimizer,
+                                 const PlateauScheduler& scheduler,
+                                 const util::Rng& rng,
+                                 const TrainResult& result, int next_epoch,
+                                 bool stopped) {
+  TrainerSnapshot snap;
+  snap.next_epoch = next_epoch;
+  snap.stopped = stopped;
+  snap.rng = rng.state();
+  snap.learning_rate = optimizer.learning_rate();
+  snap.scheduler = scheduler.state();
+  snap.adam_step_count = optimizer.step_count();
+  snap.adam_m = optimizer.first_moments();
+  snap.adam_v = optimizer.second_moments();
+  for (const ad::Parameter* p : model.parameters()) {
+    snap.param_names.push_back(p->name);
+    snap.param_values.push_back(p->value);
+  }
+  snap.best_validation_loss = result.best_validation_loss;
+  snap.best_validation_accuracy = result.best_validation_accuracy;
+  snap.final_train_loss = result.final_train_loss;
+  snap.epochs_run = result.epochs_run;
+  snap.watchdog_recoveries = result.watchdog_recoveries;
+  snap.history = result.history;
+  return snap;
+}
+
+void restore_snapshot(const TrainerSnapshot& snap,
+                      core::SequenceClassifier& model, AdamW& optimizer,
+                      PlateauScheduler& scheduler, util::Rng& rng,
+                      TrainResult& result) {
+  const auto params = model.parameters();
+  if (snap.param_names.size() != params.size() ||
+      snap.param_values.size() != params.size()) {
+    throw std::runtime_error(
+        "restore_snapshot: snapshot has " +
+        std::to_string(snap.param_values.size()) +
+        " parameters, model expects " + std::to_string(params.size()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (snap.param_names[i] != params[i]->name) {
+      throw std::runtime_error(
+          "restore_snapshot: parameter order mismatch: '" +
+          snap.param_names[i] + "' vs expected '" + params[i]->name + "'");
+    }
+    if (snap.param_values[i].rows() != params[i]->value.rows() ||
+        snap.param_values[i].cols() != params[i]->value.cols()) {
+      throw std::runtime_error("restore_snapshot: shape mismatch for '" +
+                               params[i]->name + "'");
+    }
+  }
+  // Validated — now commit. restore_moments re-checks shapes against the
+  // optimizer's own parameter list and throws before mutating on mismatch.
+  optimizer.restore_moments(snap.adam_step_count, snap.adam_m, snap.adam_v);
+  optimizer.set_learning_rate(snap.learning_rate);
+  scheduler.restore(snap.scheduler);
+  rng.set_state(snap.rng);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = snap.param_values[i];
+    params[i]->zero_grad();
+  }
+  result.best_validation_loss = snap.best_validation_loss;
+  result.best_validation_accuracy = snap.best_validation_accuracy;
+  result.final_train_loss = snap.final_train_loss;
+  result.epochs_run = snap.epochs_run;
+  result.watchdog_recoveries = snap.watchdog_recoveries;
+  result.history = snap.history;
+}
+
+void write_snapshot(const TrainerSnapshot& snap, std::ostream& os) {
+  os << TrainerSnapshot::kMagic << ' ' << TrainerSnapshot::kVersion << '\n';
+  os << "epoch " << snap.next_epoch << " stopped " << (snap.stopped ? 1 : 0)
+     << '\n';
+  os << "rng";
+  for (const std::uint64_t s : snap.rng.state) os << ' ' << s;
+  os << ' ' << to_bits(snap.rng.cached_normal) << ' '
+     << (snap.rng.has_cached_normal ? 1 : 0) << '\n';
+  os << "lr " << to_bits(snap.learning_rate) << '\n';
+  os << "scheduler " << to_bits(snap.scheduler.best_loss) << ' '
+     << snap.scheduler.stale_epochs << '\n';
+  os << "result " << to_bits(snap.best_validation_loss) << ' '
+     << to_bits(snap.best_validation_accuracy) << ' '
+     << to_bits(snap.final_train_loss) << ' ' << snap.epochs_run << ' '
+     << snap.watchdog_recoveries << '\n';
+  os << "history " << snap.history.size() << '\n';
+  for (const EpochStats& e : snap.history) {
+    os << e.epoch << ' ' << to_bits(e.train_loss) << ' '
+       << to_bits(e.validation_loss) << ' ' << to_bits(e.validation_accuracy)
+       << ' ' << to_bits(e.learning_rate) << ' '
+       << (e.watchdog_rollback ? 1 : 0) << '\n';
+  }
+  os << "adamw " << snap.adam_step_count << ' ' << snap.adam_m.size() << '\n';
+  for (std::size_t i = 0; i < snap.adam_m.size(); ++i) {
+    os << "m ";
+    write_tensor(os, snap.adam_m[i]);
+    os << "v ";
+    write_tensor(os, snap.adam_v[i]);
+  }
+  os << "params " << snap.param_values.size() << '\n';
+  for (std::size_t i = 0; i < snap.param_values.size(); ++i) {
+    os << "param " << snap.param_names[i] << ' ';
+    write_tensor(os, snap.param_values[i]);
+  }
+  if (!os) throw std::runtime_error("write_snapshot: stream failure");
+}
+
+TrainerSnapshot read_snapshot(std::istream& is) {
+  TrainerSnapshot snap;
+  std::string magic, version;
+  is >> magic >> version;
+  if (!is || magic != TrainerSnapshot::kMagic) {
+    throw std::runtime_error(
+        std::string("read_snapshot: bad header (expected '") +
+        TrainerSnapshot::kMagic + ' ' + TrainerSnapshot::kVersion + "')");
+  }
+  if (version != TrainerSnapshot::kVersion) {
+    throw std::runtime_error(
+        "read_snapshot: snapshot version '" + version +
+        "' is not the supported '" + TrainerSnapshot::kVersion +
+        "' — re-run the snapshotting trainer with this build");
+  }
+  int stopped = 0;
+  expect_keyword(is, "epoch");
+  if (!(is >> snap.next_epoch)) {
+    throw std::runtime_error("read_snapshot: truncated epoch");
+  }
+  expect_keyword(is, "stopped");
+  if (!(is >> stopped)) {
+    throw std::runtime_error("read_snapshot: truncated stopped flag");
+  }
+  snap.stopped = stopped != 0;
+  expect_keyword(is, "rng");
+  for (std::uint64_t& s : snap.rng.state) {
+    if (!(is >> s)) throw std::runtime_error("read_snapshot: truncated rng");
+  }
+  snap.rng.cached_normal = read_double(is, "rng cache");
+  int has_cached = 0;
+  if (!(is >> has_cached)) {
+    throw std::runtime_error("read_snapshot: truncated rng cache flag");
+  }
+  snap.rng.has_cached_normal = has_cached != 0;
+  expect_keyword(is, "lr");
+  snap.learning_rate = read_double(is, "learning rate");
+  expect_keyword(is, "scheduler");
+  snap.scheduler.best_loss = read_double(is, "scheduler best loss");
+  if (!(is >> snap.scheduler.stale_epochs)) {
+    throw std::runtime_error("read_snapshot: truncated scheduler state");
+  }
+  expect_keyword(is, "result");
+  snap.best_validation_loss = read_double(is, "best validation loss");
+  snap.best_validation_accuracy = read_double(is, "best validation accuracy");
+  snap.final_train_loss = read_double(is, "final train loss");
+  if (!(is >> snap.epochs_run >> snap.watchdog_recoveries)) {
+    throw std::runtime_error("read_snapshot: truncated result bookkeeping");
+  }
+  expect_keyword(is, "history");
+  std::size_t history_count = 0;
+  if (!(is >> history_count)) {
+    throw std::runtime_error("read_snapshot: truncated history count");
+  }
+  snap.history.reserve(history_count);
+  for (std::size_t i = 0; i < history_count; ++i) {
+    EpochStats e;
+    if (!(is >> e.epoch)) {
+      throw std::runtime_error("read_snapshot: truncated history entry");
+    }
+    e.train_loss = read_double(is, "history train loss");
+    e.validation_loss = read_double(is, "history validation loss");
+    e.validation_accuracy = read_double(is, "history validation accuracy");
+    e.learning_rate = read_double(is, "history learning rate");
+    int rollback = 0;
+    if (!(is >> rollback)) {
+      throw std::runtime_error("read_snapshot: truncated history entry");
+    }
+    e.watchdog_rollback = rollback != 0;
+    snap.history.push_back(e);
+  }
+  expect_keyword(is, "adamw");
+  std::size_t moment_count = 0;
+  if (!(is >> snap.adam_step_count >> moment_count)) {
+    throw std::runtime_error("read_snapshot: truncated AdamW state");
+  }
+  snap.adam_m.reserve(moment_count);
+  snap.adam_v.reserve(moment_count);
+  for (std::size_t i = 0; i < moment_count; ++i) {
+    expect_keyword(is, "m");
+    snap.adam_m.push_back(read_tensor(is, "AdamW first moment"));
+    expect_keyword(is, "v");
+    snap.adam_v.push_back(read_tensor(is, "AdamW second moment"));
+  }
+  expect_keyword(is, "params");
+  std::size_t param_count = 0;
+  if (!(is >> param_count)) {
+    throw std::runtime_error("read_snapshot: truncated parameter count");
+  }
+  snap.param_names.reserve(param_count);
+  snap.param_values.reserve(param_count);
+  for (std::size_t i = 0; i < param_count; ++i) {
+    expect_keyword(is, "param");
+    std::string name;
+    if (!(is >> name)) {
+      throw std::runtime_error("read_snapshot: truncated parameter name");
+    }
+    snap.param_names.push_back(name);
+    snap.param_values.push_back(read_tensor(is, "parameter values"));
+  }
+  // Anything but whitespace past the last record means a concatenated or
+  // corrupted file — refuse it, like read_parameters does.
+  std::string trailing;
+  if (is >> trailing) {
+    throw std::runtime_error(
+        "read_snapshot: trailing garbage after last record: '" + trailing +
+        "'");
+  }
+  return snap;
+}
+
+void save_snapshot(const TrainerSnapshot& snap, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    if (!f) throw std::runtime_error("save_snapshot: cannot open " + tmp);
+    write_snapshot(snap, f);
+    f.flush();
+    if (!f) {
+      throw std::runtime_error("save_snapshot: write failure on " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_snapshot: cannot rename " + tmp + " to " +
+                             path);
+  }
+}
+
+TrainerSnapshot load_snapshot(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_snapshot: cannot open " + path);
+  return read_snapshot(f);
+}
+
+}  // namespace pnc::train

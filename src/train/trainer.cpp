@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "pnc/autodiff/ops.hpp"
 #include "pnc/infer/engine.hpp"
+#include "pnc/train/snapshot.hpp"
 
 namespace pnc::train {
+
+namespace {
+
+// Per-sample FANT stream tags: each MC sample's fault gate, defect draw
+// and sensor corruption come from seeds[s] xor'd with a distinct tag, so
+// they are independent of each other, of the sample's variation stream
+// (seeded with seeds[s] itself) and of the top-level epoch stream. A
+// VA-only and a VA+FANT run therefore share every top-level draw.
+constexpr std::uint64_t kFantGateStream = 0x66616e745f676174ULL;   // fant_gat
+constexpr std::uint64_t kFantFaultStream = 0x66616e745f666c74ULL;  // fant_flt
+constexpr std::uint64_t kFantNoiseStream = 0x66616e745f6e7a65ULL;  // fant_nze
+
+}  // namespace
 
 double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
                     const variation::VariationSpec& spec, util::Rng& rng,
@@ -30,22 +46,66 @@ double monte_carlo_round(core::SequenceClassifier& model,
                          const variation::VariationSpec& spec,
                          const std::vector<std::uint64_t>& seeds,
                          util::ThreadPool& pool,
-                         std::vector<ad::GradSink>& sinks) {
+                         std::vector<ad::GradSink>& sinks,
+                         const FantConfig* fant) {
   const std::size_t mc = seeds.size();
   if (sinks.size() < mc) {
     throw std::invalid_argument("monte_carlo_round: need one sink per seed");
   }
+  const bool fant_faults = fant != nullptr && fant->wants_faults();
+  const bool fant_noise = fant != nullptr && fant->noise.any();
   const double grad_scale = 1.0 / static_cast<double>(mc);
   std::vector<double> losses(mc, 0.0);
-  pool.parallel_for(mc, [&](std::size_t s) {
+  auto run_sample = [&](std::size_t s) {
     // Every sample's randomness comes from its own pre-drawn seed, and its
     // gradients land in its own sink — the work is a pure function of s,
     // so the thread executing it cannot affect the result.
     util::Rng sample_rng(seeds[s]);
     sinks[s].clear();
-    losses[s] = forward_loss(model, batch, spec, sample_rng,
-                             /*backward=*/true, grad_scale, &sinks[s]);
-  });
+
+    reliability::FaultMask mask;
+    if (fant_faults) {
+      util::Rng gate(seeds[s] ^ kFantGateStream);
+      if (gate.uniform() < fant->fault_probability) {
+        const reliability::FaultInjector injector(fant->faults,
+                                                  seeds[s] ^ kFantFaultStream);
+        mask = injector.draw(model);
+      }
+    }
+
+    const data::Split* sample_batch = &batch;
+    data::Split corrupted;
+    if (fant_noise || !mask.empty()) {
+      ad::Tensor x = fant_noise
+                         ? reliability::corrupt_inputs(
+                               batch.inputs, fant->noise,
+                               seeds[s] ^ kFantNoiseStream)
+                         : batch.inputs;
+      corrupted.inputs = reliability::apply_sensor_faults(x, mask);
+      corrupted.labels = batch.labels;
+      sample_batch = &corrupted;
+    }
+
+    if (mask.faults.empty()) {
+      losses[s] = forward_loss(model, *sample_batch, spec, sample_rng,
+                               /*backward=*/true, grad_scale, &sinks[s]);
+    } else {
+      // Stamp the defects into the shared model for this sample's passes:
+      // the gradients are taken on the defective circuit, which is what
+      // teaches the surviving components to compensate.
+      const reliability::ScopedFault scoped(model, mask);
+      losses[s] = forward_loss(model, *sample_batch, spec, sample_rng,
+                               /*backward=*/true, grad_scale, &sinks[s]);
+    }
+  };
+  if (fant_faults) {
+    // ScopedFault edits the shared model's parameter tensors in place, so
+    // fault-aware samples cannot overlap. Serial order keeps the result
+    // identical to what any pool size would have to produce.
+    for (std::size_t s = 0; s < mc; ++s) run_sample(s);
+  } else {
+    pool.parallel_for(mc, run_sample);
+  }
   double mean_loss = 0.0;
   for (std::size_t s = 0; s < mc; ++s) {
     mean_loss += losses[s];
@@ -91,6 +151,29 @@ double evaluate_loss(core::SequenceClassifier& model, const data::Split& split,
 TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
                   const TrainConfig& config) {
   const auto t_start = std::chrono::steady_clock::now();
+
+  if (config.resume && config.snapshot_path.empty()) {
+    throw std::invalid_argument(
+        "train: config.resume requires a snapshot_path to resume from");
+  }
+  if (config.snapshot_every < 0) {
+    throw std::invalid_argument("train: snapshot_every must be >= 0");
+  }
+  if (config.watchdog_max_recoveries < 0) {
+    throw std::invalid_argument(
+        "train: watchdog_max_recoveries must be >= 0");
+  }
+  if (!(config.divergence_threshold > 0.0)) {
+    throw std::invalid_argument(
+        "train: divergence_threshold must be > 0");
+  }
+  if (config.fant &&
+      (config.fant->fault_probability < 0.0 ||
+       config.fant->fault_probability > 1.0)) {
+    throw std::invalid_argument(
+        "train: fant.fault_probability must be in [0, 1]");
+  }
+
   util::Rng rng(config.seed ^ 0x7261696e5f726e67ULL);
 
   AdamW::Config adam;
@@ -102,6 +185,8 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
 
   std::optional<augment::Augmenter> augmenter;
   if (config.augmentation) augmenter.emplace(*config.augmentation);
+  const FantConfig* fant =
+      config.fant && config.fant->any() ? &*config.fant : nullptr;
 
   const variation::VariationSpec clean = variation::VariationSpec::none();
   const int mc_samples =
@@ -127,7 +212,31 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
   std::vector<std::uint64_t> sample_seeds(mc);
 
   TrainResult result;
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+  int epoch = 0;
+  bool stopped = false;
+  if (config.resume) {
+    const TrainerSnapshot snap = load_snapshot(config.snapshot_path);
+    restore_snapshot(snap, model, optimizer, scheduler, rng, result);
+    epoch = snap.next_epoch;
+    stopped = snap.stopped;
+  }
+
+  // Divergence-watchdog rollback targets. A diverged *train* loss at
+  // epoch e means the parameters produced by epoch e-1's step are already
+  // bad, so the rollback target must predate that step: we keep the last
+  // two good epoch boundaries and restore the older one.
+  TrainerSnapshot last_good = capture_snapshot(model, optimizer, scheduler,
+                                               rng, result, epoch, stopped);
+  TrainerSnapshot prev_good = last_good;
+
+  const auto snapshot_due = [&](int completed_epochs, bool run_ending) {
+    if (config.snapshot_path.empty()) return false;
+    if (run_ending) return true;
+    return config.snapshot_every > 0 &&
+           completed_epochs % config.snapshot_every == 0;
+  };
+
+  while (!stopped && epoch < config.max_epochs) {
     // Assemble this epoch's batch: originals plus (optionally) one fresh
     // augmented copy, matching "augmented data combined with original".
     const data::Split* batch = &data.train;
@@ -145,16 +254,70 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
     // RNG consumption.
     for (auto& s : sample_seeds) s = rng();
     optimizer.zero_grad();
-    const double train_loss = monte_carlo_round(
-        model, *batch, config.train_variation, sample_seeds, pool, sinks);
-    optimizer.step();
-    model.clamp_parameters();
+    double train_loss = std::numeric_limits<double>::quiet_NaN();
+    double val_loss = std::numeric_limits<double>::quiet_NaN();
+    double val_acc = 0.0;
+    bool step_failed = false;
+    try {
+      train_loss = monte_carlo_round(model, *batch, config.train_variation,
+                                     sample_seeds, pool, sinks, fant);
+      optimizer.step();
+    } catch (const NonFiniteGradientError&) {
+      // The optimizer rejected the round before touching any weight; the
+      // watchdog path below rolls back and retries at a lower rate.
+      step_failed = true;
+    }
+    if (!step_failed) {
+      model.clamp_parameters();
+      // Validation on clean circuit + unaugmented data drives the
+      // schedule.
+      val_loss = evaluate_loss(model, data.validation, clean, rng);
+      val_acc = evaluate_accuracy(model, data.validation, clean, rng);
+    }
 
-    // Validation on clean circuit + unaugmented data drives the schedule.
-    const double val_loss =
-        evaluate_loss(model, data.validation, clean, rng);
-    const double val_acc =
-        evaluate_accuracy(model, data.validation, clean, rng);
+    const bool diverged =
+        step_failed || !std::isfinite(train_loss) ||
+        std::abs(train_loss) > config.divergence_threshold ||
+        !std::isfinite(val_loss) ||
+        std::abs(val_loss) > config.divergence_threshold;
+    if (diverged) {
+      EpochStats event;
+      event.epoch = epoch;
+      event.train_loss = train_loss;
+      event.validation_loss = val_loss;
+      event.validation_accuracy = val_acc;
+      event.learning_rate = optimizer.learning_rate();
+      event.watchdog_rollback = true;
+
+      // Roll everything back to the boundary before the last good step,
+      // then re-record the event so it survives the restore.
+      restore_snapshot(prev_good, model, optimizer, scheduler, rng, result);
+      epoch = prev_good.next_epoch;
+      result.history.push_back(event);
+      ++result.watchdog_recoveries;
+      if (result.watchdog_recoveries > config.watchdog_max_recoveries) {
+        // Retry budget exhausted: keep the last good parameters and stop
+        // instead of looping on a divergence that won't heal.
+        stopped = true;
+        if (!config.snapshot_path.empty()) {
+          save_snapshot(capture_snapshot(model, optimizer, scheduler, rng,
+                                         result, epoch, true),
+                        config.snapshot_path);
+        }
+        break;
+      }
+      optimizer.set_learning_rate(optimizer.learning_rate() *
+                                  config.lr_factor);
+      // Fold the event + backed-off rate into both rollback targets so a
+      // second divergence neither forgets the first nor resets the rate.
+      last_good = capture_snapshot(model, optimizer, scheduler, rng, result,
+                                   epoch, false);
+      prev_good = last_good;
+      if (!config.snapshot_path.empty()) {
+        save_snapshot(last_good, config.snapshot_path);
+      }
+      continue;
+    }
 
     EpochStats stats;
     stats.epoch = epoch;
@@ -175,7 +338,15 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
     result.final_train_loss = train_loss;
     result.epochs_run = epoch + 1;
 
-    if (!scheduler.observe(val_loss)) break;  // lr decayed below min_lr
+    if (!scheduler.observe(val_loss)) stopped = true;  // lr below min_lr
+    ++epoch;
+
+    prev_good = std::move(last_good);
+    last_good = capture_snapshot(model, optimizer, scheduler, rng, result,
+                                 epoch, stopped);
+    if (snapshot_due(epoch, stopped || epoch >= config.max_epochs)) {
+      save_snapshot(last_good, config.snapshot_path);
+    }
   }
 
   result.wall_seconds =

@@ -6,6 +6,18 @@
 
 namespace pnc::util {
 
+/// Full serializable state of an Rng. Capturing and restoring the state
+/// reproduces the stream bit-exactly (including the Box-Muller cache), so
+/// a training run resumed from a snapshot consumes the same draws as an
+/// uninterrupted one.
+struct RngState {
+  std::uint64_t state[4] = {};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// Deterministic, seedable pseudo-random generator used everywhere in the
 /// library (xoshiro256** seeded through SplitMix64).
 ///
@@ -53,6 +65,10 @@ class Rng {
 
   /// Derive an independent child generator (for per-worker streams).
   Rng split();
+
+  /// Snapshot / restore the full generator state (see RngState).
+  RngState state() const;
+  void set_state(const RngState& s);
 
  private:
   std::uint64_t next();

@@ -91,6 +91,20 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   return idx;
 }
 
+RngState Rng::state() const {
+  RngState s;
+  for (std::size_t i = 0; i < 4; ++i) s.state[i] = state_[i];
+  s.cached_normal = cached_normal_;
+  s.has_cached_normal = has_cached_normal_;
+  return s;
+}
+
+void Rng::set_state(const RngState& s) {
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = s.state[i];
+  cached_normal_ = s.cached_normal;
+  has_cached_normal_ = s.has_cached_normal;
+}
+
 Rng Rng::split() {
   Rng child;
   child.state_[0] = next();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "pnc/autodiff/ops.hpp"
@@ -61,6 +62,35 @@ TEST(Serialize, FileRoundTrip) {
   EXPECT_DOUBLE_EQ(ad::max_abs_diff(a->predict(inputs, clean, rng),
                                     b->predict(inputs, clean, rng)),
                    0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SaveLeavesNoStagingFile) {
+  const std::string path = "/tmp/pnc_checkpoint_atomic.txt";
+  auto a = make_adapt_pnc(2, 0.01, 3);
+  save_parameters(*a, path);
+  std::ifstream staging(path + ".tmp");
+  EXPECT_FALSE(staging.good()) << "staging file left behind after rename";
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SaveReplacesExistingCheckpointAtomically) {
+  // Overwriting must go through the same stage-and-rename path: the old
+  // file is either fully intact or fully replaced, never half-written.
+  const std::string path = "/tmp/pnc_checkpoint_replace.txt";
+  auto a = make_adapt_pnc(2, 0.01, 3);
+  auto b = make_adapt_pnc(2, 0.01, 4);
+  save_parameters(*a, path);
+  save_parameters(*b, path);  // overwrite with different values
+  auto loaded = make_adapt_pnc(2, 0.01, 5);
+  load_parameters(*loaded, path);
+  const auto pb = b->parameters();
+  const auto pl = loaded->parameters();
+  ASSERT_EQ(pb.size(), pl.size());
+  for (std::size_t i = 0; i < pb.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ad::max_abs_diff(pb[i]->value, pl[i]->value), 0.0)
+        << pb[i]->name;
+  }
   std::remove(path.c_str());
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "pnc/autodiff/ops.hpp"
 
@@ -128,6 +129,103 @@ TEST(Scheduler, Validation) {
   Sgd opt({&w}, 0.1);
   EXPECT_THROW(PlateauScheduler(opt, 0), std::invalid_argument);
   EXPECT_THROW(PlateauScheduler(opt, 1, 1.5), std::invalid_argument);
+}
+
+TEST(Scheduler, NeverCutsBelowMinLrWithoutStopping) {
+  // The floor is a stop condition, not a clamp: the schedule keeps
+  // halving and reports false the first time the rate lands below min_lr.
+  ad::Parameter w("w", ad::Tensor::scalar(0.0));
+  Sgd opt({&w}, 0.1);
+  PlateauScheduler sched(opt, 1, 0.5, 1e-3);
+  sched.observe(1.0);
+  int observations = 0;
+  while (sched.observe(2.0) && observations < 100) ++observations;
+  EXPECT_LT(opt.learning_rate(), 1e-3);
+  EXPECT_GE(opt.learning_rate(), 0.5e-3);  // exactly one halving past floor
+  EXPECT_LT(observations, 100);
+}
+
+TEST(Scheduler, StateRoundTripContinuesIdentically) {
+  // Two schedulers fed the same losses must agree after one is rebuilt
+  // from the other's serialized state mid-sequence — the property the
+  // trainer snapshot relies on.
+  ad::Parameter w1("w", ad::Tensor::scalar(0.0));
+  ad::Parameter w2("w", ad::Tensor::scalar(0.0));
+  Sgd opt1({&w1}, 0.1);
+  Sgd opt2({&w2}, 0.1);
+  PlateauScheduler a(opt1, 3);
+  PlateauScheduler b(opt2, 3);
+
+  const double losses[] = {1.0, 1.2, 0.8, 0.9, 0.9, 0.9, 0.9, 0.85};
+  for (int i = 0; i < 4; ++i) a.observe(losses[i]);
+
+  // Replay the prefix into b, then overwrite with a's captured state.
+  for (int i = 0; i < 2; ++i) b.observe(losses[i]);
+  opt2.set_learning_rate(opt1.learning_rate());
+  b.restore(a.state());
+  EXPECT_EQ(b.state(), a.state());
+
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(a.observe(losses[i]), b.observe(losses[i])) << i;
+    EXPECT_EQ(opt1.learning_rate(), opt2.learning_rate()) << i;
+    EXPECT_EQ(a.state(), b.state()) << i;
+  }
+}
+
+TEST(Scheduler, RestoreRejectsNegativeStaleCount) {
+  ad::Parameter w("w", ad::Tensor::scalar(0.0));
+  Sgd opt({&w}, 0.1);
+  PlateauScheduler sched(opt, 2);
+  PlateauScheduler::State bad;
+  bad.stale_epochs = -1;
+  EXPECT_THROW(sched.restore(bad), std::invalid_argument);
+}
+
+TEST(NonFiniteGradient, SgdRefusesAndNamesTheParameter) {
+  ad::Parameter good("good", ad::Tensor::scalar(1.0));
+  ad::Parameter bad("theta_bad", ad::Tensor::scalar(2.0));
+  good.grad.fill(0.5);
+  bad.grad.fill(std::numeric_limits<double>::quiet_NaN());
+  Sgd opt({&good, &bad}, 0.1);
+  try {
+    opt.step();
+    FAIL() << "NaN gradient accepted";
+  } catch (const NonFiniteGradientError& e) {
+    EXPECT_EQ(e.parameter(), "theta_bad");
+    EXPECT_NE(std::string(e.what()).find("theta_bad"), std::string::npos);
+  }
+  // Fail-fast means *no* weight moved — not even the healthy one.
+  EXPECT_DOUBLE_EQ(good.value.item(), 1.0);
+  EXPECT_DOUBLE_EQ(bad.value.item(), 2.0);
+}
+
+TEST(NonFiniteGradient, AdamWRefusesInfAndKeepsMoments) {
+  ad::Parameter w("w", ad::Tensor::scalar(1.0));
+  AdamW::Config cfg;
+  cfg.lr = 0.1;
+  AdamW opt({&w}, cfg);
+  w.grad.fill(1.0);
+  opt.step();  // healthy step seeds the moments
+  const long steps = opt.step_count();
+  const ad::Tensor m = opt.first_moments()[0];
+
+  w.grad.fill(std::numeric_limits<double>::infinity());
+  EXPECT_THROW(opt.step(), NonFiniteGradientError);
+  EXPECT_EQ(opt.step_count(), steps);  // rejected round never counted
+  EXPECT_DOUBLE_EQ(opt.first_moments()[0].item(), m.item());
+}
+
+TEST(AdamW, RestoreMomentsValidatesShapes) {
+  ad::Parameter w("w", ad::Tensor::scalar(1.0));
+  AdamW::Config cfg;
+  AdamW opt({&w}, cfg);
+  EXPECT_THROW(opt.restore_moments(1, {}, {}), std::invalid_argument);
+  EXPECT_THROW(opt.restore_moments(1, {ad::Tensor(2, 2)}, {ad::Tensor(2, 2)}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(opt.restore_moments(
+      1, {ad::Tensor::scalar(0.5)}, {ad::Tensor::scalar(0.25)}));
+  EXPECT_EQ(opt.step_count(), 1);
+  EXPECT_DOUBLE_EQ(opt.first_moments()[0].item(), 0.5);
 }
 
 }  // namespace

@@ -1,0 +1,438 @@
+#include "pnc/train/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/train/trainer.hpp"
+
+namespace pnc::train {
+namespace {
+
+data::Dataset small_dataset() {
+  return data::make_dataset("Slope", 42, 24);
+}
+
+TrainConfig quick_config() {
+  TrainConfig cfg;
+  cfg.max_epochs = 5;
+  cfg.patience = 8;
+  cfg.learning_rate = 0.05;
+  return cfg;
+}
+
+std::unique_ptr<core::SequenceClassifier> fresh_model(
+    const data::Dataset& ds) {
+  return core::make_adapt_pnc(static_cast<std::size_t>(ds.num_classes),
+                              ds.sample_period, 1, 4);
+}
+
+void expect_params_bitwise_equal(core::SequenceClassifier& a,
+                                 core::SequenceClassifier& b) {
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.size(), pb[i]->value.size()) << pa[i]->name;
+    for (std::size_t k = 0; k < pa[i]->value.size(); ++k) {
+      EXPECT_EQ(pa[i]->value.data()[k], pb[i]->value.data()[k])
+          << pa[i]->name << "[" << k << "]";
+    }
+  }
+}
+
+/// Delegating wrapper that poisons the loss of chosen forward calls with
+/// NaN (via a NaN scale on the logits), to provoke the divergence
+/// watchdog on demand. `fail_call` = -1 means every call fails.
+class FlakyModel : public core::SequenceClassifier {
+ public:
+  FlakyModel(core::SequenceClassifier& inner, long fail_call)
+      : inner_(inner), fail_call_(fail_call) {}
+
+  ad::Var forward(ad::Graph& g, const ad::Tensor& inputs,
+                  const variation::VariationSpec& spec,
+                  util::Rng& rng) override {
+    const long call = calls_++;
+    ad::Var logits = inner_.forward(g, inputs, spec, rng);
+    if (fail_call_ < 0 || call == fail_call_) {
+      logits = ad::scale(logits, std::numeric_limits<double>::quiet_NaN());
+    }
+    return logits;
+  }
+
+  std::vector<ad::Parameter*> parameters() override {
+    return inner_.parameters();
+  }
+  void clamp_parameters() override { inner_.clamp_parameters(); }
+  std::string name() const override { return "flaky_" + inner_.name(); }
+  int num_classes() const override { return inner_.num_classes(); }
+
+  long calls() const { return calls_; }
+
+ private:
+  core::SequenceClassifier& inner_;
+  long fail_call_;
+  long calls_ = 0;
+};
+
+TEST(Snapshot, StreamRoundTripIsExact) {
+  const data::Dataset ds = small_dataset();
+  auto model = fresh_model(ds);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 3;
+  cfg.snapshot_path = "/tmp/pnc_snapshot_roundtrip.txt";
+  const TrainResult result = train(*model, ds, cfg);
+  ASSERT_EQ(result.epochs_run, 3);
+
+  const TrainerSnapshot snap = load_snapshot(cfg.snapshot_path);
+  std::stringstream stream;
+  write_snapshot(snap, stream);
+  const TrainerSnapshot copy = read_snapshot(stream);
+
+  EXPECT_EQ(copy.next_epoch, snap.next_epoch);
+  EXPECT_EQ(copy.stopped, snap.stopped);
+  EXPECT_EQ(copy.rng, snap.rng);
+  EXPECT_EQ(copy.learning_rate, snap.learning_rate);
+  EXPECT_EQ(copy.scheduler, snap.scheduler);
+  EXPECT_EQ(copy.adam_step_count, snap.adam_step_count);
+  ASSERT_EQ(copy.adam_m.size(), snap.adam_m.size());
+  for (std::size_t i = 0; i < snap.adam_m.size(); ++i) {
+    EXPECT_EQ(ad::max_abs_diff(copy.adam_m[i], snap.adam_m[i]), 0.0);
+    EXPECT_EQ(ad::max_abs_diff(copy.adam_v[i], snap.adam_v[i]), 0.0);
+  }
+  ASSERT_EQ(copy.param_values.size(), snap.param_values.size());
+  EXPECT_EQ(copy.param_names, snap.param_names);
+  for (std::size_t i = 0; i < snap.param_values.size(); ++i) {
+    EXPECT_EQ(ad::max_abs_diff(copy.param_values[i], snap.param_values[i]),
+              0.0);
+  }
+  EXPECT_EQ(copy.epochs_run, snap.epochs_run);
+  ASSERT_EQ(copy.history.size(), snap.history.size());
+  for (std::size_t i = 0; i < snap.history.size(); ++i) {
+    EXPECT_EQ(copy.history[i].train_loss, snap.history[i].train_loss);
+    EXPECT_EQ(copy.history[i].watchdog_rollback,
+              snap.history[i].watchdog_rollback);
+  }
+  std::remove(cfg.snapshot_path.c_str());
+}
+
+TEST(Snapshot, RoundTripCarriesInfinity) {
+  // A snapshot taken before any epoch holds the scheduler's +inf best
+  // loss; it must survive text serialization bit-exactly.
+  ad::Parameter w("w", ad::Tensor::scalar(0.0));
+  AdamW opt({&w}, AdamW::Config{});
+  PlateauScheduler sched(opt, 2);
+  util::Rng rng(7);
+  TrainResult result;
+  result.best_validation_loss = std::numeric_limits<double>::infinity();
+
+  class OneParam : public core::SequenceClassifier {
+   public:
+    explicit OneParam(ad::Parameter& w) : w_(w) {}
+    ad::Var forward(ad::Graph& g, const ad::Tensor&,
+                    const variation::VariationSpec&, util::Rng&) override {
+      return g.leaf(w_);
+    }
+    std::vector<ad::Parameter*> parameters() override { return {&w_}; }
+    std::string name() const override { return "one_param"; }
+    int num_classes() const override { return 1; }
+
+   private:
+    ad::Parameter& w_;
+  } model(w);
+
+  const TrainerSnapshot snap =
+      capture_snapshot(model, opt, sched, rng, result, 0, false);
+  EXPECT_TRUE(std::isinf(snap.scheduler.best_loss));
+  std::stringstream stream;
+  write_snapshot(snap, stream);
+  const TrainerSnapshot copy = read_snapshot(stream);
+  EXPECT_EQ(copy.scheduler.best_loss, snap.scheduler.best_loss);
+  EXPECT_EQ(copy.best_validation_loss,
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Snapshot, ResumeMatchesUninterruptedAtEveryBoundary) {
+  const data::Dataset ds = small_dataset();
+  const std::string path = "/tmp/pnc_snapshot_boundary.txt";
+  constexpr int kEpochs = 4;
+
+  auto reference = fresh_model(ds);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = kEpochs;
+  const TrainResult full = train(*reference, ds, cfg);
+  ASSERT_EQ(full.epochs_run, kEpochs);
+
+  for (int kill_at = 1; kill_at < kEpochs; ++kill_at) {
+    auto interrupted = fresh_model(ds);
+    TrainConfig first = cfg;
+    first.max_epochs = kill_at;  // "crash" at this epoch boundary
+    first.snapshot_path = path;
+    first.snapshot_every = 1;
+    (void)train(*interrupted, ds, first);
+
+    auto resumed = fresh_model(ds);
+    TrainConfig second = cfg;
+    second.max_epochs = kEpochs;
+    second.snapshot_path = path;
+    second.resume = true;
+    const TrainResult rest = train(*resumed, ds, second);
+
+    expect_params_bitwise_equal(*reference, *resumed);
+    EXPECT_EQ(rest.epochs_run, full.epochs_run) << "kill at " << kill_at;
+    ASSERT_EQ(rest.history.size(), full.history.size());
+    for (std::size_t i = 0; i < full.history.size(); ++i) {
+      EXPECT_EQ(rest.history[i].train_loss, full.history[i].train_loss);
+      EXPECT_EQ(rest.history[i].validation_loss,
+                full.history[i].validation_loss);
+    }
+    EXPECT_EQ(rest.best_validation_loss, full.best_validation_loss);
+    EXPECT_EQ(rest.final_train_loss, full.final_train_loss);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ResumeParityHoldsAcrossThreadCounts) {
+  // Interrupt a 1-thread run, resume with 4 threads: still bit-identical,
+  // because the MC fan-out is deterministic in the pre-drawn seeds.
+  const data::Dataset ds = small_dataset();
+  const std::string path = "/tmp/pnc_snapshot_threads.txt";
+
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 4;
+  cfg.train_variation = variation::VariationSpec::printing(0.10, 3);
+  cfg.num_threads = 1;
+
+  auto reference = fresh_model(ds);
+  (void)train(*reference, ds, cfg);
+
+  auto interrupted = fresh_model(ds);
+  TrainConfig first = cfg;
+  first.max_epochs = 2;
+  first.snapshot_path = path;
+  first.snapshot_every = 2;
+  (void)train(*interrupted, ds, first);
+
+  auto resumed = fresh_model(ds);
+  TrainConfig second = cfg;
+  second.num_threads = 4;
+  second.snapshot_path = path;
+  second.resume = true;
+  (void)train(*resumed, ds, second);
+
+  expect_params_bitwise_equal(*reference, *resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ResumingFinishedRunIsNoOp) {
+  const data::Dataset ds = small_dataset();
+  const std::string path = "/tmp/pnc_snapshot_finished.txt";
+  auto model = fresh_model(ds);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 3;
+  cfg.snapshot_path = path;
+  const TrainResult first = train(*model, ds, cfg);
+  ASSERT_EQ(first.epochs_run, 3);
+
+  std::vector<ad::Tensor> before;
+  for (const auto* p : model->parameters()) before.push_back(p->value);
+
+  TrainConfig again = cfg;
+  again.resume = true;
+  const TrainResult second = train(*model, ds, again);
+  EXPECT_EQ(second.epochs_run, 3);
+  EXPECT_EQ(second.history.size(), first.history.size());
+
+  const auto params = model->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(ad::max_abs_diff(params[i]->value, before[i]), 0.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RestoreRejectsMismatchedModel) {
+  const data::Dataset ds = small_dataset();
+  auto model = fresh_model(ds);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 1;
+  cfg.snapshot_path = "/tmp/pnc_snapshot_mismatch.txt";
+  (void)train(*model, ds, cfg);
+
+  // Different hidden sizing -> different parameter shapes.
+  auto other = core::make_adapt_pnc(
+      static_cast<std::size_t>(ds.num_classes), ds.sample_period, 1, 6);
+  TrainConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  EXPECT_THROW((void)train(*other, ds, resume_cfg), std::runtime_error);
+  std::remove(cfg.snapshot_path.c_str());
+}
+
+TEST(Snapshot, ReaderRejectsCorruption) {
+  const data::Dataset ds = small_dataset();
+  auto model = fresh_model(ds);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 1;
+  cfg.snapshot_path = "/tmp/pnc_snapshot_corrupt.txt";
+  (void)train(*model, ds, cfg);
+  std::stringstream stream;
+  write_snapshot(load_snapshot(cfg.snapshot_path), stream);
+  const std::string text = stream.str();
+  std::remove(cfg.snapshot_path.c_str());
+
+  {
+    std::stringstream bad("not-a-snapshot v1\n");
+    EXPECT_THROW(read_snapshot(bad), std::runtime_error);
+  }
+  {
+    std::stringstream wrong_version("pnc-trainer-snapshot v9\n");
+    EXPECT_THROW(read_snapshot(wrong_version), std::runtime_error);
+  }
+  {
+    std::string truncated = text;
+    truncated.resize(truncated.size() / 2);
+    std::stringstream bad(truncated);
+    EXPECT_THROW(read_snapshot(bad), std::runtime_error);
+  }
+  {
+    std::stringstream bad(text + "leftover bytes\n");
+    EXPECT_THROW(read_snapshot(bad), std::runtime_error);
+  }
+  {
+    std::stringstream fine(text + "  \n\t\n");
+    EXPECT_NO_THROW(read_snapshot(fine));
+  }
+}
+
+TEST(Snapshot, SaveIsAtomic) {
+  const data::Dataset ds = small_dataset();
+  auto model = fresh_model(ds);
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 2;
+  cfg.snapshot_path = "/tmp/pnc_snapshot_atomic.txt";
+  (void)train(*model, ds, cfg);
+
+  std::ifstream tmp(cfg.snapshot_path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "staging file left behind";
+  EXPECT_NO_THROW(load_snapshot(cfg.snapshot_path));
+
+  TrainerSnapshot snap = load_snapshot(cfg.snapshot_path);
+  EXPECT_THROW(save_snapshot(snap, "/nonexistent/dir/snap.txt"),
+               std::runtime_error);
+  std::remove(cfg.snapshot_path.c_str());
+}
+
+TEST(Watchdog, RecoversFromOneNanEpoch) {
+  const data::Dataset ds = small_dataset();
+  auto inner = fresh_model(ds);
+  // 3 forwards per epoch (train, val loss, val accuracy): call 6 is the
+  // training forward of epoch 2.
+  FlakyModel model(*inner, /*fail_call=*/6);
+
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 4;
+  const TrainResult result = train(model, ds, cfg);
+
+  EXPECT_EQ(result.watchdog_recoveries, 1);
+  EXPECT_EQ(result.epochs_run, 4);  // the rolled-back epoch was retried
+
+  std::size_t rollbacks = 0;
+  double lr_before = 0.0;
+  double lr_after = 0.0;
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    if (result.history[i].watchdog_rollback) {
+      ++rollbacks;
+      lr_before = result.history[i].learning_rate;
+      ASSERT_LT(i + 1, result.history.size());
+      lr_after = result.history[i + 1].learning_rate;
+    } else {
+      EXPECT_TRUE(std::isfinite(result.history[i].train_loss));
+    }
+  }
+  EXPECT_EQ(rollbacks, 1u);
+  EXPECT_EQ(lr_after, 0.5 * lr_before);  // backed off by lr_factor
+}
+
+TEST(Watchdog, StopsAfterRetryBudget) {
+  const data::Dataset ds = small_dataset();
+  auto inner = fresh_model(ds);
+  FlakyModel model(*inner, /*fail_call=*/-1);  // every epoch diverges
+
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 50;
+  cfg.watchdog_max_recoveries = 2;
+  const TrainResult result = train(model, ds, cfg);
+
+  EXPECT_EQ(result.watchdog_recoveries, 3);  // budget + the final straw
+  EXPECT_EQ(result.epochs_run, 0);           // no epoch ever survived
+  for (const EpochStats& e : result.history) {
+    EXPECT_TRUE(e.watchdog_rollback);
+  }
+}
+
+TEST(Watchdog, NonFiniteGradStepLeavesWeightsRestorable) {
+  // The NaN epoch's optimizer step must not leak into the retried epoch:
+  // a clean run and a run with one poisoned epoch end bit-identically
+  // once the watchdog rolls back (the retry replays the same RNG draws).
+  const data::Dataset ds = small_dataset();
+  TrainConfig cfg = quick_config();
+  cfg.max_epochs = 3;
+
+  auto clean_model = fresh_model(ds);
+  const TrainResult clean = train(*clean_model, ds, cfg);
+
+  auto inner = fresh_model(ds);
+  FlakyModel flaky(*inner, /*fail_call=*/6);
+  const TrainResult recovered = train(flaky, ds, cfg);
+
+  ASSERT_EQ(recovered.watchdog_recoveries, 1);
+  // Not bit-identical to the clean run (the retry ran at half the LR), but
+  // every surviving epoch must be finite and the run must complete.
+  EXPECT_EQ(recovered.epochs_run, clean.epochs_run);
+  for (const auto* p : flaky.parameters()) {
+    for (std::size_t k = 0; k < p->value.size(); ++k) {
+      EXPECT_TRUE(std::isfinite(p->value.data()[k])) << p->name;
+    }
+  }
+}
+
+TEST(TrainConfigValidation, RejectsIncoherentDurabilityConfig) {
+  const data::Dataset ds = small_dataset();
+  auto model = fresh_model(ds);
+  {
+    TrainConfig cfg = quick_config();
+    cfg.resume = true;  // no snapshot_path
+    EXPECT_THROW((void)train(*model, ds, cfg), std::invalid_argument);
+  }
+  {
+    TrainConfig cfg = quick_config();
+    cfg.snapshot_every = -1;
+    EXPECT_THROW((void)train(*model, ds, cfg), std::invalid_argument);
+  }
+  {
+    TrainConfig cfg = quick_config();
+    cfg.watchdog_max_recoveries = -1;
+    EXPECT_THROW((void)train(*model, ds, cfg), std::invalid_argument);
+  }
+  {
+    TrainConfig cfg = quick_config();
+    cfg.divergence_threshold = 0.0;
+    EXPECT_THROW((void)train(*model, ds, cfg), std::invalid_argument);
+  }
+  {
+    TrainConfig cfg = quick_config();
+    FantConfig fant;
+    fant.faults = reliability::FaultSpec::mixed(0.1);
+    fant.fault_probability = 1.5;
+    cfg.fant = fant;
+    EXPECT_THROW((void)train(*model, ds, cfg), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace pnc::train

@@ -182,6 +182,7 @@ int main(int argc, char** argv) {
   if (input_path.empty()) die("--input is required");
   if (n_classes < 2) die("--classes must be >= 2");
   if (batch == 0) die("--batch must be >= 1");
+  if (threads == 0) die("--threads must be >= 1");
   if (dt <= 0.0) die("--dt must be > 0");
   if (variation_delta < 0.0) die("--variation must be >= 0");
   if (fault_rate < 0.0 || fault_rate > 1.0) {

@@ -35,6 +35,24 @@ options:
   --export-csv PATH     write the test split series (one per line)
   --export-labels PATH  write the matching labels (one per line)
   --help, -h            print this message and exit
+
+fault/noise-aware training (FANT):
+  --fault-rate P        each Monte-Carlo sample trains on a circuit with
+                        a random defect mask of overall rate P in [0, 1]
+  --fault-probability Q fraction of MC samples that draw a defect mask
+                        (default 1, requires --fault-rate)
+  --noise KIND:SIGMA    corrupt each sample's training batch; repeatable.
+                        KIND is gaussian | impulse | wander | dropout
+
+durability (crash-safe resumable runs):
+  --snapshot PATH       write a resumable trainer snapshot (parameters +
+                        optimizer moments + scheduler + RNG) atomically
+                        at every epoch boundary it falls due
+  --snapshot-every N    epochs between snapshots (default 1, requires
+                        --snapshot)
+  --resume              continue a killed run from --snapshot PATH; the
+                        final checkpoint is bit-identical to an
+                        uninterrupted run with the same flags
 )";
 
 [[noreturn]] void die(const std::string& message) {
@@ -87,6 +105,31 @@ double parse_double(const std::string& flag, const std::string& text) {
   }
 }
 
+/// `--noise kind:sigma` -> the matching NoiseSpec field (same grammar as
+/// pnc_infer, so a FANT-trained model can be served under the exact
+/// corruption it was hardened against).
+void parse_noise(const std::string& arg, pnc::reliability::NoiseSpec& spec) {
+  const std::size_t colon = arg.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == arg.size()) {
+    die("--noise wants KIND:SIGMA, got '" + arg + "'");
+  }
+  const std::string kind = arg.substr(0, colon);
+  const double sigma = parse_double("--noise", arg.substr(colon + 1));
+  if (sigma < 0.0) die("--noise " + kind + " wants a non-negative value");
+  if (kind == "gaussian") {
+    spec.gaussian_sigma = sigma;
+  } else if (kind == "impulse") {
+    spec.impulse_rate = sigma;
+  } else if (kind == "wander") {
+    spec.wander_amplitude = sigma;
+  } else if (kind == "dropout") {
+    spec.dropout_rate = sigma;
+  } else {
+    die("unknown noise kind '" + kind +
+        "' (want gaussian | impulse | wander | dropout)");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,6 +144,14 @@ int main(int argc, char** argv) {
   std::size_t hidden_cap = 9;
   std::uint64_t seed = 42;
   double variation_delta = 0.0;
+  double fault_rate = 0.0;
+  double fault_probability = 1.0;
+  bool fault_probability_set = false;
+  reliability::NoiseSpec noise;
+  std::string snapshot_path;
+  int snapshot_every = 1;
+  bool snapshot_every_set = false;
+  bool resume = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -121,10 +172,40 @@ int main(int argc, char** argv) {
     else if (flag == "--checkpoint") checkpoint_path = value();
     else if (flag == "--export-csv") csv_path = value();
     else if (flag == "--export-labels") labels_path = value();
+    else if (flag == "--fault-rate") fault_rate = parse_double(flag, value());
+    else if (flag == "--fault-probability") {
+      fault_probability = parse_double(flag, value());
+      fault_probability_set = true;
+    }
+    else if (flag == "--noise") parse_noise(value(), noise);
+    else if (flag == "--snapshot") snapshot_path = value();
+    else if (flag == "--snapshot-every") {
+      snapshot_every = parse_int(flag, value());
+      snapshot_every_set = true;
+    }
+    else if (flag == "--resume") resume = true;
     else die("unknown flag " + flag);
   }
   if (epochs < 1) die("--epochs must be >= 1");
   if (variation_delta < 0.0) die("--variation must be >= 0");
+  // Mutually dependent flags must be coherent before any work starts.
+  if (fault_rate < 0.0 || fault_rate > 1.0) {
+    die("--fault-rate must be in [0, 1], got " + std::to_string(fault_rate));
+  }
+  if (fault_probability < 0.0 || fault_probability > 1.0) {
+    die("--fault-probability must be in [0, 1], got " +
+        std::to_string(fault_probability));
+  }
+  if (fault_probability_set && fault_rate == 0.0) {
+    die("--fault-probability requires --fault-rate > 0");
+  }
+  if (resume && snapshot_path.empty()) {
+    die("--resume requires --snapshot PATH (the snapshot to resume from)");
+  }
+  if (snapshot_every_set && snapshot_path.empty()) {
+    die("--snapshot-every requires --snapshot PATH");
+  }
+  if (snapshot_every < 1) die("--snapshot-every must be >= 1");
 
   const data::Dataset ds = data::make_dataset(dataset_name, seed);
   const auto n_classes = static_cast<std::size_t>(ds.num_classes);
@@ -148,7 +229,28 @@ int main(int argc, char** argv) {
     config.train_variation = variation::VariationSpec::printing(
         variation_delta, 3);
   }
-  const train::TrainResult result = train::train(*model, ds, config);
+  if (fault_rate > 0.0 || noise.any()) {
+    train::FantConfig fant;
+    fant.faults = reliability::FaultSpec::mixed(fault_rate);
+    fant.fault_probability = fault_probability;
+    fant.noise = noise;
+    config.fant = fant;
+  }
+  config.snapshot_path = snapshot_path;
+  config.snapshot_every = snapshot_path.empty() ? 0 : snapshot_every;
+  config.resume = resume;
+
+  const train::TrainResult result = [&] {
+    try {
+      return train::train(*model, ds, config);
+    } catch (const std::exception& e) {
+      die(e.what());
+    }
+  }();
+  if (result.watchdog_recoveries > 0) {
+    std::cerr << "pnc_train: divergence watchdog recovered "
+              << result.watchdog_recoveries << " time(s)\n";
+  }
 
   util::Rng rng(7);
   const double test_acc = train::evaluate_accuracy(
