@@ -5,11 +5,22 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "pnc/train/experiment.hpp"
+#include "pnc/util/simd.hpp"
 #include "pnc/util/thread_pool.hpp"
+
+// Build metadata stamped into every report. The bench CMakeLists passes
+// the real values; the fallbacks keep out-of-tree compiles working.
+#ifndef PNC_BENCH_BUILD_TYPE
+#define PNC_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef PNC_BENCH_CXX_FLAGS
+#define PNC_BENCH_CXX_FLAGS ""
+#endif
 
 namespace pnc::bench {
 
@@ -87,12 +98,23 @@ class JsonReport {
     const std::string tmp = path + ".tmp";
     {
       std::ofstream out(tmp);
-      out.precision(9);
+      out.precision(17);  // round-trip exact: bit-differences are visible
       out << "{\n";
       out << "  \"name\": \"" << name_ << "\",\n";
       out << "  \"threads\": " << util::hardware_threads() << ",\n";
       out << "  \"quick_mode\": " << (quick_mode() ? "true" : "false")
           << ",\n";
+      // A timing number is only comparable against another run on the
+      // same machine shape: record where and how this binary ran.
+      out << "  \"machine\": {\n";
+      out << "    \"hardware_concurrency\": "
+          << std::thread::hardware_concurrency() << ",\n";
+      out << "    \"pool_threads\": " << util::hardware_threads() << ",\n";
+      out << "    \"simd\": \"" << simd::kind() << "\",\n";
+      out << "    \"compiler\": \"" << compiler_id() << "\",\n";
+      out << "    \"build_type\": \"" << PNC_BENCH_BUILD_TYPE << "\",\n";
+      out << "    \"cxx_flags\": \"" << PNC_BENCH_CXX_FLAGS << "\"\n";
+      out << "  },\n";
       out << "  \"wall_seconds\": " << seconds_since_start() << ",\n";
       out << "  \"phases\": {";
       write_pairs(out, phases_);
@@ -109,6 +131,18 @@ class JsonReport {
   }
 
  private:
+  static std::string compiler_id() {
+#if defined(__clang__)
+    return "clang " + std::to_string(__clang_major__) + "." +
+           std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+    return "gcc " + std::to_string(__GNUC__) + "." +
+           std::to_string(__GNUC_MINOR__);
+#else
+    return "unknown";
+#endif
+  }
+
   static double elapsed_since(std::chrono::steady_clock::time_point t0) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)

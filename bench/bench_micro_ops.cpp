@@ -10,11 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "bench_common.hpp"
 #include "pnc/autodiff/ops.hpp"
 #include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
 #include "pnc/train/trainer.hpp"
 
 namespace {
@@ -217,42 +219,81 @@ void report_matmul_kernels(bench::JsonReport& report, int reps) {
 
 void report_mc_fanout(bench::JsonReport& report, int reps) {
   // The tentpole path: one variation-aware gradient round, fanned out over
-  // pools of different sizes. On a single-core host the >1 thread numbers
-  // track pool overhead rather than speedup; "threads" in the JSON records
-  // what the host offered.
+  // pools of different sizes. The fixed {2, 16} set is always measured
+  // (plus the host's own width) so runs on different machines report
+  // comparable keys; on a host with fewer cores the larger pools track
+  // scheduler overhead rather than speedup — "machine" in the JSON says
+  // which is which.
   const data::Dataset ds =
       data::make_dataset("Slope", 42, bench::quick_mode() ? 32 : 64);
   auto model = core::make_adapt_pnc(static_cast<std::size_t>(ds.num_classes),
                                     ds.sample_period, 1, 6);
   const auto spec = variation::VariationSpec::printing(0.10, 8);
-  std::vector<std::uint64_t> seeds(8);
+  const std::size_t mc = 16;  // enough samples that 16 threads have work
+  std::vector<std::uint64_t> seeds(mc);
   util::Rng rng(19);
   for (auto& s : seeds) s = rng();
   const auto params = model->parameters();
   std::vector<ad::GradSink> sinks;
-  for (std::size_t s = 0; s < seeds.size(); ++s) sinks.emplace_back(params);
+  for (std::size_t s = 0; s < mc; ++s) sinks.emplace_back(params);
+  util::WorkspacePool<ad::Graph> graphs;
 
   auto round_seconds = [&](std::size_t pool_size) {
     util::ThreadPool pool(pool_size);
-    return best_seconds(reps, [&] {
+    auto one_round = [&] {
       for (auto* p : params) p->zero_grad();
       benchmark::DoNotOptimize(
           train::monte_carlo_round(*model, ds.train, spec, seeds, pool,
-                                   sinks));
-    });
+                                   sinks, nullptr, &graphs));
+    };
+    // Warm-up: spin the workers up and fault the workspaces in before
+    // the clock starts, so pool start-up cost is not billed to the first
+    // measured round.
+    one_round();
+    return best_seconds(reps, one_round);
   };
 
   const double serial = round_seconds(1);
   report.phase_seconds("mc_round_threads_1", serial);
-  const std::size_t hw = util::hardware_threads();
-  for (std::size_t t : {std::size_t{2}, hw}) {
+  std::vector<std::size_t> widths{2, util::hardware_threads(), 16};
+  std::sort(widths.begin(), widths.end());
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+  for (const std::size_t t : widths) {
     if (t <= 1) continue;
     const double parallel = round_seconds(t);
     const std::string suffix = std::to_string(t);
     report.phase_seconds("mc_round_threads_" + suffix, parallel);
     report.metric("mc_fanout_speedup_" + suffix, serial / parallel);
-    if (t == hw) break;  // hw == 2 would otherwise repeat
   }
+}
+
+void report_plan_forward(bench::JsonReport& report, int reps) {
+  // Single-thread fused-plan throughput plus a deterministic logit
+  // checksum: CI runs this once with the AVX2 build and once with the
+  // scalar build and asserts the checksums are bit-identical (the SIMD
+  // lanes must follow the exact scalar op sequence).
+  const std::size_t batch = bench::quick_mode() ? 32 : 96;
+  auto model = core::make_adapt_pnc(3, 0.01, 1, 6);
+  const ad::Tensor inputs = random_tensor(batch, 64, 29);
+  const infer::Engine engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  const auto spec = variation::VariationSpec::printing(0.10, 8);
+  ad::Tensor logits;
+  {
+    util::Rng rng(31);
+    logits = engine.predict(plan, inputs, spec, rng);  // warm-up
+  }
+  const double seconds = best_seconds(reps, [&] {
+    util::Rng round_rng(31);
+    logits = engine.predict(plan, inputs, spec, round_rng);
+    benchmark::DoNotOptimize(logits.data().data());
+  });
+  report.phase_seconds("plan_forward", seconds);
+  double checksum = 0.0;
+  for (const double v : logits.data()) checksum += v;  // fixed order
+  report.metric("plan_forward_checksum", checksum);
+  report.metric("plan_forward_rows_per_sec",
+                static_cast<double>(batch) / seconds);
 }
 
 }  // namespace
@@ -266,6 +307,7 @@ int main(int argc, char** argv) {
   const int reps = bench::quick_mode() ? 3 : 7;
   report_matmul_kernels(report, reps);
   report_mc_fanout(report, reps);
+  report_plan_forward(report, reps);
   report.write();
   return 0;
 }

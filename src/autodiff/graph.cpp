@@ -1,32 +1,58 @@
 #include "pnc/autodiff/graph.hpp"
 
+#include <new>
+#include <span>
 #include <stdexcept>
 
 namespace pnc::ad {
 
+namespace {
+// Doubles per 64-byte cache line; every arena slice is rounded up to a
+// multiple so no two slices (or two sinks) share a line.
+constexpr std::size_t kLineDoubles = 64 / sizeof(double);
+
+constexpr std::size_t round_up_line(std::size_t n) {
+  return (n + kLineDoubles - 1) / kLineDoubles * kLineDoubles;
+}
+}  // namespace
+
+void GradSink::ArenaFree::operator()(double* p) const {
+  ::operator delete[](p, std::align_val_t{64});
+}
+
 GradSink::GradSink(const std::vector<Parameter*>& params) : params_(params) {
-  grads_.reserve(params_.size());
+  offsets_.reserve(params_.size());
   for (const Parameter* p : params_) {
-    grads_.emplace_back(p->value.rows(), p->value.cols());
+    offsets_.push_back(arena_size_);
+    arena_size_ += round_up_line(p->size());
+  }
+  if (arena_size_ > 0) {
+    arena_.reset(static_cast<double*>(::operator new[](
+        arena_size_ * sizeof(double), std::align_val_t{64})));
+    clear();
   }
 }
 
-Tensor* GradSink::find(const Parameter* p) {
+double* GradSink::find(const Parameter* p) {
   // Linear scan: parameter sets here are a handful of tensors, and the
   // scan is branch-predictable; a hash map costs more than it saves.
   for (std::size_t i = 0; i < params_.size(); ++i) {
-    if (params_[i] == p) return &grads_[i];
+    if (params_[i] == p) return arena_.get() + offsets_[i];
   }
   return nullptr;
 }
 
 void GradSink::clear() {
-  for (Tensor& g : grads_) g.zero();
+  // Padding included: zero the whole arena in one sweep.
+  for (std::size_t i = 0; i < arena_size_; ++i) arena_[i] = 0.0;
 }
 
 void GradSink::reduce_into_params() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
-    params_[i]->grad += grads_[i];
+    Parameter* p = params_[i];
+    const double* src = arena_.get() + offsets_[i];
+    const std::span<double> dst = p->grad.data();
+    for (std::size_t k = 0; k < dst.size(); ++k) dst[k] += src[k];
   }
 }
 
@@ -93,10 +119,11 @@ void Graph::backward(Var loss) {
     if (!n.requires_grad || !n.grad_ready) continue;
     if (n.backward) n.backward(*this);
     if (n.param) {
-      Tensor* dst =
+      double* dst =
           grad_sink_ != nullptr ? grad_sink_->find(n.param) : nullptr;
       if (dst != nullptr) {
-        *dst += n.grad;
+        const std::span<const double> src = n.grad.data();
+        for (std::size_t k = 0; k < src.size(); ++k) dst[k] += src[k];
       } else {
         n.param->grad += n.grad;
       }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,14 +40,25 @@ struct Parameter {
 /// reduces the per-sample sinks into the shared grads afterwards, in a
 /// fixed order, which keeps training bit-deterministic for any thread
 /// count.
+///
+/// Layout: one 64-byte-aligned arena per sink, with every parameter's
+/// slice padded up to a cache-line multiple. Two sinks — and two
+/// parameters within one sink — therefore never share a cache line, so
+/// concurrent Monte-Carlo samples writing their own sinks cannot
+/// false-share (the pNC models are many tiny tensors; heap-adjacent
+/// sub-64-byte buffers previously could land on one line).
 class GradSink {
  public:
   GradSink() = default;
   explicit GradSink(const std::vector<Parameter*>& params);
 
-  /// Buffer for `p`, or nullptr when p is not covered (backward then
-  /// falls through to p->grad — only safe single-threaded).
-  Tensor* find(const Parameter* p);
+  GradSink(GradSink&&) noexcept = default;
+  GradSink& operator=(GradSink&&) noexcept = default;
+
+  /// Buffer for `p` (p->size() doubles, 64-byte aligned), or nullptr when
+  /// p is not covered (backward then falls through to p->grad — only safe
+  /// single-threaded).
+  double* find(const Parameter* p);
 
   /// Zero every buffer (reuse across epochs without reallocating).
   void clear();
@@ -57,8 +69,14 @@ class GradSink {
   std::size_t parameter_count() const { return params_.size(); }
 
  private:
+  struct ArenaFree {
+    void operator()(double* p) const;
+  };
+
   std::vector<Parameter*> params_;
-  std::vector<Tensor> grads_;
+  std::vector<std::size_t> offsets_;  // into arena_, in doubles
+  std::size_t arena_size_ = 0;        // total doubles (padding included)
+  std::unique_ptr<double[], ArenaFree> arena_;
 };
 
 /// Lightweight handle to a node in a Graph tape.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "pnc/autodiff/tensor_pool.hpp"
+#include "pnc/util/simd.hpp"
 
 namespace pnc::ad {
 
@@ -183,9 +184,10 @@ double* row_ptr(Tensor& t, std::size_t r) {
 }
 
 // Raw-pointer core of the ikj product: out(m x n) += a(m x inner) * b.
-// The restrict qualifiers promise the output buffer never aliases an
-// input (Tensor operands are always distinct objects), which lets the
-// inner axpy vectorize without alias-versioned scalar fallbacks.
+// The inner axpy goes through simd::axpy — explicit AVX2 lanes when the
+// build/CPU/PNC_SIMD allow it, the identical scalar loop otherwise. Both
+// paths round each element with one mul then one add (no FMA), so the
+// kernel stays bit-reproducible across the dispatch.
 void mm_accumulate(double* __restrict out, const double* __restrict a,
                    const double* __restrict b, std::size_t m,
                    std::size_t inner, std::size_t n) {
@@ -195,8 +197,7 @@ void mm_accumulate(double* __restrict out, const double* __restrict a,
     for (std::size_t k = 0; k < inner; ++k) {
       const double aik = a_row[k];
       if (aik == 0.0) continue;
-      const double* b_row = b + k * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+      simd::axpy(out_row, aik, b + k * n, n);
     }
   }
 }
@@ -213,8 +214,7 @@ void mm_accumulate_atb(double* __restrict out, const double* __restrict a,
     for (std::size_t k = 0; k < ac; ++k) {
       const double aik = a_row[k];
       if (aik == 0.0) continue;
-      double* out_row = out + k * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * g_row[j];
+      simd::axpy(out + k * n, aik, g_row, n);
     }
   }
 }
@@ -253,10 +253,7 @@ void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
         for (std::size_t k = k0; k < k1; ++k) {
           const double aik = a(i, k);
           if (aik == 0.0) continue;
-          const double* b_row = row_ptr(b, k) + j0;
-          for (std::size_t j = 0; j < jlen; ++j) {
-            out_row[j] += aik * b_row[j];
-          }
+          simd::axpy(out_row, aik, row_ptr(b, k) + j0, jlen);
         }
       }
     }

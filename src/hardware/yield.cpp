@@ -8,6 +8,7 @@
 #include "pnc/autodiff/ops.hpp"
 #include "pnc/infer/engine.hpp"
 #include "pnc/util/thread_pool.hpp"
+#include "pnc/util/workspace_pool.hpp"
 
 namespace pnc::hardware {
 
@@ -57,12 +58,16 @@ YieldResult estimate_yield(core::SequenceClassifier& model,
   // for a fixed seed while skipping all tape construction.
   std::optional<infer::Engine> engine;
   if (config.use_engine) engine = infer::Engine::try_compile(model);
+  // Plans are leased per circuit instead of constructed per circuit: at
+  // most pool-size plans exist, buffers stay warm across circuits, and
+  // because every predict re-stamps its plan the estimate is unchanged.
+  util::WorkspacePool<infer::Plan> plans;
   util::global_pool().parallel_for(n, [&](std::size_t i) {
     util::Rng circuit_rng(seeds[i]);
     ad::Tensor logits;
     if (engine) {
-      infer::Plan plan = engine->make_plan();
-      logits = engine->predict(plan, split.inputs, variation, circuit_rng);
+      auto plan = plans.acquire([&] { return engine->make_plan(); });
+      logits = engine->predict(*plan, split.inputs, variation, circuit_rng);
     } else {
       logits = model.predict(split.inputs, variation, circuit_rng);
     }

@@ -1,7 +1,9 @@
 #include "pnc/infer/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -10,6 +12,7 @@
 #include "pnc/core/crossbar_layer.hpp"
 #include "pnc/core/ptanh_layer.hpp"
 #include "pnc/core/serialize.hpp"
+#include "pnc/util/simd.hpp"
 
 namespace pnc::infer {
 
@@ -64,6 +67,81 @@ void stamp_eta(const ad::Tensor& eta, const variation::VariationSpec& spec,
   out = eta;
   if (spec.component) {
     for (auto& v : out.data()) v *= spec.component->sample(rng);
+  }
+}
+
+/// Fused elementwise chain of one pTPB block at one timestep: bias add,
+/// first (and second) order filter state update, then ptanh — over the
+/// (rows x n_out) workspace row by row. Every arithmetic step goes through
+/// the pnc::simd kernels (AVX2 lanes or the identical scalar sequence), so
+/// results stay bit-compatible with the graph ops either way.
+///
+/// NOut > 0 is the GeNN-style merged-kernel specialization: the channel
+/// count becomes a compile-time constant, so the per-row kernel loops have
+/// constant trip counts the compiler fully unrolls. NOut == 0 is the
+/// generic kernel with runtime bounds.
+template <std::size_t NOut>
+void block_step_elementwise(std::size_t rows, std::size_t n_out_dyn,
+                            const StampedBlock& sb, bool second_order,
+                            ad::Tensor& y, ad::Tensor& s1, ad::Tensor& s2,
+                            ad::Tensor& z) {
+  const std::size_t n = NOut != 0 ? NOut : n_out_dyn;
+  const double* bias = sb.bias.data().data();
+  const double* a1 = sb.a1.data().data();
+  const double* b1 = sb.b1.data().data();
+  const double* e1 = sb.e1.data().data();
+  const double* e2 = sb.e2.data().data();
+  const double* e3 = sb.e3.data().data();
+  const double* e4 = sb.e4.data().data();
+  double* yd = y.data().data();
+  double* s1d = s1.data().data();
+  double* zd = z.data().data();
+  if (!second_order) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      double* yr = yd + i * n;
+      double* s1r = s1d + i * n;
+      simd::add(yr, bias, n);
+      simd::filter_step(s1r, a1, b1, yr, n);
+      simd::ptanh(zd + i * n, s1r, e1, e2, e3, e4, n);
+    }
+    return;
+  }
+  const double* a2 = sb.a2.data().data();
+  const double* b2 = sb.b2.data().data();
+  double* s2d = s2.data().data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* yr = yd + i * n;
+    double* s1r = s1d + i * n;
+    double* s2r = s2d + i * n;
+    simd::add(yr, bias, n);
+    simd::filter_step(s1r, a1, b1, yr, n);
+    simd::filter_step(s2r, a2, b2, s1r, n);
+    simd::ptanh(zd + i * n, s2r, e1, e2, e3, e4, n);
+  }
+}
+
+using BlockStepFn = void (*)(std::size_t, std::size_t, const StampedBlock&,
+                             bool, ad::Tensor&, ad::Tensor&, ad::Tensor&,
+                             ad::Tensor&);
+
+/// Fixed-shape kernel dispatch. The instantiated sizes cover the three
+/// model families' channel counts: adapt hidden = min(classes², cap) and
+/// baseline pTPNC hidden = classes for the 2–6-class UCR-style datasets,
+/// plus the class counts themselves for the read-out block. Any other
+/// shape falls back to the generic kernel — same arithmetic, runtime
+/// bounds.
+BlockStepFn select_block_step(std::size_t n_out) {
+  switch (n_out) {
+    case 2: return &block_step_elementwise<2>;
+    case 3: return &block_step_elementwise<3>;
+    case 4: return &block_step_elementwise<4>;
+    case 5: return &block_step_elementwise<5>;
+    case 6: return &block_step_elementwise<6>;
+    case 8: return &block_step_elementwise<8>;
+    case 9: return &block_step_elementwise<9>;
+    case 10: return &block_step_elementwise<10>;
+    case 16: return &block_step_elementwise<16>;
+    default: return &block_step_elementwise<0>;
   }
 }
 
@@ -284,6 +362,16 @@ void Engine::forward_rows(Plan& plan, const ad::Tensor& inputs,
   }
   ensure_shape(ws.acc, rows, n_classes_);
 
+  // Pick each block's step kernel once per call: the fixed-shape
+  // instantiation when the channel count matches, the generic one
+  // otherwise (models compile to two blocks; the guard keeps larger
+  // hypothetical programs correct).
+  std::array<BlockStepFn, 8> step_fns{};
+  for (std::size_t b = 0; b < nb; ++b) {
+    const BlockStepFn fn = select_block_step(blocks_[b].n_out);
+    if (b < step_fns.size()) step_fns[b] = fn;
+  }
+
   const double inv_steps = 1.0 / static_cast<double>(steps);
   for (std::size_t t = 0; t < steps; ++t) {
     const ad::Tensor* cur = nullptr;
@@ -293,67 +381,26 @@ void Engine::forward_rows(Plan& plan, const ad::Tensor& inputs,
       const std::size_t n_out = prog.n_out;
       ad::Tensor& y = ws.y[b];
       ad::Tensor& z = ws.z[b];
-      ad::Tensor& s1 = ws.s1[b];
-      // Crossbar: y = x·W + bias. The first block's input is a (rows x 1)
-      // series column, done as a fused outer product replicating the
-      // matmul kernel's zero-skip rounding.
+      // Crossbar: y = x·W. The first block's input is a (rows x 1) series
+      // column, done as a fused outer product replicating the matmul
+      // kernel's zero-skip rounding.
       if (b == 0) {
-        const std::span<const double> w = sb.weights.data();  // (1 x n_out)
+        const double* w = sb.weights.data().data();  // (1 x n_out)
+        double* yd = y.data().data();
         for (std::size_t i = 0; i < rows; ++i) {
-          const double xv = inputs(row_begin + i, t);
-          for (std::size_t j = 0; j < n_out; ++j) {
-            double m = 0.0;
-            if (xv != 0.0) m += xv * w[j];
-            y(i, j) = m;
-          }
+          simd::outer_scale(yd + i * n_out, inputs(row_begin + i, t), w,
+                            n_out);
         }
       } else {
         ad::matmul_into(y, *cur, sb.weights);
       }
-      const std::span<const double> bias = sb.bias.data();
-      for (std::size_t i = 0; i < rows; ++i) {
-        for (std::size_t j = 0; j < n_out; ++j) {
-          y(i, j) = y(i, j) + bias[j];
-        }
-      }
-      // Learnable filter: s1 = a1⊙s1 + b1⊙y (then the second stage for
-      // SO-LF). Products round separately before the add, as on the tape.
-      const std::span<const double> a1 = sb.a1.data();
-      const std::span<const double> b1 = sb.b1.data();
-      for (std::size_t i = 0; i < rows; ++i) {
-        for (std::size_t j = 0; j < n_out; ++j) {
-          const double p = a1[j] * s1(i, j);
-          const double q = b1[j] * y(i, j);
-          s1(i, j) = p + q;
-        }
-      }
-      const ad::Tensor* filtered = &s1;
-      if (prog.order == core::FilterOrder::kSecond) {
-        ad::Tensor& s2 = ws.s2[b];
-        const std::span<const double> a2 = sb.a2.data();
-        const std::span<const double> b2 = sb.b2.data();
-        for (std::size_t i = 0; i < rows; ++i) {
-          for (std::size_t j = 0; j < n_out; ++j) {
-            const double p = a2[j] * s2(i, j);
-            const double q = b2[j] * s1(i, j);
-            s2(i, j) = p + q;
-          }
-        }
-        filtered = &s2;
-      }
-      // ptanh: z = e1 + e2·tanh((f − e3)·e4), one rounding per graph op.
-      const std::span<const double> e1 = sb.e1.data();
-      const std::span<const double> e2 = sb.e2.data();
-      const std::span<const double> e3 = sb.e3.data();
-      const std::span<const double> e4 = sb.e4.data();
-      for (std::size_t i = 0; i < rows; ++i) {
-        for (std::size_t j = 0; j < n_out; ++j) {
-          const double shifted = (*filtered)(i, j) - e3[j];
-          const double gained = shifted * e4[j];
-          const double act = e2[j] * std::tanh(gained);
-          z(i, j) = e1[j] + act;
-        }
-      }
+      // Bias, learnable filter stage(s) and ptanh run as one fused
+      // elementwise kernel per block (see block_step_elementwise).
+      const BlockStepFn step = b < step_fns.size()
+                                   ? step_fns[b]
+                                   : select_block_step(n_out);
+      step(rows, n_out, sb, prog.order == core::FilterOrder::kSecond, y,
+           ws.s1[b], ws.s2[b], z);
       cur = &z;
     }
     // Read-out integrator: running sum of the last block's outputs.
@@ -362,14 +409,12 @@ void Engine::forward_rows(Plan& plan, const ad::Tensor& inputs,
     if (t == 0) {
       std::copy(zv.begin(), zv.end(), acc.begin());
     } else {
-      for (std::size_t k = 0; k < acc.size(); ++k) acc[k] = acc[k] + zv[k];
+      simd::add(acc.data(), zv.data(), acc.size());
     }
   }
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t j = 0; j < n_classes_; ++j) {
-      logits(row_begin + i, j) = inv_steps * ws.acc(i, j);
-    }
-  }
+  // logits rows [row_begin, row_end) are contiguous: scale in one sweep.
+  simd::scale(logits.data().data() + row_begin * n_classes_, inv_steps,
+              ws.acc.data().data(), rows * n_classes_);
 }
 
 void Engine::forward(Plan& plan, const ad::Tensor& inputs,

@@ -11,6 +11,7 @@
 #include "pnc/infer/engine.hpp"
 #include "pnc/util/rng.hpp"
 #include "pnc/util/thread_pool.hpp"
+#include "pnc/util/workspace_pool.hpp"
 
 namespace pnc::reliability {
 
@@ -27,13 +28,24 @@ std::uint64_t cell_seed(std::uint64_t base, double fault_severity,
           0xc2b2ae3d27d4eb4fULL);
 }
 
-/// Accuracy distribution of one severity cell. The engine path copies the
-/// clean compiled engine per circuit (programs are a few small tensors)
-/// and fans circuits out over the process-wide pool; the graph path
-/// mutates the shared model under a ScopedFault, so it runs circuits
+/// Per-worker scratch for the engine path of a campaign: a faultable copy
+/// of the clean engine plus its plan. Leased from a pool that run_campaign
+/// keeps alive for the whole severity grid, so the copies and plan buffers
+/// are built at most pool-size times instead of once per circuit per cell.
+struct CellWorkspace {
+  infer::Engine engine;
+  infer::Plan plan;
+};
+
+/// Accuracy distribution of one severity cell. The engine path resets a
+/// leased per-worker engine copy to the clean snapshot per circuit
+/// (programs are a few small tensors, and copy-assignment reuses the
+/// buffers) and fans circuits out over the process-wide pool; the graph
+/// path mutates the shared model under a ScopedFault, so it runs circuits
 /// serially. Results are index-ordered either way.
 CellResult evaluate_cell(core::SequenceClassifier& model,
                          const std::optional<infer::Engine>& engine,
+                         util::WorkspacePool<CellWorkspace>& workspaces,
                          const data::Split& split, const FaultSpec& fault,
                          const NoiseSpec& noise, const CampaignConfig& config,
                          double fault_severity, double noise_severity,
@@ -58,10 +70,12 @@ CellResult evaluate_cell(core::SequenceClassifier& model,
     util::Rng var_rng(var_seeds[c]);
     ad::Tensor logits;
     if (engine) {
-      infer::Engine faulty = *engine;
-      apply_faults(faulty, mask);
-      infer::Plan plan = faulty.make_plan();
-      logits = faulty.predict(plan, x, config.variation, var_rng);
+      auto ws = workspaces.acquire([&] {
+        return CellWorkspace{*engine, engine->make_plan()};
+      });
+      ws->engine = *engine;  // back to the clean snapshot
+      apply_faults(ws->engine, mask);
+      logits = ws->engine.predict(ws->plan, x, config.variation, var_rng);
     } else {
       const ScopedFault scoped(model, mask);
       logits = model.predict(x, config.variation, var_rng);
@@ -190,6 +204,9 @@ RobustnessReport run_campaign(core::SequenceClassifier& model,
 
   std::optional<infer::Engine> engine;
   if (config.use_engine) engine = infer::Engine::try_compile(model);
+  // One workspace pool for the whole grid: per-worker engine copies and
+  // plans persist across cells instead of being rebuilt each round.
+  util::WorkspacePool<CellWorkspace> workspaces;
 
   RobustnessReport report;
   report.model = model.name();
@@ -202,14 +219,15 @@ RobustnessReport run_campaign(core::SequenceClassifier& model,
   // derivation, so a grid that contains (0, 0) reproduces this accuracy
   // exactly.
   const CellResult clean =
-      evaluate_cell(model, engine, split, fault.scaled(0.0), noise.scaled(0.0),
-                    config, 0.0, 0.0, /*pass_threshold=*/0.0);
+      evaluate_cell(model, engine, workspaces, split, fault.scaled(0.0),
+                    noise.scaled(0.0), config, 0.0, 0.0,
+                    /*pass_threshold=*/0.0);
   report.clean_accuracy = clean.stats.mean_accuracy;
   report.failure_threshold = config.failure_fraction * report.clean_accuracy;
 
   for (const double fs : config.fault_severities) {
     for (const double ns : config.noise_severities) {
-      report.cells.push_back(evaluate_cell(model, engine, split,
+      report.cells.push_back(evaluate_cell(model, engine, workspaces, split,
                                            fault.scaled(fs), noise.scaled(ns),
                                            config, fs, ns,
                                            report.failure_threshold));

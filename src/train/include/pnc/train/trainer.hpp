@@ -12,6 +12,7 @@
 #include "pnc/reliability/noise.hpp"
 #include "pnc/train/optimizer.hpp"
 #include "pnc/util/thread_pool.hpp"
+#include "pnc/util/workspace_pool.hpp"
 
 namespace pnc::train {
 
@@ -131,6 +132,15 @@ double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
                     bool backward, double grad_scale = 1.0,
                     ad::GradSink* sink = nullptr);
 
+/// forward_loss on a caller-provided tape. The graph is cleared on entry,
+/// so a recycled graph (node capacity warm from earlier rounds) produces
+/// the same result as a fresh one.
+double forward_loss(ad::Graph& g, core::SequenceClassifier& model,
+                    const data::Split& batch,
+                    const variation::VariationSpec& spec, util::Rng& rng,
+                    bool backward, double grad_scale = 1.0,
+                    ad::GradSink* sink = nullptr);
+
 /// One Monte-Carlo gradient round (Eq. (13)): `seeds.size()` independent
 /// forward/backward passes fanned out over `pool`, one RNG stream and one
 /// gradient buffer per sample, reduced into Parameter::grad in sample
@@ -146,13 +156,19 @@ double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
 /// serially whenever component faults are in play, because ScopedFault
 /// stamps the shared model's parameter tensors in place. Either way the
 /// result is independent of the pool size.
+///
+/// `graphs`, when given, recycles autodiff tapes across samples and across
+/// rounds (train() holds one pool for the whole run), so per-sample graph
+/// construction stops allocating once the node capacity is warm. Results
+/// are unchanged: each use clears the tape first.
 double monte_carlo_round(core::SequenceClassifier& model,
                          const data::Split& batch,
                          const variation::VariationSpec& spec,
                          const std::vector<std::uint64_t>& seeds,
                          util::ThreadPool& pool,
                          std::vector<ad::GradSink>& sinks,
-                         const FantConfig* fant = nullptr);
+                         const FantConfig* fant = nullptr,
+                         util::WorkspacePool<ad::Graph>* graphs = nullptr);
 
 /// Full-batch training loop implementing the paper's objective (Eq. (14)):
 /// AdamW, plateau LR halving, stop below min_lr, Monte-Carlo variation

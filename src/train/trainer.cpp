@@ -29,6 +29,14 @@ double forward_loss(core::SequenceClassifier& model, const data::Split& batch,
                     const variation::VariationSpec& spec, util::Rng& rng,
                     bool backward, double grad_scale, ad::GradSink* sink) {
   ad::Graph g;
+  return forward_loss(g, model, batch, spec, rng, backward, grad_scale, sink);
+}
+
+double forward_loss(ad::Graph& g, core::SequenceClassifier& model,
+                    const data::Split& batch,
+                    const variation::VariationSpec& spec, util::Rng& rng,
+                    bool backward, double grad_scale, ad::GradSink* sink) {
+  g.clear();
   g.set_grad_sink(sink);
   const ad::Var logits = model.forward(g, batch.inputs, spec, rng);
   ad::Var loss = ad::softmax_cross_entropy(logits, batch.labels);
@@ -47,7 +55,8 @@ double monte_carlo_round(core::SequenceClassifier& model,
                          const std::vector<std::uint64_t>& seeds,
                          util::ThreadPool& pool,
                          std::vector<ad::GradSink>& sinks,
-                         const FantConfig* fant) {
+                         const FantConfig* fant,
+                         util::WorkspacePool<ad::Graph>* graphs) {
   const std::size_t mc = seeds.size();
   if (sinks.size() < mc) {
     throw std::invalid_argument("monte_carlo_round: need one sink per seed");
@@ -86,16 +95,24 @@ double monte_carlo_round(core::SequenceClassifier& model,
       sample_batch = &corrupted;
     }
 
+    // Recycled tape when the caller holds a graph pool; fresh otherwise.
+    const auto run_pass = [&](const data::Split& b) {
+      if (graphs != nullptr) {
+        auto g = graphs->acquire([] { return std::make_unique<ad::Graph>(); });
+        return forward_loss(*g, model, b, spec, sample_rng,
+                            /*backward=*/true, grad_scale, &sinks[s]);
+      }
+      return forward_loss(model, b, spec, sample_rng,
+                          /*backward=*/true, grad_scale, &sinks[s]);
+    };
     if (mask.faults.empty()) {
-      losses[s] = forward_loss(model, *sample_batch, spec, sample_rng,
-                               /*backward=*/true, grad_scale, &sinks[s]);
+      losses[s] = run_pass(*sample_batch);
     } else {
       // Stamp the defects into the shared model for this sample's passes:
       // the gradients are taken on the defective circuit, which is what
       // teaches the surviving components to compensate.
       const reliability::ScopedFault scoped(model, mask);
-      losses[s] = forward_loss(model, *sample_batch, spec, sample_rng,
-                               /*backward=*/true, grad_scale, &sinks[s]);
+      losses[s] = run_pass(*sample_batch);
     }
   };
   if (fant_faults) {
@@ -127,12 +144,16 @@ double evaluate_accuracy(core::SequenceClassifier& model,
   // bit-compatible with model.predict, so the estimate is unchanged.
   // Unknown model types keep the graph path.
   const std::optional<infer::Engine> engine = infer::Engine::try_compile(model);
+  // Plans (stamped tensors + shard scratch) are leased from a pool instead
+  // of rebuilt per repeat: at most pool-size plans exist and every predict
+  // re-stamps whichever it gets, so reuse cannot change the estimate.
+  util::WorkspacePool<infer::Plan> plans;
   util::global_pool().parallel_for(n, [&](std::size_t i) {
     util::Rng repeat_rng(seeds[i]);
     ad::Tensor logits;
     if (engine) {
-      infer::Plan plan = engine->make_plan();
-      logits = engine->predict(plan, split.inputs, spec, repeat_rng);
+      auto plan = plans.acquire([&] { return engine->make_plan(); });
+      logits = engine->predict(*plan, split.inputs, spec, repeat_rng);
     } else {
       logits = model.predict(split.inputs, spec, repeat_rng);
     }
@@ -211,6 +232,11 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
   for (std::size_t s = 0; s < mc; ++s) sinks.emplace_back(params);
   std::vector<std::uint64_t> sample_seeds(mc);
 
+  // Per-worker autodiff tapes, recycled across samples and epochs (the
+  // tape keeps its node capacity over clear(), so steady-state epochs
+  // stop allocating graph storage).
+  util::WorkspacePool<ad::Graph> graph_pool;
+
   TrainResult result;
   int epoch = 0;
   bool stopped = false;
@@ -260,7 +286,8 @@ TrainResult train(core::SequenceClassifier& model, const data::Dataset& data,
     bool step_failed = false;
     try {
       train_loss = monte_carlo_round(model, *batch, config.train_variation,
-                                     sample_seeds, pool, sinks, fant);
+                                     sample_seeds, pool, sinks, fant,
+                                     &graph_pool);
       optimizer.step();
     } catch (const NonFiniteGradientError&) {
       // The optimizer rejected the round before touching any weight; the

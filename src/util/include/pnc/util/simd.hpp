@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define PNC_SIMD_AVX2 1
+#else
+#define PNC_SIMD_AVX2 0
+#endif
+
+namespace pnc::simd {
+
+/// SIMD lane-layout rule (DESIGN.md §10): kernels vectorize only along
+/// elementwise axes (batch rows x channels), and every lane executes the
+/// *identical* scalar operation sequence — a multiply instruction then an
+/// add instruction, never a fused multiply-add, and std::tanh applied per
+/// lane. IEEE-754 arithmetic is deterministic per operation, so the AVX2
+/// and scalar paths produce bit-identical results; the engine↔graph
+/// logit-parity tests (diff 0) hold with either path. Reductions (dot
+/// products, running sums) are never vectorized: they would reassociate
+/// rounding.
+
+/// True when the AVX2 kernels are compiled in, the CPU reports AVX2, and
+/// PNC_SIMD is not set to "0" (the env knob exists so a scalar reference
+/// run never needs a rebuild). Decided once per process.
+inline bool enabled() {
+#if PNC_SIMD_AVX2
+  static const bool on = [] {
+    if (const char* env = std::getenv("PNC_SIMD")) {
+      if (std::strcmp(env, "0") == 0) return false;
+    }
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return true;
+#endif
+  }();
+  return on;
+#else
+  return false;
+#endif
+}
+
+/// Dispatch label for bench reports: "avx2" or "scalar".
+inline const char* kind() { return enabled() ? "avx2" : "scalar"; }
+
+/// dst[j] = dst[j] + a * src[j] — the axpy core of every matmul kernel.
+/// One mul, one add per element, matching the scalar loop exactly.
+inline void axpy(double* dst, double a, const double* src, std::size_t n) {
+  std::size_t j = 0;
+#if PNC_SIMD_AVX2
+  if (enabled()) {
+    const __m256d va = _mm256_set1_pd(a);
+    for (; j + 4 <= n; j += 4) {
+      const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(src + j));
+      _mm256_storeu_pd(dst + j,
+                       _mm256_add_pd(_mm256_loadu_pd(dst + j), prod));
+    }
+  }
+#endif
+  for (; j < n; ++j) dst[j] = dst[j] + a * src[j];
+}
+
+/// dst[j] = dst[j] + src[j] — bias adds and the read-out integrator.
+inline void add(double* dst, const double* src, std::size_t n) {
+  std::size_t j = 0;
+#if PNC_SIMD_AVX2
+  if (enabled()) {
+    for (; j + 4 <= n; j += 4) {
+      _mm256_storeu_pd(dst + j, _mm256_add_pd(_mm256_loadu_pd(dst + j),
+                                              _mm256_loadu_pd(src + j)));
+    }
+  }
+#endif
+  for (; j < n; ++j) dst[j] = dst[j] + src[j];
+}
+
+/// dst[j] = a * src[j] — the final logits scaling.
+inline void scale(double* dst, double a, const double* src, std::size_t n) {
+  std::size_t j = 0;
+#if PNC_SIMD_AVX2
+  if (enabled()) {
+    const __m256d va = _mm256_set1_pd(a);
+    for (; j + 4 <= n; j += 4) {
+      _mm256_storeu_pd(dst + j, _mm256_mul_pd(va, _mm256_loadu_pd(src + j)));
+    }
+  }
+#endif
+  for (; j < n; ++j) dst[j] = a * src[j];
+}
+
+/// s[j] = a[j]*s[j] + b[j]*y[j] — one learnable-filter state update.
+/// Both products round before the add, exactly as the two mul nodes and
+/// one add node on the autodiff tape.
+inline void filter_step(double* s, const double* a, const double* b,
+                        const double* y, std::size_t n) {
+  std::size_t j = 0;
+#if PNC_SIMD_AVX2
+  if (enabled()) {
+    for (; j + 4 <= n; j += 4) {
+      const __m256d p =
+          _mm256_mul_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(s + j));
+      const __m256d q =
+          _mm256_mul_pd(_mm256_loadu_pd(b + j), _mm256_loadu_pd(y + j));
+      _mm256_storeu_pd(s + j, _mm256_add_pd(p, q));
+    }
+  }
+#endif
+  for (; j < n; ++j) {
+    const double p = a[j] * s[j];
+    const double q = b[j] * y[j];
+    s[j] = p + q;
+  }
+}
+
+/// z[j] = e1[j] + e2[j] * tanh((f[j] - e3[j]) * e4[j]) — the printed-tanh
+/// activation. The surrounding sub/mul/add vectorize; tanh itself is
+/// evaluated with std::tanh per lane (libm carries no 4-wide tanh that
+/// matches scalar rounding), keeping every lane's sequence identical to
+/// the graph ops.
+inline void ptanh(double* z, const double* f, const double* e1,
+                  const double* e2, const double* e3, const double* e4,
+                  std::size_t n) {
+  std::size_t j = 0;
+#if PNC_SIMD_AVX2
+  if (enabled()) {
+    for (; j + 4 <= n; j += 4) {
+      const __m256d shifted =
+          _mm256_sub_pd(_mm256_loadu_pd(f + j), _mm256_loadu_pd(e3 + j));
+      const __m256d gained = _mm256_mul_pd(shifted, _mm256_loadu_pd(e4 + j));
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, gained);
+      lanes[0] = std::tanh(lanes[0]);
+      lanes[1] = std::tanh(lanes[1]);
+      lanes[2] = std::tanh(lanes[2]);
+      lanes[3] = std::tanh(lanes[3]);
+      const __m256d act =
+          _mm256_mul_pd(_mm256_loadu_pd(e2 + j), _mm256_load_pd(lanes));
+      _mm256_storeu_pd(z + j, _mm256_add_pd(_mm256_loadu_pd(e1 + j), act));
+    }
+  }
+#endif
+  for (; j < n; ++j) {
+    const double shifted = f[j] - e3[j];
+    const double gained = shifted * e4[j];
+    const double act = e2[j] * std::tanh(gained);
+    z[j] = e1[j] + act;
+  }
+}
+
+/// y[j] = 0.0 + x * w[j], or 0.0 when x == 0 — the univariate crossbar
+/// outer product. Replicates the matmul kernel's zero-skip: the `0.0 +`
+/// is kept so an x*w[j] of -0.0 still lands as +0.0, as it does when the
+/// scalar kernel skips the accumulation.
+inline void outer_scale(double* y, double x, const double* w, std::size_t n) {
+  if (x == 0.0) {
+    for (std::size_t j = 0; j < n; ++j) y[j] = 0.0;
+    return;
+  }
+  std::size_t j = 0;
+#if PNC_SIMD_AVX2
+  if (enabled()) {
+    const __m256d vx = _mm256_set1_pd(x);
+    const __m256d zero = _mm256_setzero_pd();
+    for (; j + 4 <= n; j += 4) {
+      const __m256d prod = _mm256_mul_pd(vx, _mm256_loadu_pd(w + j));
+      _mm256_storeu_pd(y + j, _mm256_add_pd(zero, prod));
+    }
+  }
+#endif
+  for (; j < n; ++j) y[j] = 0.0 + x * w[j];
+}
+
+}  // namespace pnc::simd

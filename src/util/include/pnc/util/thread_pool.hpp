@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -22,14 +24,23 @@ std::size_t hardware_threads();
 /// `parallel_for(n, fn)` runs fn(0..n-1) across the pool with the calling
 /// thread participating, and blocks until every index has finished.
 ///
+/// Scheduling is chunked: participants claim contiguous index ranges off
+/// a lock-free cursor (one atomic compare-exchange per chunk, not one
+/// mutex round-trip per index), so the per-index synchronization cost is
+/// amortized by the chunk size. The chunk size defaults to
+/// `default_chunk(n, size())` and can be pinned per call for tests.
+///
 /// Guarantees:
 ///  * Work assignment is dynamic, but callers that make per-index results
 ///    depend only on the index (e.g. pre-drawn RNG seeds) and reduce in
-///    index order get bit-identical results for any pool size.
+///    index order get bit-identical results for any pool size *and any
+///    chunk size*: every index runs exactly once and chunking only
+///    changes which thread runs it.
 ///  * Nested calls are safe: a parallel_for issued from inside a worker
 ///    runs serially inline instead of deadlocking on the shared queue.
 ///  * Exceptions thrown by fn are captured; the first one is rethrown on
-///    the calling thread after all indices have been drained.
+///    the calling thread after all indices have been drained (remaining
+///    chunks are claimed but their bodies are skipped).
 class ThreadPool {
  public:
   /// `threads` is the total parallelism including the caller: the pool
@@ -45,30 +56,55 @@ class ThreadPool {
 
   /// Run fn(i) for every i in [0, n). Blocks until all complete. Only one
   /// parallel_for may be active per pool at a time (the call is blocking,
-  /// so this only matters across threads sharing one pool).
+  /// so this only matters across threads sharing one pool); a second
+  /// concurrent external caller runs its loop serially instead.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for with an explicit chunk size (indices are claimed in
+  /// contiguous runs of `chunk`). 0 means default_chunk(n, size()).
+  /// Exposed so the determinism tests can sweep chunk sizes; results are
+  /// identical for every chunk choice.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunk size used when none is given: coarse enough that claiming is a
+  /// negligible fraction of the work (a handful of claims per thread),
+  /// fine enough that dynamic load balancing still works.
+  static std::size_t default_chunk(std::size_t n, std::size_t threads);
 
   /// True when called from inside any ThreadPool worker thread.
   static bool on_worker_thread();
 
  private:
   void worker_main();
-  void run_indices(std::uint64_t gen,
-                   const std::function<void(std::size_t)>& fn);
+  void run_chunks(std::uint64_t gen, const std::function<void(std::size_t)>& fn,
+                  std::size_t n, std::size_t chunk);
 
   std::vector<std::thread> workers_;
 
   std::mutex owner_mutex_;  // serializes external parallel_for callers
-  std::mutex mutex_;
+  std::mutex mutex_;        // protects job publication + cv predicates
   std::condition_variable cv_work_;   // workers: a new job was published
   std::condition_variable cv_done_;   // caller: all indices finished
   std::uint64_t generation_ = 0;      // bumped per parallel_for
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   std::size_t job_n_ = 0;
-  std::size_t job_next_ = 0;          // next unclaimed index
-  std::size_t job_done_ = 0;          // indices finished
+  std::size_t job_chunk_ = 1;
   std::exception_ptr job_error_;
   bool stop_ = false;
+
+  // Hot per-job counters, each on its own cache line so chunk claiming
+  // (cursor_), completion counting (done_) and the error flag never
+  // false-share with one another or with the cold fields above.
+  //
+  // cursor_ packs (generation << 32) | next_index: a worker that overslept
+  // its wakeup fails the generation check inside its compare-exchange and
+  // retires without touching the live job's indices. Claims are CAS, not
+  // fetch_add, so a stale participant can never advance a newer job's
+  // cursor. Limits n to 2^32-1 per call (the serial fallback covers more).
+  alignas(64) std::atomic<std::uint64_t> cursor_{0};
+  alignas(64) std::atomic<std::size_t> done_{0};
+  alignas(64) std::atomic<bool> failed_{false};
 };
 
 /// Process-wide pool sized by hardware_threads(), created on first use.

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pnc::util {
+
+/// Recycling pool of per-worker scratch objects for parallel fan-outs.
+///
+/// The Monte-Carlo call sites (estimate_yield, evaluate_accuracy,
+/// run_campaign) used to construct a fresh workspace — an infer::Plan with
+/// all its stamped tensors and shard buffers — inside every loop body.
+/// Under the chunked scheduler that allocation churn is the dominant
+/// per-index overhead. A WorkspacePool hands each participant an existing
+/// workspace (or makes one on first use) and takes it back when the lease
+/// goes out of scope, so at most pool-size workspaces ever exist and their
+/// buffers stay warm across indices *and across rounds*.
+///
+/// Thread safety: acquire/release take a mutex, one lock each per lease —
+/// negligible next to a circuit evaluation. The objects themselves are
+/// handed out exclusively, so T needs no synchronization of its own.
+/// Determinism: workspaces carry only scratch state that every use fully
+/// overwrites (plans are re-stamped, buffers re-sized), so which physical
+/// workspace an index gets cannot affect results.
+template <class T>
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<T> obj)
+        : pool_(pool), obj_(std::move(obj)) {}
+    ~Lease() {
+      if (obj_) pool_->release(std::move(obj_));
+    }
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    T& operator*() { return *obj_; }
+    T* operator->() { return obj_.get(); }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<T> obj_;
+  };
+
+  /// Lease a workspace, constructing one with `make()` only when the free
+  /// list is empty. The factory may return T (moved into the pool) or
+  /// std::unique_ptr<T> (for non-movable types like ad::Graph).
+  template <class Factory>
+  Lease acquire(Factory&& make) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> obj = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(obj));
+      }
+    }
+    if constexpr (std::is_convertible_v<decltype(make()),
+                                        std::unique_ptr<T>>) {
+      return Lease(this, std::unique_ptr<T>(std::forward<Factory>(make)()));
+    } else {
+      return Lease(this, std::make_unique<T>(std::forward<Factory>(make)()));
+    }
+  }
+
+  /// Workspaces currently parked in the free list (for tests).
+  std::size_t idle_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  void release(std::unique_ptr<T> obj) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(obj));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+}  // namespace pnc::util

@@ -1,6 +1,8 @@
 #include "pnc/util/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 namespace pnc::util {
@@ -12,6 +14,8 @@ thread_local bool tls_is_worker = false;
 // calls — same pool or another — run serially inline instead of
 // publishing over a live job or oversubscribing the machine.
 thread_local int tls_parallel_depth = 0;
+
+constexpr std::uint64_t kIndexMask = 0xffffffffULL;
 }  // namespace
 
 std::size_t hardware_threads() {
@@ -44,63 +48,94 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker_thread() { return tls_is_worker; }
 
+std::size_t ThreadPool::default_chunk(std::size_t n, std::size_t threads) {
+  if (threads <= 1) return n == 0 ? 1 : n;
+  // ~8 claims per participant: one CAS per chunk is then noise relative
+  // to the loop bodies, while uneven per-index cost can still rebalance.
+  return std::max<std::size_t>(1, n / (threads * 8));
+}
+
 void ThreadPool::worker_main() {
   tls_is_worker = true;
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 1;
     {
+      // The job snapshot is taken under the lock: the publisher wrote it
+      // under the same lock before bumping generation_, so the fields are
+      // never read while being written. Staleness (this worker waking
+      // after the job it saw has drained) is handled by the generation
+      // tag inside cursor_, not by holding the lock across the loop.
       std::unique_lock<std::mutex> lock(mutex_);
       cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
       fn = job_fn_;
+      n = job_n_;
+      chunk = job_chunk_;
     }
-    run_indices(seen, *fn);
+    run_chunks(seen, *fn, n, chunk);
   }
 }
 
-void ThreadPool::run_indices(std::uint64_t gen,
-                             const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_chunks(std::uint64_t gen,
+                            const std::function<void(std::size_t)>& fn,
+                            std::size_t n, std::size_t chunk) {
+  const std::uint64_t tag = (gen & kIndexMask) << 32;
+
+  std::uint64_t cur = cursor_.load(std::memory_order_acquire);
   for (;;) {
-    std::size_t index;
-    std::size_t n;
-    bool skip;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      // A worker that overslept its generation must not touch the current
-      // job: claims are only valid while `gen` is still the live job.
-      if (generation_ != gen || job_next_ >= job_n_) return;
-      index = job_next_++;
-      n = job_n_;
-      skip = job_error_ != nullptr;
+    if ((cur & ~kIndexMask) != tag) return;  // overslept: job already gone
+    const std::size_t begin = static_cast<std::size_t>(cur & kIndexMask);
+    if (begin >= n) return;  // drained
+    const std::size_t end = std::min(begin + chunk, n);
+    if (!cursor_.compare_exchange_weak(cur, tag | end,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      continue;  // lost the race; cur was reloaded
     }
-    // After a failure, remaining indices are claimed but skipped so the
-    // caller unblocks promptly with the first error.
-    if (!skip) {
+    // After a failure, remaining chunks (and the rest of a chunk whose
+    // own body threw) are claimed but skipped, so the caller unblocks
+    // promptly with the first error.
+    if (!failed_.load(std::memory_order_relaxed)) {
       ++tls_parallel_depth;
-      try {
-        fn(index);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!job_error_) job_error_ = std::current_exception();
+      for (std::size_t i = begin; i < end; ++i) {
+        if (failed_.load(std::memory_order_relaxed)) break;
+        try {
+          fn(i);
+        } catch (...) {
+          failed_.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (!job_error_) job_error_ = std::current_exception();
+        }
       }
       --tls_parallel_depth;
     }
-    {
-      // The generation cannot advance while this claimed index is
-      // outstanding: the caller returns only once job_done_ == job_n_.
+    if (done_.fetch_add(end - begin, std::memory_order_acq_rel) +
+            (end - begin) ==
+        n) {
+      // Last chunk in. Take the lock while notifying so the caller either
+      // sees the final count before sleeping or is woken after.
       std::lock_guard<std::mutex> lock(mutex_);
-      if (++job_done_ == n) cv_done_.notify_all();
+      cv_done_.notify_all();
+      return;
     }
+    cur = cursor_.load(std::memory_order_acquire);
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, 0, fn);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
+                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || tls_parallel_depth > 0 ||
-      on_worker_thread()) {
+      on_worker_thread() || n > kIndexMask) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -111,22 +146,29 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  if (chunk == 0) chunk = default_chunk(n, size());
   std::uint64_t gen;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     gen = ++generation_;
     job_fn_ = &fn;
     job_n_ = n;
-    job_next_ = 0;
-    job_done_ = 0;
+    job_chunk_ = chunk;
     job_error_ = nullptr;
+    done_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    // Publishing the new generation tag in cursor_ is what opens the job
+    // for claiming; it must happen after every other field is in place.
+    cursor_.store((gen & kIndexMask) << 32, std::memory_order_release);
   }
   cv_work_.notify_all();
-  run_indices(gen, fn);
+  run_chunks(gen, fn, n, chunk);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return job_done_ == job_n_; });
+    cv_done_.wait(lock, [&] {
+      return done_.load(std::memory_order_acquire) == job_n_;
+    });
     job_fn_ = nullptr;
     error = job_error_;
   }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "pnc/autodiff/ops.hpp"
 
 namespace pnc::ad {
@@ -110,9 +112,25 @@ TEST(GradSink, RedirectsAccumulationAwayFromParameter) {
   // The parameter grad stays untouched; the sink buffer holds 2w = 6.
   EXPECT_DOUBLE_EQ(p.grad.item(), 0.0);
   ASSERT_NE(sink.find(&p), nullptr);
-  EXPECT_DOUBLE_EQ(sink.find(&p)->item(), 6.0);
+  EXPECT_DOUBLE_EQ(sink.find(&p)[0], 6.0);
   sink.reduce_into_params();
   EXPECT_DOUBLE_EQ(p.grad.item(), 6.0);
+}
+
+TEST(GradSink, BuffersAreCacheLineAligned) {
+  // Concurrent Monte-Carlo samples each write their own sink; the arena
+  // pads every parameter slice to a 64-byte boundary so two sinks (or two
+  // parameters) never false-share a cache line.
+  Parameter a("a", Tensor(1, 3));   // 24 bytes — would straddle unpadded
+  Parameter b("b", Tensor(2, 5));
+  GradSink first({&a, &b});
+  GradSink second({&a, &b});
+  for (GradSink* sink : {&first, &second}) {
+    for (Parameter* p : {&a, &b}) {
+      const auto addr = reinterpret_cast<std::uintptr_t>(sink->find(p));
+      EXPECT_EQ(addr % 64, 0u) << p->name;
+    }
+  }
 }
 
 TEST(GradSink, ClearReusesBuffersAcrossRounds) {
@@ -124,7 +142,7 @@ TEST(GradSink, ClearReusesBuffersAcrossRounds) {
     g.set_grad_sink(&sink);
     Var w = g.leaf(p);
     g.backward(mul(w, w));
-    EXPECT_DOUBLE_EQ(sink.find(&p)->item(), 4.0) << round;
+    EXPECT_DOUBLE_EQ(sink.find(&p)[0], 4.0) << round;
     sink.reduce_into_params();
   }
   EXPECT_DOUBLE_EQ(p.grad.item(), 12.0);  // three rounds of 4
@@ -139,7 +157,7 @@ TEST(GradSink, UncoveredParameterFallsThroughToGrad) {
   g.set_grad_sink(&sink);
   Var loss = mul(g.leaf(covered), g.leaf(outside));  // d/da = b, d/db = a
   g.backward(loss);
-  EXPECT_DOUBLE_EQ(sink.find(&covered)->item(), 3.0);
+  EXPECT_DOUBLE_EQ(sink.find(&covered)[0], 3.0);
   EXPECT_DOUBLE_EQ(covered.grad.item(), 0.0);
   EXPECT_DOUBLE_EQ(outside.grad.item(), 2.0);  // fell through directly
 }

@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "pnc/util/workspace_pool.hpp"
 
 namespace pnc::util {
 namespace {
@@ -91,6 +96,109 @@ TEST(ThreadPool, ZeroCountIsNoop) {
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&global_pool(), &global_pool());
   EXPECT_GE(global_pool().size(), 1u);
+}
+
+TEST(ThreadPool, DefaultChunkIsSaneAcrossSizes) {
+  EXPECT_EQ(ThreadPool::default_chunk(0, 1), 1u);
+  EXPECT_EQ(ThreadPool::default_chunk(100, 1), 100u);  // serial: one run
+  EXPECT_GE(ThreadPool::default_chunk(3, 16), 1u);     // never zero
+  // Coarse but load-balanced: several claims per thread for big n.
+  const std::size_t chunk = ThreadPool::default_chunk(100000, 4);
+  EXPECT_GE(chunk, 1u);
+  EXPECT_LE(chunk * 4, 100000u);
+}
+
+TEST(ThreadPool, ResultsBitIdenticalAcrossChunkSizesAndThreads) {
+  // Per-index work is a pure function of the index; the fixed-index-order
+  // reduction must give bit-identical doubles for every (threads, chunk)
+  // combination — the determinism contract the trainer relies on.
+  const std::size_t n = 257;  // not a multiple of any chunk below
+  auto run = [&](std::size_t threads, std::size_t chunk) {
+    ThreadPool pool(threads);
+    std::vector<double> values(n, 0.0);
+    pool.parallel_for(n, chunk, [&](std::size_t i) {
+      const double x = 0.1 * static_cast<double>(i + 1);
+      values[i] = std::sin(x) / (x + 0.25);
+    });
+    double sum = 0.0;
+    for (const double v : values) sum += v;  // fixed order
+    return sum;
+  };
+  const double reference = run(1, 1);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{16}}) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{0}}) {  // 0 = default
+      const double got = run(threads, chunk);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+                std::bit_cast<std::uint64_t>(reference))
+          << "threads=" << threads << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(ThreadPool, ExplicitChunkNestedCallRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(12);
+  pool.parallel_for(4, 1, [&](std::size_t outer) {
+    pool.parallel_for(3, 2, [&](std::size_t inner) {
+      counts[outer * 3 + inner].fetch_add(1);
+    });
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, MidChunkThrowSkipsRestOfChunkAndPropagates) {
+  ThreadPool pool(4);
+  std::atomic<int> after_throw_in_chunk{0};
+  std::atomic<bool> threw{false};
+  // chunk=7 over n=50: index 10 sits mid-chunk ([7,14)); once it throws,
+  // the rest of that chunk must be skipped, and the first error must
+  // surface on the caller after the round drains.
+  EXPECT_THROW(
+      pool.parallel_for(50, 7,
+                        [&](std::size_t i) {
+                          if (i == 10) {
+                            threw.store(true);
+                            throw std::runtime_error("mid-chunk boom");
+                          }
+                          if (threw.load() && i > 10 && i < 14) {
+                            after_throw_in_chunk.fetch_add(1);
+                          }
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(after_throw_in_chunk.load(), 0);
+  // Pool stays healthy for the next round.
+  std::atomic<int> sum{0};
+  pool.parallel_for(9, 4, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 36);
+}
+
+TEST(ThreadPool, LargeRoundWithTinyChunksCoversEveryIndex) {
+  ThreadPool pool(16);
+  const std::size_t n = 5000;
+  std::vector<std::atomic<int>> counts(n);
+  pool.parallel_for(n, 1, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolWorkspacePool, LeasesAreExclusiveAndRecycled) {
+  WorkspacePool<std::vector<int>> pool;
+  {
+    auto a = pool.acquire([] { return std::vector<int>(8, 1); });
+    auto b = pool.acquire([] { return std::vector<int>(8, 2); });
+    EXPECT_NE(&*a, &*b);  // concurrent leases never alias
+    EXPECT_EQ(pool.idle_count(), 0u);
+  }
+  EXPECT_EQ(pool.idle_count(), 2u);  // both returned on scope exit
+  {
+    auto c = pool.acquire([] { return std::vector<int>(); });
+    EXPECT_EQ(c->size(), 8u);  // recycled, not rebuilt
+    EXPECT_EQ(pool.idle_count(), 1u);
+  }
+  EXPECT_EQ(pool.idle_count(), 2u);
 }
 
 }  // namespace
