@@ -1,6 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,6 +33,27 @@ namespace pnc::bench {
 inline bool quick_mode() {
   const char* env = std::getenv("PNC_QUICK");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// Percentiles of `values` (copied, then sorted) at the requested points
+/// `ps` (each in [0, 100]), with linear interpolation between adjacent
+/// order statistics — the numpy default convention, so a latency p99
+/// printed here matches a notebook's np.percentile over the same samples.
+/// An empty sample yields all zeros.
+inline std::vector<double> percentiles(std::vector<double> values,
+                                       const std::vector<double>& ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double p = std::clamp(ps[i], 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    out[i] = values[lo] + frac * (values[hi] - values[lo]);
+  }
+  return out;
 }
 
 /// Shared training protocol for all table/figure harnesses.

@@ -277,6 +277,35 @@ void Engine::stamp(Plan& plan, const variation::VariationSpec& spec,
     stamp_block(blocks_[b], plan.blocks_[b], spec, rng, batch);
   }
   plan.batch_ = batch;  // the Elman program draws nothing
+  plan.broadcast_ = false;
+}
+
+void Engine::broadcast_batch(Plan& plan, std::size_t batch) const {
+  if (!plan.stamped()) {
+    throw std::logic_error("infer::broadcast_batch: plan is not stamped");
+  }
+  if (batch == 0) {
+    throw std::invalid_argument("infer::broadcast_batch: empty batch");
+  }
+  for (StampedBlock& sb : plan.blocks_) {
+    for (ad::Tensor* h0 : {&sb.h0_1, &sb.h0_2}) {
+      if (h0->empty()) continue;  // first-order blocks have no h0_2
+      const std::size_t ch = h0->cols();
+      // Grow-only: once the rows are replicas of row 0, a smaller batch
+      // just reads a prefix of them — no copying on re-broadcast.
+      if (!plan.broadcast_ || h0->rows() < batch) {
+        const std::vector<double> row0(h0->data().begin(),
+                                       h0->data().begin() + ch);
+        ensure_shape(*h0, std::max(batch, h0->rows()), ch);
+        double* d = h0->data().data();
+        for (std::size_t r = 0; r < h0->rows(); ++r) {
+          std::copy(row0.begin(), row0.end(), d + r * ch);
+        }
+      }
+    }
+  }
+  plan.batch_ = batch;
+  plan.broadcast_ = true;
 }
 
 void Engine::forward_rows(Plan& plan, const ad::Tensor& inputs,
@@ -303,29 +332,40 @@ void Engine::forward_rows(Plan& plan, const ad::Tensor& inputs,
     ensure_shape(p2, rows, h);
     s1.zero();
     s2.zero();
-    const std::span<const double> w_ih1 = prog.w_ih1.data();
-    const std::span<const double> b1 = prog.b1.data();
-    const std::span<const double> b2 = prog.b2.data();
+    const double* w_ih1 = prog.w_ih1.data().data();
+    const double* b1 = prog.b1.data().data();
+    const double* b2 = prog.b2.data().data();
+    const double* xd = inputs.data().data();
+    const std::size_t xstride = inputs.cols();
+    double* s1d = s1.data().data();
+    double* s2d = s2.data().data();
+    const double* p1d = p1.data().data();
+    const double* p2d = p2.data().data();
     for (std::size_t t = 0; t < steps; ++t) {
       // h1 = tanh((x_t·W_ih1 + h1·W_hh1) + b1); the x_t product replicates
       // the matmul kernel's zero-skip (a zero input leaves +0.0).
       ad::matmul_into(p1, s1, prog.w_hh1);
       for (std::size_t i = 0; i < rows; ++i) {
-        const double xv = inputs(row_begin + i, t);
+        const double xv = xd[(row_begin + i) * xstride + t];
+        double* s1r = s1d + i * h;
+        const double* p1r = p1d + i * h;
         for (std::size_t j = 0; j < h; ++j) {
           double u = 0.0;
           if (xv != 0.0) u += xv * w_ih1[j];
-          const double v = u + p1(i, j);
-          s1(i, j) = std::tanh(v + b1[j]);
+          const double v = u + p1r[j];
+          s1r[j] = std::tanh(v + b1[j]);
         }
       }
       // h2 = tanh((h1·W_ih2 + h2·W_hh2) + b2) with the *new* h1.
       ad::matmul_into(p1, s1, prog.w_ih2);
       ad::matmul_into(p2, s2, prog.w_hh2);
       for (std::size_t i = 0; i < rows; ++i) {
+        double* s2r = s2d + i * h;
+        const double* p1r = p1d + i * h;
+        const double* p2r = p2d + i * h;
         for (std::size_t j = 0; j < h; ++j) {
-          const double v = p1(i, j) + p2(i, j);
-          s2(i, j) = std::tanh(v + b2[j]);
+          const double v = p1r[j] + p2r[j];
+          s2r[j] = std::tanh(v + b2[j]);
         }
       }
     }

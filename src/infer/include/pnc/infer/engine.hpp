@@ -98,6 +98,7 @@ class Plan {
   };
 
   std::size_t batch_ = 0;              // batch size the stamp was drawn for
+  bool broadcast_ = false;             // h0 rows are replicas of row 0
   std::vector<StampedBlock> blocks_;   // empty for the Elman program
   std::vector<Workspace> shards_;
 };
@@ -125,6 +126,18 @@ class Engine {
   /// nothing.
   void stamp(Plan& plan, const variation::VariationSpec& spec, util::Rng& rng,
              std::size_t batch) const;
+
+  /// Re-shape an already stamped plan to serve forward batches of `batch`
+  /// rows on the *same* fabricated circuit: the per-row initial filter
+  /// states are replicated from the stamp's row 0, and no RNG is consumed.
+  /// Because every row then sees an identical circuit and identical
+  /// initial conditions — and forward() evaluates rows independently — a
+  /// request's logits are bit-identical no matter which batch shape it is
+  /// coalesced into. This is the serving contract: one checkpoint +
+  /// variation stamp behaves like one physical device, not a fresh
+  /// Monte-Carlo draw per batch. Throws std::logic_error on an unstamped
+  /// plan.
+  void broadcast_batch(Plan& plan, std::size_t batch) const;
 
   /// Forward the (batch x T) series batch through the stamped plan into
   /// `logits` (batch x classes), single-threaded. inputs.rows() must equal

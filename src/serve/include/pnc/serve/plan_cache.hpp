@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "pnc/infer/engine.hpp"
+#include "pnc/util/digest.hpp"
+#include "pnc/util/rng.hpp"
+#include "pnc/util/workspace_pool.hpp"
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::serve {
+
+/// Identity of one cached compiled model realization.
+///
+/// Two requests may share stamped plans only when they agree on all of:
+/// the checkpoint bytes (digest), the variation stamp stream (seed — one
+/// seed is one fabricated circuit), the model family, and the registry
+/// generation. The generation makes hot-reloaded revisions distinct even
+/// if a caller supplies a stale digest, so a reload can never serve plans
+/// stamped from the previous engine.
+struct PlanKey {
+  std::uint64_t checkpoint_digest = 0;
+  std::uint64_t variation_seed = 0;
+  std::uint64_t generation = 0;
+  std::string family;  // engine model_name(), e.g. "adapt_pnc"
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const {
+    std::uint64_t h = util::fnv1a64(&k.checkpoint_digest, sizeof(k.checkpoint_digest));
+    h = util::fnv1a64(&k.variation_seed, sizeof(k.variation_seed), h);
+    h = util::fnv1a64(&k.generation, sizeof(k.generation), h);
+    h = util::fnv1a64(k.family.data(), k.family.size(), h);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One cached model realization: the immutable engine plus a pool of
+/// variation-stamped plans leased by worker shards.
+///
+/// Every plan in the pool is stamped from a *fresh* Rng(variation_seed) at
+/// batch 1, then broadcast to each coalesced batch's row count — so all
+/// plans of an entry realize the same fabricated circuit and a request's
+/// logits cannot depend on which physical plan (or batch shape) served it.
+class PlanCacheEntry {
+ public:
+  PlanCacheEntry(std::shared_ptr<const infer::Engine> engine,
+                 variation::VariationSpec spec, std::uint64_t variation_seed)
+      : engine_(std::move(engine)),
+        spec_(std::move(spec)),
+        seed_(variation_seed) {}
+
+  const infer::Engine& engine() const { return *engine_; }
+
+  /// Lease a stamped plan sized for a `rows`-row forward batch.
+  util::WorkspacePool<infer::Plan>::Lease lease_plan(std::size_t rows) {
+    auto lease = pool_.acquire([this] {
+      infer::Plan plan = engine_->make_plan();
+      util::Rng rng(seed_);
+      engine_->stamp(plan, spec_, rng, 1);
+      return plan;
+    });
+    engine_->broadcast_batch(*lease, rows);
+    return lease;
+  }
+
+ private:
+  std::shared_ptr<const infer::Engine> engine_;
+  variation::VariationSpec spec_;
+  std::uint64_t seed_;
+  util::WorkspacePool<infer::Plan> pool_;
+};
+
+/// LRU cache of PlanCacheEntry, keyed by PlanKey.
+///
+/// Eviction drops the cache's reference only: a worker shard serving a
+/// batch holds its own shared_ptr, so in-flight requests complete on the
+/// evicted entry and its plans are freed when the last lease returns.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  using Factory = std::function<std::shared_ptr<PlanCacheEntry>()>;
+
+  /// Fetch the entry for `key`, creating it with `make` (and evicting the
+  /// least-recently-used entry past capacity) on a miss.
+  std::shared_ptr<PlanCacheEntry> get_or_create(const PlanKey& key,
+                                                const Factory& make) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = index_.find(key);
+    if (found != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, found->second);  // mark most recent
+      ++hits_;
+      return found->second->second;
+    }
+    ++misses_;
+    std::shared_ptr<PlanCacheEntry> entry = make();
+    lru_.emplace_front(key, entry);
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+    return entry;
+  }
+
+  bool contains(const PlanKey& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.count(key) > 0;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+  }
+
+  std::uint64_t hits() const { return locked(hits_); }
+  std::uint64_t misses() const { return locked(misses_); }
+  std::uint64_t evictions() const { return locked(evictions_); }
+
+ private:
+  std::uint64_t locked(const std::uint64_t& counter) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counter;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<std::pair<PlanKey, std::shared_ptr<PlanCacheEntry>>> lru_;
+  std::unordered_map<PlanKey, decltype(lru_)::iterator, PlanKeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace pnc::serve

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pnc::serve {
+
+/// Bounded multi-producer request queue with batch-coalescing consumers.
+///
+/// Producers (submit callers) push without ever blocking: a push against a
+/// full queue returns kFull so the caller can shed the request — admission
+/// control is the queue bound itself. Consumers (worker shards) pop
+/// *coalesced batches*: the oldest item fixes the batch key, then up to
+/// max_batch - 1 further items with the same key are gathered, waiting up
+/// to `deadline` for stragglers — whichever limit hits first dispatches
+/// the batch. Items with a different key keep their arrival order and stay
+/// queued for another shard.
+///
+/// The queue imposes no ordering *between* keys and batching never reorders
+/// items *within* a key, so a consumer that treats each item independently
+/// (the serving forward is row-independent) produces results that do not
+/// depend on batch shape or shard count.
+template <class Item, class Key>
+class CoalescingQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  using KeyFn = std::function<Key(const Item&)>;
+
+  /// `capacity` is the admission threshold (> 0).
+  explicit CoalescingQueue(std::size_t capacity, KeyFn key_of)
+      : capacity_(capacity), key_of_(std::move(key_of)) {}
+
+  /// On kFull / kClosed the item is left untouched, so the caller can
+  /// still deliver a shed/error response from it.
+  PushResult push(Item&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Pop one coalesced batch into `out` (cleared first). Blocks until an
+  /// item is available or the queue is closed *and* drained — the latter
+  /// returns false. `deadline` counts from the moment the batch head is
+  /// taken.
+  bool pop_batch(std::size_t max_batch, std::chrono::microseconds deadline,
+                 std::vector<Item>& out) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+
+    Item head = std::move(items_.front());
+    items_.pop_front();
+    const Key key = key_of_(head);
+    out.push_back(std::move(head));
+    take_matching(key, max_batch, out);
+
+    const auto wait_until = std::chrono::steady_clock::now() + deadline;
+    while (out.size() < max_batch && !closed_) {
+      if (cv_.wait_until(lock, wait_until) == std::cv_status::timeout) {
+        take_matching(key, max_batch, out);
+        break;
+      }
+      take_matching(key, max_batch, out);
+    }
+    lock.unlock();
+    // A gather may have consumed a notify that another consumer needed.
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Close the queue: pushes start failing, consumers drain what is left
+  /// and then see pop_batch return false.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  /// Move queued items matching `key` into `out` (arrival order) until
+  /// `out` holds max_batch items. Caller holds the lock.
+  void take_matching(const Key& key, std::size_t max_batch,
+                     std::vector<Item>& out) {
+    for (auto it = items_.begin();
+         it != items_.end() && out.size() < max_batch;) {
+      if (key_of_(*it) == key) {
+        out.push_back(std::move(*it));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const std::size_t capacity_;
+  const KeyFn key_of_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pnc::serve

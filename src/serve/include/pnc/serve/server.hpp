@@ -1,0 +1,131 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pnc/infer/engine.hpp"
+#include "pnc/serve/plan_cache.hpp"
+#include "pnc/serve/queue.hpp"
+#include "pnc/serve/types.hpp"
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::serve {
+
+/// Everything needed to serve one registered model revision.
+struct ModelConfig {
+  std::shared_ptr<const infer::Engine> engine;
+  std::uint64_t checkpoint_digest = 0;  ///< e.g. util::fnv1a64_file(path)
+  variation::VariationSpec variation = variation::VariationSpec::none();
+  std::uint64_t variation_seed = 0;     ///< one seed = one fabricated circuit
+};
+
+/// Persistent in-process inference server over infer::Engine.
+///
+/// Requests enter a bounded MPSC CoalescingQueue; `shards` worker threads
+/// pop dynamically coalesced batches (same model revision and series
+/// length, up to max_batch or the batch deadline) and forward them through
+/// plans leased from a shared LRU PlanCache. Admission control is the
+/// queue bound: a full queue sheds the request immediately (kShed) rather
+/// than queueing unbounded work.
+///
+/// Hot reload: load_model() on an existing id atomically swaps in a new
+/// revision with a fresh generation. Requests resolve their model revision
+/// at submit time and carry a shared_ptr to it, so in-flight requests
+/// complete on the engine they were admitted under while new submissions
+/// see the new one — no drain, no lock on the hot path's forward.
+///
+/// Determinism: plans are stamped once per revision from Rng(variation_seed)
+/// at batch 1 and broadcast to each batch's row count (see
+/// Engine::broadcast_batch), and the forward evaluates rows independently —
+/// so a request's logits are bit-identical to a direct single-request
+/// Engine call, for any shard count, arrival order, or coalesced shape.
+class Server {
+ public:
+  using Callback = std::function<void(Response)>;
+
+  explicit Server(ServerConfig config = {});
+  ~Server();  // stops and joins workers
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register (or hot-reload) a model under `id`. Returns the new
+  /// generation. Thread-safe; may be called while serving.
+  std::uint64_t load_model(const std::string& id, ModelConfig config);
+
+  /// Spawn the worker shards. Idempotent.
+  void start();
+
+  /// Close the queue, drain remaining requests, join workers. Idempotent;
+  /// called by the destructor.
+  void stop();
+
+  /// Submit a request. Returns kOk if admitted (the callback fires later,
+  /// possibly on a worker thread — it must be thread-safe and cheap) or
+  /// kShed / kError, in which case the callback has already been invoked
+  /// inline with the failure response.
+  Status submit(Request req, Callback done);
+
+  /// Blocking convenience: submit and wait for the response.
+  Response infer(Request req);
+
+  ServerStats stats() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  /// Immutable snapshot of one model revision; requests pin it via
+  /// shared_ptr so hot reload never invalidates in-flight work.
+  struct ModelState {
+    std::string id;
+    std::shared_ptr<const infer::Engine> engine;
+    variation::VariationSpec variation;
+    std::uint64_t variation_seed = 0;
+    std::uint64_t checkpoint_digest = 0;
+    std::uint64_t generation = 0;
+  };
+
+  /// One admitted request riding the queue.
+  struct Pending {
+    Request req;
+    Callback done;
+    std::shared_ptr<const ModelState> model;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  /// Coalescing key: same revision (pointer identity — a reload makes a
+  /// new ModelState) and same series length (rows of one forward tensor).
+  struct BatchKey {
+    const ModelState* model = nullptr;
+    std::size_t series_len = 0;
+    bool operator==(const BatchKey&) const = default;
+  };
+
+  void worker_loop();
+  void serve_batch(std::vector<Pending>& batch);
+  void fail(Pending& pending, Status status, const std::string& message);
+
+  ServerConfig config_;
+  PlanCache plan_cache_;
+  CoalescingQueue<Pending, BatchKey> queue_;
+
+  mutable std::mutex models_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ModelState>> models_;
+  std::uint64_t next_generation_ = 0;
+
+  std::mutex lifecycle_mutex_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace pnc::serve

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnc::serve {
+
+/// Terminal state of one request.
+enum class Status {
+  kOk,     ///< served; logits/predicted are valid
+  kShed,   ///< rejected by admission control (queue at capacity)
+  kError,  ///< failed (unknown model, engine error, server stopped)
+};
+
+const char* status_name(Status status);
+
+/// One inference request: a univariate series to classify with a
+/// registered model. `id` is caller-chosen and echoed on the response.
+struct Request {
+  std::uint64_t id = 0;
+  std::string model = "default";
+  std::vector<double> series;
+};
+
+/// Completion record delivered to the submit callback (possibly on a
+/// worker shard thread; callbacks must be thread-safe and cheap).
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kError;
+  std::size_t predicted = 0;        ///< argmax class (kOk only)
+  std::vector<double> logits;       ///< raw logits (kOk only)
+  std::string error;                ///< message (kShed/kError only)
+  std::uint64_t generation = 0;     ///< model generation that served it
+  std::size_t batch_rows = 0;       ///< size of the coalesced batch it rode in
+  double queue_seconds = 0.0;       ///< submit → dispatch
+  double total_seconds = 0.0;       ///< submit → completion
+};
+
+/// Server tuning knobs. See DESIGN.md §11 for the latency/throughput
+/// trade-offs of max_batch / batch_deadline_us / shards.
+struct ServerConfig {
+  std::size_t shards = 1;            ///< worker threads, each owning batches
+  std::size_t max_batch = 16;        ///< coalescer cap per dispatch
+  double batch_deadline_us = 200.0;  ///< max wait for batch-mates, microseconds
+  std::size_t queue_capacity = 1024; ///< admission threshold: beyond it, shed
+  std::size_t plan_cache_capacity = 8;  ///< LRU entries (models × stamps)
+};
+
+/// Monotonic counters; consistent snapshot via Server::stats().
+struct ServerStats {
+  std::uint64_t submitted = 0;   ///< accepted into the queue
+  std::uint64_t completed = 0;   ///< served with kOk
+  std::uint64_t shed = 0;        ///< rejected by admission control
+  std::uint64_t errors = 0;      ///< kError responses
+  std::uint64_t batches = 0;     ///< coalesced dispatches
+  std::uint64_t reloads = 0;     ///< model (re)registrations
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  std::uint64_t plan_cache_evictions = 0;
+  /// batch_histogram[k] = dispatches of exactly k rows (index 0 unused).
+  std::vector<std::uint64_t> batch_histogram;
+};
+
+}  // namespace pnc::serve

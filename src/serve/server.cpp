@@ -1,0 +1,239 @@
+#include "pnc/serve/server.hpp"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+namespace pnc::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kShed:
+      return "shed";
+    case Status::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Server::Server(ServerConfig config)
+    : config_([&] {
+        if (config.shards == 0) config.shards = 1;
+        if (config.max_batch == 0) config.max_batch = 1;
+        if (config.queue_capacity == 0) config.queue_capacity = 1;
+        if (config.plan_cache_capacity == 0) config.plan_cache_capacity = 1;
+        if (config.batch_deadline_us < 0.0) config.batch_deadline_us = 0.0;
+        return config;
+      }()),
+      plan_cache_(config_.plan_cache_capacity),
+      queue_(config_.queue_capacity, [](const Pending& pending) {
+        return BatchKey{pending.model.get(), pending.req.series.size()};
+      }) {}
+
+Server::~Server() { stop(); }
+
+std::uint64_t Server::load_model(const std::string& id, ModelConfig config) {
+  if (!config.engine) {
+    throw std::invalid_argument("serve::load_model: null engine");
+  }
+  auto state = std::make_shared<ModelState>();
+  state->id = id;
+  state->engine = std::move(config.engine);
+  state->variation = std::move(config.variation);
+  state->variation_seed = config.variation_seed;
+  state->checkpoint_digest = config.checkpoint_digest;
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    state->generation = ++next_generation_;
+    models_[id] = state;  // atomic swap: submits from here on see the new one
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reloads;
+  }
+  return state->generation;
+}
+
+void Server::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_) return;
+  if (queue_.closed()) {
+    throw std::logic_error("serve::start: server was already stopped");
+  }
+  started_ = true;
+  workers_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  started_ = false;
+}
+
+Status Server::submit(Request req, Callback done) {
+  Pending pending;
+  pending.submitted = std::chrono::steady_clock::now();
+  pending.req = std::move(req);
+  pending.done = std::move(done);
+
+  if (pending.req.series.empty()) {
+    fail(pending, Status::kError, "empty series");
+    return Status::kError;
+  }
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    auto found = models_.find(pending.req.model);
+    if (found != models_.end()) pending.model = found->second;
+  }
+  if (!pending.model) {
+    fail(pending, Status::kError,
+         "unknown model '" + pending.req.model + "'");
+    return Status::kError;
+  }
+
+  switch (queue_.push(std::move(pending))) {
+    case decltype(queue_)::PushResult::kOk: {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.submitted;
+      return Status::kOk;
+    }
+    case decltype(queue_)::PushResult::kFull:
+      fail(pending, Status::kShed, "queue at capacity");
+      return Status::kShed;
+    case decltype(queue_)::PushResult::kClosed:
+      fail(pending, Status::kError, "server stopped");
+      return Status::kError;
+  }
+  fail(pending, Status::kError, "unreachable");
+  return Status::kError;
+}
+
+Response Server::infer(Request req) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  submit(std::move(req),
+         [promise](Response resp) { promise->set_value(std::move(resp)); });
+  return future.get();
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  out.plan_cache_hits = plan_cache_.hits();
+  out.plan_cache_misses = plan_cache_.misses();
+  out.plan_cache_evictions = plan_cache_.evictions();
+  return out;
+}
+
+void Server::worker_loop() {
+  std::vector<Pending> batch;
+  const auto deadline = std::chrono::microseconds(
+      static_cast<std::chrono::microseconds::rep>(config_.batch_deadline_us));
+  while (queue_.pop_batch(config_.max_batch, deadline, batch)) {
+    serve_batch(batch);
+  }
+}
+
+void Server::serve_batch(std::vector<Pending>& batch) {
+  const auto dispatched = std::chrono::steady_clock::now();
+  const std::shared_ptr<const ModelState> model = batch.front().model;
+  const std::size_t rows = batch.size();
+  const std::size_t steps = batch.front().req.series.size();
+
+  try {
+    const infer::Engine& engine = *model->engine;
+    PlanKey key{model->checkpoint_digest, model->variation_seed,
+                model->generation, engine.model_name()};
+    std::shared_ptr<PlanCacheEntry> entry =
+        plan_cache_.get_or_create(key, [&] {
+          return std::make_shared<PlanCacheEntry>(
+              model->engine, model->variation, model->variation_seed);
+        });
+
+    auto plan = entry->lease_plan(rows);
+    ad::Tensor inputs = ad::Tensor::uninitialized(rows, steps);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::vector<double>& series = batch[r].req.series;
+      std::copy(series.begin(), series.end(),
+                inputs.data().data() + r * steps);
+    }
+    ad::Tensor logits;
+    engine.forward(*plan, inputs, logits);
+    const auto finished = std::chrono::steady_clock::now();
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.completed += rows;
+      ++stats_.batches;
+      if (stats_.batch_histogram.size() <= rows) {
+        stats_.batch_histogram.resize(rows + 1, 0);
+      }
+      ++stats_.batch_histogram[rows];
+    }
+
+    const std::size_t classes = logits.cols();
+    for (std::size_t r = 0; r < rows; ++r) {
+      Pending& pending = batch[r];
+      Response resp;
+      resp.id = pending.req.id;
+      resp.status = Status::kOk;
+      const double* row = logits.data().data() + r * classes;
+      resp.logits.assign(row, row + classes);
+      resp.predicted = static_cast<std::size_t>(
+          std::max_element(resp.logits.begin(), resp.logits.end()) -
+          resp.logits.begin());
+      resp.generation = model->generation;
+      resp.batch_rows = rows;
+      resp.queue_seconds = seconds_between(pending.submitted, dispatched);
+      resp.total_seconds = seconds_between(pending.submitted, finished);
+      if (pending.done) pending.done(std::move(resp));
+    }
+  } catch (const std::exception& error) {
+    for (Pending& pending : batch) {
+      fail(pending, Status::kError, error.what());
+    }
+  }
+}
+
+void Server::fail(Pending& pending, Status status, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (status == Status::kShed) {
+      ++stats_.shed;
+    } else {
+      ++stats_.errors;
+    }
+  }
+  Response resp;
+  resp.id = pending.req.id;
+  resp.status = status;
+  resp.error = message;
+  if (pending.model) resp.generation = pending.model->generation;
+  resp.total_seconds =
+      seconds_between(pending.submitted, std::chrono::steady_clock::now());
+  if (pending.done) pending.done(std::move(resp));
+}
+
+}  // namespace pnc::serve

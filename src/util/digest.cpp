@@ -1,0 +1,31 @@
+#include "pnc/util/digest.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace pnc::util {
+
+std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("fnv1a64_file: cannot open " + path);
+  }
+  std::uint64_t h = kFnv1aOffset;
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    h = fnv1a64(buffer, static_cast<std::size_t>(in.gcount()), h);
+  }
+  return h;
+}
+
+}  // namespace pnc::util

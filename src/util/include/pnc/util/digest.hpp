@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pnc::util {
+
+/// FNV-1a 64-bit content digests.
+///
+/// The serving layer keys its plan cache by *checkpoint identity*: two
+/// engines loaded from byte-identical checkpoint files must share cache
+/// entries, and a hot-reload with changed bytes must miss. FNV-1a is not
+/// cryptographic — it only needs to distinguish checkpoint revisions, and
+/// it is dependency-free and stable across platforms.
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// Digest `n` bytes, continuing from `seed` (chainable: feed the previous
+/// result back in to digest discontiguous buffers as one stream).
+std::uint64_t fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t seed = kFnv1aOffset);
+
+/// Digest a whole file's bytes. Throws std::runtime_error when the file
+/// cannot be opened.
+std::uint64_t fnv1a64_file(const std::string& path);
+
+}  // namespace pnc::util

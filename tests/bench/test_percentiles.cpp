@@ -1,0 +1,58 @@
+// percentiles() in bench_common.hpp: numpy-default linear interpolation,
+// used by bench_serve_load for latency p50/p95/p99.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace pnc::bench {
+namespace {
+
+TEST(Percentiles, EmptySampleYieldsZeros) {
+  const auto p = percentiles({}, {50.0, 95.0, 99.0});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], 0.0);
+  EXPECT_EQ(p[1], 0.0);
+  EXPECT_EQ(p[2], 0.0);
+}
+
+TEST(Percentiles, SingleValueIsEveryPercentile) {
+  const auto p = percentiles({7.5}, {0.0, 50.0, 99.0, 100.0});
+  for (const double v : p) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+// np.percentile([1..100], [0, 50, 95, 99, 100]) == [1, 50.5, 95.05,
+// 99.01, 100] with the default linear interpolation.
+TEST(Percentiles, MatchesNumpyLinearInterpolation) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  const auto p = percentiles(values, {0.0, 50.0, 95.0, 99.0, 100.0});
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 50.5);
+  EXPECT_DOUBLE_EQ(p[2], 95.05);
+  EXPECT_DOUBLE_EQ(p[3], 99.01);
+  EXPECT_DOUBLE_EQ(p[4], 100.0);
+}
+
+TEST(Percentiles, SortsItsInput) {
+  const auto p = percentiles({30.0, 10.0, 20.0}, {0.0, 50.0, 100.0});
+  EXPECT_DOUBLE_EQ(p[0], 10.0);
+  EXPECT_DOUBLE_EQ(p[1], 20.0);
+  EXPECT_DOUBLE_EQ(p[2], 30.0);
+}
+
+TEST(Percentiles, ClampsOutOfRangePoints) {
+  const auto p = percentiles({1.0, 2.0, 3.0}, {-5.0, 150.0});
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 3.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenOrderStatistics) {
+  // rank for p75 over 4 values = 0.75 * 3 = 2.25 -> 3 + 0.25 * (4 - 3).
+  const auto p = percentiles({1.0, 2.0, 3.0, 4.0}, {75.0});
+  EXPECT_DOUBLE_EQ(p[0], 3.25);
+}
+
+}  // namespace
+}  // namespace pnc::bench

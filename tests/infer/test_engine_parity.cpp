@@ -173,6 +173,71 @@ TEST(EngineRewiring, YieldEstimateIdenticalWithAndWithoutEngine) {
   }
 }
 
+// broadcast_batch re-shapes a stamped plan to a new row count on the
+// *same* fabricated circuit: every row of the broadcast forward must be
+// bit-identical to the batch-1 forward of that series — the serving
+// contract that makes logits independent of coalesced batch shape.
+TEST(EngineBroadcast, RowsMatchBatchOneForward) {
+  for (const std::string kind : {"adapt", "ptpnc", "elman"}) {
+    auto model = make_model(kind);
+    auto engine = infer::Engine::compile(*model);
+    const auto spec = variation::VariationSpec::printing(0.1);
+    util::Rng data_rng(21);
+    const std::size_t rows = 6;
+    const std::size_t steps = 13;
+    const ad::Tensor x = random_series(rows, steps, data_rng);
+
+    infer::Plan plan = engine.make_plan();
+    util::Rng rng(77);
+    engine.stamp(plan, spec, rng, 1);
+
+    // Batch-1 references, one series at a time on the stamped circuit.
+    std::vector<ad::Tensor> refs;
+    ad::Tensor row(1, steps);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t t = 0; t < steps; ++t) row(0, t) = x(r, t);
+      ad::Tensor logits;
+      engine.forward(plan, row, logits);
+      refs.push_back(std::move(logits));
+    }
+
+    // Growing the batch replicates the stamp's initial state per row.
+    engine.broadcast_batch(plan, rows);
+    EXPECT_EQ(plan.batch(), rows);
+    ad::Tensor all;
+    engine.forward(plan, x, all);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < all.cols(); ++c) {
+        EXPECT_EQ(all(r, c), refs[r](0, c)) << kind << " row " << r;
+      }
+    }
+
+    // Shrinking re-uses the replicated rows; results stay identical.
+    engine.broadcast_batch(plan, 2);
+    ad::Tensor pair(2, steps);
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t t = 0; t < steps; ++t) pair(r, t) = x(r, t);
+    }
+    ad::Tensor two;
+    engine.forward(plan, pair, two);
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t c = 0; c < two.cols(); ++c) {
+        EXPECT_EQ(two(r, c), refs[r](0, c)) << kind << " shrink row " << r;
+      }
+    }
+  }
+}
+
+TEST(EngineBroadcast, RejectsUnstampedPlanAndEmptyBatch) {
+  auto model = make_model("adapt");
+  auto engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  EXPECT_THROW(engine.broadcast_batch(plan, 4), std::logic_error);
+  util::Rng rng(1);
+  engine.stamp(plan, variation::VariationSpec::none(), rng, 1);
+  EXPECT_THROW(engine.broadcast_batch(plan, 0), std::invalid_argument);
+}
+
 TEST(EngineForward, RejectsBatchMismatchAndEmptySequence) {
   auto model = make_model("adapt");
   auto engine = infer::Engine::compile(*model);

@@ -1,0 +1,86 @@
+// Minimal NDJSON protocol parser: grammar coverage, protocol-shaped
+// documents, malformed-input errors and escaping round trips.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pnc/serve/json.hpp"
+
+namespace pnc::serve {
+namespace {
+
+TEST(ServeJson, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e3").as_number(), -2500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(ServeJson, ParsesProtocolRequest) {
+  const auto doc = JsonValue::parse(
+      R"({"op":"infer","id":7,"model":"default","series":[0.25,-1.5,3]})");
+  EXPECT_EQ(doc.string_or("op", ""), "infer");
+  EXPECT_DOUBLE_EQ(doc.number_or("id", -1.0), 7.0);
+  EXPECT_EQ(doc.string_or("model", ""), "default");
+  const JsonValue* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  const auto& values = series->as_array();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0].as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(values[1].as_number(), -1.5);
+  EXPECT_DOUBLE_EQ(values[2].as_number(), 3.0);
+}
+
+TEST(ServeJson, NestedStructuresAndWhitespace) {
+  const auto doc = JsonValue::parse(
+      " { \"a\" : [ 1 , { \"b\" : [ ] } ] , \"c\" : { } } ");
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 2u);
+  EXPECT_NE(a->as_array()[1].find("b"), nullptr);
+  EXPECT_NE(doc.find("c"), nullptr);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(ServeJson, StringEscapes) {
+  const auto doc = JsonValue::parse(R"("line\nquote\"tab\tback\\u:\u0041")");
+  EXPECT_EQ(doc.as_string(), "line\nquote\"tab\tback\\u:A");
+}
+
+TEST(ServeJson, DefaultsForMissingOrWrongTypedFields) {
+  const auto doc = JsonValue::parse(R"({"op":"stats","id":"not-a-number"})");
+  EXPECT_EQ(doc.string_or("op", "infer"), "stats");
+  EXPECT_DOUBLE_EQ(doc.number_or("id", 5.0), 5.0);      // wrong type
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 9.0), 9.0);  // absent
+  EXPECT_EQ(doc.string_or("missing", "x"), "x");
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("tru"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("1.2.3"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), std::runtime_error);
+}
+
+TEST(ServeJson, TypeMismatchAccessorsThrow) {
+  const auto doc = JsonValue::parse("{\"n\":1}");
+  EXPECT_THROW(doc.as_number(), std::runtime_error);
+  EXPECT_THROW(doc.as_string(), std::runtime_error);
+  EXPECT_THROW(doc.as_array(), std::runtime_error);
+  EXPECT_THROW(doc.as_bool(), std::runtime_error);
+}
+
+TEST(ServeJson, EscapeRoundTripsThroughParse) {
+  const std::string raw = "he said \"hi\"\nthen\tleft\\ \x01";
+  const std::string doc = "\"" + json_escape(raw) + "\"";
+  EXPECT_EQ(JsonValue::parse(doc).as_string(), raw);
+}
+
+}  // namespace
+}  // namespace pnc::serve

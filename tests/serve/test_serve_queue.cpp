@@ -1,0 +1,229 @@
+// CoalescingQueue: admission control, same-key batch gathering, ordering
+// and clean shutdown; PlanCache: LRU eviction and stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/serve/plan_cache.hpp"
+#include "pnc/serve/queue.hpp"
+
+namespace pnc {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Item {
+  int key = 0;
+  int seq = 0;
+};
+
+using Queue = serve::CoalescingQueue<Item, int>;
+
+Queue make_queue(std::size_t capacity) {
+  return Queue(capacity, [](const Item& item) { return item.key; });
+}
+
+TEST(ServeQueue, PushPopSingle) {
+  Queue q = make_queue(4);
+  EXPECT_EQ(q.push(Item{1, 0}), Queue::PushResult::kOk);
+  EXPECT_EQ(q.depth(), 1u);
+  std::vector<Item> batch;
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].key, 1);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(ServeQueue, ShedsAtCapacityWithoutConsumingItem) {
+  Queue q = make_queue(2);
+  EXPECT_EQ(q.push(Item{1, 0}), Queue::PushResult::kOk);
+  EXPECT_EQ(q.push(Item{1, 1}), Queue::PushResult::kOk);
+  Item extra{1, 2};
+  EXPECT_EQ(q.push(std::move(extra)), Queue::PushResult::kFull);
+  // The rejected item must still be intact for the shed response.
+  EXPECT_EQ(extra.seq, 2);
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(ServeQueue, CoalescesSameKeyOnlyPreservingArrivalOrder) {
+  Queue q = make_queue(16);
+  ASSERT_EQ(q.push(Item{7, 0}), Queue::PushResult::kOk);
+  ASSERT_EQ(q.push(Item{7, 1}), Queue::PushResult::kOk);
+  ASSERT_EQ(q.push(Item{9, 2}), Queue::PushResult::kOk);
+  ASSERT_EQ(q.push(Item{7, 3}), Queue::PushResult::kOk);
+
+  std::vector<Item> batch;
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));
+  ASSERT_EQ(batch.size(), 3u);  // the three key-7 items, in arrival order
+  EXPECT_EQ(batch[0].seq, 0);
+  EXPECT_EQ(batch[1].seq, 1);
+  EXPECT_EQ(batch[2].seq, 3);
+
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));  // key 9 stayed queued
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].seq, 2);
+}
+
+TEST(ServeQueue, RespectsMaxBatch) {
+  Queue q = make_queue(16);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(q.push(Item{1, i}), Queue::PushResult::kOk);
+  }
+  std::vector<Item> batch;
+  ASSERT_TRUE(q.pop_batch(4, 0us, batch));
+  EXPECT_EQ(batch.size(), 4u);
+  ASSERT_TRUE(q.pop_batch(4, 0us, batch));
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(ServeQueue, DeadlineGathersStragglers) {
+  Queue q = make_queue(16);
+  ASSERT_EQ(q.push(Item{1, 0}), Queue::PushResult::kOk);
+  std::thread straggler([&] {
+    std::this_thread::sleep_for(5ms);
+    (void)q.push(Item{1, 1});
+  });
+  std::vector<Item> batch;
+  ASSERT_TRUE(q.pop_batch(2, std::chrono::microseconds(2'000'000), batch));
+  straggler.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(ServeQueue, CloseDrainsThenReturnsFalse) {
+  Queue q = make_queue(16);
+  ASSERT_EQ(q.push(Item{1, 0}), Queue::PushResult::kOk);
+  ASSERT_EQ(q.push(Item{2, 1}), Queue::PushResult::kOk);
+  q.close();
+  EXPECT_EQ(q.push(Item{3, 2}), Queue::PushResult::kClosed);
+
+  std::vector<Item> batch;
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));  // key-1 remainder
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));  // key-2 remainder
+  EXPECT_FALSE(q.pop_batch(8, 0us, batch));  // closed and drained
+}
+
+// Multi-producer / multi-consumer: every item is delivered exactly once,
+// and each popped batch is key-homogeneous.
+TEST(ServeQueue, ConcurrentProducersConsumersDeliverExactlyOnce) {
+  Queue q = make_queue(1024);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  std::atomic<int> delivered{0};
+  std::atomic<bool> mixed_key_batch{false};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<Item> batch;
+      while (q.pop_batch(8, 50us, batch)) {
+        for (const Item& item : batch) {
+          if (item.key != batch.front().key) mixed_key_batch = true;
+        }
+        delivered += static_cast<int>(batch.size());
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Item item{p % 2, p * kPerProducer + i};
+        while (q.push(std::move(item)) != Queue::PushResult::kOk) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(delivered.load(), kTotal);
+  EXPECT_FALSE(mixed_key_batch.load());
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+
+std::shared_ptr<const infer::Engine> test_engine() {
+  static const std::shared_ptr<const infer::Engine> engine = [] {
+    auto model = core::make_adapt_pnc(2, 0.01, 5, 4);
+    return std::make_shared<const infer::Engine>(
+        infer::Engine::compile(*model));
+  }();
+  return engine;
+}
+
+serve::PlanCache::Factory entry_factory() {
+  return [] {
+    return std::make_shared<serve::PlanCacheEntry>(
+        test_engine(), variation::VariationSpec::none(), 0);
+  };
+}
+
+serve::PlanKey key_of(std::uint64_t digest) {
+  return serve::PlanKey{digest, 0, 1, "adapt_pnc"};
+}
+
+TEST(ServePlanCache, HitsMissesAndReuse) {
+  serve::PlanCache cache(4);
+  auto a = cache.get_or_create(key_of(1), entry_factory());
+  auto b = cache.get_or_create(key_of(1), entry_factory());
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ServePlanCache, EvictsLeastRecentlyUsed) {
+  serve::PlanCache cache(2);
+  auto a = cache.get_or_create(key_of(1), entry_factory());
+  auto b = cache.get_or_create(key_of(2), entry_factory());
+  // Touch 1 so 2 becomes the LRU entry.
+  (void)cache.get_or_create(key_of(1), entry_factory());
+  auto c = cache.get_or_create(key_of(3), entry_factory());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.contains(key_of(1)));
+  EXPECT_FALSE(cache.contains(key_of(2)));
+  EXPECT_TRUE(cache.contains(key_of(3)));
+  // The evicted entry stays alive through the caller's shared_ptr (an
+  // in-flight batch keeps serving on it).
+  EXPECT_NE(b.get(), nullptr);
+}
+
+TEST(ServePlanCache, DistinctKeysDistinctEntries) {
+  serve::PlanCache cache(8);
+  auto base = cache.get_or_create(key_of(1), entry_factory());
+  // Any differing key component — digest, seed, generation, family — is a
+  // different realization.
+  auto other_seed = cache.get_or_create(serve::PlanKey{1, 5, 1, "adapt_pnc"},
+                                        entry_factory());
+  auto other_gen = cache.get_or_create(serve::PlanKey{1, 0, 2, "adapt_pnc"},
+                                       entry_factory());
+  EXPECT_NE(base.get(), other_seed.get());
+  EXPECT_NE(base.get(), other_gen.get());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ServePlanCache, LeasedPlansAreStampedAtRequestedRows) {
+  serve::PlanCache cache(2);
+  auto entry = cache.get_or_create(key_of(1), entry_factory());
+  {
+    auto plan = entry->lease_plan(5);
+    EXPECT_TRUE(plan->stamped());
+    EXPECT_EQ(plan->batch(), 5u);
+  }
+  // Returned to the pool and re-broadcast on the next lease.
+  auto plan = entry->lease_plan(2);
+  EXPECT_EQ(plan->batch(), 2u);
+}
+
+}  // namespace
+}  // namespace pnc

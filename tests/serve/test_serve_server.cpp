@@ -1,0 +1,350 @@
+// serve::Server determinism and lifecycle: coalesced serving must be
+// bit-identical to direct Engine calls for any shard count, batch shape
+// and arrival order — including across a hot-reload boundary — and
+// admission control must shed instead of queueing unbounded work.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/serve/server.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc {
+namespace {
+
+std::shared_ptr<const infer::Engine> make_engine() {
+  auto model = core::make_adapt_pnc(3, 0.01, 6, 5);
+  return std::make_shared<const infer::Engine>(infer::Engine::compile(*model));
+}
+
+std::vector<std::vector<double>> make_series(std::size_t count,
+                                             std::size_t steps,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> out(count);
+  for (auto& s : out) {
+    s.resize(steps);
+    for (auto& v : s) v = rng.uniform(-1.0, 1.0);
+  }
+  return out;
+}
+
+/// Direct-engine reference: stamp one circuit from Rng(seed) at batch 1
+/// (exactly the server's realization) and forward each series alone.
+std::vector<std::vector<double>> reference_logits(
+    const infer::Engine& engine, const variation::VariationSpec& spec,
+    std::uint64_t seed, const std::vector<std::vector<double>>& series) {
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(seed);
+  engine.stamp(plan, spec, rng, 1);
+  std::vector<std::vector<double>> refs;
+  for (const auto& s : series) {
+    engine.broadcast_batch(plan, 1);
+    ad::Tensor x(1, s.size());
+    std::copy(s.begin(), s.end(), x.data().begin());
+    ad::Tensor logits;
+    engine.forward(plan, x, logits);
+    refs.emplace_back(logits.data().begin(), logits.data().end());
+  }
+  return refs;
+}
+
+/// Submit every request and wait for all callbacks.
+struct Collector {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::map<std::uint64_t, serve::Response> responses;
+
+  serve::Server::Callback callback() {
+    return [this](serve::Response resp) {
+      std::lock_guard<std::mutex> lock(mutex);
+      responses[resp.id] = std::move(resp);
+      ++done;
+      cv.notify_all();
+    };
+  }
+
+  void wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return done >= n; });
+  }
+};
+
+// The tentpole contract: for every shard count x max_batch x arrival
+// order, served logits are bit-identical to the direct Engine reference.
+TEST(ServeServer, CoalescedLogitsBitIdenticalToDirectEngine) {
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const std::uint64_t seed = 2024;
+  const auto series = make_series(24, 19, 5);
+  const auto refs = reference_logits(*engine, spec, seed, series);
+
+  std::vector<std::size_t> order(series.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    for (const std::size_t max_batch : {std::size_t{1}, std::size_t{4}}) {
+      // A different arrival order per configuration: shuffle with a
+      // deterministic LCG so failures reproduce.
+      std::uint64_t lcg = shards * 31 + max_batch;
+      for (std::size_t i = order.size(); i > 1; --i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::swap(order[i - 1], order[lcg % i]);
+      }
+
+      serve::ServerConfig config;
+      config.shards = shards;
+      config.max_batch = max_batch;
+      config.batch_deadline_us = 50.0;
+      serve::Server server(config);
+      serve::ModelConfig model;
+      model.engine = engine;
+      model.variation = spec;
+      model.variation_seed = seed;
+      server.load_model("default", std::move(model));
+      server.start();
+
+      Collector collector;
+      for (const std::size_t i : order) {
+        serve::Request req;
+        req.id = i;
+        req.series = series[i];
+        ASSERT_EQ(server.submit(std::move(req), collector.callback()),
+                  serve::Status::kOk);
+      }
+      collector.wait_for(series.size());
+      server.stop();
+
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        const serve::Response& resp = collector.responses.at(i);
+        ASSERT_EQ(resp.status, serve::Status::kOk)
+            << "shards=" << shards << " max_batch=" << max_batch;
+        ASSERT_EQ(resp.logits.size(), refs[i].size());
+        for (std::size_t c = 0; c < refs[i].size(); ++c) {
+          EXPECT_EQ(resp.logits[c], refs[i][c])
+              << "shards=" << shards << " max_batch=" << max_batch
+              << " req=" << i << " class=" << c;
+        }
+      }
+    }
+  }
+}
+
+// Hot reload mid-stream: requests complete on the revision they were
+// admitted under, each bit-identical to that revision's direct reference,
+// with zero errors.
+TEST(ServeServer, HotReloadKeepsBothGenerationsBitIdentical) {
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const auto series = make_series(16, 17, 9);
+  const std::uint64_t seed_a = 11;
+  const std::uint64_t seed_b = 77;  // different circuit realization
+  const auto refs_a = reference_logits(*engine, spec, seed_a, series);
+  const auto refs_b = reference_logits(*engine, spec, seed_b, series);
+  // The two realizations must actually differ for this test to bite.
+  ASSERT_NE(refs_a[0], refs_b[0]);
+
+  serve::ServerConfig config;
+  config.shards = 2;
+  config.max_batch = 4;
+  serve::Server server(config);
+  serve::ModelConfig model_a;
+  model_a.engine = engine;
+  model_a.variation = spec;
+  model_a.variation_seed = seed_a;
+  const std::uint64_t gen_a = server.load_model("default", std::move(model_a));
+  server.start();
+
+  Collector collector;
+  std::uint64_t gen_b = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i == series.size() / 2) {
+      serve::ModelConfig model_b;
+      model_b.engine = engine;
+      model_b.variation = spec;
+      model_b.variation_seed = seed_b;
+      gen_b = server.load_model("default", std::move(model_b));
+    }
+    serve::Request req;
+    req.id = i;
+    req.series = series[i];
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()),
+              serve::Status::kOk);
+  }
+  collector.wait_for(series.size());
+  server.stop();
+  ASSERT_GT(gen_b, gen_a);
+
+  std::size_t served_a = 0;
+  std::size_t served_b = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const serve::Response& resp = collector.responses.at(i);
+    ASSERT_EQ(resp.status, serve::Status::kOk) << "req " << i;
+    const auto& want = resp.generation == gen_a ? refs_a[i] : refs_b[i];
+    served_a += resp.generation == gen_a;
+    served_b += resp.generation == gen_b;
+    ASSERT_EQ(resp.logits.size(), want.size());
+    for (std::size_t c = 0; c < want.size(); ++c) {
+      EXPECT_EQ(resp.logits[c], want[c])
+          << "req " << i << " generation " << resp.generation;
+    }
+  }
+  // Submission order pins the boundary: the first half was admitted
+  // before the reload, the second half after.
+  EXPECT_EQ(served_a, series.size() / 2);
+  EXPECT_EQ(served_b, series.size() - series.size() / 2);
+}
+
+TEST(ServeServer, ShedsWhenQueueIsFull) {
+  const auto engine = make_engine();
+  serve::ServerConfig config;
+  config.queue_capacity = 4;
+  serve::Server server(config);  // not started: the queue only fills
+  serve::ModelConfig model;
+  model.engine = engine;
+  server.load_model("default", std::move(model));
+
+  const auto series = make_series(6, 9, 1);
+  Collector collector;
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    serve::Request req;
+    req.id = i;
+    req.series = series[i];
+    const serve::Status status =
+        server.submit(std::move(req), collector.callback());
+    shed += status == serve::Status::kShed;
+  }
+  EXPECT_EQ(shed, series.size() - config.queue_capacity);
+  // Shed callbacks fired inline with an error message.
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    ASSERT_EQ(collector.responses.size(), shed);
+    for (const auto& [id, resp] : collector.responses) {
+      EXPECT_EQ(resp.status, serve::Status::kShed);
+      EXPECT_FALSE(resp.error.empty());
+    }
+  }
+  EXPECT_EQ(server.stats().shed, shed);
+
+  // Draining the queue serves the admitted requests.
+  server.start();
+  collector.wait_for(series.size());
+  server.stop();
+  EXPECT_EQ(server.stats().completed, config.queue_capacity);
+}
+
+TEST(ServeServer, UnknownModelAndEmptySeriesFailInline) {
+  serve::Server server;
+  serve::ModelConfig model;
+  model.engine = make_engine();
+  server.load_model("default", std::move(model));
+
+  bool called = false;
+  serve::Request unknown;
+  unknown.model = "nope";
+  unknown.series = {0.1, 0.2};
+  EXPECT_EQ(server.submit(std::move(unknown),
+                          [&](serve::Response resp) {
+                            called = true;
+                            EXPECT_EQ(resp.status, serve::Status::kError);
+                          }),
+            serve::Status::kError);
+  EXPECT_TRUE(called);
+
+  called = false;
+  serve::Request empty;  // no series
+  EXPECT_EQ(server.submit(std::move(empty),
+                          [&](serve::Response resp) {
+                            called = true;
+                            EXPECT_EQ(resp.status, serve::Status::kError);
+                          }),
+            serve::Status::kError);
+  EXPECT_TRUE(called);
+  EXPECT_EQ(server.stats().errors, 2u);
+}
+
+TEST(ServeServer, BlockingInferAndStats) {
+  const auto engine = make_engine();
+  serve::ServerConfig config;
+  config.shards = 2;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.engine = engine;
+  server.load_model("default", std::move(model));
+  server.start();
+
+  const auto series = make_series(8, 9, 3);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    serve::Request req;
+    req.id = i;
+    req.series = series[i];
+    const serve::Response resp = server.infer(std::move(req));
+    ASSERT_EQ(resp.status, serve::Status::kOk);
+    EXPECT_EQ(resp.id, i);
+    EXPECT_LT(resp.predicted, engine->num_classes());
+    EXPECT_GE(resp.batch_rows, 1u);
+    EXPECT_GE(resp.total_seconds, resp.queue_seconds);
+  }
+  server.stop();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, series.size());
+  EXPECT_EQ(stats.completed, series.size());
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  // The histogram's weighted sum counts every served request.
+  std::uint64_t histogram_rows = 0;
+  for (std::size_t k = 0; k < stats.batch_histogram.size(); ++k) {
+    histogram_rows += k * stats.batch_histogram[k];
+  }
+  EXPECT_EQ(histogram_rows, series.size());
+}
+
+TEST(ServeServer, StopDrainsAdmittedRequests) {
+  const auto engine = make_engine();
+  serve::Server server;
+  serve::ModelConfig model;
+  model.engine = engine;
+  server.load_model("default", std::move(model));
+
+  const auto series = make_series(12, 9, 4);
+  Collector collector;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    serve::Request req;
+    req.id = i;
+    req.series = series[i];
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()),
+              serve::Status::kOk);
+  }
+  server.start();
+  server.stop();  // close + drain: every admitted request gets an answer
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    EXPECT_EQ(collector.done, series.size());
+  }
+  // After stop, submissions fail inline.
+  bool called = false;
+  serve::Request late;
+  late.series = {0.5};
+  EXPECT_EQ(server.submit(std::move(late),
+                          [&](serve::Response resp) {
+                            called = true;
+                            EXPECT_EQ(resp.status, serve::Status::kError);
+                          }),
+            serve::Status::kError);
+  EXPECT_TRUE(called);
+}
+
+}  // namespace
+}  // namespace pnc

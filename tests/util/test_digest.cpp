@@ -1,0 +1,65 @@
+// FNV-1a 64 content digests: known vectors, seed chaining and the file
+// helper used for checkpoint identity in the serving plan cache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "pnc/util/digest.hpp"
+
+namespace pnc::util {
+namespace {
+
+std::uint64_t digest_str(const std::string& s) {
+  return fnv1a64(s.data(), s.size());
+}
+
+// Published FNV-1a 64 reference vectors.
+TEST(Digest, KnownVectors) {
+  EXPECT_EQ(fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);  // offset basis
+  EXPECT_EQ(digest_str("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(digest_str("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Digest, SensitiveToEveryByte) {
+  EXPECT_NE(digest_str("checkpoint-a"), digest_str("checkpoint-b"));
+  EXPECT_NE(digest_str("ab"), digest_str("ba"));
+  EXPECT_NE(digest_str("x"), digest_str(std::string("x\0", 2)));
+}
+
+TEST(Digest, SeedChainingMatchesOneShot) {
+  const std::string text = "split me anywhere";
+  const std::uint64_t whole = digest_str(text);
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    const std::uint64_t head = fnv1a64(text.data(), cut);
+    const std::uint64_t chained = fnv1a64(text.data() + cut,
+                                          text.size() - cut, head);
+    EXPECT_EQ(chained, whole) << "cut at " << cut;
+  }
+}
+
+TEST(Digest, FileMatchesBufferAndDetectsChange) {
+  const std::string path = "digest_test_tmp.txt";
+  const std::string content = "pnc checkpoint bytes\nwith two lines\n";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  }
+  EXPECT_EQ(fnv1a64_file(path), digest_str(content));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << content << "tail";
+  }
+  EXPECT_NE(fnv1a64_file(path), digest_str(content));
+  std::remove(path.c_str());
+}
+
+TEST(Digest, MissingFileThrows) {
+  EXPECT_THROW(fnv1a64_file("does_not_exist_anywhere.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pnc::util

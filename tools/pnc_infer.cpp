@@ -9,6 +9,7 @@
 // every line must have the same length. Output: one line per series,
 //   <index>,<predicted class>[,<logit 0>,...]
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -35,9 +36,10 @@ options:
   --hidden-cap N      hidden-sizing cap used at training (default 9)
   --batch N           rows per forward batch           (default 64)
   --threads N         batch-sharding threads           (default 1)
-  --variation DELTA   stamp one +/-DELTA fabricated circuit per batch
+  --variation DELTA   stamp one +/-DELTA fabricated circuit for the run
   --seed S            RNG seed for variation/noise/faults (default 0)
   --logits            also print the raw logits
+  --timing            print requests, wall time and req/s to stderr
   --help, -h          print this message and exit
 
 reliability (pnc::reliability):
@@ -151,6 +153,7 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   std::uint64_t seed = 0;
   bool print_logits = false;
+  bool print_timing = false;
   reliability::NoiseSpec noise;
 
   for (int i = 1; i < argc; ++i) {
@@ -176,6 +179,7 @@ int main(int argc, char** argv) {
     else if (flag == "--noise") parse_noise(value(), noise);
     else if (flag == "--fault-rate") fault_rate = parse_double(flag, value());
     else if (flag == "--logits") print_logits = true;
+    else if (flag == "--timing") print_timing = true;
     else die("unknown flag " + flag);
   }
   if (checkpoint_path.empty()) die("--checkpoint is required");
@@ -227,9 +231,15 @@ int main(int argc, char** argv) {
   util::Rng rng(seed);
   util::ThreadPool pool(threads);
   infer::Plan plan = engine.make_plan();
+  // One stamp for the whole run, drawn at batch 1 and broadcast to each
+  // batch's row count: the served engine behaves like a single fabricated
+  // circuit (with --variation 0 the stamp is the nominal circuit), and the
+  // stamped tensors are reused across batches instead of being redrawn.
+  engine.stamp(plan, spec, rng, 1);
 
   const std::size_t steps = series.front().size();
   std::cout.precision(10);
+  const auto serve_start = std::chrono::steady_clock::now();
   for (std::size_t begin = 0; begin < series.size(); begin += batch) {
     const std::size_t rows = std::min(batch, series.size() - begin);
     ad::Tensor inputs = ad::Tensor::uninitialized(rows, steps);
@@ -245,9 +255,7 @@ int main(int argc, char** argv) {
           inputs, noise, seed ^ (0xc2b2ae3d27d4eb4fULL * (begin + 1)));
     }
     inputs = reliability::apply_sensor_faults(inputs, mask);
-    // One stamp per batch: every batch is scored on one fabricated
-    // circuit (with --variation 0 the stamp is the nominal circuit).
-    engine.stamp(plan, spec, rng, rows);
+    engine.broadcast_batch(plan, rows);
     ad::Tensor logits;
     engine.forward(plan, inputs, logits, pool);
     for (std::size_t i = 0; i < rows; ++i) {
@@ -263,6 +271,15 @@ int main(int argc, char** argv) {
       }
       std::cout << '\n';
     }
+  }
+  if (print_timing) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      serve_start)
+            .count();
+    std::cerr << "pnc_infer: " << series.size() << " requests in " << wall
+              << " s (" << (wall > 0.0 ? series.size() / wall : 0.0)
+              << " req/s)\n";
   }
   return 0;
 }

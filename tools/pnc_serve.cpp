@@ -1,0 +1,433 @@
+// Persistent serving front-end for pnc::serve: load a checkpoint, start
+// the in-process server, and speak an NDJSON protocol (one JSON object
+// per line) over stdin/stdout (--stdio, the default) or an AF_UNIX
+// stream socket (--socket PATH).
+//
+//   ./pnc_serve --checkpoint ckpt.txt --model adapt --classes 2 --dt 1
+//
+// Requests:
+//   {"op":"infer","id":7,"series":[0.1,0.2,...]}        -> one response line
+//   {"op":"reload","checkpoint":"new.txt"}              -> swap "default"
+//   {"op":"stats"}                                      -> counter snapshot
+//
+// Responses carry "status": "ok" | "shed" | "error". Shedding is the
+// admission control: a full queue rejects instead of queueing unbounded
+// work. EOF on stdin (or on a socket connection) drains in-flight
+// requests before exiting, so every admitted request is answered.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pnc/infer/engine.hpp"
+#include "pnc/serve/json.hpp"
+#include "pnc/serve/server.hpp"
+#include "pnc/util/digest.hpp"
+
+namespace {
+
+using pnc::serve::JsonValue;
+using pnc::serve::Request;
+using pnc::serve::Response;
+using pnc::serve::ServerStats;
+using pnc::serve::Status;
+
+constexpr const char* kUsage = R"(usage: pnc_serve --checkpoint PATH --classes C [options]
+
+Serve a trained checkpoint over an NDJSON request protocol.
+
+required:
+  --checkpoint PATH   trained parameters, registered as model "default"
+  --classes C         classes the checkpoint was trained for (>= 2)
+
+model options:
+  --model KIND        adapt | ptpnc | elman            (default adapt)
+  --dt SECONDS        sampling period it was trained for (default 1)
+  --hidden-cap N      hidden-sizing cap used at training (default 9)
+  --variation DELTA   serve one +/-DELTA fabricated circuit (default clean)
+  --seed S            variation stamp seed             (default 0)
+
+server options:
+  --shards N          worker threads                   (default 1)
+  --max-batch N       dynamic batch cap                (default 16)
+  --deadline-us U     coalescing deadline, microseconds (default 200)
+  --queue-capacity N  admission threshold              (default 1024)
+  --logits            include raw logits in responses
+  --stdio             serve stdin/stdout               (default)
+  --socket PATH       serve an AF_UNIX stream socket at PATH
+  --help, -h          print this message and exit
+
+protocol (one JSON object per line):
+  {"op":"infer","id":N,"series":[...]}       classify one series
+  {"op":"reload","checkpoint":PATH}          hot-swap the "default" model
+  {"op":"stats"}                             server counters
+)";
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "pnc_serve: " << message << "\n"
+            << "try: pnc_serve --help\n";
+  std::exit(1);
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    die("invalid number '" + text + "' for " + flag);
+  }
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long v = std::stoul(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    die("invalid non-negative integer '" + text + "' for " + flag);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    die("invalid non-negative integer '" + text + "' for " + flag);
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Serialized, mutex-guarded line sink. Responses arrive from worker
+/// shard threads concurrently; one mutex keeps lines whole.
+class LineWriter {
+ public:
+  virtual ~LineWriter() = default;
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    emit(line);
+  }
+
+ private:
+  virtual void emit(const std::string& line) = 0;
+  std::mutex mutex_;
+};
+
+class StdoutWriter final : public LineWriter {
+ private:
+  void emit(const std::string& line) override {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+};
+
+class FdWriter final : public LineWriter {
+ public:
+  explicit FdWriter(int fd) : fd_(fd) {}
+
+ private:
+  void emit(const std::string& line) override {
+    std::string framed = line + "\n";
+    const char* data = framed.data();
+    std::size_t left = framed.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, data, left);
+      if (n <= 0) return;  // peer gone; drop silently
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  int fd_;
+};
+
+std::string response_to_json(const Response& resp, bool with_logits) {
+  std::ostringstream out;
+  out << "{\"id\":" << resp.id << ",\"status\":\""
+      << pnc::serve::status_name(resp.status) << "\"";
+  if (resp.status == Status::kOk) {
+    out << ",\"predicted\":" << resp.predicted
+        << ",\"generation\":" << resp.generation
+        << ",\"batch_rows\":" << resp.batch_rows
+        << ",\"queue_us\":" << fmt_double(resp.queue_seconds * 1e6)
+        << ",\"total_us\":" << fmt_double(resp.total_seconds * 1e6);
+    if (with_logits) {
+      out << ",\"logits\":[";
+      for (std::size_t i = 0; i < resp.logits.size(); ++i) {
+        if (i > 0) out << ',';
+        out << fmt_double(resp.logits[i]);
+      }
+      out << ']';
+    }
+  } else {
+    out << ",\"error\":\"" << pnc::serve::json_escape(resp.error) << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string stats_to_json(const ServerStats& s) {
+  std::ostringstream out;
+  out << "{\"op\":\"stats\",\"submitted\":" << s.submitted
+      << ",\"completed\":" << s.completed << ",\"shed\":" << s.shed
+      << ",\"errors\":" << s.errors << ",\"batches\":" << s.batches
+      << ",\"reloads\":" << s.reloads
+      << ",\"plan_cache_hits\":" << s.plan_cache_hits
+      << ",\"plan_cache_misses\":" << s.plan_cache_misses
+      << ",\"plan_cache_evictions\":" << s.plan_cache_evictions
+      << ",\"batch_histogram\":[";
+  for (std::size_t i = 0; i < s.batch_histogram.size(); ++i) {
+    if (i > 0) out << ',';
+    out << s.batch_histogram[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string error_line(const std::string& message) {
+  return "{\"status\":\"error\",\"error\":\"" +
+         pnc::serve::json_escape(message) + "\"}";
+}
+
+/// Immutable checkpoint-compilation settings shared by the initial load
+/// and every reload op.
+struct ModelRecipe {
+  std::string kind = "adapt";
+  std::size_t n_classes = 0;
+  std::size_t hidden_cap = 9;
+  double dt = 1.0;
+  pnc::variation::VariationSpec variation =
+      pnc::variation::VariationSpec::none();
+  std::uint64_t variation_seed = 0;
+};
+
+pnc::serve::ModelConfig build_model(const ModelRecipe& recipe,
+                                    const std::string& checkpoint_path) {
+  pnc::serve::ModelConfig config;
+  config.engine = std::make_shared<pnc::infer::Engine>(pnc::infer::load_engine(
+      checkpoint_path, recipe.kind, recipe.n_classes, recipe.dt,
+      recipe.hidden_cap));
+  config.checkpoint_digest = pnc::util::fnv1a64_file(checkpoint_path);
+  config.variation = recipe.variation;
+  config.variation_seed = recipe.variation_seed;
+  return config;
+}
+
+/// Handle one protocol line. Infer responses are written asynchronously
+/// by the submit callback; everything else is written before returning.
+void handle_line(pnc::serve::Server& server, const ModelRecipe& recipe,
+                 const std::string& line,
+                 const std::shared_ptr<LineWriter>& writer,
+                 bool with_logits) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const std::exception& error) {
+    writer->write_line(error_line(error.what()));
+    return;
+  }
+  const std::string op = doc.string_or("op", "infer");
+
+  if (op == "infer") {
+    Request req;
+    req.id = static_cast<std::uint64_t>(doc.number_or("id", 0.0));
+    req.model = doc.string_or("model", "default");
+    const JsonValue* series = doc.find("series");
+    if (series != nullptr) {
+      try {
+        const std::vector<JsonValue>& values = series->as_array();
+        req.series.reserve(values.size());
+        for (const JsonValue& v : values) req.series.push_back(v.as_number());
+      } catch (const std::exception& error) {
+        writer->write_line(error_line(error.what()));
+        return;
+      }
+    }
+    server.submit(std::move(req), [writer, with_logits](Response resp) {
+      writer->write_line(response_to_json(resp, with_logits));
+    });
+    return;
+  }
+
+  if (op == "reload") {
+    const std::string checkpoint = doc.string_or("checkpoint", "");
+    const std::string model_id = doc.string_or("model", "default");
+    if (checkpoint.empty()) {
+      writer->write_line(error_line("reload: missing checkpoint"));
+      return;
+    }
+    try {
+      pnc::serve::ModelConfig config = build_model(recipe, checkpoint);
+      const std::uint64_t digest = config.checkpoint_digest;
+      const std::uint64_t generation =
+          server.load_model(model_id, std::move(config));
+      std::ostringstream out;
+      out << "{\"op\":\"reload\",\"status\":\"ok\",\"model\":\""
+          << pnc::serve::json_escape(model_id)
+          << "\",\"generation\":" << generation << ",\"digest\":" << digest
+          << "}";
+      writer->write_line(out.str());
+    } catch (const std::exception& error) {
+      writer->write_line(error_line(std::string("reload: ") + error.what()));
+    }
+    return;
+  }
+
+  if (op == "stats") {
+    writer->write_line(stats_to_json(server.stats()));
+    return;
+  }
+
+  writer->write_line(error_line("unknown op '" + op + "'"));
+}
+
+void serve_stdio(pnc::serve::Server& server, const ModelRecipe& recipe,
+                 bool with_logits) {
+  auto writer = std::make_shared<StdoutWriter>();
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    handle_line(server, recipe, line, writer, with_logits);
+  }
+  server.stop();  // drain in-flight requests; callbacks flush before exit
+}
+
+void serve_connection(pnc::serve::Server& server, const ModelRecipe& recipe,
+                      int fd, bool with_logits) {
+  auto writer = std::make_shared<FdWriter>(fd);
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty()) handle_line(server, recipe, line, writer, with_logits);
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+int serve_socket(pnc::serve::Server& server, const ModelRecipe& recipe,
+                 const std::string& path, bool with_logits) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) die("socket: " + std::string(std::strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) die("socket path too long");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    die("bind " + path + ": " + std::strerror(errno));
+  }
+  if (::listen(listener, 16) != 0) {
+    die("listen: " + std::string(std::strerror(errno)));
+  }
+  std::cerr << "pnc_serve: listening on " << path << "\n";
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::thread(
+        [&server, &recipe, fd, with_logits] {
+          serve_connection(server, recipe, fd, with_logits);
+        })
+        .detach();
+  }
+  ::close(listener);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pnc;
+
+  std::string checkpoint_path;
+  std::string socket_path;
+  ModelRecipe recipe;
+  serve::ServerConfig config;
+  double variation_delta = 0.0;
+  bool with_logits = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    else if (flag == "--checkpoint") checkpoint_path = value();
+    else if (flag == "--model") recipe.kind = value();
+    else if (flag == "--classes") recipe.n_classes = parse_size(flag, value());
+    else if (flag == "--dt") recipe.dt = parse_double(flag, value());
+    else if (flag == "--hidden-cap") recipe.hidden_cap = parse_size(flag, value());
+    else if (flag == "--variation") variation_delta = parse_double(flag, value());
+    else if (flag == "--seed") recipe.variation_seed = parse_u64(flag, value());
+    else if (flag == "--shards") config.shards = parse_size(flag, value());
+    else if (flag == "--max-batch") config.max_batch = parse_size(flag, value());
+    else if (flag == "--deadline-us") config.batch_deadline_us = parse_double(flag, value());
+    else if (flag == "--queue-capacity") config.queue_capacity = parse_size(flag, value());
+    else if (flag == "--logits") with_logits = true;
+    else if (flag == "--stdio") socket_path.clear();
+    else if (flag == "--socket") socket_path = value();
+    else die("unknown flag " + flag);
+  }
+  if (checkpoint_path.empty()) die("--checkpoint is required");
+  if (recipe.n_classes < 2) die("--classes must be >= 2");
+  if (recipe.dt <= 0.0) die("--dt must be > 0");
+  if (config.shards == 0) die("--shards must be >= 1");
+  if (config.max_batch == 0) die("--max-batch must be >= 1");
+  if (config.queue_capacity == 0) die("--queue-capacity must be >= 1");
+  if (config.batch_deadline_us < 0.0) die("--deadline-us must be >= 0");
+  if (variation_delta < 0.0) die("--variation must be >= 0");
+  if (variation_delta > 0.0) {
+    recipe.variation = variation::VariationSpec::printing(variation_delta);
+  }
+
+  serve::Server server(config);
+  try {
+    server.load_model("default", build_model(recipe, checkpoint_path));
+  } catch (const std::exception& error) {
+    die(error.what());
+  }
+  server.start();
+
+  if (!socket_path.empty()) {
+    return serve_socket(server, recipe, socket_path, with_logits);
+  }
+  serve_stdio(server, recipe, with_logits);
+  return 0;
+}
