@@ -1,0 +1,362 @@
+// Per-device SO-filter calibration (pnc::calib, DESIGN.md §12): how much
+// accuracy does a tiny on-device calibration pass claw back on defective,
+// noisy circuits that variation-aware (VA) and fault/noise-aware (FANT)
+// training alone could not save?
+//
+// Protocol: train VA and VA+FANT ADAPT-pNC models from the same
+// initialization (bench_fant's protocol), then sweep the PR 3 fault x
+// noise grid. Each cell fabricates several circuits (variation stamp +
+// defect mask + corrupted sensors) and scores four configurations:
+//
+//   clean     — the FANT model's un-faulted ceiling for the same stamp
+//   va        — VA-only model on the defective circuit (no calibration)
+//   fant      — VA+FANT model on the defective circuit (no calibration)
+//   fant+cal  — the same device after calibrate(): a few Adam steps on
+//               only the SO-filter RC deltas against a small calibration
+//               set drawn from the training split, corrupted exactly like
+//               the deployment inputs
+//
+// The headline metric is recovery_gain = fant+cal − fant per fabricated
+// circuit; on faulted cells its distribution (p10/p50/p90 via
+// util::percentiles) should sit at or above zero — calibration composes
+// with FANT, it does not replace it. A second axis re-runs the
+// aging-drift sweep (bench_aging_drift's DriftModel) with calibration:
+// the drifted device is exactly the regime where shifting RC products in
+// log space can follow the aging trend. Outputs: calibration_<ds>.csv per
+// dataset, calibration_aging_drift.csv for the drift axis, and
+// BENCH_calibration.json.
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pnc/calib/calibrator.hpp"
+#include "pnc/data/dataset.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/reliability/fault.hpp"
+#include "pnc/reliability/noise.hpp"
+#include "pnc/util/table.hpp"
+#include "pnc/variation/drift.hpp"
+
+namespace {
+
+using namespace pnc;
+
+// Engine-path accuracy of one stamped circuit (stamp at batch 1 +
+// broadcast: the serving realization) on a prepared split.
+double stamped_accuracy(const infer::Engine& engine,
+                        const variation::VariationSpec& spec,
+                        std::uint64_t seed, const data::Split& split,
+                        util::ThreadPool& pool) {
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(seed);
+  engine.stamp(plan, spec, rng, 1);
+  engine.broadcast_batch(plan, split.size());
+  ad::Tensor logits;
+  engine.forward(plan, split.inputs, logits, pool);
+  const std::size_t classes = logits.cols();
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < split.size(); ++r) {
+    const double* row = logits.data().data() + r * classes;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    hits += static_cast<std::size_t>(split.labels[r]) == best;
+  }
+  return static_cast<double>(hits) / static_cast<double>(split.size());
+}
+
+// First `count` rows of a split — the deployed device's calibration set.
+data::Split head_rows(const data::Split& split, std::size_t count) {
+  count = std::min(count, split.size());
+  data::Split out;
+  out.inputs = ad::Tensor::uninitialized(count, split.length());
+  std::copy_n(split.inputs.data().data(), count * split.length(),
+              out.inputs.data().data());
+  out.labels.assign(split.labels.begin(),
+                    split.labels.begin() + static_cast<long>(count));
+  return out;
+}
+
+// What the fabricated circuit actually reads: the series after the
+// device's sensor defects and this deployment's input corruption.
+data::Split corrupted(const data::Split& split,
+                      const reliability::FaultMask& mask,
+                      const reliability::NoiseSpec& noise,
+                      std::uint64_t noise_seed) {
+  data::Split out;
+  out.inputs = reliability::corrupt_inputs(
+      reliability::apply_sensor_faults(split.inputs, mask), noise, noise_seed);
+  out.labels = split.labels;
+  return out;
+}
+
+// Calibration set for one device: each reference series is read `reads`
+// times through the defective sensor, each read with an independent noise
+// realization. Averaging over reads keeps the handful of RC deltas from
+// chasing one particular noise draw (they must fix the circuit, not the
+// weather); a noise-free spec collapses to a single read.
+data::Split calibration_reads(const data::Split& base,
+                              const reliability::FaultMask& mask,
+                              const reliability::NoiseSpec& noise,
+                              std::uint64_t seed, std::size_t reads) {
+  if (!noise.any()) reads = 1;
+  const std::size_t rows = base.size();
+  const std::size_t steps = base.length();
+  data::Split out;
+  out.inputs = ad::Tensor::uninitialized(rows * reads, steps);
+  out.labels.resize(rows * reads);
+  for (std::size_t k = 0; k < reads; ++k) {
+    const data::Split read = corrupted(base, mask, noise, seed + k);
+    std::copy_n(read.inputs.data().data(), rows * steps,
+                out.inputs.data().data() + k * rows * steps);
+    std::copy_n(read.labels.begin(), rows, out.labels.begin() + k * rows);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::quick_mode();
+  const std::vector<std::string> datasets =
+      quick ? std::vector<std::string>{"PowerCons"}
+            : std::vector<std::string>{"PowerCons", "GPMVF"};
+  const std::vector<double> fault_rates =
+      quick ? std::vector<double>{0.0, 0.1}
+            : std::vector<double>{0.0, 0.05, 0.1};
+  const std::vector<double> noise_severities =
+      quick ? std::vector<double>{0.0, 1.0}
+            : std::vector<double>{0.0, 0.5, 1.0};
+  const std::size_t circuits = quick ? 2 : 4;
+  const std::size_t calib_rows = quick ? 48 : 96;
+  const std::size_t calib_reads = 2;  // noisy reads per calibration series
+
+  const reliability::NoiseSpec noise_unit = reliability::NoiseSpec::sensor(0.2);
+  const variation::VariationSpec print_spec =
+      variation::VariationSpec::printing(0.10);
+
+  calib::CalibConfig calib_config;
+  calib_config.iterations = quick ? 10 : 24;
+  calib_config.delta_decay = 0.05;  // trust region: healthy devices stay put
+
+  train::FantConfig fant;
+  fant.faults = reliability::FaultSpec::mixed(0.05);
+  fant.fault_probability = 0.5;
+  fant.noise = reliability::NoiseSpec::sensor(0.1);
+
+  bench::JsonReport report("calibration");
+  util::ThreadPool& pool = util::global_pool();
+  util::Table table({"dataset", "fault", "noise", "clean", "va", "fant",
+                     "fant+cal", "gain"});
+  std::vector<double> faulted_gains;  // fant+cal − fant on defective cells
+
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    const std::string& dataset = datasets[d];
+    train::ExperimentSpec spec = train::adapt_spec(dataset);
+    bench::apply_scale(spec);
+
+    const data::Dataset ds =
+        data::make_dataset(dataset, spec.data_seed, spec.sequence_length);
+    const auto classes = static_cast<std::size_t>(ds.num_classes);
+
+    // Same seed -> same initialization: the comparison isolates training
+    // objective and calibration, not the initial component draw.
+    auto va_model = train::make_model(spec, classes, ds.sample_period, 7);
+    auto fant_model = train::make_model(spec, classes, ds.sample_period, 7);
+    train::TrainConfig va_config = spec.train;
+    va_config.seed = 7;
+    train::TrainConfig fant_config = va_config;
+    fant_config.fant = fant;
+
+    report.timed_phase(dataset + "_train", [&] {
+      util::global_pool().parallel_for(2, [&](std::size_t i) {
+        if (i == 0) {
+          std::cerr << "[calib] " << dataset << ": training VA-only...\n";
+          (void)train::train(*va_model, ds, va_config);
+        } else {
+          std::cerr << "[calib] " << dataset << ": training VA+FANT...\n";
+          (void)train::train(*fant_model, ds, fant_config);
+        }
+      });
+    });
+
+    const infer::Engine va_engine = infer::Engine::compile(*va_model);
+    const infer::Engine fant_engine = infer::Engine::compile(*fant_model);
+
+    // Variation seeds depend only on the circuit index, so every cell
+    // defects and calibrates the *same* fabricated devices.
+    std::vector<std::uint64_t> seeds(circuits);
+    for (std::size_t c = 0; c < circuits; ++c) {
+      seeds[c] = 1000 * (d + 1) + 17 * c + 3;
+    }
+    std::vector<double> clean_acc(circuits);
+    for (std::size_t c = 0; c < circuits; ++c) {
+      clean_acc[c] =
+          stamped_accuracy(fant_engine, print_spec, seeds[c], ds.test, pool);
+    }
+    const double clean_mean =
+        util::mean({clean_acc.data(), clean_acc.size()});
+    report.metric(dataset + "_clean_accuracy", clean_mean);
+
+    const data::Split calib_base = head_rows(ds.train, calib_rows);
+
+    report.timed_phase(dataset + "_grid", [&] {
+      for (const double rate : fault_rates) {
+        for (const double severity : noise_severities) {
+          const reliability::FaultSpec fault_spec =
+              reliability::FaultSpec::mixed(rate);
+          const reliability::NoiseSpec noise = noise_unit.scaled(severity);
+
+          std::vector<double> va_acc(circuits), fant_acc(circuits),
+              cal_acc(circuits);
+          for (std::size_t c = 0; c < circuits; ++c) {
+            const std::uint64_t vseed = seeds[c];
+            const std::uint64_t fault_seed = vseed ^ 0x6661756c74ULL;
+            const reliability::FaultMask mask =
+                reliability::FaultInjector(fault_spec, fault_seed)
+                    .draw(fant_engine);
+
+            // The calibration set and the held-out evaluation pass
+            // through the same defective sensors but independent noise
+            // realizations — calibration never sees the test noise.
+            const data::Split calib_split = calibration_reads(
+                calib_base, mask, noise, vseed * 16 + 1, calib_reads);
+            const data::Split eval_split =
+                corrupted(ds.test, mask, noise, vseed * 16 + 11);
+
+            infer::Engine faulted_va = va_engine;
+            reliability::apply_faults(faulted_va, mask);
+            va_acc[c] = stamped_accuracy(faulted_va, print_spec, vseed,
+                                         eval_split, pool);
+
+            infer::Engine faulted_fant = fant_engine;
+            reliability::apply_faults(faulted_fant, mask);
+            calib::Device device(faulted_fant, print_spec, vseed);
+            device.loss(eval_split, pool, &fant_acc[c]);
+            (void)calib::calibrate(device, calib_split, calib_config);
+            device.loss(eval_split, pool, &cal_acc[c]);
+
+            if (rate > 0.0 || severity > 0.0) {
+              faulted_gains.push_back(cal_acc[c] - fant_acc[c]);
+            }
+          }
+
+          const double va_mean = util::mean({va_acc.data(), circuits});
+          const double fant_mean = util::mean({fant_acc.data(), circuits});
+          const double cal_mean = util::mean({cal_acc.data(), circuits});
+          table.add_row({dataset, util::format_fixed(rate, 2),
+                         util::format_fixed(severity, 1),
+                         util::format_fixed(clean_mean, 3),
+                         util::format_fixed(va_mean, 3),
+                         util::format_fixed(fant_mean, 3),
+                         util::format_fixed(cal_mean, 3),
+                         util::format_fixed(cal_mean - fant_mean, 3)});
+          const std::string key = dataset + "_f" + util::format_fixed(rate, 2) +
+                                  "_n" + util::format_fixed(severity, 1);
+          report.metric(key + "_va", va_mean);
+          report.metric(key + "_fant", fant_mean);
+          report.metric(key + "_fant_cal", cal_mean);
+          report.metric(key + "_gain", cal_mean - fant_mean);
+        }
+      }
+    });
+  }
+
+  std::cout << "\nPer-device calibration on the fault x noise grid ("
+            << circuits << " circuits per cell, " << calib_rows
+            << " calibration series x " << calib_reads << " noisy reads, "
+            << calib_config.iterations
+            << " Adam steps on the SO-filter deltas only)\n\n";
+  table.print(std::cout);
+  table.write_csv("calibration_" + datasets[0] + ".csv");
+
+  // Aging-drift axis (bench_aging_drift's setting, now with calibration):
+  // the device's RC products drift over its lifetime, and the calibrator
+  // shifts exactly those products in log space — so this is the regime
+  // where a handful of per-channel deltas should track the damage.
+  // SmoothS is the dataset where that sweep shows real degradation.
+  const std::vector<double> ages =
+      quick ? std::vector<double>{0.0, 2.0, 4.0}
+            : std::vector<double>{0.0, 1.0, 2.0, 4.0};
+  auto printing = std::make_shared<variation::UniformVariation>(0.10);
+  variation::DriftModel::Config drift;
+  drift.trend_per_ref = 0.08;
+  drift.spread_per_ref = 0.06;
+
+  const std::string drift_dataset = "SmoothS";
+  train::ExperimentSpec drift_spec_exp = train::adapt_spec(drift_dataset);
+  bench::apply_scale(drift_spec_exp);
+  const data::Dataset drift_ds = data::make_dataset(
+      drift_dataset, drift_spec_exp.data_seed, drift_spec_exp.sequence_length);
+  const data::Split drift_calib = head_rows(drift_ds.train, calib_rows);
+
+  std::cerr << "[calib] " << drift_dataset
+            << ": training VA+FANT for the drift axis...\n";
+  auto drift_model = train::make_model(
+      drift_spec_exp, static_cast<std::size_t>(drift_ds.num_classes),
+      drift_ds.sample_period, 7);
+  train::TrainConfig drift_train = drift_spec_exp.train;
+  drift_train.seed = 7;
+  drift_train.fant = fant;
+  report.timed_phase(drift_dataset + "_train", [&] {
+    (void)train::train(*drift_model, drift_ds, drift_train);
+  });
+  const infer::Engine drift_engine = infer::Engine::compile(*drift_model);
+
+  util::Table drift_table(
+      {"Device age (t/t_ref)", "uncalibrated acc", "calibrated acc", "gain"});
+  report.timed_phase("aging_drift", [&] {
+    for (std::size_t a = 0; a < ages.size(); ++a) {
+      const double age = ages[a];
+      const variation::VariationSpec eval =
+          variation::drift_spec(printing, drift, age);
+      std::vector<double> uncal(circuits), cal(circuits);
+      for (std::size_t c = 0; c < circuits; ++c) {
+        const std::uint64_t vseed = 9000 + 23 * c;
+        calib::Device device(drift_engine, eval, vseed);
+        device.loss(drift_ds.test, pool, &uncal[c]);
+        (void)calib::calibrate(device, drift_calib, calib_config);
+        device.loss(drift_ds.test, pool, &cal[c]);
+      }
+      const double uncal_mean = util::mean({uncal.data(), circuits});
+      const double cal_mean = util::mean({cal.data(), circuits});
+      drift_table.add_row({util::format_fixed(age, 1),
+                           util::format_fixed(uncal_mean, 3),
+                           util::format_fixed(cal_mean, 3),
+                           util::format_fixed(cal_mean - uncal_mean, 3)});
+      const std::string key = "drift_age" + util::format_fixed(age, 1);
+      report.metric(key + "_uncalibrated", uncal_mean);
+      report.metric(key + "_calibrated", cal_mean);
+    }
+  });
+
+  std::cout << "\nCalibration over device lifetime on " << drift_dataset
+            << " (as-printed ±10% variation composed with aging drift; "
+               "calibration re-fits only the SO-filter RC deltas)\n\n";
+  drift_table.print(std::cout);
+  drift_table.write_csv("calibration_aging_drift.csv");
+
+  // Recovery distribution across every defective fabricated circuit: the
+  // acceptance bar is that calibration does not hurt (p10 ≈ 0 or above)
+  // and typically helps (p50 > 0).
+  const std::vector<double> ps =
+      util::percentiles(faulted_gains, {10.0, 50.0, 90.0});
+  report.metric("recovery_gain_p10", ps[0]);
+  report.metric("recovery_gain_p50", ps[1]);
+  report.metric("recovery_gain_p90", ps[2]);
+  report.metric("faulted_circuits", static_cast<double>(faulted_gains.size()));
+  report.metric("circuits_per_cell", static_cast<double>(circuits));
+  std::cout << "\nrecovery gain (fant+cal − fant) over " << faulted_gains.size()
+            << " defective circuits: p10=" << util::format_fixed(ps[0], 3)
+            << " p50=" << util::format_fixed(ps[1], 3)
+            << " p90=" << util::format_fixed(ps[2], 3) << "\n";
+
+  report.write();
+  return 0;
+}

@@ -1,18 +1,17 @@
 #pragma once
 
-#include <algorithm>
 #include <chrono>
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <ostream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "pnc/train/experiment.hpp"
+#include "pnc/util/atomic_file.hpp"
 #include "pnc/util/simd.hpp"
+#include "pnc/util/stats.hpp"
 #include "pnc/util/thread_pool.hpp"
 
 // Build metadata stamped into every report. The bench CMakeLists passes
@@ -35,26 +34,11 @@ inline bool quick_mode() {
   return env != nullptr && std::string(env) == "1";
 }
 
-/// Percentiles of `values` (copied, then sorted) at the requested points
-/// `ps` (each in [0, 100]), with linear interpolation between adjacent
-/// order statistics — the numpy default convention, so a latency p99
-/// printed here matches a notebook's np.percentile over the same samples.
-/// An empty sample yields all zeros.
-inline std::vector<double> percentiles(std::vector<double> values,
-                                       const std::vector<double>& ps) {
-  std::vector<double> out(ps.size(), 0.0);
-  if (values.empty()) return out;
-  std::sort(values.begin(), values.end());
-  for (std::size_t i = 0; i < ps.size(); ++i) {
-    const double p = std::clamp(ps[i], 0.0, 100.0);
-    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
-    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
-    const double frac = rank - static_cast<double>(lo);
-    out[i] = values[lo] + frac * (values[hi] - values[lo]);
-  }
-  return out;
-}
+/// Percentile helper shared with the library code (latency p50/p95/p99,
+/// recovery distributions): numpy-default linear interpolation, empty
+/// sample yields all zeros. Lives in pnc::util so non-bench code (the
+/// calibration campaign) uses the same convention.
+using util::percentiles;
 
 /// Shared training protocol for all table/figure harnesses.
 inline void apply_scale(train::ExperimentSpec& spec) {
@@ -114,13 +98,12 @@ class JsonReport {
   double seconds_since_start() const { return elapsed_since(start_); }
 
   /// Write BENCH_<name>.json in the current directory. The report is
-  /// staged to a temp file and renamed into place, so a reader (CI
-  /// polling, a crashed run's leftovers) never sees a half-written file.
+  /// staged to a temp file and renamed into place (util::atomic_write_file),
+  /// so a reader (CI polling, a crashed run's leftovers) never sees a
+  /// half-written file.
   void write() const {
     const std::string path = "BENCH_" + name_ + ".json";
-    const std::string tmp = path + ".tmp";
-    {
-      std::ofstream out(tmp);
+    util::atomic_write_file(path, [&](std::ostream& out) {
       out.precision(17);  // round-trip exact: bit-differences are visible
       out << "{\n";
       out << "  \"name\": \"" << name_ << "\",\n";
@@ -149,8 +132,7 @@ class JsonReport {
       write_pairs(out, metrics_);
       out << "}\n";
       out << "}\n";
-    }
-    std::rename(tmp.c_str(), path.c_str());
+    });
   }
 
  private:
@@ -173,7 +155,7 @@ class JsonReport {
   }
 
   static void write_pairs(
-      std::ofstream& out,
+      std::ostream& out,
       const std::vector<std::pair<std::string, double>>& pairs) {
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       if (i > 0) out << ",";

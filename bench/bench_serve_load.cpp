@@ -247,7 +247,7 @@ LadderResult run_ladder(std::shared_ptr<const pnc::infer::Engine> engine,
 
 std::string load_result_json(const LoadResult& r) {
   const std::vector<double> p =
-      pnc::bench::percentiles(r.latencies_ms, {50.0, 95.0, 99.0});
+      pnc::util::percentiles(r.latencies_ms, {50.0, 95.0, 99.0});
   std::ostringstream out;
   out.precision(17);
   out << "{\"target_rps\":" << r.target_rps
@@ -405,7 +405,7 @@ int main(int argc, char** argv) {
     report.timed_phase("pipe", [&] {
       pipe = run_pipe(pipe_cmd, pipe_requests, pipe_reload);
     });
-    const auto p = bench::percentiles(pipe.total_ms, {50.0, 95.0, 99.0});
+    const auto p = util::percentiles(pipe.total_ms, {50.0, 95.0, 99.0});
     report.metric("pipe_requests", static_cast<double>(pipe_requests));
     report.metric("pipe_ok", static_cast<double>(pipe.ok));
     report.metric("pipe_shed", static_cast<double>(pipe.shed));
@@ -464,7 +464,7 @@ int main(int argc, char** argv) {
     satN = ladder.saturation_rps;
 
     const auto p =
-        bench::percentiles(ladder.best.latencies_ms, {50.0, 95.0, 99.0});
+        util::percentiles(ladder.best.latencies_ms, {50.0, 95.0, 99.0});
     const std::string tag = "shards" + std::to_string(shards);
     report.metric("saturation_rps_" + tag, ladder.saturation_rps);
     report.metric("p50_ms_" + tag, p[0]);

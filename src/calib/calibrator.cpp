@@ -1,0 +1,434 @@
+#include "pnc/calib/calibrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "pnc/autodiff/ops.hpp"
+#include "pnc/calib/dual.hpp"
+
+namespace pnc::calib {
+
+namespace {
+
+/// Tangent slots evaluated per dual pass. The full gradient over P
+/// directions costs ceil(P / kChunk) passes; for the paper's models
+/// P = 2·(hidden + classes) ≲ 32, so 2–4 passes per iteration.
+constexpr std::size_t kChunk = 8;
+using D = Dual<kChunk>;
+
+struct StageDuals {
+  std::vector<D> a, b;  // per-channel filter coefficients with tangents
+};
+
+struct BlockDuals {
+  StageDuals s1, s2;
+  bool second = false;
+};
+
+void check_labels(const data::Split& split, std::size_t classes) {
+  for (std::size_t i = 0; i < split.labels.size(); ++i) {
+    const int label = split.labels[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= classes) {
+      throw std::out_of_range("calib: label " + std::to_string(label) +
+                              " outside [0, " + std::to_string(classes) +
+                              ")");
+    }
+  }
+}
+
+}  // namespace
+
+Device::Device(const infer::Engine& engine, variation::VariationSpec spec,
+               std::uint64_t variation_seed, std::size_t stamp_rows)
+    : engine_(&engine),
+      spec_(std::move(spec)),
+      seed_(variation_seed),
+      stamp_rows_(stamp_rows == 0 ? 1 : stamp_rows) {
+  if (!engine.is_printed()) {
+    throw std::invalid_argument(
+        "calib::Device: engine '" + engine.model_name() +
+        "' has no printed filter stages to calibrate");
+  }
+  plan_ = engine.make_plan();
+  util::Rng rng(seed_);
+  engine.stamp(plan_, spec_, rng, stamp_rows_, &trace_);
+  const std::vector<infer::PtpbBlockProgram>& blocks = engine.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const std::size_t stages =
+        blocks[b].order == core::FilterOrder::kSecond ? 2 : 1;
+    for (std::size_t s = 0; s < stages; ++s) {
+      StageRef ref;
+      ref.block = b;
+      ref.stage = s;
+      ref.offset = directions_;
+      ref.channels = blocks[b].n_out;
+      ref.dt = blocks[b].dt;
+      directions_ += ref.channels;
+      stages_.push_back(ref);
+    }
+  }
+  deltas_.assign(directions_, 0.0);
+}
+
+void Device::set_deltas(const std::vector<double>& deltas) {
+  if (deltas.size() != directions_) {
+    throw std::invalid_argument(
+        "calib::set_deltas: " + std::to_string(deltas.size()) +
+        " deltas for " + std::to_string(directions_) + " directions");
+  }
+  deltas_ = deltas;
+  std::vector<infer::StampedBlock>& blocks = plan_.mutable_blocks();
+  for (const StageRef& ref : stages_) {
+    const infer::StampTrace::Block& tb = trace_.blocks[ref.block];
+    const infer::StampTrace::Stage& tr = ref.stage == 0 ? tb.stage1 : tb.stage2;
+    ad::Tensor& a = ref.stage == 0 ? blocks[ref.block].a1 : blocks[ref.block].a2;
+    ad::Tensor& b = ref.stage == 0 ? blocks[ref.block].b1 : blocks[ref.block].b2;
+    // Same operation sequence as stamp_filter_stage, with rc·exp(δ) in
+    // place of rc. At δ = 0, rc·exp(0) = rc·1.0 is bitwise rc, so the
+    // zero-delta device is exactly the uncalibrated stamp.
+    for (std::size_t j = 0; j < ref.channels; ++j) {
+      const double rc = tr.rc(0, j) * std::exp(deltas_[ref.offset + j]);
+      const double denom = rc * tr.mu(0, j) + ref.dt;
+      a(0, j) = rc / denom;
+      b(0, j) = (1.0 / denom) * ref.dt;
+    }
+  }
+}
+
+void Device::check_rows(std::size_t rows) {
+  if (rows == 0) {
+    throw std::invalid_argument("calib: empty calibration set");
+  }
+  if (stamp_rows_ > 1) {
+    if (rows != stamp_rows_) {
+      throw std::invalid_argument(
+          "calib::Device: stamped per-row state for " +
+          std::to_string(stamp_rows_) + " rows, got a " +
+          std::to_string(rows) + "-row split");
+    }
+    return;
+  }
+  engine_->broadcast_batch(plan_, rows);
+}
+
+double Device::loss(const data::Split& split, util::ThreadPool& pool,
+                    double* accuracy) {
+  const std::size_t rows = split.size();
+  check_rows(rows);
+  const std::size_t classes = engine_->num_classes();
+  check_labels(split, classes);
+  ad::Tensor logits;
+  engine_->forward(plan_, split.inputs, logits, pool);
+  // Stable softmax + CE, the same arithmetic as ad::softmax_cross_entropy.
+  double total = 0.0;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t label = static_cast<std::size_t>(split.labels[r]);
+    double zmax = logits(r, 0);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (logits(r, c) > logits(r, best)) best = c;
+      zmax = std::max(zmax, logits(r, c));
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(logits(r, c) - zmax);
+    }
+    const double p = std::exp(logits(r, label) - zmax) / denom;
+    total -= std::log(std::max(p, 1e-300));
+    if (best == label) ++correct;
+  }
+  if (accuracy != nullptr) {
+    *accuracy = static_cast<double>(correct) / static_cast<double>(rows);
+  }
+  return total / static_cast<double>(rows);
+}
+
+std::vector<double> Device::gradient(const data::Split& split,
+                                     util::ThreadPool& pool,
+                                     double* loss_out) {
+  const std::size_t rows = split.size();
+  check_rows(rows);
+  const std::size_t classes = engine_->num_classes();
+  check_labels(split, classes);
+  const ad::Tensor& inputs = split.inputs;
+  const std::size_t steps = inputs.cols();
+  if (steps == 0) {
+    throw std::invalid_argument("calib: empty sequence");
+  }
+  const std::vector<infer::PtpbBlockProgram>& progs = engine_->blocks();
+  const std::vector<infer::StampedBlock>& sblocks = plan_.blocks();
+  const std::size_t nb = progs.size();
+  const double inv_steps = 1.0 / static_cast<double>(steps);
+
+  std::vector<double> grad(directions_, 0.0);
+  std::vector<double> row_loss(rows, 0.0);
+  double loss_val = 0.0;
+
+  for (std::size_t c0 = 0; c0 < directions_; c0 += kChunk) {
+    const std::size_t kc = std::min(kChunk, directions_ - c0);
+    // Filter coefficients as duals: each direction in this chunk seeds
+    // its slot through rc·exp(δ) → (a, b); everything downstream is
+    // plain chain-rule propagation.
+    std::vector<BlockDuals> coeffs(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      coeffs[b].second = progs[b].order == core::FilterOrder::kSecond;
+    }
+    for (const StageRef& ref : stages_) {
+      const infer::StampTrace::Block& tb = trace_.blocks[ref.block];
+      const infer::StampTrace::Stage& tr =
+          ref.stage == 0 ? tb.stage1 : tb.stage2;
+      StageDuals& sd =
+          ref.stage == 0 ? coeffs[ref.block].s1 : coeffs[ref.block].s2;
+      sd.a.resize(ref.channels);
+      sd.b.resize(ref.channels);
+      for (std::size_t j = 0; j < ref.channels; ++j) {
+        const std::size_t g = ref.offset + j;
+        const D d = (g >= c0 && g < c0 + kc)
+                        ? D::seeded(deltas_[g], g - c0)
+                        : D(deltas_[g]);
+        const D rc = tr.rc(0, j) * exp(d);
+        const D denom = rc * tr.mu(0, j) + ref.dt;
+        sd.a[j] = rc / denom;
+        sd.b[j] = (1.0 / denom) * ref.dt;
+      }
+    }
+
+    std::vector<double> grad_rows(rows * kc, 0.0);
+    const bool want_loss = c0 == 0;
+    pool.parallel_for(rows, [&](std::size_t i) {
+      // Rows are independent devices-in-time: each worker owns its own
+      // state buffers and writes only its grad_rows slice, so the fan-out
+      // cannot change any result.
+      std::vector<std::vector<D>> s1(nb), s2(nb), z(nb);
+      const std::size_t h0_row = stamp_rows_ > 1 ? i : 0;
+      for (std::size_t b = 0; b < nb; ++b) {
+        const std::size_t n_out = progs[b].n_out;
+        s1[b].resize(n_out);
+        z[b].resize(n_out);
+        for (std::size_t j = 0; j < n_out; ++j) {
+          s1[b][j] = D(sblocks[b].h0_1(h0_row, j));
+        }
+        if (coeffs[b].second) {
+          s2[b].resize(n_out);
+          for (std::size_t j = 0; j < n_out; ++j) {
+            s2[b][j] = D(sblocks[b].h0_2(h0_row, j));
+          }
+        }
+      }
+      std::vector<D> acc(classes);
+      for (std::size_t t = 0; t < steps; ++t) {
+        const double x = inputs(i, t);
+        const std::vector<D>* cur = nullptr;
+        for (std::size_t b = 0; b < nb; ++b) {
+          const infer::StampedBlock& sb = sblocks[b];
+          const std::size_t n_out = progs[b].n_out;
+          const std::size_t n_in = progs[b].n_in;
+          const BlockDuals& cd = coeffs[b];
+          for (std::size_t j = 0; j < n_out; ++j) {
+            // Crossbar + bias. The first block sees the raw series value
+            // (no tangents, zero-skip like the fused kernel); deeper
+            // blocks mix the previous block's dual outputs.
+            D y;
+            if (b == 0) {
+              y = D(x != 0.0 ? x * sb.weights(0, j) : 0.0);
+            } else {
+              for (std::size_t ii = 0; ii < n_in; ++ii) {
+                y = y + (*cur)[ii] * sb.weights(ii, j);
+              }
+            }
+            y = y + sb.bias(0, j);
+            // Learnable filter stage(s): h ← a·h + b·y.
+            s1[b][j] = cd.s1.a[j] * s1[b][j] + cd.s1.b[j] * y;
+            const D& f = cd.second
+                             ? (s2[b][j] = cd.s2.a[j] * s2[b][j] +
+                                           cd.s2.b[j] * s1[b][j])
+                             : s1[b][j];
+            // ptanh: z = η1 + η2·tanh((f − η3)·η4).
+            z[b][j] = sb.e1(0, j) +
+                      sb.e2(0, j) *
+                          tanh((f - sb.e3(0, j)) * sb.e4(0, j));
+          }
+          cur = &z[b];
+        }
+        for (std::size_t c = 0; c < classes; ++c) {
+          acc[c] = t == 0 ? (*cur)[c] : acc[c] + (*cur)[c];
+        }
+      }
+      // Read-out integrator mean, then close the chain through softmax
+      // cross-entropy analytically: ∂L/∂logit_c = (p_c − 1{c=label}) / B.
+      double zmax = acc[0].v * inv_steps;
+      for (std::size_t c = 1; c < classes; ++c) {
+        zmax = std::max(zmax, acc[c].v * inv_steps);
+      }
+      double denom = 0.0;
+      std::vector<double> p(classes);
+      for (std::size_t c = 0; c < classes; ++c) {
+        p[c] = std::exp(acc[c].v * inv_steps - zmax);
+        denom += p[c];
+      }
+      const std::size_t label = static_cast<std::size_t>(split.labels[i]);
+      for (std::size_t c = 0; c < classes; ++c) p[c] /= denom;
+      if (want_loss) {
+        row_loss[i] = -std::log(std::max(p[label], 1e-300));
+      }
+      double* gr = grad_rows.data() + i * kc;
+      for (std::size_t k = 0; k < kc; ++k) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < classes; ++c) {
+          const double residual = p[c] - (c == label ? 1.0 : 0.0);
+          s += residual * acc[c].t[k] * inv_steps;
+        }
+        gr[k] = s;
+      }
+    });
+    // Fixed-order serial reduction: the gradient cannot depend on which
+    // worker finished first — the 1-vs-N-thread bit-determinism contract.
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t k = 0; k < kc; ++k) {
+        grad[c0 + k] += grad_rows[i * kc + k];
+      }
+    }
+    if (want_loss) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < rows; ++i) s += row_loss[i];
+      loss_val = s / static_cast<double>(rows);
+    }
+  }
+  const double inv_batch = 1.0 / static_cast<double>(rows);
+  for (double& v : grad) v *= inv_batch;
+  if (loss_out != nullptr) *loss_out = loss_val;
+  return grad;
+}
+
+Overlay Device::make_overlay() const {
+  Overlay overlay;
+  overlay.family = engine_->model_name();
+  overlay.variation_seed = seed_;
+  for (const StageRef& ref : stages_) {
+    OverlayDelta d;
+    d.block = ref.block;
+    d.stage = ref.stage;
+    d.d_log_r = ad::Tensor(1, ref.channels);
+    d.d_log_c = ad::Tensor(1, ref.channels);
+    for (std::size_t j = 0; j < ref.channels; ++j) {
+      // Only the RC product is observable; split the log shift evenly so
+      // neither component leaves its printable window faster than needed.
+      const double half = 0.5 * deltas_[ref.offset + j];
+      d.d_log_r(0, j) = half;
+      d.d_log_c(0, j) = half;
+    }
+    overlay.deltas.push_back(std::move(d));
+  }
+  return overlay;
+}
+
+CalibResult calibrate(Device& device, const data::Split& calib,
+                      const CalibConfig& config) {
+  if (config.iterations < 0) {
+    throw std::invalid_argument("calibrate: iterations must be >= 0");
+  }
+  if (config.learning_rate <= 0.0) {
+    throw std::invalid_argument("calibrate: learning_rate must be > 0");
+  }
+  if (config.max_abs_delta <= 0.0) {
+    throw std::invalid_argument("calibrate: max_abs_delta must be > 0");
+  }
+  if (config.delta_decay < 0.0) {
+    throw std::invalid_argument("calibrate: delta_decay must be >= 0");
+  }
+  util::ThreadPool pool(config.threads);
+  const std::size_t n = device.directions();
+
+  CalibResult result;
+  std::vector<double> delta(n, 0.0);
+  device.set_deltas(delta);
+  result.initial_loss = device.loss(calib, pool, &result.initial_accuracy);
+  result.loss_history.push_back(result.initial_loss);
+
+  // Deterministic Adam in log-RC space. Loss for the history and for
+  // best-iterate selection is evaluated through the engine forward — the
+  // kernels that will serve the device — while the search direction comes
+  // from the dual pass. Selection uses the trust-region objective
+  // CE + λ·Σδ²; the initial point (δ = 0, zero penalty) is a candidate,
+  // so the kept iterate's raw CE can never exceed the uncalibrated CE.
+  const auto penalty = [&](const std::vector<double>& d) {
+    double sum = 0.0;
+    for (const double x : d) sum += x * x;
+    return config.delta_decay * sum;
+  };
+  std::vector<double> best = delta;
+  double best_objective = result.initial_loss;
+  std::vector<double> m(n, 0.0), v(n, 0.0);
+  for (int it = 1; it <= config.iterations; ++it) {
+    const std::vector<double> g = device.gradient(calib, pool);
+    const double bc1 = 1.0 - std::pow(config.beta1, it);
+    const double bc2 = 1.0 - std::pow(config.beta2, it);
+    for (std::size_t p = 0; p < n; ++p) {
+      const double gp = g[p] + 2.0 * config.delta_decay * delta[p];
+      m[p] = config.beta1 * m[p] + (1.0 - config.beta1) * gp;
+      v[p] = config.beta2 * v[p] + (1.0 - config.beta2) * gp * gp;
+      const double mhat = m[p] / bc1;
+      const double vhat = v[p] / bc2;
+      delta[p] -= config.learning_rate * mhat / (std::sqrt(vhat) +
+                                                 config.epsilon);
+      delta[p] = std::clamp(delta[p], -config.max_abs_delta,
+                            config.max_abs_delta);
+    }
+    device.set_deltas(delta);
+    const double l = device.loss(calib, pool);
+    result.loss_history.push_back(l);
+    if (l + penalty(delta) < best_objective) {
+      best_objective = l + penalty(delta);
+      best = delta;
+    }
+  }
+  device.set_deltas(best);
+  result.final_loss = device.loss(calib, pool, &result.final_accuracy);
+  result.iterations_run = config.iterations;
+  result.overlay = device.make_overlay();
+  return result;
+}
+
+std::vector<double> tape_filter_gradients(
+    core::SequenceClassifier& model, const variation::VariationSpec& spec,
+    std::uint64_t variation_seed, const data::Split& split,
+    std::vector<double>* d_log_c_out) {
+  for (ad::Parameter* p : model.parameters()) p->zero_grad();
+  ad::Graph g;
+  util::Rng rng(variation_seed);
+  const ad::Var logits = model.forward(g, split.inputs, spec, rng);
+  const ad::Var loss = ad::softmax_cross_entropy(logits, split.labels);
+  g.backward(loss);
+
+  const auto ends_with = [](const std::string& s, const char* suffix) {
+    const std::string suf(suffix);
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+  };
+  // parameters() enumerates layer-major, and FilterLayer lists its stages
+  // as log_r1, log_c1, log_r2, log_c2 — so appending in encounter order
+  // reproduces the Device's (block, stage, channel) direction order.
+  std::vector<double> d_log_r, d_log_c;
+  for (ad::Parameter* p : model.parameters()) {
+    const bool is_r =
+        ends_with(p->name, ".log_r1") || ends_with(p->name, ".log_r2");
+    const bool is_c =
+        ends_with(p->name, ".log_c1") || ends_with(p->name, ".log_c2");
+    if (!is_r && !is_c) continue;
+    std::vector<double>& dst = is_r ? d_log_r : d_log_c;
+    for (const double v : p->grad.data()) dst.push_back(v);
+  }
+  if (d_log_r.empty()) {
+    throw std::invalid_argument(
+        "tape_filter_gradients: model '" + model.name() +
+        "' has no SO-filter parameters");
+  }
+  if (d_log_c_out != nullptr) *d_log_c_out = std::move(d_log_c);
+  return d_log_r;
+}
+
+}  // namespace pnc::calib

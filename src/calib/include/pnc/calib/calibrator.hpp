@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pnc/calib/overlay.hpp"
+#include "pnc/core/model.hpp"
+#include "pnc/data/dataset.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/util/thread_pool.hpp"
+#include "pnc/variation/variation.hpp"
+
+namespace pnc::calib {
+
+/// Per-device SO-filter calibration (DESIGN.md §12).
+///
+/// Given one stamped (possibly faulty / drifted) circuit, fine-tune only
+/// the learnable filter time constants — a handful of scalars — against a
+/// small calibration set. Sensitivities come from a tape-free forward-mode
+/// dual-number pass over the compiled infer::Plan (see dual.hpp): with
+/// ~2·blocks·channels directions the whole gradient costs a few value
+/// passes, no graph, no per-device training loop state.
+///
+/// Parameterization: each direction k shifts the *RC product* of one
+/// (block, stage, channel) in log space — rc → rc·exp(δ_k). Only the
+/// product enters the filter coefficients a = rc/(rc·μ+Δt),
+/// b = Δt/(rc·μ+Δt), so log R and log C cannot be told apart from
+/// behaviour; the overlay splits each δ evenly between them to keep both
+/// inside the printable window.
+
+struct CalibConfig {
+  int iterations = 40;          ///< Adam steps over the calibration set
+  double learning_rate = 0.05;  ///< log-space step scale
+  double beta1 = 0.9;           ///< Adam first-moment decay
+  double beta2 = 0.999;         ///< Adam second-moment decay
+  double epsilon = 1e-8;        ///< Adam denominator floor
+  double max_abs_delta = 0.7;   ///< clamp per-direction |δ| (log space)
+  /// L2 pull toward the factory stamp (trust region): λ·Σδ² is added to
+  /// the calibration objective. With a small λ a healthy device stays at
+  /// δ ≈ 0 instead of chasing the calibration set's particular noise
+  /// draw; a genuinely drifted or defective circuit still moves because
+  /// its loss gradient is persistent. 0 disables the penalty.
+  double delta_decay = 0.0;
+  std::size_t threads = 0;      ///< dual-pass row fan-out; 0 = hardware
+};
+
+struct CalibResult {
+  double initial_loss = 0.0;      ///< calibration-set CE before tuning
+  double final_loss = 0.0;        ///< CE at the best (kept) iterate
+  double initial_accuracy = 0.0;  ///< calibration-set accuracy before
+  double final_accuracy = 0.0;    ///< accuracy at the kept iterate
+  int iterations_run = 0;
+  std::vector<double> loss_history;  ///< loss per iterate, [0] = initial
+  Overlay overlay;  ///< best deltas + stamp identity (see Device::make_overlay)
+};
+
+/// One captured physical device: a variation-stamped plan plus the
+/// realized per-channel (rc, μ) trace needed to re-derive the filter
+/// coefficients under log-space deltas with the exact stamp arithmetic.
+///
+/// `stamp_rows == 1` (the default) captures the device with serving
+/// semantics: one circuit, one initial state, broadcast to any batch —
+/// what pnc_infer / pnc::serve replay. `stamp_rows > 1` draws per-row
+/// initial filter states, matching the graph model's forward at that
+/// exact batch (used by the dual-vs-tape parity tests).
+///
+/// The engine must outlive the Device. At zero deltas the device is
+/// bit-identical to the uncalibrated engine stamp; set_deltas() consumes
+/// no RNG, so a calibration run is a pure function of (engine bytes,
+/// spec, seed, calibration set, config).
+class Device {
+ public:
+  Device(const infer::Engine& engine, variation::VariationSpec spec,
+         std::uint64_t variation_seed, std::size_t stamp_rows = 1);
+
+  /// Number of calibration directions: Σ over blocks/stages of channels.
+  std::size_t directions() const { return directions_; }
+
+  const std::vector<double>& deltas() const { return deltas_; }
+
+  /// Move the device to a new delta point: rewrite the stamped plan's
+  /// filter coefficients from the traced (rc, μ) under rc·exp(δ).
+  /// Throws std::invalid_argument on a size mismatch.
+  void set_deltas(const std::vector<double>& deltas);
+
+  /// Calibration-set CE loss (and optionally accuracy) at the current
+  /// deltas, evaluated through the engine's forward — the same kernels
+  /// that will serve the device.
+  double loss(const data::Split& split, util::ThreadPool& pool,
+              double* accuracy = nullptr);
+
+  /// Exact gradient of loss() w.r.t. every delta direction, from the
+  /// forward-mode dual pass. Bit-deterministic for any pool width: rows
+  /// fan out, per-row contributions reduce serially in row order.
+  std::vector<double> gradient(const data::Split& split,
+                               util::ThreadPool& pool,
+                               double* loss_out = nullptr);
+
+  /// Package the current deltas as an overlay: δ split evenly between
+  /// d_log_r and d_log_c per channel. Sets family and variation_seed;
+  /// the caller fills base_digest / fault metadata it knows.
+  Overlay make_overlay() const;
+
+  const infer::Engine& engine() const { return *engine_; }
+  std::uint64_t variation_seed() const { return seed_; }
+
+ private:
+  struct StageRef {
+    std::size_t block = 0;
+    std::size_t stage = 0;   // 0 or 1
+    std::size_t offset = 0;  // first direction index of this stage
+    std::size_t channels = 0;
+    double dt = 0.0;
+  };
+
+  void check_rows(std::size_t rows);
+
+  const infer::Engine* engine_;
+  variation::VariationSpec spec_;
+  std::uint64_t seed_ = 0;
+  std::size_t stamp_rows_ = 1;
+  infer::Plan plan_;
+  infer::StampTrace trace_;
+  std::vector<StageRef> stages_;
+  std::size_t directions_ = 0;
+  std::vector<double> deltas_;
+};
+
+/// Deterministic Adam over Device::gradient. Keeps the best-by-loss
+/// iterate (the initial point is a candidate, so final_loss never exceeds
+/// initial_loss) and leaves the device set to it. Consumes no RNG.
+CalibResult calibrate(Device& device, const data::Split& calib,
+                      const CalibConfig& config = {});
+
+/// Reverse-mode reference for the parity tests: realize the same device
+/// on the graph path (model.forward with Rng(variation_seed)), backward
+/// through softmax cross-entropy, and return the log-R gradients of every
+/// filter stage in the Device's canonical direction order (block-major,
+/// stage, channel). `d_log_c_out`, when given, receives the log-C
+/// gradients — mathematically equal to the log-R ones (only the RC
+/// product matters), differing only in rounding.
+std::vector<double> tape_filter_gradients(
+    core::SequenceClassifier& model, const variation::VariationSpec& spec,
+    std::uint64_t variation_seed, const data::Split& split,
+    std::vector<double>* d_log_c_out = nullptr);
+
+}  // namespace pnc::calib

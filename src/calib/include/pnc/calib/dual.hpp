@@ -1,0 +1,158 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace pnc::calib {
+
+/// Forward-mode dual number with K simultaneous tangent slots.
+///
+/// A Dual carries a value v and K directional derivatives t[k] = ∂v/∂p_k
+/// for K independent seed directions; every arithmetic op propagates both
+/// by the chain rule, so after a forward pass the output's tangents *are*
+/// the exact sensitivities — no tape, no graph, no replay. This is the
+/// DiffScalar / vector-forward-mode idiom: with K > 1 one pass amortizes
+/// the value computation over K directions (the calibrator chunks its
+/// parameter set into groups of K).
+///
+/// All operations are plain scalar arithmetic in a fixed order, so a pass
+/// over a fixed input is bit-deterministic on any machine/thread count.
+template <std::size_t K>
+struct Dual {
+  double v = 0.0;
+  std::array<double, K> t{};  // zero-initialized: constants have no tangent
+
+  constexpr Dual() = default;
+  constexpr Dual(double value) : v(value) {}  // NOLINT: implicit constant lift
+
+  /// A seed variable: value `value`, ∂/∂p_slot = 1.
+  static Dual seeded(double value, std::size_t slot) {
+    Dual d(value);
+    d.t[slot] = 1.0;
+    return d;
+  }
+};
+
+// --- arithmetic ---------------------------------------------------------
+
+template <std::size_t K>
+inline Dual<K> operator+(const Dual<K>& a, const Dual<K>& b) {
+  Dual<K> r(a.v + b.v);
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = a.t[k] + b.t[k];
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> operator-(const Dual<K>& a, const Dual<K>& b) {
+  Dual<K> r(a.v - b.v);
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = a.t[k] - b.t[k];
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> operator-(const Dual<K>& a) {
+  Dual<K> r(-a.v);
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = -a.t[k];
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> operator*(const Dual<K>& a, const Dual<K>& b) {
+  Dual<K> r(a.v * b.v);
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = a.t[k] * b.v + a.v * b.t[k];
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> operator/(const Dual<K>& a, const Dual<K>& b) {
+  Dual<K> r(a.v / b.v);
+  const double inv = 1.0 / b.v;
+  for (std::size_t k = 0; k < K; ++k) {
+    r.t[k] = (a.t[k] - r.v * b.t[k]) * inv;
+  }
+  return r;
+}
+
+// Mixed Dual/double forms avoid touching the constant's zero tangents.
+
+template <std::size_t K>
+inline Dual<K> operator+(const Dual<K>& a, double b) {
+  Dual<K> r = a;
+  r.v += b;
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> operator+(double a, const Dual<K>& b) {
+  return b + a;
+}
+
+template <std::size_t K>
+inline Dual<K> operator-(const Dual<K>& a, double b) {
+  Dual<K> r = a;
+  r.v -= b;
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> operator-(double a, const Dual<K>& b) {
+  Dual<K> r(a - b.v);
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = -b.t[k];
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> operator*(const Dual<K>& a, double b) {
+  Dual<K> r(a.v * b);
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = a.t[k] * b;
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> operator*(double a, const Dual<K>& b) {
+  return b * a;
+}
+
+template <std::size_t K>
+inline Dual<K> operator/(const Dual<K>& a, double b) {
+  Dual<K> r(a.v / b);
+  const double inv = 1.0 / b;
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = a.t[k] * inv;
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> operator/(double a, const Dual<K>& b) {
+  Dual<K> r(a / b.v);
+  const double inv = 1.0 / b.v;
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = -r.v * b.t[k] * inv;
+  return r;
+}
+
+// --- transcendental -----------------------------------------------------
+
+template <std::size_t K>
+inline Dual<K> exp(const Dual<K>& a) {
+  Dual<K> r(std::exp(a.v));
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = r.v * a.t[k];
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> log(const Dual<K>& a) {
+  Dual<K> r(std::log(a.v));
+  const double inv = 1.0 / a.v;
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = a.t[k] * inv;
+  return r;
+}
+
+template <std::size_t K>
+inline Dual<K> tanh(const Dual<K>& a) {
+  Dual<K> r(std::tanh(a.v));
+  const double sech2 = 1.0 - r.v * r.v;
+  for (std::size_t k = 0; k < K; ++k) r.t[k] = sech2 * a.t[k];
+  return r;
+}
+
+}  // namespace pnc::calib

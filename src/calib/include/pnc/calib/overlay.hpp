@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pnc/autodiff/tensor.hpp"
+#include "pnc/infer/engine.hpp"
+
+namespace pnc::calib {
+
+/// Per-device calibration result: tiny log-space shifts of the SO-filter
+/// component nominals, layered on top of a base checkpoint.
+///
+/// An overlay is keyed to the device it was calibrated for: the base
+/// checkpoint bytes (fnv1a64 digest), the model family, and the variation
+/// stamp (seed + printing delta, plus the defect-mask stream if the
+/// device was faulted). Applying an overlay to a different checkpoint or
+/// circuit realization would silently mis-tune it, so loaders check the
+/// key before applying.
+///
+/// The on-disk format is versioned text ("pnc-overlay v1"); doubles
+/// travel as raw IEEE-754 bit patterns (decimal uint64), so a round trip
+/// through disk is bit-exact — the property the serve plan cache relies
+/// on when it keys entries by overlay digest.
+struct OverlayDelta {
+  std::size_t block = 0;  // pTPB block index (engine blocks() order)
+  std::size_t stage = 0;  // filter stage: 0 or (second order) 1
+  ad::Tensor d_log_r;     // (1 x channels) added to the block's log R
+  ad::Tensor d_log_c;     // (1 x channels) added to the block's log C
+};
+
+struct Overlay {
+  std::uint64_t base_digest = 0;     // fnv1a64_file of the base checkpoint
+  std::string family;                // engine model_name(), e.g. "adapt_pnc"
+  std::uint64_t variation_seed = 0;  // stamp stream: one seed = one circuit
+  std::uint64_t fault_seed = 0;      // defect-mask stream (0 = unfaulted)
+  double fault_rate = 0.0;           // defect rate the device was stamped at
+  double variation_delta = 0.0;      // printing ±delta of the stamp
+  std::vector<OverlayDelta> deltas;
+};
+
+void write_overlay(const Overlay& overlay, std::ostream& os);
+
+/// Parse and validate; throws std::runtime_error on bad magic/version,
+/// truncation, non-finite deltas or trailing garbage.
+Overlay read_overlay(std::istream& is);
+
+/// Atomic tmp+rename write via util::atomic_write_file.
+void save_overlay(const Overlay& overlay, const std::string& path);
+
+Overlay load_overlay(const std::string& path);
+
+/// fnv1a64 of the serialized overlay — the identity the serve plan cache
+/// mixes into its key, so two sessions with byte-identical overlays share
+/// stamped plans and any delta difference splits them.
+std::uint64_t overlay_digest(const Overlay& overlay);
+
+/// Shift `engine`'s filter nominals by the overlay's log-space deltas and
+/// re-derive the linear R/C tensors (exp of the shifted logs, the same
+/// elementwise traversal the compiler uses). Throws std::invalid_argument
+/// if the overlay addresses blocks/stages/shapes the engine does not
+/// have, or if `overlay.family` differs from engine.model_name().
+void apply_overlay(infer::Engine& engine, const Overlay& overlay);
+
+/// Check an overlay belongs to this checkpoint + device stamp before
+/// applying it: family, base digest (when both sides know one) and
+/// variation seed must match. Throws std::invalid_argument with an
+/// actionable message on mismatch.
+void require_overlay_matches(const Overlay& overlay, const std::string& family,
+                             std::uint64_t checkpoint_digest,
+                             std::uint64_t variation_seed);
+
+}  // namespace pnc::calib

@@ -1,0 +1,228 @@
+#include "pnc/calib/overlay.hpp"
+
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "pnc/util/atomic_file.hpp"
+#include "pnc/util/digest.hpp"
+
+namespace pnc::calib {
+
+namespace {
+
+constexpr const char* kMagic = "pnc-overlay";
+constexpr const char* kVersion = "v1";
+
+std::uint64_t to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double from_bits(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+std::uint64_t read_u64(std::istream& is, const char* what) {
+  std::uint64_t v = 0;
+  if (!(is >> v)) {
+    throw std::runtime_error(std::string("read_overlay: truncated ") + what);
+  }
+  return v;
+}
+
+double read_double_bits(std::istream& is, const char* what) {
+  return from_bits(read_u64(is, what));
+}
+
+void expect_keyword(std::istream& is, const char* keyword) {
+  std::string word;
+  if (!(is >> word) || word != keyword) {
+    throw std::runtime_error(std::string("read_overlay: expected '") +
+                             keyword + "', got '" + word + "'");
+  }
+}
+
+ad::Tensor read_delta_row(std::istream& is, std::size_t cols,
+                          const char* what) {
+  ad::Tensor row = ad::Tensor::uninitialized(1, cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    const double v = read_double_bits(is, what);
+    if (!std::isfinite(v)) {
+      throw std::runtime_error(std::string("read_overlay: non-finite ") +
+                               what);
+    }
+    row(0, j) = v;
+  }
+  return row;
+}
+
+void write_delta_row(std::ostream& os, const ad::Tensor& row) {
+  for (std::size_t j = 0; j < row.cols(); ++j) {
+    os << to_bits(row(0, j)) << (j + 1 == row.cols() ? '\n' : ' ');
+  }
+}
+
+}  // namespace
+
+void write_overlay(const Overlay& overlay, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "family " << overlay.family << '\n';
+  os << "base " << overlay.base_digest << '\n';
+  os << "variation-seed " << overlay.variation_seed << '\n';
+  os << "variation-delta " << to_bits(overlay.variation_delta) << '\n';
+  os << "fault-seed " << overlay.fault_seed << '\n';
+  os << "fault-rate " << to_bits(overlay.fault_rate) << '\n';
+  os << "deltas " << overlay.deltas.size() << '\n';
+  for (const OverlayDelta& d : overlay.deltas) {
+    os << "delta " << d.block << ' ' << d.stage << ' ' << d.d_log_r.cols()
+       << '\n';
+    write_delta_row(os, d.d_log_r);
+    write_delta_row(os, d.d_log_c);
+  }
+}
+
+Overlay read_overlay(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("read_overlay: not an overlay file (bad magic)");
+  }
+  if (version != kVersion) {
+    throw std::runtime_error(
+        "read_overlay: unsupported version '" + version +
+        "' (this build reads " + kVersion +
+        "; upgrade pnc or re-run the calibration)");
+  }
+  Overlay overlay;
+  expect_keyword(is, "family");
+  if (!(is >> overlay.family)) {
+    throw std::runtime_error("read_overlay: truncated family");
+  }
+  expect_keyword(is, "base");
+  overlay.base_digest = read_u64(is, "base digest");
+  expect_keyword(is, "variation-seed");
+  overlay.variation_seed = read_u64(is, "variation seed");
+  expect_keyword(is, "variation-delta");
+  overlay.variation_delta = read_double_bits(is, "variation delta");
+  expect_keyword(is, "fault-seed");
+  overlay.fault_seed = read_u64(is, "fault seed");
+  expect_keyword(is, "fault-rate");
+  overlay.fault_rate = read_double_bits(is, "fault rate");
+  expect_keyword(is, "deltas");
+  const std::uint64_t count = read_u64(is, "delta count");
+  overlay.deltas.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    expect_keyword(is, "delta");
+    OverlayDelta d;
+    d.block = read_u64(is, "delta block");
+    d.stage = read_u64(is, "delta stage");
+    if (d.stage > 1) {
+      throw std::runtime_error("read_overlay: delta stage " +
+                               std::to_string(d.stage) + " (want 0 or 1)");
+    }
+    const std::uint64_t cols = read_u64(is, "delta channels");
+    if (cols == 0) {
+      throw std::runtime_error("read_overlay: empty delta row");
+    }
+    d.d_log_r = read_delta_row(is, cols, "log-R delta");
+    d.d_log_c = read_delta_row(is, cols, "log-C delta");
+    overlay.deltas.push_back(std::move(d));
+  }
+  // Anything but whitespace past the last record means a concatenated or
+  // corrupted file — refuse it, like read_parameters does.
+  std::string trailing;
+  if (is >> trailing) {
+    throw std::runtime_error(
+        "read_overlay: trailing garbage after last delta: '" + trailing +
+        "'");
+  }
+  return overlay;
+}
+
+void save_overlay(const Overlay& overlay, const std::string& path) {
+  util::atomic_write_file(
+      path, [&](std::ostream& os) { write_overlay(overlay, os); },
+      "save_overlay");
+}
+
+Overlay load_overlay(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_overlay: cannot open " + path);
+  return read_overlay(f);
+}
+
+std::uint64_t overlay_digest(const Overlay& overlay) {
+  std::ostringstream os;
+  write_overlay(overlay, os);
+  const std::string body = os.str();
+  return util::fnv1a64(body.data(), body.size());
+}
+
+void apply_overlay(infer::Engine& engine, const Overlay& overlay) {
+  if (!overlay.family.empty() && overlay.family != engine.model_name()) {
+    throw std::invalid_argument("apply_overlay: overlay is for family '" +
+                                overlay.family + "', engine is '" +
+                                engine.model_name() + "'");
+  }
+  if (!engine.is_printed()) {
+    throw std::invalid_argument(
+        "apply_overlay: engine has no printed filter stages");
+  }
+  std::vector<infer::PtpbBlockProgram>& blocks = engine.mutable_blocks();
+  for (const OverlayDelta& d : overlay.deltas) {
+    if (d.block >= blocks.size()) {
+      throw std::invalid_argument("apply_overlay: delta for block " +
+                                  std::to_string(d.block) + ", engine has " +
+                                  std::to_string(blocks.size()));
+    }
+    infer::PtpbBlockProgram& prog = blocks[d.block];
+    if (d.stage == 1 && prog.order != core::FilterOrder::kSecond) {
+      throw std::invalid_argument(
+          "apply_overlay: stage-1 delta for a first-order block " +
+          std::to_string(d.block));
+    }
+    ad::Tensor& log_r = d.stage == 0 ? prog.log_r1 : prog.log_r2;
+    ad::Tensor& log_c = d.stage == 0 ? prog.log_c1 : prog.log_c2;
+    ad::Tensor& r = d.stage == 0 ? prog.r1 : prog.r2;
+    ad::Tensor& c = d.stage == 0 ? prog.c1 : prog.c2;
+    if (d.d_log_r.cols() != log_r.cols() ||
+        d.d_log_c.cols() != log_c.cols()) {
+      throw std::invalid_argument(
+          "apply_overlay: block " + std::to_string(d.block) + " stage " +
+          std::to_string(d.stage) + " has " + std::to_string(log_r.cols()) +
+          " channels, delta has " + std::to_string(d.d_log_r.cols()));
+    }
+    // Shift in log space (the trained parameterization), then re-derive
+    // the linear nominals exactly as the compiler does — the same edit a
+    // graph-model parameter update would make.
+    for (std::size_t j = 0; j < log_r.cols(); ++j) {
+      log_r(0, j) += d.d_log_r(0, j);
+      log_c(0, j) += d.d_log_c(0, j);
+    }
+    r = log_r.map([](double v) { return std::exp(v); });
+    c = log_c.map([](double v) { return std::exp(v); });
+  }
+}
+
+void require_overlay_matches(const Overlay& overlay, const std::string& family,
+                             std::uint64_t checkpoint_digest,
+                             std::uint64_t variation_seed) {
+  if (!overlay.family.empty() && overlay.family != family) {
+    throw std::invalid_argument("overlay family '" + overlay.family +
+                                "' does not match model family '" + family +
+                                "'");
+  }
+  if (overlay.base_digest != 0 && checkpoint_digest != 0 &&
+      overlay.base_digest != checkpoint_digest) {
+    throw std::invalid_argument(
+        "overlay was calibrated against a different checkpoint (base digest " +
+        std::to_string(overlay.base_digest) + ", loaded checkpoint " +
+        std::to_string(checkpoint_digest) + ")");
+  }
+  if (overlay.variation_seed != variation_seed) {
+    throw std::invalid_argument(
+        "overlay was calibrated for variation seed " +
+        std::to_string(overlay.variation_seed) + ", serving uses seed " +
+        std::to_string(variation_seed) +
+        " (a different fabricated circuit)");
+  }
+}
+
+}  // namespace pnc::calib

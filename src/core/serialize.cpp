@@ -1,7 +1,6 @@
 #include "pnc/core/serialize.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -9,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 #include <vector>
+
+#include "pnc/util/atomic_file.hpp"
 
 namespace pnc::core {
 
@@ -113,24 +114,9 @@ void read_parameters(SequenceClassifier& model, std::istream& is) {
 }
 
 void save_parameters(SequenceClassifier& model, const std::string& path) {
-  // Stage to a sibling temp file and rename into place: rename(2) is
-  // atomic within a filesystem, so a crash mid-write can truncate only
-  // the staging file, never a checkpoint a reader might load.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp);
-    if (!f) throw std::runtime_error("save_parameters: cannot open " + tmp);
-    write_parameters(model, f);
-    f.flush();
-    if (!f) {
-      throw std::runtime_error("save_parameters: write failure on " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("save_parameters: cannot rename " + tmp +
-                             " to " + path);
-  }
+  util::atomic_write_file(
+      path, [&](std::ostream& os) { write_parameters(model, os); },
+      "save_parameters");
 }
 
 void load_parameters(SequenceClassifier& model, const std::string& path) {

@@ -37,7 +37,8 @@ ad::Tensor exp_of(const ad::Tensor& log_values) {
 void stamp_filter_stage(const ad::Tensor& r_nominal,
                         const ad::Tensor& c_nominal, double dt,
                         const variation::VariationSpec& spec, util::Rng& rng,
-                        ad::Tensor& a_out, ad::Tensor& b_out) {
+                        ad::Tensor& a_out, ad::Tensor& b_out,
+                        StampTrace::Stage* trace) {
   const std::size_t ch = r_nominal.cols();
   ensure_shape(a_out, 1, ch);
   ensure_shape(b_out, 1, ch);
@@ -47,12 +48,20 @@ void stamp_filter_stage(const ad::Tensor& r_nominal,
     for (auto& v : r.data()) v *= spec.component->sample(rng);
     for (auto& v : c.data()) v *= spec.component->sample(rng);
   }
+  if (trace != nullptr) {
+    ensure_shape(trace->rc, 1, ch);
+    ensure_shape(trace->mu, 1, ch);
+  }
   for (std::size_t j = 0; j < ch; ++j) {
     const double rc = r(0, j) * c(0, j);
     const double mu = spec.sample_mu(rng);
     const double denom = rc * mu + dt;
     a_out(0, j) = rc / denom;
     b_out(0, j) = (1.0 / denom) * dt;
+    if (trace != nullptr) {
+      trace->rc(0, j) = rc;
+      trace->mu(0, j) = mu;
+    }
   }
 }
 
@@ -223,7 +232,7 @@ Plan Engine::make_plan() const {
 
 void Engine::stamp_block(const PtpbBlockProgram& prog, StampedBlock& out,
                          const variation::VariationSpec& spec, util::Rng& rng,
-                         std::size_t batch) const {
+                         std::size_t batch, StampTrace::Block* trace) const {
   // --- Crossbar (CrossbarLayer::begin) ---
   // θ factors for the full (n_in x n_out) matrix are drawn before the
   // (1 x n_out) bias factors; g_total accumulates |θ| rows top-down, then
@@ -255,10 +264,12 @@ void Engine::stamp_block(const PtpbBlockProgram& prog, StampedBlock& out,
   }
 
   // --- Filter bank (FilterLayer::begin) ---
-  stamp_filter_stage(prog.r1, prog.c1, prog.dt, spec, rng, out.a1, out.b1);
+  stamp_filter_stage(prog.r1, prog.c1, prog.dt, spec, rng, out.a1, out.b1,
+                     trace != nullptr ? &trace->stage1 : nullptr);
   stamp_initial_state(spec, rng, batch, n_out, out.h0_1);
   if (prog.order == core::FilterOrder::kSecond) {
-    stamp_filter_stage(prog.r2, prog.c2, prog.dt, spec, rng, out.a2, out.b2);
+    stamp_filter_stage(prog.r2, prog.c2, prog.dt, spec, rng, out.a2, out.b2,
+                       trace != nullptr ? &trace->stage2 : nullptr);
     stamp_initial_state(spec, rng, batch, n_out, out.h0_2);
   }
 
@@ -270,11 +281,14 @@ void Engine::stamp_block(const PtpbBlockProgram& prog, StampedBlock& out,
 }
 
 void Engine::stamp(Plan& plan, const variation::VariationSpec& spec,
-                   util::Rng& rng, std::size_t batch) const {
+                   util::Rng& rng, std::size_t batch,
+                   StampTrace* trace) const {
   if (batch == 0) throw std::invalid_argument("infer::stamp: empty batch");
   plan.blocks_.resize(blocks_.size());
+  if (trace != nullptr) trace->blocks.resize(blocks_.size());
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
-    stamp_block(blocks_[b], plan.blocks_[b], spec, rng, batch);
+    stamp_block(blocks_[b], plan.blocks_[b], spec, rng, batch,
+                trace != nullptr ? &trace->blocks[b] : nullptr);
   }
   plan.batch_ = batch;  // the Elman program draws nothing
   plan.broadcast_ = false;

@@ -76,6 +76,24 @@ struct StampedBlock {
 
 class Engine;
 
+/// Realized (post-variation) filter-stage inputs recorded while stamping,
+/// for per-device calibration (pnc::calib): the stamped coefficients
+/// a = rc/(rc·μ + dt), b = dt/(rc·μ + dt) are a lossy view of the drawn
+/// circuit, so the calibrator captures the exact RC product and coupling
+/// μ per channel and re-derives (a, b) under log-space RC shifts with the
+/// same operation sequence as stamp().
+struct StampTrace {
+  struct Stage {
+    ad::Tensor rc;  // (1 x n_out) realized R·C per channel
+    ad::Tensor mu;  // (1 x n_out) coupling draw per channel
+  };
+  struct Block {
+    Stage stage1;
+    Stage stage2;  // empty for first-order blocks
+  };
+  std::vector<Block> blocks;  // one per pTPB block; empty for Elman
+};
+
 /// Mutable execution state: stamped weights + reusable scratch buffers.
 /// Create with Engine::make_plan(); never share one Plan across threads.
 class Plan {
@@ -84,6 +102,12 @@ class Plan {
   bool stamped() const { return batch_ > 0; }
 
   const std::vector<StampedBlock>& blocks() const { return blocks_; }
+
+  /// Mutable access to the stamped blocks, for pnc::calib: the calibrator
+  /// rewrites the filter coefficients (a1/b1/a2/b2) of an already-stamped
+  /// plan in place as its log-space RC deltas move. Callers must preserve
+  /// shapes and leave everything else (weights, h0, η) untouched.
+  std::vector<StampedBlock>& mutable_blocks() { return blocks_; }
 
  private:
   friend class Engine;
@@ -123,9 +147,11 @@ class Engine {
   /// initial filter voltages are drawn from `rng` in exactly the order the
   /// graph-based forward consumes them. Re-stamping reuses the plan's
   /// buffers. The Elman program has no printed components and draws
-  /// nothing.
+  /// nothing. When `trace` is non-null the realized filter-stage RC
+  /// products and μ draws are recorded into it (see StampTrace); the RNG
+  /// stream and the stamped plan are identical either way.
   void stamp(Plan& plan, const variation::VariationSpec& spec, util::Rng& rng,
-             std::size_t batch) const;
+             std::size_t batch, StampTrace* trace = nullptr) const;
 
   /// Re-shape an already stamped plan to serve forward batches of `batch`
   /// rows on the *same* fabricated circuit: the per-row initial filter
@@ -176,7 +202,7 @@ class Engine {
 
   void stamp_block(const PtpbBlockProgram& prog, StampedBlock& out,
                    const variation::VariationSpec& spec, util::Rng& rng,
-                   std::size_t batch) const;
+                   std::size_t batch, StampTrace::Block* trace) const;
   void forward_rows(Plan& plan, const ad::Tensor& inputs, ad::Tensor& logits,
                     std::size_t row_begin, std::size_t row_end,
                     std::size_t shard) const;

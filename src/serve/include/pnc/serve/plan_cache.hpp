@@ -21,14 +21,18 @@ namespace pnc::serve {
 ///
 /// Two requests may share stamped plans only when they agree on all of:
 /// the checkpoint bytes (digest), the variation stamp stream (seed — one
-/// seed is one fabricated circuit), the model family, and the registry
-/// generation. The generation makes hot-reloaded revisions distinct even
-/// if a caller supplies a stale digest, so a reload can never serve plans
-/// stamped from the previous engine.
+/// seed is one fabricated circuit), the model family, the registry
+/// generation, and the calibration overlay (digest of its serialized
+/// bytes; 0 = the uncalibrated base circuit). The generation makes
+/// hot-reloaded revisions distinct even if a caller supplies a stale
+/// digest, so a reload can never serve plans stamped from the previous
+/// engine; the overlay digest splits per-session calibrated devices off
+/// the base entry while letting byte-identical overlays share plans.
 struct PlanKey {
   std::uint64_t checkpoint_digest = 0;
   std::uint64_t variation_seed = 0;
   std::uint64_t generation = 0;
+  std::uint64_t overlay_digest = 0;
   std::string family;  // engine model_name(), e.g. "adapt_pnc"
 
   bool operator==(const PlanKey&) const = default;
@@ -39,6 +43,7 @@ struct PlanKeyHash {
     std::uint64_t h = util::fnv1a64(&k.checkpoint_digest, sizeof(k.checkpoint_digest));
     h = util::fnv1a64(&k.variation_seed, sizeof(k.variation_seed), h);
     h = util::fnv1a64(&k.generation, sizeof(k.generation), h);
+    h = util::fnv1a64(&k.overlay_digest, sizeof(k.overlay_digest), h);
     h = util::fnv1a64(k.family.data(), k.family.size(), h);
     return static_cast<std::size_t>(h);
   }

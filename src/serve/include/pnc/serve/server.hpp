@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pnc/calib/overlay.hpp"
 #include "pnc/infer/engine.hpp"
 #include "pnc/serve/plan_cache.hpp"
 #include "pnc/serve/queue.hpp"
@@ -60,6 +61,15 @@ class Server {
   /// generation. Thread-safe; may be called while serving.
   std::uint64_t load_model(const std::string& id, ModelConfig config);
 
+  /// Register (or replace) a per-device calibration overlay under `id`.
+  /// Requests opt in by naming it in Request::overlay; the overlay's
+  /// identity check against the request's model (family, base checkpoint
+  /// digest, variation seed) happens at submit time, so one overlay can be
+  /// registered before or after the models it serves. Returns the overlay
+  /// digest (the plan-cache key component). Thread-safe.
+  std::uint64_t register_overlay(const std::string& id,
+                                 calib::Overlay overlay);
+
   /// Spawn the worker shards. Idempotent.
   void start();
 
@@ -92,18 +102,29 @@ class Server {
     std::uint64_t generation = 0;
   };
 
+  /// Immutable registered overlay: parsed deltas plus the digest of its
+  /// serialized bytes. Requests pin it via shared_ptr like ModelState.
+  struct OverlayState {
+    std::string id;
+    calib::Overlay overlay;
+    std::uint64_t digest = 0;
+  };
+
   /// One admitted request riding the queue.
   struct Pending {
     Request req;
     Callback done;
     std::shared_ptr<const ModelState> model;
+    std::shared_ptr<const OverlayState> overlay;  // null = base circuit
     std::chrono::steady_clock::time_point submitted;
   };
 
   /// Coalescing key: same revision (pointer identity — a reload makes a
-  /// new ModelState) and same series length (rows of one forward tensor).
+  /// new ModelState), same overlay (same physical device), and same
+  /// series length (rows of one forward tensor).
   struct BatchKey {
     const ModelState* model = nullptr;
+    const OverlayState* overlay = nullptr;
     std::size_t series_len = 0;
     bool operator==(const BatchKey&) const = default;
   };
@@ -118,6 +139,8 @@ class Server {
 
   mutable std::mutex models_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const ModelState>> models_;
+  std::unordered_map<std::string, std::shared_ptr<const OverlayState>>
+      overlays_;
   std::uint64_t next_generation_ = 0;
 
   std::mutex lifecycle_mutex_;

@@ -18,9 +18,13 @@ const char* status_name(Status status);
 
 /// One inference request: a univariate series to classify with a
 /// registered model. `id` is caller-chosen and echoed on the response.
+/// `overlay` optionally names a per-device calibration overlay registered
+/// with Server::register_overlay — the session's physical device; empty
+/// means the uncalibrated base circuit.
 struct Request {
   std::uint64_t id = 0;
   std::string model = "default";
+  std::string overlay;
   std::vector<double> series;
 };
 

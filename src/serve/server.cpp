@@ -39,7 +39,8 @@ Server::Server(ServerConfig config)
       }()),
       plan_cache_(config_.plan_cache_capacity),
       queue_(config_.queue_capacity, [](const Pending& pending) {
-        return BatchKey{pending.model.get(), pending.req.series.size()};
+        return BatchKey{pending.model.get(), pending.overlay.get(),
+                        pending.req.series.size()};
       }) {}
 
 Server::~Server() { stop(); }
@@ -64,6 +65,20 @@ std::uint64_t Server::load_model(const std::string& id, ModelConfig config) {
     ++stats_.reloads;
   }
   return state->generation;
+}
+
+std::uint64_t Server::register_overlay(const std::string& id,
+                                       calib::Overlay overlay) {
+  auto state = std::make_shared<OverlayState>();
+  state->id = id;
+  state->digest = calib::overlay_digest(overlay);
+  state->overlay = std::move(overlay);
+  const std::uint64_t digest = state->digest;
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    overlays_[id] = std::move(state);
+  }
+  return digest;
 }
 
 void Server::start() {
@@ -103,11 +118,33 @@ Status Server::submit(Request req, Callback done) {
     std::lock_guard<std::mutex> lock(models_mutex_);
     auto found = models_.find(pending.req.model);
     if (found != models_.end()) pending.model = found->second;
+    if (!pending.req.overlay.empty()) {
+      auto overlay = overlays_.find(pending.req.overlay);
+      if (overlay != overlays_.end()) pending.overlay = overlay->second;
+    }
   }
   if (!pending.model) {
     fail(pending, Status::kError,
          "unknown model '" + pending.req.model + "'");
     return Status::kError;
+  }
+  if (!pending.req.overlay.empty()) {
+    if (!pending.overlay) {
+      fail(pending, Status::kError,
+           "unknown overlay '" + pending.req.overlay + "'");
+      return Status::kError;
+    }
+    // Reject a circuit-identity mismatch at admission, not mid-batch: an
+    // overlay tuned for another checkpoint or stamp would silently
+    // mis-tune the device.
+    try {
+      calib::require_overlay_matches(
+          pending.overlay->overlay, pending.model->engine->model_name(),
+          pending.model->checkpoint_digest, pending.model->variation_seed);
+    } catch (const std::exception& error) {
+      fail(pending, Status::kError, error.what());
+      return Status::kError;
+    }
   }
 
   switch (queue_.push(std::move(pending))) {
@@ -162,17 +199,29 @@ void Server::serve_batch(std::vector<Pending>& batch) {
   const std::size_t rows = batch.size();
   const std::size_t steps = batch.front().req.series.size();
 
+  const std::shared_ptr<const OverlayState> overlay = batch.front().overlay;
+
   try {
-    const infer::Engine& engine = *model->engine;
     PlanKey key{model->checkpoint_digest, model->variation_seed,
-                model->generation, engine.model_name()};
+                model->generation, overlay ? overlay->digest : 0,
+                model->engine->model_name()};
     std::shared_ptr<PlanCacheEntry> entry =
         plan_cache_.get_or_create(key, [&] {
+          std::shared_ptr<const infer::Engine> engine = model->engine;
+          if (overlay) {
+            // The calibrated device: same compiled program with the
+            // overlay's log-space RC shifts baked in. Built once per cache
+            // entry; every leased plan stamps from the patched engine.
+            auto patched = std::make_shared<infer::Engine>(*model->engine);
+            calib::apply_overlay(*patched, overlay->overlay);
+            engine = std::move(patched);
+          }
           return std::make_shared<PlanCacheEntry>(
-              model->engine, model->variation, model->variation_seed);
+              std::move(engine), model->variation, model->variation_seed);
         });
 
     auto plan = entry->lease_plan(rows);
+    const infer::Engine& engine = entry->engine();
     ad::Tensor inputs = ad::Tensor::uninitialized(rows, steps);
     for (std::size_t r = 0; r < rows; ++r) {
       const std::vector<double>& series = batch[r].req.series;

@@ -1,11 +1,12 @@
 #include "pnc/train/snapshot.hpp"
 
 #include <bit>
-#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+
+#include "pnc/util/atomic_file.hpp"
 
 namespace pnc::train {
 
@@ -275,21 +276,9 @@ TrainerSnapshot read_snapshot(std::istream& is) {
 }
 
 void save_snapshot(const TrainerSnapshot& snap, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp);
-    if (!f) throw std::runtime_error("save_snapshot: cannot open " + tmp);
-    write_snapshot(snap, f);
-    f.flush();
-    if (!f) {
-      throw std::runtime_error("save_snapshot: write failure on " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("save_snapshot: cannot rename " + tmp + " to " +
-                             path);
-  }
+  util::atomic_write_file(
+      path, [&](std::ostream& os) { write_snapshot(snap, os); },
+      "save_snapshot");
 }
 
 TrainerSnapshot load_snapshot(const std::string& path) {

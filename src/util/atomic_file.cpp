@@ -1,0 +1,29 @@
+#include "pnc/util/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace pnc::util {
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer,
+                       const std::string& what) {
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream f(tmp);
+    if (!f) throw std::runtime_error(what + ": cannot open " + tmp);
+    writer(f);
+    f.flush();
+    if (!f) throw std::runtime_error(what + ": write failure on " + tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error(what + ": cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace pnc::util

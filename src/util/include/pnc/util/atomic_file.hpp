@@ -1,0 +1,23 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace pnc::util {
+
+/// Write `path` atomically: `writer` streams the content into a sibling
+/// `path + ".tmp"` staging file, which is then renamed into place.
+/// rename(2) is atomic within a filesystem, so a crash mid-write can
+/// truncate only the staging file — a reader (checkpoint loader, CI
+/// polling a report) never sees a half-written `path`.
+///
+/// Throws std::runtime_error (prefixed with `what`) if the staging file
+/// cannot be opened, the stream is bad after `writer` + flush, or the
+/// rename fails; the staging file is removed on failure. Exceptions from
+/// `writer` itself propagate unchanged (the staging file is removed too).
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer,
+                       const std::string& what = "atomic_write_file");
+
+}  // namespace pnc::util

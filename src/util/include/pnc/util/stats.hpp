@@ -35,6 +35,14 @@ struct Summary {
 
 Summary summarize(std::span<const double> xs);
 
+/// Percentiles of `values` (copied, then sorted) at the requested points
+/// `ps` (each in [0, 100], clamped), with linear interpolation between
+/// adjacent order statistics — the numpy default convention, so a latency
+/// p99 computed here matches a notebook's np.percentile over the same
+/// samples. An empty sample yields all zeros.
+std::vector<double> percentiles(std::vector<double> values,
+                                const std::vector<double>& ps);
+
 /// Indices of the k largest elements, descending (k clamped to size).
 std::vector<std::size_t> top_k_indices(std::span<const double> xs,
                                        std::size_t k);

@@ -81,4 +81,20 @@ std::vector<std::size_t> top_k_indices(std::span<const double> xs,
   return idx;
 }
 
+std::vector<double> percentiles(std::vector<double> values,
+                                const std::vector<double>& ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double p = std::clamp(ps[i], 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    out[i] = values[lo] + frac * (values[hi] - values[lo]);
+  }
+  return out;
+}
+
 }  // namespace pnc::util

@@ -1,0 +1,350 @@
+// pnc::calib end-to-end properties: dual-number sensitivities match both a
+// finite difference of the engine loss and the reverse-mode tape, a
+// zero-delta device is bit-identical to the uncalibrated stamp, and a
+// calibration run is bit-deterministic for any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "pnc/baseline/elman_rnn.hpp"
+#include "pnc/calib/calibrator.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::calib {
+namespace {
+
+constexpr std::uint64_t kSeed = 4242;
+
+data::Split make_split(std::size_t rows, std::size_t steps,
+                       std::size_t classes, std::uint64_t seed) {
+  data::Split split;
+  split.inputs = ad::Tensor(rows, steps);
+  util::Rng rng(seed);
+  for (auto& v : split.inputs.data()) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    split.labels.push_back(static_cast<int>(i % classes));
+  }
+  return split;
+}
+
+std::unique_ptr<core::SequenceClassifier> make_model() {
+  return core::make_adapt_pnc(3, 0.01, 7, 6);
+}
+
+TEST(CalibDevice, CountsOneDirectionPerStageChannel) {
+  auto model = make_model();
+  auto engine = infer::Engine::compile(*model);
+  Device device(engine, variation::VariationSpec::printing(0.1), kSeed);
+  // Two second-order blocks: (6 + 3) channels x 2 stages.
+  EXPECT_EQ(device.directions(), 18u);
+  EXPECT_EQ(device.deltas().size(), 18u);
+  for (double d : device.deltas()) EXPECT_EQ(d, 0.0);
+}
+
+TEST(CalibDevice, RejectsUnprintedEnginesAndBadDeltaSizes) {
+  auto elman = baseline::make_elman(3, 7, 6);
+  auto elman_engine = infer::Engine::compile(*elman);
+  EXPECT_THROW(Device(elman_engine, variation::VariationSpec::none(), 1),
+               std::invalid_argument);
+
+  auto model = make_model();
+  auto engine = infer::Engine::compile(*model);
+  Device device(engine, variation::VariationSpec::none(), 1);
+  EXPECT_THROW(device.set_deltas(std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+}
+
+// At zero deltas the device must be the uncalibrated circuit bit-for-bit:
+// its loss equals the loss computed from a plain engine stamp with the
+// same seed, even after set_deltas() has rewritten the coefficients.
+TEST(CalibDevice, ZeroDeltasMatchUncalibratedStampBitwise) {
+  auto model = make_model();
+  auto engine = infer::Engine::compile(*model);
+  const auto spec = variation::VariationSpec::printing(0.1);
+  const data::Split split = make_split(8, 17, 3, 5);
+  util::ThreadPool pool(2);
+
+  Device device(engine, spec, kSeed);
+  device.set_deltas(std::vector<double>(device.directions(), 0.0));
+  double acc = 0.0;
+  const double got = device.loss(split, pool, &acc);
+
+  // Reference: stamp + broadcast + forward + the same CE arithmetic.
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(kSeed);
+  engine.stamp(plan, spec, rng, 1);
+  engine.broadcast_batch(plan, split.size());
+  ad::Tensor logits;
+  engine.forward(plan, split.inputs, logits);
+  double want = 0.0;
+  for (std::size_t r = 0; r < split.size(); ++r) {
+    double zmax = logits(r, 0);
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      zmax = std::max(zmax, logits(r, c));
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      denom += std::exp(logits(r, c) - zmax);
+    }
+    const double p =
+        std::exp(logits(r, static_cast<std::size_t>(split.labels[r])) - zmax) /
+        denom;
+    want -= std::log(std::max(p, 1e-300));
+  }
+  want /= static_cast<double>(split.size());
+  EXPECT_EQ(got, want);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+// The dual pass against a central finite difference of the engine-path
+// loss, direction by direction, at a non-trivial delta point.
+TEST(CalibGradient, MatchesFiniteDifferenceOfEngineLoss) {
+  auto model = make_model();
+  auto engine = infer::Engine::compile(*model);
+  const auto spec = variation::VariationSpec::printing(0.1);
+  const data::Split split = make_split(6, 13, 3, 9);
+  util::ThreadPool pool(1);
+
+  Device device(engine, spec, kSeed);
+  std::vector<double> point(device.directions());
+  for (std::size_t k = 0; k < point.size(); ++k) {
+    point[k] = 0.05 * std::sin(static_cast<double>(k) + 1.0);
+  }
+  device.set_deltas(point);
+  double dual_loss = 0.0;
+  const std::vector<double> grad = device.gradient(split, pool, &dual_loss);
+  ASSERT_EQ(grad.size(), device.directions());
+
+  // The dual pass's own loss agrees with the engine-path loss closely
+  // (same math, same order; only the fused-kernel zero-skip can differ).
+  EXPECT_NEAR(dual_loss, device.loss(split, pool), 1e-12);
+
+  const double h = 1e-5;
+  for (std::size_t k = 0; k < grad.size(); ++k) {
+    std::vector<double> plus = point, minus = point;
+    plus[k] += h;
+    minus[k] -= h;
+    device.set_deltas(plus);
+    const double lp = device.loss(split, pool);
+    device.set_deltas(minus);
+    const double lm = device.loss(split, pool);
+    const double fd = (lp - lm) / (2.0 * h);
+    EXPECT_NEAR(grad[k], fd, 1e-6 * std::max(1.0, std::abs(fd)))
+        << "direction " << k;
+  }
+}
+
+// Forward-mode duals against the reverse-mode tape: realize the same
+// fabricated circuit on the graph path (per-row stamp) and compare the
+// delta gradient with the tape's log-R and log-C gradients — all three are
+// the same mathematical derivative, so they agree to rounding.
+TEST(CalibGradient, MatchesReverseModeTapeOnFilterParameters) {
+  auto model = make_model();
+  auto engine = infer::Engine::compile(*model);
+  const auto spec = variation::VariationSpec::printing(0.1);
+  const data::Split split = make_split(5, 11, 3, 31);
+  util::ThreadPool pool(1);
+
+  // stamp_rows = batch: per-row initial filter states, the graph model's
+  // RNG consumption pattern at this exact batch.
+  Device device(engine, spec, kSeed, split.size());
+  const std::vector<double> grad = device.gradient(split, pool);
+
+  std::vector<double> d_log_c;
+  const std::vector<double> d_log_r =
+      tape_filter_gradients(*model, spec, kSeed, split, &d_log_c);
+  ASSERT_EQ(d_log_r.size(), grad.size());
+  ASSERT_EQ(d_log_c.size(), grad.size());
+  for (std::size_t k = 0; k < grad.size(); ++k) {
+    const double tol = 1e-9 * std::max(1.0, std::abs(d_log_r[k]));
+    EXPECT_NEAR(grad[k], d_log_r[k], tol) << "log-R direction " << k;
+    EXPECT_NEAR(grad[k], d_log_c[k], tol) << "log-C direction " << k;
+  }
+}
+
+// Calibration recovers a device whose RC nominals drifted: teach with the
+// clean circuit's own labels, drift every stage-0 log R up by 0.4, and the
+// tuned device must land at a strictly lower loss than it started.
+TEST(Calibrate, RecoversDriftedDeviceTowardTeacher) {
+  auto model = make_model();
+  auto clean = infer::Engine::compile(*model);
+  const auto spec = variation::VariationSpec::printing(0.05);
+  data::Split split = make_split(12, 17, 3, 77);
+
+  // Teacher labels: what the clean fabricated circuit actually predicts.
+  {
+    infer::Plan plan = clean.make_plan();
+    util::Rng rng(kSeed);
+    clean.stamp(plan, spec, rng, 1);
+    clean.broadcast_batch(plan, split.size());
+    ad::Tensor logits;
+    clean.forward(plan, split.inputs, logits);
+    for (std::size_t r = 0; r < split.size(); ++r) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < logits.cols(); ++c) {
+        if (logits(r, c) > logits(r, best)) best = c;
+      }
+      split.labels[r] = static_cast<int>(best);
+    }
+  }
+
+  // The aged device: same checkpoint, RC products drifted in log space.
+  auto drifted = infer::Engine::compile(*model);
+  for (infer::PtpbBlockProgram& prog : drifted.mutable_blocks()) {
+    for (std::size_t j = 0; j < prog.log_r1.cols(); ++j) {
+      prog.log_r1(0, j) += 0.4;
+    }
+    prog.r1 = prog.log_r1.map([](double v) { return std::exp(v); });
+  }
+
+  Device device(drifted, spec, kSeed);
+  CalibConfig config;
+  config.iterations = 30;
+  config.learning_rate = 0.1;
+  const CalibResult result = calibrate(device, split, config);
+
+  EXPECT_EQ(result.iterations_run, 30);
+  EXPECT_EQ(result.loss_history.size(), 31u);
+  EXPECT_EQ(result.loss_history.front(), result.initial_loss);
+  EXPECT_LT(result.final_loss, result.initial_loss);
+  EXPECT_GE(result.final_accuracy, result.initial_accuracy);
+  // The kept iterate is the best one seen.
+  for (double l : result.loss_history) EXPECT_GE(l, result.final_loss);
+  // The overlay inherits the device identity; deltas stay in the clamp.
+  EXPECT_EQ(result.overlay.family, "adapt_pnc");
+  EXPECT_EQ(result.overlay.variation_seed, kSeed);
+  EXPECT_EQ(result.overlay.deltas.size(), 4u);
+  for (double d : device.deltas()) {
+    EXPECT_LE(std::abs(d), config.max_abs_delta);
+  }
+}
+
+// The trust region: with a strong delta_decay the kept iterate stays at
+// the factory stamp unless moving genuinely pays for the penalty, and
+// final_loss never exceeds initial_loss either way (δ = 0 is always a
+// candidate with zero penalty).
+TEST(Calibrate, DeltaDecayPullsTowardFactoryStamp) {
+  auto model = make_model();
+  auto engine = infer::Engine::compile(*model);
+  const auto spec = variation::VariationSpec::printing(0.05);
+  const data::Split split = make_split(10, 15, 3, 55);
+
+  CalibConfig free_config;
+  free_config.iterations = 15;
+  free_config.learning_rate = 0.1;
+  Device free_device(engine, spec, kSeed);
+  const CalibResult free_run = calibrate(free_device, split, free_config);
+
+  CalibConfig pinned_config = free_config;
+  pinned_config.delta_decay = 1e6;  // penalty dwarfs any CE improvement
+  Device pinned_device(engine, spec, kSeed);
+  const CalibResult pinned_run =
+      calibrate(pinned_device, split, pinned_config);
+
+  double free_norm = 0.0, pinned_norm = 0.0;
+  for (const double d : free_device.deltas()) free_norm += d * d;
+  for (const double d : pinned_device.deltas()) pinned_norm += d * d;
+  EXPECT_GT(free_norm, 0.0);
+  EXPECT_EQ(pinned_norm, 0.0);  // kept iterate is the initial point
+  EXPECT_EQ(pinned_run.final_loss, pinned_run.initial_loss);
+  EXPECT_LE(free_run.final_loss, free_run.initial_loss);
+
+  CalibConfig bad = free_config;
+  bad.delta_decay = -0.1;
+  Device bad_device(engine, spec, kSeed);
+  EXPECT_THROW(calibrate(bad_device, split, bad), std::invalid_argument);
+}
+
+// The whole calibration run — gradients, Adam, best-iterate selection,
+// overlay serialization — is a pure function of its inputs: 1 thread and
+// 4 threads produce bitwise-identical deltas and overlay bytes.
+TEST(Calibrate, BitDeterministicAcrossThreadCounts) {
+  auto model = make_model();
+  auto engine = infer::Engine::compile(*model);
+  const auto spec = variation::VariationSpec::printing(0.1);
+  const data::Split split = make_split(9, 13, 3, 3);
+
+  CalibConfig config;
+  config.iterations = 8;
+  const auto run = [&](std::size_t threads) {
+    Device device(engine, spec, kSeed);
+    CalibConfig c = config;
+    c.threads = threads;
+    return calibrate(device, split, c);
+  };
+  const CalibResult one = run(1);
+  const CalibResult four = run(4);
+
+  ASSERT_EQ(one.loss_history.size(), four.loss_history.size());
+  for (std::size_t i = 0; i < one.loss_history.size(); ++i) {
+    EXPECT_EQ(one.loss_history[i], four.loss_history[i]) << "iterate " << i;
+  }
+  EXPECT_EQ(one.final_loss, four.final_loss);
+  std::ostringstream os_one, os_four;
+  write_overlay(one.overlay, os_one);
+  write_overlay(four.overlay, os_four);
+  EXPECT_EQ(os_one.str(), os_four.str());
+}
+
+// Overlay round trip through apply: calibrate, package, apply to a fresh
+// copy of the same engine — the overlaid circuit's loss sits at (within
+// split-the-delta rounding) the calibrated loss, well below uncalibrated.
+TEST(Calibrate, OverlayAppliedToFreshEngineReproducesCalibratedDevice) {
+  auto model = make_model();
+  auto engine = infer::Engine::compile(*model);
+  const auto spec = variation::VariationSpec::printing(0.05);
+  data::Split split = make_split(10, 15, 3, 21);
+  {
+    infer::Plan plan = engine.make_plan();
+    util::Rng rng(kSeed);
+    engine.stamp(plan, spec, rng, 1);
+    engine.broadcast_batch(plan, split.size());
+    ad::Tensor logits;
+    engine.forward(plan, split.inputs, logits);
+    for (std::size_t r = 0; r < split.size(); ++r) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < logits.cols(); ++c) {
+        if (logits(r, c) > logits(r, best)) best = c;
+      }
+      split.labels[r] = static_cast<int>(best);
+    }
+  }
+  auto drifted = infer::Engine::compile(*model);
+  for (infer::PtpbBlockProgram& prog : drifted.mutable_blocks()) {
+    for (std::size_t j = 0; j < prog.log_c1.cols(); ++j) {
+      prog.log_c1(0, j) -= 0.35;
+    }
+    prog.c1 = prog.log_c1.map([](double v) { return std::exp(v); });
+  }
+
+  Device device(drifted, spec, kSeed);
+  CalibConfig config;
+  config.iterations = 25;
+  config.learning_rate = 0.1;
+  const CalibResult result = calibrate(device, split, config);
+
+  auto overlaid = infer::Engine::compile(*model);
+  for (infer::PtpbBlockProgram& prog : overlaid.mutable_blocks()) {
+    for (std::size_t j = 0; j < prog.log_c1.cols(); ++j) {
+      prog.log_c1(0, j) -= 0.35;
+    }
+    prog.c1 = prog.log_c1.map([](double v) { return std::exp(v); });
+  }
+  apply_overlay(overlaid, result.overlay);
+  Device check(overlaid, spec, kSeed);
+  util::ThreadPool pool(2);
+  double overlaid_acc = 0.0;
+  const double overlaid_loss = check.loss(split, pool, &overlaid_acc);
+  EXPECT_NEAR(overlaid_loss, result.final_loss,
+              1e-9 * std::max(1.0, result.final_loss));
+  EXPECT_LT(overlaid_loss, result.initial_loss);
+}
+
+}  // namespace
+}  // namespace pnc::calib

@@ -1,0 +1,150 @@
+// Forward-mode dual numbers: every op's tangent must agree with a central
+// finite difference of its value, and seeded slots must stay independent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "pnc/calib/dual.hpp"
+
+namespace pnc::calib {
+namespace {
+
+using D = Dual<4>;
+
+// Central finite difference of a scalar function built from plain doubles.
+double fd(const std::function<double(double)>& f, double x,
+          double h = 1e-6) {
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+// Evaluate f on a slot-0-seeded dual and compare the tangent against the
+// finite difference of the same expression on doubles.
+void expect_grad(const std::function<D(D)>& f_dual,
+                 const std::function<double(double)>& f_val, double x,
+                 double tol = 1e-8) {
+  const D out = f_dual(D::seeded(x, 0));
+  EXPECT_NEAR(out.v, f_val(x), 1e-12);
+  EXPECT_NEAR(out.t[0], fd(f_val, x), tol);
+  // Unseeded slots never pick up a derivative.
+  EXPECT_EQ(out.t[1], 0.0);
+  EXPECT_EQ(out.t[3], 0.0);
+}
+
+TEST(Dual, ConstantsHaveZeroTangent) {
+  const D c(2.5);
+  EXPECT_EQ(c.v, 2.5);
+  for (double t : c.t) EXPECT_EQ(t, 0.0);
+}
+
+TEST(Dual, SeededSlotIsIdentityDerivative) {
+  const D x = D::seeded(3.0, 2);
+  EXPECT_EQ(x.v, 3.0);
+  EXPECT_EQ(x.t[2], 1.0);
+  EXPECT_EQ(x.t[0], 0.0);
+}
+
+TEST(Dual, AddSubGradcheck) {
+  expect_grad([](D x) { return x + D(1.5); }, [](double x) { return x + 1.5; },
+              0.7);
+  expect_grad([](D x) { return D(2.0) - x; }, [](double x) { return 2.0 - x; },
+              -0.3);
+  expect_grad([](D x) { return -x; }, [](double x) { return -x; }, 0.9);
+  expect_grad([](D x) { return x - 0.25; },
+              [](double x) { return x - 0.25; }, 1.1);
+  expect_grad([](D x) { return 0.25 - x; },
+              [](double x) { return 0.25 - x; }, 1.1);
+}
+
+TEST(Dual, MulGradcheck) {
+  expect_grad([](D x) { return x * x; }, [](double x) { return x * x; }, 1.3);
+  expect_grad([](D x) { return x * 3.0; }, [](double x) { return x * 3.0; },
+              -0.8);
+  expect_grad([](D x) { return 3.0 * x; }, [](double x) { return 3.0 * x; },
+              -0.8);
+  expect_grad([](D x) { return x * x * x; },
+              [](double x) { return x * x * x; }, 0.6);
+}
+
+TEST(Dual, DivGradcheck) {
+  expect_grad([](D x) { return x / (x * x + D(1.0)); },
+              [](double x) { return x / (x * x + 1.0); }, 0.4);
+  expect_grad([](D x) { return x / 2.0; }, [](double x) { return x / 2.0; },
+              5.0);
+  expect_grad([](D x) { return 2.0 / x; }, [](double x) { return 2.0 / x; },
+              0.7);
+}
+
+TEST(Dual, TranscendentalGradcheck) {
+  expect_grad([](D x) { return exp(x); }, [](double x) { return std::exp(x); },
+              0.3);
+  expect_grad([](D x) { return log(x); }, [](double x) { return std::log(x); },
+              1.7);
+  expect_grad([](D x) { return tanh(x); },
+              [](double x) { return std::tanh(x); }, -0.5);
+}
+
+// The exact composite the calibrator differentiates: δ → rc·exp(δ) →
+// a = rc/(rc·μ + dt) and b = dt/(rc·μ + dt).
+TEST(Dual, FilterCoefficientGradcheck) {
+  const double rc = 3.1e-3;
+  const double mu = 1.04;
+  const double dt = 1e-2;
+  expect_grad(
+      [&](D d) {
+        const D rce = rc * exp(d);
+        return rce / (rce * mu + dt);
+      },
+      [&](double d) {
+        const double rce = rc * std::exp(d);
+        return rce / (rce * mu + dt);
+      },
+      0.12, 1e-9);
+  expect_grad(
+      [&](D d) {
+        const D rce = rc * exp(d);
+        return (1.0 / (rce * mu + dt)) * dt;
+      },
+      [&](double d) {
+        const double rce = rc * std::exp(d);
+        return (1.0 / (rce * mu + dt)) * dt;
+      },
+      -0.2, 1e-9);
+}
+
+// One pass with K slots computes the same per-slot derivatives as K
+// single-direction passes: slots must not leak into each other.
+TEST(Dual, SlotsAreIndependent) {
+  const D x = D::seeded(0.8, 0);
+  const D y = D::seeded(1.2, 1);
+  const D out = tanh(x * y) + x / (y + D(2.0));
+
+  const double h = 1e-6;
+  const auto f = [](double xv, double yv) {
+    return std::tanh(xv * yv) + xv / (yv + 2.0);
+  };
+  EXPECT_NEAR(out.t[0], (f(0.8 + h, 1.2) - f(0.8 - h, 1.2)) / (2 * h), 1e-8);
+  EXPECT_NEAR(out.t[1], (f(0.8, 1.2 + h) - f(0.8, 1.2 - h)) / (2 * h), 1e-8);
+  EXPECT_EQ(out.t[2], 0.0);
+}
+
+// A recurrence with state feedback — the SO-filter shape — differentiates
+// correctly through many steps.
+TEST(Dual, RecurrenceGradcheck) {
+  const auto run = [](auto a, auto one_minus_a) {
+    decltype(a) s(0.0);
+    for (int t = 0; t < 50; ++t) {
+      const double y = std::sin(0.3 * t);
+      s = a * s + one_minus_a * y;
+    }
+    return s;
+  };
+  const double a0 = 0.92;
+  const D out = run(D::seeded(a0, 0), 1.0 - D::seeded(a0, 0));
+  const auto f = [&](double a) { return run(a, 1.0 - a); };
+  EXPECT_NEAR(out.v, f(a0), 1e-12);
+  EXPECT_NEAR(out.t[0], fd(f, a0), 1e-6);
+}
+
+}  // namespace
+}  // namespace pnc::calib

@@ -1,0 +1,242 @@
+// Overlay checkpoints: versioned on-disk format with bit-exact round trips,
+// strict parsing, digest identity, and guarded application to an engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "pnc/baseline/elman_rnn.hpp"
+#include "pnc/calib/overlay.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::calib {
+namespace {
+
+// An overlay shaped for the test adapt model (2 second-order blocks), with
+// awkward doubles that only survive a text round trip as bit patterns.
+Overlay sample_overlay() {
+  Overlay o;
+  o.base_digest = 0xdeadbeefcafeULL;
+  o.family = "adapt_pnc";
+  o.variation_seed = 1234;
+  o.fault_seed = 99;
+  o.fault_rate = 0.1;
+  o.variation_delta = 0.3;
+  util::Rng rng(7);
+  for (std::size_t block : {0u, 1u}) {
+    const std::size_t cols = block == 0 ? 6 : 3;
+    for (std::size_t stage : {0u, 1u}) {
+      OverlayDelta d;
+      d.block = block;
+      d.stage = stage;
+      d.d_log_r = ad::Tensor(1, cols);
+      d.d_log_c = ad::Tensor(1, cols);
+      for (std::size_t j = 0; j < cols; ++j) {
+        d.d_log_r(0, j) = rng.uniform(-0.7, 0.7) / 3.0;
+        d.d_log_c(0, j) = rng.uniform(-0.7, 0.7) * (1.0 / 7.0);
+      }
+      o.deltas.push_back(std::move(d));
+    }
+  }
+  return o;
+}
+
+std::string serialize(const Overlay& o) {
+  std::ostringstream os;
+  write_overlay(o, os);
+  return os.str();
+}
+
+TEST(Overlay, RoundTripIsBitExact) {
+  const Overlay o = sample_overlay();
+  std::istringstream is(serialize(o));
+  const Overlay back = read_overlay(is);
+  EXPECT_EQ(back.base_digest, o.base_digest);
+  EXPECT_EQ(back.family, o.family);
+  EXPECT_EQ(back.variation_seed, o.variation_seed);
+  EXPECT_EQ(back.fault_seed, o.fault_seed);
+  EXPECT_EQ(back.fault_rate, o.fault_rate);
+  EXPECT_EQ(back.variation_delta, o.variation_delta);
+  ASSERT_EQ(back.deltas.size(), o.deltas.size());
+  for (std::size_t i = 0; i < o.deltas.size(); ++i) {
+    EXPECT_EQ(back.deltas[i].block, o.deltas[i].block);
+    EXPECT_EQ(back.deltas[i].stage, o.deltas[i].stage);
+    // Bitwise, not approximately: the plan cache keys on these bytes.
+    EXPECT_EQ(ad::max_abs_diff(back.deltas[i].d_log_r, o.deltas[i].d_log_r),
+              0.0);
+    EXPECT_EQ(ad::max_abs_diff(back.deltas[i].d_log_c, o.deltas[i].d_log_c),
+              0.0);
+  }
+  // ... so a second serialization is byte-identical and the digest stable.
+  EXPECT_EQ(serialize(back), serialize(o));
+  EXPECT_EQ(overlay_digest(back), overlay_digest(o));
+}
+
+TEST(Overlay, SaveLoadRoundTripsThroughDisk) {
+  const std::string path = "overlay_roundtrip_test.pnco";
+  const Overlay o = sample_overlay();
+  save_overlay(o, path);
+  const Overlay back = load_overlay(path);
+  EXPECT_EQ(serialize(back), serialize(o));
+  std::remove(path.c_str());
+  EXPECT_THROW(load_overlay(path), std::runtime_error);
+}
+
+TEST(Overlay, DigestSeparatesDifferentOverlays) {
+  const Overlay a = sample_overlay();
+  Overlay b = sample_overlay();
+  b.deltas[0].d_log_r(0, 0) = std::nextafter(b.deltas[0].d_log_r(0, 0), 1.0);
+  // One ulp in one delta must split the serve plan-cache key.
+  EXPECT_NE(overlay_digest(a), overlay_digest(b));
+  Overlay c = sample_overlay();
+  c.variation_seed ^= 1;
+  EXPECT_NE(overlay_digest(a), overlay_digest(c));
+}
+
+TEST(Overlay, RejectsBadMagicVersionAndTruncation) {
+  {
+    std::istringstream is("not-an-overlay v1\n");
+    EXPECT_THROW(read_overlay(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("pnc-overlay v9\nfamily x\n");
+    EXPECT_THROW(read_overlay(is), std::runtime_error);
+  }
+  {
+    // Cut the valid serialization short at every line boundary.
+    const std::string full = serialize(sample_overlay());
+    std::size_t pos = full.find('\n');
+    int checked = 0;
+    while (pos != std::string::npos && pos + 1 < full.size()) {
+      std::istringstream is(full.substr(0, pos + 1));
+      EXPECT_THROW(read_overlay(is), std::runtime_error)
+          << "prefix of " << pos + 1 << " bytes parsed";
+      ++checked;
+      pos = full.find('\n', pos + 1);
+    }
+    EXPECT_GT(checked, 5);
+  }
+}
+
+TEST(Overlay, RejectsTrailingGarbageBadStageAndNonFinite) {
+  {
+    std::istringstream is(serialize(sample_overlay()) + "extra\n");
+    EXPECT_THROW(read_overlay(is), std::runtime_error);
+  }
+  {
+    Overlay o = sample_overlay();
+    o.deltas[0].stage = 2;
+    std::istringstream is(serialize(o));
+    EXPECT_THROW(read_overlay(is), std::runtime_error);
+  }
+  {
+    Overlay o = sample_overlay();
+    o.deltas[1].d_log_c(0, 0) = std::nan("");
+    std::istringstream is(serialize(o));
+    EXPECT_THROW(read_overlay(is), std::runtime_error);
+  }
+}
+
+TEST(OverlayApply, ShiftsLogNominalsAndRederivesLinear) {
+  auto model = core::make_adapt_pnc(3, 0.01, 7, 6);
+  auto engine = infer::Engine::compile(*model);
+  const Overlay o = sample_overlay();
+
+  // Expected: log shift then exp, block by block.
+  std::vector<ad::Tensor> want_log_r, want_r;
+  for (const OverlayDelta& d : o.deltas) {
+    const infer::PtpbBlockProgram& prog = engine.blocks()[d.block];
+    ad::Tensor log_r = d.stage == 0 ? prog.log_r1 : prog.log_r2;
+    for (std::size_t j = 0; j < log_r.cols(); ++j) {
+      log_r(0, j) += d.d_log_r(0, j);
+    }
+    want_log_r.push_back(log_r);
+    want_r.push_back(log_r.map([](double v) { return std::exp(v); }));
+  }
+
+  apply_overlay(engine, o);
+  for (std::size_t i = 0; i < o.deltas.size(); ++i) {
+    const OverlayDelta& d = o.deltas[i];
+    const infer::PtpbBlockProgram& prog = engine.blocks()[d.block];
+    const ad::Tensor& log_r = d.stage == 0 ? prog.log_r1 : prog.log_r2;
+    const ad::Tensor& r = d.stage == 0 ? prog.r1 : prog.r2;
+    EXPECT_EQ(ad::max_abs_diff(log_r, want_log_r[i]), 0.0) << "delta " << i;
+    EXPECT_EQ(ad::max_abs_diff(r, want_r[i]), 0.0) << "delta " << i;
+  }
+}
+
+TEST(OverlayApply, ZeroDeltasLeaveStampedLogitsBitIdentical) {
+  auto model = core::make_adapt_pnc(3, 0.01, 7, 6);
+  auto engine = infer::Engine::compile(*model);
+  auto patched = infer::Engine::compile(*model);
+
+  Overlay zero = sample_overlay();
+  for (OverlayDelta& d : zero.deltas) {
+    d.d_log_r.zero();
+    d.d_log_c.zero();
+  }
+  apply_overlay(patched, zero);
+
+  util::Rng data_rng(5);
+  ad::Tensor x(4, 15);
+  for (auto& v : x.data()) v = data_rng.uniform(-1.0, 1.0);
+  const auto spec = variation::VariationSpec::printing(0.1);
+
+  infer::Plan plan_a = engine.make_plan();
+  util::Rng rng_a(77);
+  const ad::Tensor a = engine.predict(plan_a, x, spec, rng_a);
+  infer::Plan plan_b = patched.make_plan();
+  util::Rng rng_b(77);
+  const ad::Tensor b = patched.predict(plan_b, x, spec, rng_b);
+  EXPECT_EQ(ad::max_abs_diff(a, b), 0.0);
+}
+
+TEST(OverlayApply, RejectsWrongFamilyBlockStageAndShape) {
+  auto model = core::make_adapt_pnc(3, 0.01, 7, 6);
+  auto engine = infer::Engine::compile(*model);
+  {
+    Overlay o = sample_overlay();
+    o.family = "elman";
+    EXPECT_THROW(apply_overlay(engine, o), std::invalid_argument);
+  }
+  {
+    Overlay o = sample_overlay();
+    o.deltas[0].block = 9;
+    EXPECT_THROW(apply_overlay(engine, o), std::invalid_argument);
+  }
+  {
+    Overlay o = sample_overlay();
+    o.deltas[0].d_log_r = ad::Tensor(1, 2);  // wrong channel count
+    EXPECT_THROW(apply_overlay(engine, o), std::invalid_argument);
+  }
+  {
+    auto elman = baseline::make_elman(3, 7, 6);
+    auto elman_engine = infer::Engine::compile(*elman);
+    Overlay o = sample_overlay();
+    o.family.clear();  // family check passes; printedness check must not
+    EXPECT_THROW(apply_overlay(elman_engine, o), std::invalid_argument);
+  }
+}
+
+TEST(OverlayMatch, ChecksFamilyDigestAndSeed) {
+  const Overlay o = sample_overlay();
+  EXPECT_NO_THROW(
+      require_overlay_matches(o, "adapt_pnc", 0xdeadbeefcafeULL, 1234));
+  // Unknown digests (either side 0) are not an error — only a known
+  // mismatch is.
+  EXPECT_NO_THROW(require_overlay_matches(o, "adapt_pnc", 0, 1234));
+  EXPECT_THROW(require_overlay_matches(o, "ptpnc", 0xdeadbeefcafeULL, 1234),
+               std::invalid_argument);
+  EXPECT_THROW(require_overlay_matches(o, "adapt_pnc", 0x1111, 1234),
+               std::invalid_argument);
+  EXPECT_THROW(require_overlay_matches(o, "adapt_pnc", 0xdeadbeefcafeULL, 99),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnc::calib

@@ -169,7 +169,7 @@ serve::PlanCache::Factory entry_factory() {
 }
 
 serve::PlanKey key_of(std::uint64_t digest) {
-  return serve::PlanKey{digest, 0, 1, "adapt_pnc"};
+  return serve::PlanKey{digest, 0, 1, 0, "adapt_pnc"};
 }
 
 TEST(ServePlanCache, HitsMissesAndReuse) {
@@ -203,9 +203,9 @@ TEST(ServePlanCache, DistinctKeysDistinctEntries) {
   auto base = cache.get_or_create(key_of(1), entry_factory());
   // Any differing key component — digest, seed, generation, family — is a
   // different realization.
-  auto other_seed = cache.get_or_create(serve::PlanKey{1, 5, 1, "adapt_pnc"},
+  auto other_seed = cache.get_or_create(serve::PlanKey{1, 5, 1, 0, "adapt_pnc"},
                                         entry_factory());
-  auto other_gen = cache.get_or_create(serve::PlanKey{1, 0, 2, "adapt_pnc"},
+  auto other_gen = cache.get_or_create(serve::PlanKey{1, 0, 2, 0, "adapt_pnc"},
                                        entry_factory());
   EXPECT_NE(base.get(), other_seed.get());
   EXPECT_NE(base.get(), other_gen.get());

@@ -12,6 +12,7 @@
 #include <numeric>
 #include <vector>
 
+#include "pnc/calib/calibrator.hpp"
 #include "pnc/core/adapt_pnc.hpp"
 #include "pnc/infer/engine.hpp"
 #include "pnc/serve/server.hpp"
@@ -202,6 +203,101 @@ TEST(ServeServer, HotReloadKeepsBothGenerationsBitIdentical) {
   // before the reload, the second half after.
   EXPECT_EQ(served_a, series.size() / 2);
   EXPECT_EQ(served_b, series.size() - series.size() / 2);
+}
+
+// Per-session calibration overlays: requests naming a registered overlay
+// are served by the patched engine (bit-identical to applying the overlay
+// directly), plain requests keep the base circuit, and an overlay keyed
+// to a different stamp is rejected at admission.
+TEST(ServeServer, OverlayRequestsServeCalibratedDevice) {
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const std::uint64_t seed = 313;
+  const auto series = make_series(12, 15, 21);
+
+  // A non-trivial overlay for exactly this (engine, spec, seed) device.
+  calib::Device device(*engine, spec, seed);
+  std::vector<double> deltas(device.directions());
+  for (std::size_t k = 0; k < deltas.size(); ++k) {
+    deltas[k] = (k % 2 == 0) ? 0.3 : -0.2;
+  }
+  device.set_deltas(deltas);
+  const calib::Overlay overlay = device.make_overlay();
+
+  // References: base engine vs a copy with the overlay baked in.
+  const auto refs_base = reference_logits(*engine, spec, seed, series);
+  infer::Engine patched(*engine);
+  calib::apply_overlay(patched, overlay);
+  const auto refs_cal = reference_logits(patched, spec, seed, series);
+  ASSERT_NE(refs_base[0], refs_cal[0]);
+
+  serve::ServerConfig config;
+  config.shards = 2;
+  config.max_batch = 4;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.engine = engine;
+  model.variation = spec;
+  model.variation_seed = seed;
+  server.load_model("default", std::move(model));
+  server.register_overlay("dev7", overlay);
+  server.start();
+
+  // Interleave calibrated and plain requests; even ids use the overlay.
+  Collector collector;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    serve::Request req;
+    req.id = i;
+    req.series = series[i];
+    if (i % 2 == 0) req.overlay = "dev7";
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()),
+              serve::Status::kOk);
+  }
+  collector.wait_for(series.size());
+
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const serve::Response& resp = collector.responses.at(i);
+    ASSERT_EQ(resp.status, serve::Status::kOk) << "req " << i;
+    const auto& want = i % 2 == 0 ? refs_cal[i] : refs_base[i];
+    ASSERT_EQ(resp.logits.size(), want.size());
+    for (std::size_t c = 0; c < want.size(); ++c) {
+      EXPECT_EQ(resp.logits[c], want[c]) << "req " << i << " class " << c;
+    }
+  }
+
+  // Unknown overlay name: rejected inline.
+  bool called = false;
+  serve::Request unknown;
+  unknown.series = series[0];
+  unknown.overlay = "nope";
+  EXPECT_EQ(server.submit(std::move(unknown),
+                          [&](serve::Response resp) {
+                            called = true;
+                            EXPECT_EQ(resp.status, serve::Status::kError);
+                            EXPECT_NE(resp.error.find("unknown overlay"),
+                                      std::string::npos);
+                          }),
+            serve::Status::kError);
+  EXPECT_TRUE(called);
+
+  // Overlay calibrated for a different circuit realization: admission
+  // rejects it instead of silently mis-tuning the device.
+  calib::Overlay wrong_stamp = overlay;
+  wrong_stamp.variation_seed = seed + 1;
+  server.register_overlay("other-circuit", std::move(wrong_stamp));
+  called = false;
+  serve::Request mismatched;
+  mismatched.series = series[0];
+  mismatched.overlay = "other-circuit";
+  EXPECT_EQ(server.submit(std::move(mismatched),
+                          [&](serve::Response resp) {
+                            called = true;
+                            EXPECT_EQ(resp.status, serve::Status::kError);
+                            EXPECT_FALSE(resp.error.empty());
+                          }),
+            serve::Status::kError);
+  EXPECT_TRUE(called);
+  server.stop();
 }
 
 TEST(ServeServer, ShedsWhenQueueIsFull) {

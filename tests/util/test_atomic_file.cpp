@@ -1,0 +1,69 @@
+// util::atomic_write_file: the shared staging+rename writer behind
+// checkpoints, trainer snapshots, JSON reports and calibration overlays.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "pnc/util/atomic_file.hpp"
+
+namespace pnc::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+bool exists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+TEST(AtomicFile, WritesContentAndRemovesStagingFile) {
+  const std::string path = "atomic_file_test.txt";
+  atomic_write_file(path, [](std::ostream& os) { os << "hello\nworld\n"; });
+  EXPECT_EQ(slurp(path), "hello\nworld\n");
+  EXPECT_FALSE(exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, OverwritesExistingFileWhole) {
+  const std::string path = "atomic_file_test_overwrite.txt";
+  atomic_write_file(path, [](std::ostream& os) { os << "first version"; });
+  atomic_write_file(path, [](std::ostream& os) { os << "v2"; });
+  EXPECT_EQ(slurp(path), "v2");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, WriterExceptionLeavesTargetUntouchedAndCleansUp) {
+  const std::string path = "atomic_file_test_throw.txt";
+  atomic_write_file(path, [](std::ostream& os) { os << "keep me"; });
+  EXPECT_THROW(atomic_write_file(path,
+                                 [](std::ostream&) {
+                                   throw std::runtime_error("mid-write crash");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(slurp(path), "keep me");
+  EXPECT_FALSE(exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, UnopenablePathThrowsWithContext) {
+  try {
+    atomic_write_file("no_such_dir/sub/file.txt", [](std::ostream& os) {
+      os << "never";
+    }, "save_thing");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("save_thing"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pnc::util

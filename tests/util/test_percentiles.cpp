@@ -1,12 +1,13 @@
-// percentiles() in bench_common.hpp: numpy-default linear interpolation,
-// used by bench_serve_load for latency p50/p95/p99.
+// pnc::util::percentiles: numpy-default linear interpolation, shared by
+// bench_serve_load (latency p50/p95/p99) and bench_calibration (recovery
+// distributions).
 #include <gtest/gtest.h>
 
 #include <vector>
 
-#include "bench_common.hpp"
+#include "pnc/util/stats.hpp"
 
-namespace pnc::bench {
+namespace pnc::util {
 namespace {
 
 TEST(Percentiles, EmptySampleYieldsZeros) {
@@ -55,4 +56,4 @@ TEST(Percentiles, InterpolatesBetweenOrderStatistics) {
 }
 
 }  // namespace
-}  // namespace pnc::bench
+}  // namespace pnc::util

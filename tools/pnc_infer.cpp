@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "pnc/calib/calibrator.hpp"
 #include "pnc/infer/engine.hpp"
 #include "pnc/reliability/campaign.hpp"
+#include "pnc/util/digest.hpp"
 
 namespace {
 
@@ -50,6 +52,21 @@ reliability (pnc::reliability):
   --fault-rate P      stamp one random defect mask (stuck conductances,
                       open weights, RC drift, dead sensors) of overall
                       rate P into the engine before serving
+
+calibration (pnc::calib):
+  --calibrate CSV     fine-tune the SO-filter RC products of this run's
+                      stamped (faulted, drifted) circuit on the series in
+                      CSV, then serve the calibrated device
+  --calib-labels PATH label per calibration series, one integer per line
+                      (required with --calibrate)
+  --save-overlay PATH write the fitted overlay checkpoint here
+                      (required with --calibrate)
+  --calib-iters N     calibration Adam steps           (default 40, >= 1)
+  --calib-lr X        calibration learning rate        (default 0.05, > 0)
+  --overlay PATH      serve with a previously saved overlay instead; it
+                      must match the checkpoint, --seed and the
+                      fault/variation flags it was calibrated under
+                      (mutually exclusive with --calibrate)
 )";
 
 [[noreturn]] void die(const std::string& message) {
@@ -136,6 +153,35 @@ std::vector<std::vector<double>> read_series_csv(std::istream& is) {
   return rows;
 }
 
+/// One integer label per line; blank lines are skipped, anything else
+/// must parse whole.
+std::vector<int> read_labels_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) die("cannot open " + path);
+  std::vector<int> labels;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    std::istringstream fields(line);
+    long v = 0;
+    if (!(fields >> v)) {
+      std::string rest;
+      if (fields.clear(), fields >> rest) {
+        die(path + ":" + std::to_string(lineno) + ": bad label '" + line +
+            "'");
+      }
+      continue;  // blank line
+    }
+    std::string rest;
+    if (fields >> rest) {
+      die(path + ":" + std::to_string(lineno) + ": bad label '" + line + "'");
+    }
+    labels.push_back(static_cast<int>(v));
+  }
+  return labels;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +201,14 @@ int main(int argc, char** argv) {
   bool print_logits = false;
   bool print_timing = false;
   reliability::NoiseSpec noise;
+  std::string overlay_path;
+  std::string calib_path;
+  std::string calib_labels_path;
+  std::string save_overlay_path;
+  std::size_t calib_iters = 40;
+  double calib_lr = 0.05;
+  bool calib_iters_set = false;
+  bool calib_lr_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -178,6 +232,12 @@ int main(int argc, char** argv) {
     else if (flag == "--seed") seed = parse_u64(flag, value());
     else if (flag == "--noise") parse_noise(value(), noise);
     else if (flag == "--fault-rate") fault_rate = parse_double(flag, value());
+    else if (flag == "--overlay") overlay_path = value();
+    else if (flag == "--calibrate") calib_path = value();
+    else if (flag == "--calib-labels") calib_labels_path = value();
+    else if (flag == "--save-overlay") save_overlay_path = value();
+    else if (flag == "--calib-iters") { calib_iters = parse_size(flag, value()); calib_iters_set = true; }
+    else if (flag == "--calib-lr") { calib_lr = parse_double(flag, value()); calib_lr_set = true; }
     else if (flag == "--logits") print_logits = true;
     else if (flag == "--timing") print_timing = true;
     else die("unknown flag " + flag);
@@ -191,6 +251,21 @@ int main(int argc, char** argv) {
   if (variation_delta < 0.0) die("--variation must be >= 0");
   if (fault_rate < 0.0 || fault_rate > 1.0) {
     die("--fault-rate must be in [0, 1]");
+  }
+  if (!overlay_path.empty() && !calib_path.empty()) {
+    die("--overlay and --calibrate are mutually exclusive (calibrating "
+        "writes a fresh overlay)");
+  }
+  if (!calib_path.empty()) {
+    if (calib_labels_path.empty()) die("--calibrate requires --calib-labels");
+    if (save_overlay_path.empty()) die("--calibrate requires --save-overlay");
+    if (calib_iters == 0) die("--calib-iters must be >= 1");
+    if (calib_lr <= 0.0) die("--calib-lr must be > 0");
+  } else {
+    if (!calib_labels_path.empty()) die("--calib-labels requires --calibrate");
+    if (!save_overlay_path.empty()) die("--save-overlay requires --calibrate");
+    if (calib_iters_set) die("--calib-iters requires --calibrate");
+    if (calib_lr_set) die("--calib-lr requires --calibrate");
   }
 
   infer::Engine engine = [&] {
@@ -228,6 +303,86 @@ int main(int argc, char** argv) {
   const variation::VariationSpec spec =
       variation_delta > 0.0 ? variation::VariationSpec::printing(variation_delta)
                             : variation::VariationSpec::none();
+
+  if (!overlay_path.empty()) {
+    // Serve a previously calibrated device: the overlay must be keyed to
+    // this exact circuit — checkpoint bytes, stamp seed, and the same
+    // fault/variation conditions it was calibrated under.
+    try {
+      const calib::Overlay overlay = calib::load_overlay(overlay_path);
+      calib::require_overlay_matches(overlay, engine.model_name(),
+                                     util::fnv1a64_file(checkpoint_path),
+                                     seed);
+      if (overlay.fault_rate != fault_rate) {
+        die("overlay was calibrated at fault rate " +
+            std::to_string(overlay.fault_rate) + ", this run uses " +
+            std::to_string(fault_rate));
+      }
+      if (overlay.variation_delta != variation_delta) {
+        die("overlay was calibrated at variation delta " +
+            std::to_string(overlay.variation_delta) + ", this run uses " +
+            std::to_string(variation_delta));
+      }
+      calib::apply_overlay(engine, overlay);
+      std::cerr << "pnc_infer: applied overlay " << overlay_path << " ("
+                << overlay.deltas.size() << " filter stages)\n";
+    } catch (const std::exception& e) {
+      die(e.what());
+    }
+  }
+
+  if (!calib_path.empty()) {
+    // Per-device calibration: fine-tune the SO-filter RC products of the
+    // faulted/drifted circuit stamped above against the calibration set,
+    // persist the deltas as an overlay, and serve the calibrated device.
+    data::Split calib_set;
+    {
+      std::ifstream file(calib_path);
+      if (!file) die("cannot open " + calib_path);
+      const std::vector<std::vector<double>> rows = read_series_csv(file);
+      if (rows.empty()) die("no series in " + calib_path);
+      calib_set.inputs = ad::Tensor(rows.size(), rows.front().size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t t = 0; t < rows[i].size(); ++t) {
+          calib_set.inputs(i, t) = rows[i][t];
+        }
+      }
+    }
+    calib_set.labels = read_labels_file(calib_labels_path);
+    if (calib_set.labels.size() != calib_set.inputs.rows()) {
+      die(calib_labels_path + " has " +
+          std::to_string(calib_set.labels.size()) + " labels for " +
+          std::to_string(calib_set.inputs.rows()) + " calibration series");
+    }
+    try {
+      calib::Device device(engine, spec, seed);
+      calib::CalibConfig calib_config;
+      calib_config.iterations = static_cast<int>(calib_iters);
+      calib_config.learning_rate = calib_lr;
+      calib_config.threads = threads;
+      const calib::CalibResult result =
+          calib::calibrate(device, calib_set, calib_config);
+      calib::Overlay overlay = result.overlay;
+      overlay.base_digest = util::fnv1a64_file(checkpoint_path);
+      overlay.fault_seed = fault_rate > 0.0 ? (seed ^ 0x6661756c74ULL) : 0;
+      overlay.fault_rate = fault_rate;
+      overlay.variation_delta = variation_delta;
+      calib::save_overlay(overlay, save_overlay_path);
+      std::cerr << "pnc_infer: calibrated " << device.directions()
+                << " filter directions in " << result.iterations_run
+                << " iterations\n"
+                << "pnc_infer: calibration loss " << result.initial_loss
+                << " -> " << result.final_loss << ", accuracy "
+                << result.initial_accuracy << " -> " << result.final_accuracy
+                << "\n"
+                << "pnc_infer: overlay saved to " << save_overlay_path
+                << "\n";
+      calib::apply_overlay(engine, overlay);
+    } catch (const std::exception& e) {
+      die(e.what());
+    }
+  }
+
   util::Rng rng(seed);
   util::ThreadPool pool(threads);
   infer::Plan plan = engine.make_plan();

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "pnc/calib/overlay.hpp"
 #include "pnc/infer/engine.hpp"
 #include "pnc/serve/json.hpp"
 #include "pnc/serve/server.hpp"
@@ -56,6 +57,9 @@ model options:
   --hidden-cap N      hidden-sizing cap used at training (default 9)
   --variation DELTA   serve one +/-DELTA fabricated circuit (default clean)
   --seed S            variation stamp seed             (default 0)
+  --overlay NAME=PATH register the calibration overlay at PATH under NAME
+                      (repeatable; requests select it with "overlay":NAME;
+                      must match the checkpoint, family and --seed)
 
 server options:
   --shards N          worker threads                   (default 1)
@@ -69,6 +73,7 @@ server options:
 
 protocol (one JSON object per line):
   {"op":"infer","id":N,"series":[...]}       classify one series
+    optional "overlay":NAME                  serve a calibrated device
   {"op":"reload","checkpoint":PATH}          hot-swap the "default" model
   {"op":"stats"}                             server counters
 )";
@@ -253,6 +258,7 @@ void handle_line(pnc::serve::Server& server, const ModelRecipe& recipe,
     Request req;
     req.id = static_cast<std::uint64_t>(doc.number_or("id", 0.0));
     req.model = doc.string_or("model", "default");
+    req.overlay = doc.string_or("overlay", "");
     const JsonValue* series = doc.find("series");
     if (series != nullptr) {
       try {
@@ -378,6 +384,7 @@ int main(int argc, char** argv) {
   serve::ServerConfig config;
   double variation_delta = 0.0;
   bool with_logits = false;
+  std::vector<std::pair<std::string, std::string>> overlay_specs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -396,6 +403,14 @@ int main(int argc, char** argv) {
     else if (flag == "--hidden-cap") recipe.hidden_cap = parse_size(flag, value());
     else if (flag == "--variation") variation_delta = parse_double(flag, value());
     else if (flag == "--seed") recipe.variation_seed = parse_u64(flag, value());
+    else if (flag == "--overlay") {
+      const std::string spec = value();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        die("--overlay wants NAME=PATH, got '" + spec + "'");
+      }
+      overlay_specs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    }
     else if (flag == "--shards") config.shards = parse_size(flag, value());
     else if (flag == "--max-batch") config.max_batch = parse_size(flag, value());
     else if (flag == "--deadline-us") config.batch_deadline_us = parse_double(flag, value());
@@ -419,7 +434,18 @@ int main(int argc, char** argv) {
 
   serve::Server server(config);
   try {
-    server.load_model("default", build_model(recipe, checkpoint_path));
+    serve::ModelConfig model = build_model(recipe, checkpoint_path);
+    const std::string family = model.engine->model_name();
+    const std::uint64_t digest = model.checkpoint_digest;
+    server.load_model("default", std::move(model));
+    for (const auto& [name, path] : overlay_specs) {
+      // Fail fast on a mis-keyed overlay instead of erroring per request.
+      calib::Overlay overlay = calib::load_overlay(path);
+      calib::require_overlay_matches(overlay, family, digest,
+                                     recipe.variation_seed);
+      server.register_overlay(name, std::move(overlay));
+      std::cerr << "pnc_serve: overlay '" << name << "' <- " << path << "\n";
+    }
   } catch (const std::exception& error) {
     die(error.what());
   }
