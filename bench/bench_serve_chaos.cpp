@@ -1,0 +1,510 @@
+// Chaos-injection harness for the pnc::serve runtime (DESIGN.md §13).
+// Three phases:
+//
+//  1. priority — open-loop overload of a tiny admission queue with mixed
+//     priority classes; at saturation the server must shed best-effort
+//     work before interactive work (displacement, per-class counters).
+//  2. directed — (chaos builds only) arm each fail-point kind with
+//     probability 1 and verify the injected failure surfaces as a clean
+//     per-request response: a worker stall triggers a watchdog restart,
+//     compile/forward/overlay throws become kError — never a crash.
+//  3. storm    — a randomized, time-sliced fault schedule (worker stalls,
+//     forced throws, slow compiles) over an open-loop request storm with
+//     hot reloads, overlay churn and deadline traffic. Invariants:
+//     every submitted request is answered exactly once, the storm drains
+//     without deadlock, and every kOk response is bit-identical to a
+//     direct single-request Engine call.
+//
+// Writes BENCH_serve_chaos.json (per-class outcomes, fail-point fire
+// counts, watchdog restarts) and exits non-zero on any invariant breach.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pnc/calib/calibrator.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/serve/server.hpp"
+#include "pnc/util/failpoint.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace {
+
+using pnc::serve::Priority;
+using pnc::serve::Request;
+using pnc::serve::Response;
+using pnc::serve::Server;
+using pnc::serve::ServerConfig;
+using pnc::serve::Status;
+using pnc::util::FailPoints;
+using Clock = std::chrono::steady_clock;
+
+#if defined(PNC_CHAOS)
+constexpr bool kChaosCompiled = true;
+#else
+constexpr bool kChaosCompiled = false;
+#endif
+
+constexpr std::size_t kClassOf[3] = {0, 1, 2};  // i % 3 -> priority class
+
+std::shared_ptr<const pnc::infer::Engine> make_engine() {
+  auto model = pnc::core::make_adapt_pnc(3, 0.01, 7, 6);
+  return std::make_shared<const pnc::infer::Engine>(
+      pnc::infer::Engine::compile(*model));
+}
+
+std::vector<std::vector<double>> make_series(std::size_t count,
+                                             std::size_t steps) {
+  pnc::util::Rng rng(4242);
+  std::vector<std::vector<double>> out(count);
+  for (auto& s : out) {
+    s.resize(steps);
+    for (auto& v : s) v = rng.uniform(-1.0, 1.0);
+  }
+  return out;
+}
+
+/// Direct-engine reference: the exact realization the server stamps
+/// (Rng(seed) at batch 1), one series per forward.
+std::vector<std::vector<double>> reference_logits(
+    const pnc::infer::Engine& engine, const pnc::variation::VariationSpec& spec,
+    std::uint64_t seed, const std::vector<std::vector<double>>& series) {
+  pnc::infer::Plan plan = engine.make_plan();
+  pnc::util::Rng rng(seed);
+  engine.stamp(plan, spec, rng, 1);
+  std::vector<std::vector<double>> refs;
+  for (const auto& s : series) {
+    engine.broadcast_batch(plan, 1);
+    pnc::ad::Tensor x(1, s.size());
+    std::copy(s.begin(), s.end(), x.data().begin());
+    pnc::ad::Tensor logits;
+    engine.forward(plan, x, logits);
+    refs.emplace_back(logits.data().begin(), logits.data().end());
+  }
+  return refs;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: priority scheduling at saturation.
+
+struct PriorityResult {
+  std::array<std::uint64_t, 3> submitted{};
+  pnc::serve::ServerStats stats;
+  bool ok = false;
+};
+
+PriorityResult run_priority(std::shared_ptr<const pnc::infer::Engine> engine,
+                            const std::vector<std::vector<double>>& series,
+                            std::size_t n) {
+  ServerConfig config;
+  config.shards = 1;
+  config.max_batch = 8;
+  config.batch_deadline_us = 0.0;
+  config.queue_capacity = 48;
+  Server server(config);
+  server.load_model("default", {engine});
+  server.start();
+
+  PriorityResult result;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Request req;
+    req.id = i;
+    req.series = series[i % series.size()];
+    req.priority = static_cast<Priority>(kClassOf[i % 3]);
+    ++result.submitted[i % 3];
+    server.submit(std::move(req), [&](Response) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++done == n) cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return done == n; });
+  }
+  server.stop();
+  result.stats = server.stats();
+
+  const auto rate = [&](Priority p) {
+    const std::size_t k = static_cast<std::size_t>(p);
+    return result.submitted[k] == 0
+               ? 0.0
+               : static_cast<double>(result.stats.shed_by_class[k]) /
+                     static_cast<double>(result.submitted[k]);
+  };
+  // Saturation must shed, and must shed best-effort strictly before
+  // interactive (displacement makes interactive sheds near-impossible).
+  result.ok = result.stats.shed > 0 &&
+              rate(Priority::kBestEffort) > rate(Priority::kInteractive);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: directed injection — each fail-point kind, deterministically.
+
+struct DirectedResult {
+  bool ok = true;
+  std::uint64_t restarts = 0;
+  std::map<std::string, std::uint64_t> fired;
+
+  void expect(bool cond, const std::string& what) {
+    if (!cond) {
+      ok = false;
+      std::cerr << "directed: FAILED: " << what << "\n";
+    }
+  }
+  void take(const std::string& name) {
+    fired[name] += FailPoints::fired(name);
+    FailPoints::disarm(name);
+  }
+};
+
+DirectedResult run_directed(std::shared_ptr<const pnc::infer::Engine> engine,
+                            const pnc::variation::VariationSpec& spec,
+                            std::uint64_t seed, const pnc::calib::Overlay& overlay,
+                            const std::vector<double>& series) {
+  DirectedResult result;
+  ServerConfig config;
+  config.shards = 1;
+  config.max_batch = 4;
+  config.watchdog_budget_ms = 30.0;
+  Server server(config);
+  auto load = [&] {
+    pnc::serve::ModelConfig model;
+    model.engine = engine;
+    model.variation = spec;
+    model.variation_seed = seed;
+    server.load_model("default", std::move(model));
+  };
+  load();
+  server.register_overlay("dev0", overlay);
+  server.start();
+  auto request = [&](const std::string& overlay_name = "") {
+    Request req;
+    req.series = series;
+    req.overlay = overlay_name;
+    return server.infer(std::move(req));
+  };
+
+  // A hung worker: the stalled batch still answers, the watchdog hands
+  // the shard to a fresh thread meanwhile.
+  FailPoints::arm("serve.worker_stall", {.sleep_ms = 150});
+  result.expect(request().status == Status::kOk, "stalled batch answers kOk");
+  result.take("serve.worker_stall");
+  result.restarts = server.stats().worker_restarts;
+  result.expect(result.restarts >= 1, "watchdog restarted the hung shard");
+
+  // A failed plan compile: per-request kError, nothing cached, the next
+  // (un-injected) compile succeeds.
+  load();  // new generation: forces a plan-cache miss
+  FailPoints::arm("serve.plan_compile", {.do_throw = true});
+  result.expect(request().status == Status::kError, "compile throw -> kError");
+  result.take("serve.plan_compile");
+  result.expect(request().status == Status::kOk, "compile retries clean");
+
+  // A forward that throws mid-batch: per-request kError, shard survives.
+  FailPoints::arm("serve.batch_forward", {.do_throw = true});
+  result.expect(request().status == Status::kError, "forward throw -> kError");
+  result.take("serve.batch_forward");
+
+  // Overlay resolution failure: rejected inline at submit.
+  FailPoints::arm("serve.overlay_resolve", {.do_throw = true});
+  result.expect(request("dev0").status == Status::kError,
+                "overlay resolve throw -> kError");
+  result.take("serve.overlay_resolve");
+  result.expect(request("dev0").status == Status::kOk, "overlay serves clean");
+
+  server.stop();
+  result.expect(server.stats().errors >= 3, "errors were counted");
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: randomized fault storm.
+
+struct StormResult {
+  std::size_t requests = 0;
+  std::size_t answered = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t parity_violations = 0;
+  std::array<std::uint64_t, 4> by_status{};  // ok, shed, deadline, error
+  bool deadlock = false;
+  std::map<std::string, std::uint64_t> fired;
+  pnc::serve::ServerStats stats;
+};
+
+StormResult run_storm(std::shared_ptr<const pnc::infer::Engine> engine,
+                      const pnc::variation::VariationSpec& spec,
+                      std::uint64_t seed, const pnc::calib::Overlay& overlay,
+                      const std::vector<std::vector<double>>& series,
+                      const std::vector<std::vector<double>>& refs_base,
+                      const std::vector<std::vector<double>>& refs_cal,
+                      std::size_t n, int slice_ms) {
+  ServerConfig config;
+  config.shards = 2;
+  config.max_batch = 8;
+  config.batch_deadline_us = 100.0;
+  config.queue_capacity = 256;
+  config.plan_cache_capacity = 4;
+  config.overlay_capacity = 4;
+  config.watchdog_budget_ms = 50.0;
+  Server server(config);
+  auto load = [&] {
+    pnc::serve::ModelConfig model;
+    model.engine = engine;
+    model.variation = spec;
+    model.variation_seed = seed;
+    server.load_model("default", std::move(model));
+  };
+  load();
+  server.register_overlay("dev0", overlay);
+  server.start();
+
+  StormResult result;
+  result.requests = n;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::uint8_t> counts(n, 0);
+
+  // The randomized schedule: each slice arms a mix of fault kinds, the
+  // per-point xorshift streams make the run reproducible. A quiet slice
+  // lets kOk traffic through so the parity invariant has teeth.
+  const std::vector<std::string> slices = {
+      "serve.worker_stall=sleep:120",
+      "serve.batch_forward=throw:0.3;serve.overlay_resolve=throw:0.5",
+      "serve.plan_compile=throw:1.0;serve.worker_stall=sleep:20:0.2",
+      "serve.batch_forward=throw:0.1;serve.plan_compile=sleep:10:0.5",
+      "",
+  };
+  std::atomic<bool> storm_done{false};
+  std::thread chaos([&] {
+    std::size_t slice = 0;
+    while (!storm_done.load(std::memory_order_acquire)) {
+      const std::string& spec_str = slices[slice % slices.size()];
+      if (kChaosCompiled && !spec_str.empty()) {
+        FailPoints::arm_from_spec(spec_str);
+      }
+      for (int waited = 0;
+           waited < slice_ms && !storm_done.load(std::memory_order_acquire);
+           waited += 10) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      for (const std::string& name : FailPoints::armed_names()) {
+        result.fired[name] += FailPoints::fired(name);
+      }
+      FailPoints::disarm_all();
+      ++slice;
+    }
+  });
+
+  const double target_rps = 4000.0;
+  const auto start = Clock::now() + std::chrono::milliseconds(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(static_cast<double>(i) /
+                                                  target_rps)));
+    if (i > 0 && i % (n / 16) == 0) load();  // hot reload mid-storm
+    if (i > 0 && i % (n / 10) == 0) {        // overlay churn past the LRU bound
+      server.register_overlay("churn" + std::to_string((i / (n / 10)) % 8),
+                              overlay);
+      server.register_overlay("dev0", overlay);
+    }
+    Request req;
+    req.id = i;
+    req.series = series[i % series.size()];
+    req.priority = static_cast<Priority>(kClassOf[i % 3]);
+    if (req.priority == Priority::kBestEffort) req.deadline_us = 3000.0;
+    if (i % 3 == 0) req.overlay = "dev0";
+    server.submit(std::move(req), [&](Response resp) {
+      std::lock_guard<std::mutex> lock(mutex);
+      const std::size_t id = static_cast<std::size_t>(resp.id);
+      if (counts[id] == 0) {
+        ++result.answered;
+      } else {
+        ++result.duplicates;
+      }
+      if (counts[id] < 255) ++counts[id];
+      ++result.by_status[static_cast<std::size_t>(resp.status)];
+      if (resp.status == Status::kOk) {
+        const auto& want =
+            id % 3 == 0 ? refs_cal[id % series.size()]
+                        : refs_base[id % series.size()];
+        if (resp.logits != want) ++result.parity_violations;
+      }
+      if (result.answered == counts.size()) cv.notify_all();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    result.deadlock = !cv.wait_for(lock, std::chrono::seconds(90), [&] {
+      return result.answered == counts.size();
+    });
+  }
+  storm_done.store(true, std::memory_order_release);
+  chaos.join();
+  FailPoints::disarm_all();
+  if (!result.deadlock) {
+    server.stop();
+    result.stats = server.stats();
+  }
+  return result;
+}
+
+std::string fired_json(const std::map<std::string, std::uint64_t>& fired) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, count] : fired) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << count;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace pnc;
+
+  const bool quick = bench::quick_mode();
+  bench::JsonReport report("serve_chaos");
+  report.metric("chaos_compiled", kChaosCompiled ? 1.0 : 0.0);
+
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const std::uint64_t seed = 424;
+  const auto series = make_series(64, 32);
+
+  // A non-trivial calibration overlay for this exact realization.
+  calib::Device device(*engine, spec, seed);
+  std::vector<double> deltas(device.directions());
+  for (std::size_t k = 0; k < deltas.size(); ++k) {
+    deltas[k] = (k % 2 == 0) ? 0.3 : -0.2;
+  }
+  device.set_deltas(deltas);
+  const calib::Overlay overlay = device.make_overlay();
+
+  std::vector<std::vector<double>> refs_base;
+  std::vector<std::vector<double>> refs_cal;
+  report.timed_phase("references", [&] {
+    refs_base = reference_logits(*engine, spec, seed, series);
+    infer::Engine patched(*engine);
+    calib::apply_overlay(patched, overlay);
+    refs_cal = reference_logits(patched, spec, seed, series);
+  });
+
+  // Phase 1: priority scheduling at saturation.
+  PriorityResult priority;
+  report.timed_phase("priority", [&] {
+    priority = run_priority(engine, series, quick ? 1500 : 4500);
+  });
+  for (const Priority p :
+       {Priority::kInteractive, Priority::kBatch, Priority::kBestEffort}) {
+    const std::size_t k = static_cast<std::size_t>(p);
+    const std::string tag = serve::priority_name(p);
+    report.metric("priority_submitted_" + tag,
+                  static_cast<double>(priority.submitted[k]));
+    report.metric("priority_served_" + tag,
+                  static_cast<double>(priority.stats.served_by_class[k]));
+    report.metric("priority_shed_" + tag,
+                  static_cast<double>(priority.stats.shed_by_class[k]));
+  }
+  report.metric("priority_total_shed", static_cast<double>(priority.stats.shed));
+  report.metric("priority_ok", priority.ok ? 1.0 : 0.0);
+  std::cout << "priority: shed interactive="
+            << priority.stats.shed_by_class[0]
+            << " batch=" << priority.stats.shed_by_class[1]
+            << " best_effort=" << priority.stats.shed_by_class[2]
+            << (priority.ok ? " (ok)" : " (VIOLATION)") << "\n";
+
+  // Phase 2: directed injection, one fail-point kind at a time.
+  DirectedResult directed;
+  if (kChaosCompiled) {
+    report.timed_phase("directed", [&] {
+      directed =
+          run_directed(engine, spec, seed, overlay, series.front());
+    });
+    report.metric("directed_ok", directed.ok ? 1.0 : 0.0);
+    report.metric("directed_restarts", static_cast<double>(directed.restarts));
+    std::cout << "directed: " << (directed.ok ? "ok" : "VIOLATION")
+              << ", restarts=" << directed.restarts << "\n";
+  }
+
+  // Phase 3: randomized fault storm.
+  StormResult storm;
+  report.timed_phase("storm", [&] {
+    storm = run_storm(engine, spec, seed, overlay, series, refs_base,
+                      refs_cal, quick ? 1200 : 4000, quick ? 100 : 200);
+  });
+  const std::uint64_t lost =
+      static_cast<std::uint64_t>(storm.requests - storm.answered);
+  report.metric("storm_requests", static_cast<double>(storm.requests));
+  report.metric("storm_ok", static_cast<double>(storm.by_status[0]));
+  report.metric("storm_shed", static_cast<double>(storm.by_status[1]));
+  report.metric("storm_deadline", static_cast<double>(storm.by_status[2]));
+  report.metric("storm_error", static_cast<double>(storm.by_status[3]));
+  report.metric("lost_responses", static_cast<double>(lost));
+  report.metric("duplicate_responses", static_cast<double>(storm.duplicates));
+  report.metric("parity_violations",
+                static_cast<double>(storm.parity_violations));
+  report.metric("deadlock_detected", storm.deadlock ? 1.0 : 0.0);
+  report.metric("worker_restarts",
+                static_cast<double>(storm.stats.worker_restarts +
+                                    directed.restarts));
+  report.metric("deadline_expired",
+                static_cast<double>(storm.stats.deadline_expired));
+  report.metric("overlay_evictions",
+                static_cast<double>(storm.stats.overlay_evictions));
+
+  std::map<std::string, std::uint64_t> fired = directed.fired;
+  for (const auto& [name, count] : storm.fired) fired[name] += count;
+  std::size_t distinct = 0;
+  for (const auto& [name, count] : fired) distinct += count > 0;
+  report.metric("distinct_failpoints_fired", static_cast<double>(distinct));
+  report.section("fail_points", fired_json(fired));
+
+  std::cout << "storm: " << storm.answered << "/" << storm.requests
+            << " answered (ok=" << storm.by_status[0]
+            << " shed=" << storm.by_status[1]
+            << " deadline=" << storm.by_status[2]
+            << " error=" << storm.by_status[3]
+            << "), duplicates=" << storm.duplicates
+            << ", parity_violations=" << storm.parity_violations
+            << ", restarts=" << storm.stats.worker_restarts
+            << ", fail-point kinds=" << distinct << "\n";
+
+  bool ok = priority.ok && lost == 0 && storm.duplicates == 0 &&
+            storm.parity_violations == 0 && !storm.deadlock &&
+            storm.by_status[0] > 0;
+  if (kChaosCompiled) {
+    ok = ok && directed.ok && distinct >= 4 &&
+         storm.stats.worker_restarts + directed.restarts >= 1;
+  }
+  report.metric("invariants_ok", ok ? 1.0 : 0.0);
+  report.write();
+  std::cout << "wrote BENCH_serve_chaos.json: "
+            << (ok ? "all invariants hold" : "INVARIANT VIOLATION") << "\n";
+  if (storm.deadlock) {
+    // The server cannot be stopped cleanly with requests stuck in it;
+    // the report is on disk, so fail hard rather than hang in a join.
+    std::_Exit(2);
+  }
+  return ok ? 0 : 1;
+}

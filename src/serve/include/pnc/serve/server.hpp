@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -27,14 +30,36 @@ struct ModelConfig {
   std::uint64_t variation_seed = 0;     ///< one seed = one fabricated circuit
 };
 
+/// Lifecycle / readiness state, observable via Server::health().
+enum class Health {
+  kIdle,      ///< constructed, workers not yet started
+  kReady,     ///< serving
+  kDraining,  ///< stop() in progress: answering in-flight work, no admits
+  kStopped,   ///< drained and joined
+};
+
+const char* health_name(Health health);
+
 /// Persistent in-process inference server over infer::Engine.
 ///
 /// Requests enter a bounded MPSC CoalescingQueue; `shards` worker threads
 /// pop dynamically coalesced batches (same model revision and series
 /// length, up to max_batch or the batch deadline) and forward them through
-/// plans leased from a shared LRU PlanCache. Admission control is the
-/// queue bound: a full queue sheds the request immediately (kShed) rather
-/// than queueing unbounded work.
+/// plans leased from a shared LRU PlanCache. Dispatch order is (priority
+/// class, earliest deadline, arrival); admission control is the queue
+/// bound — a full queue sheds lowest-priority-first: an interactive
+/// arrival displaces queued best-effort work (the victim gets its kShed
+/// response) rather than being rejected, and requests still queued past
+/// their deadline are shed with kDeadline at pop time instead of being
+/// served late.
+///
+/// Failure domains: one batch is the unit of failure. A shard that throws
+/// while leasing a plan or running the forward answers that batch's
+/// requests with kError and keeps serving; a shard stuck on one batch
+/// longer than watchdog_budget_ms is declared hung and replaced by a
+/// fresh worker without dropping the queue (the hung thread still
+/// delivers its batch's responses when it comes back, then exits).
+/// stop() drains: every admitted request is answered before it returns.
 ///
 /// Hot reload: load_model() on an existing id atomically swaps in a new
 /// revision with a fresh generation. Requests resolve their model revision
@@ -65,17 +90,25 @@ class Server {
   /// Requests opt in by naming it in Request::overlay; the overlay's
   /// identity check against the request's model (family, base checkpoint
   /// digest, variation seed) happens at submit time, so one overlay can be
-  /// registered before or after the models it serves. Returns the overlay
-  /// digest (the plan-cache key component). Thread-safe.
+  /// registered before or after the models it serves. The registry is
+  /// bounded: past ServerConfig::overlay_capacity the least recently used
+  /// overlay is evicted (stats().overlay_evictions) and later requests
+  /// naming it fail cleanly as unknown. Returns the overlay digest (the
+  /// plan-cache key component). Thread-safe.
   std::uint64_t register_overlay(const std::string& id,
                                  calib::Overlay overlay);
 
-  /// Spawn the worker shards. Idempotent.
+  /// Spawn the worker shards (and the watchdog, if configured). Idempotent.
   void start();
 
-  /// Close the queue, drain remaining requests, join workers. Idempotent;
-  /// called by the destructor.
+  /// Close the queue, drain remaining requests, join workers. Every
+  /// admitted request is answered before this returns. Idempotent; called
+  /// by the destructor.
   void stop();
+
+  /// Lifecycle / readiness probes for front-ends.
+  Health health() const { return health_.load(std::memory_order_acquire); }
+  bool ready() const { return health() == Health::kReady; }
 
   /// Submit a request. Returns kOk if admitted (the callback fires later,
   /// possibly on a worker thread — it must be thread-safe and cheap) or
@@ -117,6 +150,9 @@ class Server {
     std::shared_ptr<const ModelState> model;
     std::shared_ptr<const OverlayState> overlay;  // null = base circuit
     std::chrono::steady_clock::time_point submitted;
+    /// Absolute expiry (max() = none), fixed at submit from deadline_us.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   /// Coalescing key: same revision (pointer identity — a reload makes a
@@ -129,23 +165,53 @@ class Server {
     bool operator==(const BatchKey&) const = default;
   };
 
-  void worker_loop();
+  using Queue = CoalescingQueue<Pending, BatchKey>;
+
+  /// One worker slot. The thread is replaced by the watchdog when hung;
+  /// `epoch` tells a replaced thread to exit once it comes back, and
+  /// `busy_since_ns` (-1 = idle) is the heartbeat the watchdog reads.
+  struct Shard {
+    std::thread thread;
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::int64_t> busy_since_ns{-1};
+  };
+
+  void worker_loop(Shard* shard, std::uint64_t my_epoch);
+  void watchdog_loop();
   void serve_batch(std::vector<Pending>& batch);
   void fail(Pending& pending, Status status, const std::string& message);
+  void deliver(Pending& pending, Response resp);
 
   ServerConfig config_;
   PlanCache plan_cache_;
-  CoalescingQueue<Pending, BatchKey> queue_;
+  Queue queue_;
 
   mutable std::mutex models_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const ModelState>> models_;
-  std::unordered_map<std::string, std::shared_ptr<const OverlayState>>
-      overlays_;
+  /// Bounded overlay registry: map entries carry their LRU position;
+  /// overlay_lru_ front = most recently registered or used.
+  struct OverlayEntry {
+    std::shared_ptr<const OverlayState> state;
+    std::list<std::string>::iterator lru;
+  };
+  std::unordered_map<std::string, OverlayEntry> overlays_;
+  std::list<std::string> overlay_lru_;
   std::uint64_t next_generation_ = 0;
 
   std::mutex lifecycle_mutex_;
-  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<Health> health_{Health::kIdle};
   bool started_ = false;
+
+  /// Threads displaced by a watchdog restart; joined at stop() so a hung
+  /// worker that eventually returns is never leaked or detached.
+  std::mutex shards_mutex_;
+  std::vector<std::thread> retired_;
+
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;

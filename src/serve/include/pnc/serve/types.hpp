@@ -1,7 +1,9 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -9,23 +11,46 @@ namespace pnc::serve {
 
 /// Terminal state of one request.
 enum class Status {
-  kOk,     ///< served; logits/predicted are valid
-  kShed,   ///< rejected by admission control (queue at capacity)
-  kError,  ///< failed (unknown model, engine error, server stopped)
+  kOk,        ///< served; logits/predicted are valid
+  kShed,      ///< rejected by admission control (queue at capacity or
+              ///< displaced by a higher-priority arrival)
+  kDeadline,  ///< expired in the queue before a shard could dispatch it
+  kError,     ///< failed (unknown model, engine error, server stopped)
 };
 
 const char* status_name(Status status);
+
+/// Scheduling class of a request. Lower value = more urgent: the queue
+/// dispatches by (priority, earliest deadline, arrival), and admission
+/// control at capacity sheds best-effort work before interactive work.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,  ///< user-facing; dispatched and protected first
+  kBatch = 1,        ///< throughput work; yields to interactive
+  kBestEffort = 2,   ///< shed first under pressure
+};
+
+inline constexpr std::size_t kPriorityClasses = 3;
+
+const char* priority_name(Priority priority);
+
+/// Parse "interactive" | "batch" | "best_effort" (or "best-effort").
+/// Returns false on anything else, leaving `out` untouched.
+bool parse_priority(const std::string& text, Priority& out);
 
 /// One inference request: a univariate series to classify with a
 /// registered model. `id` is caller-chosen and echoed on the response.
 /// `overlay` optionally names a per-device calibration overlay registered
 /// with Server::register_overlay — the session's physical device; empty
-/// means the uncalibrated base circuit.
+/// means the uncalibrated base circuit. `deadline_us` (microseconds from
+/// submit; 0 = none) bounds queueing: a request still queued past its
+/// deadline is shed with kDeadline instead of being served late.
 struct Request {
   std::uint64_t id = 0;
   std::string model = "default";
   std::string overlay;
   std::vector<double> series;
+  Priority priority = Priority::kInteractive;
+  double deadline_us = 0.0;
 };
 
 /// Completion record delivered to the submit callback (possibly on a
@@ -35,7 +60,7 @@ struct Response {
   Status status = Status::kError;
   std::size_t predicted = 0;        ///< argmax class (kOk only)
   std::vector<double> logits;       ///< raw logits (kOk only)
-  std::string error;                ///< message (kShed/kError only)
+  std::string error;                ///< message (kShed/kDeadline/kError only)
   std::uint64_t generation = 0;     ///< model generation that served it
   std::size_t batch_rows = 0;       ///< size of the coalesced batch it rode in
   double queue_seconds = 0.0;       ///< submit → dispatch
@@ -43,26 +68,45 @@ struct Response {
 };
 
 /// Server tuning knobs. See DESIGN.md §11 for the latency/throughput
-/// trade-offs of max_batch / batch_deadline_us / shards.
+/// trade-offs of max_batch / batch_deadline_us / shards, and §13 for the
+/// resilience knobs (watchdog, overlay capacity, chaos seam).
 struct ServerConfig {
   std::size_t shards = 1;            ///< worker threads, each owning batches
   std::size_t max_batch = 16;        ///< coalescer cap per dispatch
   double batch_deadline_us = 200.0;  ///< max wait for batch-mates, microseconds
   std::size_t queue_capacity = 1024; ///< admission threshold: beyond it, shed
   std::size_t plan_cache_capacity = 8;  ///< LRU entries (models × stamps)
+  std::size_t overlay_capacity = 256;   ///< registered overlays kept (LRU)
+  /// Hung-shard detection: a shard busy on one batch for longer than this
+  /// budget is declared hung and replaced by a fresh worker (the hung
+  /// thread still delivers its batch's responses when it comes back, then
+  /// exits). 0 disables the watchdog.
+  double watchdog_budget_ms = 0.0;
+  /// Test / chaos seam: invoked at the top of every batch dispatch with
+  /// the batch's row count, inside the shard's failure domain — it may
+  /// throw (the batch fails as per-request kError) or stall (the watchdog
+  /// sees the shard as hung). Null = no-op; the check is one branch.
+  std::function<void(std::size_t rows)> inject_before_batch;
 };
 
 /// Monotonic counters; consistent snapshot via Server::stats().
 struct ServerStats {
   std::uint64_t submitted = 0;   ///< accepted into the queue
   std::uint64_t completed = 0;   ///< served with kOk
-  std::uint64_t shed = 0;        ///< rejected by admission control
+  std::uint64_t shed = 0;        ///< rejected or displaced by admission control
+  std::uint64_t deadline_expired = 0;  ///< shed at pop time past the deadline
   std::uint64_t errors = 0;      ///< kError responses
   std::uint64_t batches = 0;     ///< coalesced dispatches
   std::uint64_t reloads = 0;     ///< model (re)registrations
+  std::uint64_t worker_restarts = 0;   ///< hung shards replaced by the watchdog
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
   std::uint64_t plan_cache_evictions = 0;
+  std::uint64_t overlay_evictions = 0;  ///< overlays dropped by the LRU bound
+  /// Per-priority-class outcomes, indexed by static_cast<size_t>(Priority).
+  std::array<std::uint64_t, kPriorityClasses> served_by_class{};
+  std::array<std::uint64_t, kPriorityClasses> shed_by_class{};
+  std::array<std::uint64_t, kPriorityClasses> deadline_by_class{};
   /// batch_histogram[k] = dispatches of exactly k rows (index 0 unused).
   std::vector<std::uint64_t> batch_histogram;
 };

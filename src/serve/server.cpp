@@ -5,13 +5,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pnc/util/failpoint.hpp"
+
 namespace pnc::serve {
 
 namespace {
 
-double seconds_between(std::chrono::steady_clock::time_point a,
-                       std::chrono::steady_clock::time_point b) {
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -22,8 +31,49 @@ const char* status_name(Status status) {
       return "ok";
     case Status::kShed:
       return "shed";
+    case Status::kDeadline:
+      return "deadline";
     case Status::kError:
       return "error";
+  }
+  return "unknown";
+}
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
+bool parse_priority(const std::string& text, Priority& out) {
+  if (text == "interactive") {
+    out = Priority::kInteractive;
+  } else if (text == "batch") {
+    out = Priority::kBatch;
+  } else if (text == "best_effort" || text == "best-effort") {
+    out = Priority::kBestEffort;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* health_name(Health health) {
+  switch (health) {
+    case Health::kIdle:
+      return "idle";
+    case Health::kReady:
+      return "ready";
+    case Health::kDraining:
+      return "draining";
+    case Health::kStopped:
+      return "stopped";
   }
   return "unknown";
 }
@@ -34,14 +84,22 @@ Server::Server(ServerConfig config)
         if (config.max_batch == 0) config.max_batch = 1;
         if (config.queue_capacity == 0) config.queue_capacity = 1;
         if (config.plan_cache_capacity == 0) config.plan_cache_capacity = 1;
+        if (config.overlay_capacity == 0) config.overlay_capacity = 1;
         if (config.batch_deadline_us < 0.0) config.batch_deadline_us = 0.0;
+        if (config.watchdog_budget_ms < 0.0) config.watchdog_budget_ms = 0.0;
         return config;
       }()),
       plan_cache_(config_.plan_cache_capacity),
-      queue_(config_.queue_capacity, [](const Pending& pending) {
-        return BatchKey{pending.model.get(), pending.overlay.get(),
-                        pending.req.series.size()};
-      }) {}
+      queue_(
+          config_.queue_capacity,
+          [](const Pending& pending) {
+            return BatchKey{pending.model.get(), pending.overlay.get(),
+                            pending.req.series.size()};
+          },
+          [](const Pending& pending) {
+            return Queue::Urgency{static_cast<int>(pending.req.priority),
+                                  pending.deadline};
+          }) {}
 
 Server::~Server() { stop(); }
 
@@ -74,9 +132,32 @@ std::uint64_t Server::register_overlay(const std::string& id,
   state->digest = calib::overlay_digest(overlay);
   state->overlay = std::move(overlay);
   const std::uint64_t digest = state->digest;
+  std::uint64_t evicted = 0;
   {
     std::lock_guard<std::mutex> lock(models_mutex_);
-    overlays_[id] = std::move(state);
+    auto found = overlays_.find(id);
+    if (found != overlays_.end()) {
+      found->second.state = std::move(state);
+      overlay_lru_.splice(overlay_lru_.begin(), overlay_lru_,
+                          found->second.lru);
+    } else {
+      overlay_lru_.push_front(id);
+      overlays_.emplace(id, OverlayEntry{std::move(state),
+                                         overlay_lru_.begin()});
+      // Bounded registry (ROADMAP: millions of devices must not grow an
+      // unbounded map): drop the least recently registered-or-used
+      // overlay. In-flight requests that already resolved it keep their
+      // shared_ptr; later requests naming it fail cleanly as unknown.
+      while (overlays_.size() > config_.overlay_capacity) {
+        overlays_.erase(overlay_lru_.back());
+        overlay_lru_.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.overlay_evictions += evicted;
   }
   return digest;
 }
@@ -88,27 +169,64 @@ void Server::start() {
     throw std::logic_error("serve::start: server was already stopped");
   }
   started_ = true;
-  workers_.reserve(config_.shards);
+  shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
-    workers_.emplace_back([this] { worker_loop(); });
+    auto shard = std::make_unique<Shard>();
+    Shard* raw = shard.get();
+    shard->thread = std::thread([this, raw] { worker_loop(raw, 0); });
+    shards_.push_back(std::move(shard));
   }
+  if (config_.watchdog_budget_ms > 0.0) {
+    watchdog_stop_ = false;
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+  health_.store(Health::kReady, std::memory_order_release);
 }
 
 void Server::stop() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
-  queue_.close();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  if (health_.load(std::memory_order_acquire) != Health::kStopped) {
+    health_.store(Health::kDraining, std::memory_order_release);
   }
-  workers_.clear();
+  // The watchdog goes first so it cannot respawn workers mid-teardown.
+  {
+    std::lock_guard<std::mutex> watchdog_lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  queue_.close();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  // Hung workers replaced by the watchdog: they finish their last batch
+  // (delivering its responses), notice the epoch moved on, and exit here.
+  // They must be joined before shards_.clear() frees the Shard slots they
+  // still poll for that epoch check.
+  std::vector<std::thread> retired;
+  {
+    std::lock_guard<std::mutex> shards_lock(shards_mutex_);
+    retired.swap(retired_);
+  }
+  for (std::thread& thread : retired) {
+    if (thread.joinable()) thread.join();
+  }
+  shards_.clear();
   started_ = false;
+  health_.store(Health::kStopped, std::memory_order_release);
 }
 
 Status Server::submit(Request req, Callback done) {
   Pending pending;
-  pending.submitted = std::chrono::steady_clock::now();
+  pending.submitted = Clock::now();
   pending.req = std::move(req);
   pending.done = std::move(done);
+  if (pending.req.deadline_us > 0.0) {
+    pending.deadline =
+        pending.submitted +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::micro>(pending.req.deadline_us));
+  }
 
   if (pending.req.series.empty()) {
     fail(pending, Status::kError, "empty series");
@@ -120,7 +238,11 @@ Status Server::submit(Request req, Callback done) {
     if (found != models_.end()) pending.model = found->second;
     if (!pending.req.overlay.empty()) {
       auto overlay = overlays_.find(pending.req.overlay);
-      if (overlay != overlays_.end()) pending.overlay = overlay->second;
+      if (overlay != overlays_.end()) {
+        pending.overlay = overlay->second.state;
+        overlay_lru_.splice(overlay_lru_.begin(), overlay_lru_,
+                            overlay->second.lru);  // mark most recently used
+      }
     }
   }
   if (!pending.model) {
@@ -138,6 +260,7 @@ Status Server::submit(Request req, Callback done) {
     // overlay tuned for another checkpoint or stamp would silently
     // mis-tune the device.
     try {
+      PNC_FAILPOINT("serve.overlay_resolve");
       calib::require_overlay_matches(
           pending.overlay->overlay, pending.model->engine->model_name(),
           pending.model->checkpoint_digest, pending.model->variation_seed);
@@ -147,16 +270,24 @@ Status Server::submit(Request req, Callback done) {
     }
   }
 
-  switch (queue_.push(std::move(pending))) {
-    case decltype(queue_)::PushResult::kOk: {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.submitted;
+  std::vector<Pending> displaced;
+  switch (queue_.push(std::move(pending), &displaced)) {
+    case Queue::PushResult::kOk: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.submitted;
+      }
+      // Admission at capacity sheds lowest-priority-first: the victim the
+      // queue displaced to make room gets its shed response now.
+      for (Pending& victim : displaced) {
+        fail(victim, Status::kShed, "displaced by higher-priority arrival");
+      }
       return Status::kOk;
     }
-    case decltype(queue_)::PushResult::kFull:
+    case Queue::PushResult::kFull:
       fail(pending, Status::kShed, "queue at capacity");
       return Status::kShed;
-    case decltype(queue_)::PushResult::kClosed:
+    case Queue::PushResult::kClosed:
       fail(pending, Status::kError, "server stopped");
       return Status::kError;
   }
@@ -184,17 +315,62 @@ ServerStats Server::stats() const {
   return out;
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(Shard* shard, std::uint64_t my_epoch) {
   std::vector<Pending> batch;
-  const auto deadline = std::chrono::microseconds(
+  std::vector<Pending> expired;
+  const auto gather = std::chrono::microseconds(
       static_cast<std::chrono::microseconds::rep>(config_.batch_deadline_us));
-  while (queue_.pop_batch(config_.max_batch, deadline, batch)) {
-    serve_batch(batch);
+  while (shard->epoch.load(std::memory_order_acquire) == my_epoch) {
+    expired.clear();
+    if (!queue_.pop_batch(config_.max_batch, gather, batch, &expired)) break;
+    shard->busy_since_ns.store(now_ns(), std::memory_order_release);
+    for (Pending& pending : expired) {
+      fail(pending, Status::kDeadline, "deadline expired in queue");
+    }
+    if (!batch.empty()) serve_batch(batch);
+    // A replaced worker must not clear the heartbeat its successor owns.
+    if (shard->epoch.load(std::memory_order_acquire) == my_epoch) {
+      shard->busy_since_ns.store(-1, std::memory_order_release);
+    }
+  }
+}
+
+void Server::watchdog_loop() {
+  const auto budget_ns =
+      static_cast<std::int64_t>(config_.watchdog_budget_ms * 1e6);
+  const auto poll = std::chrono::nanoseconds(
+      std::clamp<std::int64_t>(budget_ns / 4, 1'000'000, 50'000'000));
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, poll, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+    const std::int64_t now = now_ns();
+    for (auto& shard : shards_) {
+      const std::int64_t busy =
+          shard->busy_since_ns.load(std::memory_order_acquire);
+      if (busy < 0 || now - busy <= budget_ns) continue;
+      // Hung shard: hand the slot to a fresh worker without dropping the
+      // queue. The old thread keeps running until its batch returns (its
+      // responses still go out), sees the epoch moved on, and exits;
+      // stop() joins it from retired_.
+      std::lock_guard<std::mutex> shards_lock(shards_mutex_);
+      const std::uint64_t next =
+          shard->epoch.load(std::memory_order_relaxed) + 1;
+      shard->epoch.store(next, std::memory_order_release);
+      retired_.push_back(std::move(shard->thread));
+      shard->busy_since_ns.store(-1, std::memory_order_release);
+      Shard* raw = shard.get();
+      shard->thread = std::thread([this, raw, next] { worker_loop(raw, next); });
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.worker_restarts;
+      }
+    }
   }
 }
 
 void Server::serve_batch(std::vector<Pending>& batch) {
-  const auto dispatched = std::chrono::steady_clock::now();
+  const auto dispatched = Clock::now();
   const std::shared_ptr<const ModelState> model = batch.front().model;
   const std::size_t rows = batch.size();
   const std::size_t steps = batch.front().req.series.size();
@@ -202,11 +378,17 @@ void Server::serve_batch(std::vector<Pending>& batch) {
   const std::shared_ptr<const OverlayState> overlay = batch.front().overlay;
 
   try {
+    // The shard's failure domain starts here: anything the seam or the
+    // fail points below throw — like a real lease/forward failure — turns
+    // into per-request kError responses, never std::terminate.
+    if (config_.inject_before_batch) config_.inject_before_batch(rows);
+    PNC_FAILPOINT("serve.worker_stall");
     PlanKey key{model->checkpoint_digest, model->variation_seed,
                 model->generation, overlay ? overlay->digest : 0,
                 model->engine->model_name()};
     std::shared_ptr<PlanCacheEntry> entry =
         plan_cache_.get_or_create(key, [&] {
+          PNC_FAILPOINT("serve.plan_compile");
           std::shared_ptr<const infer::Engine> engine = model->engine;
           if (overlay) {
             // The calibrated device: same compiled program with the
@@ -221,6 +403,7 @@ void Server::serve_batch(std::vector<Pending>& batch) {
         });
 
     auto plan = entry->lease_plan(rows);
+    PNC_FAILPOINT("serve.batch_forward");
     const infer::Engine& engine = entry->engine();
     ad::Tensor inputs = ad::Tensor::uninitialized(rows, steps);
     for (std::size_t r = 0; r < rows; ++r) {
@@ -230,7 +413,7 @@ void Server::serve_batch(std::vector<Pending>& batch) {
     }
     ad::Tensor logits;
     engine.forward(*plan, inputs, logits);
-    const auto finished = std::chrono::steady_clock::now();
+    const auto finished = Clock::now();
 
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -238,6 +421,10 @@ void Server::serve_batch(std::vector<Pending>& batch) {
       ++stats_.batches;
       if (stats_.batch_histogram.size() <= rows) {
         stats_.batch_histogram.resize(rows + 1, 0);
+      }
+      for (std::size_t r = 0; r < rows; ++r) {
+        ++stats_.served_by_class[static_cast<std::size_t>(
+            batch[r].req.priority)];
       }
       ++stats_.batch_histogram[rows];
     }
@@ -257,20 +444,29 @@ void Server::serve_batch(std::vector<Pending>& batch) {
       resp.batch_rows = rows;
       resp.queue_seconds = seconds_between(pending.submitted, dispatched);
       resp.total_seconds = seconds_between(pending.submitted, finished);
-      if (pending.done) pending.done(std::move(resp));
+      deliver(pending, std::move(resp));
     }
   } catch (const std::exception& error) {
     for (Pending& pending : batch) {
       fail(pending, Status::kError, error.what());
+    }
+  } catch (...) {
+    for (Pending& pending : batch) {
+      fail(pending, Status::kError, "unknown exception in worker shard");
     }
   }
 }
 
 void Server::fail(Pending& pending, Status status, const std::string& message) {
   {
+    const std::size_t klass = static_cast<std::size_t>(pending.req.priority);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (status == Status::kShed) {
       ++stats_.shed;
+      ++stats_.shed_by_class[klass];
+    } else if (status == Status::kDeadline) {
+      ++stats_.deadline_expired;
+      ++stats_.deadline_by_class[klass];
     } else {
       ++stats_.errors;
     }
@@ -280,9 +476,18 @@ void Server::fail(Pending& pending, Status status, const std::string& message) {
   resp.status = status;
   resp.error = message;
   if (pending.model) resp.generation = pending.model->generation;
-  resp.total_seconds =
-      seconds_between(pending.submitted, std::chrono::steady_clock::now());
-  if (pending.done) pending.done(std::move(resp));
+  resp.total_seconds = seconds_between(pending.submitted, Clock::now());
+  deliver(pending, std::move(resp));
+}
+
+void Server::deliver(Pending& pending, Response resp) {
+  if (!pending.done) return;
+  try {
+    pending.done(std::move(resp));
+  } catch (...) {
+    // A throwing callback must not take down the shard; the response was
+    // already handed over, so there is nothing left to salvage.
+  }
 }
 
 }  // namespace pnc::serve

@@ -1,0 +1,197 @@
+#include "pnc/util/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace pnc::util {
+
+namespace {
+
+struct State {
+  FailPointSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t rng = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, State> points;
+  /// Fast path: un-armed evaluations are one relaxed load, no lock.
+  std::atomic<std::size_t> armed_count{0};
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: sites may
+  return *instance;                            // run during static teardown
+}
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// Decide whether an armed point fires and what it should do. Returns
+/// false when the point is not armed or the draw misses.
+bool draw(const char* name, FailPointSpec& action) {
+  Registry& reg = registry();
+  if (reg.armed_count.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto found = reg.points.find(name);
+  if (found == reg.points.end()) return false;
+  State& state = found->second;
+  ++state.hits;
+  if (state.spec.probability < 1.0) {
+    const double u = static_cast<double>(xorshift(state.rng) >> 11) *
+                     (1.0 / 9007199254740992.0);  // uniform in [0, 1)
+    if (u >= state.spec.probability) return false;
+  }
+  ++state.fired;
+  action = state.spec;
+  return true;
+}
+
+}  // namespace
+
+void FailPoints::arm(const std::string& name, FailPointSpec spec) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  State state;
+  state.spec = std::move(spec);
+  state.rng = state.spec.seed == 0 ? 0x9e3779b97f4a7c15ULL : state.spec.seed;
+  const bool fresh = reg.points.insert_or_assign(name, std::move(state)).second;
+  if (fresh) reg.armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoints::disarm(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.points.erase(name) > 0) {
+    reg.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.armed_count.fetch_sub(reg.points.size(), std::memory_order_relaxed);
+  reg.points.clear();
+}
+
+bool FailPoints::armed(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.points.count(name) > 0;
+}
+
+std::vector<std::string> FailPoints::armed_names() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.points.size());
+  for (const auto& [name, state] : reg.points) names.push_back(name);
+  return names;
+}
+
+std::uint64_t FailPoints::hits(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto found = reg.points.find(name);
+  return found == reg.points.end() ? 0 : found->second.hits;
+}
+
+std::uint64_t FailPoints::fired(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto found = reg.points.find(name);
+  return found == reg.points.end() ? 0 : found->second.fired;
+}
+
+void FailPoints::evaluate(const char* name) {
+  FailPointSpec action;
+  if (!draw(name, action)) return;
+  // Act outside the registry lock: a stalled site must not block other
+  // threads' draws (or the harness's disarm).
+  if (action.sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.sleep_ms));
+  }
+  if (action.do_throw) {
+    throw ChaosError(action.message + " [" + name + "]");
+  }
+}
+
+bool FailPoints::fire(const char* name) {
+  FailPointSpec action;
+  if (!draw(name, action)) return false;
+  if (action.sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.sleep_ms));
+  }
+  return true;
+}
+
+void FailPoints::arm_from_spec(const std::string& spec) {
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("failpoint spec entry wants NAME=ACTION: '" +
+                                  entry + "'");
+    }
+    const std::string name = entry.substr(0, eq);
+    std::vector<std::string> parts;
+    std::size_t p = eq + 1;
+    while (p <= entry.size()) {
+      std::size_t colon = entry.find(':', p);
+      if (colon == std::string::npos) colon = entry.size();
+      parts.push_back(entry.substr(p, colon - p));
+      p = colon + 1;
+    }
+    if (parts.empty() || parts[0].empty()) {
+      throw std::invalid_argument("failpoint spec entry missing action: '" +
+                                  entry + "'");
+    }
+
+    FailPointSpec fp;
+    std::size_t prob_index = 1;
+    if (parts[0] == "throw") {
+      fp.do_throw = true;
+    } else if (parts[0] == "sleep") {
+      if (parts.size() < 2) {
+        throw std::invalid_argument("failpoint sleep wants milliseconds: '" +
+                                    entry + "'");
+      }
+      fp.sleep_ms = std::stoi(parts[1]);
+      prob_index = 2;
+    } else if (parts[0] == "fire") {
+      // Custom-action site: the draw alone decides; the site acts.
+    } else {
+      throw std::invalid_argument("unknown failpoint action '" + parts[0] +
+                                  "' in '" + entry + "'");
+    }
+    if (parts.size() > prob_index) {
+      fp.probability = std::stod(parts[prob_index]);
+      if (fp.probability < 0.0 || fp.probability > 1.0) {
+        throw std::invalid_argument("failpoint probability out of [0,1]: '" +
+                                    entry + "'");
+      }
+    }
+    if (parts.size() > prob_index + 1) {
+      throw std::invalid_argument("trailing fields in failpoint entry: '" +
+                                  entry + "'");
+    }
+    arm(name, std::move(fp));
+  }
+}
+
+}  // namespace pnc::util

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pnc::util {
+
+/// Thrown by an armed fail point in throw mode. Catching this apart from
+/// other exceptions lets chaos harnesses tell injected failures from real
+/// ones.
+class ChaosError : public std::runtime_error {
+ public:
+  explicit ChaosError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// What an armed fail point does when a site evaluates it. Every action
+/// draws from a per-fail-point xorshift stream seeded by `seed`, so a
+/// chaos schedule is reproducible run to run.
+struct FailPointSpec {
+  double probability = 1.0;  ///< chance each evaluation fires
+  int sleep_ms = 0;          ///< stall this long when firing
+  bool do_throw = false;     ///< throw ChaosError after the stall
+  std::string message = "chaos fail point";
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Process-wide chaos fail-point registry (DESIGN.md §13).
+///
+/// Library code marks injection sites with PNC_FAILPOINT("name") /
+/// PNC_FAILPOINT_FIRE("name"). The sites compile to nothing unless the
+/// build defines PNC_CHAOS, so production binaries pay zero cost; under
+/// a chaos build an un-armed site is one relaxed atomic load. The
+/// registry itself is always compiled (and unit-tested) so harnesses can
+/// arm/inspect it regardless of whether any site is live.
+///
+/// All methods are thread-safe.
+class FailPoints {
+ public:
+  /// Arm (or re-arm, resetting counters and the random stream) `name`.
+  static void arm(const std::string& name, FailPointSpec spec);
+  static void disarm(const std::string& name);
+  static void disarm_all();
+
+  static bool armed(const std::string& name);
+  static std::vector<std::string> armed_names();
+  /// Evaluations / firings of `name` since it was last armed.
+  static std::uint64_t hits(const std::string& name);
+  static std::uint64_t fired(const std::string& name);
+
+  /// Evaluate a site: when `name` is armed and its probability draw
+  /// fires, stall sleep_ms and/or throw ChaosError per the spec.
+  static void evaluate(const char* name);
+
+  /// Evaluate a custom-action site: returns true when the site should
+  /// act (probability draw fired). Stalls if spec'd but never throws —
+  /// the site supplies its own failure behaviour (e.g. a short write).
+  static bool fire(const char* name);
+
+  /// Arm from a schedule string:
+  ///   "NAME=ACTION[:ARG][:PROB][;NAME=ACTION...]"
+  /// where ACTION is `throw` (ARG unused), `sleep` (ARG = milliseconds)
+  /// or `fire` (ARG unused), and PROB defaults to 1. Examples:
+  ///   "serve.batch_forward=throw:0.1;serve.worker_stall=sleep:80:0.05"
+  /// Throws std::invalid_argument on a malformed schedule.
+  static void arm_from_spec(const std::string& spec);
+};
+
+}  // namespace pnc::util
+
+// Injection-site macros. Sites are compiled out entirely unless the
+// build defines PNC_CHAOS (cmake -DPNC_CHAOS=ON).
+#if defined(PNC_CHAOS)
+#define PNC_FAILPOINT(name) ::pnc::util::FailPoints::evaluate(name)
+#define PNC_FAILPOINT_FIRE(name) ::pnc::util::FailPoints::fire(name)
+#else
+#define PNC_FAILPOINT(name) ((void)0)
+#define PNC_FAILPOINT_FIRE(name) (false)
+#endif

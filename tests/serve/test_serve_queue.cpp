@@ -150,6 +150,116 @@ TEST(ServeQueue, ConcurrentProducersConsumersDeliverExactlyOnce) {
 }
 
 // ---------------------------------------------------------------------------
+// Priority / deadline scheduling (DESIGN.md §13). An urgency functor
+// turns the FIFO bound into (priority class, earliest deadline, arrival)
+// dispatch with expiry sweeps and lowest-urgency-first displacement.
+
+struct UItem {
+  int key = 0;
+  int klass = 0;
+  Queue::Clock::time_point deadline = Queue::Clock::time_point::max();
+  int seq = 0;
+};
+
+using UQueue = serve::CoalescingQueue<UItem, int>;
+
+UQueue make_urgent_queue(std::size_t capacity) {
+  return UQueue(
+      capacity, [](const UItem& item) { return item.key; },
+      [](const UItem& item) {
+        return UQueue::Urgency{item.klass, item.deadline};
+      });
+}
+
+TEST(ServeQueue, PriorityClassOrdersDispatch) {
+  UQueue q = make_urgent_queue(8);
+  ASSERT_EQ(q.push(UItem{.key = 1, .klass = 2, .seq = 0}), UQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(UItem{.key = 2, .klass = 1, .seq = 1}), UQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(UItem{.key = 3, .klass = 0, .seq = 2}), UQueue::PushResult::kOk);
+
+  // Distinct keys: each pop returns one item — most urgent class first.
+  std::vector<UItem> batch;
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));
+  EXPECT_EQ(batch.at(0).klass, 0);
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));
+  EXPECT_EQ(batch.at(0).klass, 1);
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));
+  EXPECT_EQ(batch.at(0).klass, 2);
+}
+
+TEST(ServeQueue, EarlierDeadlineDispatchedFirstWithinClass) {
+  const auto now = Queue::Clock::now();
+  UQueue q = make_urgent_queue(8);
+  ASSERT_EQ(q.push(UItem{1, 1, now + 50ms, 0}), UQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(UItem{2, 1, now + 20ms, 1}), UQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(UItem{3, 1, Queue::Clock::time_point::max(), 2}),
+            UQueue::PushResult::kOk);
+
+  std::vector<UItem> batch;
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));
+  EXPECT_EQ(batch.at(0).seq, 1);  // tightest deadline
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));
+  EXPECT_EQ(batch.at(0).seq, 0);
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch));
+  EXPECT_EQ(batch.at(0).seq, 2);  // no deadline goes last
+}
+
+TEST(ServeQueue, MoreUrgentArrivalDisplacesLeastUrgentAtCapacity) {
+  UQueue q = make_urgent_queue(2);
+  ASSERT_EQ(q.push(UItem{.key = 1, .klass = 2, .seq = 0}), UQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(UItem{.key = 2, .klass = 1, .seq = 1}), UQueue::PushResult::kOk);
+
+  // A class-0 arrival displaces the class-2 victim, which is handed back
+  // for its shed response.
+  std::vector<UItem> displaced;
+  EXPECT_EQ(q.push(UItem{.key = 3, .klass = 0, .seq = 2}, &displaced), UQueue::PushResult::kOk);
+  ASSERT_EQ(displaced.size(), 1u);
+  EXPECT_EQ(displaced.at(0).seq, 0);
+  EXPECT_EQ(q.depth(), 2u);
+
+  // Equal-or-lower urgency never displaces: the incoming item sheds.
+  UItem equal{.key = 4, .klass = 1, .seq = 3};
+  EXPECT_EQ(q.push(std::move(equal), &displaced), UQueue::PushResult::kFull);
+  EXPECT_EQ(equal.seq, 3);  // intact for the caller's shed response
+  EXPECT_EQ(displaced.size(), 1u);
+
+  // Without a displaced sink there is no displacement, only kFull.
+  EXPECT_EQ(q.push(UItem{.key = 5, .klass = 0, .seq = 4}), UQueue::PushResult::kFull);
+}
+
+TEST(ServeQueue, ExpiredItemsAreSweptNotServed) {
+  const auto now = Queue::Clock::now();
+  UQueue q = make_urgent_queue(8);
+  ASSERT_EQ(q.push(UItem{1, 0, now - 1ms, 0}), UQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(UItem{1, 0, now - 1ms, 1}), UQueue::PushResult::kOk);
+  ASSERT_EQ(q.push(UItem{2, 0, now + 1h, 2}), UQueue::PushResult::kOk);
+
+  std::vector<UItem> batch;
+  std::vector<UItem> expired;
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch, &expired));
+  ASSERT_EQ(expired.size(), 2u);  // swept in arrival order
+  EXPECT_EQ(expired.at(0).seq, 0);
+  EXPECT_EQ(expired.at(1).seq, 1);
+  ASSERT_EQ(batch.size(), 1u);  // the live item still serves
+  EXPECT_EQ(batch.at(0).seq, 2);
+}
+
+TEST(ServeQueue, OnlyExpiredWorkReturnsEmptyBatch) {
+  const auto now = Queue::Clock::now();
+  UQueue q = make_urgent_queue(8);
+  ASSERT_EQ(q.push(UItem{1, 0, now - 1ms, 0}), UQueue::PushResult::kOk);
+
+  std::vector<UItem> batch;
+  std::vector<UItem> expired;
+  // True with an empty batch: the caller answers the expired item now
+  // instead of blocking for live work.
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch, &expired));
+  EXPECT_TRUE(batch.empty());
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // PlanCache
 
 std::shared_ptr<const infer::Engine> test_engine() {

@@ -1,0 +1,480 @@
+// Resilient serving (DESIGN.md §13): priority/deadline scheduling sheds
+// the right work under pressure, a faulting or hung shard is isolated and
+// replaced without losing responses, the overlay registry is bounded, and
+// registration storms can neither drop a response nor deadlock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "pnc/calib/calibrator.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/serve/server.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc {
+namespace {
+
+using serve::Priority;
+using serve::Status;
+
+std::shared_ptr<const infer::Engine> make_engine() {
+  auto model = core::make_adapt_pnc(3, 0.01, 6, 5);
+  return std::make_shared<const infer::Engine>(infer::Engine::compile(*model));
+}
+
+std::vector<std::vector<double>> make_series(std::size_t count,
+                                             std::size_t steps,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> out(count);
+  for (auto& s : out) {
+    s.resize(steps);
+    for (auto& v : s) v = rng.uniform(-1.0, 1.0);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> reference_logits(
+    const infer::Engine& engine, const variation::VariationSpec& spec,
+    std::uint64_t seed, const std::vector<std::vector<double>>& series) {
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(seed);
+  engine.stamp(plan, spec, rng, 1);
+  std::vector<std::vector<double>> refs;
+  for (const auto& s : series) {
+    engine.broadcast_batch(plan, 1);
+    ad::Tensor x(1, s.size());
+    std::copy(s.begin(), s.end(), x.data().begin());
+    ad::Tensor logits;
+    engine.forward(plan, x, logits);
+    refs.emplace_back(logits.data().begin(), logits.data().end());
+  }
+  return refs;
+}
+
+struct Collector {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::map<std::uint64_t, serve::Response> responses;
+
+  serve::Server::Callback callback() {
+    return [this](serve::Response resp) {
+      std::lock_guard<std::mutex> lock(mutex);
+      responses[resp.id] = std::move(resp);
+      ++done;
+      cv.notify_all();
+    };
+  }
+
+  void wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return done >= n; });
+  }
+};
+
+// Admission at capacity sheds lowest-priority-first: an interactive
+// arrival displaces queued best-effort work instead of being rejected,
+// and the displaced victim gets its own shed response.
+TEST(ServeResilience, InteractiveDisplacesBestEffortAtCapacity) {
+  serve::ServerConfig config;
+  config.queue_capacity = 4;
+  serve::Server server(config);  // not started: the queue only fills
+  serve::ModelConfig model;
+  model.engine = make_engine();
+  server.load_model("default", std::move(model));
+
+  const auto series = make_series(1, 9, 1);
+  Collector collector;
+  for (std::size_t i = 0; i < 4; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.series = series[0];
+    req.priority = Priority::kBestEffort;
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()), Status::kOk);
+  }
+
+  // Interactive past capacity: admitted, displacing the newest queued
+  // best-effort request (id 3).
+  serve::Request vip;
+  vip.id = 10;
+  vip.series = series[0];
+  vip.priority = Priority::kInteractive;
+  EXPECT_EQ(server.submit(std::move(vip), collector.callback()), Status::kOk);
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    ASSERT_EQ(collector.responses.count(3), 1u);
+    EXPECT_EQ(collector.responses.at(3).status, Status::kShed);
+    EXPECT_NE(collector.responses.at(3).error.find("displaced"),
+              std::string::npos);
+  }
+
+  // Equal-priority past capacity: rejected, nothing displaced.
+  serve::Request more;
+  more.id = 11;
+  more.series = series[0];
+  more.priority = Priority::kBestEffort;
+  EXPECT_EQ(server.submit(std::move(more), collector.callback()),
+            Status::kShed);
+
+  const auto mid = server.stats();
+  EXPECT_EQ(mid.shed, 2u);
+  EXPECT_EQ(mid.shed_by_class[static_cast<std::size_t>(Priority::kBestEffort)],
+            2u);
+  EXPECT_EQ(
+      mid.shed_by_class[static_cast<std::size_t>(Priority::kInteractive)], 0u);
+
+  // Draining serves what stayed queued: 0, 1, 2 and the interactive 10.
+  server.start();
+  collector.wait_for(6);
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(
+      stats.served_by_class[static_cast<std::size_t>(Priority::kInteractive)],
+      1u);
+  EXPECT_EQ(
+      stats.served_by_class[static_cast<std::size_t>(Priority::kBestEffort)],
+      3u);
+  for (const std::size_t id : {0u, 1u, 2u, 10u}) {
+    EXPECT_EQ(collector.responses.at(id).status, Status::kOk) << "id " << id;
+  }
+}
+
+// A request still queued past its deadline is answered kDeadline at pop
+// time instead of being served late; per-class counters record it.
+TEST(ServeResilience, DeadlineExpiredInQueueShedsWithKDeadline) {
+  serve::ServerConfig config;
+  config.shards = 1;
+  serve::Server server(config);  // queue fills while stopped
+  serve::ModelConfig model;
+  model.engine = make_engine();
+  server.load_model("default", std::move(model));
+
+  const auto series = make_series(1, 9, 2);
+  Collector collector;
+  for (std::size_t i = 0; i < 3; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.series = series[0];
+    req.priority = Priority::kBatch;
+    req.deadline_us = 1000.0;  // 1 ms: expires during the sleep below
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()), Status::kOk);
+  }
+  serve::Request undated;  // no deadline: must still be served
+  undated.id = 7;
+  undated.series = series[0];
+  ASSERT_EQ(server.submit(std::move(undated), collector.callback()),
+            Status::kOk);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.start();
+  collector.wait_for(4);
+  server.stop();
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const serve::Response& resp = collector.responses.at(i);
+    EXPECT_EQ(resp.status, Status::kDeadline) << "id " << i;
+    EXPECT_NE(resp.error.find("deadline"), std::string::npos);
+  }
+  EXPECT_EQ(collector.responses.at(7).status, Status::kOk);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.deadline_expired, 3u);
+  EXPECT_EQ(
+      stats.deadline_by_class[static_cast<std::size_t>(Priority::kBatch)], 3u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+// One batch is the unit of failure: a throw inside the dispatch path
+// becomes per-request kError and the shard keeps serving.
+TEST(ServeResilience, FaultedBatchFailsWithErrorAndServerKeepsServing) {
+  std::atomic<int> faults_left{2};
+  serve::ServerConfig config;
+  config.shards = 1;
+  config.max_batch = 1;  // one request per batch: deterministic blast radius
+  config.batch_deadline_us = 0.0;
+  config.inject_before_batch = [&](std::size_t) {
+    if (faults_left.fetch_sub(1) > 0) {
+      throw std::runtime_error("injected fault");
+    }
+  };
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.engine = make_engine();
+  server.load_model("default", std::move(model));
+
+  const auto series = make_series(1, 9, 3);
+  Collector collector;
+  const std::size_t n = 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.series = series[0];
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()), Status::kOk);
+  }
+  server.start();
+  collector.wait_for(n);
+  EXPECT_TRUE(server.ready());
+  server.stop();
+
+  std::size_t errors = 0;
+  std::size_t ok = 0;
+  for (const auto& [id, resp] : collector.responses) {
+    if (resp.status == Status::kError) {
+      EXPECT_NE(resp.error.find("injected fault"), std::string::npos);
+      ++errors;
+    } else {
+      EXPECT_EQ(resp.status, Status::kOk);
+      ++ok;
+    }
+  }
+  EXPECT_EQ(errors, 2u);
+  EXPECT_EQ(ok, n - 2);
+  EXPECT_EQ(server.stats().errors, 2u);
+}
+
+// A shard stuck on one batch past the watchdog budget is replaced by a
+// fresh worker; the queue keeps draining and the hung batch's responses
+// are still delivered — no request is lost.
+TEST(ServeResilience, WatchdogRestartsHungShardWithoutLosingResponses) {
+  std::atomic<bool> stall_once{true};
+  serve::ServerConfig config;
+  config.shards = 1;
+  config.max_batch = 1;
+  config.batch_deadline_us = 0.0;
+  config.watchdog_budget_ms = 25.0;
+  config.inject_before_batch = [&](std::size_t) {
+    if (stall_once.exchange(false)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  };
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.engine = make_engine();
+  server.load_model("default", std::move(model));
+
+  const auto series = make_series(1, 9, 4);
+  Collector collector;
+  const std::size_t n = 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.series = series[0];
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()), Status::kOk);
+  }
+  server.start();
+  collector.wait_for(n);
+  server.stop();
+
+  ASSERT_EQ(collector.responses.size(), n);
+  for (const auto& [id, resp] : collector.responses) {
+    EXPECT_EQ(resp.status, Status::kOk) << "id " << id;
+  }
+  EXPECT_GE(server.stats().worker_restarts, 1u);
+}
+
+// Hot reload racing injected faults: every submitted request is answered
+// exactly once, and every kOk response is bit-identical to the direct
+// reference (the reload re-registers the same circuit realization, so one
+// reference covers both generations).
+TEST(ServeResilience, HotReloadRacingFaultsAnswersEverythingBitIdentical) {
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const std::uint64_t seed = 515;
+  const auto series = make_series(20, 13, 6);
+  const auto refs = reference_logits(*engine, spec, seed, series);
+
+  std::atomic<int> calls{0};
+  serve::ServerConfig config;
+  config.shards = 2;
+  config.max_batch = 4;
+  config.inject_before_batch = [&](std::size_t) {
+    if (calls.fetch_add(1) % 5 == 0) {
+      throw std::runtime_error("periodic injected fault");
+    }
+  };
+  serve::Server server(config);
+
+  auto load = [&] {
+    serve::ModelConfig model;
+    model.engine = engine;
+    model.variation = spec;
+    model.variation_seed = seed;
+    server.load_model("default", std::move(model));
+  };
+  load();
+  server.start();
+
+  const std::size_t n = 60;
+  Collector collector;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == n / 3 || i == 2 * n / 3) load();  // reload mid-storm
+    serve::Request req;
+    req.id = i;
+    req.series = series[i % series.size()];
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()), Status::kOk);
+  }
+  collector.wait_for(n);
+  server.stop();
+
+  ASSERT_EQ(collector.responses.size(), n);  // exactly one response each
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const serve::Response& resp = collector.responses.at(i);
+    if (resp.status != Status::kOk) {
+      ASSERT_EQ(resp.status, Status::kError) << "id " << i;
+      continue;
+    }
+    ++ok;
+    const auto& want = refs[i % series.size()];
+    ASSERT_EQ(resp.logits.size(), want.size());
+    for (std::size_t c = 0; c < want.size(); ++c) {
+      EXPECT_EQ(resp.logits[c], want[c]) << "req " << i << " class " << c;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(server.stats().errors, 0u);  // the injector actually fired
+}
+
+// The overlay registry is bounded: past overlay_capacity the least
+// recently used overlay is evicted, counted, and a re-request of the
+// evicted name is cleanly reported unknown (not served stale).
+TEST(ServeResilience, OverlayRegistryEvictsLeastRecentlyUsed) {
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const std::uint64_t seed = 99;
+
+  calib::Device device(*engine, spec, seed);
+  std::vector<double> deltas(device.directions(), 0.1);
+  device.set_deltas(deltas);
+  const calib::Overlay overlay = device.make_overlay();
+
+  serve::ServerConfig config;
+  config.overlay_capacity = 2;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.engine = engine;
+  model.variation = spec;
+  model.variation_seed = seed;
+  server.load_model("default", std::move(model));
+  server.start();
+
+  server.register_overlay("a", overlay);
+  server.register_overlay("b", overlay);
+  EXPECT_EQ(server.stats().overlay_evictions, 0u);
+  server.register_overlay("c", overlay);  // capacity 2: evicts "a"
+  EXPECT_EQ(server.stats().overlay_evictions, 1u);
+
+  const auto series = make_series(1, 9, 5);
+  bool called = false;
+  serve::Request evicted;
+  evicted.series = series[0];
+  evicted.overlay = "a";
+  EXPECT_EQ(server.submit(std::move(evicted),
+                          [&](serve::Response resp) {
+                            called = true;
+                            EXPECT_EQ(resp.status, Status::kError);
+                            EXPECT_NE(resp.error.find("unknown overlay"),
+                                      std::string::npos);
+                          }),
+            Status::kError);
+  EXPECT_TRUE(called);
+
+  // The survivors still serve.
+  serve::Request kept;
+  kept.series = series[0];
+  kept.overlay = "c";
+  EXPECT_EQ(server.infer(std::move(kept)).status, Status::kOk);
+
+  // Re-registering the evicted name readmits it (and evicts the LRU "b":
+  // "c" was just used).
+  server.register_overlay("a", overlay);
+  EXPECT_EQ(server.stats().overlay_evictions, 2u);
+  serve::Request readmitted;
+  readmitted.series = series[0];
+  readmitted.overlay = "a";
+  EXPECT_EQ(server.infer(std::move(readmitted)).status, Status::kOk);
+  server.stop();
+}
+
+// Overlay registration and hot reload racing a full-rate submit storm:
+// registration takes the same mutex as model lookup, so the storm can
+// neither lose a response nor deadlock.
+TEST(ServeResilience, RegistrationStormLosesNothingAndTerminates) {
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const std::uint64_t seed = 21;
+
+  calib::Device device(*engine, spec, seed);
+  std::vector<double> deltas(device.directions(), 0.05);
+  device.set_deltas(deltas);
+  const calib::Overlay overlay = device.make_overlay();
+
+  serve::ServerConfig config;
+  config.shards = 2;
+  config.max_batch = 4;
+  config.overlay_capacity = 4;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.engine = engine;
+  model.variation = spec;
+  model.variation_seed = seed;
+  server.load_model("default", std::move(model));
+  server.register_overlay("dev", overlay);
+  server.start();
+
+  const auto series = make_series(8, 11, 7);
+  const std::size_t n = 300;
+  Collector collector;
+
+  std::thread registrar([&] {
+    for (std::size_t r = 0; r < 50; ++r) {
+      server.register_overlay("dev", overlay);
+      server.register_overlay("churn" + std::to_string(r % 8), overlay);
+      serve::ModelConfig next;
+      next.engine = engine;
+      next.variation = spec;
+      next.variation_seed = seed;
+      server.load_model("default", std::move(next));
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.series = series[i % series.size()];
+    if (i % 3 == 0) req.overlay = "dev";
+    server.submit(std::move(req), collector.callback());
+  }
+  registrar.join();
+  collector.wait_for(n);  // every submission answered: no lost responses
+  server.stop();
+  EXPECT_EQ(collector.responses.size(), n);
+}
+
+// Lifecycle probes: idle until start, ready while serving, stopped after.
+TEST(ServeResilience, HealthTracksLifecycle) {
+  serve::Server server;
+  serve::ModelConfig model;
+  model.engine = make_engine();
+  server.load_model("default", std::move(model));
+  EXPECT_EQ(server.health(), serve::Health::kIdle);
+  EXPECT_FALSE(server.ready());
+  server.start();
+  EXPECT_EQ(server.health(), serve::Health::kReady);
+  EXPECT_TRUE(server.ready());
+  server.stop();
+  EXPECT_EQ(server.health(), serve::Health::kStopped);
+  EXPECT_FALSE(server.ready());
+  EXPECT_STREQ(serve::health_name(serve::Health::kDraining), "draining");
+}
+
+}  // namespace
+}  // namespace pnc

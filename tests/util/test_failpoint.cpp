@@ -1,0 +1,128 @@
+// Chaos fail-point registry (DESIGN.md §13). The registry is always
+// compiled — only the PNC_FAILPOINT site macros are build-gated — so
+// these tests drive FailPoints directly and hold in every configuration.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+
+#include "pnc/util/failpoint.hpp"
+
+namespace pnc::util {
+namespace {
+
+/// Every test leaves the process-global registry empty.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoints::disarm_all(); }
+  void TearDown() override { FailPoints::disarm_all(); }
+};
+
+TEST_F(FailPointTest, ArmDisarmAndCounters) {
+  EXPECT_FALSE(FailPoints::armed("t.point"));
+  EXPECT_EQ(FailPoints::hits("t.point"), 0u);
+
+  FailPointSpec spec;  // probability 1, no sleep, no throw: counts only
+  FailPoints::arm("t.point", spec);
+  EXPECT_TRUE(FailPoints::armed("t.point"));
+  FailPoints::evaluate("t.point");
+  FailPoints::evaluate("t.point");
+  EXPECT_EQ(FailPoints::hits("t.point"), 2u);
+  EXPECT_EQ(FailPoints::fired("t.point"), 2u);
+  ASSERT_EQ(FailPoints::armed_names().size(), 1u);
+  EXPECT_EQ(FailPoints::armed_names().front(), "t.point");
+
+  FailPoints::disarm("t.point");
+  EXPECT_FALSE(FailPoints::armed("t.point"));
+  FailPoints::evaluate("t.point");  // un-armed: a no-op
+  EXPECT_EQ(FailPoints::hits("t.point"), 0u);
+}
+
+TEST_F(FailPointTest, ThrowModeRaisesChaosError) {
+  FailPointSpec spec;
+  spec.do_throw = true;
+  spec.message = "boom";
+  FailPoints::arm("t.throw", spec);
+  try {
+    FailPoints::evaluate("t.throw");
+    FAIL() << "expected ChaosError";
+  } catch (const ChaosError& error) {
+    // The message names the site so harness logs attribute the failure.
+    EXPECT_NE(std::string(error.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("t.throw"), std::string::npos);
+  }
+  EXPECT_EQ(FailPoints::fired("t.throw"), 1u);
+}
+
+TEST_F(FailPointTest, FireModeReportsButNeverThrows) {
+  EXPECT_FALSE(FailPoints::fire("t.fire"));  // un-armed
+  FailPointSpec spec;
+  spec.do_throw = true;  // fire() ignores throw: the site acts itself
+  FailPoints::arm("t.fire", spec);
+  EXPECT_TRUE(FailPoints::fire("t.fire"));
+  EXPECT_EQ(FailPoints::fired("t.fire"), 1u);
+}
+
+TEST_F(FailPointTest, ProbabilityDrawsAreSeededAndReproducible) {
+  FailPointSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 1234;
+
+  auto run = [&] {
+    FailPoints::arm("t.prob", spec);  // re-arm resets counters and stream
+    for (int i = 0; i < 200; ++i) (void)FailPoints::fire("t.prob");
+    return FailPoints::fired("t.prob");
+  };
+  const std::uint64_t first = run();
+  EXPECT_GT(first, 50u);   // a fair-ish coin over 200 draws
+  EXPECT_LT(first, 150u);
+  EXPECT_EQ(run(), first);  // same seed, same schedule
+
+  spec.probability = 0.0;
+  FailPoints::arm("t.prob", spec);
+  for (int i = 0; i < 50; ++i) (void)FailPoints::fire("t.prob");
+  EXPECT_EQ(FailPoints::fired("t.prob"), 0u);
+  EXPECT_EQ(FailPoints::hits("t.prob"), 50u);
+}
+
+TEST_F(FailPointTest, SleepModeStallsTheEvaluation) {
+  FailPointSpec spec;
+  spec.sleep_ms = 20;
+  FailPoints::arm("t.sleep", spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  FailPoints::evaluate("t.sleep");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 15);
+}
+
+TEST_F(FailPointTest, ArmFromSpecParsesSchedules) {
+  FailPoints::arm_from_spec(
+      "a=throw;b=sleep:5:0.25;c=fire;d=throw:0.75");
+  EXPECT_TRUE(FailPoints::armed("a"));
+  EXPECT_TRUE(FailPoints::armed("b"));
+  EXPECT_TRUE(FailPoints::armed("c"));
+  EXPECT_TRUE(FailPoints::armed("d"));
+  EXPECT_THROW(FailPoints::evaluate("a"), ChaosError);
+  EXPECT_TRUE(FailPoints::fire("c"));
+  // Trailing separators and empty entries are tolerated.
+  FailPoints::arm_from_spec("e=throw;;");
+  EXPECT_TRUE(FailPoints::armed("e"));
+}
+
+TEST_F(FailPointTest, ArmFromSpecRejectsMalformedEntries) {
+  EXPECT_THROW(FailPoints::arm_from_spec("noaction"), std::invalid_argument);
+  EXPECT_THROW(FailPoints::arm_from_spec("=throw"), std::invalid_argument);
+  EXPECT_THROW(FailPoints::arm_from_spec("x="), std::invalid_argument);
+  EXPECT_THROW(FailPoints::arm_from_spec("x=bogus"), std::invalid_argument);
+  EXPECT_THROW(FailPoints::arm_from_spec("x=sleep"), std::invalid_argument);
+  EXPECT_THROW(FailPoints::arm_from_spec("x=throw:2.0"),
+               std::invalid_argument);
+  EXPECT_THROW(FailPoints::arm_from_spec("x=throw:0.5:extra"),
+               std::invalid_argument);
+  // A malformed entry must not half-arm the registry.
+  EXPECT_FALSE(FailPoints::armed("x"));
+}
+
+}  // namespace
+}  // namespace pnc::util

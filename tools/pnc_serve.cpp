@@ -20,6 +20,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -34,6 +35,7 @@
 #include "pnc/serve/json.hpp"
 #include "pnc/serve/server.hpp"
 #include "pnc/util/digest.hpp"
+#include "pnc/util/failpoint.hpp"
 
 namespace {
 
@@ -66,6 +68,10 @@ server options:
   --max-batch N       dynamic batch cap                (default 16)
   --deadline-us U     coalescing deadline, microseconds (default 200)
   --queue-capacity N  admission threshold              (default 1024)
+  --overlay-capacity N registered-overlay LRU bound    (default 256)
+  --watchdog-ms M     replace a shard hung on one batch for > M ms
+                      (default 0 = watchdog off)
+  --max-line-bytes N  longest accepted request line    (default 1048576)
   --logits            include raw logits in responses
   --stdio             serve stdin/stdout               (default)
   --socket PATH       serve an AF_UNIX stream socket at PATH
@@ -74,8 +80,11 @@ server options:
 protocol (one JSON object per line):
   {"op":"infer","id":N,"series":[...]}       classify one series
     optional "overlay":NAME                  serve a calibrated device
+    optional "priority":"interactive"|"batch"|"best_effort"
+    optional "deadline_us":U                 shed if still queued past U
   {"op":"reload","checkpoint":PATH}          hot-swap the "default" model
   {"op":"stats"}                             server counters
+  {"op":"health"}                            readiness probe
 )";
 
 [[noreturn]] void die(const std::string& message) {
@@ -157,8 +166,15 @@ class FdWriter final : public LineWriter {
     const char* data = framed.data();
     std::size_t left = framed.size();
     while (left > 0) {
-      const ssize_t n = ::write(fd_, data, left);
-      if (n <= 0) return;  // peer gone; drop silently
+      // Chaos: force a 1-byte write so the retry loop below is exercised
+      // the way a slow client exercises it (armed under PNC_CHAOS only).
+      const std::size_t chunk =
+          PNC_FAILPOINT_FIRE("serve.socket_write") ? 1 : left;
+      const ssize_t n = ::write(fd_, data, chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;  // signal mid-write: retry, don't
+        return;                        // corrupt the line; else peer gone
+      }
       data += n;
       left -= static_cast<std::size_t>(n);
     }
@@ -196,12 +212,22 @@ std::string stats_to_json(const ServerStats& s) {
   std::ostringstream out;
   out << "{\"op\":\"stats\",\"submitted\":" << s.submitted
       << ",\"completed\":" << s.completed << ",\"shed\":" << s.shed
+      << ",\"deadline_expired\":" << s.deadline_expired
       << ",\"errors\":" << s.errors << ",\"batches\":" << s.batches
       << ",\"reloads\":" << s.reloads
+      << ",\"worker_restarts\":" << s.worker_restarts
       << ",\"plan_cache_hits\":" << s.plan_cache_hits
       << ",\"plan_cache_misses\":" << s.plan_cache_misses
       << ",\"plan_cache_evictions\":" << s.plan_cache_evictions
-      << ",\"batch_histogram\":[";
+      << ",\"overlay_evictions\":" << s.overlay_evictions;
+  for (std::size_t k = 0; k < pnc::serve::kPriorityClasses; ++k) {
+    const char* name =
+        pnc::serve::priority_name(static_cast<pnc::serve::Priority>(k));
+    out << ",\"served_" << name << "\":" << s.served_by_class[k]
+        << ",\"shed_" << name << "\":" << s.shed_by_class[k]
+        << ",\"deadline_" << name << "\":" << s.deadline_by_class[k];
+  }
+  out << ",\"batch_histogram\":[";
   for (std::size_t i = 0; i < s.batch_histogram.size(); ++i) {
     if (i > 0) out << ',';
     out << s.batch_histogram[i];
@@ -259,6 +285,16 @@ void handle_line(pnc::serve::Server& server, const ModelRecipe& recipe,
     req.id = static_cast<std::uint64_t>(doc.number_or("id", 0.0));
     req.model = doc.string_or("model", "default");
     req.overlay = doc.string_or("overlay", "");
+    const std::string priority = doc.string_or("priority", "interactive");
+    if (!pnc::serve::parse_priority(priority, req.priority)) {
+      writer->write_line(error_line("unknown priority '" + priority + "'"));
+      return;
+    }
+    req.deadline_us = doc.number_or("deadline_us", 0.0);
+    if (req.deadline_us < 0.0) {
+      writer->write_line(error_line("deadline_us must be >= 0"));
+      return;
+    }
     const JsonValue* series = doc.find("series");
     if (series != nullptr) {
       try {
@@ -305,27 +341,55 @@ void handle_line(pnc::serve::Server& server, const ModelRecipe& recipe,
     return;
   }
 
+  if (op == "health") {
+    const pnc::serve::Health health = server.health();
+    std::ostringstream out;
+    out << "{\"op\":\"health\",\"health\":\""
+        << pnc::serve::health_name(health) << "\",\"ready\":"
+        << (server.ready() ? "true" : "false") << "}";
+    writer->write_line(out.str());
+    return;
+  }
+
   writer->write_line(error_line("unknown op '" + op + "'"));
 }
 
+/// A line the front-end refuses to parse (too long for the configured
+/// cap). Answered per-line instead of killing the server: one abusive or
+/// broken client must not take down everyone else's session.
+std::string oversized_line_error(std::size_t got, std::size_t cap) {
+  std::ostringstream out;
+  out << "line too long (" << got << " > " << cap << " bytes)";
+  return error_line(out.str());
+}
+
 void serve_stdio(pnc::serve::Server& server, const ModelRecipe& recipe,
-                 bool with_logits) {
+                 bool with_logits, std::size_t max_line_bytes) {
   auto writer = std::make_shared<StdoutWriter>();
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
+    if (line.size() > max_line_bytes) {
+      writer->write_line(oversized_line_error(line.size(), max_line_bytes));
+      continue;
+    }
     handle_line(server, recipe, line, writer, with_logits);
   }
   server.stop();  // drain in-flight requests; callbacks flush before exit
 }
 
 void serve_connection(pnc::serve::Server& server, const ModelRecipe& recipe,
-                      int fd, bool with_logits) {
+                      int fd, bool with_logits, std::size_t max_line_bytes) {
   auto writer = std::make_shared<FdWriter>(fd);
   std::string buffer;
   char chunk[4096];
+  // When a line overruns the cap we answer once, then discard bytes until
+  // the next newline so the stream re-synchronizes on the client's next
+  // request instead of ballooning the buffer.
+  bool discarding = false;
   while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
@@ -333,15 +397,29 @@ void serve_connection(pnc::serve::Server& server, const ModelRecipe& recipe,
          nl = buffer.find('\n', start)) {
       const std::string line = buffer.substr(start, nl - start);
       start = nl + 1;
+      if (discarding) {  // tail of an already-reported oversized line
+        discarding = false;
+        continue;
+      }
+      if (line.size() > max_line_bytes) {
+        writer->write_line(oversized_line_error(line.size(), max_line_bytes));
+        continue;
+      }
       if (!line.empty()) handle_line(server, recipe, line, writer, with_logits);
     }
     buffer.erase(0, start);
+    if (!discarding && buffer.size() > max_line_bytes) {
+      writer->write_line(oversized_line_error(buffer.size(), max_line_bytes));
+      buffer.clear();
+      discarding = true;
+    }
   }
   ::close(fd);
 }
 
 int serve_socket(pnc::serve::Server& server, const ModelRecipe& recipe,
-                 const std::string& path, bool with_logits) {
+                 const std::string& path, bool with_logits,
+                 std::size_t max_line_bytes) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) die("socket: " + std::string(std::strerror(errno)));
   sockaddr_un addr{};
@@ -364,8 +442,8 @@ int serve_socket(pnc::serve::Server& server, const ModelRecipe& recipe,
       break;
     }
     std::thread(
-        [&server, &recipe, fd, with_logits] {
-          serve_connection(server, recipe, fd, with_logits);
+        [&server, &recipe, fd, with_logits, max_line_bytes] {
+          serve_connection(server, recipe, fd, with_logits, max_line_bytes);
         })
         .detach();
   }
@@ -384,6 +462,7 @@ int main(int argc, char** argv) {
   serve::ServerConfig config;
   double variation_delta = 0.0;
   bool with_logits = false;
+  std::size_t max_line_bytes = 1 << 20;
   std::vector<std::pair<std::string, std::string>> overlay_specs;
 
   for (int i = 1; i < argc; ++i) {
@@ -415,6 +494,9 @@ int main(int argc, char** argv) {
     else if (flag == "--max-batch") config.max_batch = parse_size(flag, value());
     else if (flag == "--deadline-us") config.batch_deadline_us = parse_double(flag, value());
     else if (flag == "--queue-capacity") config.queue_capacity = parse_size(flag, value());
+    else if (flag == "--overlay-capacity") config.overlay_capacity = parse_size(flag, value());
+    else if (flag == "--watchdog-ms") config.watchdog_budget_ms = parse_double(flag, value());
+    else if (flag == "--max-line-bytes") max_line_bytes = parse_size(flag, value());
     else if (flag == "--logits") with_logits = true;
     else if (flag == "--stdio") socket_path.clear();
     else if (flag == "--socket") socket_path = value();
@@ -427,10 +509,27 @@ int main(int argc, char** argv) {
   if (config.max_batch == 0) die("--max-batch must be >= 1");
   if (config.queue_capacity == 0) die("--queue-capacity must be >= 1");
   if (config.batch_deadline_us < 0.0) die("--deadline-us must be >= 0");
+  if (config.watchdog_budget_ms < 0.0) die("--watchdog-ms must be >= 0");
+  if (config.overlay_capacity == 0) die("--overlay-capacity must be >= 1");
+  if (max_line_bytes == 0) die("--max-line-bytes must be >= 1");
   if (variation_delta < 0.0) die("--variation must be >= 0");
   if (variation_delta > 0.0) {
     recipe.variation = variation::VariationSpec::printing(variation_delta);
   }
+
+#if defined(PNC_CHAOS)
+  // Chaos builds only: arm fail points from the environment so an
+  // external harness can fault-inject a real pnc_serve process, e.g.
+  //   PNC_CHAOS_SPEC='serve.socket_write=fire:0.2;serve.batch_forward=throw:0.05'
+  if (const char* chaos = std::getenv("PNC_CHAOS_SPEC")) {
+    try {
+      util::FailPoints::arm_from_spec(chaos);
+      std::cerr << "pnc_serve: chaos fail points armed: " << chaos << "\n";
+    } catch (const std::exception& error) {
+      die(std::string("PNC_CHAOS_SPEC: ") + error.what());
+    }
+  }
+#endif
 
   serve::Server server(config);
   try {
@@ -452,8 +551,9 @@ int main(int argc, char** argv) {
   server.start();
 
   if (!socket_path.empty()) {
-    return serve_socket(server, recipe, socket_path, with_logits);
+    return serve_socket(server, recipe, socket_path, with_logits,
+                        max_line_bytes);
   }
-  serve_stdio(server, recipe, with_logits);
+  serve_stdio(server, recipe, with_logits, max_line_bytes);
   return 0;
 }
