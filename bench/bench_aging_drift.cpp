@@ -26,17 +26,21 @@ int main() {
       data::make_dataset(dataset, spec.data_seed, spec.sequence_length);
   const auto classes = static_cast<std::size_t>(ds.num_classes);
 
-  std::cerr << "[aging] training baseline...\n";
-  auto baseline = core::make_baseline_ptpnc(classes, ds.sample_period, 3);
-  train::TrainConfig plain = spec.train;
-  plain.train_variation = variation::VariationSpec::none();
-  plain.augmentation.reset();
-  (void)train::train(*baseline, ds, plain);
+  bench::JsonReport report("aging_drift");
 
-  std::cerr << "[aging] training ADAPT-pNC...\n";
+  auto baseline = core::make_baseline_ptpnc(classes, ds.sample_period, 3);
   auto adapt =
       core::make_adapt_pnc(classes, ds.sample_period, 3, spec.hidden_cap);
-  (void)train::train(*adapt, ds, spec.train);
+  report.timed_phase("train", [&] {
+    std::cerr << "[aging] training baseline...\n";
+    train::TrainConfig plain = spec.train;
+    plain.train_variation = variation::VariationSpec::none();
+    plain.augmentation.reset();
+    (void)train::train(*baseline, ds, plain);
+
+    std::cerr << "[aging] training ADAPT-pNC...\n";
+    (void)train::train(*adapt, ds, spec.train);
+  });
 
   auto printing = std::make_shared<variation::UniformVariation>(0.10);
   variation::DriftModel::Config drift;
@@ -47,22 +51,28 @@ int main() {
   const int repeats = bench::quick_mode() ? 2 : 6;
 
   util::Table table({"Device age (t/t_ref)", "pTPNC acc", "ADAPT-pNC acc"});
-  for (const double age : ages) {
-    const variation::VariationSpec eval =
-        variation::drift_spec(printing, drift, age);
-    const double acc_base =
-        train::evaluate_accuracy(*baseline, ds.test, eval, rng, repeats);
-    const double acc_adapt =
-        train::evaluate_accuracy(*adapt, ds.test, eval, rng, repeats);
-    table.add_row({util::format_fixed(age, 1),
-                   util::format_fixed(acc_base, 3),
-                   util::format_fixed(acc_adapt, 3)});
-  }
+  report.timed_phase("evaluate", [&] {
+    for (const double age : ages) {
+      const variation::VariationSpec eval =
+          variation::drift_spec(printing, drift, age);
+      const double acc_base =
+          train::evaluate_accuracy(*baseline, ds.test, eval, rng, repeats);
+      const double acc_adapt =
+          train::evaluate_accuracy(*adapt, ds.test, eval, rng, repeats);
+      table.add_row({util::format_fixed(age, 1),
+                     util::format_fixed(acc_base, 3),
+                     util::format_fixed(acc_adapt, 3)});
+      const std::string tag = util::format_fixed(age, 1);
+      report.metric("ptpnc_acc_age_" + tag, acc_base);
+      report.metric("adapt_acc_age_" + tag, acc_adapt);
+    }
+  });
 
   std::cout << "\nAccuracy over device lifetime on " << dataset
             << " (as-printed ±10% variation composed with aging drift: "
                "+8% trend and 6% spread per reference lifetime)\n\n";
   table.print(std::cout);
   table.write_csv("aging_drift.csv");
+  report.write();
   return 0;
 }

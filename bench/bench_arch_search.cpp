@@ -23,13 +23,20 @@ int main() {
   config.eval_repeats = bench::quick_mode() ? 1 : 3;
   config.sequence_length = bench::quick_mode() ? 32 : 64;
 
+  bench::JsonReport report("arch_search");
+
   std::cerr << "[arch] searching "
             << config.hidden_widths.size() * config.orders.size()
             << " candidates on " << dataset << "...\n";
-  const auto points = train::architecture_search(dataset, config);
+  std::vector<train::ArchPoint> points;
+  report.timed_phase("search", [&] {
+    points = train::architecture_search(dataset, config);
+  });
 
   util::Table table({"Order", "Hidden", "Clean acc", "Robust acc", "Devices",
                      "Power (mW)", "Pareto"});
+  std::size_t pareto = 0;
+  double best_robust = 0.0;
   for (const auto& p : points) {
     table.add_row(
         {p.candidate.order == core::FilterOrder::kSecond ? "2nd (SO-LF)"
@@ -39,13 +46,19 @@ int main() {
          util::format_fixed(p.robust_accuracy, 3),
          std::to_string(p.device_count), util::format_fixed(p.power_mw, 3),
          p.pareto_optimal ? "*" : ""});
+    if (p.pareto_optimal) ++pareto;
+    best_robust = std::max(best_robust, p.robust_accuracy);
   }
+  report.metric("candidates", static_cast<double>(points.size()));
+  report.metric("pareto_points", static_cast<double>(pareto));
+  report.metric("best_robust_accuracy", best_robust);
 
   std::cout << "\nArchitecture search on " << dataset
             << " (robust accuracy under ±10% variation vs printed device "
                "cost)\n\n";
   table.print(std::cout);
   table.write_csv("arch_search.csv");
+  report.write();
   std::cout << "\n* = on the (accuracy up, devices down) Pareto front.\n";
   return 0;
 }

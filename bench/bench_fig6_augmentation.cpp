@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "pnc/augment/augment.hpp"
 #include "pnc/data/dataset.hpp"
 #include "pnc/util/table.hpp"
@@ -53,6 +54,7 @@ int main() {
   }
 
   // Summary: RMS deviation and range per technique.
+  bench::JsonReport report("fig6_augmentation");
   util::Table table({"Technique", "RMS deviation", "Min", "Max"});
   for (const auto& [name, series] : curves) {
     double rms = 0.0, lo = series[0], hi = series[0];
@@ -65,10 +67,12 @@ int main() {
     rms = std::sqrt(rms / static_cast<double>(series.size()));
     table.add_row({name, util::format_fixed(rms, 4), util::format_fixed(lo, 3),
                    util::format_fixed(hi, 3)});
+    report.metric(name + "_rms_deviation", rms);
   }
 
   std::cout << "\nFig. 6 — augmentation techniques on PowerCons "
                "(series written to fig6_augmentation.csv)\n\n";
   table.print(std::cout);
+  report.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <numbers>
 
+#include "bench_common.hpp"
 #include "pnc/circuit/ac.hpp"
 #include "pnc/circuit/netlists.hpp"
 #include "pnc/util/table.hpp"
@@ -53,6 +54,14 @@ int main() {
                    util::format_fixed(slope1, 1)});
   summary.add_row({"2nd order (SO-LF)", util::format_fixed(fc2, 2),
                    util::format_fixed(slope2, 1)});
+  bench::JsonReport report("filter_response");
+  report.metric("analytic_fc_hz", analytic_fc);
+  report.metric("first_order_fc_hz", fc1);
+  report.metric("second_order_fc_hz", fc2);
+  report.metric("first_order_rolloff_db_per_decade", slope1);
+  report.metric("second_order_rolloff_db_per_decade", slope2);
+  report.write();
+
   std::cout << "\n";
   summary.print(std::cout);
   std::cout << "\nAnalytic single-stage fc = 1/(2*pi*RC) = "

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "pnc/circuit/crossbar.hpp"
 #include "pnc/circuit/netlists.hpp"
 #include "pnc/util/rng.hpp"
@@ -91,5 +92,12 @@ int main() {
   std::cout << "[3] RC discrete update (Eq. 3) vs MNA transient: worst "
                "|error| = "
             << worst_step << " V (expected ~1e-12)\n";
+
+  bench::JsonReport report("mna_validation");
+  report.metric("crossbar_worst_abs_error_v", worst);
+  report.metric("coupling_mu_min", global_min);
+  report.metric("coupling_mu_max", global_max);
+  report.metric("rc_update_worst_abs_error_v", worst_step);
+  report.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "pnc/circuit/ptanh_extract.hpp"
 #include "pnc/util/rng.hpp"
 #include "pnc/util/table.hpp"
@@ -60,5 +61,14 @@ int main() {
   }
   std::cout << "\nNominal-stage transfer curve:\n\n";
   curve.print(std::cout);
+
+  bench::JsonReport report("ptanh_extraction");
+  report.metric("worst_r_squared", worst_r2);
+  report.metric("nominal_r_squared", nominal.fit.r_squared);
+  report.metric("nominal_eta1", nominal.fit.params.eta1);
+  report.metric("nominal_eta2", nominal.fit.params.eta2);
+  report.metric("nominal_eta3", nominal.fit.params.eta3);
+  report.metric("nominal_eta4", nominal.fit.params.eta4);
+  report.write();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "pnc/data/dataset.hpp"
 #include "pnc/hardware/cost_model.hpp"
 #include "pnc/train/experiment.hpp"
@@ -84,5 +85,15 @@ int main() {
             << "x (paper: ~1.9x); power saving: "
             << format_fixed(100.0 * (1.0 - sum_prop_power / sum_base_power), 1)
             << "% (paper: ~91%)\n";
+
+  bench::JsonReport report("table3_hardware");
+  report.metric("avg_devices_baseline", sum_base_total / n);
+  report.metric("avg_devices_proposed", sum_prop_total / n);
+  report.metric("avg_power_mw_baseline", sum_base_power / n);
+  report.metric("avg_power_mw_proposed", sum_prop_power / n);
+  report.metric("device_overhead_x", sum_prop_total / sum_base_total);
+  report.metric("power_saving_pct",
+                100.0 * (1.0 - sum_prop_power / sum_base_power));
+  report.write();
   return 0;
 }

@@ -147,6 +147,54 @@ std::vector<double> dropout_segment(const std::vector<double>& x,
   return out;
 }
 
+std::vector<double> baseline_wander_at(const std::vector<double>& x,
+                                       double amplitude, double period_samples,
+                                       double phase, std::size_t start) {
+  if (period_samples <= 0.0) {
+    throw std::invalid_argument(
+        "baseline_wander_at: period_samples must be > 0");
+  }
+  // omega depends only on the period, so every window computes the same
+  // per-sample argument omega*(start+i) + phase — the windowed result is
+  // bit-identical to the full-signal one.
+  const double omega = 2.0 * std::numbers::pi / period_samples;
+  std::vector<double> out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] += amplitude *
+              std::sin(omega * static_cast<double>(start + i) + phase);
+  }
+  return out;
+}
+
+std::vector<double> dropout_segment_at(const std::vector<double>& x,
+                                       std::size_t seg_begin,
+                                       std::size_t seg_len,
+                                       std::size_t start) {
+  std::vector<double> out = x;
+  const std::size_t seg_end = seg_begin + seg_len;
+  const std::size_t lo = std::max(seg_begin, start);
+  const std::size_t hi = std::min(seg_end, start + out.size());
+  for (std::size_t i = lo; i < hi; ++i) out[i - start] = 0.0;
+  return out;
+}
+
+std::vector<double> impulse_noise_at(const std::vector<double>& x, double rate,
+                                     double magnitude, std::uint64_t seed,
+                                     std::size_t start) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("impulse_noise_at: rate must be in [0, 1]");
+  }
+  std::vector<double> out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto index = static_cast<std::uint64_t>(start + i);
+    util::Rng draw(seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+    if (draw.bernoulli(rate)) {
+      out[i] = draw.bernoulli(0.5) ? magnitude : -magnitude;
+    }
+  }
+  return out;
+}
+
 Augmenter::Augmenter(AugmentConfig config) : config_(config) {
   if (config_.op_probability < 0.0 || config_.op_probability > 1.0) {
     throw std::invalid_argument("Augmenter: op_probability must be in [0, 1]");

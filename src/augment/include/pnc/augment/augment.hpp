@@ -57,6 +57,38 @@ std::vector<double> baseline_wander(const std::vector<double>& x,
 std::vector<double> dropout_segment(const std::vector<double>& x,
                                     double fraction, util::Rng& rng);
 
+/// --- Streaming (absolute-time) corruption primitives -------------------
+/// The rng-based operators above draw their placement per call, so
+/// applying them window by window would corrupt every window
+/// independently. Streaming corruption must instead span window
+/// boundaries: these variants position the disturbance in *absolute
+/// sample time*, so corrupting a full signal equals corrupting any
+/// partition of it window by window with the carried offset — bit
+/// identically. pnc::stream::NoiseTimeline and its boundary tests rely on
+/// this invariant.
+
+/// baseline_wander pinned in absolute time: adds
+/// amplitude * sin(2π·(start + i)/period_samples + phase) to x[i], where
+/// `start` is the window's absolute sample offset.
+std::vector<double> baseline_wander_at(const std::vector<double>& x,
+                                       double amplitude, double period_samples,
+                                       double phase, std::size_t start);
+
+/// dropout_segment pinned in absolute time: zeroes the overlap of the
+/// dead span [seg_begin, seg_begin + seg_len) with the window
+/// [start, start + x.size()).
+std::vector<double> dropout_segment_at(const std::vector<double>& x,
+                                       std::size_t seg_begin,
+                                       std::size_t seg_len, std::size_t start);
+
+/// impulse_noise pinned in absolute time: sample (start + i) is replaced
+/// by ±magnitude iff the draw derived from (seed, start + i) fires. Each
+/// index's draw depends only on its absolute position, never on the
+/// window it is read through.
+std::vector<double> impulse_noise_at(const std::vector<double>& x, double rate,
+                                     double magnitude, std::uint64_t seed,
+                                     std::size_t start);
+
 /// Per-dataset augmentation strengths (the quantities the paper tunes with
 /// Ray Tune; tuned here by train/tuner.hpp).
 struct AugmentConfig {

@@ -515,6 +515,149 @@ void Engine::forward(Plan& plan, const ad::Tensor& inputs, ad::Tensor& logits,
   });
 }
 
+void Engine::reset_stream(const Plan& plan, StreamState& state) const {
+  if (elman_) {
+    const std::size_t h = elman_->hidden;
+    state.s1_.resize(1);
+    state.s2_.resize(1);
+    state.y_.resize(1);
+    state.z_.resize(1);
+    ensure_shape(state.s1_[0], 1, h);
+    ensure_shape(state.s2_[0], 1, h);
+    ensure_shape(state.y_[0], 1, h);
+    ensure_shape(state.z_[0], 1, h);
+    state.s1_[0].zero();
+    state.s2_[0].zero();
+  } else {
+    if (!plan.stamped()) {
+      throw std::logic_error("infer::reset_stream: plan is not stamped");
+    }
+    const std::size_t nb = blocks_.size();
+    state.s1_.resize(nb);
+    state.s2_.resize(nb);
+    state.y_.resize(nb);
+    state.z_.resize(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      const StampedBlock& sb = plan.blocks()[b];
+      const std::size_t n_out = blocks_[b].n_out;
+      ensure_shape(state.s1_[b], 1, n_out);
+      ensure_shape(state.y_[b], 1, n_out);
+      ensure_shape(state.z_[b], 1, n_out);
+      const double* h0 = sb.h0_1.data().data();
+      std::copy(h0, h0 + n_out, state.s1_[b].data().begin());
+      if (blocks_[b].order == core::FilterOrder::kSecond) {
+        ensure_shape(state.s2_[b], 1, n_out);
+        const double* h0b = sb.h0_2.data().data();
+        std::copy(h0b, h0b + n_out, state.s2_[b].data().begin());
+      }
+    }
+  }
+  ensure_shape(state.acc_, 1, n_classes_);
+  state.steps_ = 0;
+  state.initialized_ = true;
+}
+
+void Engine::reset_readout(StreamState& state) const { state.steps_ = 0; }
+
+void Engine::step(const Plan& plan, StreamState& state, double sample,
+                  double* readout) const {
+  if (!state.initialized_) {
+    throw std::logic_error("infer::step: state not initialized "
+                           "(call reset_stream first)");
+  }
+
+  if (elman_) {
+    // One iteration of forward()'s Elman timestep loop for rows == 1,
+    // including the x_t zero-skip of the matmul kernel.
+    const ElmanProgram& prog = *elman_;
+    const std::size_t h = prog.hidden;
+    ad::Tensor& s1 = state.s1_[0];
+    ad::Tensor& s2 = state.s2_[0];
+    ad::Tensor& p1 = state.y_[0];  // matmul product buffers
+    ad::Tensor& p2 = state.z_[0];
+    ad::matmul_into(p1, s1, prog.w_hh1);
+    const double* w_ih1 = prog.w_ih1.data().data();
+    const double* b1 = prog.b1.data().data();
+    double* s1d = s1.data().data();
+    const double* p1d = p1.data().data();
+    for (std::size_t j = 0; j < h; ++j) {
+      double u = 0.0;
+      if (sample != 0.0) u += sample * w_ih1[j];
+      const double v = u + p1d[j];
+      s1d[j] = std::tanh(v + b1[j]);
+    }
+    ad::matmul_into(p1, s1, prog.w_ih2);
+    ad::matmul_into(p2, s2, prog.w_hh2);
+    const double* b2 = prog.b2.data().data();
+    double* s2d = s2.data().data();
+    const double* p2d = p2.data().data();
+    for (std::size_t j = 0; j < h; ++j) {
+      const double v = p1d[j] + p2d[j];
+      s2d[j] = std::tanh(v + b2[j]);
+    }
+    ++state.steps_;
+    return;
+  }
+
+  if (!plan.stamped() || plan.blocks().size() != blocks_.size()) {
+    throw std::logic_error("infer::step: plan is not stamped for this engine");
+  }
+  const std::size_t nb = blocks_.size();
+  const ad::Tensor* cur = nullptr;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const PtpbBlockProgram& prog = blocks_[b];
+    const StampedBlock& sb = plan.blocks()[b];
+    const std::size_t n_out = prog.n_out;
+    ad::Tensor& y = state.y_[b];
+    ad::Tensor& z = state.z_[b];
+    if (b == 0) {
+      simd::outer_scale(y.data().data(), sample, sb.weights.data().data(),
+                        n_out);
+    } else {
+      ad::matmul_into(y, *cur, sb.weights);
+    }
+    const BlockStepFn fn = select_block_step(n_out);
+    fn(1, n_out, sb, prog.order == core::FilterOrder::kSecond, y,
+       state.s1_[b], state.s2_[b], z);
+    cur = &z;
+  }
+  const std::span<const double> zv = cur->data();
+  const std::span<double> acc = state.acc_.data();
+  if (state.steps_ == 0) {
+    std::copy(zv.begin(), zv.end(), acc.begin());
+  } else {
+    simd::add(acc.data(), zv.data(), acc.size());
+  }
+  if (readout != nullptr) std::copy(zv.begin(), zv.end(), readout);
+  ++state.steps_;
+}
+
+void Engine::step(const Plan& plan, StreamState& state, const double* samples,
+                  std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) step(plan, state, samples[i]);
+}
+
+void Engine::stream_logits(StreamState& state, ad::Tensor& logits) const {
+  if (!state.initialized_) {
+    throw std::logic_error("infer::stream_logits: state not initialized");
+  }
+  if (state.steps_ == 0) {
+    throw std::logic_error("infer::stream_logits: no steps since reset");
+  }
+  ensure_shape(logits, 1, n_classes_);
+  if (elman_) {
+    ad::matmul_into(state.acc_, state.s2_[0], elman_->w_out);
+    const std::span<const double> b_out = elman_->b_out.data();
+    for (std::size_t j = 0; j < n_classes_; ++j) {
+      logits(0, j) = state.acc_(0, j) + b_out[j];
+    }
+    return;
+  }
+  const double inv_steps = 1.0 / static_cast<double>(state.steps_);
+  simd::scale(logits.data().data(), inv_steps, state.acc_.data().data(),
+              n_classes_);
+}
+
 ad::Tensor Engine::predict(Plan& plan, const ad::Tensor& inputs,
                            const variation::VariationSpec& spec,
                            util::Rng& rng) const {

@@ -76,6 +76,32 @@ struct StampedBlock {
 
 class Engine;
 
+/// Persistent per-stream recurrent state for the incremental step API.
+///
+/// One StreamState per live signal. It owns the filter voltages (printed
+/// programs) or cell states (Elman) plus the read-out integrator and the
+/// per-step scratch buffers, so Engine::step() mutates only the state —
+/// the Plan is read-only during streaming and many StreamStates may share
+/// one stamped Plan concurrently (the serving sessions and the streaming
+/// determinism tests rely on this).
+class StreamState {
+ public:
+  bool initialized() const { return initialized_; }
+
+  /// Timesteps accumulated into the read-out integrator since the last
+  /// reset_stream() / reset_readout().
+  std::size_t steps() const { return steps_; }
+
+ private:
+  friend class Engine;
+
+  std::vector<ad::Tensor> s1_, s2_;  // per-block recurrent state (1 x n_out)
+  std::vector<ad::Tensor> y_, z_;    // per-block scratch (1 x n_out)
+  ad::Tensor acc_;                   // read-out integrator (1 x classes)
+  std::size_t steps_ = 0;
+  bool initialized_ = false;
+};
+
 /// Realized (post-variation) filter-stage inputs recorded while stamping,
 /// for per-device calibration (pnc::calib): the stamped coefficients
 /// a = rc/(rc·μ + dt), b = dt/(rc·μ + dt) are a lossy view of the drawn
@@ -180,6 +206,51 @@ class Engine {
   ad::Tensor predict(Plan& plan, const ad::Tensor& inputs,
                      const variation::VariationSpec& spec,
                      util::Rng& rng) const;
+
+  /// --- Incremental (streaming) inference -------------------------------
+  ///
+  /// forward() replays a whole fixed-length window per call and resets the
+  /// filter state every time. The step API instead advances the compiled
+  /// pipeline one timestep at a time with the recurrent state held in a
+  /// caller-owned StreamState, so a continuous signal can be classified by
+  /// sliding windows without replaying history. Parity contract: stepping
+  /// T samples from a fresh reset_stream() and reading stream_logits()
+  /// evaluates the exact operation sequence of forward() on the (1 x T)
+  /// series — same kernels, same order — so the logits are bit-identical.
+
+  /// Initialize `state` for streaming against `plan`: printed filter
+  /// states are set to the plan's stamped initial voltages (row 0 — the
+  /// row every broadcast batch replicates), Elman cell states to zero, and
+  /// the read-out integrator is cleared. Printed programs require a
+  /// stamped plan (std::logic_error otherwise).
+  void reset_stream(const Plan& plan, StreamState& state) const;
+
+  /// Clear only the read-out integrator, keeping the recurrent state: the
+  /// next stream_logits() aggregates from this point on while the
+  /// dynamical state carries across the window boundary (the "carry"
+  /// policy of stream::StreamSession).
+  void reset_readout(StreamState& state) const;
+
+  /// Advance one timestep on one input sample. For printed programs,
+  /// `readout` (num_classes doubles, optional) receives this step's
+  /// read-out contribution z_t — the term forward()'s integrator averages
+  /// — so callers can keep a ring of contributions for overlapping
+  /// windows. The Elman read-out is a function of the current state, not a
+  /// running sum, so there `readout` is left untouched; use
+  /// stream_logits() at window boundaries instead.
+  void step(const Plan& plan, StreamState& state, double sample,
+            double* readout = nullptr) const;
+
+  /// Convenience: step() over `n` consecutive samples.
+  void step(const Plan& plan, StreamState& state, const double* samples,
+            std::size_t n) const;
+
+  /// Read-out at the stream's current point into `logits` (1 x classes):
+  /// printed programs average the integrator over the steps since the
+  /// last reset (forward()'s final scale, bit-identically); the Elman
+  /// program applies its output layer to the current hidden state. Throws
+  /// std::logic_error when no steps were taken since the last reset.
+  void stream_logits(StreamState& state, ad::Tensor& logits) const;
 
   const std::string& model_name() const { return name_; }
   std::size_t num_classes() const { return n_classes_; }

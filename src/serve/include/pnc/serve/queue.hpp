@@ -45,22 +45,37 @@ class CoalescingQueue {
 
   /// Scheduling rank of one item: lower klass = more urgent; within a
   /// klass, earlier deadline = more urgent; Clock::time_point::max()
-  /// means "no deadline" (and never expires).
+  /// means "no deadline" (and never expires). A `sticky` item is pinned:
+  /// admission control never displaces it to make room — session chunks
+  /// carry recurrent-state ordering, so dropping one from the middle of a
+  /// stream would wedge every later chunk of that session.
   struct Urgency {
     int klass = 0;
     Clock::time_point deadline = Clock::time_point::max();
+    bool sticky = false;
   };
 
   using KeyFn = std::function<Key(const Item&)>;
   using UrgencyFn = std::function<Urgency(const Item&)>;
+  /// May `next` ride in the same batch directly after `last`? A null
+  /// functor means any same-key items coalesce. Session chunks use this
+  /// to keep batches sequence-contiguous: a batch holding chunks {k,
+  /// k+5} would make its shard wait for chunks k+1..k+4 to be applied by
+  /// *other* shards, and once every shard holds such a gap the chunks
+  /// that could fill it are stuck in the queue — deadlock. Contiguous
+  /// batches keep the shard holding the lowest unapplied chunk always
+  /// able to progress.
+  using JoinFn = std::function<bool(const Item& last, const Item& next)>;
 
   /// `capacity` is the admission threshold (> 0). A null `urgency_of`
   /// gives plain FIFO dispatch with no expiry and no displacement.
   explicit CoalescingQueue(std::size_t capacity, KeyFn key_of,
-                           UrgencyFn urgency_of = nullptr)
+                           UrgencyFn urgency_of = nullptr,
+                           JoinFn join_of = nullptr)
       : capacity_(capacity),
         key_of_(std::move(key_of)),
-        urgency_of_(std::move(urgency_of)) {}
+        urgency_of_(std::move(urgency_of)),
+        join_of_(std::move(join_of)) {}
 
   /// On kFull / kClosed the item is left untouched, so the caller can
   /// still deliver a shed/error response from it. On kOk with a non-null
@@ -73,6 +88,7 @@ class CoalescingQueue {
       if (items_.size() >= capacity_) {
         if (!urgency_of_ || displaced == nullptr) return PushResult::kFull;
         auto victim = least_urgent_locked();
+        if (victim == items_.end()) return PushResult::kFull;  // all sticky
         const Urgency mine = urgency_of_(item);
         const Urgency theirs = urgency_of_(victim->item);
         // Strictly more urgent wins; ties keep the earlier arrival.
@@ -182,13 +198,16 @@ class CoalescingQueue {
     return best;
   }
 
+  /// Displacement candidate: the least urgent non-sticky item, or end()
+  /// when every resident is sticky (the push then sheds the arrival).
   typename std::deque<Slot>::iterator least_urgent_locked() {
-    auto worst = items_.begin();
-    Urgency worst_u = urgency_of(worst->item);
-    for (auto it = std::next(items_.begin()); it != items_.end(); ++it) {
+    auto worst = items_.end();
+    Urgency worst_u{};
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
       const Urgency u = urgency_of(it->item);
+      if (u.sticky) continue;
       // >= on seq: among equals, displace the latest arrival.
-      if (u.klass > worst_u.klass ||
+      if (worst == items_.end() || u.klass > worst_u.klass ||
           (u.klass == worst_u.klass &&
            (u.deadline > worst_u.deadline ||
             (u.deadline == worst_u.deadline && it->seq >= worst->seq)))) {
@@ -215,7 +234,11 @@ class CoalescingQueue {
 
   /// Move queued items matching `key` into `out` (arrival order) until
   /// `out` holds max_batch items; matching items already past their
-  /// deadline go to `expired` instead. Caller holds the lock.
+  /// deadline go to `expired` instead. A same-key item the join functor
+  /// rejects stops the scan — later same-key arrivals are even further
+  /// out of order, so gathering past the gap would break batch
+  /// contiguity. Caller holds the lock; `out` is never empty here (the
+  /// batch head is taken first).
   void take_matching(const Key& key, std::size_t max_batch,
                      std::vector<Item>& out, std::vector<Item>* expired) {
     const auto now = Clock::now();
@@ -225,6 +248,7 @@ class CoalescingQueue {
         ++it;
         continue;
       }
+      if (join_of_ && !join_of_(out.back(), it->item)) break;
       if (expired != nullptr && urgency_of_ &&
           urgency_of_(it->item).deadline <= now) {
         expired->push_back(std::move(it->item));
@@ -238,6 +262,7 @@ class CoalescingQueue {
   const std::size_t capacity_;
   const KeyFn key_of_;
   const UrgencyFn urgency_of_;
+  const JoinFn join_of_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Slot> items_;

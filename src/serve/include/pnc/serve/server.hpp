@@ -13,11 +13,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "pnc/calib/overlay.hpp"
 #include "pnc/infer/engine.hpp"
 #include "pnc/serve/plan_cache.hpp"
 #include "pnc/serve/queue.hpp"
 #include "pnc/serve/types.hpp"
+#include "pnc/stream/session.hpp"
+#include "pnc/util/workspace_pool.hpp"
 #include "pnc/variation/variation.hpp"
 
 namespace pnc::serve {
@@ -39,6 +43,25 @@ enum class Health {
 };
 
 const char* health_name(Health health);
+
+/// How a streaming session is opened: which registered model/overlay it
+/// pins and how its sliding windows are cut. Model and overlay resolve
+/// *once* at open_session time — the session is one physical device
+/// observed continuously, so a hot reload mid-stream must not swap the
+/// circuit under it.
+struct SessionConfig {
+  std::string model = "default";
+  std::string overlay;  ///< per-device calibration; empty = base circuit
+  stream::StreamConfig stream;
+};
+
+/// Summary returned when a session closes.
+struct SessionInfo {
+  std::uint64_t generation = 0;  ///< model generation the session pinned
+  std::uint64_t samples = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t events = 0;
+};
 
 /// Persistent in-process inference server over infer::Engine.
 ///
@@ -72,6 +95,16 @@ const char* health_name(Health health);
 /// Engine::broadcast_batch), and the forward evaluates rows independently —
 /// so a request's logits are bit-identical to a direct single-request
 /// Engine call, for any shard count, arrival order, or coalesced shape.
+///
+/// Streaming sessions: open_session() pins a model revision + overlay and
+/// a leased stamped plan, and submit()ed chunks (Request::session) feed a
+/// stream::StreamSession whose recurrent state persists across chunks.
+/// The batch key includes the session, so a coalesced batch never mixes
+/// chunks of different sessions or sessions with stateless work; chunks
+/// apply in per-session submission order across shards (applied_seq), are
+/// exempt from displacement and deadlines (Urgency::sticky), and hot
+/// reload leaves open sessions on the revision they pinned — they drain
+/// and close on the old circuit while new sessions see the new one.
 class Server {
  public:
   using Callback = std::function<void(Response)>;
@@ -113,11 +146,31 @@ class Server {
   /// Submit a request. Returns kOk if admitted (the callback fires later,
   /// possibly on a worker thread — it must be thread-safe and cheap) or
   /// kShed / kError, in which case the callback has already been invoked
-  /// inline with the failure response.
+  /// inline with the failure response. A request with a non-empty
+  /// `session` field is a chunk of that streaming session: it is fed to
+  /// the session's StreamSession in submission order and its response
+  /// carries the windows/events the chunk completed.
   Status submit(Request req, Callback done);
 
   /// Blocking convenience: submit and wait for the response.
   Response infer(Request req);
+
+  /// Open a streaming session: resolves (and pins) the model revision and
+  /// overlay, leases a stamped plan from the plan cache for the session's
+  /// lifetime, and creates its StreamSession. Returns kOk, or kError with
+  /// `*error` set (unknown model/overlay, identity mismatch, duplicate
+  /// name, capacity). Thread-safe.
+  Status open_session(const std::string& name, const SessionConfig& config,
+                      std::string* error = nullptr);
+
+  /// Close a streaming session: new chunks are rejected, the name becomes
+  /// reusable, and `*info` receives the session totals. Chunks already
+  /// admitted still drain — they hold the session state alive and their
+  /// responses are delivered as usual. Thread-safe.
+  Status close_session(const std::string& name, SessionInfo* info = nullptr,
+                       std::string* error = nullptr);
+
+  std::size_t open_sessions() const;
 
   ServerStats stats() const;
 
@@ -143,12 +196,35 @@ class Server {
     std::uint64_t digest = 0;
   };
 
+  /// One open streaming session. Worker shards pin the session's state
+  /// through the shared_ptr in Pending; `mutex` serializes chunk
+  /// application and `applied_seq`/`cv` enforce submission order across
+  /// shards (chunks of one session may land in different batches). The
+  /// leased plan and the entry shared_ptr keep the stamped circuit alive
+  /// for the session's lifetime, so hot reload and plan-cache eviction
+  /// never swap the device under an open stream.
+  struct SessionState {
+    std::string name;
+    std::shared_ptr<const ModelState> model;
+    std::shared_ptr<const OverlayState> overlay;  // null = base circuit
+    std::shared_ptr<PlanCacheEntry> entry;
+    std::optional<util::WorkspacePool<infer::Plan>::Lease> plan;
+    std::unique_ptr<stream::StreamSession> stream;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::uint64_t next_seq = 0;     // guarded by mutex; assigned at submit
+    std::uint64_t applied_seq = 0;  // guarded by mutex; advanced by shards
+    bool closed = false;            // guarded by mutex
+  };
+
   /// One admitted request riding the queue.
   struct Pending {
     Request req;
     Callback done;
     std::shared_ptr<const ModelState> model;
     std::shared_ptr<const OverlayState> overlay;  // null = base circuit
+    std::shared_ptr<SessionState> session;        // null = stateless
+    std::uint64_t session_seq = 0;
     std::chrono::steady_clock::time_point submitted;
     /// Absolute expiry (max() = none), fixed at submit from deadline_us.
     std::chrono::steady_clock::time_point deadline =
@@ -156,11 +232,14 @@ class Server {
   };
 
   /// Coalescing key: same revision (pointer identity — a reload makes a
-  /// new ModelState), same overlay (same physical device), and same
-  /// series length (rows of one forward tensor).
+  /// new ModelState), same overlay (same physical device), same session
+  /// (null for stateless work — so batches never mix session chunks with
+  /// stateless requests or with other sessions), and same series length
+  /// (rows of one forward tensor).
   struct BatchKey {
     const ModelState* model = nullptr;
     const OverlayState* overlay = nullptr;
+    const SessionState* session = nullptr;
     std::size_t series_len = 0;
     bool operator==(const BatchKey&) const = default;
   };
@@ -179,6 +258,8 @@ class Server {
   void worker_loop(Shard* shard, std::uint64_t my_epoch);
   void watchdog_loop();
   void serve_batch(std::vector<Pending>& batch);
+  void serve_session_batch(std::vector<Pending>& batch);
+  Status submit_chunk(Pending pending);
   void fail(Pending& pending, Status status, const std::string& message);
   void deliver(Pending& pending, Response resp);
 
@@ -196,6 +277,9 @@ class Server {
   };
   std::unordered_map<std::string, OverlayEntry> overlays_;
   std::list<std::string> overlay_lru_;
+  /// Open streaming sessions by name (bounded by session_capacity; close
+  /// removes the entry while in-flight chunks keep the state alive).
+  std::unordered_map<std::string, std::shared_ptr<SessionState>> sessions_;
   std::uint64_t next_generation_ = 0;
 
   std::mutex lifecycle_mutex_;

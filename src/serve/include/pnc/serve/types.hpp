@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "pnc/stream/session.hpp"
+
 namespace pnc::serve {
 
 /// Terminal state of one request.
@@ -51,6 +53,14 @@ struct Request {
   std::vector<double> series;
   Priority priority = Priority::kInteractive;
   double deadline_us = 0.0;
+  /// Non-empty = this is a *chunk* of the named streaming session (opened
+  /// with Server::open_session): `series` is appended to the session's
+  /// continuous signal instead of being classified stand-alone. Chunks
+  /// resolve model and overlay from the session (the fields above are
+  /// ignored), are never displaced by admission control, and ignore
+  /// `deadline_us` — recurrent state must advance in submission order, so
+  /// dropping a mid-stream chunk would wedge the session.
+  std::string session;
 };
 
 /// Completion record delivered to the submit callback (possibly on a
@@ -65,6 +75,12 @@ struct Response {
   std::size_t batch_rows = 0;       ///< size of the coalesced batch it rode in
   double queue_seconds = 0.0;       ///< submit → dispatch
   double total_seconds = 0.0;       ///< submit → completion
+  /// Session-chunk results: windows completed and events detected while
+  /// this chunk's samples were fed (empty for stateless requests). For a
+  /// chunk, predicted/logits mirror the last completed window, if any.
+  std::vector<stream::WindowResult> windows;
+  std::vector<stream::Event> events;
+  std::uint64_t session_samples = 0;  ///< session total after this chunk
 };
 
 /// Server tuning knobs. See DESIGN.md §11 for the latency/throughput
@@ -77,6 +93,7 @@ struct ServerConfig {
   std::size_t queue_capacity = 1024; ///< admission threshold: beyond it, shed
   std::size_t plan_cache_capacity = 8;  ///< LRU entries (models × stamps)
   std::size_t overlay_capacity = 256;   ///< registered overlays kept (LRU)
+  std::size_t session_capacity = 256;   ///< open streaming sessions allowed
   /// Hung-shard detection: a shard busy on one batch for longer than this
   /// budget is declared hung and replaced by a fresh worker (the hung
   /// thread still delivers its batch's responses when it comes back, then
@@ -103,6 +120,11 @@ struct ServerStats {
   std::uint64_t plan_cache_misses = 0;
   std::uint64_t plan_cache_evictions = 0;
   std::uint64_t overlay_evictions = 0;  ///< overlays dropped by the LRU bound
+  std::uint64_t sessions_opened = 0;    ///< streaming sessions opened
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t session_chunks = 0;     ///< chunks served with kOk
+  std::uint64_t session_windows = 0;    ///< windows classified via sessions
+  std::uint64_t session_events = 0;     ///< change events detected
   /// Per-priority-class outcomes, indexed by static_cast<size_t>(Priority).
   std::array<std::uint64_t, kPriorityClasses> served_by_class{};
   std::array<std::uint64_t, kPriorityClasses> shed_by_class{};

@@ -87,6 +87,7 @@ Server::Server(ServerConfig config)
         if (config.overlay_capacity == 0) config.overlay_capacity = 1;
         if (config.batch_deadline_us < 0.0) config.batch_deadline_us = 0.0;
         if (config.watchdog_budget_ms < 0.0) config.watchdog_budget_ms = 0.0;
+        if (config.session_capacity == 0) config.session_capacity = 1;
         return config;
       }()),
       plan_cache_(config_.plan_cache_capacity),
@@ -94,11 +95,20 @@ Server::Server(ServerConfig config)
           config_.queue_capacity,
           [](const Pending& pending) {
             return BatchKey{pending.model.get(), pending.overlay.get(),
+                            pending.session.get(),
                             pending.req.series.size()};
           },
           [](const Pending& pending) {
             return Queue::Urgency{static_cast<int>(pending.req.priority),
-                                  pending.deadline};
+                                  pending.deadline,
+                                  pending.session != nullptr};
+          },
+          // Session batches must be seq-contiguous: the shards apply
+          // chunks in per-session order, so a batch with a seq gap would
+          // block its shard on chunks no free shard may ever pop.
+          [](const Pending& last, const Pending& next) {
+            return last.session == nullptr ||
+                   next.session_seq == last.session_seq + 1;
           }) {}
 
 Server::~Server() { stop(); }
@@ -232,6 +242,7 @@ Status Server::submit(Request req, Callback done) {
     fail(pending, Status::kError, "empty series");
     return Status::kError;
   }
+  if (!pending.req.session.empty()) return submit_chunk(std::move(pending));
   {
     std::lock_guard<std::mutex> lock(models_mutex_);
     auto found = models_.find(pending.req.model);
@@ -293,6 +304,180 @@ Status Server::submit(Request req, Callback done) {
   }
   fail(pending, Status::kError, "unreachable");
   return Status::kError;
+}
+
+Status Server::submit_chunk(Pending pending) {
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    auto found = sessions_.find(pending.req.session);
+    if (found != sessions_.end()) pending.session = found->second;
+  }
+  if (!pending.session) {
+    fail(pending, Status::kError,
+         "unknown session '" + pending.req.session + "'");
+    return Status::kError;
+  }
+  pending.model = pending.session->model;
+  pending.overlay = pending.session->overlay;
+  // Chunks never expire: state must advance through every admitted chunk
+  // in order, so shedding one mid-stream would wedge the session. They
+  // also all dispatch at one priority — mixed priorities within a session
+  // would let a later chunk pop before an earlier one, leaving a shard
+  // waiting on a chunk no free shard can reach.
+  pending.deadline = Clock::time_point::max();
+  pending.req.priority = Priority::kInteractive;
+
+  std::vector<Pending> displaced;
+  Queue::PushResult pushed;
+  {
+    // Sequence numbers are assigned and the push performed under the
+    // session mutex, so the queue's arrival order equals seq order per
+    // session — the invariant the shards' in-order application relies on.
+    std::shared_ptr<SessionState> session = pending.session;
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (session->closed) {
+      fail(pending, Status::kError,
+           "session '" + pending.req.session + "' is closed");
+      return Status::kError;
+    }
+    pending.session_seq = session->next_seq;
+    pushed = queue_.push(std::move(pending), &displaced);
+    if (pushed == Queue::PushResult::kOk) ++session->next_seq;
+  }
+  switch (pushed) {
+    case Queue::PushResult::kOk: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.submitted;
+      }
+      for (Pending& victim : displaced) {
+        fail(victim, Status::kShed, "displaced by higher-priority arrival");
+      }
+      return Status::kOk;
+    }
+    case Queue::PushResult::kFull:
+      fail(pending, Status::kShed, "queue at capacity");
+      return Status::kShed;
+    case Queue::PushResult::kClosed:
+      fail(pending, Status::kError, "server stopped");
+      return Status::kError;
+  }
+  fail(pending, Status::kError, "unreachable");
+  return Status::kError;
+}
+
+Status Server::open_session(const std::string& name,
+                            const SessionConfig& config, std::string* error) {
+  const auto report = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return Status::kError;
+  };
+  if (name.empty()) return report("session name must not be empty");
+
+  auto session = std::make_shared<SessionState>();
+  session->name = name;
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    auto model = models_.find(config.model);
+    if (model == models_.end()) {
+      return report("unknown model '" + config.model + "'");
+    }
+    session->model = model->second;
+    if (!config.overlay.empty()) {
+      auto overlay = overlays_.find(config.overlay);
+      if (overlay == overlays_.end()) {
+        return report("unknown overlay '" + config.overlay + "'");
+      }
+      session->overlay = overlay->second.state;
+      overlay_lru_.splice(overlay_lru_.begin(), overlay_lru_,
+                          overlay->second.lru);
+    }
+  }
+  try {
+    if (session->overlay) {
+      calib::require_overlay_matches(
+          session->overlay->overlay, session->model->engine->model_name(),
+          session->model->checkpoint_digest, session->model->variation_seed);
+    }
+    // Same realization identity as the stateless path: byte-identical
+    // model + stamp + overlay share the cached entry, so a session's
+    // logits match the stateless requests of the same device.
+    PlanKey key{session->model->checkpoint_digest,
+                session->model->variation_seed, session->model->generation,
+                session->overlay ? session->overlay->digest : 0,
+                session->model->engine->model_name()};
+    session->entry = plan_cache_.get_or_create(key, [&] {
+      std::shared_ptr<const infer::Engine> engine = session->model->engine;
+      if (session->overlay) {
+        auto patched = std::make_shared<infer::Engine>(*session->model->engine);
+        calib::apply_overlay(*patched, session->overlay->overlay);
+        engine = std::move(patched);
+      }
+      return std::make_shared<PlanCacheEntry>(
+          std::move(engine), session->model->variation,
+          session->model->variation_seed);
+    });
+    session->plan.emplace(session->entry->lease_plan(1));
+    session->stream = std::make_unique<stream::StreamSession>(
+        session->entry->engine(), **session->plan, config.stream);
+  } catch (const std::exception& e) {
+    return report(e.what());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    if (sessions_.count(name) > 0) {
+      return report("session '" + name + "' already open");
+    }
+    if (sessions_.size() >= config_.session_capacity) {
+      return report("session capacity reached");
+    }
+    sessions_.emplace(name, std::move(session));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.sessions_opened;
+  }
+  return Status::kOk;
+}
+
+Status Server::close_session(const std::string& name, SessionInfo* info,
+                             std::string* error) {
+  std::shared_ptr<SessionState> session;
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    auto found = sessions_.find(name);
+    if (found != sessions_.end()) {
+      session = std::move(found->second);
+      sessions_.erase(found);
+    }
+  }
+  if (!session) {
+    if (error != nullptr) *error = "unknown session '" + name + "'";
+    return Status::kError;
+  }
+  {
+    // Reject future chunks; admitted ones still drain (they hold their
+    // own shared_ptr to the state) and answer normally.
+    std::lock_guard<std::mutex> lock(session->mutex);
+    session->closed = true;
+    if (info != nullptr) {
+      info->generation = session->model->generation;
+      info->samples = session->stream->samples_seen();
+      info->windows = session->stream->windows_seen();
+      info->events = session->stream->events_seen();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.sessions_closed;
+  }
+  return Status::kOk;
+}
+
+std::size_t Server::open_sessions() const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  return sessions_.size();
 }
 
 Response Server::infer(Request req) {
@@ -370,6 +555,10 @@ void Server::watchdog_loop() {
 }
 
 void Server::serve_batch(std::vector<Pending>& batch) {
+  if (batch.front().session) {
+    serve_session_batch(batch);
+    return;
+  }
   const auto dispatched = Clock::now();
   const std::shared_ptr<const ModelState> model = batch.front().model;
   const std::size_t rows = batch.size();
@@ -454,6 +643,84 @@ void Server::serve_batch(std::vector<Pending>& batch) {
     for (Pending& pending : batch) {
       fail(pending, Status::kError, "unknown exception in worker shard");
     }
+  }
+}
+
+void Server::serve_session_batch(std::vector<Pending>& batch) {
+  const auto dispatched = Clock::now();
+  const std::shared_ptr<SessionState> session = batch.front().session;
+  const std::size_t rows = batch.size();
+  std::vector<Response> responses;
+  responses.reserve(rows);
+  {
+    std::unique_lock<std::mutex> lock(session->mutex);
+    for (Pending& pending : batch) {
+      // Chunks of one session may ride different batches on different
+      // shards; applied_seq restores global submission order. The wait
+      // always terminates: per-session arrival order equals seq order
+      // (submit pushes under the session mutex), and pops gather a key's
+      // items in arrival order — so the lowest unapplied seq is always at
+      // the front of some shard's batch, whose predicate holds.
+      session->cv.wait(lock, [&] {
+        return session->applied_seq == pending.session_seq;
+      });
+      Response resp;
+      resp.id = pending.req.id;
+      resp.generation = session->model->generation;
+      resp.batch_rows = rows;
+      try {
+        if (config_.inject_before_batch) config_.inject_before_batch(1);
+        PNC_FAILPOINT("serve.session_chunk");
+        session->stream->feed(pending.req.series);
+        resp.status = Status::kOk;
+        resp.windows = session->stream->take_windows();
+        resp.events = session->stream->take_events();
+        resp.session_samples = session->stream->samples_seen();
+        if (!resp.windows.empty()) {
+          resp.predicted = resp.windows.back().predicted;
+          resp.logits = resp.windows.back().logits;
+        }
+      } catch (const std::exception& error) {
+        resp.status = Status::kError;
+        resp.error = error.what();
+      } catch (...) {
+        resp.status = Status::kError;
+        resp.error = "unknown exception in session chunk";
+      }
+      // The seq advances even on error so later chunks are never wedged —
+      // the stream simply did not advance for the failed chunk.
+      ++session->applied_seq;
+      session->cv.notify_all();
+      resp.queue_seconds = seconds_between(pending.submitted, dispatched);
+      resp.total_seconds = seconds_between(pending.submitted, Clock::now());
+      responses.push_back(std::move(resp));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    if (stats_.batch_histogram.size() <= rows) {
+      stats_.batch_histogram.resize(rows + 1, 0);
+    }
+    ++stats_.batch_histogram[rows];
+    for (std::size_t r = 0; r < rows; ++r) {
+      const Response& resp = responses[r];
+      if (resp.status == Status::kOk) {
+        ++stats_.completed;
+        ++stats_.session_chunks;
+        stats_.session_windows += resp.windows.size();
+        stats_.session_events += resp.events.size();
+        ++stats_.served_by_class[static_cast<std::size_t>(
+            batch[r].req.priority)];
+      } else {
+        ++stats_.errors;
+      }
+    }
+  }
+  // Callbacks run outside the session mutex: a client may submit the next
+  // chunk from its completion callback without self-deadlocking.
+  for (std::size_t r = 0; r < rows; ++r) {
+    deliver(batch[r], std::move(responses[r]));
   }
 }
 

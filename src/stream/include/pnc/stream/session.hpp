@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pnc/autodiff/tensor.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/stream/signal.hpp"
+
+namespace pnc::stream {
+
+/// What happens to the recurrent filter / cell state at window boundaries.
+enum class StatePolicy {
+  /// State persists across windows — the streaming-native mode: the SO
+  /// filters keep integrating the physical signal and only the read-out
+  /// aggregation is windowed.
+  kCarry,
+  /// State is re-initialized per window from the plan's stamped h0. With
+  /// stride == window this evaluates exactly the operation sequence of
+  /// Engine::forward on each window, so the per-window logits are
+  /// bit-identical to the offline path (the parity gate).
+  kReset,
+};
+
+struct StreamConfig {
+  std::size_t window = 64;
+  std::size_t stride = 64;  // 1 <= stride <= window
+  StatePolicy policy = StatePolicy::kCarry;
+  /// Consecutive agreeing windows required before a class change is
+  /// reported as an event (debounce; 1 = report immediately).
+  std::size_t confirm_windows = 2;
+};
+
+/// One classified sliding window over the continuous signal.
+struct WindowResult {
+  std::size_t begin = 0;  // absolute sample range [begin, end)
+  std::size_t end = 0;
+  std::size_t predicted = 0;
+  std::vector<double> logits;
+};
+
+/// A confirmed class-change detection.
+struct Event {
+  std::size_t at = 0;      // absolute sample index of the confirming
+                           // window's end — when the detector *knew*
+  std::size_t klass = 0;   // class switched to
+};
+
+/// Sliding-window classifier over a continuous signal.
+///
+/// Feed samples in arbitrary-size chunks; whenever a window completes
+/// (every `stride` samples once `window` samples are seen) the session
+/// classifies it and runs the change-point detector. The session owns its
+/// infer::StreamState and only *reads* the engine and plan, so any number
+/// of sessions may share one stamped plan concurrently — this is the
+/// serving concurrency model and it is what the 1-vs-N determinism test
+/// pins down.
+///
+/// Per-window logits by family and policy:
+///  * printed, kCarry — the filters run continuously; the session keeps a
+///    ring of the last `window` per-step read-out contributions and each
+///    window's logits are their chronological mean (forward()'s
+///    integrator arithmetic applied to the windowed slice).
+///  * printed, kReset — the buffered window is replayed from a fresh
+///    reset_stream(); bit-identical to forward() on that window.
+///  * Elman — the read-out is a function of the current hidden state, so
+///    kCarry reads the state at the window edge and kReset replays the
+///    buffered window from zero state (bit-identical to forward()).
+class StreamSession {
+ public:
+  StreamSession(const infer::Engine& engine, const infer::Plan& plan,
+                StreamConfig config);
+
+  void feed(const double* samples, std::size_t n);
+  void feed(const std::vector<double>& samples) {
+    feed(samples.data(), samples.size());
+  }
+
+  const StreamConfig& config() const { return config_; }
+  std::size_t samples_seen() const { return t_; }
+  std::size_t windows_seen() const { return total_windows_; }
+  std::size_t events_seen() const { return total_events_; }
+  std::size_t current_class() const { return current_; }
+
+  /// Results emitted since the last take_*() call (serving drains these
+  /// per chunk; offline callers typically take once at the end).
+  std::vector<WindowResult> take_windows();
+  std::vector<Event> take_events();
+
+ private:
+  void emit_window();
+  void detect(const WindowResult& w);
+
+  const infer::Engine* engine_;
+  const infer::Plan* plan_;
+  StreamConfig config_;
+  infer::StreamState state_;
+  ad::Tensor logits_;
+  std::vector<double> ring_;     // carry+printed: W x C read-out rows;
+                                 // reset: last W raw samples
+  std::vector<double> readout_;  // per-step read-out scratch (C)
+  std::vector<double> sum_;      // window aggregation scratch (C)
+  std::size_t t_ = 0;
+  std::size_t total_windows_ = 0;
+  std::size_t total_events_ = 0;
+  std::vector<WindowResult> windows_;
+  std::vector<Event> events_;
+  bool have_current_ = false;
+  std::size_t current_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t pending_count_ = 0;
+};
+
+/// Scorecard of a session's events against a signal's labelled changes.
+struct DetectionStats {
+  std::size_t detected = 0;     // changes matched by a correct-class event
+  std::size_t missed = 0;       // changes with no matching event in time
+  std::size_t spurious = 0;     // events matching no change
+  double mean_latency = 0.0;    // samples from change to detection
+  double max_latency = 0.0;
+};
+
+/// Match events to change points: a change is detected by the first event
+/// at or after it (and before the next change) whose class is the
+/// change's new class; latency is event.at - change.at in samples.
+DetectionStats match_events(const std::vector<Event>& events,
+                            const std::vector<ChangePoint>& changes,
+                            std::size_t horizon);
+
+}  // namespace pnc::stream

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pnc::stream {
+
+/// Continuous labelled signals for streaming workloads.
+///
+/// The offline pipeline serves fixed-length-64 windows with known
+/// boundaries; a deployed printed sensor instead sees one unbounded
+/// signal whose class changes at unknown instants. make_continuous_signal
+/// builds such a signal by concatenating draws from the existing
+/// synthetic dataset generators: each segment is a run of same-class
+/// series (so any window aligned to a draw boundary looks exactly like a
+/// training row, and sliding windows see phase-shifted versions), and the
+/// segment boundaries are the labelled change points a StreamSession's
+/// event detector is scored against.
+
+struct SignalConfig {
+  std::string dataset = "PowerCons";
+  std::size_t segments = 8;           // class runs; each starts a change point
+  std::size_t draws_per_segment = 4;  // training-like series per segment
+  std::size_t series_length = 64;     // samples per draw (= window length)
+  std::uint64_t seed = 1;
+};
+
+struct ChangePoint {
+  std::size_t at = 0;  // first sample of the new class
+  int from_class = 0;
+  int to_class = 0;
+};
+
+struct ContinuousSignal {
+  std::vector<double> samples;
+  std::vector<int> labels;  // per-sample ground-truth class
+  std::vector<ChangePoint> changes;
+  std::size_t segment_length = 0;  // draws_per_segment * series_length
+  int num_classes = 0;
+
+  int label_at(std::size_t i) const { return labels.at(i); }
+};
+
+/// Deterministic from the config: same config, same signal. Consecutive
+/// segments always differ in class, so every ChangePoint is a real
+/// transition. Samples are normalized with one dataset-global min/max fit
+/// over all draws, mirroring data::make_dataset's preprocessing.
+ContinuousSignal make_continuous_signal(const SignalConfig& config);
+
+/// Streaming-native sensor corruption.
+///
+/// The rng-draw-per-call operators in pnc::augment corrupt each window
+/// independently, which cannot model a disturbance that spans a window
+/// boundary. A NoiseTimeline instead draws all disturbance placements
+/// once — pinned in absolute sample time over a fixed horizon — and then
+/// corrupts any view of the signal by its absolute offset. Corrupting the
+/// full signal and corrupting it window by window therefore produce
+/// bit-identical samples (tested in tests/augment).
+struct StreamNoiseSpec {
+  double wander_amplitude = 0.0;      // baseline drift sinusoid
+  double wander_period_samples = 512.0;
+  double dropouts_per_kilosample = 0.0;  // expected dead spans per 1k samples
+  std::size_t dropout_length = 16;       // samples per dead span
+  double impulse_rate = 0.0;             // per-sample spike probability
+  double impulse_magnitude = 2.0;
+
+  bool any() const {
+    return wander_amplitude != 0.0 || dropouts_per_kilosample > 0.0 ||
+           impulse_rate > 0.0;
+  }
+};
+
+class NoiseTimeline {
+ public:
+  /// Draw all disturbance placements for absolute samples [0, horizon).
+  NoiseTimeline(const StreamNoiseSpec& spec, std::uint64_t seed,
+                std::size_t horizon);
+
+  /// Corrupt `x`, whose first sample sits at absolute index `start`.
+  /// Operators apply in a fixed order (wander, dropouts, impulses), so
+  /// partitioned application matches the full-signal one bitwise.
+  std::vector<double> corrupted(const std::vector<double>& x,
+                                std::size_t start = 0) const;
+
+  const std::vector<std::pair<std::size_t, std::size_t>>& dropouts() const {
+    return dropouts_;  // absolute [begin, end) dead spans
+  }
+
+ private:
+  StreamNoiseSpec spec_;
+  double wander_phase_ = 0.0;
+  std::vector<std::pair<std::size_t, std::size_t>> dropouts_;
+  std::uint64_t impulse_seed_ = 0;
+};
+
+}  // namespace pnc::stream

@@ -1,0 +1,190 @@
+#include "pnc/stream/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnc::stream {
+
+namespace {
+
+std::size_t argmax(const double* v, std::size_t n) {
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < n; ++j) {
+    if (v[j] > v[best]) best = j;
+  }
+  return best;
+}
+
+}  // namespace
+
+StreamSession::StreamSession(const infer::Engine& engine,
+                             const infer::Plan& plan, StreamConfig config)
+    : engine_(&engine), plan_(&plan), config_(config) {
+  if (config_.window == 0) {
+    throw std::invalid_argument("StreamSession: window must be > 0");
+  }
+  if (config_.stride == 0 || config_.stride > config_.window) {
+    throw std::invalid_argument(
+        "StreamSession: stride must be in [1, window]");
+  }
+  if (config_.confirm_windows == 0) {
+    throw std::invalid_argument("StreamSession: confirm_windows must be > 0");
+  }
+  const std::size_t classes = engine_->num_classes();
+  readout_.assign(classes, 0.0);
+  sum_.assign(classes, 0.0);
+  if (config_.policy == StatePolicy::kCarry) {
+    engine_->reset_stream(*plan_, state_);
+    if (engine_->is_printed()) {
+      ring_.assign(config_.window * classes, 0.0);
+    }
+  } else {
+    ring_.assign(config_.window, 0.0);
+  }
+}
+
+void StreamSession::feed(const double* samples, std::size_t n) {
+  const std::size_t classes = engine_->num_classes();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = samples[i];
+    if (config_.policy == StatePolicy::kCarry) {
+      if (engine_->is_printed()) {
+        engine_->step(*plan_, state_, x, readout_.data());
+        double* row = ring_.data() + (t_ % config_.window) * classes;
+        std::copy(readout_.begin(), readout_.end(), row);
+      } else {
+        engine_->step(*plan_, state_, x);
+      }
+    } else {
+      ring_[t_ % config_.window] = x;
+    }
+    ++t_;
+    if (t_ >= config_.window &&
+        (t_ - config_.window) % config_.stride == 0) {
+      emit_window();
+    }
+  }
+}
+
+void StreamSession::emit_window() {
+  const std::size_t classes = engine_->num_classes();
+  const std::size_t w = config_.window;
+  WindowResult result;
+  result.begin = t_ - w;
+  result.end = t_;
+  result.logits.resize(classes);
+
+  if (config_.policy == StatePolicy::kReset) {
+    // Replay the buffered window from a fresh state: the exact operation
+    // sequence of Engine::forward on this window.
+    engine_->reset_stream(*plan_, state_);
+    const std::size_t oldest = t_ % w;  // next slot to overwrite = oldest
+    for (std::size_t k = 0; k < w; ++k) {
+      engine_->step(*plan_, state_, ring_[(oldest + k) % w]);
+    }
+    engine_->stream_logits(state_, logits_);
+    std::copy(logits_.data().begin(), logits_.data().end(),
+              result.logits.begin());
+  } else if (engine_->is_printed()) {
+    // Chronological mean of the windowed read-out contributions, with
+    // forward()'s copy-then-add-then-scale aggregation order.
+    const std::size_t oldest = t_ % w;
+    const double* first = ring_.data() + oldest * classes;
+    std::copy(first, first + classes, sum_.begin());
+    for (std::size_t k = 1; k < w; ++k) {
+      const double* row = ring_.data() + ((oldest + k) % w) * classes;
+      for (std::size_t j = 0; j < classes; ++j) sum_[j] += row[j];
+    }
+    const double inv = 1.0 / static_cast<double>(w);
+    for (std::size_t j = 0; j < classes; ++j) {
+      result.logits[j] = sum_[j] * inv;
+    }
+  } else {
+    engine_->stream_logits(state_, logits_);
+    std::copy(logits_.data().begin(), logits_.data().end(),
+              result.logits.begin());
+  }
+
+  result.predicted = argmax(result.logits.data(), classes);
+  ++total_windows_;
+  detect(result);
+  windows_.push_back(std::move(result));
+}
+
+void StreamSession::detect(const WindowResult& w) {
+  const std::size_t p = w.predicted;
+  if (!have_current_) {
+    current_ = p;
+    have_current_ = true;
+    return;
+  }
+  if (p == current_) {
+    pending_count_ = 0;
+    return;
+  }
+  if (pending_count_ > 0 && p == pending_) {
+    ++pending_count_;
+  } else {
+    pending_ = p;
+    pending_count_ = 1;
+  }
+  if (pending_count_ >= config_.confirm_windows) {
+    events_.push_back(Event{w.end, p});
+    ++total_events_;
+    current_ = p;
+    pending_count_ = 0;
+  }
+}
+
+std::vector<WindowResult> StreamSession::take_windows() {
+  std::vector<WindowResult> out;
+  out.swap(windows_);
+  return out;
+}
+
+std::vector<Event> StreamSession::take_events() {
+  std::vector<Event> out;
+  out.swap(events_);
+  return out;
+}
+
+DetectionStats match_events(const std::vector<Event>& events,
+                            const std::vector<ChangePoint>& changes,
+                            std::size_t horizon) {
+  DetectionStats stats;
+  std::vector<bool> used(events.size(), false);
+  double latency_sum = 0.0;
+  for (std::size_t c = 0; c < changes.size(); ++c) {
+    const std::size_t window_end =
+        c + 1 < changes.size() ? changes[c + 1].at : horizon;
+    bool found = false;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (used[e]) continue;
+      if (events[e].at < changes[c].at || events[e].at >= window_end) continue;
+      if (events[e].klass != static_cast<std::size_t>(changes[c].to_class)) {
+        continue;
+      }
+      used[e] = true;
+      found = true;
+      const double latency =
+          static_cast<double>(events[e].at - changes[c].at);
+      latency_sum += latency;
+      stats.max_latency = std::max(stats.max_latency, latency);
+      break;
+    }
+    if (found) {
+      ++stats.detected;
+    } else {
+      ++stats.missed;
+    }
+  }
+  stats.spurious = events.size() -
+                   static_cast<std::size_t>(
+                       std::count(used.begin(), used.end(), true));
+  if (stats.detected > 0) {
+    stats.mean_latency = latency_sum / static_cast<double>(stats.detected);
+  }
+  return stats;
+}
+
+}  // namespace pnc::stream

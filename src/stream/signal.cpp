@@ -1,0 +1,122 @@
+#include "pnc/stream/signal.hpp"
+
+#include <algorithm>
+#include <numbers>
+#include <stdexcept>
+
+#include "pnc/augment/augment.hpp"
+#include "pnc/data/dataset.hpp"
+#include "pnc/data/generators.hpp"
+#include "pnc/data/preprocess.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc::stream {
+
+ContinuousSignal make_continuous_signal(const SignalConfig& config) {
+  if (config.segments == 0 || config.draws_per_segment == 0) {
+    throw std::invalid_argument(
+        "make_continuous_signal: segments and draws_per_segment must be > 0");
+  }
+  if (config.series_length < 2) {
+    throw std::invalid_argument(
+        "make_continuous_signal: series_length must be >= 2");
+  }
+  const data::DatasetSpec& spec = data::spec_by_name(config.dataset);
+  const int classes = spec.num_classes;
+  util::Rng rng(config.seed ^ 0x5caff01d57e4713bULL);
+
+  // Segment classes: uniform first, then uniform over the *other* classes
+  // so every boundary is a real transition.
+  std::vector<int> segment_class(config.segments);
+  for (std::size_t s = 0; s < config.segments; ++s) {
+    if (s == 0) {
+      segment_class[s] =
+          static_cast<int>(rng.uniform_int(0, classes - 1));
+    } else {
+      int c = static_cast<int>(rng.uniform_int(0, classes - 2));
+      if (c >= segment_class[s - 1]) ++c;
+      segment_class[s] = c;
+    }
+  }
+
+  // Draw every series first, then fit one global normalization over all of
+  // them — the same convention data::make_dataset uses for its splits.
+  std::vector<data::Series> draws;
+  draws.reserve(config.segments * config.draws_per_segment);
+  for (std::size_t s = 0; s < config.segments; ++s) {
+    for (std::size_t d = 0; d < config.draws_per_segment; ++d) {
+      data::Series series;
+      series.label = segment_class[s];
+      series.values = data::generate_series(config.dataset, segment_class[s],
+                                            config.series_length, rng);
+      draws.push_back(std::move(series));
+    }
+  }
+  const data::Normalization norm = data::fit_normalization(draws);
+  data::apply_normalization(draws, norm);
+
+  ContinuousSignal signal;
+  signal.segment_length = config.draws_per_segment * config.series_length;
+  signal.num_classes = classes;
+  signal.samples.reserve(draws.size() * config.series_length);
+  signal.labels.reserve(draws.size() * config.series_length);
+  for (const data::Series& series : draws) {
+    signal.samples.insert(signal.samples.end(), series.values.begin(),
+                          series.values.end());
+    signal.labels.insert(signal.labels.end(), series.values.size(),
+                         series.label);
+  }
+  for (std::size_t s = 1; s < config.segments; ++s) {
+    ChangePoint cp;
+    cp.at = s * signal.segment_length;
+    cp.from_class = segment_class[s - 1];
+    cp.to_class = segment_class[s];
+    signal.changes.push_back(cp);
+  }
+  return signal;
+}
+
+NoiseTimeline::NoiseTimeline(const StreamNoiseSpec& spec, std::uint64_t seed,
+                             std::size_t horizon)
+    : spec_(spec) {
+  if (spec.impulse_rate < 0.0 || spec.impulse_rate > 1.0) {
+    throw std::invalid_argument(
+        "NoiseTimeline: impulse_rate must be in [0, 1]");
+  }
+  util::Rng rng(seed ^ 0x7a11ab1e5eed0123ULL);
+  wander_phase_ = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  if (spec.dropouts_per_kilosample > 0.0 && spec.dropout_length > 0 &&
+      horizon > spec.dropout_length) {
+    const auto count = static_cast<std::size_t>(
+        spec.dropouts_per_kilosample * static_cast<double>(horizon) / 1000.0);
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto begin = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(horizon - spec.dropout_length)));
+      dropouts_.emplace_back(begin, begin + spec.dropout_length);
+    }
+    std::sort(dropouts_.begin(), dropouts_.end());
+  }
+  impulse_seed_ = seed ^ 0x1b5e55ed2f00dca7ULL;
+}
+
+std::vector<double> NoiseTimeline::corrupted(const std::vector<double>& x,
+                                             std::size_t start) const {
+  std::vector<double> out = x;
+  if (spec_.wander_amplitude != 0.0) {
+    out = augment::baseline_wander_at(out, spec_.wander_amplitude,
+                                      spec_.wander_period_samples,
+                                      wander_phase_, start);
+  }
+  for (const auto& [begin, end] : dropouts_) {
+    if (begin >= start + out.size() || end <= start) continue;
+    out = augment::dropout_segment_at(out, begin, end - begin, start);
+  }
+  if (spec_.impulse_rate > 0.0) {
+    out = augment::impulse_noise_at(out, spec_.impulse_rate,
+                                    spec_.impulse_magnitude, impulse_seed_,
+                                    start);
+  }
+  return out;
+}
+
+}  // namespace pnc::stream

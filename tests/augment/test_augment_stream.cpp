@@ -1,0 +1,161 @@
+// Absolute-time corruption primitives: corrupting a full signal must
+// equal corrupting any window-by-window partition of it bitwise — the
+// invariant stream::NoiseTimeline (and the streaming bench's noisy
+// accuracy curves) is built on. Also cross-checks baseline_wander_at
+// against the legacy per-window operator it generalizes.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numbers>
+#include <vector>
+
+#include "pnc/augment/augment.hpp"
+#include "pnc/stream/signal.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc {
+namespace {
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+/// Split `x` into uneven windows, corrupt each at its absolute offset via
+/// `apply`, and reassemble.
+template <typename Apply>
+std::vector<double> windowed(const std::vector<double>& x, Apply apply) {
+  std::vector<double> out;
+  const std::size_t sizes[] = {33, 1, 17, 64, 5};
+  std::size_t start = 0, pick = 0;
+  while (start < x.size()) {
+    const std::size_t n =
+        std::min(sizes[pick++ % 5], x.size() - start);
+    const std::vector<double> window(x.begin() + start,
+                                     x.begin() + start + n);
+    const std::vector<double> corrupted = apply(window, start);
+    out.insert(out.end(), corrupted.begin(), corrupted.end());
+    start += n;
+  }
+  return out;
+}
+
+TEST(AugmentStream, BaselineWanderAtIsWindowInvariant) {
+  const auto x = random_signal(200, 1);
+  const double amplitude = 0.3, period = 57.0, phase = 1.2;
+  const auto full = augment::baseline_wander_at(x, amplitude, period, phase, 0);
+  const auto split = windowed(x, [&](const std::vector<double>& w,
+                                     std::size_t start) {
+    return augment::baseline_wander_at(w, amplitude, period, phase, start);
+  });
+  ASSERT_EQ(full.size(), split.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i], split[i]) << "sample " << i;  // bitwise
+  }
+}
+
+TEST(AugmentStream, DropoutSegmentAtIsWindowInvariant) {
+  const auto x = random_signal(120, 2);
+  // Dead span [28, 52) straddles the first window boundary at 33.
+  const std::size_t begin = 28, len = 24;
+  const auto full = augment::dropout_segment_at(x, begin, len, 0);
+  const auto split = windowed(x, [&](const std::vector<double>& w,
+                                     std::size_t start) {
+    return augment::dropout_segment_at(w, begin, len, start);
+  });
+  ASSERT_EQ(full.size(), split.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i], split[i]) << "sample " << i;
+    if (i >= begin && i < begin + len) {
+      EXPECT_EQ(full[i], 0.0) << "sample " << i << " inside the dead span";
+    } else {
+      EXPECT_EQ(full[i], x[i]) << "sample " << i << " outside the dead span";
+    }
+  }
+}
+
+TEST(AugmentStream, ImpulseNoiseAtIsWindowInvariant) {
+  const auto x = random_signal(400, 3);
+  const double rate = 0.05, magnitude = 2.5;
+  const std::uint64_t seed = 77;
+  const auto full = augment::impulse_noise_at(x, rate, magnitude, seed, 0);
+  const auto split = windowed(x, [&](const std::vector<double>& w,
+                                     std::size_t start) {
+    return augment::impulse_noise_at(w, rate, magnitude, seed, start);
+  });
+  ASSERT_EQ(full.size(), split.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i], split[i]) << "sample " << i;
+    if (full[i] != x[i]) ++hits;
+  }
+  EXPECT_GT(hits, 0u);  // at rate 0.05 over 400 samples, some must fire
+  // Deterministic in (seed, absolute index); a different seed redraws.
+  const auto again = augment::impulse_noise_at(x, rate, magnitude, seed, 0);
+  EXPECT_EQ(full, again);
+  const auto other = augment::impulse_noise_at(x, rate, magnitude, seed + 1, 0);
+  EXPECT_NE(full, other);
+}
+
+// The composed timeline: wander + dropouts + impulses drawn once over a
+// fixed horizon, applied full-signal vs in carried-offset windows.
+TEST(AugmentStream, NoiseTimelineFullEqualsWindowed) {
+  const auto x = random_signal(512, 4);
+  stream::StreamNoiseSpec spec;
+  spec.wander_amplitude = 0.25;
+  spec.wander_period_samples = 130.0;
+  spec.dropouts_per_kilosample = 4.0;
+  spec.dropout_length = 20;
+  spec.impulse_rate = 0.01;
+  spec.impulse_magnitude = 1.8;
+  const stream::NoiseTimeline timeline(spec, /*seed=*/9, x.size());
+
+  const auto full = timeline.corrupted(x, 0);
+  const auto split = windowed(x, [&](const std::vector<double>& w,
+                                     std::size_t start) {
+    return timeline.corrupted(w, start);
+  });
+  ASSERT_EQ(full.size(), split.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i], split[i]) << "sample " << i;  // bitwise
+  }
+  EXPECT_NE(full, x);  // the timeline actually corrupted something
+  EXPECT_FALSE(timeline.dropouts().empty());
+}
+
+// A quiet spec is the identity — serving can skip the copy.
+TEST(AugmentStream, NoiseTimelineQuietSpecIsIdentity) {
+  const auto x = random_signal(64, 5);
+  stream::StreamNoiseSpec spec;  // all rates zero
+  EXPECT_FALSE(spec.any());
+  const stream::NoiseTimeline timeline(spec, 1, x.size());
+  EXPECT_EQ(timeline.corrupted(x, 0), x);
+}
+
+// baseline_wander_at generalizes the legacy operator: with the legacy
+// phase draw reproduced and period_samples = (n-1)/periods, the two agree
+// to rounding (the legacy form normalizes time as i/(n-1) before
+// multiplying, so the FP rounding order differs — near, not bitwise).
+TEST(AugmentStream, BaselineWanderAtMatchesLegacyOperator) {
+  const auto x = random_signal(144, 6);
+  const double amplitude = 0.4, periods = 3.0;
+
+  util::Rng legacy_rng(31);
+  const auto legacy = augment::baseline_wander(x, amplitude, periods,
+                                               legacy_rng);
+  util::Rng phase_rng(31);
+  const double phase = phase_rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double period_samples =
+      static_cast<double>(x.size() - 1) / periods;
+  const auto at = augment::baseline_wander_at(x, amplitude, period_samples,
+                                              phase, 0);
+  ASSERT_EQ(legacy.size(), at.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(legacy[i], at[i], 1e-12) << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pnc

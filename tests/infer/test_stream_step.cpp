@@ -1,0 +1,138 @@
+// Incremental inference: Engine::step must advance the compiled pipeline
+// one timestep at a time with exactly the arithmetic of Engine::forward —
+// T steps from a fresh reset_stream reproduce forward() on the 1xT series
+// bit-identically, for every model family, clean and under variation, and
+// at every prefix length (stream_logits is a read-only probe).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "pnc/baseline/elman_rnn.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc {
+namespace {
+
+std::unique_ptr<core::SequenceClassifier> make_model(const std::string& kind) {
+  if (kind == "adapt") return core::make_adapt_pnc(3, 0.01, 7, 6);
+  if (kind == "ptpnc") return core::make_baseline_ptpnc(3, 0.01, 7);
+  if (kind == "elman") return baseline::make_elman(3, 7, 6);
+  throw std::invalid_argument("unknown kind");
+}
+
+ad::Tensor random_series(std::size_t steps, util::Rng& rng) {
+  ad::Tensor x(1, steps);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+class StreamStep : public ::testing::TestWithParam<std::string> {};
+
+// step() over the whole series == forward() on the whole series, bitwise,
+// and the logits probe agrees with forward() at *every* prefix length.
+TEST_P(StreamStep, PrefixLogitsMatchForward) {
+  auto model = make_model(GetParam());
+  const auto engine = infer::Engine::compile(*model);
+
+  const variation::VariationSpec specs[] = {
+      variation::VariationSpec::none(),
+      variation::VariationSpec::printing(0.1)};
+  for (const auto& spec : specs) {
+    infer::Plan plan = engine.make_plan();
+    util::Rng stamp_rng(77);
+    engine.stamp(plan, spec, stamp_rng, 1);
+
+    util::Rng data_rng(5);
+    const std::size_t steps = 24;
+    const ad::Tensor x = random_series(steps, data_rng);
+
+    infer::StreamState state;
+    engine.reset_stream(plan, state);
+    ad::Tensor got;
+    ad::Tensor want;
+    for (std::size_t t = 0; t < steps; ++t) {
+      engine.step(plan, state, x(0, t));
+      engine.stream_logits(state, got);
+
+      ad::Tensor prefix(1, t + 1);
+      for (std::size_t k = 0; k <= t; ++k) prefix(0, k) = x(0, k);
+      engine.forward(plan, prefix, want);
+      ASSERT_EQ(got.cols(), want.cols());
+      EXPECT_EQ(ad::max_abs_diff(got, want), 0.0)
+          << GetParam() << " prefix=" << t + 1
+          << (spec.component ? " (printing 0.1)" : " (clean)");
+    }
+  }
+}
+
+// The bulk form is sample-for-sample the scalar form: feeding the series
+// in one call, in two halves, or one sample at a time ends in the same
+// state and logits bitwise.
+TEST_P(StreamStep, BulkStepMatchesScalarStep) {
+  auto model = make_model(GetParam());
+  const auto engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  util::Rng stamp_rng(9);
+  engine.stamp(plan, variation::VariationSpec::printing(0.1), stamp_rng, 1);
+
+  util::Rng data_rng(8);
+  const std::size_t steps = 31;
+  const ad::Tensor x = random_series(steps, data_rng);
+
+  infer::StreamState scalar_state;
+  engine.reset_stream(plan, scalar_state);
+  for (std::size_t t = 0; t < steps; ++t) {
+    engine.step(plan, scalar_state, x(0, t));
+  }
+  ad::Tensor scalar_logits;
+  engine.stream_logits(scalar_state, scalar_logits);
+
+  infer::StreamState bulk_state;
+  engine.reset_stream(plan, bulk_state);
+  engine.step(plan, bulk_state, x.data().data(), steps);
+  ad::Tensor bulk_logits;
+  engine.stream_logits(bulk_state, bulk_logits);
+  EXPECT_EQ(ad::max_abs_diff(bulk_logits, scalar_logits), 0.0) << GetParam();
+
+  infer::StreamState split_state;
+  engine.reset_stream(plan, split_state);
+  engine.step(plan, split_state, x.data().data(), 11);
+  engine.step(plan, split_state, x.data().data() + 11, steps - 11);
+  ad::Tensor split_logits;
+  engine.stream_logits(split_state, split_logits);
+  EXPECT_EQ(ad::max_abs_diff(split_logits, scalar_logits), 0.0) << GetParam();
+}
+
+// reset_stream restores the stamped initial state: a reused StreamState
+// replays to the same logits as a fresh one.
+TEST_P(StreamStep, ResetIsIdempotent) {
+  auto model = make_model(GetParam());
+  const auto engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  util::Rng stamp_rng(13);
+  engine.stamp(plan, variation::VariationSpec::printing(0.1), stamp_rng, 1);
+
+  util::Rng data_rng(2);
+  const ad::Tensor x = random_series(19, data_rng);
+
+  infer::StreamState state;
+  engine.reset_stream(plan, state);
+  engine.step(plan, state, x.data().data(), 19);
+  ad::Tensor first;
+  engine.stream_logits(state, first);
+
+  engine.reset_stream(plan, state);  // reuse the same buffers
+  engine.step(plan, state, x.data().data(), 19);
+  ad::Tensor second;
+  engine.stream_logits(state, second);
+  EXPECT_EQ(ad::max_abs_diff(first, second), 0.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, StreamStep,
+                         ::testing::Values("adapt", "ptpnc", "elman"));
+
+}  // namespace
+}  // namespace pnc

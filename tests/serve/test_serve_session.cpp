@@ -1,0 +1,401 @@
+// serve streaming sessions: open/chunk/close against serve::Server must
+// be bit-identical to a direct stream::StreamSession over the same
+// engine, circuit realization and chunking; concurrent sessions must
+// never mix state; and a hot reload must leave open sessions pinned to
+// the revision they opened on.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/serve/server.hpp"
+#include "pnc/stream/session.hpp"
+#include "pnc/util/rng.hpp"
+
+namespace pnc {
+namespace {
+
+std::shared_ptr<const infer::Engine> make_engine() {
+  auto model = core::make_adapt_pnc(3, 0.01, 6, 5);
+  return std::make_shared<const infer::Engine>(infer::Engine::compile(*model));
+}
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+/// Cut `signal` into the uneven chunk sizes the tests submit, exercising
+/// windows that span chunk boundaries.
+std::vector<std::vector<double>> cut_chunks(const std::vector<double>& signal) {
+  const std::size_t sizes[] = {9, 13, 7, 21, 5};
+  std::vector<std::vector<double>> chunks;
+  std::size_t start = 0, pick = 0;
+  while (start < signal.size()) {
+    const std::size_t n = std::min(sizes[pick++ % 5], signal.size() - start);
+    chunks.emplace_back(signal.begin() + start, signal.begin() + start + n);
+    start += n;
+  }
+  return chunks;
+}
+
+/// Direct reference: the server's plan cache stamps Rng(variation_seed)
+/// at batch 1; replaying that stamp and feeding the same chunks through a
+/// StreamSession is the ground truth a served session must match bitwise.
+struct Reference {
+  std::vector<stream::WindowResult> windows;
+  std::vector<stream::Event> events;
+};
+
+Reference direct_reference(const infer::Engine& engine,
+                           const variation::VariationSpec& spec,
+                           std::uint64_t seed,
+                           const stream::StreamConfig& config,
+                           const std::vector<std::vector<double>>& chunks) {
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(seed);
+  engine.stamp(plan, spec, rng, 1);
+  stream::StreamSession session(engine, plan, config);
+  for (const auto& chunk : chunks) session.feed(chunk);
+  Reference ref;
+  ref.windows = session.take_windows();
+  ref.events = session.take_events();
+  return ref;
+}
+
+struct Collector {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::map<std::uint64_t, serve::Response> responses;
+
+  serve::Server::Callback callback() {
+    return [this](serve::Response resp) {
+      std::lock_guard<std::mutex> lock(mutex);
+      responses[resp.id] = std::move(resp);
+      ++done;
+      cv.notify_all();
+    };
+  }
+
+  void wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return done >= n; });
+  }
+};
+
+/// Windows/events accumulated across a session's chunk responses, in
+/// submission (= id) order.
+Reference gather(const Collector& collector, std::uint64_t first_id,
+                 std::size_t count) {
+  Reference got;
+  for (std::size_t i = 0; i < count; ++i) {
+    const serve::Response& resp = collector.responses.at(first_id + i);
+    EXPECT_EQ(resp.status, serve::Status::kOk) << resp.error;
+    got.windows.insert(got.windows.end(), resp.windows.begin(),
+                       resp.windows.end());
+    got.events.insert(got.events.end(), resp.events.begin(),
+                      resp.events.end());
+  }
+  return got;
+}
+
+void expect_same(const Reference& got, const Reference& want) {
+  ASSERT_EQ(got.windows.size(), want.windows.size());
+  for (std::size_t i = 0; i < got.windows.size(); ++i) {
+    EXPECT_EQ(got.windows[i].begin, want.windows[i].begin) << "window " << i;
+    EXPECT_EQ(got.windows[i].end, want.windows[i].end) << "window " << i;
+    EXPECT_EQ(got.windows[i].predicted, want.windows[i].predicted)
+        << "window " << i;
+    ASSERT_EQ(got.windows[i].logits.size(), want.windows[i].logits.size());
+    for (std::size_t c = 0; c < got.windows[i].logits.size(); ++c) {
+      EXPECT_EQ(got.windows[i].logits[c], want.windows[i].logits[c])  // bitwise
+          << "window " << i << " class " << c;
+    }
+  }
+  ASSERT_EQ(got.events.size(), want.events.size());
+  for (std::size_t i = 0; i < got.events.size(); ++i) {
+    EXPECT_EQ(got.events[i].at, want.events[i].at) << "event " << i;
+    EXPECT_EQ(got.events[i].klass, want.events[i].klass) << "event " << i;
+  }
+}
+
+stream::StreamConfig carry_config() {
+  stream::StreamConfig config;
+  config.window = 16;
+  config.stride = 8;
+  config.policy = stream::StatePolicy::kCarry;
+  config.confirm_windows = 1;
+  return config;
+}
+
+TEST(ServeSession, ChunksBitIdenticalToDirectStreamSession) {
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const std::uint64_t seed = 2024;
+  const auto signal = random_signal(180, 44);
+  const auto chunks = cut_chunks(signal);
+  const auto want = direct_reference(*engine, spec, seed, carry_config(),
+                                     chunks);
+  ASSERT_FALSE(want.windows.empty());
+
+  serve::ServerConfig config;
+  config.shards = 2;
+  config.max_batch = 4;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.engine = engine;
+  model.variation = spec;
+  model.variation_seed = seed;
+  const std::uint64_t generation =
+      server.load_model("default", std::move(model));
+  server.start();
+
+  serve::SessionConfig session;
+  session.stream = carry_config();
+  std::string error;
+  ASSERT_EQ(server.open_session("dev0", session, &error), serve::Status::kOk)
+      << error;
+
+  Collector collector;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    serve::Request req;
+    req.id = i;
+    req.session = "dev0";
+    req.series = chunks[i];
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()),
+              serve::Status::kOk);
+  }
+  collector.wait_for(chunks.size());
+
+  const auto got = gather(collector, 0, chunks.size());
+  expect_same(got, want);
+
+  // Per-chunk metadata: generation pinned, sample counter monotone.
+  std::uint64_t last_samples = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const serve::Response& resp = collector.responses.at(i);
+    EXPECT_EQ(resp.generation, generation);
+    EXPECT_GT(resp.session_samples, last_samples);
+    last_samples = resp.session_samples;
+  }
+  EXPECT_EQ(last_samples, signal.size());
+
+  serve::SessionInfo info;
+  ASSERT_EQ(server.close_session("dev0", &info, &error), serve::Status::kOk)
+      << error;
+  EXPECT_EQ(info.samples, signal.size());
+  EXPECT_EQ(info.windows, want.windows.size());
+  EXPECT_EQ(info.events, want.events.size());
+  EXPECT_EQ(info.generation, generation);
+  server.stop();
+}
+
+// Two sessions fed concurrently from separate threads: each must match
+// its own single-session reference bitwise — coalescing, sharding and
+// scheduling may interleave them arbitrarily but never mix their state.
+TEST(ServeSession, ConcurrentSessionsNeverMixState) {
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const std::uint64_t seed = 7;
+  const auto signal_a = random_signal(200, 1);
+  const auto signal_b = random_signal(200, 2);
+  const auto chunks_a = cut_chunks(signal_a);
+  const auto chunks_b = cut_chunks(signal_b);
+  const auto want_a = direct_reference(*engine, spec, seed, carry_config(),
+                                       chunks_a);
+  const auto want_b = direct_reference(*engine, spec, seed, carry_config(),
+                                       chunks_b);
+
+  serve::ServerConfig config;
+  config.shards = 2;
+  config.max_batch = 4;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.engine = engine;
+  model.variation = spec;
+  model.variation_seed = seed;
+  server.load_model("default", std::move(model));
+  server.start();
+
+  serve::SessionConfig session;
+  session.stream = carry_config();
+  ASSERT_EQ(server.open_session("a", session, nullptr), serve::Status::kOk);
+  ASSERT_EQ(server.open_session("b", session, nullptr), serve::Status::kOk);
+  EXPECT_EQ(server.open_sessions(), 2u);
+
+  Collector collector;
+  const auto feeder = [&](const std::string& name, std::uint64_t base,
+                          const std::vector<std::vector<double>>& chunks) {
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      serve::Request req;
+      req.id = base + i;
+      req.session = name;
+      req.series = chunks[i];
+      ASSERT_EQ(server.submit(std::move(req), collector.callback()),
+                serve::Status::kOk);
+    }
+  };
+  std::thread ta([&] { feeder("a", 0, chunks_a); });
+  std::thread tb([&] { feeder("b", 1000, chunks_b); });
+  ta.join();
+  tb.join();
+  collector.wait_for(chunks_a.size() + chunks_b.size());
+
+  expect_same(gather(collector, 0, chunks_a.size()), want_a);
+  expect_same(gather(collector, 1000, chunks_b.size()), want_b);
+  server.stop();
+}
+
+// Hot reload mid-stream: the open session keeps serving the circuit it
+// pinned at open time while stateless work and new sessions move to the
+// new revision.
+TEST(ServeSession, HotReloadPinsOpenSessionRevision) {
+  const auto engine = make_engine();
+  const auto spec = variation::VariationSpec::printing(0.08);
+  const std::uint64_t seed_a = 11;
+  const std::uint64_t seed_b = 77;  // different circuit realization
+  const auto signal = random_signal(160, 3);
+  const auto chunks = cut_chunks(signal);
+  const auto want_a = direct_reference(*engine, spec, seed_a, carry_config(),
+                                       chunks);
+  const auto want_b = direct_reference(*engine, spec, seed_b, carry_config(),
+                                       chunks);
+  ASSERT_FALSE(want_a.windows.empty());
+  ASSERT_NE(want_a.windows[0].logits, want_b.windows[0].logits);
+
+  serve::ServerConfig config;
+  config.shards = 2;
+  serve::Server server(config);
+  serve::ModelConfig model_a;
+  model_a.engine = engine;
+  model_a.variation = spec;
+  model_a.variation_seed = seed_a;
+  const std::uint64_t gen_a = server.load_model("default", std::move(model_a));
+  server.start();
+
+  serve::SessionConfig session;
+  session.stream = carry_config();
+  ASSERT_EQ(server.open_session("pinned", session, nullptr),
+            serve::Status::kOk);
+
+  Collector collector;
+  std::size_t submitted = 0;
+  const auto send_chunk = [&](std::size_t i) {
+    serve::Request req;
+    req.id = i;
+    req.session = "pinned";
+    req.series = chunks[i];
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()),
+              serve::Status::kOk);
+    ++submitted;
+  };
+
+  // Half the stream on generation A...
+  const std::size_t half = chunks.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) send_chunk(i);
+  collector.wait_for(submitted);
+
+  // ...reload to a different realization...
+  serve::ModelConfig model_b;
+  model_b.engine = engine;
+  model_b.variation = spec;
+  model_b.variation_seed = seed_b;
+  const std::uint64_t gen_b = server.load_model("default", std::move(model_b));
+  ASSERT_NE(gen_a, gen_b);
+
+  // ...and the rest of the stream still runs on the pinned circuit.
+  for (std::size_t i = half; i < chunks.size(); ++i) send_chunk(i);
+  collector.wait_for(submitted);
+
+  expect_same(gather(collector, 0, chunks.size()), want_a);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(collector.responses.at(i).generation, gen_a) << "chunk " << i;
+  }
+
+  // A session opened after the reload sees the new circuit.
+  ASSERT_EQ(server.open_session("fresh", session, nullptr),
+            serve::Status::kOk);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    serve::Request req;
+    req.id = 2000 + i;
+    req.session = "fresh";
+    req.series = chunks[i];
+    ASSERT_EQ(server.submit(std::move(req), collector.callback()),
+              serve::Status::kOk);
+    ++submitted;
+  }
+  collector.wait_for(submitted);
+  expect_same(gather(collector, 2000, chunks.size()), want_b);
+  EXPECT_EQ(collector.responses.at(2000).generation, gen_b);
+
+  serve::SessionInfo info;
+  ASSERT_EQ(server.close_session("pinned", &info, nullptr),
+            serve::Status::kOk);
+  EXPECT_EQ(info.generation, gen_a);
+  server.stop();
+}
+
+TEST(ServeSession, LifecycleErrors) {
+  const auto engine = make_engine();
+  serve::ServerConfig config;
+  config.session_capacity = 1;
+  serve::Server server(config);
+  serve::ModelConfig model;
+  model.engine = engine;
+  server.load_model("default", std::move(model));
+  server.start();
+
+  serve::SessionConfig session;
+  session.stream = carry_config();
+  std::string error;
+
+  // Unknown model / empty name.
+  serve::SessionConfig bad = session;
+  bad.model = "nope";
+  EXPECT_EQ(server.open_session("s", bad, &error), serve::Status::kError);
+  EXPECT_NE(error.find("nope"), std::string::npos);
+  EXPECT_EQ(server.open_session("", session, &error), serve::Status::kError);
+
+  ASSERT_EQ(server.open_session("s", session, &error), serve::Status::kOk);
+  // Duplicate name and capacity (capacity is 1).
+  EXPECT_EQ(server.open_session("s", session, &error), serve::Status::kError);
+  EXPECT_EQ(server.open_session("t", session, &error), serve::Status::kError);
+
+  // Chunks to sessions that don't exist are rejected at submit.
+  Collector collector;
+  serve::Request req;
+  req.id = 1;
+  req.session = "ghost";
+  req.series = random_signal(8, 1);
+  EXPECT_EQ(server.submit(std::move(req), collector.callback()),
+            serve::Status::kError);
+  collector.wait_for(1);
+  EXPECT_EQ(collector.responses.at(1).status, serve::Status::kError);
+
+  // Close, then the name is reusable and chunks to it are rejected.
+  ASSERT_EQ(server.close_session("s", nullptr, &error), serve::Status::kOk);
+  EXPECT_EQ(server.close_session("s", nullptr, &error), serve::Status::kError);
+  EXPECT_EQ(server.open_sessions(), 0u);
+  serve::Request stale;
+  stale.id = 2;
+  stale.session = "s";
+  stale.series = random_signal(8, 2);
+  EXPECT_EQ(server.submit(std::move(stale), collector.callback()),
+            serve::Status::kError);
+  ASSERT_EQ(server.open_session("s", session, &error), serve::Status::kOk)
+      << error;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pnc

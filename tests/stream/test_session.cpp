@@ -1,0 +1,312 @@
+// stream::StreamSession — sliding-window classification over an unbounded
+// signal. The contracts under test:
+//  * the parity gate: kReset with stride == window reproduces
+//    Engine::forward on every window bit-identically, for every model
+//    family, clean and under printing variation;
+//  * feed() chunking is irrelevant — per-sample, odd chunks and one-shot
+//    feeding emit identical windows and events;
+//  * window geometry follows (window, stride) exactly;
+//  * match_events scores detections the way the bench assumes;
+//  * N sessions sharing one stamped plan are bit-deterministic whether
+//    driven serially or from a thread pool (the serving concurrency
+//    model).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pnc/baseline/elman_rnn.hpp"
+#include "pnc/core/adapt_pnc.hpp"
+#include "pnc/infer/engine.hpp"
+#include "pnc/stream/session.hpp"
+#include "pnc/util/rng.hpp"
+#include "pnc/util/thread_pool.hpp"
+
+namespace pnc {
+namespace {
+
+std::unique_ptr<core::SequenceClassifier> make_model(const std::string& kind) {
+  if (kind == "adapt") return core::make_adapt_pnc(3, 0.01, 7, 6);
+  if (kind == "ptpnc") return core::make_baseline_ptpnc(3, 0.01, 7);
+  if (kind == "elman") return baseline::make_elman(3, 7, 6);
+  throw std::invalid_argument("unknown kind");
+}
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+void expect_same_windows(const std::vector<stream::WindowResult>& got,
+                         const std::vector<stream::WindowResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].begin, want[i].begin) << "window " << i;
+    EXPECT_EQ(got[i].end, want[i].end) << "window " << i;
+    EXPECT_EQ(got[i].predicted, want[i].predicted) << "window " << i;
+    ASSERT_EQ(got[i].logits.size(), want[i].logits.size()) << "window " << i;
+    for (std::size_t c = 0; c < got[i].logits.size(); ++c) {
+      EXPECT_EQ(got[i].logits[c], want[i].logits[c])  // bitwise
+          << "window " << i << " class " << c;
+    }
+  }
+}
+
+void expect_same_events(const std::vector<stream::Event>& got,
+                        const std::vector<stream::Event>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].at, want[i].at) << "event " << i;
+    EXPECT_EQ(got[i].klass, want[i].klass) << "event " << i;
+  }
+}
+
+class StreamSessionParity : public ::testing::TestWithParam<std::string> {};
+
+// The ISSUE parity gate: kReset at stride == window must evaluate exactly
+// forward()'s operation sequence on each window.
+TEST_P(StreamSessionParity, ResetStrideWindowMatchesForward) {
+  auto model = make_model(GetParam());
+  const auto engine = infer::Engine::compile(*model);
+
+  const variation::VariationSpec specs[] = {
+      variation::VariationSpec::none(),
+      variation::VariationSpec::printing(0.1)};
+  for (const auto& spec : specs) {
+    const std::uint64_t stamp_seed = 41;
+    infer::Plan plan = engine.make_plan();
+    util::Rng rng(stamp_seed);
+    engine.stamp(plan, spec, rng, 1);
+
+    const std::size_t window = 16;
+    const std::size_t count = 6;
+    const auto signal = random_signal(window * count, 123);
+
+    stream::StreamConfig config;
+    config.window = window;
+    config.stride = window;
+    config.policy = stream::StatePolicy::kReset;
+    config.confirm_windows = 1;
+    stream::StreamSession session(engine, plan, config);
+    session.feed(signal);
+    const auto windows = session.take_windows();
+    ASSERT_EQ(windows.size(), count);
+
+    // Offline reference on an identically stamped plan (stamp() draws in
+    // graph order, so equal seeds give equal circuits).
+    infer::Plan offline = engine.make_plan();
+    util::Rng rng2(stamp_seed);
+    engine.stamp(offline, spec, rng2, 1);
+    for (std::size_t w = 0; w < count; ++w) {
+      ad::Tensor x(1, window);
+      for (std::size_t i = 0; i < window; ++i) {
+        x(0, i) = signal[w * window + i];
+      }
+      ad::Tensor want;
+      engine.forward(offline, x, want);
+      ASSERT_EQ(windows[w].logits.size(), want.cols());
+      for (std::size_t c = 0; c < want.cols(); ++c) {
+        EXPECT_EQ(windows[w].logits[c], want(0, c))  // bitwise parity
+            << GetParam() << " window " << w << " class " << c
+            << (spec.component ? " (printing 0.1)" : " (clean)");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, StreamSessionParity,
+                         ::testing::Values("adapt", "ptpnc", "elman"));
+
+// Chunking is a transport detail: per-sample, odd-size and one-shot
+// feeding of the same signal emit identical windows and events.
+TEST(StreamSession, FeedChunkingIsIrrelevant) {
+  auto model = make_model("adapt");
+  const auto engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(7);
+  engine.stamp(plan, variation::VariationSpec::printing(0.1), rng, 1);
+
+  const auto signal = random_signal(200, 99);
+  stream::StreamConfig config;
+  config.window = 12;
+  config.stride = 5;
+  config.policy = stream::StatePolicy::kCarry;
+  config.confirm_windows = 1;
+
+  stream::StreamSession whole(engine, plan, config);
+  whole.feed(signal);
+  const auto want_windows = whole.take_windows();
+  const auto want_events = whole.take_events();
+  ASSERT_FALSE(want_windows.empty());
+
+  stream::StreamSession per_sample(engine, plan, config);
+  for (const double v : signal) per_sample.feed(&v, 1);
+  expect_same_windows(per_sample.take_windows(), want_windows);
+  expect_same_events(per_sample.take_events(), want_events);
+
+  stream::StreamSession chunked(engine, plan, config);
+  for (std::size_t i = 0; i < signal.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, signal.size() - i);
+    chunked.feed(signal.data() + i, n);
+  }
+  expect_same_windows(chunked.take_windows(), want_windows);
+  expect_same_events(chunked.take_events(), want_events);
+}
+
+// Window geometry: the w-th window covers [w*stride, w*stride + window).
+TEST(StreamSession, WindowGeometryFollowsStride) {
+  auto model = make_model("ptpnc");
+  const auto engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(3);
+  engine.stamp(plan, variation::VariationSpec::none(), rng, 1);
+
+  const auto signal = random_signal(50, 2);
+  stream::StreamConfig config;
+  config.window = 8;
+  config.stride = 3;
+  config.confirm_windows = 1;
+  stream::StreamSession session(engine, plan, config);
+  session.feed(signal);
+
+  const auto windows = session.take_windows();
+  const std::size_t expected = (signal.size() - config.window) / config.stride + 1;
+  ASSERT_EQ(windows.size(), expected);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(windows[w].begin, w * config.stride);
+    EXPECT_EQ(windows[w].end, w * config.stride + config.window);
+  }
+  EXPECT_EQ(session.samples_seen(), signal.size());
+  EXPECT_EQ(session.windows_seen(), expected);
+}
+
+// Results accumulate between take_*() calls and taking drains them.
+TEST(StreamSession, TakeDrainsResults) {
+  auto model = make_model("adapt");
+  const auto engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(5);
+  engine.stamp(plan, variation::VariationSpec::none(), rng, 1);
+
+  stream::StreamConfig config;
+  config.window = 8;
+  config.stride = 8;
+  config.confirm_windows = 1;
+  stream::StreamSession session(engine, plan, config);
+
+  const auto signal = random_signal(32, 6);
+  session.feed(signal);
+  EXPECT_EQ(session.take_windows().size(), 4u);
+  EXPECT_TRUE(session.take_windows().empty());  // drained
+  EXPECT_EQ(session.windows_seen(), 4u);        // totals persist
+}
+
+// match_events is a pure scoring function; pin its semantics directly.
+TEST(StreamSession, MatchEventsScoresDetections) {
+  std::vector<stream::ChangePoint> changes;
+  changes.push_back({100, 0, 1});
+  changes.push_back({200, 1, 0});
+
+  std::vector<stream::Event> events;
+  events.push_back({50, 1});    // before any change: spurious
+  events.push_back({120, 1});   // detects change@100, latency 20
+  events.push_back({150, 0});   // wrong class for [100, 200): spurious
+                                // (change@200 needs an event at/after 200)
+
+  const auto stats = stream::match_events(events, changes, /*horizon=*/1000);
+  EXPECT_EQ(stats.detected, 1u);
+  EXPECT_EQ(stats.missed, 1u);  // change@200 never confirmed
+  EXPECT_EQ(stats.spurious, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_latency, 20.0);
+  EXPECT_DOUBLE_EQ(stats.max_latency, 20.0);
+}
+
+// `horizon` is the signal end: it closes the last change's detection
+// window, so an event past it matches nothing.
+TEST(StreamSession, MatchEventsHonoursHorizon) {
+  std::vector<stream::ChangePoint> changes;
+  changes.push_back({100, 0, 1});
+  std::vector<stream::Event> events;
+  events.push_back({180, 1});  // latency 80
+
+  const auto in_time = stream::match_events(events, changes, /*horizon=*/200);
+  EXPECT_EQ(in_time.detected, 1u);
+  EXPECT_EQ(in_time.missed, 0u);
+  EXPECT_DOUBLE_EQ(in_time.mean_latency, 80.0);
+
+  const auto late = stream::match_events(events, changes, /*horizon=*/150);
+  EXPECT_EQ(late.detected, 0u);
+  EXPECT_EQ(late.missed, 1u);
+  EXPECT_EQ(late.spurious, 1u);  // the event falls outside the signal
+}
+
+// Satellite: N sessions sharing one const plan must not interfere —
+// driving them from a thread pool gives bitwise the results of driving
+// them serially. This is the serving concurrency model.
+TEST(StreamSessionThreads, OneVsNThreadBitDeterminism) {
+  auto model = make_model("adapt");
+  const auto engine = infer::Engine::compile(*model);
+  infer::Plan plan = engine.make_plan();
+  util::Rng rng(21);
+  engine.stamp(plan, variation::VariationSpec::printing(0.1), rng, 1);
+
+  const std::size_t kSessions = 6;
+  std::vector<std::vector<double>> signals;
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    signals.push_back(random_signal(160, 1000 + k));
+  }
+  stream::StreamConfig config;
+  config.window = 16;
+  config.stride = 8;
+  config.policy = stream::StatePolicy::kCarry;
+  config.confirm_windows = 1;
+
+  struct Result {
+    std::vector<stream::WindowResult> windows;
+    std::vector<stream::Event> events;
+  };
+  const auto drive = [&](stream::StreamSession& session,
+                         const std::vector<double>& signal) {
+    for (std::size_t i = 0; i < signal.size(); i += 9) {
+      const std::size_t n = std::min<std::size_t>(9, signal.size() - i);
+      session.feed(signal.data() + i, n);
+    }
+    Result r;
+    r.windows = session.take_windows();
+    r.events = session.take_events();
+    return r;
+  };
+
+  std::vector<Result> serial(kSessions);
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    stream::StreamSession session(engine, plan, config);
+    serial[k] = drive(session, signals[k]);
+    ASSERT_FALSE(serial[k].windows.empty());
+  }
+
+  std::vector<Result> parallel(kSessions);
+  {
+    // All sessions alive at once, stepping concurrently over one plan.
+    std::vector<std::unique_ptr<stream::StreamSession>> sessions;
+    for (std::size_t k = 0; k < kSessions; ++k) {
+      sessions.push_back(
+          std::make_unique<stream::StreamSession>(engine, plan, config));
+    }
+    util::ThreadPool pool(4);
+    pool.parallel_for(kSessions, [&](std::size_t k) {
+      parallel[k] = drive(*sessions[k], signals[k]);
+    });
+  }
+
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    expect_same_windows(parallel[k].windows, serial[k].windows);
+    expect_same_events(parallel[k].events, serial[k].events);
+  }
+}
+
+}  // namespace
+}  // namespace pnc

@@ -1,0 +1,86 @@
+// stream::make_continuous_signal — the labelled unbounded signal the
+// streaming benches and event-detection scoring run against. The
+// guarantees under test: determinism from the config, per-sample labels
+// that agree with the change-point list, and real transitions at every
+// change point.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "pnc/stream/signal.hpp"
+
+namespace pnc {
+namespace {
+
+TEST(StreamSignal, DeterministicFromConfig) {
+  stream::SignalConfig config;
+  config.dataset = "PowerCons";
+  config.segments = 5;
+  config.draws_per_segment = 2;
+  config.series_length = 32;
+  config.seed = 17;
+
+  const auto a = stream::make_continuous_signal(config);
+  const auto b = stream::make_continuous_signal(config);
+  EXPECT_EQ(a.samples, b.samples);  // bitwise: vector<double> equality
+  EXPECT_EQ(a.labels, b.labels);
+  ASSERT_EQ(a.changes.size(), b.changes.size());
+  for (std::size_t i = 0; i < a.changes.size(); ++i) {
+    EXPECT_EQ(a.changes[i].at, b.changes[i].at);
+    EXPECT_EQ(a.changes[i].to_class, b.changes[i].to_class);
+  }
+
+  stream::SignalConfig other = config;
+  other.seed = 18;
+  const auto c = stream::make_continuous_signal(other);
+  EXPECT_NE(a.samples, c.samples);
+}
+
+TEST(StreamSignal, ShapeAndSegmentGeometry) {
+  stream::SignalConfig config;
+  config.dataset = "PowerCons";
+  config.segments = 6;
+  config.draws_per_segment = 3;
+  config.series_length = 24;
+  config.seed = 4;
+
+  const auto sig = stream::make_continuous_signal(config);
+  EXPECT_EQ(sig.segment_length, config.draws_per_segment * config.series_length);
+  EXPECT_EQ(sig.samples.size(), config.segments * sig.segment_length);
+  EXPECT_EQ(sig.labels.size(), sig.samples.size());
+  EXPECT_GT(sig.num_classes, 1);
+  // One change per segment boundary.
+  EXPECT_EQ(sig.changes.size(), config.segments - 1);
+  for (std::size_t i = 0; i < sig.changes.size(); ++i) {
+    EXPECT_EQ(sig.changes[i].at, (i + 1) * sig.segment_length);
+  }
+}
+
+TEST(StreamSignal, LabelsAgreeWithChangePoints) {
+  stream::SignalConfig config;
+  config.dataset = "PowerCons";
+  config.segments = 7;
+  config.draws_per_segment = 2;
+  config.series_length = 16;
+  config.seed = 9;
+
+  const auto sig = stream::make_continuous_signal(config);
+  for (const auto& change : sig.changes) {
+    // A change point is a real transition: class differs across it and
+    // the label arrays agree with the recorded from/to classes.
+    EXPECT_NE(change.from_class, change.to_class);
+    ASSERT_GT(change.at, 0u);
+    ASSERT_LT(change.at, sig.labels.size());
+    EXPECT_EQ(sig.label_at(change.at - 1), change.from_class);
+    EXPECT_EQ(sig.label_at(change.at), change.to_class);
+  }
+  // Labels are piecewise constant between change points.
+  std::size_t transitions = 0;
+  for (std::size_t i = 1; i < sig.labels.size(); ++i) {
+    if (sig.labels[i] != sig.labels[i - 1]) ++transitions;
+  }
+  EXPECT_EQ(transitions, sig.changes.size());
+}
+
+}  // namespace
+}  // namespace pnc

@@ -82,6 +82,18 @@ protocol (one JSON object per line):
     optional "overlay":NAME                  serve a calibrated device
     optional "priority":"interactive"|"batch"|"best_effort"
     optional "deadline_us":U                 shed if still queued past U
+  {"op":"session","name":N,"window":W}       open a streaming session
+    optional "stride":S                      window hop (default W)
+    optional "carry":true|false              carry state across windows
+                                             (default true; false replays
+                                             each window from reset)
+    optional "confirm":K                     windows to confirm an event
+    optional "model":ID, "overlay":NAME      pinned for the session's life
+  {"op":"session","name":N,"close":true}     close it; returns totals
+  {"op":"chunk","session":N,"id":I,"series":[...]}
+                                             append samples to a session;
+                                             response carries the windows
+                                             classified and events detected
   {"op":"reload","checkpoint":PATH}          hot-swap the "default" model
   {"op":"stats"}                             server counters
   {"op":"health"}                            readiness probe
@@ -201,6 +213,32 @@ std::string response_to_json(const Response& resp, bool with_logits) {
       }
       out << ']';
     }
+    if (resp.session_samples > 0) {  // session chunk: windowed results
+      out << ",\"session_samples\":" << resp.session_samples
+          << ",\"windows\":[";
+      for (std::size_t i = 0; i < resp.windows.size(); ++i) {
+        const auto& w = resp.windows[i];
+        if (i > 0) out << ',';
+        out << "{\"begin\":" << w.begin << ",\"end\":" << w.end
+            << ",\"predicted\":" << w.predicted;
+        if (with_logits) {
+          out << ",\"logits\":[";
+          for (std::size_t j = 0; j < w.logits.size(); ++j) {
+            if (j > 0) out << ',';
+            out << fmt_double(w.logits[j]);
+          }
+          out << ']';
+        }
+        out << '}';
+      }
+      out << "],\"events\":[";
+      for (std::size_t i = 0; i < resp.events.size(); ++i) {
+        if (i > 0) out << ',';
+        out << "{\"at\":" << resp.events[i].at
+            << ",\"class\":" << resp.events[i].klass << '}';
+      }
+      out << ']';
+    }
   } else {
     out << ",\"error\":\"" << pnc::serve::json_escape(resp.error) << "\"";
   }
@@ -219,7 +257,12 @@ std::string stats_to_json(const ServerStats& s) {
       << ",\"plan_cache_hits\":" << s.plan_cache_hits
       << ",\"plan_cache_misses\":" << s.plan_cache_misses
       << ",\"plan_cache_evictions\":" << s.plan_cache_evictions
-      << ",\"overlay_evictions\":" << s.overlay_evictions;
+      << ",\"overlay_evictions\":" << s.overlay_evictions
+      << ",\"sessions_opened\":" << s.sessions_opened
+      << ",\"sessions_closed\":" << s.sessions_closed
+      << ",\"session_chunks\":" << s.session_chunks
+      << ",\"session_windows\":" << s.session_windows
+      << ",\"session_events\":" << s.session_events;
   for (std::size_t k = 0; k < pnc::serve::kPriorityClasses; ++k) {
     const char* name =
         pnc::serve::priority_name(static_cast<pnc::serve::Priority>(k));
@@ -312,6 +355,109 @@ void handle_line(pnc::serve::Server& server, const ModelRecipe& recipe,
     return;
   }
 
+  if (op == "session") {
+    const std::string name = doc.string_or("name", "");
+    if (name.empty()) {
+      writer->write_line(error_line("session: missing name"));
+      return;
+    }
+    bool close = false;
+    if (const JsonValue* c = doc.find("close")) {
+      try {
+        close = c->as_bool();
+      } catch (const std::exception& error) {
+        writer->write_line(error_line(error.what()));
+        return;
+      }
+    }
+    if (close) {
+      pnc::serve::SessionInfo info;
+      std::string error;
+      if (server.close_session(name, &info, &error) != Status::kOk) {
+        writer->write_line(error_line("session: " + error));
+        return;
+      }
+      std::ostringstream out;
+      out << "{\"op\":\"session\",\"status\":\"ok\",\"name\":\""
+          << pnc::serve::json_escape(name)
+          << "\",\"closed\":true,\"generation\":" << info.generation
+          << ",\"samples\":" << info.samples
+          << ",\"windows\":" << info.windows << ",\"events\":" << info.events
+          << "}";
+      writer->write_line(out.str());
+      return;
+    }
+    pnc::serve::SessionConfig config;
+    config.model = doc.string_or("model", "default");
+    config.overlay = doc.string_or("overlay", "");
+    const double window = doc.number_or("window", 64.0);
+    if (window < 1.0) {
+      writer->write_line(error_line("session: window must be >= 1"));
+      return;
+    }
+    config.stream.window = static_cast<std::size_t>(window);
+    const double stride = doc.number_or("stride", window);
+    if (stride < 1.0 || stride > window) {
+      writer->write_line(error_line("session: stride must be in [1, window]"));
+      return;
+    }
+    config.stream.stride = static_cast<std::size_t>(stride);
+    const double confirm = doc.number_or("confirm", 2.0);
+    if (confirm < 1.0) {
+      writer->write_line(error_line("session: confirm must be >= 1"));
+      return;
+    }
+    config.stream.confirm_windows = static_cast<std::size_t>(confirm);
+    bool carry = true;
+    if (const JsonValue* c = doc.find("carry")) {
+      try {
+        carry = c->as_bool();
+      } catch (const std::exception& error) {
+        writer->write_line(error_line(error.what()));
+        return;
+      }
+    }
+    config.stream.policy = carry ? pnc::stream::StatePolicy::kCarry
+                                 : pnc::stream::StatePolicy::kReset;
+    std::string error;
+    if (server.open_session(name, config, &error) != Status::kOk) {
+      writer->write_line(error_line("session: " + error));
+      return;
+    }
+    std::ostringstream out;
+    out << "{\"op\":\"session\",\"status\":\"ok\",\"name\":\""
+        << pnc::serve::json_escape(name) << "\",\"window\":"
+        << config.stream.window << ",\"stride\":" << config.stream.stride
+        << ",\"carry\":" << (carry ? "true" : "false") << "}";
+    writer->write_line(out.str());
+    return;
+  }
+
+  if (op == "chunk") {
+    Request req;
+    req.id = static_cast<std::uint64_t>(doc.number_or("id", 0.0));
+    req.session = doc.string_or("session", "");
+    if (req.session.empty()) {
+      writer->write_line(error_line("chunk: missing session"));
+      return;
+    }
+    const JsonValue* series = doc.find("series");
+    if (series != nullptr) {
+      try {
+        const std::vector<JsonValue>& values = series->as_array();
+        req.series.reserve(values.size());
+        for (const JsonValue& v : values) req.series.push_back(v.as_number());
+      } catch (const std::exception& error) {
+        writer->write_line(error_line(error.what()));
+        return;
+      }
+    }
+    server.submit(std::move(req), [writer, with_logits](Response resp) {
+      writer->write_line(response_to_json(resp, with_logits));
+    });
+    return;
+  }
+
   if (op == "reload") {
     const std::string checkpoint = doc.string_or("checkpoint", "");
     const std::string model_id = doc.string_or("model", "default");
@@ -351,7 +497,9 @@ void handle_line(pnc::serve::Server& server, const ModelRecipe& recipe,
     return;
   }
 
-  writer->write_line(error_line("unknown op '" + op + "'"));
+  writer->write_line(error_line(
+      "unknown op '" + op +
+      "' (valid: infer, session, chunk, reload, stats, health)"));
 }
 
 /// A line the front-end refuses to parse (too long for the configured
